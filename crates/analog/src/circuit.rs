@@ -1,0 +1,373 @@
+//! Circuit description: nodes, driven waveforms, MOSFETs and coupling
+//! capacitors, plus builder helpers for inverters, transmission gates and
+//! supply-gated stages.
+
+use flh_tech::{Mosfet, Technology};
+
+/// Index of a circuit node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A piecewise-linear voltage source waveform: `(time_ns, volts)` knots,
+/// held constant before the first and after the last knot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Waveform {
+    knots: Vec<(f64, f64)>,
+}
+
+impl Waveform {
+    /// Constant voltage.
+    pub fn constant(volts: f64) -> Self {
+        Waveform {
+            knots: vec![(0.0, volts)],
+        }
+    }
+
+    /// Builds from explicit knots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `knots` is empty or times are not non-decreasing.
+    pub fn piecewise(knots: Vec<(f64, f64)>) -> Self {
+        assert!(!knots.is_empty(), "waveform needs at least one knot");
+        assert!(
+            knots.windows(2).all(|w| w[0].0 <= w[1].0),
+            "waveform knots must be time-ordered"
+        );
+        Waveform { knots }
+    }
+
+    /// A single step from `v0` to `v1` at `t_ns` with the given rise time.
+    pub fn step(v0: f64, v1: f64, t_ns: f64, rise_ns: f64) -> Self {
+        Waveform::piecewise(vec![(0.0, v0), (t_ns, v0), (t_ns + rise_ns, v1)])
+    }
+
+    /// A square pulse train: starts at `v0`, toggling between `v0`/`v1`
+    /// every `half_period_ns` starting at `start_ns`, for `n_edges` edges.
+    pub fn clock(v0: f64, v1: f64, start_ns: f64, half_period_ns: f64, n_edges: usize) -> Self {
+        let edge_ns = (half_period_ns * 0.05).clamp(0.005, 0.05);
+        let mut knots = vec![(0.0, v0)];
+        let mut level = v0;
+        for k in 0..n_edges {
+            let t = start_ns + k as f64 * half_period_ns;
+            knots.push((t, level));
+            level = if level == v0 { v1 } else { v0 };
+            knots.push((t + edge_ns, level));
+        }
+        Waveform::piecewise(knots)
+    }
+
+    /// Voltage at time `t_ns` (binary search over the knots, so long pulse
+    /// trains stay cheap to sample).
+    pub fn at(&self, t_ns: f64) -> f64 {
+        let ks = &self.knots;
+        if t_ns <= ks[0].0 {
+            return ks[0].1;
+        }
+        if t_ns >= ks[ks.len() - 1].0 {
+            return ks[ks.len() - 1].1;
+        }
+        // First knot with time > t_ns; its predecessor starts the segment.
+        let hi = ks.partition_point(|&(t, _)| t <= t_ns);
+        let (t0, v0) = ks[hi - 1];
+        let (t1, v1) = ks[hi];
+        if t1 == t0 {
+            return v1;
+        }
+        let f = (t_ns - t0) / (t1 - t0);
+        v0 + f * (v1 - v0)
+    }
+
+    /// Knot times (used by the integrator to not step over edges).
+    pub fn breakpoints(&self) -> impl Iterator<Item = f64> + '_ {
+        self.knots.iter().map(|&(t, _)| t)
+    }
+}
+
+/// What drives a node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NodeKind {
+    /// Free node integrated by the simulator; field is its lumped
+    /// capacitance to ground (fF).
+    Internal(f64),
+    /// Ideal source following a waveform.
+    Driven(Waveform),
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Node {
+    pub name: String,
+    pub kind: NodeKind,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct DeviceInst {
+    pub mosfet: Mosfet,
+    pub gate: NodeId,
+    pub source: NodeId,
+    pub drain: NodeId,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Coupling {
+    pub a: NodeId,
+    pub b: NodeId,
+    pub cap_ff: f64,
+}
+
+/// A flat transistor-level circuit.
+///
+/// # Example
+///
+/// ```
+/// use flh_analog::{Circuit, Waveform};
+/// use flh_tech::Technology;
+///
+/// let tech = Technology::bptm70();
+/// let mut c = Circuit::new(tech.clone());
+/// let vdd = c.add_driven("vdd", Waveform::constant(tech.vdd));
+/// let gnd = c.add_driven("gnd", Waveform::constant(0.0));
+/// let inp = c.add_driven("in", Waveform::step(0.0, tech.vdd, 1.0, 0.05));
+/// let out = c.add_internal("out", 0.5);
+/// c.inverter(inp, out, vdd, gnd, 1.0, 2.0);
+/// assert_eq!(c.node_count(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Circuit {
+    tech: Technology,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) devices: Vec<DeviceInst>,
+    pub(crate) couplings: Vec<Coupling>,
+}
+
+impl Circuit {
+    /// Empty circuit over a technology.
+    pub fn new(tech: Technology) -> Self {
+        Circuit {
+            tech,
+            nodes: Vec::new(),
+            devices: Vec::new(),
+            couplings: Vec::new(),
+        }
+    }
+
+    /// The device model in use.
+    pub fn technology(&self) -> &Technology {
+        &self.tech
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Node name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0].name
+    }
+
+    /// Finds a node by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(NodeId)
+    }
+
+    /// Adds a free node with a base capacitance to ground (fF); device
+    /// parasitics are added automatically as devices connect.
+    pub fn add_internal(&mut self, name: impl Into<String>, cap_ff: f64) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            kind: NodeKind::Internal(cap_ff),
+        });
+        id
+    }
+
+    /// Adds an ideal driven source.
+    pub fn add_driven(&mut self, name: impl Into<String>, waveform: Waveform) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            name: name.into(),
+            kind: NodeKind::Driven(waveform),
+        });
+        id
+    }
+
+    fn add_node_cap(&mut self, node: NodeId, extra_ff: f64) {
+        if let NodeKind::Internal(c) = &mut self.nodes[node.0].kind {
+            *c += extra_ff;
+        }
+    }
+
+    /// Places a MOSFET, accumulating its diffusion capacitance on source and
+    /// drain, its gate capacitance on the gate node, and a gate–drain
+    /// overlap coupling capacitor (the crosstalk path of Section II).
+    pub fn add_mosfet(&mut self, mosfet: Mosfet, gate: NodeId, source: NodeId, drain: NodeId) {
+        let w = mosfet.w_um;
+        let diff = self.tech.diff_cap_ff(w);
+        let gcap = self.tech.gate_cap_ff(w);
+        let ov = self.tech.gd_overlap_ff(w);
+        self.add_node_cap(source, diff);
+        self.add_node_cap(drain, diff);
+        self.add_node_cap(gate, gcap);
+        self.couplings.push(Coupling {
+            a: gate,
+            b: drain,
+            cap_ff: ov,
+        });
+        self.devices.push(DeviceInst {
+            mosfet,
+            gate,
+            source,
+            drain,
+        });
+    }
+
+    /// Static CMOS inverter with NMOS/PMOS width multipliers, between the
+    /// given rails.
+    pub fn inverter(
+        &mut self,
+        input: NodeId,
+        output: NodeId,
+        rail_vdd: NodeId,
+        rail_gnd: NodeId,
+        wn_mult: f64,
+        wp_mult: f64,
+    ) {
+        let tech = self.tech.clone();
+        self.add_mosfet(Mosfet::pmos(&tech, wp_mult), input, rail_vdd, output);
+        self.add_mosfet(Mosfet::nmos(&tech, wn_mult), input, rail_gnd, output);
+    }
+
+    /// Transmission gate between `a` and `b`: NMOS gated by `ctl`, PMOS by
+    /// `ctl_bar`.
+    pub fn transmission_gate(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ctl: NodeId,
+        ctl_bar: NodeId,
+        wn_mult: f64,
+        wp_mult: f64,
+    ) {
+        let tech = self.tech.clone();
+        self.add_mosfet(Mosfet::nmos(&tech, wn_mult), ctl, a, b);
+        self.add_mosfet(Mosfet::pmos(&tech, wp_mult), ctl_bar, a, b);
+    }
+
+    /// Explicit coupling capacitor (crosstalk aggressor modelling).
+    pub fn couple(&mut self, a: NodeId, b: NodeId, cap_ff: f64) {
+        self.couplings.push(Coupling { a, b, cap_ff });
+    }
+
+    /// Applies a local threshold-voltage shift to device `index` (by
+    /// placement order) — the Monte Carlo process-variation knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_vth_shift(&mut self, index: usize, volts: f64) {
+        self.devices[index].mosfet.vth_shift_v = volts;
+    }
+
+    /// Conduction current of device `index` (by placement order) at the
+    /// given node voltages — positive into the drain terminal. Used by the
+    /// experiments to probe e.g. the static short-circuit current of a
+    /// stage (the paper's Idd2/Idd3 in Fig. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `volts` is shorter than the
+    /// node count.
+    pub fn device_current(&self, index: usize, volts: &[f64]) -> f64 {
+        let d = &self.devices[index];
+        d.mosfet.current(
+            &self.tech,
+            volts[d.gate.index()],
+            volts[d.source.index()],
+            volts[d.drain.index()],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waveform_interpolation() {
+        let w = Waveform::piecewise(vec![(0.0, 0.0), (10.0, 0.0), (11.0, 1.0)]);
+        assert_eq!(w.at(-5.0), 0.0);
+        assert_eq!(w.at(5.0), 0.0);
+        assert!((w.at(10.5) - 0.5).abs() < 1e-12);
+        assert_eq!(w.at(20.0), 1.0);
+    }
+
+    #[test]
+    fn step_waveform() {
+        let w = Waveform::step(0.0, 1.0, 2.0, 0.1);
+        assert_eq!(w.at(1.9), 0.0);
+        assert_eq!(w.at(2.1), 1.0);
+    }
+
+    #[test]
+    fn clock_waveform_toggles() {
+        let w = Waveform::clock(0.0, 1.0, 1.0, 2.0, 4);
+        assert_eq!(w.at(0.5), 0.0);
+        assert_eq!(w.at(2.0), 1.0);
+        assert_eq!(w.at(4.0), 0.0);
+        assert_eq!(w.at(6.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_knots_panic() {
+        Waveform::piecewise(vec![(5.0, 1.0), (1.0, 0.0)]);
+    }
+
+    #[test]
+    fn mosfet_parasitics_accumulate() {
+        let tech = Technology::bptm70();
+        let mut c = Circuit::new(tech.clone());
+        let vdd = c.add_driven("vdd", Waveform::constant(tech.vdd));
+        let gnd = c.add_driven("gnd", Waveform::constant(0.0));
+        let inp = c.add_driven("in", Waveform::constant(0.0));
+        let out = c.add_internal("out", 0.0);
+        c.inverter(inp, out, vdd, gnd, 1.0, 2.0);
+        match &c.nodes[out.0].kind {
+            NodeKind::Internal(cap) => {
+                // Two diffusion caps: (0.15 + 0.30) µm × 0.8 fF/µm.
+                let expect = 0.45 * 0.8;
+                assert!((cap - expect).abs() < 1e-9, "out cap {cap}");
+            }
+            other => panic!("unexpected kind {other:?}"),
+        }
+        // Gate–drain overlaps registered for crosstalk.
+        assert_eq!(c.couplings.len(), 2);
+        assert_eq!(c.device_count(), 2);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let tech = Technology::bptm70();
+        let mut c = Circuit::new(tech);
+        let n = c.add_internal("x1", 1.0);
+        assert_eq!(c.find("x1"), Some(n));
+        assert_eq!(c.find("nope"), None);
+        assert_eq!(c.node_name(n), "x1");
+    }
+}

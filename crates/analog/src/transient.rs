@@ -1,0 +1,422 @@
+//! Explicit adaptive-step transient integration and waveform traces.
+
+use crate::circuit::{Circuit, NodeId, NodeKind};
+
+/// Integration controls.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransientConfig {
+    /// Stop time (ns).
+    pub t_stop_ns: f64,
+    /// Maximum per-step voltage change on any node (V); the step size
+    /// adapts to respect it.
+    pub dv_max: f64,
+    /// Smallest allowed step (ns).
+    pub dt_min_ns: f64,
+    /// Largest allowed step (ns).
+    pub dt_max_ns: f64,
+    /// Sampling interval for the recorded trace (ns).
+    pub sample_ns: f64,
+}
+
+impl TransientConfig {
+    /// A configuration suitable for the Fig. 2 / Fig. 4 experiments.
+    pub fn for_window_ns(t_stop_ns: f64) -> Self {
+        TransientConfig {
+            t_stop_ns,
+            dv_max: 0.01,
+            dt_min_ns: 1e-6,
+            dt_max_ns: 0.5,
+            sample_ns: (t_stop_ns / 2000.0).max(1e-3),
+        }
+    }
+}
+
+/// Recorded node voltages over time.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    time_ns: Vec<f64>,
+    /// `data[sample][node]` in volts.
+    data: Vec<Vec<f64>>,
+    names: Vec<String>,
+}
+
+impl Trace {
+    /// Sample times (ns).
+    pub fn time_ns(&self) -> &[f64] {
+        &self.time_ns
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.time_ns.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.time_ns.is_empty()
+    }
+
+    /// Voltage series of one node.
+    pub fn series(&self, node: NodeId) -> Vec<f64> {
+        self.data.iter().map(|s| s[node.index()]).collect()
+    }
+
+    /// Voltage of `node` at the sample nearest to `t_ns`.
+    pub fn voltage_at(&self, node: NodeId, t_ns: f64) -> f64 {
+        let idx = match self
+            .time_ns
+            .binary_search_by(|t| t.partial_cmp(&t_ns).expect("finite times"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.time_ns.len() - 1),
+        };
+        self.data[idx][node.index()]
+    }
+
+    /// Earliest sample time at which `node` drops below `threshold` volts,
+    /// searching from `from_ns` on.
+    pub fn first_time_below(&self, node: NodeId, threshold: f64, from_ns: f64) -> Option<f64> {
+        self.time_ns
+            .iter()
+            .zip(self.data.iter())
+            .find(|(t, s)| **t >= from_ns && s[node.index()] < threshold)
+            .map(|(t, _)| *t)
+    }
+
+    /// Minimum voltage of `node` in `[from_ns, to_ns]`.
+    pub fn min_in_window(&self, node: NodeId, from_ns: f64, to_ns: f64) -> f64 {
+        self.time_ns
+            .iter()
+            .zip(self.data.iter())
+            .filter(|(t, _)| **t >= from_ns && **t <= to_ns)
+            .map(|(_, s)| s[node.index()])
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum voltage of `node` in `[from_ns, to_ns]`.
+    pub fn max_in_window(&self, node: NodeId, from_ns: f64, to_ns: f64) -> f64 {
+        self.time_ns
+            .iter()
+            .zip(self.data.iter())
+            .filter(|(t, _)| **t >= from_ns && **t <= to_ns)
+            .map(|(_, s)| s[node.index()])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Node names, indexed like the data columns.
+    pub fn node_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Full voltage snapshot of sample `index`, indexed by
+    /// [`NodeId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn snapshot(&self, index: usize) -> &[f64] {
+        &self.data[index]
+    }
+
+    /// Index of the first sample at or after `t_ns` (last sample if past
+    /// the end).
+    pub fn sample_at(&self, t_ns: f64) -> usize {
+        self.time_ns
+            .iter()
+            .position(|&t| t >= t_ns)
+            .unwrap_or(self.time_ns.len() - 1)
+    }
+}
+
+/// Runs a transient simulation.
+///
+/// `initial` sets starting voltages of internal nodes (unlisted internal
+/// nodes start at 0 V; driven nodes follow their waveform).
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (`t_stop_ns <= 0`,
+/// `dt_min_ns <= 0`).
+pub fn simulate(circuit: &Circuit, config: &TransientConfig, initial: &[(NodeId, f64)]) -> Trace {
+    assert!(config.t_stop_ns > 0.0, "t_stop must be positive");
+    assert!(config.dt_min_ns > 0.0, "dt_min must be positive");
+    let tech = circuit.technology().clone();
+    let n = circuit.node_count();
+
+    // Effective capacitance per internal node: lumped + coupling caps.
+    let mut cap_ff = vec![0.0f64; n];
+    let mut internal = vec![false; n];
+    for (i, node) in circuit.nodes.iter().enumerate() {
+        if let NodeKind::Internal(c) = node.kind {
+            // Floor to keep the integrator well-conditioned on bare nodes.
+            cap_ff[i] = c.max(0.05);
+            internal[i] = true;
+        }
+    }
+    for c in &circuit.couplings {
+        if internal[c.a.index()] {
+            cap_ff[c.a.index()] += c.cap_ff;
+        }
+        if internal[c.b.index()] {
+            cap_ff[c.b.index()] += c.cap_ff;
+        }
+    }
+
+    // Waveform breakpoints, so steps never jump across an edge.
+    let mut breakpoints: Vec<f64> = circuit
+        .nodes
+        .iter()
+        .filter_map(|node| match &node.kind {
+            NodeKind::Driven(w) => Some(w.breakpoints().collect::<Vec<_>>()),
+            NodeKind::Internal(_) => None,
+        })
+        .flatten()
+        .filter(|&t| t > 0.0 && t < config.t_stop_ns)
+        .collect();
+    breakpoints.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    breakpoints.dedup();
+
+    let mut volts = vec![0.0f64; n];
+    for (i, node) in circuit.nodes.iter().enumerate() {
+        if let NodeKind::Driven(w) = &node.kind {
+            volts[i] = w.at(0.0);
+        }
+    }
+    for &(node, v) in initial {
+        volts[node.index()] = v;
+    }
+
+    let mut prev_dv = vec![0.0f64; n];
+    let mut trace = Trace {
+        time_ns: Vec::new(),
+        data: Vec::new(),
+        names: circuit
+            .nodes
+            .iter()
+            .map(|node| node.name.clone())
+            .collect(),
+    };
+
+    let mut t = 0.0f64;
+    let mut next_sample = 0.0f64;
+    let mut bp_cursor = 0usize;
+    let mut currents = vec![0.0f64; n];
+
+    while t < config.t_stop_ns {
+        if t >= next_sample {
+            trace.time_ns.push(t);
+            trace.data.push(volts.clone());
+            next_sample += config.sample_ns;
+        }
+
+        // Conduction currents into each node.
+        currents.iter_mut().for_each(|c| *c = 0.0);
+        for d in &circuit.devices {
+            let i = d.mosfet.current(
+                &tech,
+                volts[d.gate.index()],
+                volts[d.source.index()],
+                volts[d.drain.index()],
+            );
+            // `i` flows into the drain terminal and out of the source
+            // terminal, i.e. it removes charge from the drain node and
+            // adds charge to the source node.
+            currents[d.drain.index()] -= i;
+            currents[d.source.index()] += i;
+        }
+
+        // Step selection: respect dv_max, breakpoints and stop time.
+        let mut dt = config.dt_max_ns;
+        for i in 0..n {
+            if internal[i] && currents[i].abs() > 1e-18 {
+                // dv = I·dt/C × 1e6  (A, ns, fF) — bound it by dv_max.
+                let limit = config.dv_max * cap_ff[i] / (currents[i].abs() * 1e6);
+                dt = dt.min(limit);
+            }
+        }
+        dt = dt.max(config.dt_min_ns);
+        while bp_cursor < breakpoints.len() && breakpoints[bp_cursor] <= t + 1e-12 {
+            bp_cursor += 1;
+        }
+        if bp_cursor < breakpoints.len() {
+            dt = dt.min(breakpoints[bp_cursor] - t);
+        }
+        dt = dt.min(config.t_stop_ns - t).max(config.dt_min_ns * 1e-3);
+
+        // Advance driven nodes; record their deltas for coupling injection.
+        let t_next = t + dt;
+        let mut dv = vec![0.0f64; n];
+        for (i, node) in circuit.nodes.iter().enumerate() {
+            if let NodeKind::Driven(w) = &node.kind {
+                let v_new = w.at(t_next);
+                dv[i] = v_new - volts[i];
+            }
+        }
+
+        // Charge update on internal nodes: conduction + capacitive
+        // injection from neighbours (driven neighbours use this step's
+        // delta; internal neighbours the previous step's, a standard weak-
+        // coupling approximation).
+        let mut injected = vec![0.0f64; n];
+        for c in &circuit.couplings {
+            let (ai, bi) = (c.a.index(), c.b.index());
+            let dva = if internal[ai] { prev_dv[ai] } else { dv[ai] };
+            let dvb = if internal[bi] { prev_dv[bi] } else { dv[bi] };
+            if internal[ai] {
+                injected[ai] += c.cap_ff * dvb;
+            }
+            if internal[bi] {
+                injected[bi] += c.cap_ff * dva;
+            }
+        }
+        for i in 0..n {
+            if internal[i] {
+                let dq_dv = currents[i] * dt / cap_ff[i] * 1e6 + injected[i] / cap_ff[i];
+                dv[i] = dq_dv;
+            }
+        }
+        for i in 0..n {
+            volts[i] = (volts[i] + dv[i]).clamp(-0.2, tech.vdd + 0.2);
+        }
+        prev_dv = dv;
+        t = t_next;
+    }
+    trace.time_ns.push(t);
+    trace.data.push(volts);
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Waveform;
+    use flh_tech::Technology;
+
+    fn rails(c: &mut Circuit) -> (NodeId, NodeId) {
+        let vdd_v = c.technology().vdd;
+        let vdd = c.add_driven("vdd", Waveform::constant(vdd_v));
+        let gnd = c.add_driven("gnd", Waveform::constant(0.0));
+        (vdd, gnd)
+    }
+
+    #[test]
+    fn inverter_switches() {
+        let tech = Technology::bptm70();
+        let mut c = Circuit::new(tech.clone());
+        let (vdd, gnd) = rails(&mut c);
+        let inp = c.add_driven("in", Waveform::step(0.0, tech.vdd, 1.0, 0.05));
+        let out = c.add_internal("out", 1.0);
+        c.inverter(inp, out, vdd, gnd, 1.0, 2.0);
+        let trace = simulate(
+            &c,
+            &TransientConfig::for_window_ns(5.0),
+            &[(out, tech.vdd)],
+        );
+        // Before the input step the output stays high; after, it falls.
+        assert!(trace.voltage_at(out, 0.8) > 0.9 * tech.vdd);
+        assert!(trace.voltage_at(out, 4.5) < 0.1 * tech.vdd);
+    }
+
+    #[test]
+    fn inverter_output_rises_too() {
+        let tech = Technology::bptm70();
+        let mut c = Circuit::new(tech.clone());
+        let (vdd, gnd) = rails(&mut c);
+        let inp = c.add_driven("in", Waveform::step(tech.vdd, 0.0, 1.0, 0.05));
+        let out = c.add_internal("out", 1.0);
+        c.inverter(inp, out, vdd, gnd, 1.0, 2.0);
+        let trace = simulate(&c, &TransientConfig::for_window_ns(5.0), &[(out, 0.0)]);
+        assert!(trace.voltage_at(out, 0.8) < 0.1 * tech.vdd);
+        assert!(trace.voltage_at(out, 4.5) > 0.9 * tech.vdd);
+    }
+
+    #[test]
+    fn inverter_chain_propagates() {
+        let tech = Technology::bptm70();
+        let mut c = Circuit::new(tech.clone());
+        let (vdd, gnd) = rails(&mut c);
+        let inp = c.add_driven("in", Waveform::step(0.0, tech.vdd, 1.0, 0.05));
+        let n1 = c.add_internal("n1", 0.5);
+        let n2 = c.add_internal("n2", 0.5);
+        c.inverter(inp, n1, vdd, gnd, 1.0, 2.0);
+        c.inverter(n1, n2, vdd, gnd, 1.0, 2.0);
+        let trace = simulate(
+            &c,
+            &TransientConfig::for_window_ns(5.0),
+            &[(n1, tech.vdd), (n2, 0.0)],
+        );
+        assert!(trace.voltage_at(n1, 4.5) < 0.1);
+        assert!(trace.voltage_at(n2, 4.5) > 0.9);
+    }
+
+    #[test]
+    fn switching_delay_is_picoseconds_scale() {
+        let tech = Technology::bptm70();
+        let mut c = Circuit::new(tech.clone());
+        let (vdd, gnd) = rails(&mut c);
+        let inp = c.add_driven("in", Waveform::step(0.0, tech.vdd, 1.0, 0.01));
+        let out = c.add_internal("out", 2.0);
+        c.inverter(inp, out, vdd, gnd, 1.0, 2.0);
+        let mut cfg = TransientConfig::for_window_ns(2.0);
+        cfg.sample_ns = 0.001;
+        let trace = simulate(&c, &cfg, &[(out, tech.vdd)]);
+        let t_fall = trace
+            .first_time_below(out, 0.5 * tech.vdd, 1.0)
+            .expect("output must fall");
+        let delay_ps = (t_fall - 1.0) * 1e3;
+        assert!(
+            (1.0..100.0).contains(&delay_ps),
+            "inverter delay {delay_ps} ps"
+        );
+    }
+
+    #[test]
+    fn transmission_gate_conducts_when_on() {
+        let tech = Technology::bptm70();
+        let mut c = Circuit::new(tech.clone());
+        let (vdd, gnd) = rails(&mut c);
+        let src = c.add_driven("src", Waveform::constant(tech.vdd));
+        let out = c.add_internal("out", 1.0);
+        // TG on: nmos gate at vdd, pmos gate at gnd.
+        c.transmission_gate(src, out, vdd, gnd, 1.0, 2.0);
+        let trace = simulate(&c, &TransientConfig::for_window_ns(3.0), &[(out, 0.0)]);
+        assert!(trace.voltage_at(out, 2.5) > 0.9 * tech.vdd);
+    }
+
+    #[test]
+    fn transmission_gate_blocks_when_off() {
+        let tech = Technology::bptm70();
+        let mut c = Circuit::new(tech.clone());
+        let (vdd, gnd) = rails(&mut c);
+        let src = c.add_driven("src", Waveform::constant(tech.vdd));
+        let out = c.add_internal("out", 1.0);
+        // TG off: nmos gate at gnd, pmos gate at vdd.
+        c.transmission_gate(src, out, gnd, vdd, 1.0, 2.0);
+        let trace = simulate(&c, &TransientConfig::for_window_ns(3.0), &[(out, 0.0)]);
+        // Only leakage charges the node: it must stay well below VDD/2
+        // within a few ns.
+        assert!(trace.voltage_at(out, 2.5) < 0.3 * tech.vdd);
+    }
+
+    #[test]
+    fn trace_utilities() {
+        let tech = Technology::bptm70();
+        let mut c = Circuit::new(tech.clone());
+        let (vdd, gnd) = rails(&mut c);
+        let inp = c.add_driven("in", Waveform::step(0.0, tech.vdd, 1.0, 0.05));
+        let out = c.add_internal("out", 1.0);
+        c.inverter(inp, out, vdd, gnd, 1.0, 2.0);
+        let trace = simulate(
+            &c,
+            &TransientConfig::for_window_ns(5.0),
+            &[(out, tech.vdd)],
+        );
+        assert!(!trace.is_empty());
+        assert!(trace.len() > 100);
+        assert!(trace.max_in_window(out, 0.0, 0.9) > 0.9);
+        assert!(trace.min_in_window(out, 3.0, 5.0) < 0.1);
+        assert!(trace.first_time_below(out, 0.5, 0.0).is_some());
+        assert_eq!(trace.node_names()[out.index()], "out");
+        assert_eq!(trace.series(out).len(), trace.len());
+    }
+}

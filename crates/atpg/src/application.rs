@@ -1,0 +1,318 @@
+//! Two-pattern application styles and coverage campaigns.
+//!
+//! The paper's introduction motivates FLH by the weaknesses of the two
+//! DFT-free application styles:
+//!
+//! * **broadside** (launch-on-capture): V2's state part is the circuit's
+//!   own response to V1 — "the broadside case can suffer from poor fault
+//!   coverage";
+//! * **skewed-load** (launch-on-shift): V2's state part is a 1-bit shift of
+//!   V1's — "since the second pattern is highly correlated to the first
+//!   one, the test generation for high fault coverage can be difficult";
+//! * **arbitrary two-pattern** (enhanced scan, or FLH at a fraction of the
+//!   cost): V1 and V2 are independent — best possible coverage.
+//!
+//! [`random_transition_campaign`] quantifies this with seeded random
+//! pattern-pair campaigns under each constraint.
+
+use flh_netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::transition::{enumerate_transition_faults, TransitionSimulator};
+use crate::tview::{Observation, TestView};
+
+/// How the second pattern's state part is obtained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ApplicationStyle {
+    /// Enhanced-scan / FLH: V1 and V2 fully independent.
+    ArbitraryTwoPattern,
+    /// Broadside: V2's state = the flip-flop capture of the response to V1.
+    Broadside,
+    /// Skewed-load: V2's state = V1's state shifted by one chain position.
+    SkewedLoad,
+}
+
+impl std::fmt::Display for ApplicationStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ApplicationStyle::ArbitraryTwoPattern => "arbitrary two-pattern",
+            ApplicationStyle::Broadside => "broadside",
+            ApplicationStyle::SkewedLoad => "skewed-load",
+        })
+    }
+}
+
+/// Outcome of a random campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignResult {
+    /// Style used.
+    pub style: ApplicationStyle,
+    /// Total transition faults.
+    pub total_faults: usize,
+    /// Faults detected.
+    pub detected: usize,
+    /// Pattern pairs applied.
+    pub pairs: usize,
+}
+
+impl CampaignResult {
+    /// Coverage in percent.
+    pub fn coverage_pct(&self) -> f64 {
+        if self.total_faults == 0 {
+            100.0
+        } else {
+            100.0 * self.detected as f64 / self.total_faults as f64
+        }
+    }
+}
+
+/// Runs a seeded random transition-fault campaign of `pairs` pattern pairs
+/// under the given application style.
+///
+/// # Errors
+///
+/// Fails on combinationally cyclic netlists.
+pub fn random_transition_campaign(
+    netlist: &Netlist,
+    style: ApplicationStyle,
+    pairs: usize,
+    seed: u64,
+) -> flh_netlist::Result<CampaignResult> {
+    campaign_impl(netlist, style, pairs, seed, |_, _, _| false)
+}
+
+/// Runs batches of random pairs until `target_pct` coverage is reached or
+/// `max_pairs` are spent. Returns the pair count and coverage at the stop
+/// point — the raw material for cycles-to-coverage (test time)
+/// comparisons across application styles.
+///
+/// # Errors
+///
+/// Fails on combinationally cyclic netlists.
+pub fn pairs_to_reach_coverage(
+    netlist: &Netlist,
+    style: ApplicationStyle,
+    target_pct: f64,
+    max_pairs: usize,
+    seed: u64,
+) -> flh_netlist::Result<CampaignResult> {
+    campaign_impl(netlist, style, max_pairs, seed, |_, detected, total| {
+        100.0 * detected as f64 / total.max(1) as f64 >= target_pct
+    })
+}
+
+fn campaign_impl(
+    netlist: &Netlist,
+    style: ApplicationStyle,
+    pairs: usize,
+    seed: u64,
+    mut stop: impl FnMut(usize, usize, usize) -> bool,
+) -> flh_netlist::Result<CampaignResult> {
+    let view = TestView::new(netlist)?;
+    let faults = enumerate_transition_faults(netlist);
+    let mut sim = TransitionSimulator::new(&view);
+    let mut detected = vec![false; faults.len()];
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n = view.assignable().len();
+    let n_pi = view.primary_input_count();
+    let n_ff = n - n_pi;
+
+    let mut applied = 0usize;
+    let mut detected_count = 0usize;
+    let mut remaining = pairs;
+    while remaining > 0 {
+        let lanes = remaining.min(64);
+        let mut v1 = vec![0u64; n];
+        let mut v2 = vec![0u64; n];
+        for w in v1.iter_mut() {
+            *w = rng.gen();
+        }
+        // V2 primary inputs are always free.
+        for w in v2.iter_mut().take(n_pi) {
+            *w = rng.gen();
+        }
+        match style {
+            ApplicationStyle::ArbitraryTwoPattern => {
+                for w in v2.iter_mut().skip(n_pi) {
+                    *w = rng.gen();
+                }
+            }
+            ApplicationStyle::Broadside => {
+                // State part of V2 = the flip-flop D values under V1.
+                let good1 = view.eval64(&v1, None);
+                let mut ff_idx = 0;
+                for obs in view.observations() {
+                    if let Observation::FfD(ff) = obs {
+                        let d = view.netlist().cell(*ff).fanin()[0];
+                        v2[n_pi + ff_idx] = good1[d.index()];
+                        ff_idx += 1;
+                    }
+                }
+                debug_assert_eq!(ff_idx, n_ff);
+            }
+            ApplicationStyle::SkewedLoad => {
+                // State part of V2 = V1's state shifted one position down
+                // the chain (position i takes position i-1; position 0
+                // takes a random scan-in bit).
+                for i in (1..n_ff).rev() {
+                    v2[n_pi + i] = v1[n_pi + i - 1];
+                }
+                if n_ff > 0 {
+                    v2[n_pi] = rng.gen();
+                }
+            }
+        }
+        let mask = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+        detected_count += sim.run_batch(&v1, &v2, mask, &faults, &mut detected);
+        remaining -= lanes;
+        applied += lanes;
+        if stop(applied, detected_count, faults.len()) {
+            break;
+        }
+    }
+
+    Ok(CampaignResult {
+        style,
+        total_faults: faults.len(),
+        detected: detected_count,
+        pairs: applied,
+    })
+}
+
+/// Tester clock cycles to apply one two-pattern test under a style, with a
+/// `load_cycles`-deep (possibly multi-chain) scan load:
+///
+/// * arbitrary (enhanced scan / FLH): scan V1, apply, scan V2 (overlapped
+///   with the previous unload), launch + capture → `2·load + 2`;
+/// * broadside: scan V1, launch clock, capture clock → `load + 2`;
+/// * skewed-load: the last shift is the launch → `load + 1`.
+pub fn cycles_per_pattern(style: ApplicationStyle, load_cycles: usize) -> usize {
+    match style {
+        ApplicationStyle::ArbitraryTwoPattern => 2 * load_cycles + 2,
+        ApplicationStyle::Broadside => load_cycles + 2,
+        ApplicationStyle::SkewedLoad => load_cycles + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_netlist::{generate_circuit, GeneratorConfig};
+
+    fn circuit() -> Netlist {
+        generate_circuit(&GeneratorConfig {
+            name: "camp".into(),
+            primary_inputs: 6,
+            primary_outputs: 4,
+            flip_flops: 10,
+            gates: 90,
+            logic_depth: 8,
+            avg_ff_fanout: 2.3,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 55,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let n = circuit();
+        let a = random_transition_campaign(&n, ApplicationStyle::Broadside, 200, 7).unwrap();
+        let b = random_transition_campaign(&n, ApplicationStyle::Broadside, 200, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arbitrary_pairs_beat_broadside() {
+        let n = circuit();
+        let arb =
+            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 500, 11)
+                .unwrap();
+        let brd = random_transition_campaign(&n, ApplicationStyle::Broadside, 500, 11).unwrap();
+        assert!(
+            arb.coverage_pct() > brd.coverage_pct(),
+            "arbitrary {} <= broadside {}",
+            arb.coverage_pct(),
+            brd.coverage_pct()
+        );
+    }
+
+    #[test]
+    fn arbitrary_pairs_beat_skewed_load() {
+        let n = circuit();
+        let arb =
+            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 500, 11)
+                .unwrap();
+        let skw = random_transition_campaign(&n, ApplicationStyle::SkewedLoad, 500, 11).unwrap();
+        assert!(
+            arb.coverage_pct() >= skw.coverage_pct(),
+            "arbitrary {} < skewed {}",
+            arb.coverage_pct(),
+            skw.coverage_pct()
+        );
+    }
+
+    #[test]
+    fn more_pairs_more_coverage() {
+        let n = circuit();
+        let few = random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 64, 3)
+            .unwrap();
+        let many =
+            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 1000, 3)
+                .unwrap();
+        assert!(many.detected >= few.detected);
+        assert!(many.coverage_pct() > 50.0);
+    }
+
+    #[test]
+    fn style_display() {
+        assert_eq!(ApplicationStyle::Broadside.to_string(), "broadside");
+    }
+
+    #[test]
+    fn pairs_to_reach_stops_early() {
+        let n = circuit();
+        let full =
+            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 2000, 21)
+                .unwrap();
+        let target = 0.8 * full.coverage_pct();
+        let partial = pairs_to_reach_coverage(
+            &n,
+            ApplicationStyle::ArbitraryTwoPattern,
+            target,
+            2000,
+            21,
+        )
+        .unwrap();
+        assert!(partial.coverage_pct() >= target);
+        assert!(partial.pairs < full.pairs, "{} !< {}", partial.pairs, full.pairs);
+        // Identical seed => the partial run is a prefix of the full run.
+        assert!(partial.detected <= full.detected);
+    }
+
+    #[test]
+    fn unreachable_target_spends_the_budget() {
+        let n = circuit();
+        let r = pairs_to_reach_coverage(
+            &n,
+            ApplicationStyle::Broadside,
+            100.0,
+            512,
+            3,
+        )
+        .unwrap();
+        assert_eq!(r.pairs, 512);
+        assert!(r.coverage_pct() < 100.0);
+    }
+
+    #[test]
+    fn test_time_model() {
+        use ApplicationStyle::*;
+        assert_eq!(cycles_per_pattern(ArbitraryTwoPattern, 100), 202);
+        assert_eq!(cycles_per_pattern(Broadside, 100), 102);
+        assert_eq!(cycles_per_pattern(SkewedLoad, 100), 101);
+    }
+}

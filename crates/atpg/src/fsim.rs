@@ -1,0 +1,292 @@
+//! Parallel-pattern stuck-at fault simulation with cone-limited faulty
+//! resimulation and fault dropping.
+
+use std::collections::HashMap;
+
+use flh_netlist::{analysis, CellId};
+
+use crate::fault::{Fault, FaultSite};
+use crate::tview::TestView;
+
+/// 64-way parallel single-pattern stuck-at fault simulator.
+pub struct StuckSimulator<'v, 'a> {
+    view: &'v TestView<'a>,
+    topo_pos: Vec<usize>,
+    cones: HashMap<CellId, Vec<CellId>>,
+}
+
+impl<'v, 'a> StuckSimulator<'v, 'a> {
+    /// Builds a simulator over a test view.
+    pub fn new(view: &'v TestView<'a>) -> Self {
+        let netlist = view.netlist();
+        let order = analysis::combinational_order(netlist).expect("view is acyclic");
+        let mut topo_pos = vec![usize::MAX; netlist.cell_count()];
+        for (pos, &id) in order.iter().enumerate() {
+            topo_pos[id.index()] = pos;
+        }
+        StuckSimulator {
+            view,
+            topo_pos,
+            cones: HashMap::new(),
+        }
+    }
+
+    fn cone(&mut self, site: CellId) -> Vec<CellId> {
+        let view = self.view;
+        let topo_pos = &self.topo_pos;
+        self.cones
+            .entry(site)
+            .or_insert_with(|| {
+                let mut cone =
+                    analysis::fanout_cone(view.netlist(), view.fanouts(), &[site]);
+                cone.sort_by_key(|c| topo_pos[c.index()]);
+                cone
+            })
+            .clone()
+    }
+
+    /// Simulates up to 64 patterns (one per bit lane of `words`) against
+    /// the fault list, setting `detected` flags. Returns new detections.
+    pub fn run_batch(
+        &mut self,
+        words: &[u64],
+        active_mask: u64,
+        faults: &[Fault],
+        detected: &mut [bool],
+    ) -> usize {
+        let good = self.view.eval64(words, None);
+        let obs_good = self.view.observe64(&good);
+        let netlist = self.view.netlist();
+        let mut new_hits = 0;
+
+        for (fi, fault) in faults.iter().enumerate() {
+            if detected[fi] {
+                continue;
+            }
+            // Activation lanes: the good line value must oppose the stuck
+            // value somewhere in the batch.
+            let driver = fault.driver(netlist);
+            let line = good[driver.index()];
+            let active_lanes = if fault.stuck.as_bool() { !line } else { line };
+            let lanes = active_lanes & active_mask;
+            if lanes == 0 {
+                continue;
+            }
+
+            // Cone-limited faulty resimulation.
+            let mut faulty = good.clone();
+            let (seed, cone) = match fault.site {
+                FaultSite::Stem(cell) => {
+                    faulty[cell.index()] = fault.stuck.word();
+                    (cell, self.cone(cell))
+                }
+                FaultSite::Branch { gate, .. } => (gate, {
+                    let mut c = self.cone(gate);
+                    c.insert(0, gate);
+                    c
+                }),
+            };
+            let mut inputs: Vec<u64> = Vec::with_capacity(4);
+            for &id in &cone {
+                if id == seed && matches!(fault.site, FaultSite::Stem(_)) {
+                    continue; // stem value already forced
+                }
+                let cell = netlist.cell(id);
+                if cell.kind().is_flip_flop() {
+                    continue;
+                }
+                inputs.clear();
+                inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
+                if let FaultSite::Branch { gate, pin } = fault.site {
+                    if gate == id {
+                        inputs[pin] = fault.stuck.word();
+                    }
+                }
+                faulty[id.index()] = cell.kind().eval64(&inputs);
+            }
+            let obs_faulty = self.view.observe64(&faulty);
+            let miscompare = obs_good
+                .iter()
+                .zip(&obs_faulty)
+                .fold(0u64, |acc, (g, b)| acc | (g ^ b));
+            if miscompare & lanes != 0 {
+                detected[fi] = true;
+                new_hits += 1;
+            }
+        }
+        new_hits
+    }
+}
+
+/// Simulates a fully-specified pattern set against a stuck-at fault list,
+/// returning per-fault detection flags. Patterns are bit vectors in
+/// [`TestView::assignable`] order.
+pub fn stuck_coverage(
+    view: &TestView<'_>,
+    faults: &[Fault],
+    patterns: &[Vec<bool>],
+) -> Vec<bool> {
+    let mut sim = StuckSimulator::new(view);
+    let mut detected = vec![false; faults.len()];
+    let n = view.assignable().len();
+    for chunk in patterns.chunks(64) {
+        let mut words = vec![0u64; n];
+        for (lane, p) in chunk.iter().enumerate() {
+            assert_eq!(p.len(), n, "pattern length mismatch");
+            for (i, &bit) in p.iter().enumerate() {
+                if bit {
+                    words[i] |= 1 << lane;
+                }
+            }
+        }
+        let mask = if chunk.len() == 64 {
+            !0
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        sim.run_batch(&words, mask, faults, &mut detected);
+    }
+    detected
+}
+
+
+/// Multi-threaded [`stuck_coverage`]: the fault list is split across
+/// `threads` workers, each with its own simulator (the cone caches are
+/// per-fault, so sharding by fault loses nothing). Results are identical
+/// to the serial version.
+pub fn stuck_coverage_parallel(
+    view: &TestView<'_>,
+    faults: &[Fault],
+    patterns: &[Vec<bool>],
+    threads: usize,
+) -> Vec<bool> {
+    let threads = threads.max(1).min(faults.len().max(1));
+    if threads == 1 {
+        return stuck_coverage(view, faults, patterns);
+    }
+    let chunk = faults.len().div_ceil(threads);
+    let mut detected = vec![false; faults.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for shard in faults.chunks(chunk) {
+            handles.push(scope.spawn(move || stuck_coverage(view, shard, patterns)));
+        }
+        let mut offset = 0;
+        for handle in handles {
+            let part = handle.join().expect("worker panicked");
+            detected[offset..offset + part.len()].copy_from_slice(&part);
+            offset += part.len();
+        }
+    });
+    detected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{enumerate_stuck_faults, StuckValue};
+    use crate::podem::{Podem, PodemConfig};
+    use flh_netlist::{generate_circuit, CellKind, GeneratorConfig, Netlist};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn circuit() -> Netlist {
+        generate_circuit(&GeneratorConfig {
+            name: "fsim".into(),
+            primary_inputs: 5,
+            primary_outputs: 4,
+            flip_flops: 7,
+            gates: 60,
+            logic_depth: 6,
+            avg_ff_fanout: 2.3,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 404,
+        })
+        .expect("generates")
+    }
+
+    #[test]
+    fn exhaustive_patterns_detect_every_testable_fault() {
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_stuck_faults(&n);
+        let na = view.assignable().len();
+        assert!(na <= 16);
+        let patterns: Vec<Vec<bool>> = (0u64..(1 << na))
+            .map(|bits| (0..na).map(|i| bits >> i & 1 == 1).collect())
+            .collect();
+        let detected = stuck_coverage(&view, &faults, &patterns);
+        // Cross-check against PODEM verdicts.
+        let podem = Podem::new(&view, PodemConfig::paper_default());
+        for (f, &d) in faults.iter().zip(&detected) {
+            let testable = podem.generate(f).is_some();
+            assert_eq!(d, testable, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn batch_equals_serial() {
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_stuck_faults(&n);
+        let na = view.assignable().len();
+        let mut rng = StdRng::seed_from_u64(6);
+        let patterns: Vec<Vec<bool>> = (0..150)
+            .map(|_| (0..na).map(|_| rng.gen()).collect())
+            .collect();
+        let batch = stuck_coverage(&view, &faults, &patterns);
+        let mut serial = vec![false; faults.len()];
+        for p in &patterns {
+            let d = stuck_coverage(&view, &faults, std::slice::from_ref(p));
+            for (s, d) in serial.iter_mut().zip(d) {
+                *s |= d;
+            }
+        }
+        assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn branch_faults_are_simulated_locally() {
+        let mut n = Netlist::new("br");
+        let a = n.add_input("a");
+        let g1 = n.add_cell("g1", CellKind::Buf, vec![a]);
+        let g2 = n.add_cell("g2", CellKind::Buf, vec![a]);
+        n.add_output("y1", g1);
+        n.add_output("y2", g2);
+        let view = TestView::new(&n).unwrap();
+        let fault = Fault::branch(g1, 0, StuckValue::Zero);
+        let detected = stuck_coverage(&view, &[fault], &[vec![true]]);
+        assert!(detected[0]);
+        // And the other branch is untouched: its fault needs its own test.
+        let other = Fault::branch(g2, 0, StuckValue::One);
+        let detected = stuck_coverage(&view, &[other], &[vec![true]]);
+        assert!(!detected[0]);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_stuck_faults(&n);
+        let na = view.assignable().len();
+        let mut rng = StdRng::seed_from_u64(10);
+        let patterns: Vec<Vec<bool>> = (0..200)
+            .map(|_| (0..na).map(|_| rng.gen()).collect())
+            .collect();
+        let serial = stuck_coverage(&view, &faults, &patterns);
+        for threads in [1, 2, 3, 8, 1000] {
+            let parallel = stuck_coverage_parallel(&view, &faults, &patterns, threads);
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn no_patterns_no_detection() {
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_stuck_faults(&n);
+        let detected = stuck_coverage(&view, &faults, &[]);
+        assert!(detected.iter().all(|&d| !d));
+    }
+}

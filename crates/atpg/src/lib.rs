@@ -1,0 +1,60 @@
+//! Test generation and fault simulation for the FLH reproduction.
+//!
+//! The paper's Section IV claims — FLH leaves fault models, test
+//! generation and fault coverage untouched, while the *application style*
+//! (enhanced-scan arbitrary two-pattern vs. broadside vs. skewed-load)
+//! decides how much transition-fault coverage is reachable — need a real
+//! test-generation substrate to be demonstrated. This crate provides it,
+//! from scratch:
+//!
+//! * [`fault`] — stuck-at and transition-delay fault models over the
+//!   combinational test view (primary inputs + flip-flop outputs in,
+//!   primary outputs + flip-flop D pins out), with structural equivalence
+//!   collapsing;
+//! * [`tview`] — the combinational test view and 64-way parallel pattern
+//!   evaluation with single-fault injection;
+//! * [`podem`] — a PODEM implementation (objective / backtrace / imply with
+//!   backtracking) for stuck-at faults, plus justification-only mode;
+//! * [`transition`] — two-pattern transition-fault ATPG built on PODEM
+//!   (launch value justified by V1, detection by a stuck-at test as V2) and
+//!   transition-fault simulation of pattern pairs;
+//! * [`application`] — the three scan application styles: arbitrary
+//!   two-pattern (enhanced scan / FLH), broadside (V2's state = circuit
+//!   response to V1) and skewed-load (V2's state = 1-bit shift of V1's),
+//!   used to reproduce the coverage comparison the paper motivates in its
+//!   introduction.
+
+pub mod application;
+pub mod broadside;
+pub mod diagnose;
+pub mod fault;
+pub mod fsim;
+pub mod path;
+pub mod patterns_io;
+pub mod podem;
+pub mod transition;
+pub mod tview;
+
+pub use application::{
+    cycles_per_pattern, pairs_to_reach_coverage, random_transition_campaign,
+    ApplicationStyle, CampaignResult,
+};
+pub use fault::{
+    collapse_faults, enumerate_stuck_faults, inject_fault, Fault, FaultSite, StuckValue,
+};
+pub use broadside::{broadside_transition_atpg, BroadsideAtpgResult, BroadsidePattern};
+pub use diagnose::{diagnose, faulty_responses, golden_responses, DiagnosisCandidate};
+pub use fsim::{stuck_coverage, stuck_coverage_parallel, StuckSimulator};
+pub use path::{
+    generate_path_test, generate_robust_path_test, longest_paths,
+    longest_sensitizable_path, path_delay_atpg, verify_non_robust, verify_robust,
+    PathDelayFault, PathDelayReport, PathTestOutcome, StructuralPath,
+};
+pub use patterns_io::{parse_patterns, write_patterns};
+pub use podem::{Podem, PodemConfig, TestCube};
+pub use transition::{
+    compact_transition_patterns, simulate_transition_patterns, transition_atpg,
+    transition_atpg_ndetect, NDetectResult, TransitionAtpgResult, TransitionFault,
+    TransitionKind, TransitionPattern,
+};
+pub use tview::TestView;

@@ -1,0 +1,149 @@
+//! Plain-text interchange for two-pattern test sets.
+//!
+//! A deliberately simple line format (one `V1:V2` pair per line, `0`/`1`
+//! characters in `TestView` assignable order — primary inputs first, then
+//! chain state) so pattern sets survive round trips through files, diffs
+//! and scripts:
+//!
+//! ```text
+//! # flh two-pattern set: 3 PI + 4 state bits
+//! 101_0110:111_0001
+//! 010_1100:000_1111
+//! ```
+//!
+//! The `_` separator between the PI part and the state part is optional on
+//! input and always written on output.
+
+use crate::transition::TransitionPattern;
+
+/// Serializes a pattern set.
+pub fn write_patterns(
+    patterns: &[TransitionPattern],
+    primary_inputs: usize,
+) -> String {
+    let mut out = String::new();
+    if let Some(first) = patterns.first() {
+        out.push_str(&format!(
+            "# flh two-pattern set: {} PI + {} state bits, {} pairs\n",
+            primary_inputs,
+            first.v1.len() - primary_inputs,
+            patterns.len()
+        ));
+    }
+    let side = |bits: &[bool]| -> String {
+        bits.iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                let c = if b { '1' } else { '0' };
+                if i == primary_inputs && primary_inputs > 0 {
+                    format!("_{c}")
+                } else {
+                    c.to_string()
+                }
+            })
+            .collect()
+    };
+    for p in patterns {
+        out.push_str(&side(&p.v1));
+        out.push(':');
+        out.push_str(&side(&p.v2));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a pattern set. Lines starting with `#` and blank lines are
+/// ignored; `_` separators are cosmetic.
+///
+/// # Errors
+///
+/// Returns a line-numbered message for malformed lines or inconsistent
+/// pattern widths.
+pub fn parse_patterns(text: &str) -> Result<Vec<TransitionPattern>, String> {
+    let mut patterns = Vec::new();
+    let mut width: Option<usize> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (left, right) = line
+            .split_once(':')
+            .ok_or_else(|| format!("line {}: missing ':'", lineno + 1))?;
+        let bits = |s: &str| -> Result<Vec<bool>, String> {
+            s.chars()
+                .filter(|&c| c != '_')
+                .map(|c| match c {
+                    '0' => Ok(false),
+                    '1' => Ok(true),
+                    other => Err(format!("line {}: bad bit {other:?}", lineno + 1)),
+                })
+                .collect()
+        };
+        let v1 = bits(left)?;
+        let v2 = bits(right)?;
+        if v1.len() != v2.len() {
+            return Err(format!("line {}: V1/V2 width mismatch", lineno + 1));
+        }
+        match width {
+            None => width = Some(v1.len()),
+            Some(w) if w != v1.len() => {
+                return Err(format!("line {}: inconsistent width", lineno + 1))
+            }
+            _ => {}
+        }
+        patterns.push(TransitionPattern { v1, v2 });
+    }
+    Ok(patterns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TransitionPattern> {
+        vec![
+            TransitionPattern {
+                v1: vec![true, false, true, true],
+                v2: vec![false, false, true, false],
+            },
+            TransitionPattern {
+                v1: vec![false, true, false, false],
+                v2: vec![true, true, true, true],
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let patterns = sample();
+        let text = write_patterns(&patterns, 2);
+        let parsed = parse_patterns(&text).unwrap();
+        assert_eq!(parsed, patterns);
+    }
+
+    #[test]
+    fn separators_and_comments_are_cosmetic() {
+        let parsed =
+            parse_patterns("# header\n\n10_11:00_10\n\n# mid comment\n01_00:11_11\n").unwrap();
+        assert_eq!(parsed, sample());
+        // Spaces inside the bit strings are rejected.
+        assert!(parse_patterns("10 11:00 10\n").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert!(parse_patterns("1011\n").unwrap_err().contains("line 1"));
+        assert!(parse_patterns("10:1\n").unwrap_err().contains("width"));
+        assert!(parse_patterns("1x:10\n").unwrap_err().contains("bad bit"));
+        assert!(parse_patterns("10:10\n1:1\n")
+            .unwrap_err()
+            .contains("inconsistent"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_set() {
+        assert!(parse_patterns("# nothing\n").unwrap().is_empty());
+        assert_eq!(write_patterns(&[], 3), "");
+    }
+}

@@ -1,0 +1,714 @@
+//! PODEM test generation for stuck-at faults on the combinational test
+//! view, plus justification-only mode (used for the V1 half of two-pattern
+//! transition tests).
+
+use flh_netlist::{CellId, CellKind};
+use flh_sim::Logic;
+use rand::Rng;
+
+use crate::fault::{Fault, FaultSite};
+use crate::tview::TestView;
+
+/// PODEM search controls.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PodemConfig {
+    /// Backtrack budget before declaring the fault aborted.
+    pub max_backtracks: usize,
+}
+
+impl PodemConfig {
+    /// Default budget, ample for ISCAS89-scale cones (the X-path check
+    /// exhausts redundant faults long before the limit).
+    pub fn paper_default() -> Self {
+        PodemConfig {
+            max_backtracks: 300,
+        }
+    }
+}
+
+impl Default for PodemConfig {
+    fn default() -> Self {
+        PodemConfig::paper_default()
+    }
+}
+
+/// A (possibly partial) test: one [`Logic`] per assignable of the view,
+/// `X` meaning don't-care.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TestCube {
+    /// Assignment in [`TestView::assignable`] order.
+    pub assignment: Vec<Logic>,
+}
+
+impl TestCube {
+    /// Fills don't-cares with random values.
+    pub fn fill_random<R: Rng>(&self, rng: &mut R) -> Vec<bool> {
+        self.assignment
+            .iter()
+            .map(|v| v.to_bool().unwrap_or_else(|| rng.gen()))
+            .collect()
+    }
+
+    /// Fills don't-cares with a constant.
+    pub fn fill_constant(&self, value: bool) -> Vec<bool> {
+        self.assignment
+            .iter()
+            .map(|v| v.to_bool().unwrap_or(value))
+            .collect()
+    }
+
+    /// *Adjacent fill*: every don't-care repeats the value of the nearest
+    /// specified bit to its left (the first run copies rightward). This is
+    /// the classic low-shift-power fill — long constant runs minimize
+    /// transitions travelling down the scan chain.
+    pub fn fill_adjacent(&self) -> Vec<bool> {
+        let mut out: Vec<Option<bool>> =
+            self.assignment.iter().map(|v| v.to_bool()).collect();
+        let mut last: Option<bool> = None;
+        for slot in out.iter_mut() {
+            match slot {
+                Some(v) => last = Some(*v),
+                None => *slot = last,
+            }
+        }
+        // Leading X run: borrow from the right.
+        let mut next: Option<bool> = None;
+        for slot in out.iter_mut().rev() {
+            match slot {
+                Some(v) => next = Some(*v),
+                None => *slot = next,
+            }
+        }
+        out.into_iter().map(|v| v.unwrap_or(false)).collect()
+    }
+
+    /// Number of specified (non-X) bits.
+    pub fn specified_bits(&self) -> usize {
+        self.assignment.iter().filter(|v| v.is_known()).count()
+    }
+}
+
+enum Status {
+    Detected,
+    Conflict,
+    Objective(CellId, bool),
+}
+
+/// PODEM engine over a test view.
+pub struct Podem<'v, 'a> {
+    view: &'v TestView<'a>,
+    config: PodemConfig,
+}
+
+impl<'v, 'a> Podem<'v, 'a> {
+    /// Creates an engine.
+    pub fn new(view: &'v TestView<'a>, config: PodemConfig) -> Self {
+        Podem { view, config }
+    }
+
+    /// Generates a test cube detecting `fault` while *also* satisfying the
+    /// given line goals — the workhorse of constrained (e.g. broadside)
+    /// test generation, where the extra goals encode launch conditions.
+    pub fn generate_with_goals(
+        &self,
+        fault: &Fault,
+        goals: &[(CellId, bool)],
+    ) -> Option<TestCube> {
+        self.search(Some(fault), goals)
+    }
+
+    /// Generates a test cube detecting `fault`, or `None` if the fault is
+    /// untestable or the backtrack budget ran out.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use flh_atpg::{Fault, Podem, PodemConfig, StuckValue, TestView};
+    /// use flh_netlist::{CellKind, Netlist};
+    /// use flh_sim::Logic;
+    ///
+    /// # fn main() -> Result<(), flh_netlist::NetlistError> {
+    /// let mut n = Netlist::new("and");
+    /// let a = n.add_input("a");
+    /// let b = n.add_input("b");
+    /// let g = n.add_cell("g", CellKind::And2, vec![a, b]);
+    /// n.add_output("y", g);
+    /// let view = TestView::new(&n)?;
+    /// let podem = Podem::new(&view, PodemConfig::paper_default());
+    /// let cube = podem.generate(&Fault::stem(g, StuckValue::Zero)).unwrap();
+    /// assert_eq!(cube.assignment, vec![Logic::One, Logic::One]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn generate(&self, fault: &Fault) -> Option<TestCube> {
+        self.search(Some(fault), &[])
+    }
+
+    /// Finds an assignment that justifies `cell = value` in the fault-free
+    /// circuit, or `None` if impossible within the budget.
+    pub fn justify(&self, cell: CellId, value: bool) -> Option<TestCube> {
+        self.search(None, &[(cell, value)])
+    }
+
+    /// Finds an assignment satisfying *all* the given line objectives
+    /// simultaneously (used for path-delay sensitization, where every
+    /// off-path input needs its non-controlling value at once).
+    pub fn justify_all(&self, goals: &[(CellId, bool)]) -> Option<TestCube> {
+        if goals.is_empty() {
+            return Some(TestCube {
+                assignment: vec![Logic::X; self.view.assignable().len()],
+            });
+        }
+        self.search(None, goals)
+    }
+
+    fn search(&self, fault: Option<&Fault>, justify: &[(CellId, bool)]) -> Option<TestCube> {
+        let n = self.view.assignable().len();
+        let mut assignment = vec![Logic::X; n];
+        // Decision stack: (assignable index, current value, other tried).
+        let mut stack: Vec<(usize, bool, bool)> = Vec::new();
+        let mut backtracks = 0usize;
+
+        loop {
+            let good = self.view.eval3(&assignment, None);
+            let status = if let Some(f) = fault {
+                // Side goals first: contradicted => dead branch; unknown
+                // goals become objectives once the fault itself is covered.
+                let mut goal_pending: Option<(CellId, bool)> = None;
+                let mut goal_conflict = false;
+                for &(cell, value) in justify {
+                    match good[cell.index()].to_bool() {
+                        Some(v) if v == value => {}
+                        Some(_) => {
+                            goal_conflict = true;
+                            break;
+                        }
+                        None => {
+                            if goal_pending.is_none() {
+                                goal_pending = Some((cell, value));
+                            }
+                        }
+                    }
+                }
+                if goal_conflict {
+                    Status::Conflict
+                } else {
+                    let faulty = self.view.eval3(&assignment, Some(f));
+                    match self.fault_status(f, &good, &faulty) {
+                        Status::Detected => match goal_pending {
+                            Some((cell, value)) => Status::Objective(cell, value),
+                            None => Status::Detected,
+                        },
+                        other => other,
+                    }
+                }
+            } else {
+                // Multi-goal justification: conflict beats objective beats
+                // success, scanning all goals.
+                let mut status = Status::Detected;
+                for &(cell, value) in justify {
+                    match good[cell.index()].to_bool() {
+                        Some(v) if v == value => {}
+                        Some(_) => {
+                            status = Status::Conflict;
+                            break;
+                        }
+                        None => {
+                            if matches!(status, Status::Detected) {
+                                status = Status::Objective(cell, value);
+                            }
+                        }
+                    }
+                }
+                status
+            };
+
+            match status {
+                Status::Detected => {
+                    return Some(TestCube { assignment });
+                }
+                Status::Conflict => {
+                    if !self.backtrack(&mut assignment, &mut stack, &mut backtracks) {
+                        return None;
+                    }
+                }
+                Status::Objective(cell, value) => {
+                    match self.backtrace(cell, value, &good) {
+                        Some((input, v)) => {
+                            assignment[input] = Logic::from_bool(v);
+                            stack.push((input, v, false));
+                        }
+                        None => {
+                            if !self.backtrack(&mut assignment, &mut stack, &mut backtracks) {
+                                return None;
+                            }
+                        }
+                    }
+                }
+            }
+            if backtracks > self.config.max_backtracks {
+                return None;
+            }
+        }
+    }
+
+    fn backtrack(
+        &self,
+        assignment: &mut [Logic],
+        stack: &mut Vec<(usize, bool, bool)>,
+        backtracks: &mut usize,
+    ) -> bool {
+        while let Some((input, value, tried_other)) = stack.pop() {
+            assignment[input] = Logic::X;
+            if !tried_other {
+                *backtracks += 1;
+                assignment[input] = Logic::from_bool(!value);
+                stack.push((input, !value, true));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Determines success / failure / next objective for a fault goal.
+    fn fault_status(&self, fault: &Fault, good: &[Logic], faulty: &[Logic]) -> Status {
+        // Detection at an observation point?
+        let obs_good = self.view.observe3(good);
+        let obs_faulty = self.view.observe3(faulty);
+        if obs_good
+            .iter()
+            .zip(&obs_faulty)
+            .any(|(g, f)| g.is_known() && f.is_known() && g != f)
+        {
+            return Status::Detected;
+        }
+
+        // Activation: the faulted line's good value must be the opposite of
+        // the stuck value.
+        let line_driver = fault.driver(self.view.netlist());
+        let want = !fault.stuck.as_bool();
+        match good[line_driver.index()].to_bool() {
+            Some(v) if v != want => return Status::Conflict,
+            None => return Status::Objective(line_driver, want),
+            Some(_) => {}
+        }
+
+        // Propagation: find the D-frontier and pick an X input to set to a
+        // non-controlling value.
+        let netlist = self.view.netlist();
+        let has_d = |cell: CellId| -> bool {
+            good[cell.index()].is_known()
+                && faulty[cell.index()].is_known()
+                && good[cell.index()] != faulty[cell.index()]
+        };
+
+        // X-path check: the fault effect must be able to reach some
+        // observation through cells that are still unresolved. Without such
+        // a path the branch is hopeless — this is what keeps redundant
+        // faults cheap to prove.
+        if !self.x_path_exists(fault, good, faulty) {
+            return Status::Conflict;
+        }
+        for (id, cell) in netlist.iter() {
+            let kind = cell.kind();
+            if kind == CellKind::Output {
+                continue;
+            }
+            // Output still unresolved in at least one circuit?
+            let unresolved =
+                !good[id.index()].is_known() || !faulty[id.index()].is_known();
+            if !unresolved {
+                continue;
+            }
+            // Any input carrying the fault effect (including an injected
+            // branch pin)?
+            let mut d_input = false;
+            for (pin, &f) in cell.fanin().iter().enumerate() {
+                let branch_injected = matches!(
+                    fault.site,
+                    FaultSite::Branch { gate, pin: p } if gate == id && p == pin
+                );
+                if branch_injected {
+                    if good[f.index()].to_bool() == Some(want) {
+                        d_input = true;
+                    }
+                } else if has_d(f) {
+                    d_input = true;
+                }
+            }
+            if !d_input {
+                continue;
+            }
+            // Frontier gate found: objective = first X input to its
+            // non-controlling value.
+            for (pin, &f) in cell.fanin().iter().enumerate() {
+                if !good[f.index()].is_known() {
+                    return Status::Objective(f, noncontrolling(kind, pin));
+                }
+            }
+        }
+        // Fault activated but nothing can propagate further.
+        Status::Conflict
+    }
+
+    /// Forward reachability from the fault effect through unresolved cells
+    /// to any observation point.
+    fn x_path_exists(&self, fault: &Fault, good: &[Logic], faulty: &[Logic]) -> bool {
+        let netlist = self.view.netlist();
+        let fanouts = self.view.fanouts();
+        let unresolved = |c: CellId| -> bool {
+            !good[c.index()].is_known() || !faulty[c.index()].is_known()
+        };
+        let has_d = |c: CellId| -> bool {
+            good[c.index()].is_known()
+                && faulty[c.index()].is_known()
+                && good[c.index()] != faulty[c.index()]
+        };
+
+        // Seeds: every cell currently carrying the effect, plus the branch
+        // gate itself for branch faults (its injected pin carries a D that
+        // the value arrays cannot show).
+        let mut reach = vec![false; netlist.cell_count()];
+        let mut stack: Vec<CellId> = Vec::new();
+        for id in netlist.ids() {
+            if has_d(id) {
+                stack.push(id);
+            }
+        }
+        if let FaultSite::Branch { gate, .. } = fault.site {
+            if unresolved(gate) && !reach[gate.index()] {
+                reach[gate.index()] = true;
+                stack.push(gate);
+            }
+        }
+        let driver = fault.driver(netlist);
+        if good[driver.index()].to_bool() == Some(!fault.stuck.as_bool()) {
+            stack.push(driver);
+        }
+        while let Some(id) = stack.pop() {
+            for &r in fanouts.readers(id) {
+                if reach[r.index()] {
+                    continue;
+                }
+                let kind = netlist.cell(r).kind();
+                if kind == flh_netlist::CellKind::Output {
+                    return true; // effect can reach a primary output
+                }
+                if kind.is_flip_flop() {
+                    return true; // effect can reach a flip-flop D capture
+                }
+                if unresolved(r) {
+                    reach[r.index()] = true;
+                    stack.push(r);
+                }
+            }
+        }
+        false
+    }
+
+    /// Walks an objective back to an unassigned primary input / flip-flop.
+    fn backtrace(&self, mut cell: CellId, mut value: bool, good: &[Logic]) -> Option<(usize, bool)> {
+        let netlist = self.view.netlist();
+        loop {
+            if let Some(idx) = self.view.assignable_index(cell) {
+                // Already assigned assignables are not re-decided.
+                if good[cell.index()].is_known() {
+                    return None;
+                }
+                return Some((idx, value));
+            }
+            let kind = netlist.cell(cell).kind();
+            if matches!(kind, CellKind::Const0 | CellKind::Const1) {
+                return None;
+            }
+            // Choose an X-valued fanin to continue through.
+            let next = netlist
+                .cell(cell)
+                .fanin()
+                .iter()
+                .copied()
+                .find(|&f| !good[f.index()].is_known())?;
+            if inverts(kind) {
+                value = !value;
+            }
+            cell = next;
+        }
+    }
+}
+
+/// Whether a backtrace through this cell flips the objective value.
+fn inverts(kind: CellKind) -> bool {
+    use CellKind::*;
+    matches!(
+        kind,
+        Inv | Nand2 | Nand3 | Nand4 | Nor2 | Nor3 | Nor4 | Xnor2 | Aoi21 | Aoi22 | Oai21
+            | Oai22 | NandN(_) | NorN(_)
+    )
+}
+
+/// Heuristic non-controlling value per gate kind and pin, used for
+/// propagation objectives. PODEM's backtracking recovers from imperfect
+/// choices on the complex gates.
+fn noncontrolling(kind: CellKind, pin: usize) -> bool {
+    use CellKind::*;
+    match kind {
+        And2 | And3 | And4 | Nand2 | Nand3 | Nand4 | AndN(_) | NandN(_) => true,
+        Or2 | Or3 | Or4 | Nor2 | Nor3 | Nor4 | OrN(_) | NorN(_) => false,
+        Xor2 | Xnor2 | XorN(_) => false,
+        // Complex gates: 0 on an AND-pair pin kills that product term, and
+        // 0 on the OR-side pin leaves the other term in control — a safe
+        // default for every pin, with backtracking correcting the cases
+        // where the partner pin carries the effect.
+        Aoi21 | Aoi22 | Oai21 | Oai22 => false,
+        Mux2 => false,
+        _ => {
+            let _ = pin; // pin-insensitive kinds
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{enumerate_stuck_faults, StuckValue};
+    use flh_netlist::{generate_circuit, GeneratorConfig, Netlist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn view_podem(n: &Netlist) -> TestView<'_> {
+        TestView::new(n).unwrap()
+    }
+
+    #[test]
+    fn and_gate_tests() {
+        let mut n = Netlist::new("and");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_cell("g", CellKind::And2, vec![a, b]);
+        n.add_output("y", g);
+        let view = view_podem(&n);
+        let podem = Podem::new(&view, PodemConfig::paper_default());
+        // s-a-0 at output: needs a=b=1.
+        let cube = podem.generate(&Fault::stem(g, StuckValue::Zero)).unwrap();
+        assert_eq!(cube.assignment, vec![Logic::One, Logic::One]);
+        // s-a-1 at output: any input 0; the cube must detect it.
+        let cube = podem.generate(&Fault::stem(g, StuckValue::One)).unwrap();
+        assert!(cube.assignment.contains(&Logic::Zero));
+        // s-a-1 on input a: a=0, b=1.
+        let cube = podem.generate(&Fault::stem(a, StuckValue::One)).unwrap();
+        assert_eq!(cube.assignment, vec![Logic::Zero, Logic::One]);
+    }
+
+    #[test]
+    fn redundant_fault_is_untestable() {
+        // y = AND(a, NOT a) is constant 0: s-a-0 at y is undetectable.
+        let mut n = Netlist::new("red");
+        let a = n.add_input("a");
+        let inv = n.add_cell("inv", CellKind::Inv, vec![a]);
+        let g = n.add_cell("g", CellKind::And2, vec![a, inv]);
+        n.add_output("y", g);
+        let view = view_podem(&n);
+        let podem = Podem::new(&view, PodemConfig::paper_default());
+        assert!(podem.generate(&Fault::stem(g, StuckValue::Zero)).is_none());
+        // s-a-1 at y IS detectable (any input pattern).
+        assert!(podem.generate(&Fault::stem(g, StuckValue::One)).is_some());
+    }
+
+    #[test]
+    fn propagation_through_reconvergence() {
+        // y = XOR(a, AND(a,b)): fault on the AND must propagate through
+        // the XOR with a side input involved in the fault cone.
+        let mut n = Netlist::new("reconv");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_cell("g", CellKind::And2, vec![a, b]);
+        let x = n.add_cell("x", CellKind::Xor2, vec![a, g]);
+        n.add_output("y", x);
+        let view = view_podem(&n);
+        let podem = Podem::new(&view, PodemConfig::paper_default());
+        let cube = podem.generate(&Fault::stem(g, StuckValue::Zero)).unwrap();
+        // Verify by simulation.
+        let mut rng = StdRng::seed_from_u64(1);
+        let bits = cube.fill_random(&mut rng);
+        let words: Vec<u64> = bits.iter().map(|&b| if b { !0 } else { 0 }).collect();
+        let good = view.observe64(&view.eval64(&words, None));
+        let bad = view.observe64(&view.eval64(
+            &words,
+            Some(&Fault::stem(g, StuckValue::Zero)),
+        ));
+        assert_ne!(good[0] & 1, bad[0] & 1);
+    }
+
+    #[test]
+    fn justification() {
+        let mut n = Netlist::new("just");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_cell("g", CellKind::Nor2, vec![a, b]);
+        n.add_output("y", g);
+        let view = view_podem(&n);
+        let podem = Podem::new(&view, PodemConfig::paper_default());
+        let cube = podem.justify(g, true).unwrap();
+        assert_eq!(cube.assignment, vec![Logic::Zero, Logic::Zero]);
+        let cube = podem.justify(g, false).unwrap();
+        let vals = view.eval3(&cube.assignment, None);
+        assert_eq!(vals[g.index()], Logic::Zero);
+    }
+
+    #[test]
+    fn justify_impossible_value_fails() {
+        let mut n = Netlist::new("k");
+        let a = n.add_input("a");
+        let k = n.add_cell("k", CellKind::Const0, vec![]);
+        let g = n.add_cell("g", CellKind::And2, vec![a, k]);
+        n.add_output("y", g);
+        let view = view_podem(&n);
+        let podem = Podem::new(&view, PodemConfig::paper_default());
+        assert!(podem.justify(g, true).is_none());
+        assert!(podem.justify(g, false).is_some());
+    }
+
+    /// Every PODEM-generated test must actually detect its fault when
+    /// simulated, across a generated circuit's whole fault list.
+    #[test]
+    fn generated_tests_verify_by_simulation() {
+        let n = generate_circuit(&GeneratorConfig {
+            name: "podem_ver".into(),
+            primary_inputs: 5,
+            primary_outputs: 4,
+            flip_flops: 6,
+            gates: 60,
+            logic_depth: 6,
+            avg_ff_fanout: 2.2,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 31,
+        })
+        .unwrap();
+        let view = view_podem(&n);
+        let podem = Podem::new(&view, PodemConfig::paper_default());
+        let faults = enumerate_stuck_faults(&n);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut generated = 0;
+        for fault in &faults {
+            if let Some(cube) = podem.generate(fault) {
+                generated += 1;
+                let bits = cube.fill_random(&mut rng);
+                let words: Vec<u64> =
+                    bits.iter().map(|&b| if b { !0 } else { 0 }).collect();
+                let good = view.observe64(&view.eval64(&words, None));
+                let bad = view.observe64(&view.eval64(&words, Some(fault)));
+                let detected = good
+                    .iter()
+                    .zip(&bad)
+                    .any(|(g, b)| (g ^ b) & 1 != 0);
+                assert!(detected, "cube fails to detect {fault:?}");
+            }
+        }
+        // Most of the fault universe is testable; the rest is genuine
+        // redundancy (verified exhaustively in `podem_is_complete`).
+        assert!(
+            generated as f64 >= 0.75 * faults.len() as f64,
+            "only {generated}/{} testable",
+            faults.len()
+        );
+    }
+
+    /// PODEM must be *complete* on circuits small enough for exhaustive
+    /// cross-checking: it finds a test iff one exists.
+    #[test]
+    fn podem_is_complete() {
+        let n = generate_circuit(&GeneratorConfig {
+            name: "podem_complete".into(),
+            primary_inputs: 4,
+            primary_outputs: 3,
+            flip_flops: 4,
+            gates: 40,
+            logic_depth: 5,
+            avg_ff_fanout: 2.2,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 63,
+        })
+        .unwrap();
+        let view = view_podem(&n);
+        let podem = Podem::new(&view, PodemConfig::paper_default());
+        let faults = enumerate_stuck_faults(&n);
+        let na = view.assignable().len();
+        assert!(na <= 16, "keep the exhaustive check tractable");
+        for fault in &faults {
+            let found = podem.generate(fault).is_some();
+            let testable = (0u64..(1 << na)).any(|bits| {
+                let words: Vec<u64> = (0..na)
+                    .map(|i| if bits >> i & 1 == 1 { !0 } else { 0 })
+                    .collect();
+                let good = view.observe64(&view.eval64(&words, None));
+                let bad = view.observe64(&view.eval64(&words, Some(fault)));
+                good.iter().zip(&bad).any(|(g, b)| (g ^ b) & 1 != 0)
+            });
+            assert_eq!(found, testable, "PODEM disagrees on {fault:?}");
+        }
+    }
+
+    #[test]
+    fn cube_utilities() {
+        let cube = TestCube {
+            assignment: vec![Logic::One, Logic::X, Logic::Zero],
+        };
+        assert_eq!(cube.specified_bits(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let bits = cube.fill_random(&mut rng);
+        assert!(bits[0]);
+        assert!(!bits[2]);
+    }
+
+    #[test]
+    fn fill_strategies() {
+        use Logic::{One as I, X, Zero as O};
+        let cube = TestCube {
+            assignment: vec![X, I, X, X, O, X],
+        };
+        assert_eq!(
+            cube.fill_constant(false),
+            vec![false, true, false, false, false, false]
+        );
+        // Adjacent: leading X copies the first specified bit; inner X runs
+        // repeat their left neighbour.
+        assert_eq!(
+            cube.fill_adjacent(),
+            vec![true, true, true, true, false, false]
+        );
+        // All-X cube falls back to zeros.
+        let empty = TestCube {
+            assignment: vec![X, X],
+        };
+        assert_eq!(empty.fill_adjacent(), vec![false, false]);
+        // Specified bits are never altered by any fill.
+        for bits in [
+            cube.fill_constant(true),
+            cube.fill_adjacent(),
+            cube.fill_random(&mut StdRng::seed_from_u64(1)),
+        ] {
+            assert!(bits[1]);
+            assert!(!bits[4]);
+        }
+    }
+
+    #[test]
+    fn adjacent_fill_minimizes_transitions() {
+        use Logic::X;
+        let mut rng = StdRng::seed_from_u64(8);
+        let cube = TestCube {
+            assignment: (0..64)
+                .map(|i| if i % 7 == 0 { Logic::from_bool(i % 14 == 0) } else { X })
+                .collect(),
+        };
+        let transitions = |bits: &[bool]| -> usize {
+            bits.windows(2).filter(|w| w[0] != w[1]).count()
+        };
+        let adj = transitions(&cube.fill_adjacent());
+        let rnd = transitions(&cube.fill_random(&mut rng));
+        assert!(adj < rnd, "adjacent {adj} !< random {rnd}");
+    }
+}

@@ -1,0 +1,704 @@
+//! Transition-delay faults: two-pattern ATPG and pattern-pair simulation.
+//!
+//! A transition fault (slow-to-rise / slow-to-fall at a stem) is detected
+//! by a pattern pair (V1, V2) iff V1 sets the site to the initial value,
+//! V2 sets it to the final value, and V2 — viewed as a stuck-at test for
+//! the site stuck at the *initial* value — propagates the effect to an
+//! observation point. Under enhanced-scan / FLH application V1 and V2 are
+//! arbitrary, so ATPG decomposes into a PODEM stuck-at test for V2 plus a
+//! justification for V1 — precisely why the paper's technique, which
+//! enables arbitrary pairs cheaply, preserves full ATPG power.
+
+use std::collections::HashMap;
+
+use flh_netlist::{analysis, CellId, CellKind, Netlist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fault::{Fault, StuckValue};
+use crate::podem::{Podem, PodemConfig};
+use crate::tview::TestView;
+
+/// Transition polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TransitionKind {
+    /// The rising edge at the site is too slow (tested by launching 0→1).
+    SlowToRise,
+    /// The falling edge is too slow (tested by launching 1→0).
+    SlowToFall,
+}
+
+/// A transition-delay fault at a stem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TransitionFault {
+    /// The faulted line's driver.
+    pub site: CellId,
+    /// Polarity.
+    pub kind: TransitionKind,
+}
+
+impl TransitionFault {
+    /// Initial (V1) value the site must take.
+    pub fn initial_value(&self) -> bool {
+        self.kind == TransitionKind::SlowToFall
+    }
+
+    /// Final (V2) value the site must take.
+    pub fn final_value(&self) -> bool {
+        !self.initial_value()
+    }
+
+    /// The stuck-at fault V2 must detect (site stuck at the initial value).
+    pub fn stuck_equivalent(&self) -> Fault {
+        let stuck = if self.initial_value() {
+            StuckValue::One
+        } else {
+            StuckValue::Zero
+        };
+        Fault::stem(self.site, stuck)
+    }
+}
+
+/// Enumerates both transition faults on every stem with at least one
+/// reader (combinational cells, primary inputs, flip-flop outputs).
+pub fn enumerate_transition_faults(netlist: &Netlist) -> Vec<TransitionFault> {
+    let fanouts = analysis::FanoutMap::compute(netlist);
+    let mut faults = Vec::new();
+    for (id, cell) in netlist.iter() {
+        if cell.kind() == CellKind::Output || fanouts.fanout_count(id) == 0 {
+            continue;
+        }
+        faults.push(TransitionFault {
+            site: id,
+            kind: TransitionKind::SlowToRise,
+        });
+        faults.push(TransitionFault {
+            site: id,
+            kind: TransitionKind::SlowToFall,
+        });
+    }
+    faults
+}
+
+/// A fully specified two-pattern test in assignable order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransitionPattern {
+    /// Initialization pattern.
+    pub v1: Vec<bool>,
+    /// Launch pattern.
+    pub v2: Vec<bool>,
+}
+
+/// Cone-cached transition fault simulator over a test view.
+pub struct TransitionSimulator<'v, 'a> {
+    view: &'v TestView<'a>,
+    /// Topological position per cell (for ordered cone resimulation).
+    topo_pos: Vec<usize>,
+    /// Fanout cone (topologically sorted) per site, lazily built.
+    cones: HashMap<CellId, Vec<CellId>>,
+    fanouts: analysis::FanoutMap,
+}
+
+impl<'v, 'a> TransitionSimulator<'v, 'a> {
+    /// Builds a simulator.
+    pub fn new(view: &'v TestView<'a>) -> Self {
+        let netlist = view.netlist();
+        let order = analysis::combinational_order(netlist).expect("view is acyclic");
+        let mut topo_pos = vec![usize::MAX; netlist.cell_count()];
+        for (pos, &id) in order.iter().enumerate() {
+            topo_pos[id.index()] = pos;
+        }
+        TransitionSimulator {
+            view,
+            topo_pos,
+            cones: HashMap::new(),
+            fanouts: analysis::FanoutMap::compute(netlist),
+        }
+    }
+
+    fn cone(&mut self, site: CellId) -> &[CellId] {
+        let view = self.view;
+        let topo_pos = &self.topo_pos;
+        let fanouts = &self.fanouts;
+        self.cones.entry(site).or_insert_with(|| {
+            let mut cone = analysis::fanout_cone(view.netlist(), fanouts, &[site]);
+            cone.sort_by_key(|c| topo_pos[c.index()]);
+            cone
+        })
+    }
+
+    /// Simulates up to 64 pattern pairs against a fault set, marking newly
+    /// detected faults in `detected` (fault-dropping style). Returns the
+    /// number of new detections.
+    ///
+    /// `v1_words[i]` / `v2_words[i]` carry one bit per pair for assignable
+    /// `i`; `active_mask` limits which bit lanes hold real pairs.
+    pub fn run_batch(
+        &mut self,
+        v1_words: &[u64],
+        v2_words: &[u64],
+        active_mask: u64,
+        faults: &[TransitionFault],
+        detected: &mut [bool],
+    ) -> usize {
+        let good1 = self.view.eval64(v1_words, None);
+        let good2 = self.view.eval64(v2_words, None);
+        let obs_good2 = self.view.observe64(&good2);
+        let netlist = self.view.netlist();
+        let mut new_hits = 0;
+
+        for (fi, fault) in faults.iter().enumerate() {
+            if detected[fi] {
+                continue;
+            }
+            let init_mask = if fault.initial_value() {
+                good1[fault.site.index()]
+            } else {
+                !good1[fault.site.index()]
+            };
+            let launch_mask = if fault.final_value() {
+                good2[fault.site.index()]
+            } else {
+                !good2[fault.site.index()]
+            };
+            let lanes = init_mask & launch_mask & active_mask;
+            if lanes == 0 {
+                continue;
+            }
+            // Cone-limited faulty resimulation of V2.
+            let stuck = fault.stuck_equivalent();
+            let mut faulty = good2.clone();
+            faulty[fault.site.index()] = stuck.stuck.word();
+            let cone: Vec<CellId> = self.cone(fault.site).to_vec();
+            let mut inputs: Vec<u64> = Vec::with_capacity(4);
+            for &id in &cone {
+                let cell = netlist.cell(id);
+                if cell.kind().is_flip_flop() {
+                    continue; // sequential boundary: D observed, Q untouched
+                }
+                inputs.clear();
+                inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
+                faulty[id.index()] = cell.kind().eval64(&inputs);
+            }
+            let obs_faulty = self.view.observe64(&faulty);
+            let miscompare = obs_good2
+                .iter()
+                .zip(&obs_faulty)
+                .fold(0u64, |acc, (g, b)| acc | (g ^ b));
+            if miscompare & lanes != 0 {
+                detected[fi] = true;
+                new_hits += 1;
+            }
+        }
+        new_hits
+    }
+
+    /// Like [`TransitionSimulator::run_batch`], but counts *how many*
+    /// distinct pattern lanes detect each fault (saturating at `target`),
+    /// for N-detect test generation. Returns the number of faults that
+    /// reached `target` in this batch.
+    pub fn run_batch_counting(
+        &mut self,
+        v1_words: &[u64],
+        v2_words: &[u64],
+        active_mask: u64,
+        faults: &[TransitionFault],
+        counts: &mut [u32],
+        target: u32,
+    ) -> usize {
+        let good1 = self.view.eval64(v1_words, None);
+        let good2 = self.view.eval64(v2_words, None);
+        let obs_good2 = self.view.observe64(&good2);
+        let netlist = self.view.netlist();
+        let mut newly_saturated = 0;
+
+        for (fi, fault) in faults.iter().enumerate() {
+            if counts[fi] >= target {
+                continue;
+            }
+            let init_mask = if fault.initial_value() {
+                good1[fault.site.index()]
+            } else {
+                !good1[fault.site.index()]
+            };
+            let launch_mask = if fault.final_value() {
+                good2[fault.site.index()]
+            } else {
+                !good2[fault.site.index()]
+            };
+            let lanes = init_mask & launch_mask & active_mask;
+            if lanes == 0 {
+                continue;
+            }
+            let stuck = fault.stuck_equivalent();
+            let mut faulty = good2.clone();
+            faulty[fault.site.index()] = stuck.stuck.word();
+            let cone: Vec<CellId> = self.cone(fault.site).to_vec();
+            let mut inputs: Vec<u64> = Vec::with_capacity(4);
+            for &id in &cone {
+                let cell = netlist.cell(id);
+                if cell.kind().is_flip_flop() {
+                    continue;
+                }
+                inputs.clear();
+                inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
+                faulty[id.index()] = cell.kind().eval64(&inputs);
+            }
+            let obs_faulty = self.view.observe64(&faulty);
+            let miscompare = obs_good2
+                .iter()
+                .zip(&obs_faulty)
+                .fold(0u64, |acc, (g, b)| acc | (g ^ b));
+            let hits = (miscompare & lanes).count_ones();
+            if hits > 0 {
+                let before = counts[fi];
+                counts[fi] = (counts[fi] + hits).min(target);
+                if before < target && counts[fi] >= target {
+                    newly_saturated += 1;
+                }
+            }
+        }
+        newly_saturated
+    }
+}
+
+
+/// Simulates a pattern-pair set against a fault list, returning per-fault
+/// detection flags.
+pub fn simulate_transition_patterns(
+    view: &TestView<'_>,
+    faults: &[TransitionFault],
+    patterns: &[TransitionPattern],
+) -> Vec<bool> {
+    let mut sim = TransitionSimulator::new(view);
+    let mut detected = vec![false; faults.len()];
+    let n = view.assignable().len();
+    for chunk in patterns.chunks(64) {
+        let mut v1_words = vec![0u64; n];
+        let mut v2_words = vec![0u64; n];
+        for (lane, p) in chunk.iter().enumerate() {
+            for i in 0..n {
+                if p.v1[i] {
+                    v1_words[i] |= 1 << lane;
+                }
+                if p.v2[i] {
+                    v2_words[i] |= 1 << lane;
+                }
+            }
+        }
+        let mask = if chunk.len() == 64 {
+            !0
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        sim.run_batch(&v1_words, &v2_words, mask, faults, &mut detected);
+    }
+    detected
+}
+
+/// Result of a deterministic transition ATPG run.
+#[derive(Clone, Debug)]
+pub struct TransitionAtpgResult {
+    /// Generated pattern pairs.
+    pub patterns: Vec<TransitionPattern>,
+    /// Per-fault detection flags (aligned with the input fault list).
+    pub detected: Vec<bool>,
+    /// Faults proven or declared untestable / aborted by PODEM.
+    pub untestable: usize,
+}
+
+impl TransitionAtpgResult {
+    /// Detected-fault count.
+    pub fn detected_count(&self) -> usize {
+        self.detected.iter().filter(|&&d| d).count()
+    }
+
+    /// Fault coverage in percent (detected / total).
+    pub fn coverage_pct(&self) -> f64 {
+        if self.detected.is_empty() {
+            100.0
+        } else {
+            100.0 * self.detected_count() as f64 / self.detected.len() as f64
+        }
+    }
+
+    /// Fault efficiency in percent ((detected + untestable) / total).
+    pub fn efficiency_pct(&self) -> f64 {
+        if self.detected.is_empty() {
+            100.0
+        } else {
+            100.0 * (self.detected_count() + self.untestable) as f64
+                / self.detected.len() as f64
+        }
+    }
+}
+
+/// Deterministic two-pattern transition ATPG with fault dropping, assuming
+/// arbitrary (enhanced-scan / FLH) pattern application.
+///
+/// For each undetected fault: PODEM generates V2 as a stuck-at test for the
+/// site, V1 as a justification of the launch value; don't-cares are filled
+/// randomly (seeded) and the new pair is fault-simulated against all
+/// remaining faults.
+pub fn transition_atpg(
+    view: &TestView<'_>,
+    faults: &[TransitionFault],
+    config: &PodemConfig,
+    seed: u64,
+) -> TransitionAtpgResult {
+    let podem = Podem::new(view, config.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut detected = vec![false; faults.len()];
+    let mut untestable = 0usize;
+    let mut patterns = Vec::new();
+    let mut sim = TransitionSimulator::new(view);
+    let n = view.assignable().len();
+
+    for fi in 0..faults.len() {
+        if detected[fi] {
+            continue;
+        }
+        let fault = faults[fi];
+        let v2_cube = match podem.generate(&fault.stuck_equivalent()) {
+            Some(c) => c,
+            None => {
+                untestable += 1;
+                continue;
+            }
+        };
+        let v1_cube = match podem.justify(fault.site, fault.initial_value()) {
+            Some(c) => c,
+            None => {
+                untestable += 1;
+                continue;
+            }
+        };
+        let pattern = TransitionPattern {
+            v1: v1_cube.fill_random(&mut rng),
+            v2: v2_cube.fill_random(&mut rng),
+        };
+        // Simulate the new pair against every remaining fault.
+        let mut v1_words = vec![0u64; n];
+        let mut v2_words = vec![0u64; n];
+        for i in 0..n {
+            v1_words[i] = if pattern.v1[i] { !0 } else { 0 };
+            v2_words[i] = if pattern.v2[i] { !0 } else { 0 };
+        }
+        sim.run_batch(&v1_words, &v2_words, 1, faults, &mut detected);
+        debug_assert!(detected[fi], "generated pair must detect its target");
+        detected[fi] = true;
+        patterns.push(pattern);
+    }
+
+    TransitionAtpgResult {
+        patterns,
+        detected,
+        untestable,
+    }
+}
+
+
+/// Result of N-detect transition ATPG.
+#[derive(Clone, Debug)]
+pub struct NDetectResult {
+    /// Generated pattern pairs.
+    pub patterns: Vec<TransitionPattern>,
+    /// Detection count per fault (saturated at the requested N).
+    pub counts: Vec<u32>,
+    /// Faults PODEM proved or abandoned as untestable.
+    pub untestable: usize,
+}
+
+impl NDetectResult {
+    /// Faults detected at least `n` times.
+    pub fn fully_detected(&self, n: u32) -> usize {
+        self.counts.iter().filter(|&&c| c >= n).count()
+    }
+
+    /// N-detect coverage in percent.
+    pub fn coverage_pct(&self, n: u32) -> f64 {
+        if self.counts.is_empty() {
+            100.0
+        } else {
+            100.0 * self.fully_detected(n) as f64 / self.counts.len() as f64
+        }
+    }
+}
+
+/// N-detect transition ATPG: every fault is targeted until it has been
+/// detected by `n` *distinct* pattern pairs. Diversity comes from the
+/// random fill of PODEM's don't-cares (the specified cube per fault is
+/// deterministic), which is the standard low-cost approximation of
+/// path-diverse N-detect; identical consecutive fills terminate the
+/// per-fault loop early.
+pub fn transition_atpg_ndetect(
+    view: &TestView<'_>,
+    faults: &[TransitionFault],
+    config: &PodemConfig,
+    seed: u64,
+    n: u32,
+) -> NDetectResult {
+    assert!(n >= 1, "n-detect needs n >= 1");
+    let podem = Podem::new(view, config.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0u32; faults.len()];
+    let mut untestable = 0usize;
+    let mut patterns: Vec<TransitionPattern> = Vec::new();
+    let mut sim = TransitionSimulator::new(view);
+    let na = view.assignable().len();
+
+    for fi in 0..faults.len() {
+        if counts[fi] >= n {
+            continue;
+        }
+        let fault = faults[fi];
+        let Some(v2_cube) = podem.generate(&fault.stuck_equivalent()) else {
+            untestable += 1;
+            continue;
+        };
+        let Some(v1_cube) = podem.justify(fault.site, fault.initial_value()) else {
+            untestable += 1;
+            continue;
+        };
+        let mut last: Option<TransitionPattern> = None;
+        let mut attempts = 0u32;
+        while counts[fi] < n && attempts < 3 * n {
+            attempts += 1;
+            let pattern = TransitionPattern {
+                v1: v1_cube.fill_random(&mut rng),
+                v2: v2_cube.fill_random(&mut rng),
+            };
+            if last.as_ref() == Some(&pattern) {
+                // Fully specified cube: no diversity left; count it once.
+                counts[fi] = counts[fi].max(1);
+                break;
+            }
+            let mut v1_words = vec![0u64; na];
+            let mut v2_words = vec![0u64; na];
+            for i in 0..na {
+                v1_words[i] = if pattern.v1[i] { !0 } else { 0 };
+                v2_words[i] = if pattern.v2[i] { !0 } else { 0 };
+            }
+            sim.run_batch_counting(&v1_words, &v2_words, 1, faults, &mut counts, n);
+            last = Some(pattern.clone());
+            patterns.push(pattern);
+        }
+    }
+
+    NDetectResult {
+        patterns,
+        counts,
+        untestable,
+    }
+}
+
+/// Static (reverse-order) compaction of a transition test set: patterns
+/// are re-fault-simulated in reverse generation order and kept only if
+/// they detect a fault nothing later in the pass has covered. The
+/// compacted set provably preserves coverage (verified by the caller's
+/// tests via resimulation) and is typically 20-50 % smaller, reducing the
+/// scan-in time that dominates two-pattern test application.
+pub fn compact_transition_patterns(
+    view: &TestView<'_>,
+    faults: &[TransitionFault],
+    patterns: &[TransitionPattern],
+) -> Vec<TransitionPattern> {
+    let mut sim = TransitionSimulator::new(view);
+    let mut detected = vec![false; faults.len()];
+    let n = view.assignable().len();
+    let mut kept: Vec<TransitionPattern> = Vec::new();
+    for pattern in patterns.iter().rev() {
+        let mut v1 = vec![0u64; n];
+        let mut v2 = vec![0u64; n];
+        for i in 0..n {
+            v1[i] = if pattern.v1[i] { !0 } else { 0 };
+            v2[i] = if pattern.v2[i] { !0 } else { 0 };
+        }
+        if sim.run_batch(&v1, &v2, 1, faults, &mut detected) > 0 {
+            kept.push(pattern.clone());
+        }
+    }
+    kept.reverse();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use flh_netlist::{generate_circuit, GeneratorConfig};
+
+    fn small() -> Netlist {
+        generate_circuit(&GeneratorConfig {
+            name: "tfsmall".into(),
+            primary_inputs: 5,
+            primary_outputs: 4,
+            flip_flops: 6,
+            gates: 50,
+            logic_depth: 6,
+            avg_ff_fanout: 2.2,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 77,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn fault_model_basics() {
+        let f = TransitionFault {
+            site: flh_netlist::CellId::from_index(3),
+            kind: TransitionKind::SlowToRise,
+        };
+        assert!(!f.initial_value());
+        assert!(f.final_value());
+        assert_eq!(f.stuck_equivalent().stuck, StuckValue::Zero);
+        let f = TransitionFault {
+            kind: TransitionKind::SlowToFall,
+            ..f
+        };
+        assert_eq!(f.stuck_equivalent().stuck, StuckValue::One);
+    }
+
+    #[test]
+    fn enumeration_covers_stems_twice() {
+        let n = small();
+        let faults = enumerate_transition_faults(&n);
+        assert!(faults.len() > 2 * n.gate_count() / 2);
+        assert_eq!(faults.len() % 2, 0);
+    }
+
+    #[test]
+    fn atpg_reaches_high_coverage_with_arbitrary_pairs() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let result = transition_atpg(&view, &faults, &PodemConfig::paper_default(), 9);
+        assert!(
+            result.coverage_pct() > 85.0,
+            "coverage {}",
+            result.coverage_pct()
+        );
+        assert!(result.efficiency_pct() > 95.0);
+        // Fault dropping keeps the set compact.
+        assert!(result.patterns.len() < faults.len() / 2);
+    }
+
+    #[test]
+    fn atpg_patterns_reproduce_coverage_when_resimulated() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let result = transition_atpg(&view, &faults, &PodemConfig::paper_default(), 9);
+        let resim = simulate_transition_patterns(&view, &faults, &result.patterns);
+        let resim_count = resim.iter().filter(|&&d| d).count();
+        assert_eq!(resim_count, result.detected_count());
+    }
+
+    #[test]
+    fn batch_and_serial_simulation_agree() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let mut rng = StdRng::seed_from_u64(4);
+        let na = view.assignable().len();
+        let patterns: Vec<TransitionPattern> = (0..100)
+            .map(|_| TransitionPattern {
+                v1: (0..na).map(|_| rng.gen()).collect(),
+                v2: (0..na).map(|_| rng.gen()).collect(),
+            })
+            .collect();
+        let batch = simulate_transition_patterns(&view, &faults, &patterns);
+        // Serial: one pattern at a time.
+        let mut serial = vec![false; faults.len()];
+        for p in &patterns {
+            let d = simulate_transition_patterns(&view, &faults, std::slice::from_ref(p));
+            for (s, d) in serial.iter_mut().zip(d) {
+                *s |= d;
+            }
+        }
+        assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn ndetect_reaches_higher_multiplicity() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let cfg = PodemConfig::paper_default();
+        let one = transition_atpg(&view, &faults, &cfg, 9);
+        let three = transition_atpg_ndetect(&view, &faults, &cfg, 9, 3);
+        // 1-detect coverage matches the plain generator's detections.
+        assert_eq!(
+            three.coverage_pct(1),
+            100.0 * one.detected_count() as f64 / faults.len() as f64
+        );
+        // Most detected faults reach multiplicity 3 through fill diversity.
+        assert!(
+            three.fully_detected(3) as f64 >= 0.5 * one.detected_count() as f64,
+            "only {}/{} reached 3-detect",
+            three.fully_detected(3),
+            one.detected_count()
+        );
+        // And it costs more patterns than single-detect.
+        assert!(three.patterns.len() > one.patterns.len());
+        // Resimulation confirms every counted fault is genuinely detected.
+        let resim = simulate_transition_patterns(&view, &faults, &three.patterns);
+        for (fi, &d) in resim.iter().enumerate() {
+            assert_eq!(d, three.counts[fi] > 0, "fault {fi}");
+        }
+    }
+
+    #[test]
+    fn ndetect_with_n1_equals_plain_coverage() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let cfg = PodemConfig::paper_default();
+        let plain = transition_atpg(&view, &faults, &cfg, 4);
+        let nd = transition_atpg_ndetect(&view, &faults, &cfg, 4, 1);
+        assert_eq!(nd.fully_detected(1), plain.detected_count());
+        assert_eq!(nd.untestable, plain.untestable);
+    }
+
+    #[test]
+    fn compaction_preserves_coverage_and_shrinks_the_set() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        // A deliberately redundant set: ATPG patterns plus random filler.
+        let atpg = transition_atpg(&view, &faults, &PodemConfig::paper_default(), 9);
+        let mut rng = StdRng::seed_from_u64(77);
+        let na = view.assignable().len();
+        let mut patterns = atpg.patterns.clone();
+        for _ in 0..100 {
+            patterns.push(TransitionPattern {
+                v1: (0..na).map(|_| rng.gen()).collect(),
+                v2: (0..na).map(|_| rng.gen()).collect(),
+            });
+        }
+        let before = simulate_transition_patterns(&view, &faults, &patterns);
+        let compacted = compact_transition_patterns(&view, &faults, &patterns);
+        let after = simulate_transition_patterns(&view, &faults, &compacted);
+        assert_eq!(before, after, "compaction changed coverage");
+        assert!(
+            compacted.len() < patterns.len(),
+            "no compaction achieved: {} -> {}",
+            patterns.len(),
+            compacted.len()
+        );
+        // Every kept pattern appears in the original set.
+        for p in &compacted {
+            assert!(patterns.contains(p));
+        }
+    }
+
+    #[test]
+    fn empty_pattern_set_detects_nothing() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let detected = simulate_transition_patterns(&view, &faults, &[]);
+        assert!(detected.iter().all(|&d| !d));
+    }
+}

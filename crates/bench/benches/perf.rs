@@ -1,0 +1,142 @@
+//! Criterion performance benchmarks of the implementation itself (the
+//! table/figure *result* regeneration lives in `src/bin/`; these measure
+//! that the engines scale to ISCAS89 sizes comfortably).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flh_atpg::transition::enumerate_transition_faults;
+use flh_atpg::{transition_atpg, Podem, PodemConfig, TestView};
+use flh_core::{apply_style, optimize_fanout, DftStyle, FanoutOptConfig};
+use flh_netlist::{generate_circuit, iscas89_profile, Netlist};
+use flh_power::{random_vector_power, PowerConfig};
+use flh_sim::{Logic, LogicSim};
+use flh_tech::{CellLibrary, Technology};
+use flh_timing::{analyze, TimingConfig};
+
+fn circuit(name: &str) -> Netlist {
+    let p = iscas89_profile(name).expect("profile");
+    generate_circuit(&p.generator_config()).expect("generates")
+}
+
+fn bench_logic_sim(c: &mut Criterion) {
+    let n = circuit("s1423");
+    let mut sim = LogicSim::new(&n).expect("sim");
+    for i in 0..n.flip_flops().len() {
+        sim.set_ff_by_index(i, Logic::Zero);
+    }
+    let vector: Vec<Logic> = (0..n.inputs().len())
+        .map(|i| Logic::from_bool(i % 2 == 0))
+        .collect();
+    c.bench_function("logic_sim_s1423_vector", |b| {
+        b.iter(|| sim.apply_vector(&vector))
+    });
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let n = circuit("s5378");
+    let lib = CellLibrary::new(Technology::bptm70());
+    let cfg = TimingConfig::paper_default();
+    c.bench_function("sta_s5378", |b| {
+        b.iter(|| analyze(&n, &lib, &cfg, None).expect("sta"))
+    });
+}
+
+fn bench_power(c: &mut Criterion) {
+    let n = circuit("s1423");
+    let lib = CellLibrary::new(Technology::bptm70());
+    let cfg = PowerConfig::paper_default();
+    c.bench_function("power_s1423_100vectors", |b| {
+        b.iter(|| random_vector_power(&n, &lib, &cfg, None, 100, 1).expect("power"))
+    });
+}
+
+fn bench_podem(c: &mut Criterion) {
+    let n = circuit("s526");
+    let scanned = apply_style(&n, DftStyle::PlainScan).expect("scan");
+    let view = TestView::new(&scanned.netlist).expect("view");
+    let faults = flh_atpg::enumerate_stuck_faults(&scanned.netlist);
+    let podem = Podem::new(&view, PodemConfig::paper_default());
+    c.bench_function("podem_s526_per_fault", |b| {
+        let mut cursor = 0usize;
+        b.iter(|| {
+            let f = &faults[cursor % faults.len()];
+            cursor += 1;
+            podem.generate(f)
+        })
+    });
+}
+
+fn bench_transition_atpg(c: &mut Criterion) {
+    let n = circuit("s298");
+    let scanned = apply_style(&n, DftStyle::PlainScan).expect("scan");
+    c.bench_function("transition_atpg_s298", |b| {
+        b.iter_batched(
+            || TestView::new(&scanned.netlist).expect("view"),
+            |view| {
+                let faults = enumerate_transition_faults(&scanned.netlist);
+                transition_atpg(&view, &faults, &PodemConfig::paper_default(), 1)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let n = circuit("s5378");
+    c.bench_function("apply_flh_s5378", |b| {
+        b.iter(|| apply_style(&n, DftStyle::Flh).expect("flh"))
+    });
+    let flh = apply_style(&n, DftStyle::Flh).expect("flh");
+    c.bench_function("fanout_opt_s5378", |b| {
+        b.iter(|| optimize_fanout(&flh, &FanoutOptConfig::paper_default()).expect("opt"))
+    });
+}
+
+fn bench_analog(c: &mut Criterion) {
+    use flh_analog::{gated_chain, simulate, steady_state_initial, GatedChainConfig, TransientConfig};
+    let tech = Technology::bptm70();
+    let cfg = GatedChainConfig::fig4(20);
+    let (circuit, probes) = gated_chain(&tech, &cfg);
+    let init = steady_state_initial(&tech, &probes, &circuit);
+    c.bench_function("analog_fig4_20ns", |b| {
+        b.iter(|| simulate(&circuit, &TransientConfig::for_window_ns(20.0), &init))
+    });
+}
+
+
+fn bench_bist(c: &mut Criterion) {
+    let n = circuit("s526");
+    let flh = apply_style(&n, DftStyle::Flh).expect("flh");
+    let mech = flh.hold_mechanism();
+    let cfg = flh_bist::BistConfig::with_patterns(32);
+    c.bench_function("bist_s526_32patterns", |b| {
+        b.iter(|| flh_bist::controller::run_test_per_scan(&flh, &mech, &cfg).expect("session"))
+    });
+}
+
+fn bench_path_search(c: &mut Criterion) {
+    let n = circuit("s298");
+    let scanned = apply_style(&n, DftStyle::PlainScan).expect("scan");
+    let view = TestView::new(&scanned.netlist).expect("view");
+    let src = scanned.netlist.flip_flops()[0];
+    c.bench_function("sensitizable_path_s298", |b| {
+        b.iter(|| {
+            flh_atpg::longest_sensitizable_path(
+                &view,
+                src,
+                true,
+                &PodemConfig::paper_default(),
+                200,
+            )
+        })
+    });
+}
+
+criterion_group! {
+
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_logic_sim, bench_sta, bench_power, bench_podem,
+              bench_transition_atpg, bench_transforms, bench_analog,
+              bench_bist, bench_path_search
+}
+criterion_main!(benches);

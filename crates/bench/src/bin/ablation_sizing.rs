@@ -1,0 +1,148 @@
+//! Ablation study of the FLH sizing choices (paper Section III/V):
+//!
+//! 1. **gating transistor width** — "The size of the supply gating
+//!    transistors can be optimized for delay under the given area
+//!    constraint. … Larger-sized sleep transistors for gates in the
+//!    critical path can be used to further reduce the delay penalty. It
+//!    increases the area overhead but does not affect the switching power
+//!    of the gates." Swept at the circuit level (area% / delay% / power%).
+//! 2. **keeper strength vs. electrical hold** — "Minimum sized inverters
+//!    are large enough to be able to hold the state of the output node in
+//!    the hold mode despite the presence of leakage and noise." Swept at
+//!    the transistor level (worst held voltage over a 1 µs sleep).
+//! 3. **gating width vs. keeperless decay** — wider sleep devices leak
+//!    more, so the unkept node dies even faster; quantifies why the keeper
+//!    is mandatory at every sizing.
+
+use flh_analog::{
+    gated_chain, simulate, steady_state_initial, GatedChainConfig, InputStimulus,
+    TransientConfig,
+};
+use flh_bench::{build_circuit, rule};
+use flh_core::{evaluate_all, DftStyle, EvalConfig};
+use flh_netlist::iscas89_profile;
+use flh_tech::{FlhConfig, Technology};
+
+fn main() {
+    let tech = Technology::bptm70();
+
+    // 1. Gating width sweep on s1423.
+    println!("ABLATION 1: GATING TRANSISTOR WIDTH (s1423, keeper fixed)");
+    rule(82);
+    println!(
+        "{:>12} | {:>10} {:>10} {:>10}",
+        "Wgate (xmin)", "area %", "delay %", "power %"
+    );
+    rule(82);
+    let profile = iscas89_profile("s1423").expect("profile");
+    let circuit = build_circuit(&profile);
+    for mult in [1.5, 2.0, 3.0, 4.0, 6.0, 8.0] {
+        let mut cfg = EvalConfig::paper_default();
+        cfg.flh.gating_n_mult = mult;
+        cfg.flh.gating_p_mult = 2.0 * mult;
+        let evals = evaluate_all(&circuit, &cfg).expect("evaluates");
+        let flh = evals
+            .iter()
+            .find(|e| e.style == DftStyle::Flh)
+            .expect("flh present");
+        println!(
+            "{:>12.1} | {:>10.2} {:>10.2} {:>10.2}",
+            mult,
+            flh.area_increase_pct(),
+            flh.delay_increase_pct(),
+            flh.power_increase_pct()
+        );
+    }
+    println!("expectation: delay falls and area rises monotonically; power barely moves");
+    println!();
+
+    // 2. Keeper strength vs. electrical hold quality (quiet 1 µs sleep).
+    println!("ABLATION 2: KEEPER STRENGTH vs 1 us HOLD (Fig. 3 stage)");
+    rule(60);
+    println!("{:>14} | {:>16} {:>10}", "Wkeeper (xmin)", "OUT1 min (V)", "held?");
+    rule(60);
+    for mult in [0.2, 0.3, 0.45, 0.6, 1.0, 2.0] {
+        let mut flh = FlhConfig::paper_default();
+        flh.keeper_n_mult = mult;
+        flh.keeper_p_mult = 2.0 * mult;
+        let config = GatedChainConfig {
+            with_keeper: true,
+            sleep_start_ns: 2.0,
+            input: InputStimulus::Step { at_ns: 7.0 },
+            aggressor_cap_ff: 0.0,
+            flh,
+        };
+        let (c, probes) = gated_chain(&tech, &config);
+        let init = steady_state_initial(&tech, &probes, &c);
+        let trace = simulate(&c, &TransientConfig::for_window_ns(1000.0), &init);
+        let worst = trace.min_in_window(probes.out1, 2.0, 1000.0);
+        println!(
+            "{:>14.2} | {:>16.3} {:>10}",
+            mult,
+            worst,
+            if worst > 0.8 * tech.vdd { "yes" } else { "NO" }
+        );
+    }
+    println!("expectation: even deep sub-minimum keepers hold a quiet sleep (leakage is nA-scale)");
+    println!();
+
+    // 3. Gating width vs. keeperless decay speed.
+    println!("ABLATION 3: GATING WIDTH vs KEEPERLESS DECAY (Fig. 2 stage)");
+    rule(64);
+    println!(
+        "{:>12} | {:>22} {:>12}",
+        "Wgate (xmin)", "OUT1 < 600 mV after", "1 us safe?"
+    );
+    rule(64);
+    for mult in [1.5, 3.0, 6.0, 12.0] {
+        let mut cfg = GatedChainConfig::fig2();
+        cfg.flh.gating_n_mult = mult;
+        cfg.flh.gating_p_mult = 2.0 * mult;
+        let (c, probes) = gated_chain(&tech, &cfg);
+        let init = steady_state_initial(&tech, &probes, &c);
+        let trace = simulate(&c, &TransientConfig::for_window_ns(1000.0), &init);
+        match trace.first_time_below(probes.out1, 0.6, 7.0) {
+            Some(t) => println!(
+                "{:>12.1} | {:>19.1} ns {:>12}",
+                mult,
+                t - 7.0,
+                if t - 7.0 > 1000.0 { "yes" } else { "NO" }
+            ),
+            None => println!("{:>12.1} | {:>22} {:>12}", mult, "> window", "yes"),
+        }
+    }
+    println!("expectation: every sizing decays far inside the 1 us scan window — the keeper is mandatory");
+    println!();
+
+    // 4. Mixed sizing: widen only the critical-path gated gates.
+    println!("ABLATION 4: MIXED CRITICAL-PATH GATING (wide devices on the critical gates only)");
+    rule(108);
+    println!(
+        "{:>8} | {:>6} {:>6} | {:>14} {:>12} {:>12} | {:>14}",
+        "Ckt", "gated", "wide", "uniform (ps)", "mixed (ps)", "saved (ps)", "area add (um2)"
+    );
+    rule(108);
+    for name in ["s526", "s838", "s1423"] {
+        let profile = iscas89_profile(name).expect("profile");
+        let circuit = build_circuit(&profile);
+        let flh = flh_core::apply_style(&circuit, flh_core::DftStyle::Flh).expect("flh");
+        let result = flh_core::select_critical_gating(
+            &flh,
+            &EvalConfig::paper_default(),
+            &FlhConfig::wide_gating(),
+            8,
+        )
+        .expect("selector");
+        println!(
+            "{:>8} | {:>6} {:>6} | {:>14.0} {:>12.0} {:>12.1} | {:>14.3}",
+            name,
+            flh.gated.len(),
+            result.wide.len(),
+            result.delay_uniform_ps,
+            result.delay_mixed_ps,
+            result.delay_saved_ps(),
+            result.extra_area_um2
+        );
+    }
+    println!("expectation: a handful of wide gates recover most of the gating delay at a tiny area cost");
+}

@@ -1,0 +1,99 @@
+//! Regenerates the paper's **introduction argument**: transition-fault
+//! coverage reachable under the three application styles. Broadside
+//! ("can suffer from poor fault coverage") and skewed-load ("the second
+//! pattern is highly correlated to the first one") are compared against
+//! arbitrary two-pattern application — what enhanced scan provides
+//! expensively and FLH provides cheaply.
+//!
+//! Equal-effort random campaigns (same pair count, same seed) quantify the
+//! coverage gap per circuit.
+
+use flh_atpg::transition::enumerate_transition_faults;
+use flh_atpg::{
+    broadside_transition_atpg, random_transition_campaign, transition_atpg,
+    ApplicationStyle, PodemConfig, TestView,
+};
+use flh_bench::{build_circuit, mean, rule};
+use flh_netlist::iscas89_profiles;
+
+fn main() {
+    const PAIRS: usize = 2048;
+    const SEED: u64 = 0xc0ffee;
+
+    println!("COVERAGE BY APPLICATION STYLE ({PAIRS} random pairs + deterministic ATPG ceilings)");
+    rule(112);
+    println!(
+        "{:>8} {:>8} | {:>12} {:>12} {:>12} | {:>12} {:>12}",
+        "Ckt", "faults", "arbitrary%", "broadside%", "skewed%", "ATPG arb%", "ATPG brd%"
+    );
+    rule(112);
+
+    let mut arb_all = Vec::new();
+    let mut brd_all = Vec::new();
+    let mut skw_all = Vec::new();
+    let mut det_arb_all = Vec::new();
+    let mut det_brd_all = Vec::new();
+
+    for profile in iscas89_profiles()
+        .into_iter()
+        .filter(|p| p.gates <= 700)
+    {
+        let circuit = build_circuit(&profile);
+        let arb = random_transition_campaign(
+            &circuit,
+            ApplicationStyle::ArbitraryTwoPattern,
+            PAIRS,
+            SEED,
+        )
+        .expect("campaign");
+        let brd =
+            random_transition_campaign(&circuit, ApplicationStyle::Broadside, PAIRS, SEED)
+                .expect("campaign");
+        let skw =
+            random_transition_campaign(&circuit, ApplicationStyle::SkewedLoad, PAIRS, SEED)
+                .expect("campaign");
+
+        // Deterministic ceilings.
+        let faults = enumerate_transition_faults(&circuit);
+        let view = TestView::new(&circuit).expect("view");
+        let det_arb = transition_atpg(&view, &faults, &PodemConfig::paper_default(), SEED);
+        let det_brd =
+            broadside_transition_atpg(&circuit, &faults, &PodemConfig::paper_default(), SEED)
+                .expect("broadside atpg");
+        println!(
+            "{:>8} {:>8} | {:>12.2} {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
+            profile.name,
+            arb.total_faults,
+            arb.coverage_pct(),
+            brd.coverage_pct(),
+            skw.coverage_pct(),
+            det_arb.coverage_pct(),
+            det_brd.coverage_pct()
+        );
+        arb_all.push(arb.coverage_pct());
+        brd_all.push(brd.coverage_pct());
+        skw_all.push(skw.coverage_pct());
+        det_arb_all.push(det_arb.coverage_pct());
+        det_brd_all.push(det_brd.coverage_pct());
+    }
+
+    rule(112);
+    println!(
+        "{:>8} {:>8} | {:>12.2} {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
+        "avg", "", mean(&arb_all), mean(&brd_all), mean(&skw_all),
+        mean(&det_arb_all), mean(&det_brd_all)
+    );
+    println!();
+    println!("paper: broadside can suffer from poor coverage; skewed-load patterns are correlated; arbitrary pairs (enhanced scan / FLH) reach the best coverage");
+    println!(
+        "measured (random): arbitrary {:.1}% > skewed {:.1}% / broadside {:.1}%",
+        mean(&arb_all),
+        mean(&skw_all),
+        mean(&brd_all)
+    );
+    println!(
+        "measured (deterministic ATPG ceilings): arbitrary {:.1}% > broadside {:.1}% — the structural coverage gap holding hardware exists to close",
+        mean(&det_arb_all),
+        mean(&det_brd_all)
+    );
+}

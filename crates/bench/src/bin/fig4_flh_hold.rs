@@ -1,0 +1,57 @@
+//! Regenerates **Fig. 4** of the paper: the FLH scheme (supply gating plus
+//! the minimum-sized keeper of Fig. 3) applied to the same inverter chain.
+//! The input toggles at the 1 GHz scan rate during sleep; OUT1–OUT3 hold
+//! their state solidly.
+//!
+//! Paper reference point: "the circuit can strongly hold its state (OUT1,
+//! OUT2, and OUT3) despite the switching at the input (IN)".
+
+use flh_analog::{
+    gated_chain, simulate, steady_state_initial, GatedChainConfig, TransientConfig,
+};
+use flh_tech::Technology;
+
+fn main() {
+    let tech = Technology::bptm70();
+    // 100 ns of 1 GHz toggling (200 edges) inside the sleep window.
+    let config = GatedChainConfig::fig4(200);
+    let (circuit, probes) = gated_chain(&tech, &config);
+    let init = steady_state_initial(&tech, &probes, &circuit);
+    let window_ns = 120.0;
+    let trace = simulate(&circuit, &TransientConfig::for_window_ns(window_ns), &init);
+
+    println!("FIG. 4: FLH KEEPER HOLD THROUGH 1 GHz INPUT TOGGLING");
+    println!("sleep asserted at 2 ns, IN toggles every 0.5 ns from 7 ns");
+    println!();
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8}",
+        "t (ns)", "IN (V)", "OUT1", "OUT2", "OUT3"
+    );
+    for &t in &[0.5, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0, 119.0] {
+        let idx = trace.sample_at(t);
+        let volts = trace.snapshot(idx);
+        println!(
+            "{:>10.1} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            trace.time_ns()[idx],
+            volts[probes.input.index()],
+            volts[probes.out1.index()],
+            volts[probes.out2.index()],
+            volts[probes.out3.index()],
+        );
+    }
+
+    let worst_out1 = trace.min_in_window(probes.out1, 2.0, window_ns);
+    let worst_out2 = trace.max_in_window(probes.out2, 10.0, window_ns);
+    let worst_out3 = trace.min_in_window(probes.out3, 10.0, window_ns);
+    println!();
+    println!(
+        "hold quality over the window: OUT1 min = {worst_out1:.3} V (must stay ~VDD), OUT2 max = {worst_out2:.3} V (~0), OUT3 min = {worst_out3:.3} V (~VDD)"
+    );
+    let held = worst_out1 > 0.8 * tech.vdd
+        && worst_out2 < 0.2 * tech.vdd
+        && worst_out3 > 0.8 * tech.vdd;
+    println!(
+        "paper: state strongly held despite input switching  |  measured: {}",
+        if held { "HELD" } else { "LOST — calibration drift!" }
+    );
+}

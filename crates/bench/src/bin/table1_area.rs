@@ -1,0 +1,79 @@
+//! Regenerates **Table I** of the paper: percentage area increase of
+//! enhanced scan, the MUX-based method and FLH over the plain full-scan
+//! implementation, with the flip-flop fanout statistics.
+//!
+//! Paper reference points: FLH smallest for most circuits, an average
+//! improvement of ≈33% over enhanced scan and ≈26% over the MUX method,
+//! ≈2.3 total fanouts and ≈1.8 unique first-level gates per flip-flop on
+//! average, with s838 as the high-fanout outlier where FLH can cost more.
+
+use flh_bench::{build_circuit, evaluate_profile, mean, rule, style};
+use flh_core::{overhead_improvement_pct, DftStyle, EvalConfig};
+use flh_netlist::{iscas89_profiles, CircuitStats};
+
+fn main() {
+    let config = EvalConfig::paper_default();
+    println!("TABLE I: COMPARISON OF PERCENTAGE AREA INCREASE");
+    rule(118);
+    println!(
+        "{:>8} {:>6} {:>8} {:>8} {:>7} | {:>10} {:>10} {:>8} | {:>10} {:>10}",
+        "Ckt", "FFs", "TotalFO", "UniqueFO", "Ratio",
+        "Enh.scan%", "MUX%", "FLH%", "impr/MUX%", "impr/Enh%"
+    );
+    rule(118);
+
+    let mut enh_ovh = Vec::new();
+    let mut mux_ovh = Vec::new();
+    let mut flh_ovh = Vec::new();
+    let mut impr_mux = Vec::new();
+    let mut impr_enh = Vec::new();
+    let mut ratios = Vec::new();
+    let mut avg_fo = Vec::new();
+
+    for profile in iscas89_profiles() {
+        let circuit = build_circuit(&profile);
+        let stats = CircuitStats::compute(&circuit).expect("generated circuit is valid");
+        let evals = evaluate_profile(&profile, &config);
+        let enh = style(&evals, DftStyle::EnhancedScan).area_increase_pct();
+        let mux = style(&evals, DftStyle::MuxHold).area_increase_pct();
+        let flh = style(&evals, DftStyle::Flh).area_increase_pct();
+        let im = overhead_improvement_pct(flh, mux);
+        let ie = overhead_improvement_pct(flh, enh);
+        println!(
+            "{:>8} {:>6} {:>8} {:>8} {:>7.2} | {:>10.2} {:>10.2} {:>8.2} | {:>10.1} {:>10.1}",
+            profile.name,
+            stats.flip_flops,
+            stats.total_ff_fanouts,
+            stats.unique_first_level_gates,
+            stats.unique_fanout_ratio(),
+            enh,
+            mux,
+            flh,
+            im,
+            ie
+        );
+        enh_ovh.push(enh);
+        mux_ovh.push(mux);
+        flh_ovh.push(flh);
+        impr_mux.push(im);
+        impr_enh.push(ie);
+        ratios.push(stats.unique_fanout_ratio());
+        avg_fo.push(stats.avg_ff_fanout());
+    }
+
+    rule(118);
+    println!(
+        "{:>8} {:>6} {:>8.2} {:>8} {:>7.2} | {:>10.2} {:>10.2} {:>8.2} | {:>10.1} {:>10.1}",
+        "avg", "", mean(&avg_fo), "", mean(&ratios),
+        mean(&enh_ovh), mean(&mux_ovh), mean(&flh_ovh),
+        mean(&impr_mux), mean(&impr_enh)
+    );
+    println!();
+    println!(
+        "paper: avg fanouts/FF = 2.3, unique/FF = 1.8, FLH improvement 33% over enhanced scan, 26% over MUX"
+    );
+    println!(
+        "measured: avg fanouts/FF = {:.2}, unique/FF = {:.2}, FLH improvement {:.0}% over enhanced scan, {:.0}% over MUX",
+        mean(&avg_fo), mean(&ratios), mean(&impr_enh), mean(&impr_mux)
+    );
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Table II** of the paper: percentage critical-path delay
+//! increase per DFT style.
+//!
+//! Paper reference points: FLH has the least impact, the MUX-based method
+//! the largest; the average improvement in *delay overhead* of FLH over
+//! enhanced scan is ≈71%, and the deeper the logic, the smaller every
+//! percentage (the paper notes its benchmarks have fairly high logic
+//! depth).
+
+use flh_bench::{build_circuit, evaluate_profile, mean, rule, style};
+use flh_core::{overhead_improvement_pct, DftStyle, EvalConfig};
+use flh_netlist::{iscas89_profiles, CircuitStats};
+
+fn main() {
+    let config = EvalConfig::paper_default();
+    println!("TABLE II: COMPARISON OF DELAY OVERHEAD");
+    rule(108);
+    println!(
+        "{:>8} {:>10} {:>10} | {:>10} {:>8} {:>8} | {:>10} {:>10}",
+        "Ckt", "levels", "base(ps)", "Enh.scan%", "MUX%", "FLH%", "impr/MUX%", "impr/Enh%"
+    );
+    rule(108);
+
+    let mut enh_all = Vec::new();
+    let mut mux_all = Vec::new();
+    let mut flh_all = Vec::new();
+    let mut impr_mux = Vec::new();
+    let mut impr_enh = Vec::new();
+
+    for profile in iscas89_profiles() {
+        let circuit = build_circuit(&profile);
+        let stats = CircuitStats::compute(&circuit).expect("generated circuit is valid");
+        let evals = evaluate_profile(&profile, &config);
+        let base = style(&evals, DftStyle::PlainScan).base_delay_ps;
+        let enh = style(&evals, DftStyle::EnhancedScan).delay_increase_pct();
+        let mux = style(&evals, DftStyle::MuxHold).delay_increase_pct();
+        let flh = style(&evals, DftStyle::Flh).delay_increase_pct();
+        let im = overhead_improvement_pct(flh, mux);
+        let ie = overhead_improvement_pct(flh, enh);
+        println!(
+            "{:>8} {:>10} {:>10.0} | {:>10.2} {:>8.2} {:>8.2} | {:>10.1} {:>10.1}",
+            profile.name, stats.logic_depth, base, enh, mux, flh, im, ie
+        );
+        enh_all.push(enh);
+        mux_all.push(mux);
+        flh_all.push(flh);
+        impr_mux.push(im);
+        impr_enh.push(ie);
+    }
+
+    rule(108);
+    println!(
+        "{:>8} {:>10} {:>10} | {:>10.2} {:>8.2} {:>8.2} | {:>10.1} {:>10.1}",
+        "avg", "", "",
+        mean(&enh_all), mean(&mux_all), mean(&flh_all),
+        mean(&impr_mux), mean(&impr_enh)
+    );
+    println!();
+    println!("paper: MUX worst, FLH least; avg improvement in delay overhead over enhanced scan = 71%");
+    println!(
+        "measured: avg FLH improvement over enhanced scan = {:.0}%, over MUX = {:.0}%",
+        mean(&impr_enh),
+        mean(&impr_mux)
+    );
+}

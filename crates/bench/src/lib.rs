@@ -1,0 +1,86 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see `DESIGN.md` §4 for the experiment index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig2_floating_decay` | Fig. 2 — gated stage without keeper: floating-node decay and stage-2 short-circuit current |
+//! | `fig4_flh_hold` | Fig. 4 — FLH keeper holds through input toggling |
+//! | `table1_area` | Table I — % area increase per style |
+//! | `table2_delay` | Table II — % delay increase per style |
+//! | `table3_power` | Table III — % normal-mode power increase per style |
+//! | `table4_fanout_opt` | Table IV — Section V fanout optimization |
+//! | `coverage_invariance` | §IV — fault coverage unchanged by FLH insertion |
+//! | `coverage_styles` | §I — broadside / skewed-load / arbitrary coverage comparison |
+//! | `testmode_power` | §IV — redundant-switching suppression during scan shifting |
+
+use flh_core::{evaluate_all, DftStyle, EvalConfig, StyleEvaluation};
+use flh_netlist::{generate_circuit, CircuitProfile, Netlist};
+
+/// Generates the benchmark circuit for a profile.
+///
+/// # Panics
+///
+/// Panics on generator misconfiguration — the shipped profiles are
+/// validated by tests.
+pub fn build_circuit(profile: &CircuitProfile) -> Netlist {
+    generate_circuit(&profile.generator_config())
+        .unwrap_or_else(|e| panic!("{}: {e}", profile.name))
+}
+
+/// Per-circuit evaluation of all four styles.
+///
+/// # Panics
+///
+/// Panics if the generated circuit fails structural validation.
+pub fn evaluate_profile(profile: &CircuitProfile, config: &EvalConfig) -> Vec<StyleEvaluation> {
+    let circuit = build_circuit(profile);
+    evaluate_all(&circuit, config).unwrap_or_else(|e| panic!("{}: {e}", profile.name))
+}
+
+/// Pulls one style out of an evaluation set.
+///
+/// # Panics
+///
+/// Panics if the style was not evaluated.
+pub fn style(evals: &[StyleEvaluation], style: DftStyle) -> &StyleEvaluation {
+    evals
+        .iter()
+        .find(|e| e.style == style)
+        .expect("style evaluated")
+}
+
+/// Prints a horizontal rule sized for the tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_netlist::iscas89_profile;
+
+    #[test]
+    fn helpers_work_end_to_end() {
+        let p = iscas89_profile("s298").unwrap();
+        let cfg = EvalConfig {
+            vectors: 20,
+            ..EvalConfig::paper_default()
+        };
+        let evals = evaluate_profile(&p, &cfg);
+        assert_eq!(evals.len(), 4);
+        let flh = style(&evals, DftStyle::Flh);
+        assert!(flh.first_level_gates > 0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

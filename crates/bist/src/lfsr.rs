@@ -1,0 +1,189 @@
+//! Maximal-length Fibonacci linear feedback shift registers.
+
+/// Tap positions (1-indexed) of a maximal-length polynomial per width,
+/// after the classic Xilinx XAPP052 table. Index = width − 2.
+const TAPS: [&[u32]; 31] = [
+    &[2, 1],          // 2
+    &[3, 2],          // 3
+    &[4, 3],          // 4
+    &[5, 3],          // 5
+    &[6, 5],          // 6
+    &[7, 6],          // 7
+    &[8, 6, 5, 4],    // 8
+    &[9, 5],          // 9
+    &[10, 7],         // 10
+    &[11, 9],         // 11
+    &[12, 6, 4, 1],   // 12
+    &[13, 4, 3, 1],   // 13
+    &[14, 5, 3, 1],   // 14
+    &[15, 14],        // 15
+    &[16, 15, 13, 4], // 16
+    &[17, 14],        // 17
+    &[18, 11],        // 18
+    &[19, 6, 2, 1],   // 19
+    &[20, 17],        // 20
+    &[21, 19],        // 21
+    &[22, 21],        // 22
+    &[23, 18],        // 23
+    &[24, 23, 22, 17],// 24
+    &[25, 22],        // 25
+    &[26, 6, 2, 1],   // 26
+    &[27, 5, 2, 1],   // 27
+    &[28, 25],        // 28
+    &[29, 27],        // 29
+    &[30, 6, 4, 1],   // 30
+    &[31, 28],        // 31
+    &[32, 22, 2, 1],  // 32
+];
+
+/// Feedback tap mask of the maximal-length polynomial for `width` (2–32).
+///
+/// # Panics
+///
+/// Panics if `width` is outside 2–32.
+pub(crate) fn tap_mask(width: u32) -> u64 {
+    assert!((2..=32).contains(&width), "LFSR width {width} unsupported");
+    TAPS[(width - 2) as usize]
+        .iter()
+        .fold(0u64, |m, &t| m | 1 << (t - 1))
+}
+
+/// A Fibonacci LFSR over a maximal-length polynomial.
+///
+/// The register shifts toward bit 0; the serial output is bit 0 and the
+/// feedback (XOR of the tap bits) enters at the top. Every width from 2 to
+/// 32 cycles through all `2^w − 1` nonzero states.
+///
+/// # Example
+///
+/// ```
+/// use flh_bist::Lfsr;
+///
+/// let mut lfsr = Lfsr::new(8, 0x5a);
+/// let bits: Vec<bool> = (0..16).map(|_| lfsr.step()).collect();
+/// assert_eq!(bits.len(), 16);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lfsr {
+    width: u32,
+    tap_mask: u64,
+    state: u64,
+}
+
+impl Lfsr {
+    /// Creates an LFSR of `width` bits (2–32) seeded with `seed`.
+    ///
+    /// A zero seed (the lock-up state) is silently replaced by all-ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside 2–32.
+    pub fn new(width: u32, seed: u64) -> Self {
+        let tap_mask = tap_mask(width);
+        let state_mask = Lfsr::mask(width);
+        let mut state = seed & state_mask;
+        if state == 0 {
+            state = state_mask;
+        }
+        Lfsr {
+            width,
+            tap_mask,
+            state,
+        }
+    }
+
+    fn mask(width: u32) -> u64 {
+        if width == 64 {
+            !0
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Register width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances one cycle and returns the serial output bit.
+    ///
+    /// Left-shift Fibonacci form: the MSB streams out, the XOR of the tap
+    /// bits feeds the LSB (the XAPP052 tap table is specified for this
+    /// orientation — the highest tap is always the register width, which
+    /// keeps the transition matrix invertible).
+    pub fn step(&mut self) -> bool {
+        let out = self.state >> (self.width - 1) & 1 != 0;
+        let feedback = ((self.state & self.tap_mask).count_ones() & 1) as u64;
+        self.state = ((self.state << 1) | feedback) & Lfsr::mask(self.width);
+        out
+    }
+
+    /// Convenience: the next `n` serial output bits.
+    pub fn bits(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_period_for_small_widths() {
+        for width in 2..=16u32 {
+            let mut lfsr = Lfsr::new(width, 1);
+            let start = lfsr.state();
+            let mut period = 0u64;
+            loop {
+                lfsr.step();
+                period += 1;
+                if lfsr.state() == start {
+                    break;
+                }
+                assert!(period <= 1 << width, "width {width} cycled too long");
+            }
+            assert_eq!(period, (1u64 << width) - 1, "width {width}");
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_fixed_up() {
+        let lfsr = Lfsr::new(8, 0);
+        assert_ne!(lfsr.state(), 0);
+    }
+
+    #[test]
+    fn never_reaches_the_zero_state() {
+        let mut lfsr = Lfsr::new(10, 0x3ff);
+        for _ in 0..(1 << 11) {
+            lfsr.step();
+            assert_ne!(lfsr.state(), 0);
+        }
+    }
+
+    #[test]
+    fn output_is_balanced() {
+        let mut lfsr = Lfsr::new(16, 0xace1);
+        let ones = lfsr.bits(65535).iter().filter(|&&b| b).count();
+        // A maximal sequence has 2^(w-1) ones in a full period.
+        assert_eq!(ones, 32768);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = Lfsr::new(12, 7);
+        let mut b = Lfsr::new(12, 7);
+        assert_eq!(a.bits(100), b.bits(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn rejects_width_1() {
+        Lfsr::new(1, 1);
+    }
+}

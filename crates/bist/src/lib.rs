@@ -1,0 +1,33 @@
+//! Test-per-scan BIST with FLH holding — the Section IV application.
+//!
+//! The paper notes: *"The proposed technique can be easily applied to
+//! scan-based test-per-scan BIST circuits. … If test patterns are applied
+//! to the primary inputs serially, as in the scan chain, FLH technique
+//! proposed for scan path can be equally used to the fanout logic gates
+//! for the primary inputs to provide a transition."*
+//!
+//! This crate builds that infrastructure from scratch:
+//!
+//! * [`Lfsr`] — maximal-length Fibonacci LFSR pattern generator
+//!   (pseudo-random stimulus for scan chain and primary inputs);
+//! * [`Misr`] — multiple-input signature register compacting the unloaded
+//!   responses and primary outputs;
+//! * [`run_test_per_scan`] — a cycle-accurate test-per-scan session on the
+//!   logic simulator: shift a pattern in (holding engaged, so the
+//!   combinational block stays quiet), apply, capture, and compact the
+//!   unload stream into the MISR — under any of the paper's three holding
+//!   styles;
+//! * [`signature_detects_fault`] — golden-vs-faulty signature comparison
+//!   using `flh-atpg`'s structural fault injection.
+
+pub mod controller;
+pub mod lfsr;
+pub mod misr;
+pub mod stumps;
+
+pub use controller::{
+    run_test_per_scan, signature_detects_fault, BistConfig, BistOutcome,
+};
+pub use lfsr::Lfsr;
+pub use misr::Misr;
+pub use stumps::{run_stumps, run_stumps_on_netlist, StumpsOutcome};

@@ -1,0 +1,287 @@
+//! STUMPS — Self-Testing Using MISR and Parallel Shift-register sequence
+//! generator — the multi-chain BIST architecture used when one long chain
+//! makes test time unacceptable. A single LFSR feeds every chain through a
+//! phase shifter (distinct XOR taps per chain, decorrelating the streams);
+//! each shift cycle moves all chains one bit, and each cycle's scan-out
+//! word feeds the MISR in parallel.
+//!
+//! With FLH engaged during the shift phases, the combinational block stays
+//! quiet exactly as in the single-chain sessions — the paper's Section IV
+//! argument scales to the parallel architecture unchanged.
+
+use flh_core::DftNetlist;
+use flh_netlist::Netlist;
+use flh_sim::{HoldMechanism, Logic, LogicSim, MultiScanController, ScanChain};
+
+use crate::controller::BistConfig;
+use crate::lfsr::Lfsr;
+use crate::misr::Misr;
+
+/// Phase shifter: chain `i` receives the XOR of a small, per-chain set of
+/// LFSR state bits. Tap choices are fixed odd offsets, the standard cheap
+/// decorrelator.
+fn phase_tap(lfsr: &Lfsr, chain: usize) -> bool {
+    let w = lfsr.width();
+    let s = lfsr.state();
+    let b = |k: u32| (s >> (k % w)) & 1;
+    (b(chain as u32) ^ b(2 * chain as u32 + 1) ^ b(3 * chain as u32 + 5)) != 0
+}
+
+/// Result of a STUMPS session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StumpsOutcome {
+    /// Final MISR signature.
+    pub signature: u64,
+    /// Patterns applied.
+    pub patterns_applied: usize,
+    /// Total shift cycles spent (patterns × longest chain + final unload).
+    pub shift_cycles: usize,
+    /// Combinational toggles during shifting (zero under FLH holding).
+    pub comb_toggles_during_shift: u64,
+}
+
+/// Runs a STUMPS session over `chains` balanced parallel scan chains.
+///
+/// # Errors
+///
+/// Fails on combinationally cyclic netlists.
+///
+/// # Panics
+///
+/// Panics if `chains` is zero or the circuit produces unknown observation
+/// values (impossible once the chains carry known values).
+pub fn run_stumps(
+    dft: &DftNetlist,
+    mechanism: &HoldMechanism,
+    chains: usize,
+    config: &BistConfig,
+) -> flh_netlist::Result<StumpsOutcome> {
+    run_stumps_on_netlist(&dft.netlist, mechanism, chains, config)
+}
+
+/// [`run_stumps`] on a raw netlist (for injected-fault copies).
+///
+/// # Errors
+///
+/// Fails on combinationally cyclic netlists.
+pub fn run_stumps_on_netlist(
+    netlist: &Netlist,
+    mechanism: &HoldMechanism,
+    chains: usize,
+    config: &BistConfig,
+) -> flh_netlist::Result<StumpsOutcome> {
+    let mut sim = LogicSim::new(netlist)?;
+    let chain_list = ScanChain::partition(netlist, chains);
+    let chain_lens: Vec<usize> = chain_list.iter().map(|c| c.len()).collect();
+    let controller = MultiScanController::new(chain_list);
+    let mut lfsr = Lfsr::new(config.lfsr_width, config.lfsr_seed);
+    let mut misr = Misr::new(config.misr_width);
+
+    let engage = |sim: &mut LogicSim<'_>| match mechanism {
+        HoldMechanism::HoldCells => sim.set_hold(true),
+        HoldMechanism::SupplyGating(_) => sim.set_sleep(true),
+        HoldMechanism::None => {}
+    };
+    let release = |sim: &mut LogicSim<'_>| match mechanism {
+        HoldMechanism::HoldCells => sim.set_hold(false),
+        HoldMechanism::SupplyGating(_) => sim.set_sleep(false),
+        HoldMechanism::None => {}
+    };
+    if let HoldMechanism::SupplyGating(cells) = mechanism {
+        sim.set_gated_cells(cells);
+    }
+
+    let comb_toggles = |sim: &LogicSim<'_>| -> u64 {
+        netlist
+            .iter()
+            .filter(|(_, c)| c.kind().is_combinational() || c.kind().is_hold_element())
+            .map(|(id, _)| sim.activity().toggles(id))
+            .sum()
+    };
+
+    let n_pi = netlist.inputs().len();
+    let mut shift_toggles = 0u64;
+    let mut shift_cycles = 0usize;
+
+    let load_all = |sim: &mut LogicSim<'_>, lfsr: &mut Lfsr| -> Vec<Vec<Logic>> {
+        // Generate each chain's pattern from its phase-shifted stream.
+        let patterns: Vec<Vec<Logic>> = chain_lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                (0..len)
+                    .map(|_| {
+                        // One LFSR step per chain-bit keeps streams moving.
+                        let bit = phase_tap(lfsr, i);
+                        lfsr.step();
+                        Logic::from_bool(bit)
+                    })
+                    .collect()
+            })
+            .collect();
+        controller.shift_in(sim, &patterns)
+    };
+
+    for _ in 0..config.patterns {
+        engage(&mut sim);
+        let before = comb_toggles(&sim);
+        let unloads = load_all(&mut sim, &mut lfsr);
+        shift_toggles += comb_toggles(&sim) - before;
+        shift_cycles += controller.load_cycles();
+        // Parallel compaction: one MISR word per unload cycle (transpose).
+        let depth = unloads.iter().map(Vec::len).max().unwrap_or(0);
+        for cycle in 0..depth {
+            let word: Vec<bool> = unloads
+                .iter()
+                .map(|u| u.get(cycle).and_then(|v| v.to_bool()).unwrap_or(false))
+                .collect();
+            misr.absorb(&word);
+        }
+
+        let pis: Vec<Logic> = lfsr
+            .bits(n_pi)
+            .into_iter()
+            .map(Logic::from_bool)
+            .collect();
+        sim.set_inputs(&pis);
+        release(&mut sim);
+        sim.settle();
+        let po_bits: Vec<bool> = sim
+            .outputs()
+            .iter()
+            .map(|v| v.to_bool().expect("known PO in BIST mode"))
+            .collect();
+        misr.absorb(&po_bits);
+        sim.clock_capture();
+    }
+
+    // Final unload.
+    engage(&mut sim);
+    let before = comb_toggles(&sim);
+    let flush: Vec<Vec<Logic>> = chain_lens
+        .iter()
+        .map(|&len| vec![Logic::Zero; len])
+        .collect();
+    let unloads = controller.shift_in(&mut sim, &flush);
+    shift_toggles += comb_toggles(&sim) - before;
+    shift_cycles += controller.load_cycles();
+    let depth = unloads.iter().map(Vec::len).max().unwrap_or(0);
+    for cycle in 0..depth {
+        let word: Vec<bool> = unloads
+            .iter()
+            .map(|u| u.get(cycle).and_then(|v| v.to_bool()).unwrap_or(false))
+            .collect();
+        misr.absorb(&word);
+    }
+
+    Ok(StumpsOutcome {
+        signature: misr.signature(),
+        patterns_applied: config.patterns,
+        shift_cycles,
+        comb_toggles_during_shift: shift_toggles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_atpg::{enumerate_stuck_faults, inject_fault};
+    use flh_core::{apply_style, DftStyle};
+    use flh_netlist::{generate_circuit, GeneratorConfig};
+
+    fn circuit() -> Netlist {
+        generate_circuit(&GeneratorConfig {
+            name: "stumps".into(),
+            primary_inputs: 5,
+            primary_outputs: 4,
+            flip_flops: 12,
+            gates: 90,
+            logic_depth: 7,
+            avg_ff_fanout: 2.3,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 404,
+        })
+        .expect("generates")
+    }
+
+    #[test]
+    fn parallel_chains_cut_shift_time() {
+        let n = circuit();
+        let flh = apply_style(&n, DftStyle::Flh).unwrap();
+        let mech = flh.hold_mechanism();
+        let cfg = BistConfig::with_patterns(20);
+        let one = run_stumps(&flh, &mech, 1, &cfg).unwrap();
+        let four = run_stumps(&flh, &mech, 4, &cfg).unwrap();
+        // 12 FFs: 12 cycles/load single-chain vs 3 cycles with 4 chains.
+        assert_eq!(one.shift_cycles, 21 * 12);
+        assert_eq!(four.shift_cycles, 21 * 3);
+        // Both stay combinationally silent under FLH.
+        assert_eq!(one.comb_toggles_during_shift, 0);
+        assert_eq!(four.comb_toggles_during_shift, 0);
+    }
+
+    #[test]
+    fn plain_scan_stumps_still_leaks_switching() {
+        let n = circuit();
+        let plain = apply_style(&n, DftStyle::PlainScan).unwrap();
+        let out = run_stumps(
+            &plain,
+            &plain.hold_mechanism(),
+            3,
+            &BistConfig::with_patterns(10),
+        )
+        .unwrap();
+        assert!(out.comb_toggles_during_shift > 0);
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let n = circuit();
+        let flh = apply_style(&n, DftStyle::Flh).unwrap();
+        let mech = flh.hold_mechanism();
+        let cfg = BistConfig::with_patterns(25);
+        let a = run_stumps(&flh, &mech, 3, &cfg).unwrap();
+        let b = run_stumps(&flh, &mech, 3, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signature_detects_an_injected_fault() {
+        let n = circuit();
+        let flh = apply_style(&n, DftStyle::Flh).unwrap();
+        let mech = flh.hold_mechanism();
+        let cfg = BistConfig::with_patterns(64);
+        let golden = run_stumps(&flh, &mech, 3, &cfg).unwrap();
+        // Find a fault whose injected signature differs; most detectable
+        // faults qualify — sample a handful.
+        let faults = enumerate_stuck_faults(&flh.netlist);
+        let mut detected_any = false;
+        for fault in faults.iter().step_by(7).take(12) {
+            let faulty_netlist = inject_fault(&flh.netlist, fault);
+            let faulty =
+                run_stumps_on_netlist(&faulty_netlist, &mech, 3, &cfg).unwrap();
+            if faulty.signature != golden.signature {
+                detected_any = true;
+                break;
+            }
+        }
+        assert!(detected_any, "no sampled fault changed the STUMPS signature");
+    }
+
+    #[test]
+    fn chain_count_changes_the_stream_but_both_work() {
+        // Different chain partitions apply different stimulus (phase
+        // shifter), so signatures differ; both sessions must complete with
+        // full isolation.
+        let n = circuit();
+        let flh = apply_style(&n, DftStyle::Flh).unwrap();
+        let mech = flh.hold_mechanism();
+        let cfg = BistConfig::with_patterns(16);
+        let two = run_stumps(&flh, &mech, 2, &cfg).unwrap();
+        let six = run_stumps(&flh, &mech, 6, &cfg).unwrap();
+        assert_ne!(two.signature, six.signature);
+        assert_eq!(two.comb_toggles_during_shift, 0);
+        assert_eq!(six.comb_toggles_during_shift, 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The Table I/II/III evaluation methodology: per-style area, delay and
+//! normal-mode power, relative to the plain full-scan baseline.
+
+use flh_netlist::Netlist;
+use flh_power::{random_vector_power, FlhPowerAnnotation, PowerConfig};
+use flh_tech::{CellLibrary, FlhConfig, FlhPhysical, Technology};
+use flh_timing::{analyze, FlhAnnotation, TimingConfig};
+
+use crate::styles::{apply_style, DftNetlist, DftStyle};
+
+/// Shared evaluation environment.
+#[derive(Clone, Debug)]
+pub struct EvalConfig {
+    /// Device/cell technology.
+    pub technology: Technology,
+    /// FLH gating/keeper sizing.
+    pub flh: FlhConfig,
+    /// STA environment.
+    pub timing: TimingConfig,
+    /// Power environment.
+    pub power: PowerConfig,
+    /// Number of random vectors for power measurement (the paper uses 100).
+    pub vectors: usize,
+    /// RNG seed for the vector stream (shared across styles so the
+    /// comparison sees identical stimuli).
+    pub seed: u64,
+}
+
+impl EvalConfig {
+    /// The paper's setup: 70 nm models, default sizing, 100 random vectors.
+    pub fn paper_default() -> Self {
+        EvalConfig {
+            technology: Technology::bptm70(),
+            flh: FlhConfig::paper_default(),
+            timing: TimingConfig::paper_default(),
+            power: PowerConfig::paper_default(),
+            vectors: 100,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig::paper_default()
+    }
+}
+
+/// Absolute and relative metrics of one style on one circuit.
+#[derive(Clone, Debug)]
+pub struct StyleEvaluation {
+    /// The evaluated style.
+    pub style: DftStyle,
+    /// Baseline (plain scan) active area (µm²).
+    pub base_area_um2: f64,
+    /// Style active area including FLH gating/keeper hardware (µm²).
+    pub area_um2: f64,
+    /// Baseline critical-path delay (ps).
+    pub base_delay_ps: f64,
+    /// Style critical-path delay (ps).
+    pub delay_ps: f64,
+    /// Baseline normal-mode power (µW).
+    pub base_power_uw: f64,
+    /// Style normal-mode power (µW).
+    pub power_uw: f64,
+    /// Number of supply-gated first-level gates (FLH) or zero.
+    pub first_level_gates: usize,
+    /// Number of inserted holding cells (enhanced scan / MUX) or zero.
+    pub hold_cells: usize,
+}
+
+impl StyleEvaluation {
+    /// Percentage area increase over the plain-scan baseline (Table I).
+    pub fn area_increase_pct(&self) -> f64 {
+        100.0 * (self.area_um2 - self.base_area_um2) / self.base_area_um2
+    }
+
+    /// Percentage delay increase over the baseline (Table II).
+    pub fn delay_increase_pct(&self) -> f64 {
+        100.0 * (self.delay_ps - self.base_delay_ps) / self.base_delay_ps
+    }
+
+    /// Percentage power increase over the baseline (Table III).
+    pub fn power_increase_pct(&self) -> f64 {
+        100.0 * (self.power_uw - self.base_power_uw) / self.base_power_uw
+    }
+}
+
+/// Percentage improvement of overhead `a` relative to overhead `b`
+/// (the paper's "% improvement over" columns): `100·(1 − a/b)`.
+pub fn overhead_improvement_pct(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        100.0 * (1.0 - a / b)
+    }
+}
+
+/// Evaluates one style against the plain-scan baseline of the same circuit.
+///
+/// # Errors
+///
+/// Propagates structural/levelization failures.
+pub fn evaluate_style(
+    netlist: &Netlist,
+    style: DftStyle,
+    config: &EvalConfig,
+) -> flh_netlist::Result<StyleEvaluation> {
+    let base = apply_style(netlist, DftStyle::PlainScan)?;
+    let styled = apply_style(netlist, style)?;
+    evaluate_against(&base, &styled, config)
+}
+
+/// Evaluates all four styles, computing the baseline once.
+///
+/// # Errors
+///
+/// Propagates structural/levelization failures.
+pub fn evaluate_all(
+    netlist: &Netlist,
+    config: &EvalConfig,
+) -> flh_netlist::Result<Vec<StyleEvaluation>> {
+    let base = apply_style(netlist, DftStyle::PlainScan)?;
+    [
+        DftStyle::PlainScan,
+        DftStyle::EnhancedScan,
+        DftStyle::MuxHold,
+        DftStyle::Flh,
+    ]
+    .into_iter()
+    .map(|style| {
+        let styled = apply_style(netlist, style)?;
+        evaluate_against(&base, &styled, config)
+    })
+    .collect()
+}
+
+/// Evaluates a pre-built DFT netlist against a pre-built baseline. This is
+/// the entry point the Section V fanout optimizer uses after modifying the
+/// FLH netlist.
+///
+/// # Errors
+///
+/// Propagates structural/levelization failures.
+pub fn evaluate_against(
+    base: &DftNetlist,
+    styled: &DftNetlist,
+    config: &EvalConfig,
+) -> flh_netlist::Result<StyleEvaluation> {
+    let library = CellLibrary::new(config.technology.clone());
+    let flh_phys = FlhPhysical::derive(&config.technology, &config.flh);
+
+    // Baseline metrics.
+    let base_area_um2 = library.netlist_area_um2(&base.netlist);
+    let base_delay_ps = analyze(&base.netlist, &library, &config.timing, None)?
+        .critical_delay_ps();
+    let base_power_uw = random_vector_power(
+        &base.netlist,
+        &library,
+        &config.power,
+        None,
+        config.vectors,
+        config.seed,
+    )?
+    .total_uw();
+
+    // Style metrics.
+    let is_flh = styled.style == DftStyle::Flh;
+    let mut area_um2 = library.netlist_area_um2(&styled.netlist);
+    if is_flh {
+        area_um2 += styled.gated.len() as f64 * flh_phys.extra_area_um2;
+    }
+    let timing_ann = if is_flh {
+        Some(FlhAnnotation::new(&styled.gated, &flh_phys))
+    } else {
+        None
+    };
+    let delay_ps = analyze(&styled.netlist, &library, &config.timing, timing_ann)?
+        .critical_delay_ps();
+    let power_ann = if is_flh {
+        Some(FlhPowerAnnotation {
+            gated: &styled.gated,
+            physical: &flh_phys,
+        })
+    } else {
+        None
+    };
+    let power_uw = random_vector_power(
+        &styled.netlist,
+        &library,
+        &config.power,
+        power_ann.as_ref(),
+        config.vectors,
+        config.seed,
+    )?
+    .total_uw();
+
+    Ok(StyleEvaluation {
+        style: styled.style,
+        base_area_um2,
+        area_um2,
+        base_delay_ps,
+        delay_ps,
+        base_power_uw,
+        power_uw,
+        first_level_gates: styled.gated.len(),
+        hold_cells: styled.hold_cells.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_netlist::{generate_circuit, GeneratorConfig};
+
+    fn test_circuit() -> Netlist {
+        generate_circuit(&GeneratorConfig {
+            name: "eval".into(),
+            primary_inputs: 6,
+            primary_outputs: 5,
+            flip_flops: 12,
+            gates: 120,
+            logic_depth: 10,
+            avg_ff_fanout: 2.3,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 99,
+        })
+        .unwrap()
+    }
+
+    fn quick_config() -> EvalConfig {
+        EvalConfig {
+            vectors: 40,
+            ..EvalConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn baseline_style_has_zero_overheads() {
+        let n = test_circuit();
+        let e = evaluate_style(&n, DftStyle::PlainScan, &quick_config()).unwrap();
+        assert!(e.area_increase_pct().abs() < 1e-9);
+        assert!(e.delay_increase_pct().abs() < 1e-9);
+        assert!(e.power_increase_pct().abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_ordering_area() {
+        // Paper Table I: enhanced scan largest, then MUX, FLH smallest (for
+        // typical fanout ratios).
+        let n = test_circuit();
+        let cfg = quick_config();
+        let evals = evaluate_all(&n, &cfg).unwrap();
+        let get = |s: DftStyle| {
+            evals
+                .iter()
+                .find(|e| e.style == s)
+                .unwrap()
+                .area_increase_pct()
+        };
+        let es = get(DftStyle::EnhancedScan);
+        let mx = get(DftStyle::MuxHold);
+        let flh = get(DftStyle::Flh);
+        assert!(es > mx, "enhanced {es} !> mux {mx}");
+        assert!(mx > flh, "mux {mx} !> flh {flh}");
+        assert!(flh > 0.0);
+    }
+
+    #[test]
+    fn table_ordering_delay() {
+        // Paper Table II: MUX worst, enhanced scan next, FLH least.
+        let n = test_circuit();
+        let cfg = quick_config();
+        let evals = evaluate_all(&n, &cfg).unwrap();
+        let get = |s: DftStyle| {
+            evals
+                .iter()
+                .find(|e| e.style == s)
+                .unwrap()
+                .delay_increase_pct()
+        };
+        let es = get(DftStyle::EnhancedScan);
+        let mx = get(DftStyle::MuxHold);
+        let flh = get(DftStyle::Flh);
+        assert!(mx > es, "mux {mx} !> enhanced {es}");
+        assert!(es > flh, "enhanced {es} !> flh {flh}");
+        assert!(flh >= 0.0);
+    }
+
+    #[test]
+    fn table_ordering_power() {
+        // Paper Table III: FLH power overhead near zero, far below both.
+        let n = test_circuit();
+        let cfg = quick_config();
+        let evals = evaluate_all(&n, &cfg).unwrap();
+        let get = |s: DftStyle| {
+            evals
+                .iter()
+                .find(|e| e.style == s)
+                .unwrap()
+                .power_increase_pct()
+        };
+        let es = get(DftStyle::EnhancedScan);
+        let mx = get(DftStyle::MuxHold);
+        let flh = get(DftStyle::Flh);
+        assert!(es > 5.0, "enhanced scan power overhead {es}% too small");
+        assert!(mx > 5.0);
+        assert!(flh < 0.35 * es, "flh {flh}% not << enhanced {es}%");
+    }
+
+    #[test]
+    fn improvement_metric() {
+        assert!((overhead_improvement_pct(2.0, 8.0) - 75.0).abs() < 1e-9);
+        assert_eq!(overhead_improvement_pct(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn flh_counts_first_level_gates() {
+        let n = test_circuit();
+        let e = evaluate_style(&n, DftStyle::Flh, &quick_config()).unwrap();
+        // 12 FFs × 1.8 ≈ 22 unique first-level gates.
+        assert_eq!(e.first_level_gates, 22);
+        assert_eq!(e.hold_cells, 0);
+    }
+
+    #[test]
+    fn flh_area_accounting_is_exact() {
+        use flh_tech::{CellLibrary, FlhPhysical};
+        let n = test_circuit();
+        let cfg = quick_config();
+        let e = evaluate_style(&n, DftStyle::Flh, &cfg).unwrap();
+        let lib = CellLibrary::new(cfg.technology.clone());
+        let phys = FlhPhysical::derive(&cfg.technology, &cfg.flh);
+        let flh = apply_style(&n, DftStyle::Flh).unwrap();
+        let expect = lib.netlist_area_um2(&flh.netlist)
+            + flh.gated.len() as f64 * phys.extra_area_um2;
+        assert!((e.area_um2 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let n = test_circuit();
+        let cfg = quick_config();
+        let a = evaluate_style(&n, DftStyle::EnhancedScan, &cfg).unwrap();
+        let b = evaluate_style(&n, DftStyle::EnhancedScan, &cfg).unwrap();
+        assert_eq!(a.area_um2, b.area_um2);
+        assert_eq!(a.delay_ps, b.delay_ps);
+        assert_eq!(a.power_uw, b.power_uw);
+    }
+
+    #[test]
+    fn shared_seed_means_shared_baseline() {
+        // All styles in one evaluate_all run report the same baseline.
+        let n = test_circuit();
+        let evals = evaluate_all(&n, &quick_config()).unwrap();
+        for w in evals.windows(2) {
+            assert_eq!(w[0].base_area_um2, w[1].base_area_um2);
+            assert_eq!(w[0].base_delay_ps, w[1].base_delay_ps);
+            assert_eq!(w[0].base_power_uw, w[1].base_power_uw);
+        }
+    }
+
+    #[test]
+    fn hold_cell_counts_match_flip_flops() {
+        let n = test_circuit();
+        let cfg = quick_config();
+        let es = evaluate_style(&n, DftStyle::EnhancedScan, &cfg).unwrap();
+        assert_eq!(es.hold_cells, n.flip_flops().len());
+        assert_eq!(es.first_level_gates, 0);
+        let mx = evaluate_style(&n, DftStyle::MuxHold, &cfg).unwrap();
+        assert_eq!(mx.hold_cells, n.flip_flops().len());
+    }
+}

@@ -1,0 +1,84 @@
+//! Full-scan insertion.
+//!
+//! Converts every D flip-flop into a muxed-D scan flip-flop. The scan path
+//! itself is structural metadata (`flh_sim::ScanChain` chains the
+//! flip-flops in declaration order); the area/power cost of the scan mux is
+//! carried by the `ScanDff` cell characterization in `flh-tech`. All three
+//! DFT styles of the paper share this baseline — their reported overheads
+//! are measured *on top of* it.
+
+use flh_netlist::{CellKind, Netlist};
+
+/// Returns a copy of `netlist` with every `Dff` retyped to `ScanDff`.
+///
+/// Idempotent: already-scan flip-flops are left alone.
+///
+/// # Example
+///
+/// ```
+/// use flh_core::insert_scan;
+/// use flh_netlist::{CellKind, Netlist};
+///
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a");
+/// let ff = n.add_cell("r", CellKind::Dff, vec![a]);
+/// n.add_output("y", ff);
+/// let scanned = insert_scan(&n);
+/// let ff = scanned.find("r").unwrap();
+/// assert_eq!(scanned.cell(ff).kind(), CellKind::ScanDff);
+/// ```
+pub fn insert_scan(netlist: &Netlist) -> Netlist {
+    let mut out = netlist.clone();
+    for &ff in netlist.flip_flops() {
+        if out.cell(ff).kind() == CellKind::Dff {
+            out.retype_cell(ff, CellKind::ScanDff);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converts_all_dffs() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let f1 = n.add_cell("f1", CellKind::Dff, vec![a]);
+        let f2 = n.add_cell("f2", CellKind::Dff, vec![f1]);
+        n.add_output("y", f2);
+        let s = insert_scan(&n);
+        for &ff in s.flip_flops() {
+            assert_eq!(s.cell(ff).kind(), CellKind::ScanDff);
+        }
+        // Original untouched.
+        assert_eq!(n.cell(f1).kind(), CellKind::Dff);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        n.add_cell("f1", CellKind::ScanDff, vec![a]);
+        let s = insert_scan(&n);
+        assert_eq!(s.flip_flops().len(), 1);
+        assert_eq!(
+            s.cell(s.flip_flops()[0]).kind(),
+            CellKind::ScanDff
+        );
+    }
+
+    #[test]
+    fn preserves_structure() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let f = n.add_cell("f", CellKind::Dff, vec![a]);
+        let g = n.add_cell("g", CellKind::Inv, vec![f]);
+        n.add_output("y", g);
+        let s = insert_scan(&n);
+        assert_eq!(s.cell_count(), n.cell_count());
+        assert_eq!(s.gate_count(), n.gate_count());
+    }
+}

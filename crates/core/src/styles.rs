@@ -1,0 +1,294 @@
+//! The three holding styles for arbitrary two-pattern test application.
+
+use flh_netlist::{analysis, CellId, CellKind, Netlist};
+use flh_sim::HoldMechanism;
+
+use crate::scan::insert_scan;
+
+/// Which DFT-for-delay-test style to apply on top of full scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DftStyle {
+    /// Full scan only — the baseline all overheads are measured against.
+    PlainScan,
+    /// Enhanced scan: a hold latch at the output of every scan flip-flop
+    /// (Fig. 1(b) left), controlled by the extra `HOLD` signal.
+    EnhancedScan,
+    /// MUX-based holding at the output of every scan flip-flop (Fig. 1(b)
+    /// right, after Zhang et al. \[13\]).
+    MuxHold,
+    /// First Level Hold — the paper's technique: supply gating plus a
+    /// minimum-sized keeper on every first-level gate; no holding element
+    /// in the stimulus path and no extra control signal.
+    Flh,
+}
+
+impl DftStyle {
+    /// Human-readable name matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DftStyle::PlainScan => "plain scan",
+            DftStyle::EnhancedScan => "enhanced scan",
+            DftStyle::MuxHold => "MUX-based",
+            DftStyle::Flh => "FLH",
+        }
+    }
+}
+
+impl std::fmt::Display for DftStyle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A netlist with one DFT style applied.
+#[derive(Clone, Debug)]
+pub struct DftNetlist {
+    /// The transformed circuit.
+    pub netlist: Netlist,
+    /// The style applied.
+    pub style: DftStyle,
+    /// FLH only: the supply-gated first-level gates.
+    pub gated: Vec<CellId>,
+    /// Enhanced scan / MUX only: the inserted holding cells.
+    pub hold_cells: Vec<CellId>,
+}
+
+impl DftNetlist {
+    /// The simulator-facing holding mechanism for this style.
+    pub fn hold_mechanism(&self) -> HoldMechanism {
+        match self.style {
+            DftStyle::PlainScan => HoldMechanism::None,
+            DftStyle::EnhancedScan | DftStyle::MuxHold => HoldMechanism::HoldCells,
+            DftStyle::Flh => HoldMechanism::SupplyGating(self.gated.clone()),
+        }
+    }
+}
+
+/// Applies a DFT style to a circuit (full-scan insertion happens first; the
+/// input may carry plain `Dff`s).
+///
+/// * `EnhancedScan` / `MuxHold`: a holding cell is spliced between every
+///   scan flip-flop and **all** of its readers (Fig. 1(a): the holding
+///   logic sits in the stimulus path).
+/// * `Flh`: no structural change beyond scan — the unique first-level
+///   gates are computed and returned in [`DftNetlist::gated`].
+///
+/// # Errors
+///
+/// Propagates structural validation failures.
+///
+/// # Example
+///
+/// ```
+/// use flh_core::{apply_style, DftStyle};
+/// use flh_netlist::{CellKind, Netlist};
+///
+/// # fn main() -> Result<(), flh_netlist::NetlistError> {
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a");
+/// let ff = n.add_cell("r", CellKind::Dff, vec![a]);
+/// let g = n.add_cell("g", CellKind::Inv, vec![ff]);
+/// n.add_output("y", g);
+/// let es = apply_style(&n, DftStyle::EnhancedScan)?;
+/// assert_eq!(es.hold_cells.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn apply_style(netlist: &Netlist, style: DftStyle) -> flh_netlist::Result<DftNetlist> {
+    let mut out = insert_scan(netlist);
+    let mut gated = Vec::new();
+    let mut hold_cells = Vec::new();
+
+    match style {
+        DftStyle::PlainScan => {}
+        DftStyle::EnhancedScan | DftStyle::MuxHold => {
+            let kind = if style == DftStyle::EnhancedScan {
+                CellKind::HoldLatch
+            } else {
+                CellKind::HoldMux
+            };
+            let ffs: Vec<CellId> = out.flip_flops().to_vec();
+            for ff in ffs {
+                let name = format!("{}_hold", out.cell(ff).name());
+                let hold = out.add_cell(name, kind, vec![ff]);
+                out.redirect_readers(ff, hold, &[]);
+                hold_cells.push(hold);
+            }
+        }
+        DftStyle::Flh => {
+            let fanouts = analysis::FanoutMap::compute(&out);
+            gated = analysis::first_level_gates(&out, &fanouts);
+        }
+    }
+
+    out.validate()?;
+    Ok(DftNetlist {
+        netlist: out,
+        style,
+        gated,
+        hold_cells,
+    })
+}
+
+
+/// Applies FLH with the Section IV BIST extension: the first-level gates of
+/// the **primary inputs** are supply-gated too, so a serially loaded PI
+/// register (test-per-scan BIST applying "test patterns … to the primary
+/// inputs serially, as in the scan chain") can change bit by bit while the
+/// combinational circuit keeps seeing V1 everywhere.
+///
+/// # Errors
+///
+/// Propagates structural validation failures.
+pub fn apply_flh_with_pi_hold(netlist: &Netlist) -> flh_netlist::Result<DftNetlist> {
+    let mut dft = apply_style(netlist, DftStyle::Flh)?;
+    let fanouts = analysis::FanoutMap::compute(&dft.netlist);
+    let mut sources: Vec<CellId> = dft.netlist.flip_flops().to_vec();
+    sources.extend_from_slice(dft.netlist.inputs());
+    dft.gated = analysis::first_level_gates_of(&dft.netlist, &fanouts, &sources);
+    Ok(dft)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_netlist::analysis::FanoutMap;
+
+    /// Two FFs sharing a first-level gate, plus a private one.
+    fn circuit() -> Netlist {
+        let mut n = Netlist::new("c");
+        let a = n.add_input("a");
+        let f1 = n.add_cell("f1", CellKind::Dff, vec![a]);
+        let f2 = n.add_cell("f2", CellKind::Dff, vec![a]);
+        let g1 = n.add_cell("g1", CellKind::Nand2, vec![f1, f2]);
+        let g2 = n.add_cell("g2", CellKind::Inv, vec![f1]);
+        let g3 = n.add_cell("g3", CellKind::Nor2, vec![g1, g2]);
+        n.set_fanin_pin(f1, 0, g3);
+        n.set_fanin_pin(f2, 0, g1);
+        n.add_output("y", g3);
+        n
+    }
+
+    #[test]
+    fn plain_scan_changes_nothing_structural() {
+        let n = circuit();
+        let d = apply_style(&n, DftStyle::PlainScan).unwrap();
+        assert_eq!(d.netlist.cell_count(), n.cell_count());
+        assert!(d.gated.is_empty());
+        assert!(d.hold_cells.is_empty());
+        assert!(matches!(d.hold_mechanism(), HoldMechanism::None));
+    }
+
+    #[test]
+    fn enhanced_scan_splices_latches_into_all_stimulus_paths() {
+        let n = circuit();
+        let d = apply_style(&n, DftStyle::EnhancedScan).unwrap();
+        assert_eq!(d.hold_cells.len(), 2);
+        // Every former reader of a FF now reads the latch.
+        let fo = FanoutMap::compute(&d.netlist);
+        for &ff in d.netlist.flip_flops() {
+            let readers = fo.readers(ff);
+            assert_eq!(readers.len(), 1, "FF must only feed its latch");
+            assert_eq!(
+                d.netlist.cell(readers[0]).kind(),
+                CellKind::HoldLatch
+            );
+        }
+        // g1 reads both latches now.
+        let g1 = d.netlist.find("g1").unwrap();
+        for &f in d.netlist.cell(g1).fanin() {
+            assert!(d.netlist.cell(f).kind().is_hold_element());
+        }
+        assert!(matches!(d.hold_mechanism(), HoldMechanism::HoldCells));
+    }
+
+    #[test]
+    fn mux_style_uses_hold_mux_cells() {
+        let n = circuit();
+        let d = apply_style(&n, DftStyle::MuxHold).unwrap();
+        assert_eq!(d.hold_cells.len(), 2);
+        for &h in &d.hold_cells {
+            assert_eq!(d.netlist.cell(h).kind(), CellKind::HoldMux);
+        }
+    }
+
+    #[test]
+    fn flh_identifies_unique_first_level_gates() {
+        let n = circuit();
+        let d = apply_style(&n, DftStyle::Flh).unwrap();
+        // g1 (shared) and g2: two unique first-level gates.
+        assert_eq!(d.gated.len(), 2);
+        let names: Vec<&str> = d
+            .gated
+            .iter()
+            .map(|&id| d.netlist.cell(id).name())
+            .collect();
+        assert!(names.contains(&"g1"));
+        assert!(names.contains(&"g2"));
+        // No structural change: same cell count as plain scan.
+        assert_eq!(d.netlist.cell_count(), n.cell_count());
+        assert!(matches!(d.hold_mechanism(), HoldMechanism::SupplyGating(_)));
+    }
+
+    #[test]
+    fn all_styles_scan_convert_the_flip_flops() {
+        let n = circuit();
+        for style in [
+            DftStyle::PlainScan,
+            DftStyle::EnhancedScan,
+            DftStyle::MuxHold,
+            DftStyle::Flh,
+        ] {
+            let d = apply_style(&n, style).unwrap();
+            for &ff in d.netlist.flip_flops() {
+                assert_eq!(d.netlist.cell(ff).kind(), CellKind::ScanDff, "{style}");
+            }
+            d.netlist.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn pi_hold_variant_gates_primary_input_readers_too() {
+        use flh_sim::{Logic, LogicSim};
+        let n = circuit();
+        let plain = apply_style(&n, DftStyle::Flh).unwrap();
+        let extended = apply_flh_with_pi_hold(&n).unwrap();
+        assert!(extended.gated.len() >= plain.gated.len());
+        // Every combinational reader of a PI is now gated.
+        let fo = FanoutMap::compute(&extended.netlist);
+        for &pi in extended.netlist.inputs() {
+            for &r in fo.readers(pi) {
+                if extended.netlist.cell(r).kind().is_combinational() {
+                    assert!(extended.gated.contains(&r), "ungated PI reader");
+                }
+            }
+        }
+        // Behavioural check: with sleep engaged, changing a PI bit by bit
+        // (a serial BIST PI load) leaves the whole combinational block
+        // frozen.
+        let mut sim = LogicSim::new(&extended.netlist).unwrap();
+        sim.set_gated_cells(&extended.gated);
+        for i in 0..extended.netlist.flip_flops().len() {
+            sim.set_ff_by_index(i, Logic::Zero);
+        }
+        sim.set_inputs(&[Logic::Zero]);
+        sim.settle();
+        sim.set_sleep(true);
+        sim.reset_activity();
+        sim.set_inputs(&[Logic::One]);
+        sim.settle();
+        let comb_toggles: u64 = extended
+            .netlist
+            .iter()
+            .filter(|(_, c)| c.kind().is_combinational())
+            .map(|(id, _)| sim.activity().toggles(id))
+            .sum();
+        assert_eq!(comb_toggles, 0, "PI change leaked through gated boundary");
+    }
+
+    #[test]
+    fn style_labels() {
+        assert_eq!(DftStyle::Flh.to_string(), "FLH");
+        assert_eq!(DftStyle::EnhancedScan.label(), "enhanced scan");
+    }
+}

@@ -1,0 +1,436 @@
+//! ISCAS89 `.bench` format reader and writer.
+//!
+//! The classic interchange format used for the ISCAS89 sequential
+//! benchmarks:
+//!
+//! ```text
+//! # s27
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = DFF(G13)
+//! G14 = NOT(G0)
+//! G13 = NAND(G14, G10)
+//! G17 = OR(G13, G14)
+//! ```
+//!
+//! Supported functions: `AND`, `OR`, `NAND`, `NOR`, `XOR`, `XNOR`, `NOT`,
+//! `BUFF`, `DFF` plus the extensions this workspace writes for mapped and
+//! DFT cells (`AOI21/AOI22/OAI21/OAI22`, `MUX`, `SDFF`, `HOLDL`, `HOLDM`,
+//! `CONST0`, `CONST1`). Gates of 2–4 inputs parse to library cells; wider
+//! gates parse to generic `*N` kinds for the [`crate::mapper`] to reduce.
+
+use std::collections::HashMap;
+
+use crate::cell::{CellId, CellKind};
+use crate::error::NetlistError;
+use crate::graph::Netlist;
+use crate::Result;
+
+/// Suffix appended to a signal name to form its primary-output marker cell,
+/// avoiding a collision with the driving gate's cell name.
+pub const OUTPUT_SUFFIX: &str = "__po";
+
+#[derive(Debug)]
+enum Stmt {
+    Input(String),
+    Output(String),
+    Assign {
+        target: String,
+        func: String,
+        args: Vec<String>,
+    },
+}
+
+fn parse_line(line_no: usize, raw: &str) -> Result<Option<Stmt>> {
+    let line = match raw.find('#') {
+        Some(pos) => &raw[..pos],
+        None => raw,
+    }
+    .trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let syntax = |message: String| NetlistError::BenchSyntax {
+        line: line_no,
+        message,
+    };
+
+    let paren_list = |s: &str| -> Result<(String, Vec<String>)> {
+        let open = s
+            .find('(')
+            .ok_or_else(|| syntax(format!("expected '(' in {s:?}")))?;
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| syntax(format!("expected ')' in {s:?}")))?;
+        if close < open {
+            return Err(syntax(format!("mismatched parentheses in {s:?}")));
+        }
+        let head = s[..open].trim().to_string();
+        let args: Vec<String> = s[open + 1..close]
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        Ok((head, args))
+    };
+
+    if let Some(eq) = line.find('=') {
+        let target = line[..eq].trim();
+        if target.is_empty() {
+            return Err(syntax("empty assignment target".into()));
+        }
+        let rhs = line[eq + 1..].trim();
+        // Nullary constants may omit parentheses.
+        if rhs.eq_ignore_ascii_case("CONST0") || rhs.eq_ignore_ascii_case("CONST1") {
+            return Ok(Some(Stmt::Assign {
+                target: target.to_string(),
+                func: rhs.to_ascii_uppercase(),
+                args: Vec::new(),
+            }));
+        }
+        let (func, args) = paren_list(rhs)?;
+        if func.is_empty() {
+            return Err(syntax("missing function name".into()));
+        }
+        Ok(Some(Stmt::Assign {
+            target: target.to_string(),
+            func: func.to_ascii_uppercase(),
+            args,
+        }))
+    } else {
+        let (head, mut args) = paren_list(line)?;
+        if args.len() != 1 {
+            return Err(syntax(format!(
+                "{head} declaration takes exactly one signal"
+            )));
+        }
+        let name = args.pop().expect("length checked");
+        match head.to_ascii_uppercase().as_str() {
+            "INPUT" => Ok(Some(Stmt::Input(name))),
+            "OUTPUT" => Ok(Some(Stmt::Output(name))),
+            other => Err(syntax(format!("unknown declaration {other:?}"))),
+        }
+    }
+}
+
+fn kind_for(line_no: usize, func: &str, arity: usize) -> Result<CellKind> {
+    let syntax = |message: String| NetlistError::BenchSyntax {
+        line: line_no,
+        message,
+    };
+    let wide = |n: usize| -> Result<u8> {
+        if (2..=16).contains(&n) {
+            Ok(n as u8)
+        } else {
+            Err(syntax(format!("{func} with {n} inputs is unsupported")))
+        }
+    };
+    let expect = |want: usize, kind: CellKind| -> Result<CellKind> {
+        if arity == want {
+            Ok(kind)
+        } else {
+            Err(syntax(format!("{func} expects {want} inputs, got {arity}")))
+        }
+    };
+    match func {
+        "AND" => Ok(match arity {
+            2 => CellKind::And2,
+            3 => CellKind::And3,
+            4 => CellKind::And4,
+            n => CellKind::AndN(wide(n)?),
+        }),
+        "NAND" => Ok(match arity {
+            2 => CellKind::Nand2,
+            3 => CellKind::Nand3,
+            4 => CellKind::Nand4,
+            n => CellKind::NandN(wide(n)?),
+        }),
+        "OR" => Ok(match arity {
+            2 => CellKind::Or2,
+            3 => CellKind::Or3,
+            4 => CellKind::Or4,
+            n => CellKind::OrN(wide(n)?),
+        }),
+        "NOR" => Ok(match arity {
+            2 => CellKind::Nor2,
+            3 => CellKind::Nor3,
+            4 => CellKind::Nor4,
+            n => CellKind::NorN(wide(n)?),
+        }),
+        "XOR" => Ok(match arity {
+            2 => CellKind::Xor2,
+            n => CellKind::XorN(wide(n)?),
+        }),
+        "XNOR" => expect(2, CellKind::Xnor2),
+        "NOT" | "INV" => expect(1, CellKind::Inv),
+        "BUFF" | "BUF" => expect(1, CellKind::Buf),
+        "DFF" => expect(1, CellKind::Dff),
+        "SDFF" => expect(1, CellKind::ScanDff),
+        "HOLDL" => expect(1, CellKind::HoldLatch),
+        "HOLDM" => expect(1, CellKind::HoldMux),
+        "MUX" => expect(3, CellKind::Mux2),
+        "AOI21" => expect(3, CellKind::Aoi21),
+        "AOI22" => expect(4, CellKind::Aoi22),
+        "OAI21" => expect(3, CellKind::Oai21),
+        "OAI22" => expect(4, CellKind::Oai22),
+        "CONST0" => expect(0, CellKind::Const0),
+        "CONST1" => expect(0, CellKind::Const1),
+        other => Err(syntax(format!("unknown function {other:?}"))),
+    }
+}
+
+/// Parses `.bench` text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BenchSyntax`] for malformed lines,
+/// [`NetlistError::UndefinedSignal`] when a signal is referenced but never
+/// defined, and [`NetlistError::DuplicateName`] for double definitions.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), flh_netlist::NetlistError> {
+/// let n = flh_netlist::bench_io::parse_bench(
+///     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
+///     "tiny",
+/// )?;
+/// assert_eq!(n.gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(text: &str, design_name: &str) -> Result<Netlist> {
+    let mut stmts = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if let Some(stmt) = parse_line(i + 1, raw)? {
+            stmts.push((i + 1, stmt));
+        }
+    }
+
+    let mut netlist = Netlist::new(design_name);
+    let mut signals: HashMap<String, CellId> = HashMap::new();
+
+    // Pass 1: create all signal-defining cells with placeholder fanin.
+    for (line, stmt) in &stmts {
+        match stmt {
+            Stmt::Input(name) => {
+                if signals.contains_key(name) {
+                    return Err(NetlistError::DuplicateName { name: name.clone() });
+                }
+                let id = netlist.add_input(name.clone());
+                signals.insert(name.clone(), id);
+            }
+            Stmt::Assign { target, func, args } => {
+                if signals.contains_key(target) {
+                    return Err(NetlistError::DuplicateName {
+                        name: target.clone(),
+                    });
+                }
+                let kind = kind_for(*line, func, args.len())?;
+                // Placeholder self-references are patched in pass 2.
+                let id = if matches!(kind, CellKind::Const0 | CellKind::Const1) {
+                    netlist.add_cell(target.clone(), kind, Vec::new())
+                } else {
+                    let placeholder = CellId::from_index(netlist.cell_count());
+                    netlist.add_cell(target.clone(), kind, vec![placeholder; args.len()])
+                };
+                signals.insert(target.clone(), id);
+            }
+            Stmt::Output(_) => {}
+        }
+    }
+
+    // Pass 2: resolve fanin references.
+    for (_, stmt) in &stmts {
+        if let Stmt::Assign { target, args, .. } = stmt {
+            let id = signals[target];
+            for (pin, arg) in args.iter().enumerate() {
+                let driver = *signals.get(arg).ok_or_else(|| NetlistError::UndefinedSignal {
+                    name: arg.clone(),
+                })?;
+                netlist.set_fanin_pin(id, pin, driver);
+            }
+        }
+    }
+
+    // Pass 3: create output markers.
+    for (_, stmt) in &stmts {
+        if let Stmt::Output(name) = stmt {
+            let driver = *signals.get(name).ok_or_else(|| NetlistError::UndefinedSignal {
+                name: name.clone(),
+            })?;
+            netlist.add_output(format!("{name}{OUTPUT_SUFFIX}"), driver);
+        }
+    }
+
+    netlist.validate()?;
+    Ok(netlist)
+}
+
+/// Serializes a netlist to `.bench` text.
+///
+/// Primary-output markers named `<signal>__po` are written back as
+/// `OUTPUT(<signal>)`; generic wide gates are written with their base
+/// function name, so `parse_bench(write_bench(n))` round-trips.
+pub fn write_bench(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", netlist.name()));
+    for &id in netlist.inputs() {
+        out.push_str(&format!("INPUT({})\n", netlist.cell(id).name()));
+    }
+    for &id in netlist.outputs() {
+        let driver = netlist.cell(id).fanin()[0];
+        out.push_str(&format!("OUTPUT({})\n", netlist.cell(driver).name()));
+    }
+    for (_, cell) in netlist.iter() {
+        let kind = cell.kind();
+        if matches!(kind, CellKind::Input | CellKind::Output) {
+            continue;
+        }
+        let args: Vec<&str> = cell
+            .fanin()
+            .iter()
+            .map(|&f| netlist.cell(f).name())
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            cell.name(),
+            kind.library_name(),
+            args.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S27ISH: &str = "\
+# a tiny sequential circuit in the s27 spirit
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G14 = NOT(G0)
+G10 = NOR(G14, G5)
+G11 = NAND(G1, G2)
+G17 = OR(G10, G6)
+";
+
+    #[test]
+    fn parse_sequential_circuit() {
+        let n = parse_bench(S27ISH, "s27ish").unwrap();
+        assert_eq!(n.inputs().len(), 3);
+        assert_eq!(n.outputs().len(), 1);
+        assert_eq!(n.flip_flops().len(), 2);
+        assert_eq!(n.gate_count(), 4);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        // G10 uses G14 which is defined later.
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(x)\nx = NOT(a)\n";
+        let n = parse_bench(text, "fwd").unwrap();
+        assert_eq!(n.gate_count(), 2);
+    }
+
+    #[test]
+    fn wide_gates_become_generic() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\ny = NAND(a,b,c,d,e)\n";
+        let n = parse_bench(text, "wide").unwrap();
+        let y = n.find("y").unwrap();
+        assert_eq!(n.cell(y).kind(), CellKind::NandN(5));
+    }
+
+    #[test]
+    fn four_input_gates_are_library_cells() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\ny = NOR(a,b,c,d)\n";
+        let n = parse_bench(text, "n4").unwrap();
+        let y = n.find("y").unwrap();
+        assert_eq!(n.cell(y).kind(), CellKind::Nor4);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\nINPUT(a) # trailing comment\nOUTPUT(a)\n\n";
+        let n = parse_bench(text, "c").unwrap();
+        assert_eq!(n.inputs().len(), 1);
+        assert_eq!(n.outputs().len(), 1);
+    }
+
+    #[test]
+    fn undefined_signal_is_reported() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(zz)\n";
+        match parse_bench(text, "u") {
+            Err(NetlistError::UndefinedSignal { name }) => assert_eq!(name, "zz"),
+            other => panic!("expected UndefinedSignal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_definition_is_reported() {
+        let text = "INPUT(a)\na = NOT(a)\n";
+        assert!(matches!(
+            parse_bench(text, "d"),
+            Err(NetlistError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn syntax_error_carries_line_number() {
+        let text = "INPUT(a)\ny == NOT(a)\n";
+        match parse_bench(text, "s") {
+            Err(NetlistError::BenchSyntax { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected BenchSyntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_arity_is_reported() {
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n";
+        assert!(matches!(
+            parse_bench(text, "w"),
+            Err(NetlistError::BenchSyntax { line: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let n1 = parse_bench(S27ISH, "s27ish").unwrap();
+        let text = write_bench(&n1);
+        let n2 = parse_bench(&text, "s27ish").unwrap();
+        assert_eq!(n1.cell_count(), n2.cell_count());
+        assert_eq!(n1.inputs().len(), n2.inputs().len());
+        assert_eq!(n1.outputs().len(), n2.outputs().len());
+        assert_eq!(n1.flip_flops().len(), n2.flip_flops().len());
+        // Kind multiset must match.
+        let hist = |n: &Netlist| {
+            let mut h: Vec<String> = n.iter().map(|(_, c)| c.kind().to_string()).collect();
+            h.sort();
+            h
+        };
+        assert_eq!(hist(&n1), hist(&n2));
+    }
+
+    #[test]
+    fn dft_extension_cells_round_trip() {
+        let text = "INPUT(a)\nOUTPUT(y)\nf = SDFF(a)\nh = HOLDL(f)\ny = NOT(h)\n";
+        let n = parse_bench(text, "ext").unwrap();
+        let h = n.find("h").unwrap();
+        assert_eq!(n.cell(h).kind(), CellKind::HoldLatch);
+        let n2 = parse_bench(&write_bench(&n), "ext2").unwrap();
+        assert_eq!(n2.find("h").map(|id| n2.cell(id).kind()), Some(CellKind::HoldLatch));
+    }
+
+    #[test]
+    fn constants_parse() {
+        let text = "OUTPUT(y)\nz = CONST1\ny = NOT(z)\n";
+        let n = parse_bench(text, "k").unwrap();
+        let z = n.find("z").unwrap();
+        assert_eq!(n.cell(z).kind(), CellKind::Const1);
+    }
+}

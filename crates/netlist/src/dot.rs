@@ -1,0 +1,129 @@
+//! Graphviz `dot` export for netlist visualization.
+
+use std::fmt::Write as _;
+
+use crate::cell::{CellId, CellKind};
+use crate::graph::Netlist;
+
+/// Options for [`to_dot`].
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Cells to highlight (e.g. the FLH-gated first-level gates); rendered
+    /// filled.
+    pub highlight: Vec<CellId>,
+    /// Left-to-right layout instead of top-down.
+    pub left_to_right: bool,
+}
+
+fn shape(kind: CellKind) -> &'static str {
+    use CellKind::*;
+    match kind {
+        Input => "invtriangle",
+        Output => "triangle",
+        Dff | ScanDff => "box",
+        HoldLatch | HoldMux => "component",
+        Const0 | Const1 => "plaintext",
+        _ => "ellipse",
+    }
+}
+
+/// Renders the netlist as a Graphviz digraph. Edge direction follows
+/// signal flow (driver → reader); node labels carry the instance name and
+/// kind.
+///
+/// # Example
+///
+/// ```
+/// use flh_netlist::{dot, CellKind, Netlist};
+///
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a");
+/// let g = n.add_cell("g", CellKind::Inv, vec![a]);
+/// n.add_output("y", g);
+/// let text = dot::to_dot(&n, &dot::DotOptions::default());
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("\"a\" -> \"g\""));
+/// ```
+pub fn to_dot(netlist: &Netlist, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name());
+    if options.left_to_right {
+        let _ = writeln!(out, "  rankdir=LR;");
+    }
+    let _ = writeln!(out, "  node [fontsize=10];");
+    for (id, cell) in netlist.iter() {
+        let fill = if options.highlight.contains(&id) {
+            ", style=filled, fillcolor=\"#ffd27f\""
+        } else if cell.kind().is_flip_flop() {
+            ", style=filled, fillcolor=\"#d7e3ff\""
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\\n{}\", shape={}{}];",
+            cell.name(),
+            cell.name(),
+            cell.kind(),
+            shape(cell.kind()),
+            fill
+        );
+    }
+    for (_, cell) in netlist.iter() {
+        for &f in cell.fanin() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\";",
+                netlist.cell(f).name(),
+                cell.name()
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Netlist {
+        let mut n = Netlist::new("dot_toy");
+        let a = n.add_input("a");
+        let ff = n.add_cell("ff", CellKind::Dff, vec![a]);
+        let g = n.add_cell("g", CellKind::Nand2, vec![a, ff]);
+        n.add_output("y", g);
+        n
+    }
+
+    #[test]
+    fn contains_all_nodes_and_edges() {
+        let n = toy();
+        let text = to_dot(&n, &DotOptions::default());
+        for name in ["a", "ff", "g", "y"] {
+            assert!(text.contains(&format!("\"{name}\" [label=")), "{name}");
+        }
+        assert!(text.contains("\"a\" -> \"g\""));
+        assert!(text.contains("\"ff\" -> \"g\""));
+        assert!(text.contains("\"g\" -> \"y\""));
+        // Balanced braces make it at least structurally valid dot.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    #[test]
+    fn highlight_and_layout_options() {
+        let n = toy();
+        let g = n.find("g").unwrap();
+        let text = to_dot(
+            &n,
+            &DotOptions {
+                highlight: vec![g],
+                left_to_right: true,
+            },
+        );
+        assert!(text.contains("rankdir=LR"));
+        assert!(text.contains("#ffd27f"));
+        // Flip-flops get their own tint.
+        assert!(text.contains("#d7e3ff"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Error type for netlist construction, parsing and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::cell::CellId;
+
+/// Errors produced while building, parsing or validating a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A cell was created with a fanin count that does not match its kind.
+    ArityMismatch {
+        /// Offending cell.
+        cell: CellId,
+        /// Expected fanin count for the kind.
+        expected: usize,
+        /// Fanin count actually supplied.
+        found: usize,
+    },
+    /// A fanin reference points outside the netlist.
+    DanglingFanin {
+        /// Cell holding the bad reference.
+        cell: CellId,
+        /// The out-of-range reference.
+        fanin: CellId,
+    },
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalCycle {
+        /// A cell on the cycle.
+        cell: CellId,
+    },
+    /// Two cells carry the same name.
+    DuplicateName {
+        /// The repeated name.
+        name: String,
+    },
+    /// A `.bench` line could not be parsed.
+    BenchSyntax {
+        /// 1-based source line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// A `.bench` signal was used but never defined.
+    UndefinedSignal {
+        /// The undefined signal name.
+        name: String,
+    },
+    /// A generic wide gate survived where only library cells are allowed.
+    UnmappedGeneric {
+        /// Offending cell.
+        cell: CellId,
+    },
+    /// An `Output` cell appears in another cell's fanin.
+    OutputHasFanout {
+        /// Offending output cell.
+        cell: CellId,
+    },
+    /// A requested name or id does not exist.
+    NotFound {
+        /// What was looked up.
+        what: String,
+    },
+    /// The generator was asked for an unsatisfiable circuit shape.
+    InvalidGeneratorConfig {
+        /// Explanation of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                found,
+            } => write!(
+                f,
+                "cell {cell} has {found} fanin pins, its kind expects {expected}"
+            ),
+            NetlistError::DanglingFanin { cell, fanin } => {
+                write!(f, "cell {cell} references nonexistent fanin {fanin}")
+            }
+            NetlistError::CombinationalCycle { cell } => {
+                write!(f, "combinational cycle through cell {cell}")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "duplicate cell name {name:?}")
+            }
+            NetlistError::BenchSyntax { line, message } => {
+                write!(f, "bench syntax error at line {line}: {message}")
+            }
+            NetlistError::UndefinedSignal { name } => {
+                write!(f, "signal {name:?} is used but never defined")
+            }
+            NetlistError::UnmappedGeneric { cell } => {
+                write!(f, "cell {cell} is a generic wide gate; run the mapper first")
+            }
+            NetlistError::OutputHasFanout { cell } => {
+                write!(f, "primary-output cell {cell} drives other cells")
+            }
+            NetlistError::NotFound { what } => write!(f, "{what} not found"),
+            NetlistError::InvalidGeneratorConfig { message } => {
+                write!(f, "invalid generator configuration: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetlistError::ArityMismatch {
+            cell: CellId::from_index(7),
+            expected: 2,
+            found: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("c7"));
+        assert!(s.contains('2'));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

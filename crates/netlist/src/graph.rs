@@ -1,0 +1,510 @@
+//! The [`Netlist`] graph and its construction / editing API.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::cell::{CellId, CellKind};
+use crate::error::NetlistError;
+use crate::Result;
+
+/// A single netlist cell: a named instance of a [`CellKind`] with fanin
+/// references to the cells whose outputs it reads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    name: String,
+    kind: CellKind,
+    fanin: Vec<CellId>,
+}
+
+impl Cell {
+    /// Instance name (unique within the netlist).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Library kind of this cell.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Fanin references in pin order.
+    pub fn fanin(&self) -> &[CellId] {
+        &self.fanin
+    }
+}
+
+/// A sequential gate-level circuit.
+///
+/// The representation is single-output-per-cell: a "net" is identified with
+/// the cell that drives it. Primary inputs and constants are source cells;
+/// primary outputs are sink marker cells; D flip-flops are both (their `q`
+/// output is a combinational source, their `d` fanin a combinational sink).
+///
+/// Cells are stored densely and never deleted; transforms that shrink a
+/// circuit produce a new `Netlist`. Rewiring in place is supported through
+/// [`Netlist::set_fanin_pin`] and [`Netlist::redirect_readers`].
+///
+/// # Example
+///
+/// ```
+/// use flh_netlist::{Netlist, CellKind};
+///
+/// let mut n = Netlist::new("toy");
+/// let a = n.add_input("a");
+/// let ff = n.add_cell("r0", CellKind::Dff, vec![a]);
+/// let g = n.add_cell("g0", CellKind::Nor2, vec![a, ff]);
+/// n.add_output("z", g);
+/// assert_eq!(n.flip_flops().len(), 1);
+/// n.validate().unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    name: String,
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+    inputs: Vec<CellId>,
+    outputs: Vec<CellId>,
+    flip_flops: Vec<CellId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist {
+            name: name.into(),
+            cells: Vec::new(),
+            by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            flip_flops: Vec::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of cells (including boundary pseudo-cells).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Immutable access to a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Iterates over `(id, cell)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId::from_index(i), c))
+    }
+
+    /// All cell ids in id order.
+    pub fn ids(&self) -> impl Iterator<Item = CellId> + '_ {
+        (0..self.cells.len()).map(CellId::from_index)
+    }
+
+    /// Primary-input cells in declaration order.
+    pub fn inputs(&self) -> &[CellId] {
+        &self.inputs
+    }
+
+    /// Primary-output cells in declaration order.
+    pub fn outputs(&self) -> &[CellId] {
+        &self.outputs
+    }
+
+    /// Flip-flop cells (`Dff` or `ScanDff`) in declaration order.
+    pub fn flip_flops(&self) -> &[CellId] {
+        &self.flip_flops
+    }
+
+    /// Looks a cell up by name.
+    pub fn find(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Adds a primary input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names (construction is programmer-driven; the
+    /// fallible path for untrusted input is the `.bench` parser).
+    pub fn add_input(&mut self, name: impl Into<String>) -> CellId {
+        let id = self.push_cell(name.into(), CellKind::Input, Vec::new());
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a primary-output marker reading `from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names.
+    pub fn add_output(&mut self, name: impl Into<String>, from: CellId) -> CellId {
+        let id = self.push_cell(name.into(), CellKind::Output, vec![from]);
+        self.outputs.push(id);
+        id
+    }
+
+    /// Adds a cell of any non-boundary kind.
+    ///
+    /// Flip-flops are registered in [`Netlist::flip_flops`]. Use
+    /// [`Netlist::add_input`] / [`Netlist::add_output`] for boundary cells so
+    /// the port lists stay consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate names, on boundary kinds, or if `fanin.len()`
+    /// differs from the kind's arity.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        fanin: Vec<CellId>,
+    ) -> CellId {
+        assert!(
+            !matches!(kind, CellKind::Input | CellKind::Output),
+            "use add_input/add_output for boundary cells"
+        );
+        assert_eq!(
+            fanin.len(),
+            kind.arity(),
+            "{kind} expects {} fanin pins, got {}",
+            kind.arity(),
+            fanin.len()
+        );
+        let id = self.push_cell(name.into(), kind, fanin);
+        if kind.is_flip_flop() {
+            self.flip_flops.push(id);
+        }
+        id
+    }
+
+    fn push_cell(&mut self, name: String, kind: CellKind, fanin: Vec<CellId>) -> CellId {
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate cell name {name:?}"
+        );
+        let id = CellId::from_index(self.cells.len());
+        self.by_name.insert(name.clone(), id);
+        self.cells.push(Cell { name, kind, fanin });
+        id
+    }
+
+    /// Generates a fresh cell name with the given prefix.
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let mut i = self.cells.len();
+        loop {
+            let candidate = format!("{prefix}{i}");
+            if !self.by_name.contains_key(&candidate) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+
+    /// Rewires one fanin pin of `cell` to read `new_driver`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is out of range for the cell.
+    pub fn set_fanin_pin(&mut self, cell: CellId, pin: usize, new_driver: CellId) {
+        let c = &mut self.cells[cell.index()];
+        assert!(pin < c.fanin.len(), "pin {pin} out of range for {cell}");
+        c.fanin[pin] = new_driver;
+    }
+
+    /// Changes the kind of a cell in place.
+    ///
+    /// Useful for retyping `Dff` → `ScanDff` during scan insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new kind's arity differs from the current fanin count,
+    /// or when converting to/from boundary or flip-flop kinds inconsistently
+    /// (flip-flop ↔ flip-flop retyping is allowed; anything that would
+    /// invalidate the port/FF registries is not).
+    pub fn retype_cell(&mut self, cell: CellId, kind: CellKind) {
+        let c = &mut self.cells[cell.index()];
+        assert_eq!(
+            kind.arity(),
+            c.fanin.len(),
+            "retype of {cell} to {kind} changes arity"
+        );
+        let was_ff = c.kind.is_flip_flop();
+        let is_ff = kind.is_flip_flop();
+        assert_eq!(was_ff, is_ff, "retype of {cell} crosses the sequential boundary");
+        assert!(
+            !matches!(c.kind, CellKind::Input | CellKind::Output)
+                && !matches!(kind, CellKind::Input | CellKind::Output),
+            "cannot retype boundary cells"
+        );
+        c.kind = kind;
+    }
+
+    /// Redirects every reader of `old_driver` to read `new_driver` instead,
+    /// except readers listed in `keep`. Returns the number of pins rewired.
+    ///
+    /// This is the primitive used to splice holding elements or buffers into
+    /// a stimulus path: create the new cell reading `old_driver`, then
+    /// redirect all other readers to the new cell.
+    pub fn redirect_readers(
+        &mut self,
+        old_driver: CellId,
+        new_driver: CellId,
+        keep: &[CellId],
+    ) -> usize {
+        let mut rewired = 0;
+        for (i, cell) in self.cells.iter_mut().enumerate() {
+            let this = CellId::from_index(i);
+            if this == new_driver || keep.contains(&this) {
+                continue;
+            }
+            for pin in cell.fanin.iter_mut() {
+                if *pin == old_driver {
+                    *pin = new_driver;
+                    rewired += 1;
+                }
+            }
+        }
+        rewired
+    }
+
+    /// Redirects the listed readers (and only those) of `old_driver` to read
+    /// `new_driver`. Returns the number of pins rewired.
+    pub fn redirect_selected_readers(
+        &mut self,
+        old_driver: CellId,
+        new_driver: CellId,
+        readers: &[CellId],
+    ) -> usize {
+        let mut rewired = 0;
+        for &r in readers {
+            let cell = &mut self.cells[r.index()];
+            for pin in cell.fanin.iter_mut() {
+                if *pin == old_driver {
+                    *pin = new_driver;
+                    rewired += 1;
+                }
+            }
+        }
+        rewired
+    }
+
+    /// Structural validation: arities, reference ranges, name uniqueness,
+    /// output-cell fanout, and combinational acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found as a [`NetlistError`].
+    pub fn validate(&self) -> Result<()> {
+        // Arity and dangling references.
+        for (i, cell) in self.cells.iter().enumerate() {
+            let id = CellId::from_index(i);
+            if cell.fanin.len() != cell.kind.arity() {
+                return Err(NetlistError::ArityMismatch {
+                    cell: id,
+                    expected: cell.kind.arity(),
+                    found: cell.fanin.len(),
+                });
+            }
+            for &f in &cell.fanin {
+                if f.index() >= self.cells.len() {
+                    return Err(NetlistError::DanglingFanin { cell: id, fanin: f });
+                }
+                if self.cells[f.index()].kind == CellKind::Output {
+                    return Err(NetlistError::OutputHasFanout { cell: f });
+                }
+            }
+        }
+        // Name uniqueness is maintained by construction, but verify the map.
+        if self.by_name.len() != self.cells.len() {
+            // Find one duplicate for the report.
+            let mut seen = HashMap::new();
+            for cell in &self.cells {
+                if seen.insert(cell.name.clone(), ()).is_some() {
+                    return Err(NetlistError::DuplicateName {
+                        name: cell.name.clone(),
+                    });
+                }
+            }
+        }
+        // Combinational acyclicity via Kahn's algorithm over the
+        // combinational subgraph (FF outputs and inputs are sources).
+        let order = crate::analysis::combinational_order(self)?;
+        debug_assert!(order.len() <= self.cells.len());
+        Ok(())
+    }
+
+    /// Count of combinational logic gates (excludes boundary, sequential and
+    /// holding cells, buffers included).
+    pub fn gate_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.kind.is_combinational())
+            .count()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PI, {} PO, {} FF, {} gates",
+            self.name,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.flip_flops.len(),
+            self.gate_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Netlist, CellId, CellId, CellId) {
+        let mut n = Netlist::new("toy");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_cell("g", CellKind::Nand2, vec![a, b]);
+        n.add_output("y", g);
+        (n, a, b, g)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let (n, a, _, g) = toy();
+        assert_eq!(n.find("a"), Some(a));
+        assert_eq!(n.find("g"), Some(g));
+        assert_eq!(n.find("nope"), None);
+        assert_eq!(n.cell(g).kind(), CellKind::Nand2);
+        assert_eq!(n.cell(g).fanin().len(), 2);
+        assert_eq!(n.inputs().len(), 2);
+        assert_eq!(n.outputs().len(), 1);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn display_summary() {
+        let (n, ..) = toy();
+        let s = n.to_string();
+        assert!(s.contains("2 PI"));
+        assert!(s.contains("1 PO"));
+        assert!(s.contains("1 gates"));
+    }
+
+    #[test]
+    fn flip_flop_registry() {
+        let mut n = Netlist::new("ff");
+        let a = n.add_input("a");
+        let ff = n.add_cell("r", CellKind::Dff, vec![a]);
+        assert_eq!(n.flip_flops(), &[ff]);
+        n.retype_cell(ff, CellKind::ScanDff);
+        assert_eq!(n.cell(ff).kind(), CellKind::ScanDff);
+        assert_eq!(n.flip_flops(), &[ff]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell name")]
+    fn duplicate_name_panics() {
+        let mut n = Netlist::new("dup");
+        n.add_input("a");
+        n.add_input("a");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 fanin pins")]
+    fn arity_mismatch_panics() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        n.add_cell("g", CellKind::Nand2, vec![a]);
+    }
+
+    #[test]
+    fn redirect_readers_splices_cell() {
+        let (mut n, a, b, g) = toy();
+        // Splice a buffer between `a` and its readers.
+        let buf = n.add_cell("a_buf", CellKind::Buf, vec![a]);
+        let rewired = n.redirect_readers(a, buf, &[]);
+        assert_eq!(rewired, 1); // only g read a
+        assert_eq!(n.cell(g).fanin(), &[buf, b]);
+        assert_eq!(n.cell(buf).fanin(), &[a]);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn redirect_selected_readers_only_touches_listed() {
+        let mut n = Netlist::new("sel");
+        let a = n.add_input("a");
+        let g1 = n.add_cell("g1", CellKind::Inv, vec![a]);
+        let g2 = n.add_cell("g2", CellKind::Inv, vec![a]);
+        let buf = n.add_cell("buf", CellKind::Buf, vec![a]);
+        let rewired = n.redirect_selected_readers(a, buf, &[g2]);
+        assert_eq!(rewired, 1);
+        assert_eq!(n.cell(g1).fanin(), &[a]);
+        assert_eq!(n.cell(g2).fanin(), &[buf]);
+    }
+
+    #[test]
+    fn validate_detects_output_fanout() {
+        let mut n = Netlist::new("bad_out");
+        let a = n.add_input("a");
+        let o = n.add_output("y", a);
+        // Manually wire a cell to read the output marker.
+        n.add_cell("g", CellKind::Inv, vec![o]);
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::OutputHasFanout { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_detects_cycle() {
+        let mut n = Netlist::new("cyc");
+        let a = n.add_input("a");
+        let g1 = n.add_cell("g1", CellKind::And2, vec![a, a]);
+        let g2 = n.add_cell("g2", CellKind::Inv, vec![g1]);
+        // Close a combinational loop g1 <- g2.
+        n.set_fanin_pin(g1, 1, g2);
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_through_ff_is_fine() {
+        let mut n = Netlist::new("seq");
+        let a = n.add_input("a");
+        let g = n.add_cell("g", CellKind::And2, vec![a, a]);
+        let ff = n.add_cell("r", CellKind::Dff, vec![g]);
+        n.set_fanin_pin(g, 1, ff); // feedback through the FF
+        n.add_output("y", ff);
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn fresh_name_avoids_collisions() {
+        let (mut n, ..) = toy();
+        let f1 = n.fresh_name("u");
+        n.add_cell(f1.clone(), CellKind::Inv, vec![n.inputs()[0]]);
+        let f2 = n.fresh_name("u");
+        assert_ne!(f1, f2);
+    }
+}

@@ -1,0 +1,465 @@
+//! Structural technology mapper.
+//!
+//! Stands in for the Synopsys Design Compiler step of the paper's flow: it
+//! takes a netlist as parsed from `.bench` (which may contain generic wide
+//! gates) and produces a netlist that uses only library cells:
+//!
+//! 1. [`decompose_generic`] rewrites every `AndN`/`NandN`/`OrN`/`NorN`/`XorN`
+//!    wide gate into a balanced tree of 2–4-input library cells;
+//! 2. [`absorb_complex_gates`] pattern-matches single-fanout AND-into-NOR and
+//!    OR-into-NAND structures into the AOI/OAI complex gates, reducing total
+//!    gate count exactly the way the paper notes ("the library contains
+//!    complex gate types e.g. aoi and mux, and hence, the total number of
+//!    logic gates is reduced").
+//!
+//! [`map_netlist`] runs both in sequence.
+
+use std::collections::HashMap;
+
+use crate::analysis::{combinational_order, FanoutMap};
+use crate::cell::{CellId, CellKind};
+use crate::graph::Netlist;
+use crate::Result;
+
+/// Incremental rebuild context: a new netlist plus the old→new id map.
+struct Rebuild {
+    out: Netlist,
+    map: Vec<Option<CellId>>,
+    fresh: usize,
+}
+
+impl Rebuild {
+    fn new(name: &str, old_cells: usize) -> Self {
+        Rebuild {
+            out: Netlist::new(name),
+            map: vec![None; old_cells],
+            fresh: 0,
+        }
+    }
+
+    fn mapped(&self, old: CellId) -> CellId {
+        self.map[old.index()].expect("fanin mapped before use")
+    }
+
+    fn fresh_name(&mut self, base: &str) -> String {
+        loop {
+            let name = format!("{base}_m{}", self.fresh);
+            self.fresh += 1;
+            if self.out.find(&name).is_none() {
+                return name;
+            }
+        }
+    }
+
+    /// Reduces `sigs` with an associative AND/OR tree of 2–4-input gates
+    /// until at most `stop_at` signals remain.
+    fn reduce_assoc(
+        &mut self,
+        base: &str,
+        and: bool,
+        mut sigs: Vec<CellId>,
+        stop_at: usize,
+    ) -> Vec<CellId> {
+        debug_assert!((2..=4).contains(&stop_at));
+        while sigs.len() > stop_at {
+            let take = sigs.len().min(4).min(sigs.len() - stop_at + 1).max(2);
+            let chunk: Vec<CellId> = sigs.drain(..take).collect();
+            let kind = if and {
+                CellKind::and(chunk.len())
+            } else {
+                CellKind::or(chunk.len())
+            };
+            let name = self.fresh_name(base);
+            let id = self.out.add_cell(name, kind, chunk);
+            sigs.push(id);
+        }
+        sigs
+    }
+}
+
+/// Rebuilds `netlist` with every generic wide gate decomposed into a tree of
+/// library cells. Cell names are preserved for the cells that survive; tree
+/// intermediates get `_m<i>` suffixes.
+///
+/// # Errors
+///
+/// Propagates cycle errors from levelization of a malformed input.
+pub fn decompose_generic(netlist: &Netlist) -> Result<Netlist> {
+    let order = combinational_order(netlist)?;
+    let mut rb = Rebuild::new(netlist.name(), netlist.cell_count());
+
+    for &id in netlist.inputs() {
+        let new = rb.out.add_input(netlist.cell(id).name().to_string());
+        rb.map[id.index()] = Some(new);
+    }
+    // Flip-flops with self-placeholder D pins, patched at the end.
+    for &id in netlist.flip_flops() {
+        let placeholder = CellId::from_index(rb.out.cell_count());
+        let new = rb.out.add_cell(
+            netlist.cell(id).name().to_string(),
+            netlist.cell(id).kind(),
+            vec![placeholder],
+        );
+        rb.map[id.index()] = Some(new);
+    }
+
+    for &id in &order {
+        let cell = netlist.cell(id);
+        let kind = cell.kind();
+        if kind == CellKind::Output {
+            continue; // emitted last
+        }
+        let fanin: Vec<CellId> = cell.fanin().iter().map(|&f| rb.mapped(f)).collect();
+        let name = cell.name().to_string();
+        let new = match kind {
+            CellKind::AndN(_) => {
+                let sigs = rb.reduce_assoc(&name, true, fanin, 4);
+                rb.out.add_cell(name, CellKind::and(sigs.len().max(2)), pad2(sigs))
+            }
+            CellKind::NandN(_) => {
+                let sigs = rb.reduce_assoc(&name, true, fanin, 4);
+                rb.out.add_cell(name, CellKind::nand(sigs.len().max(2)), pad2(sigs))
+            }
+            CellKind::OrN(_) => {
+                let sigs = rb.reduce_assoc(&name, false, fanin, 4);
+                rb.out.add_cell(name, CellKind::or(sigs.len().max(2)), pad2(sigs))
+            }
+            CellKind::NorN(_) => {
+                let sigs = rb.reduce_assoc(&name, false, fanin, 4);
+                rb.out.add_cell(name, CellKind::nor(sigs.len().max(2)), pad2(sigs))
+            }
+            CellKind::XorN(_) => {
+                // Left-to-right XOR2 chain (parity).
+                let mut acc = fanin[0];
+                for (i, &s) in fanin[1..].iter().enumerate() {
+                    let nm = if i + 2 == cell.fanin().len() {
+                        name.clone()
+                    } else {
+                        rb.fresh_name(&name)
+                    };
+                    acc = rb.out.add_cell(nm, CellKind::Xor2, vec![acc, s]);
+                }
+                acc
+            }
+            _ => rb.out.add_cell(name, kind, fanin),
+        };
+        rb.map[id.index()] = Some(new);
+    }
+
+    for &id in netlist.outputs() {
+        let driver = rb.mapped(netlist.cell(id).fanin()[0]);
+        let new = rb.out.add_output(netlist.cell(id).name().to_string(), driver);
+        rb.map[id.index()] = Some(new);
+    }
+    for &id in netlist.flip_flops() {
+        let new_ff = rb.mapped(id);
+        let new_d = rb.mapped(netlist.cell(id).fanin()[0]);
+        rb.out.set_fanin_pin(new_ff, 0, new_d);
+    }
+    rb.out.validate()?;
+    Ok(rb.out)
+}
+
+/// `pad2` is the identity for lists of length 2–4; a singleton (possible when
+/// a wide gate had duplicate inputs collapsed upstream) is doubled so the
+/// 2-input library cell stays logically equivalent for AND/OR/NAND/NOR.
+fn pad2(mut sigs: Vec<CellId>) -> Vec<CellId> {
+    if sigs.len() == 1 {
+        sigs.push(sigs[0]);
+    }
+    sigs
+}
+
+/// Which complex gate a (outer, inner) pattern produces.
+fn absorb_pattern(outer: CellKind, inner_a: Option<CellKind>, inner_b: Option<CellKind>) -> Option<CellKind> {
+    match outer {
+        CellKind::Nor2 => match (inner_a, inner_b) {
+            (Some(CellKind::And2), Some(CellKind::And2)) => Some(CellKind::Aoi22),
+            (Some(CellKind::And2), _) | (_, Some(CellKind::And2)) => Some(CellKind::Aoi21),
+            _ => None,
+        },
+        CellKind::Nand2 => match (inner_a, inner_b) {
+            (Some(CellKind::Or2), Some(CellKind::Or2)) => Some(CellKind::Oai22),
+            (Some(CellKind::Or2), _) | (_, Some(CellKind::Or2)) => Some(CellKind::Oai21),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Rebuilds `netlist` with single-fanout `AND2 → NOR2` / `OR2 → NAND2`
+/// structures fused into AOI21/AOI22/OAI21/OAI22 complex gates.
+///
+/// Only structures where the inner gate drives exactly the outer gate are
+/// fused (the classic DAG-safe condition). The outer gate keeps its name.
+///
+/// # Errors
+///
+/// Propagates cycle errors from levelization of a malformed input.
+pub fn absorb_complex_gates(netlist: &Netlist) -> Result<Netlist> {
+    let order = combinational_order(netlist)?;
+    let fanouts = FanoutMap::compute(netlist);
+
+    // Plan: decide which inner cells each outer gate absorbs.
+    let mut absorbed_by: HashMap<CellId, CellId> = HashMap::new(); // inner -> outer
+    let mut plan: HashMap<CellId, CellKind> = HashMap::new(); // outer -> new kind
+    for &id in &order {
+        let cell = netlist.cell(id);
+        let outer = cell.kind();
+        if !matches!(outer, CellKind::Nor2 | CellKind::Nand2) {
+            continue;
+        }
+        let inner_kind = |f: CellId| -> Option<CellKind> {
+            let k = netlist.cell(f).kind();
+            let fusable = matches!(k, CellKind::And2 | CellKind::Or2);
+            // Single fanout, not already claimed, not feeding itself twice.
+            if fusable
+                && fanouts.fanout_count(f) == 1
+                && !absorbed_by.contains_key(&f)
+                && cell.fanin()[0] != cell.fanin()[1]
+            {
+                Some(k)
+            } else {
+                None
+            }
+        };
+        let a = cell.fanin()[0];
+        let b = cell.fanin()[1];
+        let (ka, kb) = (inner_kind(a), inner_kind(b));
+        let want_inner = match outer {
+            CellKind::Nor2 => CellKind::And2,
+            _ => CellKind::Or2,
+        };
+        let ka = ka.filter(|&k| k == want_inner);
+        let kb = kb.filter(|&k| k == want_inner);
+        if let Some(newkind) = absorb_pattern(outer, ka, kb) {
+            if ka.is_some() {
+                absorbed_by.insert(a, id);
+            }
+            if kb.is_some() {
+                absorbed_by.insert(b, id);
+            }
+            plan.insert(id, newkind);
+        }
+    }
+
+    // Rebuild.
+    let mut rb = Rebuild::new(netlist.name(), netlist.cell_count());
+    for &id in netlist.inputs() {
+        let new = rb.out.add_input(netlist.cell(id).name().to_string());
+        rb.map[id.index()] = Some(new);
+    }
+    for &id in netlist.flip_flops() {
+        let placeholder = CellId::from_index(rb.out.cell_count());
+        let new = rb.out.add_cell(
+            netlist.cell(id).name().to_string(),
+            netlist.cell(id).kind(),
+            vec![placeholder],
+        );
+        rb.map[id.index()] = Some(new);
+    }
+    for &id in &order {
+        let cell = netlist.cell(id);
+        if cell.kind() == CellKind::Output || absorbed_by.contains_key(&id) {
+            continue;
+        }
+        let name = cell.name().to_string();
+        let new = if let Some(&newkind) = plan.get(&id) {
+            // Fanin order: AOI21(a, b, c) = !((a&b)|c); OAI21 analogous.
+            let a = cell.fanin()[0];
+            let b = cell.fanin()[1];
+            let expand = |rb: &Rebuild, f: CellId| -> Vec<CellId> {
+                if absorbed_by.get(&f) == Some(&id) {
+                    netlist.cell(f).fanin().iter().map(|&x| rb.mapped(x)).collect()
+                } else {
+                    vec![rb.mapped(f)]
+                }
+            };
+            let mut fanin = expand(&rb, a);
+            fanin.extend(expand(&rb, b));
+            // AOI21/OAI21 expect the pair first, the lone input last.
+            if matches!(newkind, CellKind::Aoi21 | CellKind::Oai21) && fanin.len() == 3 {
+                // If the absorbed pair was `b`, the order is [a, b1, b2];
+                // rotate to [b1, b2, a].
+                if absorbed_by.get(&a) != Some(&id) {
+                    fanin.rotate_left(1);
+                }
+            }
+            rb.out.add_cell(name, newkind, fanin)
+        } else {
+            let fanin: Vec<CellId> = cell.fanin().iter().map(|&f| rb.mapped(f)).collect();
+            rb.out.add_cell(name, cell.kind(), fanin)
+        };
+        rb.map[id.index()] = Some(new);
+    }
+    for &id in netlist.outputs() {
+        let driver = rb.mapped(netlist.cell(id).fanin()[0]);
+        rb.out
+            .add_output(netlist.cell(id).name().to_string(), driver);
+    }
+    for &id in netlist.flip_flops() {
+        let new_ff = rb.mapped(id);
+        let new_d = rb.mapped(netlist.cell(id).fanin()[0]);
+        rb.out.set_fanin_pin(new_ff, 0, new_d);
+    }
+    rb.out.validate()?;
+    Ok(rb.out)
+}
+
+/// Full mapping pipeline: wide-gate decomposition followed by complex-gate
+/// absorption.
+///
+/// # Errors
+///
+/// Propagates structural errors from either pass.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), flh_netlist::NetlistError> {
+/// let n = flh_netlist::bench_io::parse_bench(
+///     "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\n\
+///      y = NAND(a, b, c, d, e)\n",
+///     "wide",
+/// )?;
+/// let mapped = flh_netlist::mapper::map_netlist(&n)?;
+/// assert!(mapped.iter().all(|(_, c)| !c.kind().is_generic()));
+/// # Ok(())
+/// # }
+/// ```
+pub fn map_netlist(netlist: &Netlist) -> Result<Netlist> {
+    let decomposed = decompose_generic(netlist)?;
+    absorb_complex_gates(&decomposed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_io::parse_bench;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Exhaustively compares two single-output netlists with identical PI
+    /// sets (by simulating all input combinations, or 256 random patterns
+    /// when wide).
+    fn equivalent(a: &Netlist, b: &Netlist) -> bool {
+        assert_eq!(a.inputs().len(), b.inputs().len());
+        let n_pi = a.inputs().len();
+        let eval = |n: &Netlist, pattern: u64| -> Vec<bool> {
+            let order = combinational_order(n).unwrap();
+            let mut vals = vec![0u64; n.cell_count()];
+            for (i, &pi) in n.inputs().iter().enumerate() {
+                vals[pi.index()] = if pattern >> i & 1 == 1 { !0 } else { 0 };
+            }
+            for &id in &order {
+                let cell = n.cell(id);
+                let ins: Vec<u64> = cell.fanin().iter().map(|&f| vals[f.index()]).collect();
+                vals[id.index()] = cell.kind().eval64(&ins);
+            }
+            n.outputs()
+                .iter()
+                .map(|&o| vals[o.index()] & 1 != 0)
+                .collect()
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let patterns: Vec<u64> = if n_pi <= 12 {
+            (0..(1u64 << n_pi)).collect()
+        } else {
+            (0..256).map(|_| rng.gen()).collect()
+        };
+        patterns.iter().all(|&p| eval(a, p) == eval(b, p))
+    }
+
+    #[test]
+    fn wide_nand_decomposes_equivalently() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\nINPUT(g)\nOUTPUT(y)\ny = NAND(a,b,c,d,e,f,g)\n";
+        let n = parse_bench(text, "w7").unwrap();
+        let m = decompose_generic(&n).unwrap();
+        assert!(m.iter().all(|(_, c)| !c.kind().is_generic()));
+        assert!(equivalent(&n, &m));
+    }
+
+    #[test]
+    fn wide_or_and_xor_decompose_equivalently() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\nOUTPUT(z)\ny = OR(a,b,c,d,e)\nz = XOR(a,b,c,d,e)\n";
+        let n = parse_bench(text, "wx").unwrap();
+        let m = decompose_generic(&n).unwrap();
+        assert!(m.iter().all(|(_, c)| !c.kind().is_generic()));
+        assert!(equivalent(&n, &m));
+    }
+
+    #[test]
+    fn aoi21_absorption() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a,b)\ny = NOR(t,c)\n";
+        let n = parse_bench(text, "aoi").unwrap();
+        let m = absorb_complex_gates(&n).unwrap();
+        assert!(equivalent(&n, &m));
+        let y = m.find("y").unwrap();
+        assert_eq!(m.cell(y).kind(), CellKind::Aoi21);
+        assert_eq!(m.gate_count(), 1);
+    }
+
+    #[test]
+    fn aoi21_absorption_mirrored_pins() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nt = AND(a,b)\ny = NOR(c,t)\n";
+        let n = parse_bench(text, "aoi_m").unwrap();
+        let m = absorb_complex_gates(&n).unwrap();
+        assert!(equivalent(&n, &m));
+        let y = m.find("y").unwrap();
+        assert_eq!(m.cell(y).kind(), CellKind::Aoi21);
+    }
+
+    #[test]
+    fn aoi22_and_oai22_absorption() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\nOUTPUT(z)\n\
+                    t1 = AND(a,b)\nt2 = AND(c,d)\ny = NOR(t1,t2)\n\
+                    u1 = OR(a,b)\nu2 = OR(c,d)\nz = NAND(u1,u2)\n";
+        let n = parse_bench(text, "c22").unwrap();
+        let m = absorb_complex_gates(&n).unwrap();
+        assert!(equivalent(&n, &m));
+        assert_eq!(m.cell(m.find("y").unwrap()).kind(), CellKind::Aoi22);
+        assert_eq!(m.cell(m.find("z").unwrap()).kind(), CellKind::Oai22);
+        assert_eq!(m.gate_count(), 2);
+    }
+
+    #[test]
+    fn multi_fanout_inner_gate_is_not_absorbed() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(w)\nt = AND(a,b)\ny = NOR(t,c)\nw = NOT(t)\n";
+        let n = parse_bench(text, "mf").unwrap();
+        let m = absorb_complex_gates(&n).unwrap();
+        assert!(equivalent(&n, &m));
+        assert_eq!(m.cell(m.find("y").unwrap()).kind(), CellKind::Nor2);
+        assert_eq!(m.gate_count(), 3);
+    }
+
+    #[test]
+    fn full_pipeline_reduces_gate_count() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n\
+                    t1 = AND(a,b)\nt2 = AND(c,d)\ny = NOR(t1,t2)\n";
+        let n = parse_bench(text, "pipe").unwrap();
+        let m = map_netlist(&n).unwrap();
+        assert!(m.gate_count() < n.gate_count());
+        assert!(equivalent(&n, &m));
+    }
+
+    #[test]
+    fn sequential_circuit_survives_mapping() {
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nf = DFF(g)\ng = NAND(a,b,f)\nq = NOT(f)\n";
+        let n = parse_bench(text, "seqmap").unwrap();
+        let m = map_netlist(&n).unwrap();
+        m.validate().unwrap();
+        assert_eq!(m.flip_flops().len(), 1);
+        // 3-input NAND is already a library cell.
+        let g = m.find("g").unwrap();
+        assert_eq!(m.cell(g).kind(), CellKind::Nand3);
+    }
+
+    #[test]
+    fn mapping_is_idempotent_on_library_netlists() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ng = AOI21(a,b,c)\ny = NOT(g)\n";
+        let n = parse_bench(text, "idem").unwrap();
+        let m = map_netlist(&n).unwrap();
+        assert_eq!(m.gate_count(), n.gate_count());
+        assert!(equivalent(&n, &m));
+    }
+}

@@ -1,0 +1,265 @@
+//! Two-timeframe unrolling for sequential (broadside) test generation.
+//!
+//! Broadside (launch-on-capture) delay testing constrains the second
+//! pattern's state part to be the circuit's own response to the first
+//! pattern. Deterministic test generation under that constraint needs a
+//! *time-frame expansion*: two copies of the combinational logic where
+//! frame 2's state inputs are wired to frame 1's next-state functions.
+//! A plain combinational ATPG engine run on the unrolled netlist then
+//! solves the sequential justification for free.
+
+use crate::cell::{CellId, CellKind};
+use crate::graph::Netlist;
+use crate::Result;
+
+/// The unrolled netlist plus the cell correspondence maps.
+#[derive(Clone, Debug)]
+pub struct TwoFrameUnrolling {
+    /// The unrolled circuit: assignables are frame-1 primary inputs,
+    /// frame-2 primary inputs and the (shared) flip-flops holding the
+    /// frame-1 state; observations are frame-2 primary outputs and the
+    /// flip-flops' D pins (frame-2 next state).
+    pub netlist: Netlist,
+    /// Frame-1 copy of each original cell (`None` for `Output` markers).
+    pub frame1: Vec<Option<CellId>>,
+    /// Frame-2 copy of each original cell. For an original flip-flop this
+    /// is its *frame-2 state value*, i.e. the frame-1 copy of its D driver.
+    pub frame2: Vec<Option<CellId>>,
+    /// Number of original primary inputs (frame-1 PIs come first in the
+    /// unrolled input list, frame-2 PIs second).
+    pub primary_inputs: usize,
+}
+
+impl TwoFrameUnrolling {
+    /// Builds the unrolling.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the input netlist is combinationally cyclic.
+    pub fn build(original: &Netlist) -> Result<Self> {
+        let order = crate::analysis::combinational_order(original)?;
+        let mut out = Netlist::new(format!("{}_x2", original.name()));
+        let n = original.cell_count();
+        let mut frame1: Vec<Option<CellId>> = vec![None; n];
+        let mut frame2: Vec<Option<CellId>> = vec![None; n];
+
+        // Inputs: frame-1 PIs, frame-2 PIs, then the state flip-flops.
+        for &pi in original.inputs() {
+            let id = out.add_input(format!("{}_f1", original.cell(pi).name()));
+            frame1[pi.index()] = Some(id);
+        }
+        for &pi in original.inputs() {
+            let id = out.add_input(format!("{}_f2", original.cell(pi).name()));
+            frame2[pi.index()] = Some(id);
+        }
+        // Flip-flops carry the frame-1 state; D pins get wired to frame-2
+        // next-state at the end.
+        for &ff in original.flip_flops() {
+            let placeholder = CellId::from_index(out.cell_count());
+            let id = out.add_cell(
+                original.cell(ff).name().to_string(),
+                original.cell(ff).kind(),
+                vec![placeholder],
+            );
+            frame1[ff.index()] = Some(id);
+        }
+
+        // Frame-1 combinational copy.
+        for &id in &order {
+            let cell = original.cell(id);
+            if cell.kind() == CellKind::Output {
+                continue;
+            }
+            let fanin: Vec<CellId> = cell
+                .fanin()
+                .iter()
+                .map(|&f| frame1[f.index()].expect("fanin mapped in frame 1"))
+                .collect();
+            let new = out.add_cell(format!("{}_f1", cell.name()), cell.kind(), fanin);
+            frame1[id.index()] = Some(new);
+        }
+        // Frame-2 state values: the frame-1 copies of the D drivers.
+        for &ff in original.flip_flops() {
+            let d = original.cell(ff).fanin()[0];
+            frame2[ff.index()] = Some(frame1[d.index()].expect("D driver mapped"));
+        }
+        // Frame-2 combinational copy.
+        for &id in &order {
+            let cell = original.cell(id);
+            if cell.kind() == CellKind::Output {
+                continue;
+            }
+            if cell.kind().is_flip_flop() {
+                continue; // state handled above
+            }
+            let fanin: Vec<CellId> = cell
+                .fanin()
+                .iter()
+                .map(|&f| frame2[f.index()].expect("fanin mapped in frame 2"))
+                .collect();
+            let new = out.add_cell(format!("{}_f2", cell.name()), cell.kind(), fanin);
+            frame2[id.index()] = Some(new);
+        }
+
+        // Observations: frame-2 primary outputs; FF D pins carry frame-2
+        // next state.
+        for &po in original.outputs() {
+            let driver = original.cell(po).fanin()[0];
+            let new_driver = frame2[driver.index()].expect("PO driver mapped");
+            out.add_output(format!("{}_f2", original.cell(po).name()), new_driver);
+        }
+        for &ff in original.flip_flops() {
+            let unrolled_ff = frame1[ff.index()].expect("FF mapped");
+            let d = original.cell(ff).fanin()[0];
+            let next2 = frame2[d.index()].expect("frame-2 D mapped");
+            out.set_fanin_pin(unrolled_ff, 0, next2);
+        }
+        out.validate()?;
+        Ok(TwoFrameUnrolling {
+            netlist: out,
+            frame1,
+            frame2,
+            primary_inputs: original.inputs().len(),
+        })
+    }
+
+    /// Frame-1 copy of an original cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Output` markers.
+    pub fn in_frame1(&self, original: CellId) -> CellId {
+        self.frame1[original.index()].expect("cell exists in frame 1")
+    }
+
+    /// Frame-2 copy (for flip-flops: the frame-2 state value).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Output` markers and (unreached) unmapped cells.
+    pub fn in_frame2(&self, original: CellId) -> CellId {
+        self.frame2[original.index()].expect("cell exists in frame 2")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_circuit, GeneratorConfig};
+
+    fn original() -> Netlist {
+        generate_circuit(&GeneratorConfig {
+            name: "unroll".into(),
+            primary_inputs: 4,
+            primary_outputs: 3,
+            flip_flops: 5,
+            gates: 40,
+            logic_depth: 5,
+            avg_ff_fanout: 2.3,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 44,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_doubles_the_logic() {
+        let n = original();
+        let u = TwoFrameUnrolling::build(&n).unwrap();
+        u.netlist.validate().unwrap();
+        assert_eq!(u.netlist.inputs().len(), 2 * n.inputs().len());
+        assert_eq!(u.netlist.outputs().len(), n.outputs().len());
+        assert_eq!(u.netlist.flip_flops().len(), n.flip_flops().len());
+        assert_eq!(u.netlist.gate_count(), 2 * n.gate_count());
+    }
+
+    /// The unrolled combinational function must equal two applications of
+    /// the sequential circuit.
+    #[test]
+    fn unrolling_matches_two_clock_cycles() {
+        // Evaluate with eval64 directly (no simulator dependency here).
+        let n = original();
+        let u = TwoFrameUnrolling::build(&n).unwrap();
+        let order_n = crate::analysis::combinational_order(&n).unwrap();
+        let order_u = crate::analysis::combinational_order(&u.netlist).unwrap();
+
+        let eval = |netlist: &Netlist,
+                    order: &[CellId],
+                    set: &dyn Fn(&mut Vec<u64>)|
+         -> Vec<u64> {
+            let mut vals = vec![0u64; netlist.cell_count()];
+            set(&mut vals);
+            for &id in order {
+                let cell = netlist.cell(id);
+                let ins: Vec<u64> =
+                    cell.fanin().iter().map(|&f| vals[f.index()]).collect();
+                vals[id.index()] = cell.kind().eval64(&ins);
+            }
+            vals
+        };
+
+        for seed in 0..16u64 {
+            let bit = |k: u64| if seed.wrapping_mul(0x9e37) >> (k % 17) & 1 == 1 { !0u64 } else { 0 };
+            // Sequential reference: cycle 1 with PI1/state, capture, cycle 2
+            // with PI2.
+            let pi1: Vec<u64> = (0..n.inputs().len() as u64).map(bit).collect();
+            let pi2: Vec<u64> = (0..n.inputs().len() as u64).map(|k| bit(k + 31)).collect();
+            let st: Vec<u64> = (0..n.flip_flops().len() as u64).map(|k| bit(k + 7)).collect();
+
+            let v1 = eval(&n, &order_n, &|vals| {
+                for (i, &pi) in n.inputs().iter().enumerate() {
+                    vals[pi.index()] = pi1[i];
+                }
+                for (i, &ff) in n.flip_flops().iter().enumerate() {
+                    vals[ff.index()] = st[i];
+                }
+            });
+            // Capture.
+            let captured: Vec<u64> = n
+                .flip_flops()
+                .iter()
+                .map(|&ff| v1[n.cell(ff).fanin()[0].index()])
+                .collect();
+            let v2 = eval(&n, &order_n, &|vals| {
+                for (i, &pi) in n.inputs().iter().enumerate() {
+                    vals[pi.index()] = pi2[i];
+                }
+                for (i, &ff) in n.flip_flops().iter().enumerate() {
+                    vals[ff.index()] = captured[i];
+                }
+            });
+
+            // Unrolled single evaluation.
+            let vu = eval(&u.netlist, &order_u, &|vals| {
+                for (i, &pi) in n.inputs().iter().enumerate() {
+                    vals[u.in_frame1(pi).index()] = pi1[i];
+                    vals[u.in_frame2(pi).index()] = pi2[i];
+                }
+                for (i, &ff) in n.flip_flops().iter().enumerate() {
+                    vals[u.in_frame1(ff).index()] = st[i];
+                }
+            });
+
+            // Frame-2 copies must equal the cycle-2 values.
+            for (id, cell) in n.iter() {
+                if cell.kind() == CellKind::Output {
+                    continue;
+                }
+                assert_eq!(
+                    vu[u.in_frame2(id).index()],
+                    v2[id.index()],
+                    "cell {} (seed {seed})",
+                    cell.name()
+                );
+                assert_eq!(
+                    vu[u.in_frame1(id).index()],
+                    v1[id.index()],
+                    "frame1 cell {} (seed {seed})",
+                    cell.name()
+                );
+            }
+        }
+    }
+
+}

@@ -1,0 +1,352 @@
+//! Scan-chain modelling: shift-register behaviour over the flip-flops.
+//!
+//! The scan path is structural metadata (an ordered list of flip-flops)
+//! rather than explicit netlist edges, matching how the paper's Fig. 1/5
+//! draw it: the muxed-D scan connection is internal to the scan cell.
+
+use flh_netlist::{CellId, Netlist};
+
+use crate::simulator::LogicSim;
+use crate::value::Logic;
+
+/// An ordered scan chain over flip-flop cells.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanChain {
+    cells: Vec<CellId>,
+}
+
+impl ScanChain {
+    /// Builds a chain from an explicit flip-flop order.
+    pub fn new(cells: Vec<CellId>) -> Self {
+        ScanChain { cells }
+    }
+
+    /// Chains all flip-flops of a netlist in declaration order.
+    pub fn from_netlist(netlist: &Netlist) -> Self {
+        ScanChain {
+            cells: netlist.flip_flops().to_vec(),
+        }
+    }
+
+    /// Chain length.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the chain has no flip-flops.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Flip-flops in scan order (scan-in side first).
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Splits the flip-flops of a netlist into `n` balanced chains
+    /// (declaration order, round-robin-free contiguous slices — the usual
+    /// stitching a scan-insertion tool produces). Shift time drops from
+    /// `#FF` to `ceil(#FF / n)` cycles at the cost of `n` scan ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn partition(netlist: &Netlist, n: usize) -> Vec<ScanChain> {
+        assert!(n > 0, "at least one chain required");
+        let ffs = netlist.flip_flops();
+        let n = n.min(ffs.len().max(1));
+        let base = ffs.len() / n;
+        let extra = ffs.len() % n;
+        let mut chains = Vec::with_capacity(n);
+        let mut cursor = 0;
+        for i in 0..n {
+            let len = base + usize::from(i < extra);
+            chains.push(ScanChain::new(ffs[cursor..cursor + len].to_vec()));
+            cursor += len;
+        }
+        chains
+    }
+}
+
+/// Drives several parallel scan chains on one simulator: each shift cycle
+/// moves every chain by one bit simultaneously (one clock for all).
+#[derive(Clone, Debug)]
+pub struct MultiScanController {
+    controllers: Vec<ScanController>,
+}
+
+impl MultiScanController {
+    /// Builds a controller over parallel chains.
+    pub fn new(chains: Vec<ScanChain>) -> Self {
+        MultiScanController {
+            controllers: chains.into_iter().map(ScanController::new).collect(),
+        }
+    }
+
+    /// Number of chains.
+    pub fn chain_count(&self) -> usize {
+        self.controllers.len()
+    }
+
+    /// Shift cycles needed for a full load (the longest chain).
+    pub fn load_cycles(&self) -> usize {
+        self.controllers
+            .iter()
+            .map(|c| c.chain().len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Shifts full patterns into every chain in parallel; `patterns[i]`
+    /// loads chain `i`. Shorter chains idle (hold their last bit) while
+    /// longer ones finish. Returns the unload streams per chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern count or any pattern length mismatches.
+    pub fn shift_in(
+        &self,
+        sim: &mut LogicSim<'_>,
+        patterns: &[Vec<Logic>],
+    ) -> Vec<Vec<Logic>> {
+        assert_eq!(patterns.len(), self.controllers.len(), "one pattern per chain");
+        for (c, p) in self.controllers.iter().zip(patterns) {
+            assert_eq!(p.len(), c.chain().len(), "pattern/chain length mismatch");
+        }
+        let cycles = self.load_cycles();
+        let mut unloads: Vec<Vec<Logic>> = vec![Vec::new(); patterns.len()];
+        for step in 0..cycles {
+            for (i, (ctl, pattern)) in
+                self.controllers.iter().zip(patterns).enumerate()
+            {
+                let len = ctl.chain().len();
+                // Chain i starts shifting late enough to finish exactly at
+                // the common last cycle.
+                let start = cycles - len;
+                if step >= start {
+                    let bit = pattern[len - 1 - (step - start)];
+                    unloads[i].push(ctl.shift_raw(sim, bit));
+                }
+            }
+            // All chains moved in this one clock.
+            sim.bump_cycle();
+            sim.settle();
+        }
+        unloads
+    }
+
+    /// Chain contents, one vector per chain.
+    pub fn read_state(&self, sim: &LogicSim<'_>) -> Vec<Vec<Logic>> {
+        self.controllers.iter().map(|c| c.read_state(sim)).collect()
+    }
+}
+
+/// Drives a [`ScanChain`] on a [`LogicSim`].
+#[derive(Clone, Debug)]
+pub struct ScanController {
+    chain: ScanChain,
+}
+
+impl ScanController {
+    /// Creates a controller for a chain.
+    pub fn new(chain: ScanChain) -> Self {
+        ScanController { chain }
+    }
+
+    /// The controlled chain.
+    pub fn chain(&self) -> &ScanChain {
+        &self.chain
+    }
+
+    /// One scan-shift cycle: every flip-flop takes its predecessor's value,
+    /// the first takes `scan_in`, and the chain's last value is returned as
+    /// scan-out. The combinational logic then settles — if no holding
+    /// mechanism is engaged this is exactly the redundant switching the
+    /// paper's Section IV quantifies.
+    pub fn shift(&self, sim: &mut LogicSim<'_>, scan_in: Logic) -> Logic {
+        let out = self.shift_raw(sim, scan_in);
+        sim.bump_cycle();
+        sim.settle();
+        out
+    }
+
+    /// The register move of one shift, without the clock-cycle accounting
+    /// or combinational settling — the building block for parallel
+    /// multi-chain shifting where several chains move in one cycle.
+    fn shift_raw(&self, sim: &mut LogicSim<'_>, scan_in: Logic) -> Logic {
+        let cells = self.chain.cells();
+        if cells.is_empty() {
+            return Logic::X;
+        }
+        let scan_out = sim.value(cells[cells.len() - 1]);
+        for i in (1..cells.len()).rev() {
+            let v = sim.value(cells[i - 1]);
+            sim.set_ff(cells[i], v);
+        }
+        sim.set_ff(cells[0], scan_in);
+        scan_out
+    }
+
+    /// Shifts a full pattern in (`pattern[i]` lands on chain position `i`),
+    /// returning the bits shifted out (previous chain content, scan-out
+    /// order: position `len-1` first... i.e. the unload stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len()` differs from the chain length.
+    pub fn shift_in(&self, sim: &mut LogicSim<'_>, pattern: &[Logic]) -> Vec<Logic> {
+        assert_eq!(pattern.len(), self.chain.len(), "pattern/chain length mismatch");
+        pattern
+            .iter()
+            .rev()
+            .map(|&bit| self.shift(sim, bit))
+            .collect()
+    }
+
+    /// Reads the current chain content (position order).
+    pub fn read_state(&self, sim: &LogicSim<'_>) -> Vec<Logic> {
+        self.chain.cells().iter().map(|&c| sim.value(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_netlist::CellKind;
+
+    fn three_ff_circuit() -> Netlist {
+        let mut n = Netlist::new("chain3");
+        let a = n.add_input("a");
+        let f0 = n.add_cell("f0", CellKind::Dff, vec![a]);
+        let f1 = n.add_cell("f1", CellKind::Dff, vec![a]);
+        let f2 = n.add_cell("f2", CellKind::Dff, vec![a]);
+        let g = n.add_cell("g", CellKind::Nand3, vec![f0, f1, f2]);
+        n.add_output("y", g);
+        n
+    }
+
+    #[test]
+    fn shift_in_lands_pattern_in_position_order() {
+        let n = three_ff_circuit();
+        let mut sim = LogicSim::new(&n).unwrap();
+        let ctl = ScanController::new(ScanChain::from_netlist(&n));
+        use Logic::{One as I, Zero as O};
+        ctl.shift_in(&mut sim, &[I, O, I]);
+        assert_eq!(ctl.read_state(&sim), vec![I, O, I]);
+    }
+
+    #[test]
+    fn scan_out_streams_previous_content() {
+        let n = three_ff_circuit();
+        let mut sim = LogicSim::new(&n).unwrap();
+        let ctl = ScanController::new(ScanChain::from_netlist(&n));
+        use Logic::{One as I, Zero as O};
+        ctl.shift_in(&mut sim, &[I, I, O]);
+        let out = ctl.shift_in(&mut sim, &[O, O, O]);
+        // Unload order: last chain position first.
+        assert_eq!(out, vec![O, I, I]);
+    }
+
+    #[test]
+    fn shifting_disturbs_combinational_logic_without_holding() {
+        let n = three_ff_circuit();
+        let mut sim = LogicSim::new(&n).unwrap();
+        let ctl = ScanController::new(ScanChain::from_netlist(&n));
+        use Logic::{One as I, Zero as O};
+        ctl.shift_in(&mut sim, &[I, I, I]);
+        sim.reset_activity();
+        ctl.shift_in(&mut sim, &[O, I, O]);
+        let g = n.find("g").unwrap();
+        assert!(
+            sim.activity().toggles(g) > 0,
+            "NAND3 should toggle during unheld shifting"
+        );
+        assert_eq!(sim.activity().cycles(), 3);
+    }
+
+    fn six_ff_circuit() -> Netlist {
+        let mut n = Netlist::new("chain6");
+        let a = n.add_input("a");
+        let mut prev = a;
+        for i in 0..6 {
+            prev = n.add_cell(format!("f{i}"), CellKind::Dff, vec![prev]);
+        }
+        let g = n.add_cell("g", CellKind::Inv, vec![prev]);
+        n.add_output("y", g);
+        n
+    }
+
+    #[test]
+    fn partition_balances_chains() {
+        let n = six_ff_circuit();
+        let chains = ScanChain::partition(&n, 4);
+        assert_eq!(chains.len(), 4);
+        let lens: Vec<usize> = chains.iter().map(|c| c.len()).collect();
+        assert_eq!(lens, vec![2, 2, 1, 1]);
+        // Every flip-flop appears exactly once.
+        let mut all: Vec<_> = chains.iter().flat_map(|c| c.cells().to_vec()).collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn partition_caps_at_ff_count() {
+        let n = six_ff_circuit();
+        assert_eq!(ScanChain::partition(&n, 100).len(), 6);
+    }
+
+    #[test]
+    fn multi_chain_load_matches_single_chain_state() {
+        use Logic::{One as I, Zero as O};
+        let n = six_ff_circuit();
+        let target = vec![I, O, I, I, O, O];
+
+        // Single chain load.
+        let mut sim1 = LogicSim::new(&n).unwrap();
+        let single = ScanController::new(ScanChain::from_netlist(&n));
+        single.shift_in(&mut sim1, &target);
+
+        // Three parallel chains loading the same values.
+        let mut sim3 = LogicSim::new(&n).unwrap();
+        let chains = ScanChain::partition(&n, 3);
+        let multi = MultiScanController::new(chains);
+        multi.shift_in(
+            &mut sim3,
+            &[target[0..2].to_vec(), target[2..4].to_vec(), target[4..6].to_vec()],
+        );
+
+        assert_eq!(sim1.ff_state(), sim3.ff_state());
+        // But the multi-chain load took one third of the cycles.
+        assert_eq!(sim3.activity().cycles(), 2);
+        assert_eq!(sim1.activity().cycles(), 6);
+    }
+
+    #[test]
+    fn multi_chain_unload_streams_previous_content() {
+        use Logic::{One as I, Zero as O};
+        let n = six_ff_circuit();
+        let mut sim = LogicSim::new(&n).unwrap();
+        let multi = MultiScanController::new(ScanChain::partition(&n, 2));
+        assert_eq!(multi.chain_count(), 2);
+        assert_eq!(multi.load_cycles(), 3);
+        multi.shift_in(&mut sim, &[vec![I, I, I], vec![O, O, O]]);
+        let unloads = multi.shift_in(&mut sim, &[vec![O, O, O], vec![I, I, I]]);
+        assert_eq!(unloads[0], vec![I, I, I]);
+        assert_eq!(unloads[1], vec![O, O, O]);
+        let state = multi.read_state(&sim);
+        assert_eq!(state[0], vec![O, O, O]);
+        assert_eq!(state[1], vec![I, I, I]);
+    }
+
+    #[test]
+    fn empty_chain_is_harmless() {
+        let mut n = Netlist::new("noff");
+        let a = n.add_input("a");
+        n.add_output("y", a);
+        let mut sim = LogicSim::new(&n).unwrap();
+        let ctl = ScanController::new(ScanChain::from_netlist(&n));
+        assert!(ctl.chain().is_empty());
+        assert_eq!(ctl.shift(&mut sim, Logic::One), Logic::X);
+    }
+}

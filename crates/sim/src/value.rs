@@ -1,0 +1,237 @@
+//! Three-valued logic (`0`, `1`, `X`) and pessimistic gate evaluation.
+
+use std::fmt;
+
+use flh_netlist::CellKind;
+
+/// A three-valued logic level: known `Zero`, known `One`, or unknown `X`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Logic {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / uninitialized.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Converts from a boolean.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for known values, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    /// True if the value is known (not `X`).
+    pub fn is_known(self) -> bool {
+        self != Logic::X
+    }
+
+    /// Logical inverse (`X` stays `X`). Named to shadow `std::ops::Not`
+    /// deliberately: three-valued negation is this type's negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Logic::Zero => "0",
+            Logic::One => "1",
+            Logic::X => "X",
+        })
+    }
+}
+
+/// Lane patterns assigning the `j`-th unknown input all combinations
+/// across 64 bit lanes (supports exhaustive enumeration of up to 6
+/// unknowns in a single word evaluation).
+const LANE: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Evaluates a cell function over three-valued inputs.
+///
+/// The result is exact three-valued simulation for up to 16 unknown inputs:
+/// all assignments of the `X` inputs are enumerated (bit-parallel, 64
+/// assignments per word evaluation), and the output is a known value only
+/// when every assignment agrees (so e.g. `AND(0, X) = 0` but
+/// `XOR(X, X) = X` — pessimistic for reconvergent unknowns, as standard in
+/// test simulators). Beyond 16 unknowns the result is conservatively `X`.
+///
+/// Sequential and holding cells evaluate as buffers of their first input;
+/// the simulator layers state semantics on top.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the kind's arity.
+pub fn eval3(kind: CellKind, inputs: &[Logic]) -> Logic {
+    assert_eq!(
+        inputs.len(),
+        kind.arity(),
+        "{kind} expects {} inputs, got {}",
+        kind.arity(),
+        inputs.len()
+    );
+    let n_x = inputs.iter().filter(|v| !v.is_known()).count();
+    if n_x > 16 {
+        return Logic::X;
+    }
+    let mut words = [0u64; 16];
+    // Unknowns beyond the first 6 are enumerated by an outer loop; the
+    // first 6 ride the bit lanes of a single word evaluation.
+    let outer_x = n_x.saturating_sub(LANE.len());
+    let inner_x = n_x - outer_x;
+    let lanes = 1usize << inner_x;
+    let lane_mask = if lanes == 64 { !0u64 } else { (1u64 << lanes) - 1 };
+
+    let mut all_zero = true;
+    let mut all_one = true;
+    for combo in 0..(1u32 << outer_x) {
+        let mut x_seen = 0usize;
+        for (i, v) in inputs.iter().enumerate() {
+            words[i] = match v {
+                Logic::One => !0u64,
+                Logic::Zero => 0u64,
+                Logic::X => {
+                    let w = if x_seen < LANE.len() {
+                        LANE[x_seen]
+                    } else if combo >> (x_seen - LANE.len()) & 1 == 1 {
+                        !0
+                    } else {
+                        0
+                    };
+                    x_seen += 1;
+                    w
+                }
+            };
+        }
+        let out = kind.eval64(&words[..inputs.len()]) & lane_mask;
+        if out != 0 {
+            all_zero = false;
+        }
+        if out != lane_mask {
+            all_one = false;
+        }
+        if !all_zero && !all_one {
+            return Logic::X;
+        }
+    }
+    if all_one {
+        Logic::One
+    } else {
+        Logic::Zero
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values_round_trip() {
+        assert_eq!(Logic::from_bool(true), Logic::One);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert_eq!(Logic::Zero.not(), Logic::One);
+        assert_eq!(Logic::X.not(), Logic::X);
+    }
+
+    #[test]
+    fn controlling_values_dominate_x() {
+        assert_eq!(eval3(CellKind::And2, &[Logic::Zero, Logic::X]), Logic::Zero);
+        assert_eq!(eval3(CellKind::Or2, &[Logic::One, Logic::X]), Logic::One);
+        assert_eq!(eval3(CellKind::Nand2, &[Logic::Zero, Logic::X]), Logic::One);
+        assert_eq!(eval3(CellKind::Nor2, &[Logic::One, Logic::X]), Logic::Zero);
+    }
+
+    #[test]
+    fn non_controlling_x_propagates() {
+        assert_eq!(eval3(CellKind::And2, &[Logic::One, Logic::X]), Logic::X);
+        assert_eq!(eval3(CellKind::Xor2, &[Logic::One, Logic::X]), Logic::X);
+        assert_eq!(eval3(CellKind::Inv, &[Logic::X]), Logic::X);
+    }
+
+    #[test]
+    fn mux_select_behaviour_with_x() {
+        // Equal data inputs make the select irrelevant.
+        assert_eq!(
+            eval3(CellKind::Mux2, &[Logic::One, Logic::One, Logic::X]),
+            Logic::One
+        );
+        assert_eq!(
+            eval3(CellKind::Mux2, &[Logic::Zero, Logic::One, Logic::X]),
+            Logic::X
+        );
+        assert_eq!(
+            eval3(CellKind::Mux2, &[Logic::Zero, Logic::One, Logic::One]),
+            Logic::One
+        );
+    }
+
+    #[test]
+    fn complex_gates_with_x() {
+        // AOI21 = !((a&b)|c): c=1 forces 0 regardless of a,b.
+        assert_eq!(
+            eval3(CellKind::Aoi21, &[Logic::X, Logic::X, Logic::One]),
+            Logic::Zero
+        );
+        assert_eq!(
+            eval3(CellKind::Aoi21, &[Logic::X, Logic::X, Logic::Zero]),
+            Logic::X
+        );
+    }
+
+    #[test]
+    fn fully_known_matches_eval64() {
+        let cases = [
+            (CellKind::Nand3, vec![true, true, false]),
+            (CellKind::Oai22, vec![true, false, false, true]),
+            (CellKind::Xnor2, vec![true, true]),
+        ];
+        for (kind, bits) in cases {
+            let inputs: Vec<Logic> = bits.iter().map(|&b| Logic::from_bool(b)).collect();
+            assert_eq!(
+                eval3(kind, &inputs),
+                Logic::from_bool(kind.eval_bool(&bits)),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Logic::Zero.to_string(), "0");
+        assert_eq!(Logic::X.to_string(), "X");
+    }
+}

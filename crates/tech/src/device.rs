@@ -1,0 +1,383 @@
+//! Compact 70 nm MOSFET model.
+//!
+//! An alpha-power-law strong-inversion model combined with an exponential
+//! subthreshold model with DIBL, calibrated to the ballpark of the 70 nm
+//! Berkeley Predictive Technology Model the paper simulates with: 1.0 V
+//! supply, ≈ 0.2 V thresholds, on-current around 1 mA/µm and off-current
+//! tens of nA/µm. The model is deliberately simple — continuous, explicit
+//! and fast — because the transient simulator in `flh-analog` evaluates it
+//! millions of times, and the behaviours under study (floating-node decay
+//! rate, keeper contention, short-circuit current) depend only on the
+//! on/off current ratio and capacitance scale, not on deep-submicron I-V
+//! curvature details.
+
+/// MOSFET polarity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel device (pulls down).
+    Nmos,
+    /// P-channel device (pulls up).
+    Pmos,
+}
+
+/// Technology parameters. [`Technology::bptm70`] (also [`Default`]) is the
+/// 70 nm operating point used throughout the reproduction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Technology {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// NMOS threshold voltage (V).
+    pub vth_n: f64,
+    /// PMOS threshold voltage magnitude (V).
+    pub vth_p: f64,
+    /// Drawn channel length (µm).
+    pub l_min_um: f64,
+    /// Minimum transistor width (µm); all cell sizes are multiples of it.
+    pub w_min_um: f64,
+    /// Alpha-power-law velocity-saturation index.
+    pub alpha: f64,
+    /// NMOS saturation transconductance: `Id_sat = k · W · Vov^alpha`
+    /// (mA/µm at 1 V overdrive).
+    pub k_n_ma_per_um: f64,
+    /// PMOS saturation transconductance (mA/µm).
+    pub k_p_ma_per_um: f64,
+    /// Subthreshold leakage at `Vgs = 0`, `Vds = Vdd` (nA/µm).
+    pub i0_leak_na_per_um: f64,
+    /// Subthreshold slope ideality factor `n` (slope = n·vT·ln10 per decade).
+    pub subthreshold_n: f64,
+    /// DIBL coefficient: threshold reduction per volt of `Vds`.
+    pub dibl: f64,
+    /// Thermal voltage kT/q (V).
+    pub v_thermal: f64,
+    /// Channel-length modulation coefficient (1/V).
+    pub lambda: f64,
+    /// Gate capacitance density (fF per µm of width).
+    pub c_gate_ff_per_um: f64,
+    /// Source/drain diffusion capacitance density (fF per µm of width).
+    pub c_diff_ff_per_um: f64,
+    /// Gate–drain overlap capacitance density (fF per µm of width); this is
+    /// the crosstalk coupling path of Section II of the paper.
+    pub c_gd_overlap_ff_per_um: f64,
+    /// NMOS effective switching resistance (kΩ·µm, includes the RC fitting
+    /// factor so that `delay ≈ R_eff/W · C_load`).
+    pub r_n_kohm_um: f64,
+    /// PMOS effective switching resistance (kΩ·µm).
+    pub r_p_kohm_um: f64,
+    /// Normal-mode (functional) clock frequency (GHz).
+    pub clock_freq_ghz: f64,
+    /// Scan-shift frequency (GHz); the paper assumes a 1 GHz scan clock for
+    /// the 1 µs / 1000-bit chain argument.
+    pub scan_freq_ghz: f64,
+}
+
+impl Technology {
+    /// The 70 nm BPTM-like operating point used by the paper's experiments.
+    pub fn bptm70() -> Self {
+        Technology {
+            vdd: 1.0,
+            vth_n: 0.20,
+            vth_p: 0.22,
+            l_min_um: 0.07,
+            w_min_um: 0.15,
+            alpha: 1.3,
+            k_n_ma_per_um: 1.3,
+            k_p_ma_per_um: 0.65,
+            i0_leak_na_per_um: 30.0,
+            subthreshold_n: 1.5,
+            dibl: 0.08,
+            v_thermal: 0.026,
+            lambda: 0.10,
+            c_gate_ff_per_um: 1.1,
+            c_diff_ff_per_um: 0.8,
+            c_gd_overlap_ff_per_um: 0.25,
+            r_n_kohm_um: 1.6,
+            r_p_kohm_um: 3.2,
+            clock_freq_ghz: 0.5,
+            scan_freq_ghz: 1.0,
+        }
+    }
+
+    /// Drain current of an NMOS of width `w_um`, with `vgs`/`vds` in source
+    /// reference, in amperes. Requires `vds >= 0` (callers handle
+    /// source/drain symmetry, see [`Mosfet::current`]).
+    pub fn nmos_ids(&self, w_um: f64, vgs: f64, vds: f64) -> f64 {
+        self.ids(
+            w_um,
+            vgs,
+            vds,
+            self.vth_n,
+            self.k_n_ma_per_um,
+            self.i0_leak_na_per_um,
+        )
+    }
+
+    /// Drain (source) current magnitude of a PMOS of width `w_um`, with
+    /// `vsg`/`vsd` in source reference, in amperes. Requires `vsd >= 0`.
+    pub fn pmos_ids(&self, w_um: f64, vsg: f64, vsd: f64) -> f64 {
+        // PMOS leakage per µm is taken equal to NMOS at this abstraction.
+        self.ids(
+            w_um,
+            vsg,
+            vsd,
+            self.vth_p,
+            self.k_p_ma_per_um,
+            self.i0_leak_na_per_um,
+        )
+    }
+
+    fn ids(&self, w_um: f64, vgs: f64, vds: f64, vth: f64, k_ma: f64, i0_na: f64) -> f64 {
+        debug_assert!(vds >= -1e-12, "ids called with negative vds ({vds})");
+        let vds = vds.max(0.0);
+        let vth_eff = vth - self.dibl * vds;
+        let nvt = self.subthreshold_n * self.v_thermal;
+
+        // Subthreshold component, with the gate drive clamped at threshold
+        // so the exponential hands over to the alpha-power term smoothly.
+        // `i0` is defined at (Vgs = 0, Vds = Vdd); DIBL enters as an
+        // effective gate-drive shift relative to that reference point.
+        let vg_sub = vgs.min(vth_eff);
+        let sub = i0_na * 1e-9
+            * w_um
+            * ((vg_sub + self.dibl * (vds - self.vdd)) / nvt).exp()
+            * (1.0 - (-vds / self.v_thermal).exp());
+
+        // Strong-inversion alpha-power component.
+        let strong = if vgs > vth_eff {
+            let vov = vgs - vth_eff;
+            let idsat = k_ma * 1e-3 * w_um * vov.powf(self.alpha);
+            let vdsat = vov; // alpha-power simplification
+            if vds >= vdsat {
+                idsat * (1.0 + self.lambda * (vds - vdsat))
+            } else {
+                idsat * (2.0 - vds / vdsat) * (vds / vdsat)
+            }
+        } else {
+            0.0
+        };
+        sub + strong
+    }
+
+    /// Gate capacitance of a device of width `w_um` (fF).
+    pub fn gate_cap_ff(&self, w_um: f64) -> f64 {
+        self.c_gate_ff_per_um * w_um
+    }
+
+    /// Source/drain diffusion capacitance of a device of width `w_um` (fF).
+    pub fn diff_cap_ff(&self, w_um: f64) -> f64 {
+        self.c_diff_ff_per_um * w_um
+    }
+
+    /// Gate–drain overlap (Miller/crosstalk coupling) capacitance (fF).
+    pub fn gd_overlap_ff(&self, w_um: f64) -> f64 {
+        self.c_gd_overlap_ff_per_um * w_um
+    }
+
+    /// Active area of one transistor of width `w_um` (µm²) — the paper's
+    /// area unit is the sum of these over the whole circuit.
+    pub fn active_area_um2(&self, w_um: f64) -> f64 {
+        w_um * self.l_min_um
+    }
+
+    /// Normal-mode clock period (ps).
+    pub fn clock_period_ps(&self) -> f64 {
+        1e3 / self.clock_freq_ghz
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::bptm70()
+    }
+}
+
+/// A sized transistor instance, used by the analog simulator's circuit
+/// builder.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mosfet {
+    /// Device polarity.
+    pub polarity: Polarity,
+    /// Width (µm).
+    pub w_um: f64,
+    /// Per-device threshold-voltage shift (V) modelling local process
+    /// variation (random dopant fluctuation); positive = slower/less leaky.
+    pub vth_shift_v: f64,
+}
+
+impl Mosfet {
+    /// Minimum-width NMOS.
+    pub fn nmos(tech: &Technology, w_mult: f64) -> Self {
+        Mosfet {
+            polarity: Polarity::Nmos,
+            w_um: tech.w_min_um * w_mult,
+            vth_shift_v: 0.0,
+        }
+    }
+
+    /// PMOS at `w_mult` times minimum width (note: multipliers are applied
+    /// to the same `w_min`; P/N drive ratio comes from the model's k values,
+    /// so cell recipes use ~2× wider PMOS explicitly).
+    pub fn pmos(tech: &Technology, w_mult: f64) -> Self {
+        Mosfet {
+            polarity: Polarity::Pmos,
+            w_um: tech.w_min_um * w_mult,
+            vth_shift_v: 0.0,
+        }
+    }
+
+    /// Returns the device with a local threshold shift applied.
+    pub fn with_vth_shift(mut self, volts: f64) -> Self {
+        self.vth_shift_v = volts;
+        self
+    }
+
+    /// Signed current flowing **into the drain terminal and out of the
+    /// source terminal** given absolute node voltages, in amperes.
+    ///
+    /// Handles source/drain symmetry: for an NMOS with `vd < vs` the roles
+    /// swap and the current reverses sign, so a transmission-gate device
+    /// conducts correctly in both directions.
+    pub fn current(&self, tech: &Technology, vg: f64, vs: f64, vd: f64) -> f64 {
+        // A +dVth shift is equivalent to reducing the gate drive by dVth.
+        let dv = self.vth_shift_v;
+        match self.polarity {
+            Polarity::Nmos => {
+                if vd >= vs {
+                    tech.nmos_ids(self.w_um, vg - vs - dv, vd - vs)
+                } else {
+                    -tech.nmos_ids(self.w_um, vg - vd - dv, vs - vd)
+                }
+            }
+            Polarity::Pmos => {
+                if vd <= vs {
+                    -tech.pmos_ids(self.w_um, vs - vg - dv, vs - vd)
+                } else {
+                    tech.pmos_ids(self.w_um, vd - vg - dv, vd - vs)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Technology {
+        Technology::bptm70()
+    }
+
+    #[test]
+    fn on_current_is_ma_class() {
+        let tech = t();
+        // 1 µm NMOS, full drive: should be around 1 mA.
+        let i = tech.nmos_ids(1.0, tech.vdd, tech.vdd);
+        assert!(i > 5e-4 && i < 3e-3, "on current {i} A");
+        // PMOS roughly half.
+        let ip = tech.pmos_ids(1.0, tech.vdd, tech.vdd);
+        assert!(ip > 2e-4 && ip < 1.5e-3, "pmos on current {ip} A");
+        assert!(ip < i);
+    }
+
+    #[test]
+    fn off_current_is_na_class() {
+        let tech = t();
+        let i = tech.nmos_ids(1.0, 0.0, tech.vdd);
+        let nominal = tech.i0_leak_na_per_um * 1e-9;
+        assert!((i - nominal).abs() / nominal < 0.05, "off current {i} A");
+    }
+
+    #[test]
+    fn on_off_ratio_exceeds_1e4() {
+        let tech = t();
+        let on = tech.nmos_ids(1.0, tech.vdd, tech.vdd);
+        let off = tech.nmos_ids(1.0, 0.0, tech.vdd);
+        assert!(on / off > 1e4, "Ion/Ioff = {}", on / off);
+    }
+
+    #[test]
+    fn subthreshold_slope_about_90mv_per_decade() {
+        let tech = t();
+        // Stay well below the (DIBL-reduced) threshold of 0.12 V.
+        let i1 = tech.nmos_ids(1.0, 0.00, tech.vdd);
+        let i2 = tech.nmos_ids(1.0, 0.09, tech.vdd);
+        let decades = (i2 / i1).log10();
+        let slope = 0.09 / decades * 1e3; // mV per decade
+        assert!((80.0..110.0).contains(&slope), "slope {slope} mV/dec");
+    }
+
+    #[test]
+    fn current_is_monotonic_in_vgs_and_vds() {
+        let tech = t();
+        let mut prev = 0.0;
+        for step in 0..=20 {
+            let vgs = step as f64 * 0.05;
+            let i = tech.nmos_ids(1.0, vgs, 1.0);
+            assert!(i >= prev, "non-monotonic in vgs at {vgs}");
+            prev = i;
+        }
+        let mut prev = 0.0;
+        for step in 0..=20 {
+            let vds = step as f64 * 0.05;
+            let i = tech.nmos_ids(1.0, 1.0, vds);
+            assert!(i >= prev - 1e-15, "non-monotonic in vds at {vds}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn current_is_continuous_at_threshold() {
+        let tech = t();
+        let below = tech.nmos_ids(1.0, tech.vth_n - 1e-6, 0.5);
+        let above = tech.nmos_ids(1.0, tech.vth_n + 1e-6, 0.5);
+        assert!(
+            (above - below).abs() / below < 0.01,
+            "discontinuity at threshold: {below} -> {above}"
+        );
+    }
+
+    #[test]
+    fn zero_vds_means_zero_current() {
+        let tech = t();
+        assert_eq!(tech.nmos_ids(1.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mosfet_source_drain_symmetry() {
+        let tech = t();
+        let m = Mosfet::nmos(&tech, 2.0);
+        let forward = m.current(&tech, 1.0, 0.0, 0.6);
+        let reverse = m.current(&tech, 1.0, 0.6, 0.0);
+        assert!(forward > 0.0);
+        assert!((forward + reverse).abs() < 1e-15, "asymmetric TG conduction");
+    }
+
+    #[test]
+    fn pmos_pulls_up() {
+        let tech = t();
+        let m = Mosfet::pmos(&tech, 2.0);
+        // Gate low, source at VDD, drain at 0.4 V: current flows from
+        // source (VDD) into the drain node, i.e. *out of* the drain
+        // terminal: negative by our sign convention.
+        let i = m.current(&tech, 0.0, 1.0, 0.4);
+        assert!(i < 0.0, "pmos should source current into the drain node");
+    }
+
+    #[test]
+    fn fo4_inverter_delay_is_about_25ps() {
+        // Sanity-check the effective-resistance calibration: an inverter of
+        // (n=1x, p=2x) driving four copies of itself.
+        let tech = t();
+        let wn = tech.w_min_um;
+        let wp = 2.0 * tech.w_min_um;
+        let r = 0.5 * (tech.r_n_kohm_um / wn + tech.r_p_kohm_um / wp);
+        let c_in = tech.gate_cap_ff(wn + wp);
+        let c_out = tech.diff_cap_ff(wn + wp);
+        let d = r * (4.0 * c_in + c_out);
+        assert!((15.0..40.0).contains(&d), "FO4 = {d} ps");
+    }
+
+    #[test]
+    fn clock_period() {
+        assert!((t().clock_period_ps() - 2000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,37 @@
+//! 70 nm technology model and transistor-level standard-cell library.
+//!
+//! The paper evaluates FLH on ISCAS89 circuits mapped to the LEDA 0.25 µm
+//! library and scaled to the 70 nm Berkeley Predictive Technology Model.
+//! This crate provides the equivalent physical substrate:
+//!
+//! * [`Technology`] — compact 70 nm MOSFET model: alpha-power-law on-current,
+//!   subthreshold leakage with DIBL, gate/diffusion capacitance densities,
+//!   and the supply/threshold voltages. Consumed numerically by
+//!   `flh-analog`'s transient simulator and analytically by the cell
+//!   library.
+//! * [`CellLibrary`] / [`CellPhysical`] — per-`CellKind` transistor-level
+//!   sizing, from which all paper metrics derive: **area** is the total
+//!   transistor active area Σ W·L exactly as in the paper ("Since the layout
+//!   rules for the 70nm node are not available, the measure used for area is
+//!   the total transistor active area"), **delay** is a logical-effort style
+//!   `intrinsic + R_drive · C_load` arc, **power** is capacitance-based
+//!   dynamic energy plus subthreshold leakage.
+//! * [`FlhPhysical`] — the incremental cost of supply-gating one first-level
+//!   gate (header + footer gating transistors sized for delay, plus the
+//!   minimum-sized keeper latch of Fig. 3), and the stack-effect leakage
+//!   factor the paper credits for the s13207 power win.
+//!
+//! # Units
+//!
+//! Consistent engineering units are used across the workspace:
+//! micrometres (µm) for geometry, femtofarads (fF) for capacitance,
+//! kiloohms (kΩ) for resistance, picoseconds (ps = kΩ·fF) for delay,
+//! volts (V), nanoamperes (nA) for leakage and microwatts (µW) for power.
+
+pub mod cells;
+pub mod device;
+pub mod flh;
+
+pub use cells::{CellLibrary, CellPhysical};
+pub use device::{Mosfet, Polarity, Technology};
+pub use flh::{FlhConfig, FlhPhysical};

@@ -1,0 +1,673 @@
+//! Static timing analysis over mapped netlists.
+//!
+//! Implements the delay view the paper measures with HSPICE on the critical
+//! path: a logical-effort-style arc model where each cell contributes
+//! `intrinsic + R_drive · C_load`, with loads assembled from the fanout's
+//! input capacitances plus wire capacitance. The DFT styles perturb timing
+//! exactly as in the paper:
+//!
+//! * enhanced scan / MUX-based — the `HoldLatch` / `HoldMux` cells are real
+//!   netlist cells in the stimulus path, so their arc appears on every
+//!   flip-flop-to-logic path automatically;
+//! * FLH — supply-gated first-level gates drive through the on gating
+//!   transistors (extra series resistance) and carry the keeper as extra
+//!   output load; no new level of logic appears ("it does not introduce
+//!   extra level of logic in the timing path"), which is why the overhead
+//!   is a small fraction of a gate delay instead of a full latch arc.
+
+use flh_netlist::{analysis, CellId, CellKind, Netlist};
+use flh_tech::{CellLibrary, FlhPhysical};
+
+/// Environment knobs for the analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingConfig {
+    /// Wire capacitance per fanout pin (fF).
+    pub wire_cap_per_fanout_ff: f64,
+    /// Flip-flop setup time added at D endpoints (ps).
+    pub ff_setup_ps: f64,
+    /// Load presented by a primary output / pad (fF).
+    pub po_load_ff: f64,
+}
+
+impl TimingConfig {
+    /// Defaults used across the reproduction.
+    pub fn paper_default() -> Self {
+        TimingConfig {
+            wire_cap_per_fanout_ff: 0.25,
+            ff_setup_ps: 20.0,
+            po_load_ff: 5.0,
+        }
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig::paper_default()
+    }
+}
+
+/// Optional FLH annotation: which cells are supply-gated and with what
+/// physical cost. A subset may carry wider gating devices (the paper's
+/// Section III mixed sizing for critical-path gates).
+#[derive(Clone, Debug)]
+pub struct FlhAnnotation<'a> {
+    /// Supply-gated cells (the first-level gates).
+    pub gated: &'a [CellId],
+    /// Derived gating/keeper costs for the default sizing.
+    pub physical: &'a FlhPhysical,
+    /// Subset of `gated` using the wide sizing (empty = uniform default).
+    pub wide: &'a [CellId],
+    /// Costs of the wide sizing; required when `wide` is nonempty.
+    pub wide_physical: Option<&'a FlhPhysical>,
+}
+
+impl<'a> FlhAnnotation<'a> {
+    /// Uniform-sizing annotation.
+    pub fn new(gated: &'a [CellId], physical: &'a FlhPhysical) -> Self {
+        FlhAnnotation {
+            gated,
+            physical,
+            wide: &[],
+            wide_physical: None,
+        }
+    }
+
+    /// Adds a wide-sized subset.
+    pub fn with_wide(mut self, wide: &'a [CellId], physical: &'a FlhPhysical) -> Self {
+        self.wide = wide;
+        self.wide_physical = Some(physical);
+        self
+    }
+
+    fn physical_for(&self, id: CellId) -> &FlhPhysical {
+        if self.wide.contains(&id) {
+            self.wide_physical
+                .expect("wide set implies wide_physical")
+        } else {
+            self.physical
+        }
+    }
+}
+
+/// Result of a timing analysis.
+#[derive(Clone, Debug)]
+pub struct TimingReport {
+    arrival_ps: Vec<f64>,
+    worst_fanin: Vec<Option<CellId>>,
+    critical_delay_ps: f64,
+    critical_endpoint: Option<CellId>,
+}
+
+impl TimingReport {
+    /// Arrival time at a cell's output (ps). For `Output` markers this is
+    /// the endpoint arrival; for flip-flops the clk→q availability.
+    pub fn arrival_ps(&self, id: CellId) -> f64 {
+        self.arrival_ps[id.index()]
+    }
+
+    /// Worst (critical) register-to-register / register-to-output delay
+    /// including setup (ps).
+    pub fn critical_delay_ps(&self) -> f64 {
+        self.critical_delay_ps
+    }
+
+    /// The endpoint cell of the critical path (a flip-flop whose D closes
+    /// the path, or a primary-output marker).
+    pub fn critical_endpoint(&self) -> Option<CellId> {
+        self.critical_endpoint
+    }
+
+    /// Traces the critical path from endpoint back to its source, returned
+    /// source-first.
+    ///
+    /// A flip-flop endpoint may lie on its own critical path (a register
+    /// whose worst D-cone loops back from its own output); the trace stops
+    /// when it would revisit a cell, so the returned path covers exactly
+    /// one register-to-register traversal.
+    pub fn critical_path(&self) -> Vec<CellId> {
+        let mut path = Vec::new();
+        let mut seen = vec![false; self.arrival_ps.len()];
+        let mut cursor = self.critical_endpoint;
+        while let Some(id) = cursor {
+            if seen[id.index()] {
+                break;
+            }
+            seen[id.index()] = true;
+            path.push(id);
+            cursor = self.worst_fanin[id.index()];
+        }
+        path.reverse();
+        path
+    }
+
+    /// Slack against a clock period (ps); negative means a violation.
+    pub fn slack_ps(&self, clock_period_ps: f64) -> f64 {
+        clock_period_ps - self.critical_delay_ps
+    }
+}
+
+/// Per-cell required times and slacks against a clock period: the backward
+/// propagation pass complementing [`analyze`]'s forward arrival pass.
+#[derive(Clone, Debug)]
+pub struct SlackReport {
+    required_ps: Vec<f64>,
+    slack_ps: Vec<f64>,
+}
+
+impl SlackReport {
+    /// Computes required times by walking the timing graph backward from
+    /// the endpoints (primary outputs at `clock_period_ps`, flip-flop D
+    /// pins at `clock_period_ps − setup`). A cell's required time is the
+    /// minimum over its readers of *their* required time minus *their*
+    /// stage delay (arrival(reader) − arrival(cell)).
+    ///
+    /// # Errors
+    ///
+    /// Fails on combinationally cyclic netlists.
+    pub fn compute(
+        netlist: &Netlist,
+        report: &TimingReport,
+        config: &TimingConfig,
+        clock_period_ps: f64,
+    ) -> flh_netlist::Result<Self> {
+        let order = analysis::combinational_order(netlist)?;
+        let n = netlist.cell_count();
+        let mut required = vec![f64::INFINITY; n];
+
+        // Endpoint requirements.
+        for (id, cell) in netlist.iter() {
+            match cell.kind() {
+                CellKind::Output => required[id.index()] = clock_period_ps,
+                k if k.is_flip_flop() => {
+                    let d = cell.fanin()[0];
+                    let r = clock_period_ps - config.ff_setup_ps;
+                    if r < required[d.index()] {
+                        required[d.index()] = r;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Backward pass in reverse topological order: each cell constrains
+        // its fanins through its own stage delay.
+        for &id in order.iter().rev() {
+            let cell = netlist.cell(id);
+            let r_here = required[id.index()];
+            if !r_here.is_finite() {
+                continue;
+            }
+            let stage = if cell.kind() == CellKind::Output {
+                0.0
+            } else {
+                // Stage delay as realized in the forward pass.
+                let worst_in = cell
+                    .fanin()
+                    .iter()
+                    .map(|&f| report.arrival_ps(f))
+                    .fold(0.0, f64::max);
+                report.arrival_ps(id) - worst_in
+            };
+            for &f in cell.fanin() {
+                let r = r_here - stage;
+                if r < required[f.index()] {
+                    required[f.index()] = r;
+                }
+            }
+        }
+        let slack: Vec<f64> = (0..n)
+            .map(|i| {
+                if required[i].is_finite() {
+                    required[i] - report.arrival_ps[i]
+                } else {
+                    f64::INFINITY // unobserved cells constrain nothing
+                }
+            })
+            .collect();
+        Ok(SlackReport {
+            required_ps: required,
+            slack_ps: slack,
+        })
+    }
+
+    /// Required time at a cell (ps); `+inf` for unobserved cells.
+    pub fn required_ps(&self, id: CellId) -> f64 {
+        self.required_ps[id.index()]
+    }
+
+    /// Slack at a cell (ps); negative on violating paths.
+    pub fn slack_at(&self, id: CellId) -> f64 {
+        self.slack_ps[id.index()]
+    }
+}
+
+/// Runs static timing analysis.
+///
+/// # Errors
+///
+/// Fails on combinationally cyclic netlists.
+///
+/// # Panics
+///
+/// Panics if the netlist contains unmapped generic gates.
+///
+/// # Example
+///
+/// ```
+/// use flh_netlist::{CellKind, Netlist};
+/// use flh_tech::{CellLibrary, Technology};
+/// use flh_timing::{analyze, TimingConfig};
+///
+/// # fn main() -> Result<(), flh_netlist::NetlistError> {
+/// let mut n = Netlist::new("chain");
+/// let a = n.add_input("a");
+/// let g1 = n.add_cell("g1", CellKind::Inv, vec![a]);
+/// let g2 = n.add_cell("g2", CellKind::Inv, vec![g1]);
+/// n.add_output("y", g2);
+/// let lib = CellLibrary::new(Technology::bptm70());
+/// let report = analyze(&n, &lib, &TimingConfig::paper_default(), None)?;
+/// assert!(report.critical_delay_ps() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn analyze(
+    netlist: &Netlist,
+    library: &CellLibrary,
+    config: &TimingConfig,
+    flh: Option<FlhAnnotation<'_>>,
+) -> flh_netlist::Result<TimingReport> {
+    let order = analysis::combinational_order(netlist)?;
+    let fanouts = analysis::FanoutMap::compute(netlist);
+    let n = netlist.cell_count();
+
+    let mut gated = vec![false; n];
+    if let Some(ann) = &flh {
+        for &c in ann.gated {
+            gated[c.index()] = true;
+        }
+    }
+
+    // Output load per driving cell.
+    let load_ff = |id: CellId| -> f64 {
+        let mut c = 0.0;
+        for &r in fanouts.readers(id) {
+            let kind = netlist.cell(r).kind();
+            c += if kind == CellKind::Output {
+                config.po_load_ff
+            } else {
+                library.physical(kind).input_cap_ff
+            };
+            c += config.wire_cap_per_fanout_ff;
+        }
+        if gated[id.index()] {
+            let ann = flh.as_ref().expect("gated implies annotation");
+            c += ann.physical_for(id).keeper_load_ff;
+        }
+        c
+    };
+
+    let mut arrival = vec![0.0f64; n];
+    let mut worst_fanin: Vec<Option<CellId>> = vec![None; n];
+
+    // Sources: primary inputs arrive at t = their driver delay; flip-flops
+    // at clk→q.
+    for (id, cell) in netlist.iter() {
+        match cell.kind() {
+            CellKind::Input | CellKind::Const0 | CellKind::Const1 => {
+                let phys = library.physical(cell.kind());
+                arrival[id.index()] = phys.drive_res_kohm * load_ff(id);
+            }
+            k if k.is_flip_flop() => {
+                let phys = library.physical(k);
+                arrival[id.index()] = phys.intrinsic_ps + phys.drive_res_kohm * load_ff(id);
+            }
+            _ => {}
+        }
+    }
+
+    for &id in &order {
+        let cell = netlist.cell(id);
+        let kind = cell.kind();
+        let (base, from) = cell
+            .fanin()
+            .iter()
+            .map(|&f| (arrival[f.index()], Some(f)))
+            .fold((0.0, None), |acc, x| if x.0 > acc.0 { x } else { acc });
+        if kind == CellKind::Output {
+            arrival[id.index()] = base;
+            worst_fanin[id.index()] = from;
+            continue;
+        }
+        let phys = library.physical(kind);
+        let mut res = phys.drive_res_kohm;
+        let mut intrinsic = phys.intrinsic_ps;
+        if gated[id.index()] {
+            let ann = flh.as_ref().expect("gated implies annotation");
+            let gphys = ann.physical_for(id);
+            res += gphys.extra_drive_res_kohm;
+            // The extra resistance also slows the discharge of the cell's
+            // own parasitics.
+            intrinsic += gphys.extra_drive_res_kohm * phys.output_cap_ff;
+        }
+        arrival[id.index()] = base + intrinsic + res * load_ff(id);
+        worst_fanin[id.index()] = from;
+    }
+
+    // Endpoints: primary outputs and flip-flop D pins (+ setup).
+    let mut critical = 0.0f64;
+    let mut endpoint = None;
+    for (id, cell) in netlist.iter() {
+        let t = match cell.kind() {
+            CellKind::Output => arrival[id.index()],
+            k if k.is_flip_flop() => arrival[cell.fanin()[0].index()] + config.ff_setup_ps,
+            _ => continue,
+        };
+        if t > critical {
+            critical = t;
+            endpoint = Some(id);
+        }
+    }
+    // Make flip-flop endpoints traceable through their D pin.
+    if let Some(ep) = endpoint {
+        if netlist.cell(ep).kind().is_flip_flop() {
+            worst_fanin[ep.index()] = Some(netlist.cell(ep).fanin()[0]);
+        }
+    }
+
+    Ok(TimingReport {
+        arrival_ps: arrival,
+        worst_fanin,
+        critical_delay_ps: critical,
+        critical_endpoint: endpoint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_tech::{FlhConfig, Technology};
+
+    fn lib() -> CellLibrary {
+        CellLibrary::new(Technology::bptm70())
+    }
+
+    fn inv_chain(len: usize) -> Netlist {
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let mut prev = a;
+        for i in 0..len {
+            prev = n.add_cell(format!("i{i}"), CellKind::Inv, vec![prev]);
+        }
+        n.add_output("y", prev);
+        n
+    }
+
+    #[test]
+    fn longer_chains_are_slower() {
+        let lib = lib();
+        let cfg = TimingConfig::paper_default();
+        let d4 = analyze(&inv_chain(4), &lib, &cfg, None)
+            .unwrap()
+            .critical_delay_ps();
+        let d8 = analyze(&inv_chain(8), &lib, &cfg, None)
+            .unwrap()
+            .critical_delay_ps();
+        // The pad-load stage is common to both, so compare net of it.
+        assert!(d8 > d4 + 20.0, "d4={d4} d8={d8}");
+    }
+
+    #[test]
+    fn per_stage_delay_is_plausible() {
+        let lib = lib();
+        let cfg = TimingConfig::paper_default();
+        let d10 = analyze(&inv_chain(10), &lib, &cfg, None)
+            .unwrap()
+            .critical_delay_ps();
+        let d20 = analyze(&inv_chain(20), &lib, &cfg, None)
+            .unwrap()
+            .critical_delay_ps();
+        let per_stage = (d20 - d10) / 10.0;
+        assert!(
+            (3.0..30.0).contains(&per_stage),
+            "FO1 inverter stage {per_stage} ps"
+        );
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        let lib = lib();
+        let cfg = TimingConfig::paper_default();
+        let mut n1 = Netlist::new("fo1");
+        let a = n1.add_input("a");
+        let g = n1.add_cell("g", CellKind::Inv, vec![a]);
+        let s = n1.add_cell("s", CellKind::Inv, vec![g]);
+        n1.add_output("y", s);
+
+        let mut n4 = Netlist::new("fo4");
+        let a = n4.add_input("a");
+        let g = n4.add_cell("g", CellKind::Inv, vec![a]);
+        let s = n4.add_cell("s", CellKind::Inv, vec![g]);
+        for i in 0..3 {
+            n4.add_cell(format!("l{i}"), CellKind::Inv, vec![g]);
+        }
+        n4.add_output("y", s);
+
+        let d1 = analyze(&n1, &lib, &cfg, None).unwrap();
+        let d4 = analyze(&n4, &lib, &cfg, None).unwrap();
+        let sid1 = n1.find("s").unwrap();
+        let sid4 = n4.find("s").unwrap();
+        assert!(d4.arrival_ps(sid4) > d1.arrival_ps(sid1));
+    }
+
+    /// FF → gate → gate → FF circuit, with optional hold latch.
+    fn seq_path(with_latch: bool) -> Netlist {
+        let mut n = Netlist::new("seq");
+        let a = n.add_input("a");
+        let ff = n.add_cell("ff", CellKind::Dff, vec![a]);
+        let stim: CellId = if with_latch {
+            n.add_cell("hl", CellKind::HoldLatch, vec![ff])
+        } else {
+            ff
+        };
+        let g1 = n.add_cell("g1", CellKind::Nand2, vec![stim, a]);
+        let g2 = n.add_cell("g2", CellKind::Nor2, vec![g1, a]);
+        let ff2 = n.add_cell("ff2", CellKind::Dff, vec![g2]);
+        n.add_output("y", ff2);
+        n
+    }
+
+    #[test]
+    fn hold_latch_adds_a_full_arc() {
+        let lib = lib();
+        let cfg = TimingConfig::paper_default();
+        let base = analyze(&seq_path(false), &lib, &cfg, None)
+            .unwrap()
+            .critical_delay_ps();
+        let latched = analyze(&seq_path(true), &lib, &cfg, None)
+            .unwrap()
+            .critical_delay_ps();
+        let overhead = latched - base;
+        assert!(
+            (15.0..80.0).contains(&overhead),
+            "latch arc overhead {overhead} ps"
+        );
+    }
+
+    #[test]
+    fn flh_penalty_is_much_smaller_than_a_latch_arc() {
+        let tech = Technology::bptm70();
+        let lib = CellLibrary::new(tech.clone());
+        let cfg = TimingConfig::paper_default();
+        let n = seq_path(false);
+        let g1 = n.find("g1").unwrap();
+        let flh_phys = FlhPhysical::derive(&tech, &FlhConfig::paper_default());
+        let base = analyze(&n, &lib, &cfg, None).unwrap().critical_delay_ps();
+        let gated = analyze(
+            &n,
+            &lib,
+            &cfg,
+            Some(FlhAnnotation::new(&[g1], &flh_phys)),
+        )
+        .unwrap()
+        .critical_delay_ps();
+        let flh_overhead = gated - base;
+        let latched = analyze(&seq_path(true), &lib, &cfg, None)
+            .unwrap()
+            .critical_delay_ps();
+        let latch_overhead = latched - base;
+        assert!(flh_overhead > 0.0, "gating must cost something");
+        assert!(
+            flh_overhead < 0.55 * latch_overhead,
+            "FLH {flh_overhead} ps vs latch {latch_overhead} ps"
+        );
+    }
+
+    #[test]
+    fn wide_gating_reduces_the_flh_penalty() {
+        let tech = Technology::bptm70();
+        let lib = CellLibrary::new(tech.clone());
+        let cfg = TimingConfig::paper_default();
+        let n = seq_path(false);
+        let g1 = n.find("g1").unwrap();
+        let base = analyze(&n, &lib, &cfg, None).unwrap().critical_delay_ps();
+        let run = |c: FlhConfig| {
+            let phys = FlhPhysical::derive(&tech, &c);
+            analyze(
+                &n,
+                &lib,
+                &cfg,
+                Some(FlhAnnotation::new(&[g1], &phys)),
+            )
+            .unwrap()
+            .critical_delay_ps()
+                - base
+        };
+        let narrow = run(FlhConfig::paper_default());
+        let wide = run(FlhConfig::wide_gating());
+        assert!(wide < narrow, "wide {wide} !< narrow {narrow}");
+    }
+
+    #[test]
+    fn critical_path_traces_from_source_to_endpoint() {
+        let lib = lib();
+        let cfg = TimingConfig::paper_default();
+        let n = seq_path(true);
+        let report = analyze(&n, &lib, &cfg, None).unwrap();
+        let path = report.critical_path();
+        assert!(path.len() >= 3);
+        let last = *path.last().unwrap();
+        assert_eq!(Some(last), report.critical_endpoint());
+        // Consecutive path elements must be connected.
+        for w in path.windows(2) {
+            let (src, dst) = (w[0], w[1]);
+            assert!(
+                n.cell(dst).fanin().contains(&src),
+                "{src} -> {dst} not an edge"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_terminates_on_self_loop_registers() {
+        // A flip-flop whose worst D-cone starts at its own output: tracing
+        // the critical path must not cycle forever.
+        let lib = lib();
+        let cfg = TimingConfig::paper_default();
+        let mut n = Netlist::new("selfloop");
+        let a = n.add_input("a");
+        let ff = n.add_cell("ff", CellKind::Dff, vec![a]);
+        let g1 = n.add_cell("g1", CellKind::Nand2, vec![ff, a]);
+        let g2 = n.add_cell("g2", CellKind::Inv, vec![g1]);
+        n.set_fanin_pin(ff, 0, g2);
+        n.add_output("y", g2);
+        // Load the FF->g1->g2->ff loop so it dominates the PO path.
+        for i in 0..6 {
+            n.add_cell(format!("l{i}"), CellKind::Inv, vec![g1]);
+        }
+        let report = analyze(&n, &lib, &cfg, None).unwrap();
+        let path = report.critical_path();
+        assert!(path.len() <= n.cell_count());
+        // No repeats.
+        let mut sorted = path.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), path.len());
+    }
+
+    #[test]
+    fn slack_math() {
+        let lib = lib();
+        let cfg = TimingConfig::paper_default();
+        let report = analyze(&inv_chain(4), &lib, &cfg, None).unwrap();
+        let d = report.critical_delay_ps();
+        assert!((report.slack_ps(d + 100.0) - 100.0).abs() < 1e-9);
+        assert!(report.slack_ps(d - 1.0) < 0.0);
+    }
+
+    #[test]
+    fn slack_report_zero_on_critical_path() {
+        let lib = lib();
+        let cfg = TimingConfig::paper_default();
+        let n = seq_path(true);
+        let report = analyze(&n, &lib, &cfg, None).unwrap();
+        let period = report.critical_delay_ps();
+        let slack = SlackReport::compute(&n, &report, &cfg, period).unwrap();
+        // Every combinational cell on the critical path has (near-)zero
+        // slack at a clock equal to the critical delay. (A flip-flop
+        // endpoint's *output* slack reflects its readers, not its D pin,
+        // so sequential cells are excluded.)
+        for &id in &report.critical_path() {
+            if !n.cell(id).kind().is_combinational() {
+                continue;
+            }
+            assert!(
+                slack.slack_at(id).abs() < 1e-6,
+                "cell {id} slack {} on critical path",
+                slack.slack_at(id)
+            );
+        }
+        // Every cell has non-negative slack at that period.
+        for id in n.ids() {
+            assert!(slack.slack_at(id) > -1e-6, "negative slack at {id}");
+        }
+    }
+
+    #[test]
+    fn slack_report_scales_with_period() {
+        let lib = lib();
+        let cfg = TimingConfig::paper_default();
+        let n = seq_path(false);
+        let report = analyze(&n, &lib, &cfg, None).unwrap();
+        let base = report.critical_delay_ps();
+        let tight = SlackReport::compute(&n, &report, &cfg, base).unwrap();
+        let loose = SlackReport::compute(&n, &report, &cfg, base + 100.0).unwrap();
+        let g1 = n.find("g1").unwrap();
+        assert!((loose.slack_at(g1) - tight.slack_at(g1) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unobserved_cells_have_infinite_slack() {
+        let lib = lib();
+        let cfg = TimingConfig::paper_default();
+        let mut n = Netlist::new("dangling");
+        let a = n.add_input("a");
+        let g = n.add_cell("g", CellKind::Inv, vec![a]);
+        let dead = n.add_cell("dead", CellKind::Inv, vec![a]);
+        n.add_output("y", g);
+        let report = analyze(&n, &lib, &cfg, None).unwrap();
+        let slack = SlackReport::compute(&n, &report, &cfg, 1000.0).unwrap();
+        assert!(slack.slack_at(dead).is_infinite());
+        assert!(slack.required_ps(dead).is_infinite());
+        assert!(slack.slack_at(g).is_finite());
+    }
+
+    #[test]
+    fn ff_setup_is_included() {
+        let lib = lib();
+        let mut cfg = TimingConfig::paper_default();
+        let n = seq_path(false);
+        let d0 = analyze(&n, &lib, &cfg, None).unwrap().critical_delay_ps();
+        cfg.ff_setup_ps += 50.0;
+        let d1 = analyze(&n, &lib, &cfg, None).unwrap().critical_delay_ps();
+        assert!((d1 - d0 - 50.0).abs() < 1e-9);
+    }
+}

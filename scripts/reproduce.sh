@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Regenerates every table, figure and extension experiment of the FLH
+# reproduction (see EXPERIMENTS.md for the expected shapes).
+set -e
+cd "$(dirname "$0")/.."
+
+run() {
+    echo; echo "================================================================"
+    echo "== $1"; echo "================================================================"
+    cargo run --quiet --release -p flh-bench --bin "$1"
+}
+
+cargo build --release --workspace
+
+run fig2_floating_decay      # Fig. 2  (E1)
+run fig4_flh_hold            # Fig. 4  (E2)
+run table1_area              # Table I (E3)
+run table2_delay             # Table II (E4)
+run table3_power             # Table III (E5)
+run table4_fanout_opt        # Table IV (E6)
+run coverage_invariance      # §IV invariance (E7) — slowest (deterministic ATPG x2)
+run coverage_styles          # §I styles (E8) + deterministic ceilings
+run testmode_power           # §IV test-mode power (E9)
+run bist_coverage            # §IV BIST (E11)
+run path_delay_critical      # §IV path delay (E12)
+run test_time                # tester economics (E13)
+run ablation_sizing          # §III/§V ablations (E14)
+run variation_robustness     # process variation (E15)
+run lowpower_fill            # X-fill (E16)
+
+echo; echo "E10 (Fig. 5(b) schedule) is exercised by:"
+echo "  cargo run --release --example delay_test_campaign"

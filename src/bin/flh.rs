@@ -1,0 +1,219 @@
+//! `flh` — command-line front end to the workspace.
+//!
+//! ```text
+//! flh stats   <circuit>                      structural statistics
+//! flh eval    <circuit>                      per-style area/delay/power table
+//! flh apply   <circuit> <style> [--verilog|--dot|--bench]
+//!                                            DFT transform + export to stdout
+//! flh atpg    <circuit> [--out FILE]         transition ATPG, pattern file
+//! flh fsim    <circuit> <pattern-file>       coverage of a pattern file
+//! flh list                                   known circuit profiles
+//! ```
+//!
+//! `<circuit>` is either a builtin ISCAS89 profile name (`s298` … `s13207`)
+//! or a path to an ISCAS89 `.bench` file. `<style>` is one of `plain`,
+//! `enhanced`, `mux`, `flh`.
+
+use std::process::ExitCode;
+
+use flh::atpg::transition::enumerate_transition_faults;
+use flh::atpg::{
+    simulate_transition_patterns, transition_atpg, parse_patterns, write_patterns,
+    PodemConfig, TestView,
+};
+use flh::core::{apply_style, evaluate_all, DftStyle, EvalConfig};
+use flh::netlist::bench_io::{parse_bench, write_bench};
+use flh::netlist::mapper::map_netlist;
+use flh::netlist::{dot, generate_circuit, iscas89_profile, iscas89_profiles, verilog};
+use flh::netlist::{CircuitStats, Netlist};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh list\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path"
+    );
+    ExitCode::FAILURE
+}
+
+fn load_circuit(spec: &str) -> Result<Netlist, String> {
+    if let Some(profile) = iscas89_profile(spec) {
+        return generate_circuit(&profile.generator_config())
+            .map_err(|e| format!("generating {spec}: {e}"));
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("{spec}: {e} (and not a builtin profile)"))?;
+    let name = std::path::Path::new(spec)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design");
+    let parsed = parse_bench(&text, name).map_err(|e| format!("{spec}: {e}"))?;
+    map_netlist(&parsed).map_err(|e| format!("{spec}: mapping failed: {e}"))
+}
+
+fn parse_style(s: &str) -> Option<DftStyle> {
+    match s {
+        "plain" | "scan" => Some(DftStyle::PlainScan),
+        "enhanced" | "es" => Some(DftStyle::EnhancedScan),
+        "mux" => Some(DftStyle::MuxHold),
+        "flh" => Some(DftStyle::Flh),
+        _ => None,
+    }
+}
+
+fn cmd_stats(circuit: &Netlist) -> Result<(), String> {
+    let stats = CircuitStats::compute(circuit).map_err(|e| e.to_string())?;
+    println!("{circuit}");
+    println!("logic depth:              {}", stats.logic_depth);
+    println!("FF fanout pins:           {}", stats.total_ff_fanouts);
+    println!("unique first-level gates: {}", stats.unique_first_level_gates);
+    println!("avg FF fanout:            {:.2}", stats.avg_ff_fanout());
+    println!("unique/FF ratio:          {:.2}", stats.unique_fanout_ratio());
+    let mut kinds: Vec<(&String, &usize)> = stats.kind_histogram.iter().collect();
+    kinds.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    println!("gate mix:");
+    for (kind, count) in kinds {
+        println!("  {kind:<8} {count}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(circuit: &Netlist) -> Result<(), String> {
+    let evals =
+        evaluate_all(circuit, &EvalConfig::paper_default()).map_err(|e| e.to_string())?;
+    println!(
+        "{:>14} | {:>12} {:>9} | {:>10} {:>9} | {:>11} {:>9}",
+        "style", "area (um2)", "area %", "delay(ps)", "delay %", "power (uW)", "power %"
+    );
+    for e in &evals {
+        println!(
+            "{:>14} | {:>12.2} {:>9.2} | {:>10.0} {:>9.2} | {:>11.2} {:>9.2}",
+            e.style.label(),
+            e.area_um2,
+            e.area_increase_pct(),
+            e.delay_ps,
+            e.delay_increase_pct(),
+            e.power_uw,
+            e.power_increase_pct()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_apply(circuit: &Netlist, style: DftStyle, format: &str) -> Result<(), String> {
+    let dft = apply_style(circuit, style).map_err(|e| e.to_string())?;
+    match format {
+        "--verilog" => print!("{}", verilog::write_verilog(&dft.netlist)),
+        "--dot" => print!(
+            "{}",
+            dot::to_dot(
+                &dft.netlist,
+                &dot::DotOptions {
+                    highlight: dft.gated.clone(),
+                    left_to_right: true,
+                },
+            )
+        ),
+        "--bench" => print!("{}", write_bench(&dft.netlist)),
+        other => return Err(format!("unknown format {other:?}")),
+    }
+    if style == DftStyle::Flh {
+        eprintln!("// {} supply-gated first-level gates", dft.gated.len());
+    }
+    Ok(())
+}
+
+fn cmd_atpg(circuit: &Netlist, out: Option<&str>) -> Result<(), String> {
+    let dft = apply_style(circuit, DftStyle::Flh).map_err(|e| e.to_string())?;
+    let view = TestView::new(&dft.netlist).map_err(|e| e.to_string())?;
+    let faults = enumerate_transition_faults(&dft.netlist);
+    let result = transition_atpg(&view, &faults, &PodemConfig::paper_default(), 0xf1);
+    eprintln!(
+        "{} transition faults: {:.2}% coverage, {:.2}% efficiency, {} pattern pairs",
+        faults.len(),
+        result.coverage_pct(),
+        result.efficiency_pct(),
+        result.patterns.len()
+    );
+    let text = write_patterns(&result.patterns, view.primary_input_count());
+    match out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_fsim(circuit: &Netlist, pattern_file: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(pattern_file).map_err(|e| format!("{pattern_file}: {e}"))?;
+    let patterns = parse_patterns(&text)?;
+    let dft = apply_style(circuit, DftStyle::Flh).map_err(|e| e.to_string())?;
+    let view = TestView::new(&dft.netlist).map_err(|e| e.to_string())?;
+    if let Some(p) = patterns.first() {
+        if p.v1.len() != view.assignable().len() {
+            return Err(format!(
+                "pattern width {} does not match circuit ({} PI + {} FF)",
+                p.v1.len(),
+                view.primary_input_count(),
+                view.assignable().len() - view.primary_input_count()
+            ));
+        }
+    }
+    let faults = enumerate_transition_faults(&dft.netlist);
+    let detected = simulate_transition_patterns(&view, &faults, &patterns);
+    let hits = detected.iter().filter(|&&d| d).count();
+    println!(
+        "{} pattern pairs detect {}/{} transition faults ({:.2}%)",
+        patterns.len(),
+        hits,
+        faults.len(),
+        100.0 * hits as f64 / faults.len().max(1) as f64
+    );
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            for p in iscas89_profiles() {
+                println!(
+                    "{:<8} {:>4} PI {:>4} PO {:>4} FF {:>6} gates  depth {}",
+                    p.name, p.primary_inputs, p.primary_outputs, p.flip_flops, p.gates,
+                    p.logic_depth
+                );
+            }
+            Ok(())
+        }
+        Some("stats") if args.len() == 2 => cmd_stats(&load_circuit(&args[1])?),
+        Some("eval") if args.len() == 2 => cmd_eval(&load_circuit(&args[1])?),
+        Some("apply") if args.len() >= 3 => {
+            let style =
+                parse_style(&args[2]).ok_or_else(|| format!("unknown style {:?}", args[2]))?;
+            let format = args.get(3).map(String::as_str).unwrap_or("--bench");
+            cmd_apply(&load_circuit(&args[1])?, style, format)
+        }
+        Some("atpg") if args.len() >= 2 => {
+            let out = match (args.get(2).map(String::as_str), args.get(3)) {
+                (Some("--out"), Some(path)) => Some(path.as_str()),
+                (None, _) => None,
+                _ => return Err("atpg takes an optional `--out FILE`".into()),
+            };
+            cmd_atpg(&load_circuit(&args[1])?, out)
+        }
+        Some("fsim") if args.len() == 3 => cmd_fsim(&load_circuit(&args[1])?, &args[2]),
+        _ => Err(String::new()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            if message.is_empty() {
+                usage()
+            } else {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end smoke tests of the `flh` command-line tool.
+
+use std::process::Command;
+
+fn flh(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flh"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_names_all_profiles() {
+    let (ok, stdout, _) = flh(&["list"]);
+    assert!(ok);
+    for name in ["s298", "s5378", "s13207"] {
+        assert!(stdout.contains(name), "{name} missing");
+    }
+}
+
+#[test]
+fn stats_on_builtin_profile() {
+    let (ok, stdout, _) = flh(&["stats", "s344"]);
+    assert!(ok);
+    assert!(stdout.contains("15 FF"));
+    assert!(stdout.contains("unique first-level gates"));
+}
+
+#[test]
+fn eval_prints_all_styles() {
+    let (ok, stdout, _) = flh(&["eval", "s298"]);
+    assert!(ok);
+    for style in ["plain scan", "enhanced scan", "MUX-based", "FLH"] {
+        assert!(stdout.contains(style), "{style} missing");
+    }
+}
+
+#[test]
+fn apply_exports_every_format() {
+    let (ok, bench, _) = flh(&["apply", "s298", "flh", "--bench"]);
+    assert!(ok);
+    assert!(bench.contains("SDFF("));
+    let (ok, verilog, stderr) = flh(&["apply", "s298", "flh", "--verilog"]);
+    assert!(ok);
+    assert!(verilog.contains("module s298"));
+    assert!(stderr.contains("supply-gated first-level gates"));
+    let (ok, dot, _) = flh(&["apply", "s298", "enhanced", "--dot"]);
+    assert!(ok);
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("HOLDL"));
+}
+
+#[test]
+fn atpg_then_fsim_round_trip() {
+    let dir = std::env::temp_dir().join(format!("flh_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let file = dir.join("patterns.txt");
+    let (ok, _, stderr) = flh(&["atpg", "s298", "--out", file.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("coverage"));
+    let (ok, stdout, _) = flh(&["fsim", "s298", file.to_str().unwrap()]);
+    assert!(ok);
+    // The resimulated coverage equals the generated coverage.
+    let gen_cov = stderr
+        .split('%')
+        .next()
+        .and_then(|s| s.rsplit(' ').next())
+        .and_then(|s| s.parse::<f64>().ok())
+        .expect("coverage in atpg output");
+    assert!(stdout.contains(&format!("{gen_cov:.2}%")), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_file_input_works() {
+    let dir = std::env::temp_dir().join(format!("flh_cli_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let file = dir.join("tiny.bench");
+    std::fs::write(
+        &file,
+        "INPUT(a)\nINPUT(b)\nOUTPUT(q)\nf = DFF(g)\ng = NAND(a, b, f)\nq = NOT(f)\n",
+    )
+    .expect("write bench");
+    let (ok, stdout, stderr) = flh(&["stats", file.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("1 FF"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let (ok, _, stderr) = flh(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    let (ok, _, stderr) = flh(&["apply", "s298", "warp-drive"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown style"));
+    let (ok, _, stderr) = flh(&["stats", "/nonexistent/file.bench"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration: generate → serialize → map → DFT → evaluate.
+
+use flh::core::{apply_style, evaluate_all, DftStyle, EvalConfig};
+use flh::netlist::bench_io::{parse_bench, write_bench};
+use flh::netlist::mapper::map_netlist;
+use flh::netlist::{generate_circuit, iscas89_profile, CircuitStats};
+
+fn medium_circuit() -> flh::netlist::Netlist {
+    let profile = iscas89_profile("s526").expect("profile exists");
+    generate_circuit(&profile.generator_config()).expect("generates")
+}
+
+#[test]
+fn bench_round_trip_preserves_statistics() {
+    let circuit = medium_circuit();
+    let text = write_bench(&circuit);
+    let reparsed = parse_bench(&text, circuit.name()).expect("parses");
+    let a = CircuitStats::compute(&circuit).expect("stats");
+    let b = CircuitStats::compute(&reparsed).expect("stats");
+    assert_eq!(a.flip_flops, b.flip_flops);
+    assert_eq!(a.gates, b.gates);
+    assert_eq!(a.logic_depth, b.logic_depth);
+    assert_eq!(a.total_ff_fanouts, b.total_ff_fanouts);
+    assert_eq!(a.unique_first_level_gates, b.unique_first_level_gates);
+}
+
+#[test]
+fn mapping_a_generated_circuit_is_safe() {
+    // Generated circuits are already library-mapped; the mapper must be a
+    // behaviour-preserving no-op-or-improvement on them.
+    let circuit = medium_circuit();
+    let mapped = map_netlist(&circuit).expect("maps");
+    mapped.validate().expect("valid");
+    assert!(mapped.gate_count() <= circuit.gate_count());
+    assert_eq!(mapped.flip_flops().len(), circuit.flip_flops().len());
+}
+
+#[test]
+fn every_style_yields_a_valid_netlist_and_sane_overheads() {
+    let circuit = medium_circuit();
+    let config = EvalConfig {
+        vectors: 30,
+        ..EvalConfig::paper_default()
+    };
+    let evals = evaluate_all(&circuit, &config).expect("evaluates");
+    assert_eq!(evals.len(), 4);
+    for e in &evals {
+        assert!(e.area_um2 >= e.base_area_um2 * 0.999, "{}", e.style);
+        assert!(e.delay_ps >= e.base_delay_ps * 0.999, "{}", e.style);
+        assert!(e.power_uw > 0.0);
+    }
+    // The paper's three orderings.
+    let get = |s: DftStyle| evals.iter().find(|e| e.style == s).expect("present");
+    let es = get(DftStyle::EnhancedScan);
+    let mx = get(DftStyle::MuxHold);
+    let flh = get(DftStyle::Flh);
+    assert!(es.area_increase_pct() > flh.area_increase_pct());
+    assert!(mx.area_increase_pct() > flh.area_increase_pct());
+    assert!(mx.delay_increase_pct() > es.delay_increase_pct());
+    assert!(es.delay_increase_pct() > flh.delay_increase_pct());
+    assert!(es.power_increase_pct() > flh.power_increase_pct());
+}
+
+#[test]
+fn flh_gated_set_is_exactly_the_unique_fanout_gates() {
+    let circuit = medium_circuit();
+    let stats = CircuitStats::compute(&circuit).expect("stats");
+    let flh = apply_style(&circuit, DftStyle::Flh).expect("applies");
+    assert_eq!(flh.gated.len(), stats.unique_first_level_gates);
+    // Each gated cell reads at least one flip-flop, and every flip-flop's
+    // combinational readers are all gated.
+    let fanouts = flh::netlist::analysis::FanoutMap::compute(&flh.netlist);
+    let gated: std::collections::HashSet<_> = flh.gated.iter().copied().collect();
+    for &ff in flh.netlist.flip_flops() {
+        for &r in fanouts.readers(ff) {
+            if flh.netlist.cell(r).kind().is_combinational() {
+                assert!(gated.contains(&r), "ungated first-level gate");
+            }
+        }
+    }
+}
+
+#[test]
+fn enhanced_scan_keeps_the_circuit_function() {
+    use flh::sim::{Logic, LogicSim};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let circuit = medium_circuit();
+    let es = apply_style(&circuit, DftStyle::EnhancedScan).expect("applies");
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut sim_a = LogicSim::new(&circuit).expect("sim");
+    let mut sim_b = LogicSim::new(&es.netlist).expect("sim");
+    for i in 0..circuit.flip_flops().len() {
+        let v = Logic::from_bool(rng.gen());
+        sim_a.set_ff_by_index(i, v);
+        sim_b.set_ff_by_index(i, v);
+    }
+    for _ in 0..25 {
+        let vec: Vec<Logic> = (0..circuit.inputs().len())
+            .map(|_| Logic::from_bool(rng.gen()))
+            .collect();
+        sim_a.apply_vector(&vec);
+        sim_b.apply_vector(&vec);
+        assert_eq!(sim_a.outputs(), sim_b.outputs());
+        assert_eq!(sim_a.ff_state(), sim_b.ff_state());
+    }
+}
