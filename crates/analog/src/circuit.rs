@@ -180,10 +180,7 @@ impl Circuit {
 
     /// Finds a node by name.
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
-            .map(NodeId)
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
     }
 
     /// Adds a free node with a base capacitance to ground (fF); device

@@ -168,8 +168,22 @@ pub fn gated_chain(tech: &Technology, config: &GatedChainConfig) -> (Circuit, Ga
     if config.with_keeper {
         let k1 = c.add_internal("keep1", 0.1);
         let k2 = c.add_internal("keep2", 0.1);
-        c.inverter(out1, k1, vdd, gnd, config.flh.keeper_n_mult, config.flh.keeper_p_mult);
-        c.inverter(k1, k2, vdd, gnd, config.flh.keeper_n_mult, config.flh.keeper_p_mult);
+        c.inverter(
+            out1,
+            k1,
+            vdd,
+            gnd,
+            config.flh.keeper_n_mult,
+            config.flh.keeper_p_mult,
+        );
+        c.inverter(
+            k1,
+            k2,
+            vdd,
+            gnd,
+            config.flh.keeper_n_mult,
+            config.flh.keeper_p_mult,
+        );
         c.transmission_gate(
             k2,
             out1,
@@ -183,10 +197,7 @@ pub fn gated_chain(tech: &Technology, config: &GatedChainConfig) -> (Circuit, Ga
     // Optional crosstalk aggressor: a driven neighbour toggling at the
     // 1 GHz scan rate, capacitively coupled to OUT1.
     if config.aggressor_cap_ff > 0.0 {
-        let aggressor = c.add_driven(
-            "aggressor",
-            Waveform::clock(0.0, tech.vdd, 7.0, 0.5, 4000),
-        );
+        let aggressor = c.add_driven("aggressor", Waveform::clock(0.0, tech.vdd, 7.0, 0.5, 4000));
         c.couple(aggressor, out1, config.aggressor_cap_ff);
     }
 
@@ -316,10 +327,9 @@ pub fn monte_carlo_hold_robustness(
     seed: u64,
     window_ns: f64,
 ) -> Vec<VariationSample> {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = StdRng::seed_from_u64(seed);
-    let gaussian = move |rng: &mut StdRng| -> f64 {
+    use flh_rng::Rng;
+    let mut rng = Rng::seed_from_u64(seed);
+    let gaussian = move |rng: &mut Rng| -> f64 {
         // Box–Muller.
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen();
@@ -328,7 +338,7 @@ pub fn monte_carlo_hold_robustness(
 
     let mut out = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let run = |with_keeper: bool, rng: &mut StdRng| {
+        let run = |with_keeper: bool, rng: &mut Rng| {
             let mut cfg = if with_keeper {
                 let mut c = GatedChainConfig::fig4(1);
                 c.input = InputStimulus::Step { at_ns: 7.0 };
@@ -541,7 +551,10 @@ mod tests {
             "keeper failed to restore after charge sharing ({end_kept} V)"
         );
         assert!(end_kept > end_floated - 1e-9);
-        assert!(dip_kept >= dip_floated - 0.05, "keeper should not worsen the dip");
+        assert!(
+            dip_kept >= dip_floated - 0.05,
+            "keeper should not worsen the dip"
+        );
     }
 
     #[test]

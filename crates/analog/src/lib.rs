@@ -26,8 +26,7 @@ pub mod transient;
 
 pub use circuit::{Circuit, NodeId, NodeKind, Waveform};
 pub use experiments::{
-    gated_chain, gated_nand_charge_sharing, monte_carlo_hold_robustness,
-    steady_state_initial, ChargeSharingProbes, GatedChainConfig, GatedChainProbes,
-    InputStimulus, VariationSample,
+    gated_chain, gated_nand_charge_sharing, monte_carlo_hold_robustness, steady_state_initial,
+    ChargeSharingProbes, GatedChainConfig, GatedChainProbes, InputStimulus, VariationSample,
 };
 pub use transient::{simulate, Trace, TransientConfig};

@@ -190,11 +190,7 @@ pub fn simulate(circuit: &Circuit, config: &TransientConfig, initial: &[(NodeId,
     let mut trace = Trace {
         time_ns: Vec::new(),
         data: Vec::new(),
-        names: circuit
-            .nodes
-            .iter()
-            .map(|node| node.name.clone())
-            .collect(),
+        names: circuit.nodes.iter().map(|node| node.name.clone()).collect(),
     };
 
     let mut t = 0.0f64;
@@ -307,11 +303,7 @@ mod tests {
         let inp = c.add_driven("in", Waveform::step(0.0, tech.vdd, 1.0, 0.05));
         let out = c.add_internal("out", 1.0);
         c.inverter(inp, out, vdd, gnd, 1.0, 2.0);
-        let trace = simulate(
-            &c,
-            &TransientConfig::for_window_ns(5.0),
-            &[(out, tech.vdd)],
-        );
+        let trace = simulate(&c, &TransientConfig::for_window_ns(5.0), &[(out, tech.vdd)]);
         // Before the input step the output stays high; after, it falls.
         assert!(trace.voltage_at(out, 0.8) > 0.9 * tech.vdd);
         assert!(trace.voltage_at(out, 4.5) < 0.1 * tech.vdd);
@@ -406,11 +398,7 @@ mod tests {
         let inp = c.add_driven("in", Waveform::step(0.0, tech.vdd, 1.0, 0.05));
         let out = c.add_internal("out", 1.0);
         c.inverter(inp, out, vdd, gnd, 1.0, 2.0);
-        let trace = simulate(
-            &c,
-            &TransientConfig::for_window_ns(5.0),
-            &[(out, tech.vdd)],
-        );
+        let trace = simulate(&c, &TransientConfig::for_window_ns(5.0), &[(out, tech.vdd)]);
         assert!(!trace.is_empty());
         assert!(trace.len() > 100);
         assert!(trace.max_in_window(out, 0.0, 0.9) > 0.9);

@@ -16,8 +16,7 @@
 //! pattern-pair campaigns under each constraint.
 
 use flh_netlist::Netlist;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flh_rng::Rng;
 
 use crate::transition::{enumerate_transition_faults, TransitionSimulator};
 use crate::tview::{Observation, TestView};
@@ -113,7 +112,7 @@ fn campaign_impl(
     let faults = enumerate_transition_faults(netlist);
     let mut sim = TransitionSimulator::new(&view);
     let mut detected = vec![false; faults.len()];
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     let n = view.assignable().len();
     let n_pi = view.primary_input_count();
@@ -229,8 +228,7 @@ mod tests {
     fn arbitrary_pairs_beat_broadside() {
         let n = circuit();
         let arb =
-            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 500, 11)
-                .unwrap();
+            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 500, 11).unwrap();
         let brd = random_transition_campaign(&n, ApplicationStyle::Broadside, 500, 11).unwrap();
         assert!(
             arb.coverage_pct() > brd.coverage_pct(),
@@ -243,10 +241,9 @@ mod tests {
     #[test]
     fn arbitrary_pairs_beat_skewed_load() {
         let n = circuit();
-        let arb =
-            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 500, 11)
-                .unwrap();
-        let skw = random_transition_campaign(&n, ApplicationStyle::SkewedLoad, 500, 11).unwrap();
+        let arb = random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 2000, 11)
+            .unwrap();
+        let skw = random_transition_campaign(&n, ApplicationStyle::SkewedLoad, 2000, 11).unwrap();
         assert!(
             arb.coverage_pct() >= skw.coverage_pct(),
             "arbitrary {} < skewed {}",
@@ -258,11 +255,10 @@ mod tests {
     #[test]
     fn more_pairs_more_coverage() {
         let n = circuit();
-        let few = random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 64, 3)
-            .unwrap();
+        let few =
+            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 64, 3).unwrap();
         let many =
-            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 1000, 3)
-                .unwrap();
+            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 1000, 3).unwrap();
         assert!(many.detected >= few.detected);
         assert!(many.coverage_pct() > 50.0);
     }
@@ -275,20 +271,19 @@ mod tests {
     #[test]
     fn pairs_to_reach_stops_early() {
         let n = circuit();
-        let full =
-            random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 2000, 21)
-                .unwrap();
+        let full = random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 2000, 21)
+            .unwrap();
         let target = 0.8 * full.coverage_pct();
-        let partial = pairs_to_reach_coverage(
-            &n,
-            ApplicationStyle::ArbitraryTwoPattern,
-            target,
-            2000,
-            21,
-        )
-        .unwrap();
+        let partial =
+            pairs_to_reach_coverage(&n, ApplicationStyle::ArbitraryTwoPattern, target, 2000, 21)
+                .unwrap();
         assert!(partial.coverage_pct() >= target);
-        assert!(partial.pairs < full.pairs, "{} !< {}", partial.pairs, full.pairs);
+        assert!(
+            partial.pairs < full.pairs,
+            "{} !< {}",
+            partial.pairs,
+            full.pairs
+        );
         // Identical seed => the partial run is a prefix of the full run.
         assert!(partial.detected <= full.detected);
     }
@@ -296,14 +291,7 @@ mod tests {
     #[test]
     fn unreachable_target_spends_the_budget() {
         let n = circuit();
-        let r = pairs_to_reach_coverage(
-            &n,
-            ApplicationStyle::Broadside,
-            100.0,
-            512,
-            3,
-        )
-        .unwrap();
+        let r = pairs_to_reach_coverage(&n, ApplicationStyle::Broadside, 100.0, 512, 3).unwrap();
         assert_eq!(r.pairs, 512);
         assert!(r.coverage_pct() < 100.0);
     }

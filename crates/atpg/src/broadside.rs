@@ -12,8 +12,7 @@
 //! justification exactly.
 
 use flh_netlist::{CellId, CellKind, Netlist, TwoFrameUnrolling};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flh_rng::Rng;
 
 use crate::fault::{Fault, StuckValue};
 use crate::podem::{Podem, PodemConfig};
@@ -94,8 +93,7 @@ fn unroll_with_state_buffers(
         let ff_readers: Vec<CellId> = netlist
             .ids()
             .filter(|&r| {
-                netlist.cell(r).kind().is_flip_flop()
-                    && netlist.cell(r).fanin().contains(&shared)
+                netlist.cell(r).kind().is_flip_flop() && netlist.cell(r).fanin().contains(&shared)
             })
             .collect();
         netlist.redirect_selected_readers(shared, buf, &ff_readers);
@@ -131,7 +129,7 @@ pub fn broadside_transition_atpg(
 
     let n_pi = original.inputs().len();
     let n_ff = original.flip_flops().len();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut detected = vec![false; faults.len()];
     let mut patterns = Vec::new();
 
@@ -231,8 +229,7 @@ mod tests {
         let n = circuit();
         let faults = enumerate_transition_faults(&n);
         let result =
-            broadside_transition_atpg(&n, &faults, &PodemConfig::paper_default(), 5)
-                .unwrap();
+            broadside_transition_atpg(&n, &faults, &PodemConfig::paper_default(), 5).unwrap();
         assert!(result.detected_count() > 0);
         // Rebuild detection from scratch using the sequential pairs.
         let view = TestView::new(&n).unwrap();
@@ -242,8 +239,7 @@ mod tests {
             let mut v1: Vec<u64> = p.pi1.iter().map(|&b| if b { !0 } else { 0 }).collect();
             v1.extend(p.state1.iter().map(|&b| if b { !0u64 } else { 0 }));
             let good1 = view.eval64(&v1, None);
-            let mut v2: Vec<u64> =
-                p.pi2.iter().map(|&b| if b { !0 } else { 0 }).collect();
+            let mut v2: Vec<u64> = p.pi2.iter().map(|&b| if b { !0 } else { 0 }).collect();
             for &ff in n.flip_flops() {
                 let d = n.cell(ff).fanin()[0];
                 v2.push(good1[d.index()]);
@@ -258,11 +254,8 @@ mod tests {
     fn deterministic_broadside_beats_random_broadside() {
         let n = circuit();
         let faults = enumerate_transition_faults(&n);
-        let det =
-            broadside_transition_atpg(&n, &faults, &PodemConfig::paper_default(), 5)
-                .unwrap();
-        let rnd =
-            random_transition_campaign(&n, ApplicationStyle::Broadside, 2048, 5).unwrap();
+        let det = broadside_transition_atpg(&n, &faults, &PodemConfig::paper_default(), 5).unwrap();
+        let rnd = random_transition_campaign(&n, ApplicationStyle::Broadside, 2048, 5).unwrap();
         assert!(
             det.coverage_pct() >= rnd.coverage_pct(),
             "deterministic {} < random {}",
@@ -278,8 +271,7 @@ mod tests {
         let n = circuit();
         let faults = enumerate_transition_faults(&n);
         let broadside =
-            broadside_transition_atpg(&n, &faults, &PodemConfig::paper_default(), 5)
-                .unwrap();
+            broadside_transition_atpg(&n, &faults, &PodemConfig::paper_default(), 5).unwrap();
         let view = TestView::new(&n).unwrap();
         let arbitrary = transition_atpg(&view, &faults, &PodemConfig::paper_default(), 5);
         assert!(
@@ -294,10 +286,8 @@ mod tests {
     fn result_is_deterministic() {
         let n = circuit();
         let faults = enumerate_transition_faults(&n);
-        let a = broadside_transition_atpg(&n, &faults, &PodemConfig::paper_default(), 9)
-            .unwrap();
-        let b = broadside_transition_atpg(&n, &faults, &PodemConfig::paper_default(), 9)
-            .unwrap();
+        let a = broadside_transition_atpg(&n, &faults, &PodemConfig::paper_default(), 9).unwrap();
+        let b = broadside_transition_atpg(&n, &faults, &PodemConfig::paper_default(), 9).unwrap();
         assert_eq!(a.patterns, b.patterns);
         assert_eq!(a.detected, b.detected);
     }

@@ -162,8 +162,7 @@ mod tests {
     use super::*;
     use crate::fault::{enumerate_stuck_faults, StuckValue};
     use flh_netlist::{generate_circuit, GeneratorConfig, Netlist};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use flh_rng::Rng;
 
     fn circuit() -> Netlist {
         generate_circuit(&GeneratorConfig {
@@ -182,7 +181,7 @@ mod tests {
     }
 
     fn random_patterns(view: &TestView<'_>, count: usize, seed: u64) -> Vec<Vec<bool>> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         (0..count)
             .map(|_| (0..view.assignable().len()).map(|_| rng.gen()).collect())
             .collect()

@@ -151,10 +151,18 @@ pub fn collapse_faults(netlist: &Netlist, faults: &[Fault]) -> Vec<Fault> {
                 let kind = netlist.cell(reader).kind();
                 let collapsible = match kind {
                     CellKind::Inv | CellKind::Buf => true,
-                    CellKind::And2 | CellKind::And3 | CellKind::And4 | CellKind::Nand2
-                    | CellKind::Nand3 | CellKind::Nand4 => fault.stuck == StuckValue::Zero,
-                    CellKind::Or2 | CellKind::Or3 | CellKind::Or4 | CellKind::Nor2
-                    | CellKind::Nor3 | CellKind::Nor4 => fault.stuck == StuckValue::One,
+                    CellKind::And2
+                    | CellKind::And3
+                    | CellKind::And4
+                    | CellKind::Nand2
+                    | CellKind::Nand3
+                    | CellKind::Nand4 => fault.stuck == StuckValue::Zero,
+                    CellKind::Or2
+                    | CellKind::Or3
+                    | CellKind::Or4
+                    | CellKind::Nor2
+                    | CellKind::Nor3
+                    | CellKind::Nor4 => fault.stuck == StuckValue::One,
                     _ => false,
                 };
                 if collapsible {

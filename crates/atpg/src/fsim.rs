@@ -37,8 +37,7 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
         self.cones
             .entry(site)
             .or_insert_with(|| {
-                let mut cone =
-                    analysis::fanout_cone(view.netlist(), view.fanouts(), &[site]);
+                let mut cone = analysis::fanout_cone(view.netlist(), view.fanouts(), &[site]);
                 cone.sort_by_key(|c| topo_pos[c.index()]);
                 cone
             })
@@ -121,11 +120,7 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
 /// Simulates a fully-specified pattern set against a stuck-at fault list,
 /// returning per-fault detection flags. Patterns are bit vectors in
 /// [`TestView::assignable`] order.
-pub fn stuck_coverage(
-    view: &TestView<'_>,
-    faults: &[Fault],
-    patterns: &[Vec<bool>],
-) -> Vec<bool> {
+pub fn stuck_coverage(view: &TestView<'_>, faults: &[Fault], patterns: &[Vec<bool>]) -> Vec<bool> {
     let mut sim = StuckSimulator::new(view);
     let mut detected = vec![false; faults.len()];
     let n = view.assignable().len();
@@ -148,7 +143,6 @@ pub fn stuck_coverage(
     }
     detected
 }
-
 
 /// Multi-threaded [`stuck_coverage`]: the fault list is split across
 /// `threads` workers, each with its own simulator (the cone caches are
@@ -187,8 +181,7 @@ mod tests {
     use crate::fault::{enumerate_stuck_faults, StuckValue};
     use crate::podem::{Podem, PodemConfig};
     use flh_netlist::{generate_circuit, CellKind, GeneratorConfig, Netlist};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use flh_rng::Rng;
 
     fn circuit() -> Netlist {
         generate_circuit(&GeneratorConfig {
@@ -231,7 +224,7 @@ mod tests {
         let view = TestView::new(&n).unwrap();
         let faults = enumerate_stuck_faults(&n);
         let na = view.assignable().len();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let patterns: Vec<Vec<bool>> = (0..150)
             .map(|_| (0..na).map(|_| rng.gen()).collect())
             .collect();
@@ -270,7 +263,7 @@ mod tests {
         let view = TestView::new(&n).unwrap();
         let faults = enumerate_stuck_faults(&n);
         let na = view.assignable().len();
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Rng::seed_from_u64(10);
         let patterns: Vec<Vec<bool>> = (0..200)
             .map(|_| (0..na).map(|_| rng.gen()).collect())
             .collect();

@@ -36,25 +36,25 @@ pub mod transition;
 pub mod tview;
 
 pub use application::{
-    cycles_per_pattern, pairs_to_reach_coverage, random_transition_campaign,
-    ApplicationStyle, CampaignResult,
-};
-pub use fault::{
-    collapse_faults, enumerate_stuck_faults, inject_fault, Fault, FaultSite, StuckValue,
+    cycles_per_pattern, pairs_to_reach_coverage, random_transition_campaign, ApplicationStyle,
+    CampaignResult,
 };
 pub use broadside::{broadside_transition_atpg, BroadsideAtpgResult, BroadsidePattern};
 pub use diagnose::{diagnose, faulty_responses, golden_responses, DiagnosisCandidate};
+pub use fault::{
+    collapse_faults, enumerate_stuck_faults, inject_fault, Fault, FaultSite, StuckValue,
+};
 pub use fsim::{stuck_coverage, stuck_coverage_parallel, StuckSimulator};
 pub use path::{
-    generate_path_test, generate_robust_path_test, longest_paths,
-    longest_sensitizable_path, path_delay_atpg, verify_non_robust, verify_robust,
-    PathDelayFault, PathDelayReport, PathTestOutcome, StructuralPath,
+    generate_path_test, generate_robust_path_test, longest_paths, longest_sensitizable_path,
+    path_delay_atpg, verify_non_robust, verify_robust, PathDelayFault, PathDelayReport,
+    PathTestOutcome, StructuralPath,
 };
 pub use patterns_io::{parse_patterns, write_patterns};
 pub use podem::{Podem, PodemConfig, TestCube};
 pub use transition::{
     compact_transition_patterns, simulate_transition_patterns, transition_atpg,
-    transition_atpg_ndetect, NDetectResult, TransitionAtpgResult, TransitionFault,
-    TransitionKind, TransitionPattern,
+    transition_atpg_ndetect, NDetectResult, TransitionAtpgResult, TransitionFault, TransitionKind,
+    TransitionPattern,
 };
 pub use tview::TestView;

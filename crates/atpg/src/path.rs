@@ -12,8 +12,7 @@
 //! pairs realizable.
 
 use flh_netlist::{analysis, CellId, CellKind, Netlist};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flh_rng::Rng;
 
 use crate::podem::{Podem, PodemConfig};
 use crate::transition::TransitionPattern;
@@ -77,8 +76,19 @@ fn kind_inverts(kind: CellKind) -> bool {
     use CellKind::*;
     matches!(
         kind,
-        Inv | Nand2 | Nand3 | Nand4 | Nor2 | Nor3 | Nor4 | Xnor2 | Aoi21 | Aoi22 | Oai21
-            | Oai22 | NandN(_) | NorN(_)
+        Inv | Nand2
+            | Nand3
+            | Nand4
+            | Nor2
+            | Nor3
+            | Nor4
+            | Xnor2
+            | Aoi21
+            | Aoi22
+            | Oai21
+            | Oai22
+            | NandN(_)
+            | NorN(_)
     )
 }
 
@@ -163,9 +173,7 @@ fn side_constraints(
     let cell = netlist.cell(gate);
     let kind = cell.kind();
     let pin_cell = |p: usize| cell.fanin()[p];
-    let others = || -> Vec<usize> {
-        (0..cell.fanin().len()).filter(|&p| p != on_pin).collect()
-    };
+    let others = || -> Vec<usize> { (0..cell.fanin().len()).filter(|&p| p != on_pin).collect() };
     let all_at = |v: bool| -> Vec<Vec<(CellId, bool)>> {
         vec![others().into_iter().map(|p| (pin_cell(p), v)).collect()]
     };
@@ -282,8 +290,7 @@ pub fn generate_path_test(
         return PathTestOutcome::Untested;
     };
     for variant in 0..variant_count.max(1) {
-        let mut goals: Vec<(CellId, bool)> =
-            vec![(path.source(), fault.rising_launch)];
+        let mut goals: Vec<(CellId, bool)> = vec![(path.source(), fault.rising_launch)];
         let mut radix = variant;
         for alts in &per_gate {
             let pick = radix % alts.len();
@@ -291,7 +298,7 @@ pub fn generate_path_test(
             goals.extend(alts[pick].iter().copied());
         }
         if let Some(v2) = podem.justify_all(&goals) {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = Rng::seed_from_u64(seed);
             return PathTestOutcome::Tested(TransitionPattern {
                 v1: v1.fill_random(&mut rng),
                 v2: v2.fill_random(&mut rng),
@@ -310,9 +317,8 @@ pub fn verify_non_robust(
     pattern: &TransitionPattern,
 ) -> bool {
     let netlist = view.netlist();
-    let words = |bits: &[bool]| -> Vec<u64> {
-        bits.iter().map(|&b| if b { !0 } else { 0 }).collect()
-    };
+    let words =
+        |bits: &[bool]| -> Vec<u64> { bits.iter().map(|&b| if b { !0 } else { 0 }).collect() };
     let good1 = view.eval64(&words(&pattern.v1), None);
     let good2 = view.eval64(&words(&pattern.v2), None);
     let src = fault.path.source();
@@ -391,10 +397,7 @@ pub fn longest_sensitizable_path(
             // Record as a candidate if observable and deeper than the best.
             if path.len() >= 2
                 && self.observed(tail)
-                && self
-                    .best
-                    .as_ref()
-                    .is_none_or(|(b, _)| path.len() > b.len())
+                && self.best.as_ref().is_none_or(|(b, _)| path.len() > b.len())
             {
                 self.best = Some((path.clone(), goals.clone()));
             }
@@ -419,8 +422,7 @@ pub fn longest_sensitizable_path(
                     .iter()
                     .position(|&f| f == tail)
                     .expect("reader reads tail");
-                let Some(alternatives) = side_constraints(self.netlist, gate, on_pin)
-                else {
+                let Some(alternatives) = side_constraints(self.netlist, gate, on_pin) else {
                     continue;
                 };
                 for alt in alternatives {
@@ -456,7 +458,7 @@ pub fn longest_sensitizable_path(
     let (cells, goals) = search.best?;
     let v2 = podem.justify_all(&goals)?;
     let v1 = podem.justify(source, !rising_launch)?;
-    let mut rng = StdRng::seed_from_u64(0x5ca1ab1e);
+    let mut rng = Rng::seed_from_u64(0x5ca1ab1e);
     let pattern = TransitionPattern {
         v1: v1.fill_random(&mut rng),
         v2: v2.fill_random(&mut rng),
@@ -464,7 +466,6 @@ pub fn longest_sensitizable_path(
     let structural = StructuralPath::new(netlist, cells);
     Some((structural, pattern))
 }
-
 
 /// Generates a *robust* two-pattern test for a path-delay fault, under the
 /// conservative steady-side criterion: every off-path constraint value is
@@ -515,10 +516,8 @@ pub fn generate_robust_path_test(
         v2_goals.push((path.source(), fault.rising_launch));
         let mut v1_goals = sides.clone();
         v1_goals.push((path.source(), !fault.rising_launch));
-        if let (Some(v2), Some(v1)) =
-            (podem.justify_all(&v2_goals), podem.justify_all(&v1_goals))
-        {
-            let mut rng = StdRng::seed_from_u64(seed);
+        if let (Some(v2), Some(v1)) = (podem.justify_all(&v2_goals), podem.justify_all(&v1_goals)) {
+            let mut rng = Rng::seed_from_u64(seed);
             return PathTestOutcome::Tested(TransitionPattern {
                 v1: v1.fill_random(&mut rng),
                 v2: v2.fill_random(&mut rng),
@@ -537,9 +536,8 @@ pub fn verify_robust(
     pattern: &TransitionPattern,
 ) -> bool {
     let netlist = view.netlist();
-    let words = |bits: &[bool]| -> Vec<u64> {
-        bits.iter().map(|&b| if b { !0 } else { 0 }).collect()
-    };
+    let words =
+        |bits: &[bool]| -> Vec<u64> { bits.iter().map(|&b| if b { !0 } else { 0 }).collect() };
     let good1 = view.eval64(&words(&pattern.v1), None);
     let good2 = view.eval64(&words(&pattern.v2), None);
     let src = fault.path.source();
@@ -561,8 +559,7 @@ pub fn verify_robust(
         };
         let sensitized = alternatives.iter().any(|cs| {
             cs.iter().all(|&(cell, want)| {
-                (good2[cell.index()] & 1 == 1) == want
-                    && (good1[cell.index()] & 1 == 1) == want
+                (good2[cell.index()] & 1 == 1) == want && (good1[cell.index()] & 1 == 1) == want
             })
         });
         if !sensitized {
@@ -757,8 +754,7 @@ mod tests {
             path: StructuralPath::new(&n, vec![a, g]),
             rising_launch: true,
         };
-        let robust =
-            generate_robust_path_test(&view, &fault, &PodemConfig::paper_default(), 1);
+        let robust = generate_robust_path_test(&view, &fault, &PodemConfig::paper_default(), 1);
         assert_eq!(robust, PathTestOutcome::Untested);
     }
 
@@ -802,7 +798,7 @@ mod tests {
             avg_ff_fanout: 2.2,
             unique_flg_ratio: 1.8,
             hot_ff_fanout: None,
-            seed: 9
+            seed: 9,
         })
         .unwrap();
         let view = TestView::new(&n).unwrap();
@@ -829,8 +825,7 @@ mod tests {
                         None => supported = false,
                     }
                 }
-                let variants: usize =
-                    per_gate.iter().map(|a| a.len()).product::<usize>();
+                let variants: usize = per_gate.iter().map(|a| a.len()).product::<usize>();
                 if !supported || variants > 16 {
                     // The generator caps its disjunctive search; skip cases
                     // where it is legitimately incomplete.
@@ -843,13 +838,11 @@ mod tests {
                     let vals = view.eval64(&words, None);
                     let bit = |c: flh_netlist::CellId| vals[c.index()] & 1 == 1;
                     bit(fault.path.source()) == rising
-                        && per_gate.iter().all(|alts| {
-                            alts.iter()
-                                .any(|cs| cs.iter().all(|&(c, v)| bit(c) == v))
-                        })
+                        && per_gate
+                            .iter()
+                            .all(|alts| alts.iter().any(|cs| cs.iter().all(|&(c, v)| bit(c) == v)))
                 });
-                let outcome =
-                    generate_path_test(&view, &fault, &PodemConfig::paper_default(), 2);
+                let outcome = generate_path_test(&view, &fault, &PodemConfig::paper_default(), 2);
                 match outcome {
                     PathTestOutcome::Tested(p) => {
                         assert!(satisfiable, "generator found an impossible test");

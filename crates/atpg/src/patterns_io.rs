@@ -17,10 +17,7 @@
 use crate::transition::TransitionPattern;
 
 /// Serializes a pattern set.
-pub fn write_patterns(
-    patterns: &[TransitionPattern],
-    primary_inputs: usize,
-) -> String {
+pub fn write_patterns(patterns: &[TransitionPattern], primary_inputs: usize) -> String {
     let mut out = String::new();
     if let Some(first) = patterns.first() {
         out.push_str(&format!(

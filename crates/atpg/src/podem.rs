@@ -3,8 +3,8 @@
 //! transition tests).
 
 use flh_netlist::{CellId, CellKind};
+use flh_rng::Rng;
 use flh_sim::Logic;
-use rand::Rng;
 
 use crate::fault::{Fault, FaultSite};
 use crate::tview::TestView;
@@ -42,7 +42,7 @@ pub struct TestCube {
 
 impl TestCube {
     /// Fills don't-cares with random values.
-    pub fn fill_random<R: Rng>(&self, rng: &mut R) -> Vec<bool> {
+    pub fn fill_random(&self, rng: &mut Rng) -> Vec<bool> {
         self.assignment
             .iter()
             .map(|v| v.to_bool().unwrap_or_else(|| rng.gen()))
@@ -62,8 +62,7 @@ impl TestCube {
     /// the classic low-shift-power fill — long constant runs minimize
     /// transitions travelling down the scan chain.
     pub fn fill_adjacent(&self) -> Vec<bool> {
-        let mut out: Vec<Option<bool>> =
-            self.assignment.iter().map(|v| v.to_bool()).collect();
+        let mut out: Vec<Option<bool>> = self.assignment.iter().map(|v| v.to_bool()).collect();
         let mut last: Option<bool> = None;
         for slot in out.iter_mut() {
             match slot {
@@ -109,11 +108,7 @@ impl<'v, 'a> Podem<'v, 'a> {
     /// Generates a test cube detecting `fault` while *also* satisfying the
     /// given line goals — the workhorse of constrained (e.g. broadside)
     /// test generation, where the extra goals encode launch conditions.
-    pub fn generate_with_goals(
-        &self,
-        fault: &Fault,
-        goals: &[(CellId, bool)],
-    ) -> Option<TestCube> {
+    pub fn generate_with_goals(&self, fault: &Fault, goals: &[(CellId, bool)]) -> Option<TestCube> {
         self.search(Some(fault), goals)
     }
 
@@ -232,19 +227,17 @@ impl<'v, 'a> Podem<'v, 'a> {
                         return None;
                     }
                 }
-                Status::Objective(cell, value) => {
-                    match self.backtrace(cell, value, &good) {
-                        Some((input, v)) => {
-                            assignment[input] = Logic::from_bool(v);
-                            stack.push((input, v, false));
-                        }
-                        None => {
-                            if !self.backtrack(&mut assignment, &mut stack, &mut backtracks) {
-                                return None;
-                            }
+                Status::Objective(cell, value) => match self.backtrace(cell, value, &good) {
+                    Some((input, v)) => {
+                        assignment[input] = Logic::from_bool(v);
+                        stack.push((input, v, false));
+                    }
+                    None => {
+                        if !self.backtrack(&mut assignment, &mut stack, &mut backtracks) {
+                            return None;
                         }
                     }
-                }
+                },
             }
             if backtracks > self.config.max_backtracks {
                 return None;
@@ -315,8 +308,7 @@ impl<'v, 'a> Podem<'v, 'a> {
                 continue;
             }
             // Output still unresolved in at least one circuit?
-            let unresolved =
-                !good[id.index()].is_known() || !faulty[id.index()].is_known();
+            let unresolved = !good[id.index()].is_known() || !faulty[id.index()].is_known();
             if !unresolved {
                 continue;
             }
@@ -356,9 +348,8 @@ impl<'v, 'a> Podem<'v, 'a> {
     fn x_path_exists(&self, fault: &Fault, good: &[Logic], faulty: &[Logic]) -> bool {
         let netlist = self.view.netlist();
         let fanouts = self.view.fanouts();
-        let unresolved = |c: CellId| -> bool {
-            !good[c.index()].is_known() || !faulty[c.index()].is_known()
-        };
+        let unresolved =
+            |c: CellId| -> bool { !good[c.index()].is_known() || !faulty[c.index()].is_known() };
         let has_d = |c: CellId| -> bool {
             good[c.index()].is_known()
                 && faulty[c.index()].is_known()
@@ -407,7 +398,12 @@ impl<'v, 'a> Podem<'v, 'a> {
     }
 
     /// Walks an objective back to an unassigned primary input / flip-flop.
-    fn backtrace(&self, mut cell: CellId, mut value: bool, good: &[Logic]) -> Option<(usize, bool)> {
+    fn backtrace(
+        &self,
+        mut cell: CellId,
+        mut value: bool,
+        good: &[Logic],
+    ) -> Option<(usize, bool)> {
         let netlist = self.view.netlist();
         loop {
             if let Some(idx) = self.view.assignable_index(cell) {
@@ -441,8 +437,19 @@ fn inverts(kind: CellKind) -> bool {
     use CellKind::*;
     matches!(
         kind,
-        Inv | Nand2 | Nand3 | Nand4 | Nor2 | Nor3 | Nor4 | Xnor2 | Aoi21 | Aoi22 | Oai21
-            | Oai22 | NandN(_) | NorN(_)
+        Inv | Nand2
+            | Nand3
+            | Nand4
+            | Nor2
+            | Nor3
+            | Nor4
+            | Xnor2
+            | Aoi21
+            | Aoi22
+            | Oai21
+            | Oai22
+            | NandN(_)
+            | NorN(_)
     )
 }
 
@@ -473,8 +480,6 @@ mod tests {
     use super::*;
     use crate::fault::{enumerate_stuck_faults, StuckValue};
     use flh_netlist::{generate_circuit, GeneratorConfig, Netlist};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn view_podem(n: &Netlist) -> TestView<'_> {
         TestView::new(n).unwrap()
@@ -529,14 +534,11 @@ mod tests {
         let podem = Podem::new(&view, PodemConfig::paper_default());
         let cube = podem.generate(&Fault::stem(g, StuckValue::Zero)).unwrap();
         // Verify by simulation.
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let bits = cube.fill_random(&mut rng);
         let words: Vec<u64> = bits.iter().map(|&b| if b { !0 } else { 0 }).collect();
         let good = view.observe64(&view.eval64(&words, None));
-        let bad = view.observe64(&view.eval64(
-            &words,
-            Some(&Fault::stem(g, StuckValue::Zero)),
-        ));
+        let bad = view.observe64(&view.eval64(&words, Some(&Fault::stem(g, StuckValue::Zero))));
         assert_ne!(good[0] & 1, bad[0] & 1);
     }
 
@@ -589,20 +591,16 @@ mod tests {
         let view = view_podem(&n);
         let podem = Podem::new(&view, PodemConfig::paper_default());
         let faults = enumerate_stuck_faults(&n);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let mut generated = 0;
         for fault in &faults {
             if let Some(cube) = podem.generate(fault) {
                 generated += 1;
                 let bits = cube.fill_random(&mut rng);
-                let words: Vec<u64> =
-                    bits.iter().map(|&b| if b { !0 } else { 0 }).collect();
+                let words: Vec<u64> = bits.iter().map(|&b| if b { !0 } else { 0 }).collect();
                 let good = view.observe64(&view.eval64(&words, None));
                 let bad = view.observe64(&view.eval64(&words, Some(fault)));
-                let detected = good
-                    .iter()
-                    .zip(&bad)
-                    .any(|(g, b)| (g ^ b) & 1 != 0);
+                let detected = good.iter().zip(&bad).any(|(g, b)| (g ^ b) & 1 != 0);
                 assert!(detected, "cube fails to detect {fault:?}");
             }
         }
@@ -657,7 +655,7 @@ mod tests {
             assignment: vec![Logic::One, Logic::X, Logic::Zero],
         };
         assert_eq!(cube.specified_bits(), 2);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let bits = cube.fill_random(&mut rng);
         assert!(bits[0]);
         assert!(!bits[2]);
@@ -665,7 +663,7 @@ mod tests {
 
     #[test]
     fn fill_strategies() {
-        use Logic::{One as I, X, Zero as O};
+        use Logic::{One as I, Zero as O, X};
         let cube = TestCube {
             assignment: vec![X, I, X, X, O, X],
         };
@@ -688,7 +686,7 @@ mod tests {
         for bits in [
             cube.fill_constant(true),
             cube.fill_adjacent(),
-            cube.fill_random(&mut StdRng::seed_from_u64(1)),
+            cube.fill_random(&mut Rng::seed_from_u64(1)),
         ] {
             assert!(bits[1]);
             assert!(!bits[4]);
@@ -698,15 +696,20 @@ mod tests {
     #[test]
     fn adjacent_fill_minimizes_transitions() {
         use Logic::X;
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::seed_from_u64(8);
         let cube = TestCube {
             assignment: (0..64)
-                .map(|i| if i % 7 == 0 { Logic::from_bool(i % 14 == 0) } else { X })
+                .map(|i| {
+                    if i % 7 == 0 {
+                        Logic::from_bool(i % 14 == 0)
+                    } else {
+                        X
+                    }
+                })
                 .collect(),
         };
-        let transitions = |bits: &[bool]| -> usize {
-            bits.windows(2).filter(|w| w[0] != w[1]).count()
-        };
+        let transitions =
+            |bits: &[bool]| -> usize { bits.windows(2).filter(|w| w[0] != w[1]).count() };
         let adj = transitions(&cube.fill_adjacent());
         let rnd = transitions(&cube.fill_random(&mut rng));
         assert!(adj < rnd, "adjacent {adj} !< random {rnd}");

@@ -12,8 +12,7 @@
 use std::collections::HashMap;
 
 use flh_netlist::{analysis, CellId, CellKind, Netlist};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use flh_rng::Rng;
 
 use crate::fault::{Fault, StuckValue};
 use crate::podem::{Podem, PodemConfig};
@@ -262,7 +261,6 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
     }
 }
 
-
 /// Simulates a pattern-pair set against a fault list, returning per-fault
 /// detection flags.
 pub fn simulate_transition_patterns(
@@ -327,8 +325,7 @@ impl TransitionAtpgResult {
         if self.detected.is_empty() {
             100.0
         } else {
-            100.0 * (self.detected_count() + self.untestable) as f64
-                / self.detected.len() as f64
+            100.0 * (self.detected_count() + self.untestable) as f64 / self.detected.len() as f64
         }
     }
 }
@@ -347,7 +344,7 @@ pub fn transition_atpg(
     seed: u64,
 ) -> TransitionAtpgResult {
     let podem = Podem::new(view, config.clone());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut detected = vec![false; faults.len()];
     let mut untestable = 0usize;
     let mut patterns = Vec::new();
@@ -397,7 +394,6 @@ pub fn transition_atpg(
     }
 }
 
-
 /// Result of N-detect transition ATPG.
 #[derive(Clone, Debug)]
 pub struct NDetectResult {
@@ -440,7 +436,7 @@ pub fn transition_atpg_ndetect(
 ) -> NDetectResult {
     assert!(n >= 1, "n-detect needs n >= 1");
     let podem = Podem::new(view, config.clone());
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut counts = vec![0u32; faults.len()];
     let mut untestable = 0usize;
     let mut patterns: Vec<TransitionPattern> = Vec::new();
@@ -525,7 +521,6 @@ pub fn compact_transition_patterns(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
     use flh_netlist::{generate_circuit, GeneratorConfig};
 
     fn small() -> Netlist {
@@ -600,7 +595,7 @@ mod tests {
         let n = small();
         let view = TestView::new(&n).unwrap();
         let faults = enumerate_transition_faults(&n);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let na = view.assignable().len();
         let patterns: Vec<TransitionPattern> = (0..100)
             .map(|_| TransitionPattern {
@@ -668,7 +663,7 @@ mod tests {
         let faults = enumerate_transition_faults(&n);
         // A deliberately redundant set: ATPG patterns plus random filler.
         let atpg = transition_atpg(&view, &faults, &PodemConfig::paper_default(), 9);
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = Rng::seed_from_u64(77);
         let na = view.assignable().len();
         let mut patterns = atpg.patterns.clone();
         for _ in 0..100 {

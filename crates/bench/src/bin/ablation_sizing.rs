@@ -15,8 +15,7 @@
 //!    is mandatory at every sizing.
 
 use flh_analog::{
-    gated_chain, simulate, steady_state_initial, GatedChainConfig, InputStimulus,
-    TransientConfig,
+    gated_chain, simulate, steady_state_initial, GatedChainConfig, InputStimulus, TransientConfig,
 };
 use flh_bench::{build_circuit, rule};
 use flh_core::{evaluate_all, DftStyle, EvalConfig};
@@ -59,7 +58,10 @@ fn main() {
     // 2. Keeper strength vs. electrical hold quality (quiet 1 µs sleep).
     println!("ABLATION 2: KEEPER STRENGTH vs 1 us HOLD (Fig. 3 stage)");
     rule(60);
-    println!("{:>14} | {:>16} {:>10}", "Wkeeper (xmin)", "OUT1 min (V)", "held?");
+    println!(
+        "{:>14} | {:>16} {:>10}",
+        "Wkeeper (xmin)", "OUT1 min (V)", "held?"
+    );
     rule(60);
     for mult in [0.2, 0.3, 0.45, 0.6, 1.0, 2.0] {
         let mut flh = FlhConfig::paper_default();
@@ -144,5 +146,7 @@ fn main() {
             result.extra_area_um2
         );
     }
-    println!("expectation: a handful of wide gates recover most of the gating delay at a tiny area cost");
+    println!(
+        "expectation: a handful of wide gates recover most of the gating delay at a tiny area cost"
+    );
 }

@@ -25,10 +25,7 @@ fn main() {
     );
     rule(118);
 
-    for profile in iscas89_profiles()
-        .into_iter()
-        .filter(|p| p.gates <= 1000)
-    {
+    for profile in iscas89_profiles().into_iter().filter(|p| p.gates <= 1000) {
         let circuit = build_circuit(&profile);
         let cfg = BistConfig::with_patterns(PATTERNS);
 
@@ -36,8 +33,7 @@ fn main() {
         let es = apply_style(&circuit, DftStyle::EnhancedScan).expect("es");
         let flh = apply_style(&circuit, DftStyle::Flh).expect("flh");
 
-        let out_plain =
-            run_test_per_scan(&plain, &plain.hold_mechanism(), &cfg).expect("session");
+        let out_plain = run_test_per_scan(&plain, &plain.hold_mechanism(), &cfg).expect("session");
         let out_es = run_test_per_scan(&es, &es.hold_mechanism(), &cfg).expect("session");
         let out_flh = run_test_per_scan(&flh, &flh.hold_mechanism(), &cfg).expect("session");
 
@@ -49,8 +45,8 @@ fn main() {
             .count();
         let coverage = 100.0 * detected as f64 / faults.len() as f64;
 
-        let signatures_match = out_plain.signature == out_flh.signature
-            && out_es.signature == out_flh.signature;
+        let signatures_match =
+            out_plain.signature == out_flh.signature && out_es.signature == out_flh.signature;
         println!(
             "{:>8} | {:>18} {:>10.1} | {:>12} {:>12} {:>12} | {:>9}",
             profile.name,

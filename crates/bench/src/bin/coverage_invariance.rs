@@ -9,8 +9,8 @@
 //! stimulus path, transparent in normal mode). The pattern counts and the
 //! coverage over the *original circuit's* fault universe must agree.
 
-use flh_atpg::{transition_atpg, PodemConfig, TestView};
 use flh_atpg::transition::enumerate_transition_faults;
+use flh_atpg::{transition_atpg, PodemConfig, TestView};
 use flh_bench::{build_circuit, rule};
 use flh_core::{apply_style, DftStyle};
 use flh_netlist::iscas89_profiles;
@@ -26,10 +26,7 @@ fn main() {
 
     // ATPG cost grows with circuit size; the claim is structural, so the
     // small/medium circuits demonstrate it exactly.
-    for profile in iscas89_profiles()
-        .into_iter()
-        .filter(|p| p.gates <= 700)
-    {
+    for profile in iscas89_profiles().into_iter().filter(|p| p.gates <= 700) {
         let circuit = build_circuit(&profile);
         let base = apply_style(&circuit, DftStyle::PlainScan).expect("plain scan");
         let flh = apply_style(&circuit, DftStyle::Flh).expect("flh");

@@ -10,8 +10,8 @@
 
 use flh_atpg::transition::enumerate_transition_faults;
 use flh_atpg::{
-    broadside_transition_atpg, random_transition_campaign, transition_atpg,
-    ApplicationStyle, PodemConfig, TestView,
+    broadside_transition_atpg, random_transition_campaign, transition_atpg, ApplicationStyle,
+    PodemConfig, TestView,
 };
 use flh_bench::{build_circuit, mean, rule};
 use flh_netlist::iscas89_profiles;
@@ -34,10 +34,7 @@ fn main() {
     let mut det_arb_all = Vec::new();
     let mut det_brd_all = Vec::new();
 
-    for profile in iscas89_profiles()
-        .into_iter()
-        .filter(|p| p.gates <= 700)
-    {
+    for profile in iscas89_profiles().into_iter().filter(|p| p.gates <= 700) {
         let circuit = build_circuit(&profile);
         let arb = random_transition_campaign(
             &circuit,
@@ -46,12 +43,10 @@ fn main() {
             SEED,
         )
         .expect("campaign");
-        let brd =
-            random_transition_campaign(&circuit, ApplicationStyle::Broadside, PAIRS, SEED)
-                .expect("campaign");
-        let skw =
-            random_transition_campaign(&circuit, ApplicationStyle::SkewedLoad, PAIRS, SEED)
-                .expect("campaign");
+        let brd = random_transition_campaign(&circuit, ApplicationStyle::Broadside, PAIRS, SEED)
+            .expect("campaign");
+        let skw = random_transition_campaign(&circuit, ApplicationStyle::SkewedLoad, PAIRS, SEED)
+            .expect("campaign");
 
         // Deterministic ceilings.
         let faults = enumerate_transition_faults(&circuit);
@@ -80,8 +75,13 @@ fn main() {
     rule(112);
     println!(
         "{:>8} {:>8} | {:>12.2} {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
-        "avg", "", mean(&arb_all), mean(&brd_all), mean(&skw_all),
-        mean(&det_arb_all), mean(&det_brd_all)
+        "avg",
+        "",
+        mean(&arb_all),
+        mean(&brd_all),
+        mean(&skw_all),
+        mean(&det_arb_all),
+        mean(&det_brd_all)
     );
     println!();
     println!("paper: broadside can suffer from poor coverage; skewed-load patterns are correlated; arbitrary pairs (enhanced scan / FLH) reach the best coverage");

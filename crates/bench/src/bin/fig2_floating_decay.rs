@@ -8,9 +8,7 @@
 //! than 100ns", far shorter than the 1 µs scan time of a 1000-bit chain at
 //! 1 GHz.
 
-use flh_analog::{
-    gated_chain, simulate, steady_state_initial, GatedChainConfig, TransientConfig,
-};
+use flh_analog::{gated_chain, simulate, steady_state_initial, GatedChainConfig, TransientConfig};
 use flh_tech::Technology;
 
 fn main() {
@@ -54,7 +52,10 @@ fn main() {
                 t,
                 t - 7.0
             );
-            println!("paper: decay below 600 mV in < 100 ns  |  measured: {:.1} ns", t - 7.0);
+            println!(
+                "paper: decay below 600 mV in < 100 ns  |  measured: {:.1} ns",
+                t - 7.0
+            );
         }
         None => println!("OUT1 never crossed 600 mV in {window_ns} ns — calibration drift!"),
     }

@@ -6,9 +6,7 @@
 //! Paper reference point: "the circuit can strongly hold its state (OUT1,
 //! OUT2, and OUT3) despite the switching at the input (IN)".
 
-use flh_analog::{
-    gated_chain, simulate, steady_state_initial, GatedChainConfig, TransientConfig,
-};
+use flh_analog::{gated_chain, simulate, steady_state_initial, GatedChainConfig, TransientConfig};
 use flh_tech::Technology;
 
 fn main() {
@@ -47,11 +45,14 @@ fn main() {
     println!(
         "hold quality over the window: OUT1 min = {worst_out1:.3} V (must stay ~VDD), OUT2 max = {worst_out2:.3} V (~0), OUT3 min = {worst_out3:.3} V (~VDD)"
     );
-    let held = worst_out1 > 0.8 * tech.vdd
-        && worst_out2 < 0.2 * tech.vdd
-        && worst_out3 > 0.8 * tech.vdd;
+    let held =
+        worst_out1 > 0.8 * tech.vdd && worst_out2 < 0.2 * tech.vdd && worst_out3 > 0.8 * tech.vdd;
     println!(
         "paper: state strongly held despite input switching  |  measured: {}",
-        if held { "HELD" } else { "LOST — calibration drift!" }
+        if held {
+            "HELD"
+        } else {
+            "LOST — calibration drift!"
+        }
     );
 }

@@ -12,9 +12,8 @@ use flh_atpg::{Podem, PodemConfig, TestView};
 use flh_bench::{build_circuit, rule};
 use flh_core::{apply_style, DftStyle};
 use flh_netlist::iscas89_profiles;
+use flh_rng::Rng;
 use flh_sim::{Logic, LogicSim, ScanChain, ScanController};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     println!("X-FILL STRATEGY vs SCAN-SHIFT TOGGLES (FLH sleep engaged)");
@@ -25,10 +24,7 @@ fn main() {
     );
     rule(96);
 
-    for profile in iscas89_profiles()
-        .into_iter()
-        .filter(|p| p.gates <= 700)
-    {
+    for profile in iscas89_profiles().into_iter().filter(|p| p.gates <= 700) {
         let circuit = build_circuit(&profile);
         let flh = apply_style(&circuit, DftStyle::Flh).expect("flh");
         let view = TestView::new(&flh.netlist).expect("view");
@@ -45,7 +41,7 @@ fn main() {
             .take(60)
             .collect();
 
-        let mut rng = StdRng::seed_from_u64(0xf111);
+        let mut rng = Rng::seed_from_u64(0xf111);
         let mut toggles = [0u64; 3];
         for (strategy, total) in toggles.iter_mut().enumerate() {
             let mut sim = LogicSim::new(&flh.netlist).expect("sim");
@@ -58,10 +54,7 @@ fn main() {
                     1 => cube.fill_constant(false),
                     _ => cube.fill_adjacent(),
                 };
-                let state: Vec<Logic> = bits[n_pi..]
-                    .iter()
-                    .map(|&b| Logic::from_bool(b))
-                    .collect();
+                let state: Vec<Logic> = bits[n_pi..].iter().map(|&b| Logic::from_bool(b)).collect();
                 controller.shift_in(&mut sim, &state);
             }
             *total = flh

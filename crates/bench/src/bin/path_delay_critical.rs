@@ -8,9 +8,7 @@
 //! Per circuit: target both launch polarities of the 25 longest structural
 //! paths, generate non-robust tests, and verify each by simulation.
 
-use flh_atpg::{
-    longest_sensitizable_path, path_delay_atpg, PodemConfig, TestView,
-};
+use flh_atpg::{longest_sensitizable_path, path_delay_atpg, PodemConfig, TestView};
 use flh_bench::{build_circuit, mean, rule};
 use flh_core::{apply_style, DftStyle};
 use flh_netlist::analysis::Levelization;
@@ -27,10 +25,7 @@ fn main() {
     rule(112);
 
     let mut gaps = Vec::new();
-    for profile in iscas89_profiles()
-        .into_iter()
-        .filter(|p| p.gates <= 1000)
-    {
+    for profile in iscas89_profiles().into_iter().filter(|p| p.gates <= 1000) {
         let circuit = build_circuit(&profile);
         let scanned = apply_style(&circuit, DftStyle::Flh).expect("flh");
         let view = TestView::new(&scanned.netlist).expect("view");

@@ -17,8 +17,16 @@ fn main() {
     rule(118);
     println!(
         "{:>8} {:>6} {:>8} {:>8} {:>7} | {:>10} {:>10} {:>8} | {:>10} {:>10}",
-        "Ckt", "FFs", "TotalFO", "UniqueFO", "Ratio",
-        "Enh.scan%", "MUX%", "FLH%", "impr/MUX%", "impr/Enh%"
+        "Ckt",
+        "FFs",
+        "TotalFO",
+        "UniqueFO",
+        "Ratio",
+        "Enh.scan%",
+        "MUX%",
+        "FLH%",
+        "impr/MUX%",
+        "impr/Enh%"
     );
     rule(118);
 
@@ -64,9 +72,16 @@ fn main() {
     rule(118);
     println!(
         "{:>8} {:>6} {:>8.2} {:>8} {:>7.2} | {:>10.2} {:>10.2} {:>8.2} | {:>10.1} {:>10.1}",
-        "avg", "", mean(&avg_fo), "", mean(&ratios),
-        mean(&enh_ovh), mean(&mux_ovh), mean(&flh_ovh),
-        mean(&impr_mux), mean(&impr_enh)
+        "avg",
+        "",
+        mean(&avg_fo),
+        "",
+        mean(&ratios),
+        mean(&enh_ovh),
+        mean(&mux_ovh),
+        mean(&flh_ovh),
+        mean(&impr_mux),
+        mean(&impr_enh)
     );
     println!();
     println!(

@@ -51,12 +51,19 @@ fn main() {
     rule(108);
     println!(
         "{:>8} {:>10} {:>10} | {:>10.2} {:>8.2} {:>8.2} | {:>10.1} {:>10.1}",
-        "avg", "", "",
-        mean(&enh_all), mean(&mux_all), mean(&flh_all),
-        mean(&impr_mux), mean(&impr_enh)
+        "avg",
+        "",
+        "",
+        mean(&enh_all),
+        mean(&mux_all),
+        mean(&flh_all),
+        mean(&impr_mux),
+        mean(&impr_enh)
     );
     println!();
-    println!("paper: MUX worst, FLH least; avg improvement in delay overhead over enhanced scan = 71%");
+    println!(
+        "paper: MUX worst, FLH least; avg improvement in delay overhead over enhanced scan = 71%"
+    );
     println!(
         "measured: avg FLH improvement over enhanced scan = {:.0}%, over MUX = {:.0}%",
         mean(&impr_enh),

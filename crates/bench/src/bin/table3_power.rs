@@ -57,9 +57,14 @@ fn main() {
     rule(120);
     println!(
         "{:>8} {:>11} | {:>10.2} {:>8.2} {:>8.2} | {:>10.1} {:>10.1} | {:>12.1}",
-        "avg", "",
-        mean(&enh_all), mean(&mux_all), mean(&flh_all),
-        mean(&impr_mux), mean(&impr_enh), mean(&overall)
+        "avg",
+        "",
+        mean(&enh_all),
+        mean(&mux_all),
+        mean(&flh_all),
+        mean(&impr_mux),
+        mean(&impr_enh),
+        mean(&overall)
     );
     println!();
     println!("paper: FLH overhead near zero (s13207 below original); 90% avg reduction of power overhead vs enhanced scan; 44% overall power reduction");

@@ -27,8 +27,16 @@ fn main() {
     rule(122);
     println!(
         "{:>8} {:>6} | {:>9} {:>9} | {:>12} {:>12} {:>8} | {:>11} {:>11} | {:>5}",
-        "Ckt", "FFs", "FLG(bef)", "FLG(aft)", "ovh bef(um2)", "ovh aft(um2)", "improv%",
-        "P bef(uW)", "P aft(uW)", "invs"
+        "Ckt",
+        "FFs",
+        "FLG(bef)",
+        "FLG(aft)",
+        "ovh bef(um2)",
+        "ovh aft(um2)",
+        "improv%",
+        "P bef(uW)",
+        "P aft(uW)",
+        "invs"
     );
     rule(122);
 
@@ -82,7 +90,9 @@ fn main() {
     }
 
     rule(122);
-    let max = improvements.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let max = improvements
+        .iter()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
     println!();
     println!("paper: up to 37% improvement (avg 18%) in FLH area overhead; power comparable; s5378 ends with fewer first-level gates than flip-flops");
     println!(

@@ -27,10 +27,7 @@ fn main() {
     );
     rule(118);
 
-    for profile in iscas89_profiles()
-        .into_iter()
-        .filter(|p| p.gates <= 3000)
-    {
+    for profile in iscas89_profiles().into_iter().filter(|p| p.gates <= 3000) {
         let circuit = build_circuit(&profile);
         let load = circuit.flip_flops().len();
 
@@ -46,8 +43,8 @@ fn main() {
             ApplicationStyle::Broadside,
             ApplicationStyle::SkewedLoad,
         ] {
-            let run = pairs_to_reach_coverage(&circuit, style, target, BUDGET, SEED)
-                .expect("campaign");
+            let run =
+                pairs_to_reach_coverage(&circuit, style, target, BUDGET, SEED).expect("campaign");
             let reached = run.coverage_pct() >= target;
             let cycles = run.pairs as u64 * cycles_per_pattern(style, load) as u64;
             row.push((style, if reached { cycles } else { u64::MAX }));

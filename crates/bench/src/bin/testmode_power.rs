@@ -12,10 +12,9 @@ use flh_bench::{build_circuit, mean, rule};
 use flh_core::{apply_style, DftStyle};
 use flh_netlist::iscas89_profiles;
 use flh_power::{estimate, FlhPowerAnnotation, OperatingMode, PowerConfig};
+use flh_rng::Rng;
 use flh_sim::{Logic, LogicSim, ScanChain, ScanController};
 use flh_tech::{CellLibrary, FlhConfig, FlhPhysical, Technology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn shift_mode_power(
     netlist: &flh_netlist::Netlist,
@@ -28,7 +27,7 @@ fn shift_mode_power(
 ) -> (f64, u64) {
     let mut sim = LogicSim::new(netlist).expect("acyclic");
     let controller = ScanController::new(ScanChain::from_netlist(netlist));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // Random starting state, holding engaged per style.
     for i in 0..netlist.flip_flops().len() {
@@ -70,7 +69,11 @@ fn shift_mode_power(
         library,
         sim.activity(),
         &PowerConfig::paper_default(),
-        if style == DftStyle::Flh { Some(&ann) } else { None },
+        if style == DftStyle::Flh {
+            Some(&ann)
+        } else {
+            None
+        },
         OperatingMode::ScanShift,
     );
     (power.dynamic_uw, comb_toggles)
@@ -92,10 +95,7 @@ fn main() {
 
     let mut saved_es = Vec::new();
     let mut saved_flh = Vec::new();
-    for profile in iscas89_profiles()
-        .into_iter()
-        .filter(|p| p.gates <= 3000)
-    {
+    for profile in iscas89_profiles().into_iter().filter(|p| p.gates <= 3000) {
         let circuit = build_circuit(&profile);
         let plain = apply_style(&circuit, DftStyle::PlainScan).expect("plain");
         let es = apply_style(&circuit, DftStyle::EnhancedScan).expect("es");

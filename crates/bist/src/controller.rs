@@ -253,8 +253,7 @@ mod tests {
         let plain = apply_style(&n, DftStyle::PlainScan).unwrap();
         let flh = apply_style(&n, DftStyle::Flh).unwrap();
         let es = apply_style(&n, DftStyle::EnhancedScan).unwrap();
-        let sig_plain = run_test_per_scan(&plain, &plain.hold_mechanism(), &cfg)
-            .unwrap();
+        let sig_plain = run_test_per_scan(&plain, &plain.hold_mechanism(), &cfg).unwrap();
         let sig_flh = run_test_per_scan(&flh, &flh.hold_mechanism(), &cfg).unwrap();
         let sig_es = run_test_per_scan(&es, &es.hold_mechanism(), &cfg).unwrap();
         assert_eq!(sig_plain.signature, sig_flh.signature);
@@ -281,8 +280,7 @@ mod tests {
         // Sample the fault list and compare against signatures (aliasing
         // probability ~2^-32 is negligible at this sample size).
         for (i, fault) in faults.iter().enumerate().step_by(9) {
-            let by_signature =
-                signature_detects_fault(&flh, &mech, &cfg, fault).unwrap();
+            let by_signature = signature_detects_fault(&flh, &mech, &cfg, fault).unwrap();
             assert_eq!(
                 by_signature, expected[i],
                 "fault {fault:?}: signature says {by_signature}, simulation says {}",

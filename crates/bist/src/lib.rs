@@ -25,9 +25,7 @@ pub mod lfsr;
 pub mod misr;
 pub mod stumps;
 
-pub use controller::{
-    run_test_per_scan, signature_detects_fault, BistConfig, BistOutcome,
-};
+pub use controller::{run_test_per_scan, signature_detects_fault, BistConfig, BistOutcome};
 pub use lfsr::Lfsr;
 pub use misr::Misr;
 pub use stumps::{run_stumps, run_stumps_on_netlist, StumpsOutcome};

@@ -138,11 +138,7 @@ pub fn run_stumps_on_netlist(
             misr.absorb(&word);
         }
 
-        let pis: Vec<Logic> = lfsr
-            .bits(n_pi)
-            .into_iter()
-            .map(Logic::from_bool)
-            .collect();
+        let pis: Vec<Logic> = lfsr.bits(n_pi).into_iter().map(Logic::from_bool).collect();
         sim.set_inputs(&pis);
         release(&mut sim);
         sim.settle();
@@ -259,14 +255,16 @@ mod tests {
         let mut detected_any = false;
         for fault in faults.iter().step_by(7).take(12) {
             let faulty_netlist = inject_fault(&flh.netlist, fault);
-            let faulty =
-                run_stumps_on_netlist(&faulty_netlist, &mech, 3, &cfg).unwrap();
+            let faulty = run_stumps_on_netlist(&faulty_netlist, &mech, 3, &cfg).unwrap();
             if faulty.signature != golden.signature {
                 detected_any = true;
                 break;
             }
         }
-        assert!(detected_any, "no sampled fault changed the STUMPS signature");
+        assert!(
+            detected_any,
+            "no sampled fault changed the STUMPS signature"
+        );
     }
 
     #[test]

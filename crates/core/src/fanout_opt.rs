@@ -112,7 +112,12 @@ fn critical_delay(
     gated: &[CellId],
     flh: &FlhPhysical,
 ) -> flh_netlist::Result<(f64, Vec<CellId>)> {
-    let report = analyze(netlist, library, timing, Some(FlhAnnotation::new(gated, flh)))?;
+    let report = analyze(
+        netlist,
+        library,
+        timing,
+        Some(FlhAnnotation::new(gated, flh)),
+    )?;
     Ok((report.critical_delay_ps(), report.critical_path()))
 }
 
@@ -141,13 +146,8 @@ pub fn optimize_fanout(
     let mut netlist = flh_netlist.netlist.clone();
     let mut gated = flh_netlist.gated.clone();
     let flg_before = gated.len();
-    let (delay_budget_ps, mut crit_path) = critical_delay(
-        &netlist,
-        &library,
-        &config.eval.timing,
-        &gated,
-        &flh_phys,
-    )?;
+    let (delay_budget_ps, mut crit_path) =
+        critical_delay(&netlist, &library, &config.eval.timing, &gated, &flh_phys)?;
 
     // Candidates in decreasing fanout order.
     let fanouts = analysis::FanoutMap::compute(&netlist);
@@ -167,9 +167,8 @@ pub fn optimize_fanout(
         let fanouts = analysis::FanoutMap::compute(&netlist);
         let readers = unique_comb_readers(&netlist, &fanouts, ff);
         let crit_set: HashSet<CellId> = crit_path.iter().copied().collect();
-        let (kept, movable): (Vec<CellId>, Vec<CellId>) = readers
-            .iter()
-            .partition(|r| crit_set.contains(r));
+        let (kept, movable): (Vec<CellId>, Vec<CellId>) =
+            readers.iter().partition(|r| crit_set.contains(r));
         // Gain: |readers| gated gates become |kept| + 1 (the first
         // inverter). Require a real reduction.
         if movable.len() < 2 || kept.len() + 2 > readers.len() {
@@ -189,7 +188,10 @@ pub fn optimize_fanout(
         let (inv1, redirect): (CellId, Vec<CellId>) = match existing_inv {
             Some(inv1) => {
                 reused_inverters += 1;
-                (inv1, movable.iter().copied().filter(|&r| r != inv1).collect())
+                (
+                    inv1,
+                    movable.iter().copied().filter(|&r| r != inv1).collect(),
+                )
             }
             None => {
                 let name = netlist.fresh_name("fo_inv1_");
@@ -261,9 +263,8 @@ mod tests {
     use super::*;
     use crate::styles::apply_style;
     use flh_netlist::{generate_circuit, GeneratorConfig};
+    use flh_rng::Rng;
     use flh_sim::{Logic, LogicSim};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn hot_circuit() -> Netlist {
         generate_circuit(&GeneratorConfig {
@@ -303,14 +304,8 @@ mod tests {
         let flh = apply_style(&n, DftStyle::Flh).unwrap();
         let library = CellLibrary::new(cfg.eval.technology.clone());
         let phys = FlhPhysical::derive(&cfg.eval.technology, &cfg.eval.flh);
-        let (before, _) = critical_delay(
-            &flh.netlist,
-            &library,
-            &cfg.eval.timing,
-            &flh.gated,
-            &phys,
-        )
-        .unwrap();
+        let (before, _) =
+            critical_delay(&flh.netlist, &library, &cfg.eval.timing, &flh.gated, &phys).unwrap();
         let result = optimize_fanout(&flh, &cfg).unwrap();
         let (after, _) = critical_delay(
             &result.netlist,
@@ -333,7 +328,7 @@ mod tests {
         let result = optimize_fanout(&flh, &FanoutOptConfig::paper_default()).unwrap();
         assert!(result.optimized_ffs > 0);
 
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let mut sim_a = LogicSim::new(&flh.netlist).unwrap();
         let mut sim_b = LogicSim::new(&result.netlist).unwrap();
         // Same random initial state + vectors on both.
@@ -360,10 +355,17 @@ mod tests {
         let result = optimize_fanout(&flh, &FanoutOptConfig::paper_default()).unwrap();
         // Every gated cell must read at least one flip-flop.
         for &g in &result.gated {
-            let reads_ff = result.netlist.cell(g).fanin().iter().any(|&f| {
-                result.netlist.cell(f).kind().is_flip_flop()
-            });
-            assert!(reads_ff, "{} is not a first-level gate", result.netlist.cell(g).name());
+            let reads_ff = result
+                .netlist
+                .cell(g)
+                .fanin()
+                .iter()
+                .any(|&f| result.netlist.cell(f).kind().is_flip_flop());
+            assert!(
+                reads_ff,
+                "{} is not a first-level gate",
+                result.netlist.cell(g).name()
+            );
         }
         assert!(result.inverters_added > 0);
     }

@@ -52,7 +52,11 @@ pub fn select_critical_gating(
     wide_config: &FlhConfig,
     max_rounds: usize,
 ) -> flh_netlist::Result<MixedSizingResult> {
-    assert_eq!(flh.style, DftStyle::Flh, "mixed sizing applies to FLH netlists");
+    assert_eq!(
+        flh.style,
+        DftStyle::Flh,
+        "mixed sizing applies to FLH netlists"
+    );
     let library = CellLibrary::new(config.technology.clone());
     let default_phys = FlhPhysical::derive(&config.technology, &config.flh);
     let wide_phys = FlhPhysical::derive(&config.technology, wide_config);
@@ -73,10 +77,7 @@ pub fn select_critical_gating(
             &flh.netlist,
             &library,
             &config.timing,
-            Some(
-                FlhAnnotation::new(&flh.gated, &default_phys)
-                    .with_wide(&wide, &wide_phys),
-            ),
+            Some(FlhAnnotation::new(&flh.gated, &default_phys).with_wide(&wide, &wide_phys)),
         )?;
         let mut promoted = false;
         for id in report.critical_path() {
@@ -135,8 +136,7 @@ mod tests {
     fn widening_the_critical_gates_cuts_delay() {
         let flh = flh_circuit();
         let cfg = EvalConfig::paper_default();
-        let result =
-            select_critical_gating(&flh, &cfg, &FlhConfig::wide_gating(), 8).unwrap();
+        let result = select_critical_gating(&flh, &cfg, &FlhConfig::wide_gating(), 8).unwrap();
         assert!(!result.wide.is_empty(), "no critical gated gate found");
         assert!(
             result.delay_mixed_ps < result.delay_uniform_ps,
@@ -160,8 +160,8 @@ mod tests {
         let result = select_critical_gating(&flh, &cfg, &wide_cfg, 8).unwrap();
         let default_phys = FlhPhysical::derive(&cfg.technology, &cfg.flh);
         let wide_phys = FlhPhysical::derive(&cfg.technology, &wide_cfg);
-        let uniform_widening_cost = flh.gated.len() as f64
-            * (wide_phys.extra_area_um2 - default_phys.extra_area_um2);
+        let uniform_widening_cost =
+            flh.gated.len() as f64 * (wide_phys.extra_area_um2 - default_phys.extra_area_um2);
         assert!(
             result.extra_area_um2 < 0.5 * uniform_widening_cost,
             "mixed {} vs uniform {}",
@@ -174,13 +174,11 @@ mod tests {
     fn converges_within_the_round_budget() {
         let flh = flh_circuit();
         let cfg = EvalConfig::paper_default();
-        let result =
-            select_critical_gating(&flh, &cfg, &FlhConfig::wide_gating(), 20).unwrap();
+        let result = select_critical_gating(&flh, &cfg, &FlhConfig::wide_gating(), 20).unwrap();
         assert!(result.rounds <= 20);
         // Re-running with the budget it used reproduces the same set.
         let again =
-            select_critical_gating(&flh, &cfg, &FlhConfig::wide_gating(), result.rounds)
-                .unwrap();
+            select_critical_gating(&flh, &cfg, &FlhConfig::wide_gating(), result.rounds).unwrap();
         assert_eq!(result.wide, again.wide);
     }
 }

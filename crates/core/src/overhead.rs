@@ -152,8 +152,7 @@ pub fn evaluate_against(
 
     // Baseline metrics.
     let base_area_um2 = library.netlist_area_um2(&base.netlist);
-    let base_delay_ps = analyze(&base.netlist, &library, &config.timing, None)?
-        .critical_delay_ps();
+    let base_delay_ps = analyze(&base.netlist, &library, &config.timing, None)?.critical_delay_ps();
     let base_power_uw = random_vector_power(
         &base.netlist,
         &library,
@@ -175,8 +174,8 @@ pub fn evaluate_against(
     } else {
         None
     };
-    let delay_ps = analyze(&styled.netlist, &library, &config.timing, timing_ann)?
-        .critical_delay_ps();
+    let delay_ps =
+        analyze(&styled.netlist, &library, &config.timing, timing_ann)?.critical_delay_ps();
     let power_ann = if is_flh {
         Some(FlhPowerAnnotation {
             gated: &styled.gated,
@@ -333,8 +332,8 @@ mod tests {
         let lib = CellLibrary::new(cfg.technology.clone());
         let phys = FlhPhysical::derive(&cfg.technology, &cfg.flh);
         let flh = apply_style(&n, DftStyle::Flh).unwrap();
-        let expect = lib.netlist_area_um2(&flh.netlist)
-            + flh.gated.len() as f64 * phys.extra_area_um2;
+        let expect =
+            lib.netlist_area_um2(&flh.netlist) + flh.gated.len() as f64 * phys.extra_area_um2;
         assert!((e.area_um2 - expect).abs() < 1e-9);
     }
 

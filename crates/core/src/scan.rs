@@ -64,10 +64,7 @@ mod tests {
         n.add_cell("f1", CellKind::ScanDff, vec![a]);
         let s = insert_scan(&n);
         assert_eq!(s.flip_flops().len(), 1);
-        assert_eq!(
-            s.cell(s.flip_flops()[0]).kind(),
-            CellKind::ScanDff
-        );
+        assert_eq!(s.cell(s.flip_flops()[0]).kind(), CellKind::ScanDff);
     }
 
     #[test]

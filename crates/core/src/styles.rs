@@ -130,7 +130,6 @@ pub fn apply_style(netlist: &Netlist, style: DftStyle) -> flh_netlist::Result<Df
     })
 }
 
-
 /// Applies FLH with the Section IV BIST extension: the first-level gates of
 /// the **primary inputs** are supply-gated too, so a serially loaded PI
 /// register (test-per-scan BIST applying "test patterns … to the primary
@@ -189,10 +188,7 @@ mod tests {
         for &ff in d.netlist.flip_flops() {
             let readers = fo.readers(ff);
             assert_eq!(readers.len(), 1, "FF must only feed its latch");
-            assert_eq!(
-                d.netlist.cell(readers[0]).kind(),
-                CellKind::HoldLatch
-            );
+            assert_eq!(d.netlist.cell(readers[0]).kind(), CellKind::HoldLatch);
         }
         // g1 reads both latches now.
         let g1 = d.netlist.find("g1").unwrap();

@@ -13,10 +13,7 @@ use crate::Result;
 /// evaluable — they have no fanin and simply compute their fixed value, so
 /// every simulator initializes them correctly.
 fn is_evaluable(kind: CellKind) -> bool {
-    !matches!(
-        kind,
-        CellKind::Input | CellKind::Dff | CellKind::ScanDff
-    )
+    !matches!(kind, CellKind::Input | CellKind::Dff | CellKind::ScanDff)
 }
 
 /// Computes a topological order of the evaluable (combinational + boundary +

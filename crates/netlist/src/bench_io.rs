@@ -245,9 +245,9 @@ pub fn parse_bench(text: &str, design_name: &str) -> Result<Netlist> {
         if let Stmt::Assign { target, args, .. } = stmt {
             let id = signals[target];
             for (pin, arg) in args.iter().enumerate() {
-                let driver = *signals.get(arg).ok_or_else(|| NetlistError::UndefinedSignal {
-                    name: arg.clone(),
-                })?;
+                let driver = *signals
+                    .get(arg)
+                    .ok_or_else(|| NetlistError::UndefinedSignal { name: arg.clone() })?;
                 netlist.set_fanin_pin(id, pin, driver);
             }
         }
@@ -256,9 +256,9 @@ pub fn parse_bench(text: &str, design_name: &str) -> Result<Netlist> {
     // Pass 3: create output markers.
     for (_, stmt) in &stmts {
         if let Stmt::Output(name) = stmt {
-            let driver = *signals.get(name).ok_or_else(|| NetlistError::UndefinedSignal {
-                name: name.clone(),
-            })?;
+            let driver = *signals
+                .get(name)
+                .ok_or_else(|| NetlistError::UndefinedSignal { name: name.clone() })?;
             netlist.add_output(format!("{name}{OUTPUT_SUFFIX}"), driver);
         }
     }
@@ -340,7 +340,8 @@ G17 = OR(G10, G6)
 
     #[test]
     fn wide_gates_become_generic() {
-        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\ny = NAND(a,b,c,d,e)\n";
+        let text =
+            "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nOUTPUT(y)\ny = NAND(a,b,c,d,e)\n";
         let n = parse_bench(text, "wide").unwrap();
         let y = n.find("y").unwrap();
         assert_eq!(n.cell(y).kind(), CellKind::NandN(5));
@@ -423,7 +424,10 @@ G17 = OR(G10, G6)
         let h = n.find("h").unwrap();
         assert_eq!(n.cell(h).kind(), CellKind::HoldLatch);
         let n2 = parse_bench(&write_bench(&n), "ext2").unwrap();
-        assert_eq!(n2.find("h").map(|id| n2.cell(id).kind()), Some(CellKind::HoldLatch));
+        assert_eq!(
+            n2.find("h").map(|id| n2.cell(id).kind()),
+            Some(CellKind::HoldLatch)
+        );
     }
 
     #[test]

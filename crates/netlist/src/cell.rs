@@ -191,10 +191,7 @@ impl CellKind {
     /// or holding cells).
     pub fn is_combinational(self) -> bool {
         use CellKind::*;
-        !matches!(
-            self,
-            Input | Output | Dff | ScanDff | HoldLatch | HoldMux
-        )
+        !matches!(self, Input | Output | Dff | ScanDff | HoldLatch | HoldMux)
     }
 
     /// True for generic wide gates that must be technology-mapped before the
@@ -351,8 +348,7 @@ impl fmt::Display for CellKind {
             OrN(n) => write!(f, "OR{n}*"),
             NorN(n) => write!(f, "NOR{n}*"),
             XorN(n) => write!(f, "XOR{n}*"),
-            And2 | And3 | And4 | Nand2 | Nand3 | Nand4 | Or2 | Or3 | Or4 | Nor2 | Nor3
-            | Nor4 => {
+            And2 | And3 | And4 | Nand2 | Nand3 | Nand4 | Or2 | Or3 | Or4 | Nor2 | Nor3 | Nor4 => {
                 write!(f, "{}{}", self.library_name(), self.arity())
             }
             _ => f.write_str(self.library_name()),

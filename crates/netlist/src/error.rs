@@ -95,7 +95,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "signal {name:?} is used but never defined")
             }
             NetlistError::UnmappedGeneric { cell } => {
-                write!(f, "cell {cell} is a generic wide gate; run the mapper first")
+                write!(
+                    f,
+                    "cell {cell} is a generic wide gate; run the mapper first"
+                )
             }
             NetlistError::OutputHasFanout { cell } => {
                 write!(f, "primary-output cell {cell} drives other cells")

@@ -21,9 +21,7 @@
 //! 5. primary outputs and flip-flop D pins wired preferentially to
 //!    still-unread gate outputs.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use flh_rng::Rng;
 
 use crate::cell::{CellId, CellKind};
 use crate::error::NetlistError;
@@ -66,9 +64,7 @@ impl GeneratorConfig {
     }
 
     fn validate(&self) -> Result<()> {
-        let fail = |message: String| {
-            Err(NetlistError::InvalidGeneratorConfig { message })
-        };
+        let fail = |message: String| Err(NetlistError::InvalidGeneratorConfig { message });
         if self.primary_inputs == 0 {
             return fail("at least one primary input required".into());
         }
@@ -107,7 +103,7 @@ impl GeneratorConfig {
 }
 
 /// Weighted pick of a gate kind with the requested arity.
-fn pick_kind(rng: &mut StdRng, arity: usize) -> CellKind {
+fn pick_kind(rng: &mut Rng, arity: usize) -> CellKind {
     // (kind, weight) tables roughly mirroring the LEDA-mapped ISCAS89 mix:
     // NAND/NOR-dominant with a sprinkling of complex gates.
     const A1: [(CellKind, u32); 2] = [(CellKind::Inv, 8), (CellKind::Buf, 2)];
@@ -157,7 +153,7 @@ fn pick_kind(rng: &mut StdRng, arity: usize) -> CellKind {
 }
 
 /// Random arity for a filler gate (weighted toward 2-input cells).
-fn pick_arity(rng: &mut StdRng) -> usize {
+fn pick_arity(rng: &mut Rng) -> usize {
     match rng.gen_range(0u32..100) {
         0..=11 => 1,
         12..=66 => 2,
@@ -167,7 +163,7 @@ fn pick_arity(rng: &mut StdRng) -> usize {
 }
 
 struct Builder<'a> {
-    rng: StdRng,
+    rng: Rng,
     netlist: Netlist,
     config: &'a GeneratorConfig,
     /// Gate/PI outputs indexed by logic level (level 0 = primary inputs).
@@ -258,7 +254,7 @@ impl<'a> Builder<'a> {
 pub fn generate_circuit(config: &GeneratorConfig) -> Result<Netlist> {
     config.validate()?;
     let mut b = Builder {
-        rng: StdRng::seed_from_u64(config.seed),
+        rng: Rng::seed_from_u64(config.seed),
         netlist: Netlist::new(config.name.clone()),
         config,
         by_level: vec![Vec::new()],
@@ -275,7 +271,9 @@ pub fn generate_circuit(config: &GeneratorConfig) -> Result<Netlist> {
     let mut ffs = Vec::with_capacity(config.flip_flops);
     for i in 0..config.flip_flops {
         // Placeholder D fanin; rewired in step 5.
-        let id = b.netlist.add_cell(format!("ff{i}"), CellKind::Dff, vec![pis[0]]);
+        let id = b
+            .netlist
+            .add_cell(format!("ff{i}"), CellKind::Dff, vec![pis[0]]);
         ffs.push(id);
     }
 
@@ -290,8 +288,14 @@ pub fn generate_circuit(config: &GeneratorConfig) -> Result<Netlist> {
         quota[0] = hot.min(n_flg);
     }
     let mut assigned: usize = quota.iter().sum();
+    // A pinned hot FF keeps *exactly* its requested fanout, so the random
+    // sprinkle below must never land on it.
+    let sprinkle_from = usize::from(config.hot_ff_fanout.is_some());
     while assigned < total_pins {
-        let i = b.rng.gen_range(0..config.flip_flops);
+        if quota[sprinkle_from..].iter().all(|&q| q >= n_flg) {
+            break; // every sprinkle-eligible FF is saturated
+        }
+        let i = b.rng.gen_range(sprinkle_from..config.flip_flops);
         if quota[i] < n_flg {
             quota[i] += 1;
             assigned += 1;
@@ -326,7 +330,7 @@ pub fn generate_circuit(config: &GeneratorConfig) -> Result<Netlist> {
             tokens.extend(std::iter::repeat_n(ff, q));
         }
         // Highest-quota FFs first, then shuffle within for variety.
-        tokens.shuffle(&mut b.rng);
+        b.rng.shuffle(&mut tokens);
         tokens.sort_by_key(|&ff| std::cmp::Reverse(quota[ff]));
         // Phase 1: one pin per gate.
         let mut next_token = 0usize;
@@ -419,7 +423,7 @@ pub fn generate_circuit(config: &GeneratorConfig) -> Result<Netlist> {
         .collect();
     // Deepest unread first: top-of-cone gates have no chance of being
     // rewired into other gates later, so they get the boundary sinks.
-    unread.shuffle(&mut b.rng);
+    b.rng.shuffle(&mut unread);
     unread.sort_by_key(|id| {
         b.by_level
             .iter()
@@ -521,7 +525,9 @@ pub fn generate_circuit(config: &GeneratorConfig) -> Result<Netlist> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::{first_level_gates, total_ff_fanouts, CircuitStats, FanoutMap, Levelization};
+    use crate::analysis::{
+        first_level_gates, total_ff_fanouts, CircuitStats, FanoutMap, Levelization,
+    };
     use crate::profiles::{iscas89_profile, iscas89_profiles};
 
     fn small_config() -> GeneratorConfig {

@@ -247,7 +247,10 @@ impl Netlist {
         );
         let was_ff = c.kind.is_flip_flop();
         let is_ff = kind.is_flip_flop();
-        assert_eq!(was_ff, is_ff, "retype of {cell} crosses the sequential boundary");
+        assert_eq!(
+            was_ff, is_ff,
+            "retype of {cell} crosses the sequential boundary"
+        );
         assert!(
             !matches!(c.kind, CellKind::Input | CellKind::Output)
                 && !matches!(kind, CellKind::Input | CellKind::Output),

@@ -184,28 +184,32 @@ mod tests {
         let order_n = crate::analysis::combinational_order(&n).unwrap();
         let order_u = crate::analysis::combinational_order(&u.netlist).unwrap();
 
-        let eval = |netlist: &Netlist,
-                    order: &[CellId],
-                    set: &dyn Fn(&mut Vec<u64>)|
-         -> Vec<u64> {
+        let eval = |netlist: &Netlist, order: &[CellId], set: &dyn Fn(&mut Vec<u64>)| -> Vec<u64> {
             let mut vals = vec![0u64; netlist.cell_count()];
             set(&mut vals);
             for &id in order {
                 let cell = netlist.cell(id);
-                let ins: Vec<u64> =
-                    cell.fanin().iter().map(|&f| vals[f.index()]).collect();
+                let ins: Vec<u64> = cell.fanin().iter().map(|&f| vals[f.index()]).collect();
                 vals[id.index()] = cell.kind().eval64(&ins);
             }
             vals
         };
 
         for seed in 0..16u64 {
-            let bit = |k: u64| if seed.wrapping_mul(0x9e37) >> (k % 17) & 1 == 1 { !0u64 } else { 0 };
+            let bit = |k: u64| {
+                if seed.wrapping_mul(0x9e37) >> (k % 17) & 1 == 1 {
+                    !0u64
+                } else {
+                    0
+                }
+            };
             // Sequential reference: cycle 1 with PI1/state, capture, cycle 2
             // with PI2.
             let pi1: Vec<u64> = (0..n.inputs().len() as u64).map(bit).collect();
             let pi2: Vec<u64> = (0..n.inputs().len() as u64).map(|k| bit(k + 31)).collect();
-            let st: Vec<u64> = (0..n.flip_flops().len() as u64).map(|k| bit(k + 7)).collect();
+            let st: Vec<u64> = (0..n.flip_flops().len() as u64)
+                .map(|k| bit(k + 7))
+                .collect();
 
             let v1 = eval(&n, &order_n, &|vals| {
                 for (i, &pi) in n.inputs().iter().enumerate() {
@@ -261,5 +265,4 @@ mod tests {
             }
         }
     }
-
 }

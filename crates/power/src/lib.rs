@@ -17,10 +17,9 @@
 //!   paper's s13207 observation).
 
 use flh_netlist::{analysis::FanoutMap, CellId, CellKind, Netlist};
+use flh_rng::Rng;
 use flh_sim::{Logic, LogicSim};
 use flh_tech::{CellLibrary, FlhPhysical};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Environment knobs for power estimation.
 #[derive(Clone, Debug, PartialEq)]
@@ -187,7 +186,7 @@ pub fn random_vector_power(
     vectors: usize,
     seed: u64,
 ) -> flh_netlist::Result<PowerBreakdown> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut sim = LogicSim::new(netlist)?;
     if let Some(ann) = flh {
         sim.set_gated_cells(ann.gated);
@@ -243,8 +242,7 @@ mod tests {
     fn power_components_are_positive_and_plausible() {
         let n = toggler();
         let lib = lib();
-        let p = random_vector_power(&n, &lib, &PowerConfig::paper_default(), None, 100, 7)
-            .unwrap();
+        let p = random_vector_power(&n, &lib, &PowerConfig::paper_default(), None, 100, 7).unwrap();
         assert!(p.dynamic_uw > 0.0, "dynamic {p:?}");
         assert!(p.clock_uw > 0.0);
         assert!(p.leakage_uw > 0.0);

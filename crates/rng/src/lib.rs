@@ -1,0 +1,283 @@
+//! Deterministic, dependency-free pseudo-random number generation.
+//!
+//! The workspace must build and test fully offline, so instead of the
+//! external `rand` crate every stochastic component (netlist generation,
+//! ATPG X-fill, BIST pattern streams, Monte-Carlo experiments) draws from
+//! this tiny in-tree generator. The core is **xoshiro256\*\*** (Blackman &
+//! Vigna), seeded from a single `u64` through a **SplitMix64** expansion —
+//! the exact construction recommended by the xoshiro authors. The generator
+//! is deterministic across platforms and releases: the same seed always
+//! yields the same stream, which the reproduction relies on for
+//! reproducible tables and regression tests.
+//!
+//! The API mirrors the small slice of `rand` the workspace used
+//! (`seed_from_u64`, `gen`, `gen_range`, `gen_bool`, `shuffle`) so call
+//! sites read the same as before.
+//!
+//! ```
+//! use flh_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let word: u64 = rng.gen();
+//! let coin: bool = rng.gen();
+//! let idx = rng.gen_range(0..10usize);
+//! assert!(idx < 10);
+//! let mut v = [1, 2, 3, 4];
+//! rng.shuffle(&mut v);
+//! let _ = (word, coin);
+//! ```
+
+/// SplitMix64 step: used to expand a single `u64` seed into the four
+/// xoshiro256** state words. Public so tests and profile hashing can reuse
+/// the same mixing function.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic PRNG: xoshiro256** with SplitMix64 seeding.
+///
+/// Not cryptographically secure — it is a fast statistical generator for
+/// simulation workloads. Cloning the struct forks the stream (both clones
+/// continue identically), which some experiments use to replay a sequence.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Build a generator whose entire stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256** scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Draw a value of any [`Random`] type (`u64`, `u32`, `bool`, `f64`),
+    /// mirroring `rand::Rng::gen`. The type is usually inferred:
+    /// `let w: u64 = rng.gen();`
+    #[inline]
+    pub fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Uniform draw from a half-open range, mirroring `rand::Rng::gen_range`.
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T: UniformRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // Compare against a uniform f64 in [0, 1); p == 1.0 is always true.
+        p >= 1.0 || f64_unit(self.next_u64()) < p
+    }
+
+    /// Fisher–Yates shuffle, mirroring `rand::seq::SliceRandom::shuffle`.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_below((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Unbiased uniform integer in `[0, bound)` via Lemire-style rejection.
+    #[inline]
+    fn uniform_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Rejection zone keeps the multiply-shift reduction unbiased.
+        let zone = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            if (m as u64) >= zone {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Convert a raw word into a uniform `f64` in `[0, 1)` using the top 53 bits.
+#[inline]
+fn f64_unit(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types [`Rng::gen`] can produce. Sealed in practice: implemented for the
+/// primitives the workspace draws.
+pub trait Random {
+    /// Draw one uniformly distributed value.
+    fn random(rng: &mut Rng) -> Self;
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random(rng: &mut Rng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    #[inline]
+    fn random(rng: &mut Rng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random(rng: &mut Rng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    #[inline]
+    fn random(rng: &mut Rng) -> Self {
+        f64_unit(rng.next_u64())
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample from a `Range`.
+pub trait UniformRange: Sized {
+    /// Draw uniformly from `range` (half-open). Panics if empty.
+    fn sample(rng: &mut Rng, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            #[inline]
+            fn sample(rng: &mut Rng, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                range.start + rng.uniform_below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8);
+
+impl UniformRange for f64 {
+    #[inline]
+    fn sample(rng: &mut Rng, range: std::ops::Range<Self>) -> Self {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + f64_unit(rng.next_u64()) * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn reference_vector_is_stable() {
+        // Pin the stream so refactors can't silently change every seeded
+        // experiment in the workspace.
+        let mut rng = Rng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..10usize);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit in 1000 draws");
+
+        for _ in 0..1000 {
+            let f = rng.gen_range(2.0..3.0f64);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability_is_plausible() {
+        let mut rng = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (2000..3000).contains(&hits),
+            "got {hits} of 10000 at p=0.25"
+        );
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+
+    #[test]
+    fn f64_draws_are_unit_interval() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

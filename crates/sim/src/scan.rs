@@ -104,21 +104,19 @@ impl MultiScanController {
     /// # Panics
     ///
     /// Panics if the pattern count or any pattern length mismatches.
-    pub fn shift_in(
-        &self,
-        sim: &mut LogicSim<'_>,
-        patterns: &[Vec<Logic>],
-    ) -> Vec<Vec<Logic>> {
-        assert_eq!(patterns.len(), self.controllers.len(), "one pattern per chain");
+    pub fn shift_in(&self, sim: &mut LogicSim<'_>, patterns: &[Vec<Logic>]) -> Vec<Vec<Logic>> {
+        assert_eq!(
+            patterns.len(),
+            self.controllers.len(),
+            "one pattern per chain"
+        );
         for (c, p) in self.controllers.iter().zip(patterns) {
             assert_eq!(p.len(), c.chain().len(), "pattern/chain length mismatch");
         }
         let cycles = self.load_cycles();
         let mut unloads: Vec<Vec<Logic>> = vec![Vec::new(); patterns.len()];
         for step in 0..cycles {
-            for (i, (ctl, pattern)) in
-                self.controllers.iter().zip(patterns).enumerate()
-            {
+            for (i, (ctl, pattern)) in self.controllers.iter().zip(patterns).enumerate() {
                 let len = ctl.chain().len();
                 // Chain i starts shifting late enough to finish exactly at
                 // the common last cycle.
@@ -195,7 +193,11 @@ impl ScanController {
     ///
     /// Panics if `pattern.len()` differs from the chain length.
     pub fn shift_in(&self, sim: &mut LogicSim<'_>, pattern: &[Logic]) -> Vec<Logic> {
-        assert_eq!(pattern.len(), self.chain.len(), "pattern/chain length mismatch");
+        assert_eq!(
+            pattern.len(),
+            self.chain.len(),
+            "pattern/chain length mismatch"
+        );
         pattern
             .iter()
             .rev()
@@ -313,7 +315,11 @@ mod tests {
         let multi = MultiScanController::new(chains);
         multi.shift_in(
             &mut sim3,
-            &[target[0..2].to_vec(), target[2..4].to_vec(), target[4..6].to_vec()],
+            &[
+                target[0..2].to_vec(),
+                target[2..4].to_vec(),
+                target[4..6].to_vec(),
+            ],
         );
 
         assert_eq!(sim1.ff_state(), sim3.ff_state());

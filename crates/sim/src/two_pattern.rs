@@ -167,9 +167,7 @@ impl TwoPatternRunner {
                     .map(|(id, _)| sim.value(id))
                     .collect()
             }
-            HoldMechanism::SupplyGating(cells) => {
-                cells.iter().map(|&c| sim.value(c)).collect()
-            }
+            HoldMechanism::SupplyGating(cells) => cells.iter().map(|&c| sim.value(c)).collect(),
             HoldMechanism::None => self.controller.read_state(sim),
         }
     }
@@ -242,8 +240,7 @@ mod tests {
         let n = base_circuit();
         let g = n.find("g").unwrap();
         let mut sim = LogicSim::new(&n).unwrap();
-        let runner =
-            TwoPatternRunner::for_netlist(&n, HoldMechanism::SupplyGating(vec![g]));
+        let runner = TwoPatternRunner::for_netlist(&n, HoldMechanism::SupplyGating(vec![g]));
         let out = runner.apply(&mut sim, &[O], &[I, I], &[I], &[O, I]);
         // Only the XOR sits beyond the gated NAND; it may not toggle while
         // V2 shifts because its NAND input is frozen and the PI is stable.
@@ -284,10 +281,7 @@ mod tests {
                 (&bits[0..1], &bits[1..3], &bits[3..4], &bits[4..6]);
 
             let mut sim_b = LogicSim::new(&base).unwrap();
-            let run_b = TwoPatternRunner::for_netlist(
-                &base,
-                HoldMechanism::SupplyGating(vec![g]),
-            );
+            let run_b = TwoPatternRunner::for_netlist(&base, HoldMechanism::SupplyGating(vec![g]));
             let out_b = run_b.apply(&mut sim_b, v1_pi, v1_state, v2_pi, v2_state);
 
             let mut sim_h = LogicSim::new(&held).unwrap();

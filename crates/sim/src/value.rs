@@ -113,7 +113,11 @@ pub fn eval3(kind: CellKind, inputs: &[Logic]) -> Logic {
     let outer_x = n_x.saturating_sub(LANE.len());
     let inner_x = n_x - outer_x;
     let lanes = 1usize << inner_x;
-    let lane_mask = if lanes == 64 { !0u64 } else { (1u64 << lanes) - 1 };
+    let lane_mask = if lanes == 64 {
+        !0u64
+    } else {
+        (1u64 << lanes) - 1
+    };
 
     let mut all_zero = true;
     let mut all_one = true;

@@ -64,80 +64,176 @@ fn recipe(kind: CellKind) -> Option<Recipe> {
         Buf => r!(&[1.0, 1.0], &[2.0, 2.0], 1.0, 1.0, 1.0, 2.0, 3.0, 8.0),
 
         Nand2 => r!(&[2.0, 2.0], &[2.0, 2.0], 2.0, 1.0, 2.0, 2.0, 4.0, 0.0),
-        Nand3 => r!(&[3.0, 3.0, 3.0], &[2.0, 2.0, 2.0], 3.0, 1.0, 3.0, 2.0, 5.0, 0.0),
+        Nand3 => r!(
+            &[3.0, 3.0, 3.0],
+            &[2.0, 2.0, 2.0],
+            3.0,
+            1.0,
+            3.0,
+            2.0,
+            5.0,
+            0.0
+        ),
         Nand4 => r!(
             &[4.0, 4.0, 4.0, 4.0],
             &[2.0, 2.0, 2.0, 2.0],
-            4.0, 1.0, 4.0, 2.0, 6.0, 0.0
+            4.0,
+            1.0,
+            4.0,
+            2.0,
+            6.0,
+            0.0
         ),
         Nor2 => r!(&[1.0, 1.0], &[4.0, 4.0], 1.0, 2.0, 1.0, 4.0, 5.0, 0.0),
-        Nor3 => r!(&[1.0, 1.0, 1.0], &[6.0, 6.0, 6.0], 1.0, 3.0, 1.0, 6.0, 7.0, 0.0),
+        Nor3 => r!(
+            &[1.0, 1.0, 1.0],
+            &[6.0, 6.0, 6.0],
+            1.0,
+            3.0,
+            1.0,
+            6.0,
+            7.0,
+            0.0
+        ),
         Nor4 => r!(
             &[1.0, 1.0, 1.0, 1.0],
             &[8.0, 8.0, 8.0, 8.0],
-            1.0, 4.0, 1.0, 8.0, 9.0, 0.0
+            1.0,
+            4.0,
+            1.0,
+            8.0,
+            9.0,
+            0.0
         ),
 
-        And2 => r!(&[2.0, 2.0, 1.0], &[2.0, 2.0, 2.0], 1.0, 1.0, 1.0, 2.0, 4.0, 8.0),
+        And2 => r!(
+            &[2.0, 2.0, 1.0],
+            &[2.0, 2.0, 2.0],
+            1.0,
+            1.0,
+            1.0,
+            2.0,
+            4.0,
+            8.0
+        ),
         And3 => r!(
             &[3.0, 3.0, 3.0, 1.0],
             &[2.0, 2.0, 2.0, 2.0],
-            1.0, 1.0, 1.0, 2.0, 5.0, 10.0
+            1.0,
+            1.0,
+            1.0,
+            2.0,
+            5.0,
+            10.0
         ),
         And4 => r!(
             &[4.0, 4.0, 4.0, 4.0, 1.0],
             &[2.0, 2.0, 2.0, 2.0, 2.0],
-            1.0, 1.0, 1.0, 2.0, 6.0, 12.0
+            1.0,
+            1.0,
+            1.0,
+            2.0,
+            6.0,
+            12.0
         ),
-        Or2 => r!(&[1.0, 1.0, 1.0], &[4.0, 4.0, 2.0], 1.0, 1.0, 1.0, 2.0, 5.0, 9.0),
+        Or2 => r!(
+            &[1.0, 1.0, 1.0],
+            &[4.0, 4.0, 2.0],
+            1.0,
+            1.0,
+            1.0,
+            2.0,
+            5.0,
+            9.0
+        ),
         Or3 => r!(
             &[1.0, 1.0, 1.0, 1.0],
             &[6.0, 6.0, 6.0, 2.0],
-            1.0, 1.0, 1.0, 2.0, 7.0, 11.0
+            1.0,
+            1.0,
+            1.0,
+            2.0,
+            7.0,
+            11.0
         ),
         Or4 => r!(
             &[1.0, 1.0, 1.0, 1.0, 1.0],
             &[8.0, 8.0, 8.0, 8.0, 2.0],
-            1.0, 1.0, 1.0, 2.0, 9.0, 13.0
+            1.0,
+            1.0,
+            1.0,
+            2.0,
+            9.0,
+            13.0
         ),
 
         Xor2 | Xnor2 => r!(
             &[1.0, 1.0, 1.0, 1.0, 1.0],
             &[2.0, 2.0, 2.0, 2.0, 2.0],
-            2.0, 2.0, 1.0, 2.0, 6.0, 10.0
+            2.0,
+            2.0,
+            1.0,
+            2.0,
+            6.0,
+            10.0
         ),
 
-        Aoi21 => r!(&[2.0, 2.0, 1.0], &[4.0, 4.0, 4.0], 2.0, 2.0, 2.0, 4.0, 6.0, 0.0),
+        Aoi21 => r!(
+            &[2.0, 2.0, 1.0],
+            &[4.0, 4.0, 4.0],
+            2.0,
+            2.0,
+            2.0,
+            4.0,
+            6.0,
+            0.0
+        ),
         Aoi22 => r!(
             &[2.0, 2.0, 2.0, 2.0],
             &[4.0, 4.0, 4.0, 4.0],
-            2.0, 2.0, 2.0, 4.0, 6.0, 0.0
+            2.0,
+            2.0,
+            2.0,
+            4.0,
+            6.0,
+            0.0
         ),
-        Oai21 => r!(&[2.0, 2.0, 2.0], &[4.0, 4.0, 2.0], 2.0, 2.0, 2.0, 4.0, 6.0, 0.0),
+        Oai21 => r!(
+            &[2.0, 2.0, 2.0],
+            &[4.0, 4.0, 2.0],
+            2.0,
+            2.0,
+            2.0,
+            4.0,
+            6.0,
+            0.0
+        ),
         Oai22 => r!(
             &[2.0, 2.0, 2.0, 2.0],
             &[4.0, 4.0, 4.0, 4.0],
-            2.0, 2.0, 2.0, 4.0, 6.0, 0.0
+            2.0,
+            2.0,
+            2.0,
+            4.0,
+            6.0,
+            0.0
         ),
         // Transmission-gate 2:1 mux with select inverter and output buffer.
         Mux2 => r!(
             &[1.0, 1.0, 1.0, 1.0],
             &[2.0, 2.0, 2.0, 2.0],
-            2.0, 2.0, 1.0, 2.0, 4.0, 12.0
+            2.0,
+            2.0,
+            1.0,
+            2.0,
+            4.0,
+            12.0
         ),
 
         // Master–slave DFF (~24T) and muxed-D scan DFF (~30T); both carry a
         // 2×-drive output buffer (drive widths 2/4).
-        Dff => r!(
-            &[1.0; 12],
-            &[2.0; 12],
-            1.0, 1.0, 2.0, 4.0, 4.0, 30.0
-        ),
-        ScanDff => r!(
-            &[1.0; 15],
-            &[2.0; 15],
-            1.0, 1.0, 2.0, 4.0, 4.0, 30.0
-        ),
+        Dff => r!(&[1.0; 12], &[2.0; 12], 1.0, 1.0, 2.0, 4.0, 4.0, 30.0),
+        ScanDff => r!(&[1.0; 15], &[2.0; 15], 1.0, 1.0, 2.0, 4.0, 4.0, 30.0),
 
         // Enhanced-scan hold latch (Fig. 6a): input TG, cross-coupled
         // inverter pair with feedback TG, local HOLD buffering, drive-sized
@@ -146,7 +242,12 @@ fn recipe(kind: CellKind) -> Option<Recipe> {
         HoldLatch => r!(
             &[2.0, 2.0, 1.0, 1.0, 2.0, 3.0, 2.0, 1.0],
             &[4.0, 4.0, 2.0, 2.0, 4.0, 6.0, 4.0, 2.0],
-            1.0, 1.0, 2.0, 4.0, 6.0, 55.0
+            1.0,
+            1.0,
+            2.0,
+            4.0,
+            6.0,
+            55.0
         ),
         // MUX-based holding element (Fig. 6b): TG mux with self-feedback,
         // local select buffering, drive-sized output stage. Slower than the
@@ -155,7 +256,12 @@ fn recipe(kind: CellKind) -> Option<Recipe> {
         HoldMux => r!(
             &[2.0, 2.0, 1.5, 2.0, 2.0, 2.0, 1.0],
             &[4.0, 4.0, 3.0, 4.0, 4.0, 4.0, 2.0],
-            2.0, 2.0, 2.0, 4.0, 6.0, 70.0
+            2.0,
+            2.0,
+            2.0,
+            4.0,
+            6.0,
+            70.0
         ),
 
         AndN(_) | NandN(_) | OrN(_) | NorN(_) | XorN(_) => None,
@@ -249,7 +355,9 @@ impl CellLibrary {
     pub fn new(tech: Technology) -> Self {
         let mut cells = HashMap::new();
         for kind in CONCRETE_KINDS {
-            cells.entry(kind).or_insert_with(|| characterize(&tech, kind));
+            cells
+                .entry(kind)
+                .or_insert_with(|| characterize(&tech, kind));
         }
         CellLibrary { tech, cells }
     }
@@ -402,7 +510,11 @@ mod tests {
         assert!(mux > 4.0 * inv);
         // The paper's Table I averages imply FLH_extra ≈ 0.67 × latch at
         // 1.8 gates/FF; the per-gate FLH budget check lives in flh.rs.
-        assert!(latch / mux > 1.05 && latch / mux < 1.35, "ratio {}", latch / mux);
+        assert!(
+            latch / mux > 1.05 && latch / mux < 1.35,
+            "ratio {}",
+            latch / mux
+        );
     }
 
     #[test]
@@ -418,8 +530,7 @@ mod tests {
     fn wider_gates_load_inputs_more() {
         let lib = lib();
         assert!(
-            lib.physical(CellKind::Nand4).input_cap_ff
-                > lib.physical(CellKind::Nand2).input_cap_ff
+            lib.physical(CellKind::Nand4).input_cap_ff > lib.physical(CellKind::Nand2).input_cap_ff
         );
         assert!(
             lib.physical(CellKind::Nor4).input_cap_ff > lib.physical(CellKind::Nor2).input_cap_ff

@@ -136,7 +136,8 @@ impl Technology {
         // `i0` is defined at (Vgs = 0, Vds = Vdd); DIBL enters as an
         // effective gate-drive shift relative to that reference point.
         let vg_sub = vgs.min(vth_eff);
-        let sub = i0_na * 1e-9
+        let sub = i0_na
+            * 1e-9
             * w_um
             * ((vg_sub + self.dibl * (vds - self.vdd)) / nvt).exp()
             * (1.0 - (-vds / self.v_thermal).exp());
@@ -348,7 +349,10 @@ mod tests {
         let forward = m.current(&tech, 1.0, 0.0, 0.6);
         let reverse = m.current(&tech, 1.0, 0.6, 0.0);
         assert!(forward > 0.0);
-        assert!((forward + reverse).abs() < 1e-15, "asymmetric TG conduction");
+        assert!(
+            (forward + reverse).abs() < 1e-15,
+            "asymmetric TG conduction"
+        );
     }
 
     #[test]

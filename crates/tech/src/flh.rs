@@ -129,8 +129,7 @@ impl FlhPhysical {
         let extra_drive_res_kohm = 0.5
             * (tech.r_n_kohm_um / (config.gating_n_mult * wmin)
                 + tech.r_p_kohm_um / (config.gating_p_mult * wmin));
-        let keeper_load_ff = tech
-            .gate_cap_ff((config.keeper_n_mult + config.keeper_p_mult) * wmin)
+        let keeper_load_ff = tech.gate_cap_ff((config.keeper_n_mult + config.keeper_p_mult) * wmin)
             + tech.diff_cap_ff((config.tg_n_mult + config.tg_p_mult) * wmin);
         let keeper_toggle_cap_ff = tech
             .diff_cap_ff((config.keeper_n_mult + config.keeper_p_mult) * wmin)
@@ -138,10 +137,8 @@ impl FlhPhysical {
         // The keeper inverters are minimum-sized and can be implemented
         // with long-channel devices; INV2 is additionally source-gated by
         // the off transmission gate in normal mode.
-        let keeper_leakage_na = tech.i0_leak_na_per_um
-            * wmin
-            * (config.keeper_n_mult + config.keeper_p_mult)
-            * 0.5;
+        let keeper_leakage_na =
+            tech.i0_leak_na_per_um * wmin * (config.keeper_n_mult + config.keeper_p_mult) * 0.5;
         FlhPhysical {
             extra_transistors: 8,
             extra_area_um2,
@@ -188,7 +185,10 @@ mod tests {
             (0.20..0.45).contains(&vs_latch),
             "improvement vs enhanced scan {vs_latch}"
         );
-        assert!((0.10..0.40).contains(&vs_mux), "improvement vs MUX {vs_mux}");
+        assert!(
+            (0.10..0.40).contains(&vs_mux),
+            "improvement vs MUX {vs_mux}"
+        );
     }
 
     #[test]
@@ -222,7 +222,11 @@ mod tests {
         let flh = FlhPhysical::derive(&tech, &FlhConfig::paper_default());
         let latch_in = lib.physical(CellKind::HoldLatch).input_cap_ff;
         assert!(flh.keeper_load_ff < latch_in);
-        assert!(flh.keeper_toggle_cap_ff < 1.5, "{}", flh.keeper_toggle_cap_ff);
+        assert!(
+            flh.keeper_toggle_cap_ff < 1.5,
+            "{}",
+            flh.keeper_toggle_cap_ff
+        );
     }
 
     #[test]

@@ -81,8 +81,7 @@ impl<'a> FlhAnnotation<'a> {
 
     fn physical_for(&self, id: CellId) -> &FlhPhysical {
         if self.wide.contains(&id) {
-            self.wide_physical
-                .expect("wide set implies wide_physical")
+            self.wide_physical.expect("wide set implies wide_physical")
         } else {
             self.physical
         }
@@ -501,14 +500,9 @@ mod tests {
         let g1 = n.find("g1").unwrap();
         let flh_phys = FlhPhysical::derive(&tech, &FlhConfig::paper_default());
         let base = analyze(&n, &lib, &cfg, None).unwrap().critical_delay_ps();
-        let gated = analyze(
-            &n,
-            &lib,
-            &cfg,
-            Some(FlhAnnotation::new(&[g1], &flh_phys)),
-        )
-        .unwrap()
-        .critical_delay_ps();
+        let gated = analyze(&n, &lib, &cfg, Some(FlhAnnotation::new(&[g1], &flh_phys)))
+            .unwrap()
+            .critical_delay_ps();
         let flh_overhead = gated - base;
         let latched = analyze(&seq_path(true), &lib, &cfg, None)
             .unwrap()
@@ -531,14 +525,9 @@ mod tests {
         let base = analyze(&n, &lib, &cfg, None).unwrap().critical_delay_ps();
         let run = |c: FlhConfig| {
             let phys = FlhPhysical::derive(&tech, &c);
-            analyze(
-                &n,
-                &lib,
-                &cfg,
-                Some(FlhAnnotation::new(&[g1], &phys)),
-            )
-            .unwrap()
-            .critical_delay_ps()
+            analyze(&n, &lib, &cfg, Some(FlhAnnotation::new(&[g1], &phys)))
+                .unwrap()
+                .critical_delay_ps()
                 - base
         };
         let narrow = run(FlhConfig::paper_default());

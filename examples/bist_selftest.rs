@@ -64,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "injected {:?} at {} -> signature {}",
         culprit.stuck,
         flh.netlist.cell(culprit.driver(&flh.netlist)).name(),
-        if caught { "MISCOMPARES (defect caught)" } else { "matches (escaped)" }
+        if caught {
+            "MISCOMPARES (defect caught)"
+        } else {
+            "matches (escaped)"
+        }
     );
     assert!(caught);
     Ok(())

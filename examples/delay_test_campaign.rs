@@ -13,8 +13,8 @@
 use flh::atpg::transition::enumerate_transition_faults;
 use flh::atpg::{transition_atpg, PodemConfig, TestView};
 use flh::core::{apply_style, DftStyle};
-use flh::netlist::iscas89_profile;
 use flh::netlist::generate_circuit;
+use flh::netlist::iscas89_profile;
 use flh::sim::{HoldMechanism, Logic, LogicSim, TwoPatternRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,10 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Replay through the Fig. 5(b) schedule with FLH holding.
     let n_pi = view.primary_input_count();
-    let runner = TwoPatternRunner::for_netlist(
-        &flh.netlist,
-        HoldMechanism::SupplyGating(flh.gated.clone()),
-    );
+    let runner =
+        TwoPatternRunner::for_netlist(&flh.netlist, HoldMechanism::SupplyGating(flh.gated.clone()));
     let mut sim = LogicSim::new(&flh.netlist)?;
     let mut isolated = true;
     let mut matched = 0usize;
@@ -50,22 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             |bits: &[bool]| -> Vec<Logic> { bits.iter().map(|&b| Logic::from_bool(b)).collect() };
         let v1 = to_logic(&pattern.v1);
         let v2 = to_logic(&pattern.v2);
-        let outcome = runner.apply(
-            &mut sim,
-            &v1[..n_pi],
-            &v1[n_pi..],
-            &v2[..n_pi],
-            &v2[n_pi..],
-        );
+        let outcome = runner.apply(&mut sim, &v1[..n_pi], &v1[n_pi..], &v2[..n_pi], &v2[n_pi..]);
         if outcome.comb_toggles_during_shift != 0 {
             isolated = false;
         }
         // Predict the V2 response with the combinational test view.
-        let words: Vec<u64> = pattern
-            .v2
-            .iter()
-            .map(|&b| if b { !0 } else { 0 })
-            .collect();
+        let words: Vec<u64> = pattern.v2.iter().map(|&b| if b { !0 } else { 0 }).collect();
         let predicted = view.observe64(&view.eval64(&words, None));
         let n_po = flh.netlist.outputs().len();
         let po_match = outcome

@@ -71,9 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.area_overhead_after_um2,
         result.area_improvement_pct()
     );
-    println!(
-        "critical delay: {delay_before:.0} ps -> {delay_after:.0} ps (constraint: unchanged)"
-    );
+    println!("critical delay: {delay_before:.0} ps -> {delay_after:.0} ps (constraint: unchanged)");
     assert!(delay_after <= delay_before * (1.0 + 1e-9));
     Ok(())
 }

@@ -11,8 +11,7 @@ use flh::atpg::{
 };
 use flh::core::{apply_style, DftStyle};
 use flh::netlist::{generate_circuit, iscas89_profile};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flh_rng::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = iscas89_profile("s526").ok_or("profile")?;
@@ -22,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("circuit: {}", scanned.netlist);
 
     // The tester applies 300 random scan patterns.
-    let mut rng = StdRng::seed_from_u64(0xd1a6);
+    let mut rng = Rng::seed_from_u64(0xd1a6);
     let patterns: Vec<Vec<bool>> = (0..300)
         .map(|_| (0..view.assignable().len()).map(|_| rng.gen()).collect())
         .collect();
@@ -41,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "injected defect (hidden from the diagnoser): {:?} at {}",
         culprit.stuck,
-        scanned.netlist.cell(culprit.driver(&scanned.netlist)).name()
+        scanned
+            .netlist
+            .cell(culprit.driver(&scanned.netlist))
+            .name()
     );
 
     // Diagnose from the observed responses alone.
@@ -68,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.fault.stuck,
             c.matching_patterns,
             c.explained_failures,
-            if c.is_perfect(patterns.len()) { "yes" } else { "" }
+            if c.is_perfect(patterns.len()) {
+                "yes"
+            } else {
+                ""
+            }
         );
     }
 

@@ -18,8 +18,8 @@ use std::process::ExitCode;
 
 use flh::atpg::transition::enumerate_transition_faults;
 use flh::atpg::{
-    simulate_transition_patterns, transition_atpg, parse_patterns, write_patterns,
-    PodemConfig, TestView,
+    parse_patterns, simulate_transition_patterns, transition_atpg, write_patterns, PodemConfig,
+    TestView,
 };
 use flh::core::{apply_style, evaluate_all, DftStyle, EvalConfig};
 use flh::netlist::bench_io::{parse_bench, write_bench};
@@ -64,9 +64,15 @@ fn cmd_stats(circuit: &Netlist) -> Result<(), String> {
     println!("{circuit}");
     println!("logic depth:              {}", stats.logic_depth);
     println!("FF fanout pins:           {}", stats.total_ff_fanouts);
-    println!("unique first-level gates: {}", stats.unique_first_level_gates);
+    println!(
+        "unique first-level gates: {}",
+        stats.unique_first_level_gates
+    );
     println!("avg FF fanout:            {:.2}", stats.avg_ff_fanout());
-    println!("unique/FF ratio:          {:.2}", stats.unique_fanout_ratio());
+    println!(
+        "unique/FF ratio:          {:.2}",
+        stats.unique_fanout_ratio()
+    );
     let mut kinds: Vec<(&String, &usize)> = stats.kind_histogram.iter().collect();
     kinds.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
     println!("gate mix:");
@@ -77,8 +83,7 @@ fn cmd_stats(circuit: &Netlist) -> Result<(), String> {
 }
 
 fn cmd_eval(circuit: &Netlist) -> Result<(), String> {
-    let evals =
-        evaluate_all(circuit, &EvalConfig::paper_default()).map_err(|e| e.to_string())?;
+    let evals = evaluate_all(circuit, &EvalConfig::paper_default()).map_err(|e| e.to_string())?;
     println!(
         "{:>14} | {:>12} {:>9} | {:>10} {:>9} | {:>11} {:>9}",
         "style", "area (um2)", "area %", "delay(ps)", "delay %", "power (uW)", "power %"
@@ -142,8 +147,7 @@ fn cmd_atpg(circuit: &Netlist, out: Option<&str>) -> Result<(), String> {
 }
 
 fn cmd_fsim(circuit: &Netlist, pattern_file: &str) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(pattern_file).map_err(|e| format!("{pattern_file}: {e}"))?;
+    let text = std::fs::read_to_string(pattern_file).map_err(|e| format!("{pattern_file}: {e}"))?;
     let patterns = parse_patterns(&text)?;
     let dft = apply_style(circuit, DftStyle::Flh).map_err(|e| e.to_string())?;
     let view = TestView::new(&dft.netlist).map_err(|e| e.to_string())?;
@@ -177,7 +181,11 @@ fn run() -> Result<(), String> {
             for p in iscas89_profiles() {
                 println!(
                     "{:<8} {:>4} PI {:>4} PO {:>4} FF {:>6} gates  depth {}",
-                    p.name, p.primary_inputs, p.primary_outputs, p.flip_flops, p.gates,
+                    p.name,
+                    p.primary_inputs,
+                    p.primary_outputs,
+                    p.flip_flops,
+                    p.gates,
                     p.logic_depth
                 );
             }

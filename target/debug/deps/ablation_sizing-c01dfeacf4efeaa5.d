@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_sizing-c01dfeacf4efeaa5.d: crates/bench/src/bin/ablation_sizing.rs
+
+/root/repo/target/debug/deps/ablation_sizing-c01dfeacf4efeaa5: crates/bench/src/bin/ablation_sizing.rs
+
+crates/bench/src/bin/ablation_sizing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analog_digital_consistency-4f515e3093804c54.d: tests/analog_digital_consistency.rs
+
+/root/repo/target/debug/deps/analog_digital_consistency-4f515e3093804c54: tests/analog_digital_consistency.rs
+
+tests/analog_digital_consistency.rs:

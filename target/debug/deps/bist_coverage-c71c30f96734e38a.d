@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bist_coverage-c71c30f96734e38a.d: crates/bench/src/bin/bist_coverage.rs
+
+/root/repo/target/debug/deps/bist_coverage-c71c30f96734e38a: crates/bench/src/bin/bist_coverage.rs
+
+crates/bench/src/bin/bist_coverage.rs:

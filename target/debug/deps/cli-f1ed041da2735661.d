@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-f1ed041da2735661.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-f1ed041da2735661: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_flh=/root/repo/target/debug/flh

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coverage_invariance-107dc6c232154753.d: tests/coverage_invariance.rs
+
+/root/repo/target/debug/deps/coverage_invariance-107dc6c232154753: tests/coverage_invariance.rs
+
+tests/coverage_invariance.rs:

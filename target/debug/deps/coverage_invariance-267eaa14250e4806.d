@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coverage_invariance-267eaa14250e4806.d: crates/bench/src/bin/coverage_invariance.rs
+
+/root/repo/target/debug/deps/coverage_invariance-267eaa14250e4806: crates/bench/src/bin/coverage_invariance.rs
+
+crates/bench/src/bin/coverage_invariance.rs:

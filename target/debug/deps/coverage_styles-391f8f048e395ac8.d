@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coverage_styles-391f8f048e395ac8.d: crates/bench/src/bin/coverage_styles.rs
+
+/root/repo/target/debug/deps/coverage_styles-391f8f048e395ac8: crates/bench/src/bin/coverage_styles.rs
+
+crates/bench/src/bin/coverage_styles.rs:

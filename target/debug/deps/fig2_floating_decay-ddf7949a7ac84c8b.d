@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_floating_decay-ddf7949a7ac84c8b.d: crates/bench/src/bin/fig2_floating_decay.rs
+
+/root/repo/target/debug/deps/fig2_floating_decay-ddf7949a7ac84c8b: crates/bench/src/bin/fig2_floating_decay.rs
+
+crates/bench/src/bin/fig2_floating_decay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_flh_hold-3aa7064e03fae23a.d: crates/bench/src/bin/fig4_flh_hold.rs
+
+/root/repo/target/debug/deps/fig4_flh_hold-3aa7064e03fae23a: crates/bench/src/bin/fig4_flh_hold.rs
+
+crates/bench/src/bin/fig4_flh_hold.rs:

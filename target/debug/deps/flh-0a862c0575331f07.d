@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flh-0a862c0575331f07.d: src/bin/flh.rs
+
+/root/repo/target/debug/deps/flh-0a862c0575331f07: src/bin/flh.rs
+
+src/bin/flh.rs:

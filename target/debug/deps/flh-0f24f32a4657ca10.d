@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flh-0f24f32a4657ca10.d: src/bin/flh.rs
+
+/root/repo/target/debug/deps/flh-0f24f32a4657ca10: src/bin/flh.rs
+
+src/bin/flh.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flh-862895c6785326a6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflh-862895c6785326a6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflh-862895c6785326a6.rmeta: src/lib.rs
+
+src/lib.rs:

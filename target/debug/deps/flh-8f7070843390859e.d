@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flh-8f7070843390859e.d: src/lib.rs
+
+/root/repo/target/debug/deps/flh-8f7070843390859e: src/lib.rs
+
+src/lib.rs:

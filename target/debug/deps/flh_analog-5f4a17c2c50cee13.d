@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flh_analog-5f4a17c2c50cee13.d: crates/analog/src/lib.rs crates/analog/src/circuit.rs crates/analog/src/experiments.rs crates/analog/src/transient.rs
+
+/root/repo/target/debug/deps/libflh_analog-5f4a17c2c50cee13.rlib: crates/analog/src/lib.rs crates/analog/src/circuit.rs crates/analog/src/experiments.rs crates/analog/src/transient.rs
+
+/root/repo/target/debug/deps/libflh_analog-5f4a17c2c50cee13.rmeta: crates/analog/src/lib.rs crates/analog/src/circuit.rs crates/analog/src/experiments.rs crates/analog/src/transient.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/circuit.rs:
+crates/analog/src/experiments.rs:
+crates/analog/src/transient.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flh_analog-e00f0a489bca6191.d: crates/analog/src/lib.rs crates/analog/src/circuit.rs crates/analog/src/experiments.rs crates/analog/src/transient.rs
+
+/root/repo/target/debug/deps/flh_analog-e00f0a489bca6191: crates/analog/src/lib.rs crates/analog/src/circuit.rs crates/analog/src/experiments.rs crates/analog/src/transient.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/circuit.rs:
+crates/analog/src/experiments.rs:
+crates/analog/src/transient.rs:

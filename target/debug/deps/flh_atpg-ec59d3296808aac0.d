@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flh_atpg-ec59d3296808aac0.d: crates/atpg/src/lib.rs crates/atpg/src/application.rs crates/atpg/src/broadside.rs crates/atpg/src/diagnose.rs crates/atpg/src/fault.rs crates/atpg/src/fsim.rs crates/atpg/src/path.rs crates/atpg/src/patterns_io.rs crates/atpg/src/podem.rs crates/atpg/src/transition.rs crates/atpg/src/tview.rs
+
+/root/repo/target/debug/deps/flh_atpg-ec59d3296808aac0: crates/atpg/src/lib.rs crates/atpg/src/application.rs crates/atpg/src/broadside.rs crates/atpg/src/diagnose.rs crates/atpg/src/fault.rs crates/atpg/src/fsim.rs crates/atpg/src/path.rs crates/atpg/src/patterns_io.rs crates/atpg/src/podem.rs crates/atpg/src/transition.rs crates/atpg/src/tview.rs
+
+crates/atpg/src/lib.rs:
+crates/atpg/src/application.rs:
+crates/atpg/src/broadside.rs:
+crates/atpg/src/diagnose.rs:
+crates/atpg/src/fault.rs:
+crates/atpg/src/fsim.rs:
+crates/atpg/src/path.rs:
+crates/atpg/src/patterns_io.rs:
+crates/atpg/src/podem.rs:
+crates/atpg/src/transition.rs:
+crates/atpg/src/tview.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flh_bench-2c4141d85722d204.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/flh_bench-2c4141d85722d204: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flh_bist-92b48284635e00d5.d: crates/bist/src/lib.rs crates/bist/src/controller.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/stumps.rs
+
+/root/repo/target/debug/deps/flh_bist-92b48284635e00d5: crates/bist/src/lib.rs crates/bist/src/controller.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/stumps.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/controller.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/misr.rs:
+crates/bist/src/stumps.rs:

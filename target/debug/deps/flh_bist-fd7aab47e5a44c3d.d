@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flh_bist-fd7aab47e5a44c3d.d: crates/bist/src/lib.rs crates/bist/src/controller.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/stumps.rs
+
+/root/repo/target/debug/deps/libflh_bist-fd7aab47e5a44c3d.rlib: crates/bist/src/lib.rs crates/bist/src/controller.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/stumps.rs
+
+/root/repo/target/debug/deps/libflh_bist-fd7aab47e5a44c3d.rmeta: crates/bist/src/lib.rs crates/bist/src/controller.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/stumps.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/controller.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/misr.rs:
+crates/bist/src/stumps.rs:

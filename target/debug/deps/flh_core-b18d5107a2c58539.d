@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flh_core-b18d5107a2c58539.d: crates/core/src/lib.rs crates/core/src/fanout_opt.rs crates/core/src/mixed_sizing.rs crates/core/src/overhead.rs crates/core/src/scan.rs crates/core/src/styles.rs
+
+/root/repo/target/debug/deps/flh_core-b18d5107a2c58539: crates/core/src/lib.rs crates/core/src/fanout_opt.rs crates/core/src/mixed_sizing.rs crates/core/src/overhead.rs crates/core/src/scan.rs crates/core/src/styles.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fanout_opt.rs:
+crates/core/src/mixed_sizing.rs:
+crates/core/src/overhead.rs:
+crates/core/src/scan.rs:
+crates/core/src/styles.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flh_core-eef0112a3cd241e3.d: crates/core/src/lib.rs crates/core/src/fanout_opt.rs crates/core/src/mixed_sizing.rs crates/core/src/overhead.rs crates/core/src/scan.rs crates/core/src/styles.rs
+
+/root/repo/target/debug/deps/libflh_core-eef0112a3cd241e3.rlib: crates/core/src/lib.rs crates/core/src/fanout_opt.rs crates/core/src/mixed_sizing.rs crates/core/src/overhead.rs crates/core/src/scan.rs crates/core/src/styles.rs
+
+/root/repo/target/debug/deps/libflh_core-eef0112a3cd241e3.rmeta: crates/core/src/lib.rs crates/core/src/fanout_opt.rs crates/core/src/mixed_sizing.rs crates/core/src/overhead.rs crates/core/src/scan.rs crates/core/src/styles.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fanout_opt.rs:
+crates/core/src/mixed_sizing.rs:
+crates/core/src/overhead.rs:
+crates/core/src/scan.rs:
+crates/core/src/styles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flh_power-567c4638eb13dd18.d: crates/power/src/lib.rs
+
+/root/repo/target/debug/deps/flh_power-567c4638eb13dd18: crates/power/src/lib.rs
+
+crates/power/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flh_power-9e0aa58ef4d54002.d: crates/power/src/lib.rs
+
+/root/repo/target/debug/deps/libflh_power-9e0aa58ef4d54002.rlib: crates/power/src/lib.rs
+
+/root/repo/target/debug/deps/libflh_power-9e0aa58ef4d54002.rmeta: crates/power/src/lib.rs
+
+crates/power/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flh_rng-42d05d317bb04741.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libflh_rng-42d05d317bb04741.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libflh_rng-42d05d317bb04741.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flh_rng-f6b095600c4bd32e.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/flh_rng-f6b095600c4bd32e: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

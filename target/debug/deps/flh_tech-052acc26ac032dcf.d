@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flh_tech-052acc26ac032dcf.d: crates/tech/src/lib.rs crates/tech/src/cells.rs crates/tech/src/device.rs crates/tech/src/flh.rs
+
+/root/repo/target/debug/deps/libflh_tech-052acc26ac032dcf.rlib: crates/tech/src/lib.rs crates/tech/src/cells.rs crates/tech/src/device.rs crates/tech/src/flh.rs
+
+/root/repo/target/debug/deps/libflh_tech-052acc26ac032dcf.rmeta: crates/tech/src/lib.rs crates/tech/src/cells.rs crates/tech/src/device.rs crates/tech/src/flh.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/cells.rs:
+crates/tech/src/device.rs:
+crates/tech/src/flh.rs:

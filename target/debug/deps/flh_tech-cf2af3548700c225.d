@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flh_tech-cf2af3548700c225.d: crates/tech/src/lib.rs crates/tech/src/cells.rs crates/tech/src/device.rs crates/tech/src/flh.rs
+
+/root/repo/target/debug/deps/flh_tech-cf2af3548700c225: crates/tech/src/lib.rs crates/tech/src/cells.rs crates/tech/src/device.rs crates/tech/src/flh.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/cells.rs:
+crates/tech/src/device.rs:
+crates/tech/src/flh.rs:

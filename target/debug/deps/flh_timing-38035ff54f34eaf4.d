@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flh_timing-38035ff54f34eaf4.d: crates/timing/src/lib.rs
+
+/root/repo/target/debug/deps/flh_timing-38035ff54f34eaf4: crates/timing/src/lib.rs
+
+crates/timing/src/lib.rs:

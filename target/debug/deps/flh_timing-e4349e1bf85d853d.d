@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flh_timing-e4349e1bf85d853d.d: crates/timing/src/lib.rs
+
+/root/repo/target/debug/deps/libflh_timing-e4349e1bf85d853d.rlib: crates/timing/src/lib.rs
+
+/root/repo/target/debug/deps/libflh_timing-e4349e1bf85d853d.rmeta: crates/timing/src/lib.rs
+
+crates/timing/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_flow-24ee3514e3e8bb58.d: tests/full_flow.rs
+
+/root/repo/target/debug/deps/full_flow-24ee3514e3e8bb58: tests/full_flow.rs
+
+tests/full_flow.rs:

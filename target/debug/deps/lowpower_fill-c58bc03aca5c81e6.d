@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowpower_fill-c58bc03aca5c81e6.d: crates/bench/src/bin/lowpower_fill.rs
+
+/root/repo/target/debug/deps/lowpower_fill-c58bc03aca5c81e6: crates/bench/src/bin/lowpower_fill.rs
+
+crates/bench/src/bin/lowpower_fill.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/path_delay_critical-b44df7491006961b.d: crates/bench/src/bin/path_delay_critical.rs
+
+/root/repo/target/debug/deps/path_delay_critical-b44df7491006961b: crates/bench/src/bin/path_delay_critical.rs
+
+crates/bench/src/bin/path_delay_critical.rs:

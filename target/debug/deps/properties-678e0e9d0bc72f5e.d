@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-678e0e9d0bc72f5e.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-678e0e9d0bc72f5e: tests/properties.rs
+
+tests/properties.rs:

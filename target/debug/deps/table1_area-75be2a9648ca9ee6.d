@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_area-75be2a9648ca9ee6.d: crates/bench/src/bin/table1_area.rs
+
+/root/repo/target/debug/deps/table1_area-75be2a9648ca9ee6: crates/bench/src/bin/table1_area.rs
+
+crates/bench/src/bin/table1_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_delay-b674b0da36da5bd6.d: crates/bench/src/bin/table2_delay.rs
+
+/root/repo/target/debug/deps/table2_delay-b674b0da36da5bd6: crates/bench/src/bin/table2_delay.rs
+
+crates/bench/src/bin/table2_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_power-4cab78669d52a80b.d: crates/bench/src/bin/table3_power.rs
+
+/root/repo/target/debug/deps/table3_power-4cab78669d52a80b: crates/bench/src/bin/table3_power.rs
+
+crates/bench/src/bin/table3_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_fanout_opt-aa3975b672d66ecc.d: crates/bench/src/bin/table4_fanout_opt.rs
+
+/root/repo/target/debug/deps/table4_fanout_opt-aa3975b672d66ecc: crates/bench/src/bin/table4_fanout_opt.rs
+
+crates/bench/src/bin/table4_fanout_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/test_time-f85a1b73676fcb22.d: crates/bench/src/bin/test_time.rs
+
+/root/repo/target/debug/deps/test_time-f85a1b73676fcb22: crates/bench/src/bin/test_time.rs
+
+crates/bench/src/bin/test_time.rs:

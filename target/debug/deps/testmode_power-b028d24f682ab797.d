@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/testmode_power-b028d24f682ab797.d: crates/bench/src/bin/testmode_power.rs
+
+/root/repo/target/debug/deps/testmode_power-b028d24f682ab797: crates/bench/src/bin/testmode_power.rs
+
+crates/bench/src/bin/testmode_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/two_pattern_equivalence-d4e86e50c653595d.d: tests/two_pattern_equivalence.rs
+
+/root/repo/target/debug/deps/two_pattern_equivalence-d4e86e50c653595d: tests/two_pattern_equivalence.rs
+
+tests/two_pattern_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/variation_robustness-c23d1544f2916a5f.d: crates/bench/src/bin/variation_robustness.rs
+
+/root/repo/target/debug/deps/variation_robustness-c23d1544f2916a5f: crates/bench/src/bin/variation_robustness.rs
+
+crates/bench/src/bin/variation_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bist_selftest-9b0f84058ff61572.d: examples/bist_selftest.rs
+
+/root/repo/target/debug/examples/bist_selftest-9b0f84058ff61572: examples/bist_selftest.rs
+
+examples/bist_selftest.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/delay_test_campaign-52e3d23afa74bf00.d: examples/delay_test_campaign.rs
+
+/root/repo/target/debug/examples/delay_test_campaign-52e3d23afa74bf00: examples/delay_test_campaign.rs
+
+examples/delay_test_campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dft_explorer-6354159ec803a942.d: examples/dft_explorer.rs
+
+/root/repo/target/debug/examples/dft_explorer-6354159ec803a942: examples/dft_explorer.rs
+
+examples/dft_explorer.rs:

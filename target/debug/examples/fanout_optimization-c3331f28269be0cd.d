@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fanout_optimization-c3331f28269be0cd.d: examples/fanout_optimization.rs
+
+/root/repo/target/debug/examples/fanout_optimization-c3331f28269be0cd: examples/fanout_optimization.rs
+
+examples/fanout_optimization.rs:

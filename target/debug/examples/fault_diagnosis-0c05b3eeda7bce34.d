@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_diagnosis-0c05b3eeda7bce34.d: examples/fault_diagnosis.rs
+
+/root/repo/target/debug/examples/fault_diagnosis-0c05b3eeda7bce34: examples/fault_diagnosis.rs
+
+examples/fault_diagnosis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/holding_waveforms-ff7596ffae70b787.d: examples/holding_waveforms.rs
+
+/root/repo/target/debug/examples/holding_waveforms-ff7596ffae70b787: examples/holding_waveforms.rs
+
+examples/holding_waveforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6451219dd6bbd045.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6451219dd6bbd045: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_sizing-c241c50dafe6acc4.d: crates/bench/src/bin/ablation_sizing.rs
+
+/root/repo/target/release/deps/ablation_sizing-c241c50dafe6acc4: crates/bench/src/bin/ablation_sizing.rs
+
+crates/bench/src/bin/ablation_sizing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bist_coverage-8ab062b1d29f6816.d: crates/bench/src/bin/bist_coverage.rs
+
+/root/repo/target/release/deps/bist_coverage-8ab062b1d29f6816: crates/bench/src/bin/bist_coverage.rs
+
+crates/bench/src/bin/bist_coverage.rs:

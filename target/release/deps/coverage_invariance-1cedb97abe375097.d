@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coverage_invariance-1cedb97abe375097.d: crates/bench/src/bin/coverage_invariance.rs
+
+/root/repo/target/release/deps/coverage_invariance-1cedb97abe375097: crates/bench/src/bin/coverage_invariance.rs
+
+crates/bench/src/bin/coverage_invariance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/coverage_styles-b9500641e853e244.d: crates/bench/src/bin/coverage_styles.rs
+
+/root/repo/target/release/deps/coverage_styles-b9500641e853e244: crates/bench/src/bin/coverage_styles.rs
+
+crates/bench/src/bin/coverage_styles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_floating_decay-0b945f1ea72137f2.d: crates/bench/src/bin/fig2_floating_decay.rs
+
+/root/repo/target/release/deps/fig2_floating_decay-0b945f1ea72137f2: crates/bench/src/bin/fig2_floating_decay.rs
+
+crates/bench/src/bin/fig2_floating_decay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_flh_hold-d28bccdb8d9677fd.d: crates/bench/src/bin/fig4_flh_hold.rs
+
+/root/repo/target/release/deps/fig4_flh_hold-d28bccdb8d9677fd: crates/bench/src/bin/fig4_flh_hold.rs
+
+crates/bench/src/bin/fig4_flh_hold.rs:

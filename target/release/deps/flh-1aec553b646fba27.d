@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flh-1aec553b646fba27.d: src/bin/flh.rs
+
+/root/repo/target/release/deps/flh-1aec553b646fba27: src/bin/flh.rs
+
+src/bin/flh.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flh-982283f54c82fbec.d: src/lib.rs
+
+/root/repo/target/release/deps/libflh-982283f54c82fbec.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflh-982283f54c82fbec.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flh_analog-05a95ecb50bfc95c.d: crates/analog/src/lib.rs crates/analog/src/circuit.rs crates/analog/src/experiments.rs crates/analog/src/transient.rs
+
+/root/repo/target/release/deps/libflh_analog-05a95ecb50bfc95c.rlib: crates/analog/src/lib.rs crates/analog/src/circuit.rs crates/analog/src/experiments.rs crates/analog/src/transient.rs
+
+/root/repo/target/release/deps/libflh_analog-05a95ecb50bfc95c.rmeta: crates/analog/src/lib.rs crates/analog/src/circuit.rs crates/analog/src/experiments.rs crates/analog/src/transient.rs
+
+crates/analog/src/lib.rs:
+crates/analog/src/circuit.rs:
+crates/analog/src/experiments.rs:
+crates/analog/src/transient.rs:

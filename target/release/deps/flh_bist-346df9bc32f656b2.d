@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flh_bist-346df9bc32f656b2.d: crates/bist/src/lib.rs crates/bist/src/controller.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/stumps.rs
+
+/root/repo/target/release/deps/libflh_bist-346df9bc32f656b2.rlib: crates/bist/src/lib.rs crates/bist/src/controller.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/stumps.rs
+
+/root/repo/target/release/deps/libflh_bist-346df9bc32f656b2.rmeta: crates/bist/src/lib.rs crates/bist/src/controller.rs crates/bist/src/lfsr.rs crates/bist/src/misr.rs crates/bist/src/stumps.rs
+
+crates/bist/src/lib.rs:
+crates/bist/src/controller.rs:
+crates/bist/src/lfsr.rs:
+crates/bist/src/misr.rs:
+crates/bist/src/stumps.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flh_core-68ed749124b24ebb.d: crates/core/src/lib.rs crates/core/src/fanout_opt.rs crates/core/src/mixed_sizing.rs crates/core/src/overhead.rs crates/core/src/scan.rs crates/core/src/styles.rs
+
+/root/repo/target/release/deps/libflh_core-68ed749124b24ebb.rlib: crates/core/src/lib.rs crates/core/src/fanout_opt.rs crates/core/src/mixed_sizing.rs crates/core/src/overhead.rs crates/core/src/scan.rs crates/core/src/styles.rs
+
+/root/repo/target/release/deps/libflh_core-68ed749124b24ebb.rmeta: crates/core/src/lib.rs crates/core/src/fanout_opt.rs crates/core/src/mixed_sizing.rs crates/core/src/overhead.rs crates/core/src/scan.rs crates/core/src/styles.rs
+
+crates/core/src/lib.rs:
+crates/core/src/fanout_opt.rs:
+crates/core/src/mixed_sizing.rs:
+crates/core/src/overhead.rs:
+crates/core/src/scan.rs:
+crates/core/src/styles.rs:

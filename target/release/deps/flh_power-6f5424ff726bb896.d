@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flh_power-6f5424ff726bb896.d: crates/power/src/lib.rs
+
+/root/repo/target/release/deps/libflh_power-6f5424ff726bb896.rlib: crates/power/src/lib.rs
+
+/root/repo/target/release/deps/libflh_power-6f5424ff726bb896.rmeta: crates/power/src/lib.rs
+
+crates/power/src/lib.rs:

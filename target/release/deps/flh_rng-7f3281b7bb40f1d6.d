@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flh_rng-7f3281b7bb40f1d6.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libflh_rng-7f3281b7bb40f1d6.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libflh_rng-7f3281b7bb40f1d6.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flh_tech-433fdcad7b44dbe6.d: crates/tech/src/lib.rs crates/tech/src/cells.rs crates/tech/src/device.rs crates/tech/src/flh.rs
+
+/root/repo/target/release/deps/libflh_tech-433fdcad7b44dbe6.rlib: crates/tech/src/lib.rs crates/tech/src/cells.rs crates/tech/src/device.rs crates/tech/src/flh.rs
+
+/root/repo/target/release/deps/libflh_tech-433fdcad7b44dbe6.rmeta: crates/tech/src/lib.rs crates/tech/src/cells.rs crates/tech/src/device.rs crates/tech/src/flh.rs
+
+crates/tech/src/lib.rs:
+crates/tech/src/cells.rs:
+crates/tech/src/device.rs:
+crates/tech/src/flh.rs:

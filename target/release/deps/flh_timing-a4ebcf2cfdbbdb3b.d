@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flh_timing-a4ebcf2cfdbbdb3b.d: crates/timing/src/lib.rs
+
+/root/repo/target/release/deps/libflh_timing-a4ebcf2cfdbbdb3b.rlib: crates/timing/src/lib.rs
+
+/root/repo/target/release/deps/libflh_timing-a4ebcf2cfdbbdb3b.rmeta: crates/timing/src/lib.rs
+
+crates/timing/src/lib.rs:

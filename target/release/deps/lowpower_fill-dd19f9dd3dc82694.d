@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lowpower_fill-dd19f9dd3dc82694.d: crates/bench/src/bin/lowpower_fill.rs
+
+/root/repo/target/release/deps/lowpower_fill-dd19f9dd3dc82694: crates/bench/src/bin/lowpower_fill.rs
+
+crates/bench/src/bin/lowpower_fill.rs:

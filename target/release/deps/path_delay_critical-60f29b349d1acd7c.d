@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/path_delay_critical-60f29b349d1acd7c.d: crates/bench/src/bin/path_delay_critical.rs
+
+/root/repo/target/release/deps/path_delay_critical-60f29b349d1acd7c: crates/bench/src/bin/path_delay_critical.rs
+
+crates/bench/src/bin/path_delay_critical.rs:

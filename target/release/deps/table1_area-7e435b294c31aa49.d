@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_area-7e435b294c31aa49.d: crates/bench/src/bin/table1_area.rs
+
+/root/repo/target/release/deps/table1_area-7e435b294c31aa49: crates/bench/src/bin/table1_area.rs
+
+crates/bench/src/bin/table1_area.rs:

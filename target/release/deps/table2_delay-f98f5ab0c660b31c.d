@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_delay-f98f5ab0c660b31c.d: crates/bench/src/bin/table2_delay.rs
+
+/root/repo/target/release/deps/table2_delay-f98f5ab0c660b31c: crates/bench/src/bin/table2_delay.rs
+
+crates/bench/src/bin/table2_delay.rs:

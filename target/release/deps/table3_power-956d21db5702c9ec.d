@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_power-956d21db5702c9ec.d: crates/bench/src/bin/table3_power.rs
+
+/root/repo/target/release/deps/table3_power-956d21db5702c9ec: crates/bench/src/bin/table3_power.rs
+
+crates/bench/src/bin/table3_power.rs:

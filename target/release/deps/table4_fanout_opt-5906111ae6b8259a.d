@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_fanout_opt-5906111ae6b8259a.d: crates/bench/src/bin/table4_fanout_opt.rs
+
+/root/repo/target/release/deps/table4_fanout_opt-5906111ae6b8259a: crates/bench/src/bin/table4_fanout_opt.rs
+
+crates/bench/src/bin/table4_fanout_opt.rs:

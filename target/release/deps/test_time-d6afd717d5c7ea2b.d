@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/test_time-d6afd717d5c7ea2b.d: crates/bench/src/bin/test_time.rs
+
+/root/repo/target/release/deps/test_time-d6afd717d5c7ea2b: crates/bench/src/bin/test_time.rs
+
+crates/bench/src/bin/test_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/testmode_power-d96f32b259d5e1ec.d: crates/bench/src/bin/testmode_power.rs
+
+/root/repo/target/release/deps/testmode_power-d96f32b259d5e1ec: crates/bench/src/bin/testmode_power.rs
+
+crates/bench/src/bin/testmode_power.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/variation_robustness-3836c3c542b33b7a.d: crates/bench/src/bin/variation_robustness.rs
+
+/root/repo/target/release/deps/variation_robustness-3836c3c542b33b7a: crates/bench/src/bin/variation_robustness.rs
+
+crates/bench/src/bin/variation_robustness.rs:

@@ -5,8 +5,7 @@
 //! which is why the keeper exists at all.
 
 use flh::analog::{
-    gated_chain, simulate, steady_state_initial, GatedChainConfig, InputStimulus,
-    TransientConfig,
+    gated_chain, simulate, steady_state_initial, GatedChainConfig, InputStimulus, TransientConfig,
 };
 use flh::tech::{FlhConfig, Technology};
 

@@ -51,12 +51,7 @@ fn patterns_generated_on_base_detect_the_same_faults_on_enhanced_scan() {
 
     let view_base = TestView::new(&scan_base.netlist).expect("view");
     let faults_base = enumerate_transition_faults(&scan_base.netlist);
-    let result = transition_atpg(
-        &view_base,
-        &faults_base,
-        &PodemConfig::paper_default(),
-        7,
-    );
+    let result = transition_atpg(&view_base, &faults_base, &PodemConfig::paper_default(), 7);
 
     // Replay the same patterns on the enhanced-scan netlist against the
     // corresponding fault sites (same names; hold cells add new sites that

@@ -83,12 +83,11 @@ fn flh_gated_set_is_exactly_the_unique_fanout_gates() {
 #[test]
 fn enhanced_scan_keeps_the_circuit_function() {
     use flh::sim::{Logic, LogicSim};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use flh_rng::Rng;
 
     let circuit = medium_circuit();
     let es = apply_style(&circuit, DftStyle::EnhancedScan).expect("applies");
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = Rng::seed_from_u64(77);
     let mut sim_a = LogicSim::new(&circuit).expect("sim");
     let mut sim_b = LogicSim::new(&es.netlist).expect("sim");
     for i in 0..circuit.flip_flops().len() {

@@ -1,4 +1,10 @@
-//! Property-based invariants across the workspace (proptest).
+//! Property-style invariants across the workspace.
+//!
+//! These were originally proptest properties; they are now deterministic
+//! sweeps driven by `flh-rng` so the suite runs fully offline with no
+//! external dev-dependencies. Each property samples 24 seeded generator
+//! configurations (the same case budget the proptest version used), so a
+//! failure always reproduces with the printed config.
 
 use flh::core::{apply_style, optimize_fanout, DftStyle, FanoutOptConfig};
 use flh::netlist::bench_io::{parse_bench, write_bench};
@@ -8,69 +14,84 @@ use flh::sim::{Logic, LogicSim};
 use flh::tech::{CellLibrary, Technology};
 use flh::timing::{analyze, TimingConfig};
 use flh_netlist::CellKind;
-use proptest::prelude::*;
+use flh_rng::Rng;
 
-/// Arbitrary small-but-interesting generator configurations.
-fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
-    (
-        2usize..8,   // primary inputs
-        1usize..6,   // primary outputs
-        2usize..12,  // flip-flops
-        3usize..10,  // logic depth
-        0u64..1000,  // seed
-        20usize..50, // extra gates beyond the minimum
-    )
-        .prop_map(|(pi, po, ff, depth, seed, extra)| {
-            let flg = ((ff as f64) * 1.8).round() as usize;
-            GeneratorConfig {
-                name: format!("prop_{seed}"),
-                primary_inputs: pi,
-                primary_outputs: po,
-                flip_flops: ff,
-                gates: flg + depth - 1 + extra,
-                logic_depth: depth,
-                avg_ff_fanout: 2.3,
-                unique_flg_ratio: 1.8,
-                hot_ff_fanout: None,
-                seed,
-            }
-        })
+const CASES: usize = 24;
+
+/// Deterministic stand-in for the old proptest `config_strategy()`:
+/// small-but-interesting generator configurations sampled from `rng`.
+fn sample_config(rng: &mut Rng) -> GeneratorConfig {
+    let pi = rng.gen_range(2usize..8);
+    let po = rng.gen_range(1usize..6);
+    let ff = rng.gen_range(2usize..12);
+    let depth = rng.gen_range(3usize..10);
+    let seed = rng.gen_range(0u64..1000);
+    let extra = rng.gen_range(20usize..50);
+    let flg = ((ff as f64) * 1.8).round() as usize;
+    GeneratorConfig {
+        name: format!("prop_{seed}"),
+        primary_inputs: pi,
+        primary_outputs: po,
+        flip_flops: ff,
+        gates: flg + depth - 1 + extra,
+        logic_depth: depth,
+        avg_ff_fanout: 2.3,
+        unique_flg_ratio: 1.8,
+        hot_ff_fanout: None,
+        seed,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn for_each_config(property_seed: u64, mut check: impl FnMut(&GeneratorConfig)) {
+    let mut rng = Rng::seed_from_u64(property_seed);
+    for case in 0..CASES {
+        let cfg = sample_config(&mut rng);
+        eprintln!("case {case}: {cfg:?}");
+        check(&cfg);
+    }
+}
 
-    /// Generated circuits always validate and hit their requested shape.
-    #[test]
-    fn generator_meets_spec(cfg in config_strategy()) {
-        let n = generate_circuit(&cfg).expect("generates");
+/// Generated circuits always validate and hit their requested shape.
+#[test]
+fn generator_meets_spec() {
+    for_each_config(0xA110C1, |cfg| {
+        let n = generate_circuit(cfg).expect("generates");
         n.validate().expect("valid");
         let stats = CircuitStats::compute(&n).expect("stats");
-        prop_assert_eq!(stats.primary_inputs, cfg.primary_inputs);
-        prop_assert_eq!(stats.primary_outputs, cfg.primary_outputs);
-        prop_assert_eq!(stats.flip_flops, cfg.flip_flops);
-        prop_assert_eq!(stats.gates, cfg.gates);
-        prop_assert_eq!(stats.logic_depth as usize, cfg.logic_depth);
-    }
+        assert_eq!(stats.primary_inputs, cfg.primary_inputs);
+        assert_eq!(stats.primary_outputs, cfg.primary_outputs);
+        assert_eq!(stats.flip_flops, cfg.flip_flops);
+        assert_eq!(stats.gates, cfg.gates);
+        assert_eq!(stats.logic_depth as usize, cfg.logic_depth);
+    });
+}
 
-    /// `.bench` serialization round-trips the full structure.
-    #[test]
-    fn bench_round_trip(cfg in config_strategy()) {
-        let n = generate_circuit(&cfg).expect("generates");
+/// `.bench` serialization round-trips the full structure.
+#[test]
+fn bench_round_trip() {
+    for_each_config(0xB43C4, |cfg| {
+        let n = generate_circuit(cfg).expect("generates");
         let text = write_bench(&n);
         let m = parse_bench(&text, n.name()).expect("parses");
         let a = CircuitStats::compute(&n).expect("stats");
         let b = CircuitStats::compute(&m).expect("stats");
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         // And a second round-trip is textually stable.
-        prop_assert_eq!(text, write_bench(&m));
-    }
+        assert_eq!(text, write_bench(&m));
+    });
+}
 
-    /// Scan + holding transforms never change the sequential function.
-    #[test]
-    fn styles_preserve_function(cfg in config_strategy(), style_pick in 0usize..3) {
-        let style = [DftStyle::PlainScan, DftStyle::EnhancedScan, DftStyle::MuxHold][style_pick];
-        let n = generate_circuit(&cfg).expect("generates");
+/// Scan + holding transforms never change the sequential function.
+#[test]
+fn styles_preserve_function() {
+    let mut style_rng = Rng::seed_from_u64(0x57113);
+    for_each_config(0x57113, |cfg| {
+        let style = [
+            DftStyle::PlainScan,
+            DftStyle::EnhancedScan,
+            DftStyle::MuxHold,
+        ][style_rng.gen_range(0usize..3)];
+        let n = generate_circuit(cfg).expect("generates");
         let d = apply_style(&n, style).expect("applies");
         let mut sim_a = LogicSim::new(&n).expect("sim");
         let mut sim_b = LogicSim::new(&d.netlist).expect("sim");
@@ -85,18 +106,20 @@ proptest! {
                 .collect();
             sim_a.apply_vector(&vector);
             sim_b.apply_vector(&vector);
-            prop_assert_eq!(sim_a.outputs(), sim_b.outputs());
-            prop_assert_eq!(sim_a.ff_state(), sim_b.ff_state());
+            assert_eq!(sim_a.outputs(), sim_b.outputs());
+            assert_eq!(sim_a.ff_state(), sim_b.ff_state());
         }
-    }
+    });
+}
 
-    /// Fanout optimization preserves function and never grows the gated set.
-    #[test]
-    fn fanout_opt_safety(cfg in config_strategy()) {
-        let n = generate_circuit(&cfg).expect("generates");
+/// Fanout optimization preserves function and never grows the gated set.
+#[test]
+fn fanout_opt_safety() {
+    for_each_config(0xFA4007, |cfg| {
+        let n = generate_circuit(cfg).expect("generates");
         let flh = apply_style(&n, DftStyle::Flh).expect("flh");
         let result = optimize_fanout(&flh, &FanoutOptConfig::paper_default()).expect("opt");
-        prop_assert!(result.flg_after <= result.flg_before);
+        assert!(result.flg_after <= result.flg_before);
         result.netlist.validate().expect("valid");
         let mut sim_a = LogicSim::new(&flh.netlist).expect("sim");
         let mut sim_b = LogicSim::new(&result.netlist).expect("sim");
@@ -110,73 +133,97 @@ proptest! {
                 .collect();
             sim_a.apply_vector(&vector);
             sim_b.apply_vector(&vector);
-            prop_assert_eq!(sim_a.outputs(), sim_b.outputs());
+            assert_eq!(sim_a.outputs(), sim_b.outputs());
         }
-    }
+    });
+}
 
-    /// STA: extra fanout load can only increase a driver's arrival time.
-    #[test]
-    fn sta_is_monotone_in_load(extra in 1usize..6) {
-        let lib = CellLibrary::new(Technology::bptm70());
-        let tc = TimingConfig::paper_default();
-        let build = |loads: usize| {
-            let mut n = flh::netlist::Netlist::new("mono");
-            let a = n.add_input("a");
-            let g = n.add_cell("g", CellKind::Inv, vec![a]);
-            let s = n.add_cell("s", CellKind::Inv, vec![g]);
-            for i in 0..loads {
-                n.add_cell(format!("l{i}"), CellKind::Inv, vec![g]);
-            }
-            n.add_output("y", s);
-            n
-        };
-        let base = build(0);
+/// STA: extra fanout load can only increase a driver's arrival time.
+#[test]
+fn sta_is_monotone_in_load() {
+    let lib = CellLibrary::new(Technology::bptm70());
+    let tc = TimingConfig::paper_default();
+    let build = |loads: usize| {
+        let mut n = flh::netlist::Netlist::new("mono");
+        let a = n.add_input("a");
+        let g = n.add_cell("g", CellKind::Inv, vec![a]);
+        let s = n.add_cell("s", CellKind::Inv, vec![g]);
+        for i in 0..loads {
+            n.add_cell(format!("l{i}"), CellKind::Inv, vec![g]);
+        }
+        n.add_output("y", s);
+        n
+    };
+    let base = build(0);
+    let rb = analyze(&base, &lib, &tc, None).expect("sta");
+    let sb = base.find("s").expect("cell");
+    for extra in 1usize..6 {
         let loaded = build(extra);
-        let rb = analyze(&base, &lib, &tc, None).expect("sta");
         let rl = analyze(&loaded, &lib, &tc, None).expect("sta");
-        let sb = base.find("s").expect("cell");
         let sl = loaded.find("s").expect("cell");
-        prop_assert!(rl.arrival_ps(sl) > rb.arrival_ps(sb));
+        assert!(rl.arrival_ps(sl) > rb.arrival_ps(sb), "extra={extra}");
     }
+}
 
-    /// Three-valued evaluation agrees with two-valued evaluation on every
-    /// fully-known input combination, for every library gate kind.
-    #[test]
-    fn eval3_matches_eval64_when_known(bits in 0u16..16) {
+/// Three-valued evaluation agrees with two-valued evaluation on every
+/// fully-known input combination, for every library gate kind.
+#[test]
+fn eval3_matches_eval64_when_known() {
+    for bits in 0u16..16 {
         for kind in [
-            CellKind::Inv, CellKind::Buf, CellKind::Nand2, CellKind::Nor2,
-            CellKind::And3, CellKind::Or3, CellKind::Xor2, CellKind::Xnor2,
-            CellKind::Aoi21, CellKind::Oai21, CellKind::Aoi22, CellKind::Oai22,
-            CellKind::Mux2, CellKind::Nand4,
+            CellKind::Inv,
+            CellKind::Buf,
+            CellKind::Nand2,
+            CellKind::Nor2,
+            CellKind::And3,
+            CellKind::Or3,
+            CellKind::Xor2,
+            CellKind::Xnor2,
+            CellKind::Aoi21,
+            CellKind::Oai21,
+            CellKind::Aoi22,
+            CellKind::Oai22,
+            CellKind::Mux2,
+            CellKind::Nand4,
         ] {
             let arity = kind.arity();
             let inputs: Vec<Logic> = (0..arity)
                 .map(|i| Logic::from_bool(bits >> i & 1 == 1))
                 .collect();
             let bools: Vec<bool> = (0..arity).map(|i| bits >> i & 1 == 1).collect();
-            prop_assert_eq!(
+            assert_eq!(
                 eval3(kind, &inputs),
-                Logic::from_bool(kind.eval_bool(&bools))
+                Logic::from_bool(kind.eval_bool(&bools)),
+                "{kind:?} bits={bits:04b}"
             );
         }
     }
+}
 
-    /// Pessimism property: replacing any known input by X never produces a
-    /// *different* known value — it may only lose information.
-    #[test]
-    fn eval3_is_monotone_in_information(bits in 0u16..16, drop in 0usize..4) {
-        for kind in [CellKind::Nand3, CellKind::Aoi21, CellKind::Mux2, CellKind::Xor2] {
-            let arity = kind.arity();
-            let drop = drop % arity;
-            let full: Vec<Logic> = (0..arity)
-                .map(|i| Logic::from_bool(bits >> i & 1 == 1))
-                .collect();
-            let mut weaker = full.clone();
-            weaker[drop] = Logic::X;
-            let strong = eval3(kind, &full);
-            let weak = eval3(kind, &weaker);
-            if weak.is_known() {
-                prop_assert_eq!(weak, strong);
+/// Pessimism property: replacing any known input by X never produces a
+/// *different* known value — it may only lose information.
+#[test]
+fn eval3_is_monotone_in_information() {
+    for bits in 0u16..16 {
+        for drop in 0usize..4 {
+            for kind in [
+                CellKind::Nand3,
+                CellKind::Aoi21,
+                CellKind::Mux2,
+                CellKind::Xor2,
+            ] {
+                let arity = kind.arity();
+                let drop = drop % arity;
+                let full: Vec<Logic> = (0..arity)
+                    .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+                    .collect();
+                let mut weaker = full.clone();
+                weaker[drop] = Logic::X;
+                let strong = eval3(kind, &full);
+                let weak = eval3(kind, &weaker);
+                if weak.is_known() {
+                    assert_eq!(weak, strong, "{kind:?} bits={bits:04b} drop={drop}");
+                }
             }
         }
     }

@@ -5,8 +5,7 @@
 use flh::core::{apply_style, DftStyle};
 use flh::netlist::{generate_circuit, GeneratorConfig};
 use flh::sim::{Logic, LogicSim, TwoPatternRunner};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use flh_rng::Rng;
 
 fn circuit() -> flh::netlist::Netlist {
     generate_circuit(&GeneratorConfig {
@@ -33,12 +32,11 @@ fn flh_and_enhanced_scan_apply_identical_two_pattern_tests() {
     let runner_es = TwoPatternRunner::for_netlist(&es.netlist, es.hold_mechanism());
     let runner_flh = TwoPatternRunner::for_netlist(&flh.netlist, flh.hold_mechanism());
 
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::seed_from_u64(99);
     let n_pi = base.inputs().len();
     let n_ff = base.flip_flops().len();
-    let mut rand_bits = |n: usize| -> Vec<Logic> {
-        (0..n).map(|_| Logic::from_bool(rng.gen())).collect()
-    };
+    let mut rand_bits =
+        |n: usize| -> Vec<Logic> { (0..n).map(|_| Logic::from_bool(rng.gen())).collect() };
 
     for round in 0..200 {
         let (v1p, v1s, v2p, v2s) = (
@@ -67,12 +65,11 @@ fn plain_scan_cannot_isolate_but_settles_to_the_same_response() {
     let runner_plain = TwoPatternRunner::for_netlist(&plain.netlist, plain.hold_mechanism());
     let runner_flh = TwoPatternRunner::for_netlist(&flh.netlist, flh.hold_mechanism());
 
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Rng::seed_from_u64(5);
     let n_pi = base.inputs().len();
     let n_ff = base.flip_flops().len();
-    let mut rand_bits = |n: usize| -> Vec<Logic> {
-        (0..n).map(|_| Logic::from_bool(rng.gen())).collect()
-    };
+    let mut rand_bits =
+        |n: usize| -> Vec<Logic> { (0..n).map(|_| Logic::from_bool(rng.gen())).collect() };
     let mut leaked_any = false;
     for _ in 0..50 {
         let (v1p, v1s, v2p, v2s) = (
@@ -105,12 +102,11 @@ fn mux_hold_matches_enhanced_scan() {
     let runner_es = TwoPatternRunner::for_netlist(&es.netlist, es.hold_mechanism());
     let runner_mx = TwoPatternRunner::for_netlist(&mx.netlist, mx.hold_mechanism());
 
-    let mut rng = StdRng::seed_from_u64(13);
+    let mut rng = Rng::seed_from_u64(13);
     let n_pi = base.inputs().len();
     let n_ff = base.flip_flops().len();
-    let mut rand_bits = |n: usize| -> Vec<Logic> {
-        (0..n).map(|_| Logic::from_bool(rng.gen())).collect()
-    };
+    let mut rand_bits =
+        |n: usize| -> Vec<Logic> { (0..n).map(|_| Logic::from_bool(rng.gen())).collect() };
     for _ in 0..100 {
         let (v1p, v1s, v2p, v2s) = (
             rand_bits(n_pi),
