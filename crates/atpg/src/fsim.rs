@@ -31,17 +31,17 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
         }
     }
 
-    fn cone(&mut self, site: CellId) -> Vec<CellId> {
+    /// Topologically-sorted fanout cone of `site`, cached. Returns a
+    /// borrowed slice — the cache is only ever appended to, never evicted,
+    /// so no caller needs ownership.
+    fn cone(&mut self, site: CellId) -> &[CellId] {
         let view = self.view;
         let topo_pos = &self.topo_pos;
-        self.cones
-            .entry(site)
-            .or_insert_with(|| {
-                let mut cone = analysis::fanout_cone(view.netlist(), view.fanouts(), &[site]);
-                cone.sort_by_key(|c| topo_pos[c.index()]);
-                cone
-            })
-            .clone()
+        self.cones.entry(site).or_insert_with(|| {
+            let mut cone = analysis::fanout_cone(view.netlist(), view.fanouts(), &[site]);
+            cone.sort_by_key(|c| topo_pos[c.index()]);
+            cone
+        })
     }
 
     /// Simulates up to 64 patterns (one per bit lane of `words`) against
@@ -72,23 +72,28 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
                 continue;
             }
 
-            // Cone-limited faulty resimulation.
+            // Cone-limited faulty resimulation. The fault site is seeded
+            // first (stem: force the line; branch: re-evaluate the gate with
+            // the forced pin), then its strictly-downstream cone is replayed.
             let mut faulty = good.clone();
-            let (seed, cone) = match fault.site {
+            let mut inputs: Vec<u64> = Vec::with_capacity(4);
+            let seed = match fault.site {
                 FaultSite::Stem(cell) => {
                     faulty[cell.index()] = fault.stuck.word();
-                    (cell, self.cone(cell))
+                    cell
                 }
-                FaultSite::Branch { gate, .. } => (gate, {
-                    let mut c = self.cone(gate);
-                    c.insert(0, gate);
-                    c
-                }),
+                FaultSite::Branch { gate, pin } => {
+                    let cell = netlist.cell(gate);
+                    inputs.clear();
+                    inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
+                    inputs[pin] = fault.stuck.word();
+                    faulty[gate.index()] = cell.kind().eval64(&inputs);
+                    gate
+                }
             };
-            let mut inputs: Vec<u64> = Vec::with_capacity(4);
-            for &id in &cone {
-                if id == seed && matches!(fault.site, FaultSite::Stem(_)) {
-                    continue; // stem value already forced
+            for &id in self.cone(seed) {
+                if id == seed {
+                    continue; // seed value already forced above
                 }
                 let cell = netlist.cell(id);
                 if cell.kind().is_flip_flop() {
@@ -96,11 +101,6 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
                 }
                 inputs.clear();
                 inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
-                if let FaultSite::Branch { gate, pin } = fault.site {
-                    if gate == id {
-                        inputs[pin] = fault.stuck.word();
-                    }
-                }
                 faulty[id.index()] = cell.kind().eval64(&inputs);
             }
             let obs_faulty = self.view.observe64(&faulty);
