@@ -1,5 +1,6 @@
-/root/repo/target/debug/deps/flh_bench-2c4141d85722d204.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/flh_bench-2c4141d85722d204.d: crates/bench/src/lib.rs crates/bench/src/seed_baseline.rs
 
-/root/repo/target/debug/deps/flh_bench-2c4141d85722d204: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/flh_bench-2c4141d85722d204: crates/bench/src/lib.rs crates/bench/src/seed_baseline.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/seed_baseline.rs:

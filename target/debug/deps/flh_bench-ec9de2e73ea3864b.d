@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/flh_bench-ec9de2e73ea3864b.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/flh_bench-ec9de2e73ea3864b.d: crates/bench/src/lib.rs crates/bench/src/seed_baseline.rs
 
-/root/repo/target/debug/deps/libflh_bench-ec9de2e73ea3864b.rlib: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libflh_bench-ec9de2e73ea3864b.rlib: crates/bench/src/lib.rs crates/bench/src/seed_baseline.rs
 
-/root/repo/target/debug/deps/libflh_bench-ec9de2e73ea3864b.rmeta: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/libflh_bench-ec9de2e73ea3864b.rmeta: crates/bench/src/lib.rs crates/bench/src/seed_baseline.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/seed_baseline.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/flh_netlist-b9901998ce8b2a03.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_io.rs crates/netlist/src/cell.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/generate.rs crates/netlist/src/graph.rs crates/netlist/src/mapper.rs crates/netlist/src/profiles.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+/root/repo/target/debug/deps/flh_netlist-b9901998ce8b2a03.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_io.rs crates/netlist/src/cell.rs crates/netlist/src/compiled.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/generate.rs crates/netlist/src/graph.rs crates/netlist/src/mapper.rs crates/netlist/src/profiles.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
 
-/root/repo/target/debug/deps/flh_netlist-b9901998ce8b2a03: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_io.rs crates/netlist/src/cell.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/generate.rs crates/netlist/src/graph.rs crates/netlist/src/mapper.rs crates/netlist/src/profiles.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+/root/repo/target/debug/deps/flh_netlist-b9901998ce8b2a03: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_io.rs crates/netlist/src/cell.rs crates/netlist/src/compiled.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/generate.rs crates/netlist/src/graph.rs crates/netlist/src/mapper.rs crates/netlist/src/profiles.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
 
 crates/netlist/src/lib.rs:
 crates/netlist/src/analysis.rs:
 crates/netlist/src/bench_io.rs:
 crates/netlist/src/cell.rs:
+crates/netlist/src/compiled.rs:
 crates/netlist/src/dot.rs:
 crates/netlist/src/error.rs:
 crates/netlist/src/generate.rs:

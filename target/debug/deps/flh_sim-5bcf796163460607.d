@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/flh_sim-5bcf796163460607.d: crates/sim/src/lib.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
+/root/repo/target/debug/deps/flh_sim-5bcf796163460607.d: crates/sim/src/lib.rs crates/sim/src/compiled_sim.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
 
-/root/repo/target/debug/deps/libflh_sim-5bcf796163460607.rlib: crates/sim/src/lib.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
+/root/repo/target/debug/deps/libflh_sim-5bcf796163460607.rlib: crates/sim/src/lib.rs crates/sim/src/compiled_sim.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
 
-/root/repo/target/debug/deps/libflh_sim-5bcf796163460607.rmeta: crates/sim/src/lib.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
+/root/repo/target/debug/deps/libflh_sim-5bcf796163460607.rmeta: crates/sim/src/lib.rs crates/sim/src/compiled_sim.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/compiled_sim.rs:
 crates/sim/src/scan.rs:
 crates/sim/src/simulator.rs:
 crates/sim/src/two_pattern.rs:

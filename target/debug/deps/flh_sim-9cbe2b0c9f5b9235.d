@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/flh_sim-9cbe2b0c9f5b9235.d: crates/sim/src/lib.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
+/root/repo/target/debug/deps/flh_sim-9cbe2b0c9f5b9235.d: crates/sim/src/lib.rs crates/sim/src/compiled_sim.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
 
-/root/repo/target/debug/deps/flh_sim-9cbe2b0c9f5b9235: crates/sim/src/lib.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
+/root/repo/target/debug/deps/flh_sim-9cbe2b0c9f5b9235: crates/sim/src/lib.rs crates/sim/src/compiled_sim.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/compiled_sim.rs:
 crates/sim/src/scan.rs:
 crates/sim/src/simulator.rs:
 crates/sim/src/two_pattern.rs:

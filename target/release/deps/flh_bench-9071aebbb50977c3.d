@@ -1,7 +1,8 @@
-/root/repo/target/release/deps/flh_bench-9071aebbb50977c3.d: crates/bench/src/lib.rs
+/root/repo/target/release/deps/flh_bench-9071aebbb50977c3.d: crates/bench/src/lib.rs crates/bench/src/seed_baseline.rs
 
-/root/repo/target/release/deps/libflh_bench-9071aebbb50977c3.rlib: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libflh_bench-9071aebbb50977c3.rlib: crates/bench/src/lib.rs crates/bench/src/seed_baseline.rs
 
-/root/repo/target/release/deps/libflh_bench-9071aebbb50977c3.rmeta: crates/bench/src/lib.rs
+/root/repo/target/release/deps/libflh_bench-9071aebbb50977c3.rmeta: crates/bench/src/lib.rs crates/bench/src/seed_baseline.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/seed_baseline.rs:

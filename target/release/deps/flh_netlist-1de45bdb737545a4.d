@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/flh_netlist-1de45bdb737545a4.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_io.rs crates/netlist/src/cell.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/generate.rs crates/netlist/src/graph.rs crates/netlist/src/mapper.rs crates/netlist/src/profiles.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+/root/repo/target/release/deps/flh_netlist-1de45bdb737545a4.d: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_io.rs crates/netlist/src/cell.rs crates/netlist/src/compiled.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/generate.rs crates/netlist/src/graph.rs crates/netlist/src/mapper.rs crates/netlist/src/profiles.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
 
-/root/repo/target/release/deps/libflh_netlist-1de45bdb737545a4.rlib: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_io.rs crates/netlist/src/cell.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/generate.rs crates/netlist/src/graph.rs crates/netlist/src/mapper.rs crates/netlist/src/profiles.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+/root/repo/target/release/deps/libflh_netlist-1de45bdb737545a4.rlib: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_io.rs crates/netlist/src/cell.rs crates/netlist/src/compiled.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/generate.rs crates/netlist/src/graph.rs crates/netlist/src/mapper.rs crates/netlist/src/profiles.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
 
-/root/repo/target/release/deps/libflh_netlist-1de45bdb737545a4.rmeta: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_io.rs crates/netlist/src/cell.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/generate.rs crates/netlist/src/graph.rs crates/netlist/src/mapper.rs crates/netlist/src/profiles.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
+/root/repo/target/release/deps/libflh_netlist-1de45bdb737545a4.rmeta: crates/netlist/src/lib.rs crates/netlist/src/analysis.rs crates/netlist/src/bench_io.rs crates/netlist/src/cell.rs crates/netlist/src/compiled.rs crates/netlist/src/dot.rs crates/netlist/src/error.rs crates/netlist/src/generate.rs crates/netlist/src/graph.rs crates/netlist/src/mapper.rs crates/netlist/src/profiles.rs crates/netlist/src/unroll.rs crates/netlist/src/verilog.rs
 
 crates/netlist/src/lib.rs:
 crates/netlist/src/analysis.rs:
 crates/netlist/src/bench_io.rs:
 crates/netlist/src/cell.rs:
+crates/netlist/src/compiled.rs:
 crates/netlist/src/dot.rs:
 crates/netlist/src/error.rs:
 crates/netlist/src/generate.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/flh_sim-346abcf3c274cbe0.d: crates/sim/src/lib.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
+/root/repo/target/release/deps/flh_sim-346abcf3c274cbe0.d: crates/sim/src/lib.rs crates/sim/src/compiled_sim.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
 
-/root/repo/target/release/deps/libflh_sim-346abcf3c274cbe0.rlib: crates/sim/src/lib.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
+/root/repo/target/release/deps/libflh_sim-346abcf3c274cbe0.rlib: crates/sim/src/lib.rs crates/sim/src/compiled_sim.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
 
-/root/repo/target/release/deps/libflh_sim-346abcf3c274cbe0.rmeta: crates/sim/src/lib.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
+/root/repo/target/release/deps/libflh_sim-346abcf3c274cbe0.rmeta: crates/sim/src/lib.rs crates/sim/src/compiled_sim.rs crates/sim/src/scan.rs crates/sim/src/simulator.rs crates/sim/src/two_pattern.rs crates/sim/src/value.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/compiled_sim.rs:
 crates/sim/src/scan.rs:
 crates/sim/src/simulator.rs:
 crates/sim/src/two_pattern.rs:
