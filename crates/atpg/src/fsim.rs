@@ -1,47 +1,107 @@
 //! Parallel-pattern stuck-at fault simulation with cone-limited faulty
 //! resimulation and fault dropping.
+//!
+//! The simulator walks the [`CompiledCircuit`] inside its [`TestView`]: the
+//! good machine is evaluated once per 64-pattern batch over the compiled
+//! level order, and each fault's deviation is then replayed **in place**,
+//! event-driven: readers of every changed cell are queued into per-level
+//! buckets (deduplicated by a per-fault generation stamp) and drained in
+//! level order, so a fault only ever touches the cells its deviation
+//! actually reaches — not its full static fanout cone. Changed cells are
+//! recorded in an undo log and restored afterwards, so there is no
+//! per-fault clone of the value array. Detection never scans the full
+//! observation list: only changed cells flagged as observation drivers
+//! ([`TestView::observed_drivers`]) contribute to the miscompare word, and
+//! the replay stops as soon as the fault is detected on an active lane.
+//!
+//! [`ConeArena`] (static fanout cones as ranges into a shared arena) backs
+//! the transition-fault simulator, which needs the whole cone for its
+//! two-time-frame bookkeeping.
 
-use std::collections::HashMap;
-
-use flh_netlist::{analysis, CellId};
+use flh_netlist::{CompiledCircuit, ConeScratch};
 
 use crate::fault::{Fault, FaultSite};
 use crate::tview::TestView;
 
+/// Cache of fanout cones stored as index ranges into one shared backing
+/// array — the per-site cones of a fault-simulation run, interned once and
+/// borrowed as `&[u32]` slices thereafter (no per-site `Vec`, no hashing).
+#[derive(Clone, Debug, Default)]
+pub struct ConeArena {
+    /// Per dense cell id: `(start, end)` into `data`, or `None` if the cone
+    /// has not been built yet.
+    ranges: Vec<Option<(u32, u32)>>,
+    data: Vec<u32>,
+    scratch: ConeScratch,
+    tmp: Vec<u32>,
+}
+
+impl ConeArena {
+    /// Empty arena; lazily sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Topologically-sorted fanout cone of `seed`, built on first request
+    /// and appended to the shared backing array, then served as a range.
+    pub fn cone<'s>(&'s mut self, compiled: &CompiledCircuit, seed: u32) -> &'s [u32] {
+        if self.ranges.len() < compiled.cell_count() {
+            self.ranges.resize(compiled.cell_count(), None);
+        }
+        let (start, end) = match self.ranges[seed as usize] {
+            Some(r) => r,
+            None => {
+                let start = self.data.len() as u32;
+                compiled.fanout_cone_into(seed, &mut self.scratch, &mut self.tmp);
+                self.data.extend_from_slice(&self.tmp);
+                let r = (start, self.data.len() as u32);
+                self.ranges[seed as usize] = Some(r);
+                r
+            }
+        };
+        &self.data[start as usize..end as usize]
+    }
+
+    /// Total interned cone entries (diagnostic).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no cone has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
 /// 64-way parallel single-pattern stuck-at fault simulator.
 pub struct StuckSimulator<'v, 'a> {
     view: &'v TestView<'a>,
-    topo_pos: Vec<usize>,
-    cones: HashMap<CellId, Vec<CellId>>,
+    /// Good-machine values, reused across batches; faulty resimulation
+    /// mutates it in place under `undo`.
+    values: Vec<u64>,
+    /// Undo log of the current fault's replay writes: `(cell, good value)`.
+    undo: Vec<(u32, u64)>,
+    /// Per-cell enqueue stamp: a cell joins the replay queue at most once
+    /// per fault (stamp equals the fault's generation).
+    marks: Vec<u64>,
+    gen: u64,
+    /// Replay queue, one bucket per logic level (index 0 unused — sources
+    /// are never re-evaluated).
+    buckets: Vec<Vec<u32>>,
 }
 
 impl<'v, 'a> StuckSimulator<'v, 'a> {
     /// Builds a simulator over a test view.
     pub fn new(view: &'v TestView<'a>) -> Self {
-        let netlist = view.netlist();
-        let order = analysis::combinational_order(netlist).expect("view is acyclic");
-        let mut topo_pos = vec![usize::MAX; netlist.cell_count()];
-        for (pos, &id) in order.iter().enumerate() {
-            topo_pos[id.index()] = pos;
-        }
+        let compiled = view.compiled();
         StuckSimulator {
             view,
-            topo_pos,
-            cones: HashMap::new(),
+            values: Vec::new(),
+            undo: Vec::new(),
+            marks: vec![0; compiled.cell_count()],
+            gen: 0,
+            buckets: vec![Vec::new(); compiled.levels() + 1],
         }
-    }
-
-    /// Topologically-sorted fanout cone of `site`, cached. Returns a
-    /// borrowed slice — the cache is only ever appended to, never evicted,
-    /// so no caller needs ownership.
-    fn cone(&mut self, site: CellId) -> &[CellId] {
-        let view = self.view;
-        let topo_pos = &self.topo_pos;
-        self.cones.entry(site).or_insert_with(|| {
-            let mut cone = analysis::fanout_cone(view.netlist(), view.fanouts(), &[site]);
-            cone.sort_by_key(|c| topo_pos[c.index()]);
-            cone
-        })
     }
 
     /// Simulates up to 64 patterns (one per bit lane of `words`) against
@@ -53,10 +113,12 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
         faults: &[Fault],
         detected: &mut [bool],
     ) -> usize {
-        let good = self.view.eval64(words, None);
-        let obs_good = self.view.observe64(&good);
+        self.view.eval64_into(words, None, &mut self.values);
+        let compiled = self.view.compiled();
+        let observed = self.view.observed_drivers();
         let netlist = self.view.netlist();
         let mut new_hits = 0;
+        let mut inputs: Vec<u64> = Vec::with_capacity(8);
 
         for (fi, fault) in faults.iter().enumerate() {
             if detected[fi] {
@@ -65,49 +127,118 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
             // Activation lanes: the good line value must oppose the stuck
             // value somewhere in the batch.
             let driver = fault.driver(netlist);
-            let line = good[driver.index()];
+            let line = self.values[driver.index()];
             let active_lanes = if fault.stuck.as_bool() { !line } else { line };
             let lanes = active_lanes & active_mask;
             if lanes == 0 {
                 continue;
             }
 
-            // Cone-limited faulty resimulation. The fault site is seeded
-            // first (stem: force the line; branch: re-evaluate the gate with
-            // the forced pin), then its strictly-downstream cone is replayed.
-            let mut faulty = good.clone();
-            let mut inputs: Vec<u64> = Vec::with_capacity(4);
-            let seed = match fault.site {
+            // Event-driven faulty resimulation, in place. The fault site is
+            // seeded first (stem: force the line; branch: re-evaluate the
+            // gate with the forced pin), then the deviation is propagated
+            // level by level through the readers of changed cells; every
+            // write saves the good value for restore and feeds the
+            // miscompare word if the cell drives an observation.
+            self.undo.clear();
+            self.gen += 1;
+            let gen = self.gen;
+            let mut miscompare = 0u64;
+            let (seed, seed_changed) = match fault.site {
                 FaultSite::Stem(cell) => {
-                    faulty[cell.index()] = fault.stuck.word();
-                    cell
+                    let id = cell.index() as u32;
+                    let old = self.values[id as usize];
+                    let new = fault.stuck.word();
+                    if old != new {
+                        self.undo.push((id, old));
+                        self.values[id as usize] = new;
+                        if observed[id as usize] {
+                            miscompare |= old ^ new;
+                        }
+                    }
+                    (id, old != new)
                 }
                 FaultSite::Branch { gate, pin } => {
-                    let cell = netlist.cell(gate);
+                    let id = gate.index() as u32;
                     inputs.clear();
-                    inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
+                    inputs.extend(compiled.fanin(id).iter().map(|&x| self.values[x as usize]));
                     inputs[pin] = fault.stuck.word();
-                    faulty[gate.index()] = cell.kind().eval64(&inputs);
-                    gate
+                    let old = self.values[id as usize];
+                    let new = compiled.kind(id).eval64(&inputs);
+                    if old != new {
+                        self.undo.push((id, old));
+                        self.values[id as usize] = new;
+                        if observed[id as usize] {
+                            miscompare |= old ^ new;
+                        }
+                    }
+                    (id, old != new)
                 }
             };
-            for &id in self.cone(seed) {
-                if id == seed {
-                    continue; // seed value already forced above
+            if seed_changed && miscompare & lanes == 0 {
+                // Queue the seed's readers, then drain the buckets in level
+                // order. A reader always sits at a strictly higher level
+                // than its driver, so the current bucket never grows while
+                // it is being drained. Level-0 readers are flip-flops
+                // (sequential boundary: D observed, Q untouched).
+                let mut lo = usize::MAX;
+                let mut hi = 0usize;
+                for &r in compiled.readers(seed) {
+                    let lvl = compiled.level_of(r) as usize;
+                    if lvl == 0 || self.marks[r as usize] == gen {
+                        continue;
+                    }
+                    self.marks[r as usize] = gen;
+                    self.buckets[lvl].push(r);
+                    lo = lo.min(lvl);
+                    hi = hi.max(lvl);
                 }
-                let cell = netlist.cell(id);
-                if cell.kind().is_flip_flop() {
-                    continue;
+                let mut lvl = lo;
+                'replay: while lvl <= hi {
+                    let bucket = std::mem::take(&mut self.buckets[lvl]);
+                    for &id in &bucket {
+                        inputs.clear();
+                        inputs.extend(compiled.fanin(id).iter().map(|&x| self.values[x as usize]));
+                        let old = self.values[id as usize];
+                        let new = compiled.kind(id).eval64(&inputs);
+                        if old == new {
+                            continue; // deviation masked at this cell
+                        }
+                        self.undo.push((id, old));
+                        self.values[id as usize] = new;
+                        if observed[id as usize] {
+                            miscompare |= old ^ new;
+                            if miscompare & lanes != 0 {
+                                self.buckets[lvl] = bucket;
+                                break 'replay; // detected: the rest is moot
+                            }
+                        }
+                        for &r in compiled.readers(id) {
+                            let rl = compiled.level_of(r) as usize;
+                            if rl == 0 || self.marks[r as usize] == gen {
+                                continue;
+                            }
+                            self.marks[r as usize] = gen;
+                            self.buckets[rl].push(r);
+                            hi = hi.max(rl);
+                        }
+                    }
+                    self.buckets[lvl] = bucket;
+                    self.buckets[lvl].clear();
+                    lvl += 1;
                 }
-                inputs.clear();
-                inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
-                faulty[id.index()] = cell.kind().eval64(&inputs);
+                // An early exit leaves queued entries behind; drop them so
+                // the buckets are empty for the next fault.
+                if lvl <= hi {
+                    for b in &mut self.buckets[lvl..=hi] {
+                        b.clear();
+                    }
+                }
             }
-            let obs_faulty = self.view.observe64(&faulty);
-            let miscompare = obs_good
-                .iter()
-                .zip(&obs_faulty)
-                .fold(0u64, |acc, (g, b)| acc | (g ^ b));
+            // Restore the good machine.
+            for &(id, old) in &self.undo {
+                self.values[id as usize] = old;
+            }
             if miscompare & lanes != 0 {
                 detected[fi] = true;
                 new_hits += 1;
@@ -175,6 +306,30 @@ pub fn stuck_coverage_parallel(
     detected
 }
 
+/// Reference stuck-at detection for one fault and one 64-pattern batch:
+/// full faulted re-evaluation through [`TestView::eval64`], full
+/// observation scan. Quadratically slower than [`StuckSimulator`] but
+/// independent of the cone/undo machinery — the equivalence oracle for it.
+pub fn stuck_detects_reference(
+    view: &TestView<'_>,
+    fault: &Fault,
+    words: &[u64],
+    mask: u64,
+) -> u64 {
+    let good = view.eval64(words, None);
+    let faulty = view.eval64(words, Some(fault));
+    let driver = fault.driver(view.netlist());
+    let line = good[driver.index()];
+    let active = if fault.stuck.as_bool() { !line } else { line };
+    let obs_good = view.observe64(&good);
+    let obs_faulty = view.observe64(&faulty);
+    let miscompare = obs_good
+        .iter()
+        .zip(&obs_faulty)
+        .fold(0u64, |acc, (g, b)| acc | (g ^ b));
+    miscompare & active & mask
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +395,46 @@ mod tests {
     }
 
     #[test]
+    fn cone_resim_matches_full_reference_resim() {
+        // The in-place cone/undo fast path against the brute-force oracle:
+        // every fault, random batch, identical detection lanes.
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_stuck_faults(&n);
+        let na = view.assignable().len();
+        let mut rng = Rng::seed_from_u64(31);
+        let words: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+        let mut sim = StuckSimulator::new(&view);
+        for fault in &faults {
+            let mut detected = vec![false];
+            sim.run_batch(&words, !0, std::slice::from_ref(fault), &mut detected);
+            let reference = stuck_detects_reference(&view, fault, &words, !0);
+            assert_eq!(detected[0], reference != 0, "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn undo_log_restores_the_good_machine() {
+        // Two consecutive single-fault batches over the same simulator must
+        // behave as if each ran on a fresh one.
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_stuck_faults(&n);
+        let na = view.assignable().len();
+        let mut rng = Rng::seed_from_u64(8);
+        let words: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+        let mut shared = StuckSimulator::new(&view);
+        for fault in &faults {
+            let mut d_shared = vec![false];
+            shared.run_batch(&words, !0, std::slice::from_ref(fault), &mut d_shared);
+            let mut fresh = StuckSimulator::new(&view);
+            let mut d_fresh = vec![false];
+            fresh.run_batch(&words, !0, std::slice::from_ref(fault), &mut d_fresh);
+            assert_eq!(d_shared, d_fresh, "{fault:?}");
+        }
+    }
+
+    #[test]
     fn branch_faults_are_simulated_locally() {
         let mut n = Netlist::new("br");
         let a = n.add_input("a");
@@ -272,6 +467,23 @@ mod tests {
             let parallel = stuck_coverage_parallel(&view, &faults, &patterns, threads);
             assert_eq!(parallel, serial, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn cone_arena_serves_stable_ranges() {
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let c = view.compiled();
+        let mut arena = ConeArena::new();
+        let first: Vec<u32> = arena.cone(c, 0).to_vec();
+        let len_after_first = arena.len();
+        // Re-requesting does not grow the arena and returns the same cone.
+        assert_eq!(arena.cone(c, 0), first.as_slice());
+        assert_eq!(arena.len(), len_after_first);
+        // A second seed appends behind the first.
+        let _ = arena.cone(c, 1);
+        assert!(arena.len() >= len_after_first);
+        assert_eq!(arena.cone(c, 0), first.as_slice());
     }
 
     #[test]

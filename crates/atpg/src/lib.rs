@@ -44,7 +44,9 @@ pub use diagnose::{diagnose, faulty_responses, golden_responses, DiagnosisCandid
 pub use fault::{
     collapse_faults, enumerate_stuck_faults, inject_fault, Fault, FaultSite, StuckValue,
 };
-pub use fsim::{stuck_coverage, stuck_coverage_parallel, StuckSimulator};
+pub use fsim::{
+    stuck_coverage, stuck_coverage_parallel, stuck_detects_reference, ConeArena, StuckSimulator,
+};
 pub use path::{
     generate_path_test, generate_robust_path_test, longest_paths, longest_sensitizable_path,
     path_delay_atpg, verify_non_robust, verify_robust, PathDelayFault, PathDelayReport,

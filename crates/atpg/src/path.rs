@@ -375,15 +375,15 @@ pub fn longest_sensitizable_path(
     struct Search<'p, 'v, 'a> {
         netlist: &'p Netlist,
         podem: &'p Podem<'v, 'a>,
-        fanouts: &'p analysis::FanoutMap,
+        compiled: &'p flh_netlist::CompiledCircuit,
         budget: usize,
         best: Option<(Vec<CellId>, Vec<(CellId, bool)>)>,
     }
 
     impl Search<'_, '_, '_> {
         fn observed(&self, cell: CellId) -> bool {
-            self.fanouts.readers(cell).iter().any(|&r| {
-                let k = self.netlist.cell(r).kind();
+            self.compiled.readers(cell.index() as u32).iter().any(|&r| {
+                let k = self.compiled.kind(r);
                 k == CellKind::Output || k.is_flip_flop()
             })
         }
@@ -403,10 +403,10 @@ pub fn longest_sensitizable_path(
             }
             // Extend through combinational readers, deepest-first.
             let mut readers: Vec<CellId> = self
-                .fanouts
-                .readers(tail)
+                .compiled
+                .readers(tail.index() as u32)
                 .iter()
-                .copied()
+                .map(|&r| CellId::from_index(r as usize))
                 .filter(|&r| self.netlist.cell(r).kind().is_combinational())
                 .collect();
             readers.sort();
@@ -445,7 +445,7 @@ pub fn longest_sensitizable_path(
     let mut search = Search {
         netlist,
         podem: &podem,
-        fanouts: view.fanouts(),
+        compiled: view.compiled(),
         budget: node_budget,
         best: None,
     };

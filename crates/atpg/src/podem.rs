@@ -347,7 +347,7 @@ impl<'v, 'a> Podem<'v, 'a> {
     /// to any observation point.
     fn x_path_exists(&self, fault: &Fault, good: &[Logic], faulty: &[Logic]) -> bool {
         let netlist = self.view.netlist();
-        let fanouts = self.view.fanouts();
+        let compiled = self.view.compiled();
         let unresolved =
             |c: CellId| -> bool { !good[c.index()].is_known() || !faulty[c.index()].is_known() };
         let has_d = |c: CellId| -> bool {
@@ -377,11 +377,12 @@ impl<'v, 'a> Podem<'v, 'a> {
             stack.push(driver);
         }
         while let Some(id) = stack.pop() {
-            for &r in fanouts.readers(id) {
+            for &rd in compiled.readers(id.index() as u32) {
+                let r = CellId::from_index(rd as usize);
                 if reach[r.index()] {
                     continue;
                 }
-                let kind = netlist.cell(r).kind();
+                let kind = compiled.kind(rd);
                 if kind == flh_netlist::CellKind::Output {
                     return true; // effect can reach a primary output
                 }

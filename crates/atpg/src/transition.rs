@@ -9,12 +9,11 @@
 //! justification for V1 — precisely why the paper's technique, which
 //! enables arbitrary pairs cheaply, preserves full ATPG power.
 
-use std::collections::HashMap;
-
 use flh_netlist::{analysis, CellId, CellKind, Netlist};
 use flh_rng::Rng;
 
 use crate::fault::{Fault, StuckValue};
+use crate::fsim::ConeArena;
 use crate::podem::{Podem, PodemConfig};
 use crate::tview::TestView;
 
@@ -89,41 +88,78 @@ pub struct TransitionPattern {
 }
 
 /// Cone-cached transition fault simulator over a test view.
+///
+/// Like [`crate::fsim::StuckSimulator`], it walks the view's compiled
+/// circuit: cones are interned index ranges in a shared [`ConeArena`], and
+/// the faulty V2 machine is replayed in place under an undo log instead of
+/// cloning the good value array per fault.
 pub struct TransitionSimulator<'v, 'a> {
     view: &'v TestView<'a>,
-    /// Topological position per cell (for ordered cone resimulation).
-    topo_pos: Vec<usize>,
-    /// Fanout cone (topologically sorted) per site, lazily built.
-    cones: HashMap<CellId, Vec<CellId>>,
-    fanouts: analysis::FanoutMap,
+    cones: ConeArena,
+    /// Good V2 values, reused across batches; faulty resimulation mutates
+    /// it in place under `undo`.
+    values2: Vec<u64>,
+    /// Good V1 values (never mutated per fault).
+    values1: Vec<u64>,
+    undo: Vec<(u32, u64)>,
 }
 
 impl<'v, 'a> TransitionSimulator<'v, 'a> {
     /// Builds a simulator.
     pub fn new(view: &'v TestView<'a>) -> Self {
-        let netlist = view.netlist();
-        let order = analysis::combinational_order(netlist).expect("view is acyclic");
-        let mut topo_pos = vec![usize::MAX; netlist.cell_count()];
-        for (pos, &id) in order.iter().enumerate() {
-            topo_pos[id.index()] = pos;
-        }
         TransitionSimulator {
             view,
-            topo_pos,
-            cones: HashMap::new(),
-            fanouts: analysis::FanoutMap::compute(netlist),
+            cones: ConeArena::new(),
+            values2: Vec::new(),
+            values1: Vec::new(),
+            undo: Vec::new(),
         }
     }
 
-    fn cone(&mut self, site: CellId) -> &[CellId] {
-        let view = self.view;
-        let topo_pos = &self.topo_pos;
-        let fanouts = &self.fanouts;
-        self.cones.entry(site).or_insert_with(|| {
-            let mut cone = analysis::fanout_cone(view.netlist(), fanouts, &[site]);
-            cone.sort_by_key(|c| topo_pos[c.index()]);
-            cone
-        })
+    /// In-place cone replay of the V2 machine under `fault`'s stuck
+    /// equivalent; returns the observation miscompare word and leaves
+    /// `values2` restored to the good machine.
+    fn faulty_miscompare(&mut self, fault: &TransitionFault) -> u64 {
+        let compiled = self.view.compiled();
+        let observed = self.view.observed_drivers();
+        let seed = fault.site.index() as u32;
+        let stuck = fault.stuck_equivalent();
+        self.undo.clear();
+        let mut miscompare = 0u64;
+        let old = self.values2[seed as usize];
+        let new = stuck.stuck.word();
+        if old != new {
+            self.undo.push((seed, old));
+            self.values2[seed as usize] = new;
+            if observed[seed as usize] {
+                miscompare |= old ^ new;
+            }
+        }
+        let mut inputs: Vec<u64> = Vec::with_capacity(8);
+        for &id in self.cones.cone(compiled, seed) {
+            if id == seed {
+                continue; // stem value is forced, not re-evaluated
+            }
+            let kind = compiled.kind(id);
+            if kind.is_flip_flop() {
+                continue; // sequential boundary: D observed, Q untouched
+            }
+            inputs.clear();
+            inputs.extend(compiled.fanin(id).iter().map(|&x| self.values2[x as usize]));
+            let old = self.values2[id as usize];
+            let new = kind.eval64(&inputs);
+            if old != new {
+                self.undo.push((id, old));
+                self.values2[id as usize] = new;
+                if observed[id as usize] {
+                    miscompare |= old ^ new;
+                }
+            }
+        }
+        for &(id, old) in &self.undo {
+            self.values2[id as usize] = old;
+        }
+        miscompare
     }
 
     /// Simulates up to 64 pattern pairs against a fault set, marking newly
@@ -140,56 +176,42 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
         faults: &[TransitionFault],
         detected: &mut [bool],
     ) -> usize {
-        let good1 = self.view.eval64(v1_words, None);
-        let good2 = self.view.eval64(v2_words, None);
-        let obs_good2 = self.view.observe64(&good2);
-        let netlist = self.view.netlist();
+        let (view, values1, values2) = (self.view, &mut self.values1, &mut self.values2);
+        view.eval64_into(v1_words, None, values1);
+        view.eval64_into(v2_words, None, values2);
         let mut new_hits = 0;
 
         for (fi, fault) in faults.iter().enumerate() {
             if detected[fi] {
                 continue;
             }
-            let init_mask = if fault.initial_value() {
-                good1[fault.site.index()]
-            } else {
-                !good1[fault.site.index()]
-            };
-            let launch_mask = if fault.final_value() {
-                good2[fault.site.index()]
-            } else {
-                !good2[fault.site.index()]
-            };
-            let lanes = init_mask & launch_mask & active_mask;
+            let lanes = self.activation_lanes(fault) & active_mask;
             if lanes == 0 {
                 continue;
             }
-            // Cone-limited faulty resimulation of V2.
-            let stuck = fault.stuck_equivalent();
-            let mut faulty = good2.clone();
-            faulty[fault.site.index()] = stuck.stuck.word();
-            let cone: Vec<CellId> = self.cone(fault.site).to_vec();
-            let mut inputs: Vec<u64> = Vec::with_capacity(4);
-            for &id in &cone {
-                let cell = netlist.cell(id);
-                if cell.kind().is_flip_flop() {
-                    continue; // sequential boundary: D observed, Q untouched
-                }
-                inputs.clear();
-                inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
-                faulty[id.index()] = cell.kind().eval64(&inputs);
-            }
-            let obs_faulty = self.view.observe64(&faulty);
-            let miscompare = obs_good2
-                .iter()
-                .zip(&obs_faulty)
-                .fold(0u64, |acc, (g, b)| acc | (g ^ b));
-            if miscompare & lanes != 0 {
+            if self.faulty_miscompare(fault) & lanes != 0 {
                 detected[fi] = true;
                 new_hits += 1;
             }
         }
         new_hits
+    }
+
+    /// Lanes where V1 sets the initial value and V2 the final value at the
+    /// fault site.
+    fn activation_lanes(&self, fault: &TransitionFault) -> u64 {
+        let site = fault.site.index();
+        let init_mask = if fault.initial_value() {
+            self.values1[site]
+        } else {
+            !self.values1[site]
+        };
+        let launch_mask = if fault.final_value() {
+            self.values2[site]
+        } else {
+            !self.values2[site]
+        };
+        init_mask & launch_mask
     }
 
     /// Like [`TransitionSimulator::run_batch`], but counts *how many*
@@ -205,50 +227,20 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
         counts: &mut [u32],
         target: u32,
     ) -> usize {
-        let good1 = self.view.eval64(v1_words, None);
-        let good2 = self.view.eval64(v2_words, None);
-        let obs_good2 = self.view.observe64(&good2);
-        let netlist = self.view.netlist();
+        let (view, values1, values2) = (self.view, &mut self.values1, &mut self.values2);
+        view.eval64_into(v1_words, None, values1);
+        view.eval64_into(v2_words, None, values2);
         let mut newly_saturated = 0;
 
         for (fi, fault) in faults.iter().enumerate() {
             if counts[fi] >= target {
                 continue;
             }
-            let init_mask = if fault.initial_value() {
-                good1[fault.site.index()]
-            } else {
-                !good1[fault.site.index()]
-            };
-            let launch_mask = if fault.final_value() {
-                good2[fault.site.index()]
-            } else {
-                !good2[fault.site.index()]
-            };
-            let lanes = init_mask & launch_mask & active_mask;
+            let lanes = self.activation_lanes(fault) & active_mask;
             if lanes == 0 {
                 continue;
             }
-            let stuck = fault.stuck_equivalent();
-            let mut faulty = good2.clone();
-            faulty[fault.site.index()] = stuck.stuck.word();
-            let cone: Vec<CellId> = self.cone(fault.site).to_vec();
-            let mut inputs: Vec<u64> = Vec::with_capacity(4);
-            for &id in &cone {
-                let cell = netlist.cell(id);
-                if cell.kind().is_flip_flop() {
-                    continue;
-                }
-                inputs.clear();
-                inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
-                faulty[id.index()] = cell.kind().eval64(&inputs);
-            }
-            let obs_faulty = self.view.observe64(&faulty);
-            let miscompare = obs_good2
-                .iter()
-                .zip(&obs_faulty)
-                .fold(0u64, |acc, (g, b)| acc | (g ^ b));
-            let hits = (miscompare & lanes).count_ones();
+            let hits = (self.faulty_miscompare(fault) & lanes).count_ones();
             if hits > 0 {
                 let before = counts[fi];
                 counts[fi] = (counts[fi] + hits).min(target);

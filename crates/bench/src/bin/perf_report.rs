@@ -1,0 +1,261 @@
+//! Throughput report for the compiled-IR refactor (`BENCH_compiled_ir.json`).
+//!
+//! Measures two hot paths on the s13207 profile and compares the compiled
+//! [`flh_netlist::CompiledCircuit`] pipeline against the frozen seed path
+//! (`flh_bench::seed_baseline`):
+//!
+//! * logic simulation — full functional cycles (settle + clock capture),
+//!   reported as nominal gate evaluations per second;
+//! * 64-pattern stuck-at fault simulation — one `run_batch` over the stem
+//!   fault list, reported as patterns per second.
+//!
+//! Usage: `perf_report [--quick] [--out PATH]`. `--quick` shrinks the
+//! iteration counts so `scripts/ci.sh` can run it as a smoke test; the
+//! speedup target (≥ 5× on fault simulation) is only meaningful in the
+//! full run. The JSON report is hand-written (no serde in this workspace).
+
+use std::fs;
+use std::time::Instant;
+
+use flh_atpg::{enumerate_stuck_faults, Fault, FaultSite, StuckSimulator, TestView};
+use flh_bench::build_circuit;
+use flh_bench::seed_baseline::{BaselineStuckSimulator, BaselineView};
+use flh_netlist::{iscas89_profile, CompiledCircuit, Netlist};
+use flh_rng::Rng;
+use flh_sim::{CompiledSim, Logic, LogicSim};
+
+const CIRCUIT: &str = "s13207";
+const LANES: u64 = 64;
+
+struct Options {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        out: "BENCH_compiled_ir.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_report [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+fn random_vector(rng: &mut Rng, width: usize) -> Vec<Logic> {
+    (0..width)
+        .map(|_| {
+            if rng.gen::<u64>() & 1 == 0 {
+                Logic::Zero
+            } else {
+                Logic::One
+            }
+        })
+        .collect()
+}
+
+struct LogicSimResult {
+    cycles: usize,
+    nominal_events: u64,
+    event_driven_s: f64,
+    compiled_s: f64,
+}
+
+fn bench_logic_sim(netlist: &Netlist, compiled: &CompiledCircuit, cycles: usize) -> LogicSimResult {
+    let width = netlist.inputs().len();
+    let vectors: Vec<Vec<Logic>> = {
+        let mut rng = Rng::seed_from_u64(0xC1C0);
+        (0..cycles)
+            .map(|_| random_vector(&mut rng, width))
+            .collect()
+    };
+
+    let mut event_sim = LogicSim::new(netlist).expect("acyclic benchmark circuit");
+    let t0 = Instant::now();
+    for v in &vectors {
+        event_sim.apply_vector(v);
+    }
+    let event_elapsed = t0.elapsed().as_secs_f64();
+
+    let mut compiled_sim = CompiledSim::new(compiled);
+    let t0 = Instant::now();
+    for v in &vectors {
+        compiled_sim.apply_vector(v);
+    }
+    let compiled_elapsed = t0.elapsed().as_secs_f64();
+
+    // Both simulators must agree cycle-for-cycle; spot-check the end state.
+    assert_eq!(
+        event_sim.outputs(),
+        compiled_sim.outputs(),
+        "event-driven and compiled logic sim diverged"
+    );
+
+    // Nominal events: one evaluation of every levelized cell per settle, two
+    // settles per applied vector (pre- and post-capture). The event-driven
+    // simulator evaluates fewer cells per cycle; using the same nominal
+    // count for both sides compares wall-clock per cycle directly.
+    let nominal_events = (cycles as u64) * 2 * compiled.order().len() as u64;
+    LogicSimResult {
+        cycles,
+        nominal_events,
+        event_driven_s: nominal_events as f64 / event_elapsed,
+        compiled_s: nominal_events as f64 / compiled_elapsed,
+    }
+}
+
+struct FaultSimResult {
+    faults: usize,
+    reps: usize,
+    seed_patterns_s: f64,
+    compiled_patterns_s: f64,
+    detected: usize,
+}
+
+fn bench_fault_sim(netlist: &Netlist, faults: &[Fault], reps: usize) -> FaultSimResult {
+    let view = TestView::new(netlist).expect("acyclic benchmark circuit");
+    let baseline_view = BaselineView::new(netlist);
+    let words: Vec<u64> = {
+        let mut rng = Rng::seed_from_u64(0xFA57);
+        (0..view.assignable().len()).map(|_| rng.gen()).collect()
+    };
+
+    let mut baseline = BaselineStuckSimulator::new(&baseline_view);
+    let mut seed_detected = vec![false; faults.len()];
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        seed_detected.fill(false);
+        baseline.run_batch(&words, !0, faults, &mut seed_detected);
+    }
+    let seed_elapsed = t0.elapsed().as_secs_f64();
+
+    let mut sim = StuckSimulator::new(&view);
+    let mut detected = vec![false; faults.len()];
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        detected.fill(false);
+        sim.run_batch(&words, !0, faults, &mut detected);
+    }
+    let compiled_elapsed = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        seed_detected, detected,
+        "seed-path and compiled fault sim disagree on detection"
+    );
+
+    let patterns = (LANES as usize * reps) as f64;
+    FaultSimResult {
+        faults: faults.len(),
+        reps,
+        seed_patterns_s: patterns / seed_elapsed,
+        compiled_patterns_s: patterns / compiled_elapsed,
+        detected: detected.iter().filter(|&&d| d).count(),
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let profile = iscas89_profile(CIRCUIT).expect("s13207 profile present");
+    let netlist = build_circuit(&profile);
+    let compiled = CompiledCircuit::compile(&netlist).expect("acyclic benchmark circuit");
+
+    let stems: Vec<Fault> = enumerate_stuck_faults(&netlist)
+        .into_iter()
+        .filter(|f| matches!(f.site, FaultSite::Stem(_)))
+        .collect();
+
+    let (cycles, fault_count, reps) = if opts.quick {
+        (20, 400.min(stems.len()), 1)
+    } else {
+        (300, stems.len(), 3)
+    };
+    let faults = &stems[..fault_count];
+
+    println!(
+        "perf_report: {CIRCUIT} ({} cells, depth {}), {} stem faults{}",
+        compiled.cell_count(),
+        compiled.depth(),
+        fault_count,
+        if opts.quick { " [--quick]" } else { "" }
+    );
+
+    let logic = bench_logic_sim(&netlist, &compiled, cycles);
+    let logic_speedup = logic.compiled_s / logic.event_driven_s;
+    println!(
+        "logic sim   ({} cycles): event-driven {:>10.0} ev/s | compiled {:>10.0} ev/s | {:.2}x",
+        logic.cycles, logic.event_driven_s, logic.compiled_s, logic_speedup
+    );
+
+    let fault = bench_fault_sim(&netlist, faults, reps);
+    let fault_speedup = fault.compiled_patterns_s / fault.seed_patterns_s;
+    println!(
+        "fault sim   ({} faults x {} lanes x {} reps, {} detected):",
+        fault.faults, LANES, fault.reps, fault.detected
+    );
+    println!(
+        "            seed path {:>8.1} patterns/s | compiled {:>8.1} patterns/s | {:.2}x",
+        fault.seed_patterns_s, fault.compiled_patterns_s, fault_speedup
+    );
+    if !opts.quick {
+        println!(
+            "fault-sim speedup target (>= 5x): {}",
+            if fault_speedup >= 5.0 {
+                "MET"
+            } else {
+                "NOT MET"
+            }
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"compiled_ir\",\n",
+            "  \"circuit\": \"{circuit}\",\n",
+            "  \"quick\": {quick},\n",
+            "  \"logic_sim\": {{\n",
+            "    \"cycles\": {cycles},\n",
+            "    \"nominal_events\": {events},\n",
+            "    \"event_driven_events_per_s\": {ev:.1},\n",
+            "    \"compiled_events_per_s\": {cev:.1},\n",
+            "    \"speedup\": {lsp:.3}\n",
+            "  }},\n",
+            "  \"fault_sim\": {{\n",
+            "    \"faults\": {faults},\n",
+            "    \"lanes\": {lanes},\n",
+            "    \"reps\": {reps},\n",
+            "    \"detected\": {detected},\n",
+            "    \"seed_patterns_per_s\": {spps:.2},\n",
+            "    \"compiled_patterns_per_s\": {cpps:.2},\n",
+            "    \"speedup\": {fsp:.3}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        circuit = CIRCUIT,
+        quick = opts.quick,
+        cycles = logic.cycles,
+        events = logic.nominal_events,
+        ev = logic.event_driven_s,
+        cev = logic.compiled_s,
+        lsp = logic_speedup,
+        faults = fault.faults,
+        lanes = LANES,
+        reps = fault.reps,
+        detected = fault.detected,
+        spps = fault.seed_patterns_s,
+        cpps = fault.compiled_patterns_s,
+        fsp = fault_speedup,
+    );
+    fs::write(&opts.out, json).expect("write report");
+    println!("wrote {}", opts.out);
+}

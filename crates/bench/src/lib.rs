@@ -18,6 +18,8 @@
 use flh_core::{evaluate_all, DftStyle, EvalConfig, StyleEvaluation};
 use flh_netlist::{generate_circuit, CircuitProfile, Netlist};
 
+pub mod seed_baseline;
+
 /// Generates the benchmark circuit for a profile.
 ///
 /// # Panics

@@ -1,0 +1,210 @@
+//! Frozen replica of the pre-`CompiledCircuit` simulation path, kept as the
+//! reference point for the `perf_report` speedup measurement.
+//!
+//! This is the algorithm the repository shipped before the compiled-IR
+//! refactor: per-instance Kahn levelization, pointer-chasing graph walks
+//! through [`Netlist::cell`], a `HashMap`-backed fanout-cone cache whose
+//! entries are cloned per fault, a full good-value clone per fault, and a
+//! full observation-list scan per fault. Do **not** use it for real work —
+//! [`flh_atpg::StuckSimulator`] produces identical results and is what the
+//! speedup is measured against.
+
+use std::collections::HashMap;
+
+use flh_atpg::Fault;
+use flh_netlist::{analysis, CellId, Netlist};
+
+/// Graph-walking equivalent of `flh_atpg::TestView`, as seeded.
+pub struct BaselineView<'a> {
+    netlist: &'a Netlist,
+    order: Vec<CellId>,
+    assignable: Vec<CellId>,
+    /// Observed cells: `fanin[0]` of every output marker and flip-flop.
+    observed: Vec<CellId>,
+    fanouts: analysis::FanoutMap,
+}
+
+impl<'a> BaselineView<'a> {
+    /// Builds the view (panics on cyclic netlists — benchmark input only).
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let order = analysis::combinational_order(netlist).expect("acyclic benchmark circuit");
+        let mut assignable: Vec<CellId> = netlist.inputs().to_vec();
+        assignable.extend_from_slice(netlist.flip_flops());
+        let observed: Vec<CellId> = netlist
+            .outputs()
+            .iter()
+            .chain(netlist.flip_flops())
+            .map(|&o| netlist.cell(o).fanin()[0])
+            .collect();
+        BaselineView {
+            fanouts: analysis::FanoutMap::compute(netlist),
+            netlist,
+            order,
+            assignable,
+            observed,
+        }
+    }
+
+    /// Assignable cells, primary inputs first.
+    pub fn assignable(&self) -> &[CellId] {
+        &self.assignable
+    }
+
+    /// 64-way good-machine evaluation by graph walk.
+    pub fn eval64(&self, assignment: &[u64]) -> Vec<u64> {
+        assert_eq!(assignment.len(), self.assignable.len());
+        let mut values = vec![0u64; self.netlist.cell_count()];
+        for (i, &cell) in self.assignable.iter().enumerate() {
+            values[cell.index()] = assignment[i];
+        }
+        let mut inputs: Vec<u64> = Vec::with_capacity(4);
+        for &id in &self.order {
+            let cell = self.netlist.cell(id);
+            inputs.clear();
+            inputs.extend(cell.fanin().iter().map(|&x| values[x.index()]));
+            values[id.index()] = cell.kind().eval64(&inputs);
+        }
+        values
+    }
+
+    /// Full observation scan.
+    pub fn observe64(&self, values: &[u64]) -> Vec<u64> {
+        self.observed.iter().map(|&d| values[d.index()]).collect()
+    }
+}
+
+/// The seed's 64-way stuck-at fault simulator: `HashMap` cone cache with a
+/// clone per lookup, full good-array clone and full observation scan per
+/// fault.
+pub struct BaselineStuckSimulator<'v, 'a> {
+    view: &'v BaselineView<'a>,
+    topo_pos: Vec<usize>,
+    cones: HashMap<CellId, Vec<CellId>>,
+}
+
+impl<'v, 'a> BaselineStuckSimulator<'v, 'a> {
+    /// Builds a simulator (re-deriving the topological order, as seeded).
+    pub fn new(view: &'v BaselineView<'a>) -> Self {
+        let netlist = view.netlist;
+        let order = analysis::combinational_order(netlist).expect("acyclic benchmark circuit");
+        let mut topo_pos = vec![usize::MAX; netlist.cell_count()];
+        for (pos, &id) in order.iter().enumerate() {
+            topo_pos[id.index()] = pos;
+        }
+        BaselineStuckSimulator {
+            view,
+            topo_pos,
+            cones: HashMap::new(),
+        }
+    }
+
+    fn cone(&mut self, site: CellId) -> Vec<CellId> {
+        let view = self.view;
+        let topo_pos = &self.topo_pos;
+        self.cones
+            .entry(site)
+            .or_insert_with(|| {
+                let mut cone = analysis::fanout_cone(view.netlist, &view.fanouts, &[site]);
+                cone.sort_by_key(|c| topo_pos[c.index()]);
+                cone
+            })
+            .clone()
+    }
+
+    /// Seed-path equivalent of [`flh_atpg::StuckSimulator::run_batch`]
+    /// (stem faults only — the benchmark fault list).
+    pub fn run_batch(
+        &mut self,
+        words: &[u64],
+        active_mask: u64,
+        faults: &[Fault],
+        detected: &mut [bool],
+    ) -> usize {
+        let good = self.view.eval64(words);
+        let obs_good = self.view.observe64(&good);
+        let netlist = self.view.netlist;
+        let mut new_hits = 0;
+
+        for (fi, fault) in faults.iter().enumerate() {
+            if detected[fi] {
+                continue;
+            }
+            let driver = fault.driver(netlist);
+            let line = good[driver.index()];
+            let active_lanes = if fault.stuck.as_bool() { !line } else { line };
+            let lanes = active_lanes & active_mask;
+            if lanes == 0 {
+                continue;
+            }
+            let mut faulty = good.clone();
+            let seed = driver;
+            faulty[seed.index()] = fault.stuck.word();
+            let cone = self.cone(seed);
+            let mut inputs: Vec<u64> = Vec::with_capacity(4);
+            for &id in &cone {
+                if id == seed {
+                    continue;
+                }
+                let cell = netlist.cell(id);
+                if cell.kind().is_flip_flop() {
+                    continue;
+                }
+                inputs.clear();
+                inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
+                faulty[id.index()] = cell.kind().eval64(&inputs);
+            }
+            let obs_faulty = self.view.observe64(&faulty);
+            let miscompare = obs_good
+                .iter()
+                .zip(&obs_faulty)
+                .fold(0u64, |acc, (g, b)| acc | (g ^ b));
+            if miscompare & lanes != 0 {
+                detected[fi] = true;
+                new_hits += 1;
+            }
+        }
+        new_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_atpg::{enumerate_stuck_faults, FaultSite, StuckSimulator, TestView};
+    use flh_netlist::{generate_circuit, GeneratorConfig};
+    use flh_rng::Rng;
+
+    #[test]
+    fn baseline_agrees_with_the_compiled_fault_simulator() {
+        let n = generate_circuit(&GeneratorConfig {
+            name: "baseline_eq".into(),
+            primary_inputs: 6,
+            primary_outputs: 5,
+            flip_flops: 8,
+            gates: 120,
+            logic_depth: 8,
+            avg_ff_fanout: 2.3,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 55,
+        })
+        .unwrap();
+        let stems: Vec<Fault> = enumerate_stuck_faults(&n)
+            .into_iter()
+            .filter(|f| matches!(f.site, FaultSite::Stem(_)))
+            .collect();
+        let view = TestView::new(&n).unwrap();
+        let baseline_view = BaselineView::new(&n);
+        let mut rng = Rng::seed_from_u64(99);
+        let words: Vec<u64> = (0..view.assignable().len()).map(|_| rng.gen()).collect();
+
+        let mut fast = StuckSimulator::new(&view);
+        let mut slow = BaselineStuckSimulator::new(&baseline_view);
+        let mut d_fast = vec![false; stems.len()];
+        let mut d_slow = vec![false; stems.len()];
+        fast.run_batch(&words, !0, &stems, &mut d_fast);
+        slow.run_batch(&words, !0, &stems, &mut d_slow);
+        assert_eq!(d_fast, d_slow);
+        assert!(d_fast.iter().any(|&d| d), "batch detected nothing");
+    }
+}

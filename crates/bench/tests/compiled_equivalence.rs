@@ -1,0 +1,116 @@
+//! Bit-for-bit equivalence of the compiled levelized simulator against the
+//! event-driven reference, across the full ISCAS89 profile set and every
+//! holding style of the paper (enhanced scan, MUX-based, FLH).
+//!
+//! For each circuit × style the two simulators are driven with an
+//! identical stimulus — random vectors with injected unknowns, plus
+//! periodic hold (holding-cell styles) or sleep (FLH supply gating)
+//! phases — and must agree on every cell value after every settle, on
+//! primary outputs and flip-flop state after every capture, and on the
+//! complete per-cell toggle statistics at the end of the run.
+
+use flh_bench::build_circuit;
+use flh_core::{apply_style, DftStyle};
+use flh_netlist::{iscas89_profiles, CellId, CompiledCircuit};
+use flh_rng::Rng;
+use flh_sim::{CompiledSim, Logic, LogicSim};
+
+const STYLES: [DftStyle; 3] = [DftStyle::EnhancedScan, DftStyle::MuxHold, DftStyle::Flh];
+
+/// Random vector with a 1-in-8 chance of an unknown per input, so X
+/// propagation is exercised on every circuit.
+fn random_vector(rng: &mut Rng, width: usize) -> Vec<Logic> {
+    (0..width)
+        .map(|_| match rng.gen::<u64>() % 8 {
+            0 => Logic::X,
+            r if r % 2 == 0 => Logic::Zero,
+            _ => Logic::One,
+        })
+        .collect()
+}
+
+#[test]
+fn compiled_sim_matches_event_driven_on_all_profiles_and_styles() {
+    for (pi, profile) in iscas89_profiles().iter().enumerate() {
+        let circuit = build_circuit(profile);
+        // Keep the debug-build runtime bounded on the two largest circuits.
+        let cycles = if profile.gates > 3000 { 5 } else { 12 };
+        for (si, &style) in STYLES.iter().enumerate() {
+            let dft = apply_style(&circuit, style).unwrap_or_else(|e| {
+                panic!("{} / {style}: style application failed: {e}", profile.name)
+            });
+            let n = &dft.netlist;
+            let compiled = CompiledCircuit::compile(n)
+                .unwrap_or_else(|e| panic!("{} / {style}: compile failed: {e}", profile.name));
+
+            let mut event = LogicSim::new(n).expect("acyclic after scan insertion");
+            let mut fast = CompiledSim::new(&compiled);
+            if style == DftStyle::Flh {
+                event.set_gated_cells(&dft.gated);
+                fast.set_gated_cells(&dft.gated);
+            }
+
+            let mut rng = Rng::seed_from_u64(0x1500 + (pi * 8 + si) as u64);
+            for cycle in 0..cycles {
+                let v = random_vector(&mut rng, n.inputs().len());
+                event.set_inputs(&v);
+                fast.set_inputs(&v);
+                // Engage the style's freeze mechanism on a couple of
+                // cycles mid-run, releasing it afterwards.
+                let freeze = cycle % 5 == 3;
+                match style {
+                    DftStyle::EnhancedScan | DftStyle::MuxHold => {
+                        event.set_hold(freeze);
+                        fast.set_hold(freeze);
+                    }
+                    DftStyle::Flh => {
+                        event.set_sleep(freeze);
+                        fast.set_sleep(freeze);
+                    }
+                    DftStyle::PlainScan => {}
+                }
+                event.settle();
+                fast.settle();
+                for i in 0..n.cell_count() {
+                    let id = CellId::from_index(i);
+                    assert_eq!(
+                        event.value(id),
+                        fast.value(id),
+                        "{} / {style} cycle {cycle}: cell {i} diverged after settle",
+                        profile.name
+                    );
+                }
+                event.clock_capture();
+                fast.clock_capture();
+                assert_eq!(
+                    event.outputs(),
+                    fast.outputs(),
+                    "{} / {style} cycle {cycle}: outputs diverged",
+                    profile.name
+                );
+                assert_eq!(
+                    event.ff_state(),
+                    fast.ff_state(),
+                    "{} / {style} cycle {cycle}: flip-flop state diverged",
+                    profile.name
+                );
+            }
+
+            assert_eq!(
+                event.activity().cycles(),
+                fast.activity().cycles(),
+                "{} / {style}: cycle counts diverged",
+                profile.name
+            );
+            for i in 0..n.cell_count() {
+                let id = CellId::from_index(i);
+                assert_eq!(
+                    event.activity().toggles(id),
+                    fast.activity().toggles(id),
+                    "{} / {style}: toggle count diverged at cell {i}",
+                    profile.name
+                );
+            }
+        }
+    }
+}

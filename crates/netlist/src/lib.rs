@@ -13,6 +13,9 @@
 //!   format.
 //! * [`analysis`] — levelization, fanout maps, first-level-gate (unique
 //!   fanout) identification, cone extraction and structural statistics.
+//! * [`compiled`] — [`CompiledCircuit`], the flattened CSR/SoA execution
+//!   snapshot every hot loop (logic sim, fault sim, STA, power) walks
+//!   instead of re-deriving order and fanout from the graph.
 //! * [`generate`] — a deterministic synthetic circuit generator whose
 //!   per-circuit profiles are calibrated to the published ISCAS89 statistics
 //!   (see `DESIGN.md` for the substitution rationale).
@@ -38,6 +41,7 @@
 pub mod analysis;
 pub mod bench_io;
 pub mod cell;
+pub mod compiled;
 pub mod dot;
 pub mod error;
 pub mod generate;
@@ -48,7 +52,8 @@ pub mod unroll;
 pub mod verilog;
 
 pub use analysis::{CircuitStats, FanoutMap, Levelization};
-pub use cell::{CellId, CellKind, HoldStyle};
+pub use cell::{CellId, CellKind, Dual64, HoldStyle};
+pub use compiled::{CompiledCircuit, ConeScratch};
 pub use error::NetlistError;
 pub use generate::{generate_circuit, GeneratorConfig};
 pub use graph::{Cell, Netlist};

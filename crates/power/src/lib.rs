@@ -16,9 +16,9 @@
 //!   large circuit can come out below the unmodified baseline (the
 //!   paper's s13207 observation).
 
-use flh_netlist::{analysis::FanoutMap, CellId, CellKind, Netlist};
+use flh_netlist::{CellId, CellKind, CompiledCircuit, Netlist};
 use flh_rng::Rng;
-use flh_sim::{Logic, LogicSim};
+use flh_sim::{CompiledSim, Logic};
 use flh_tech::{CellLibrary, FlhPhysical};
 
 /// Environment knobs for power estimation.
@@ -94,7 +94,9 @@ impl PowerBreakdown {
 ///
 /// # Panics
 ///
-/// Panics if the netlist contains unmapped generic gates.
+/// Panics if the netlist contains unmapped generic gates or is
+/// combinationally cyclic (an activity trace implies it simulated, and
+/// simulation already requires acyclicity).
 pub fn estimate(
     netlist: &Netlist,
     library: &CellLibrary,
@@ -103,15 +105,33 @@ pub fn estimate(
     flh: Option<&FlhPowerAnnotation<'_>>,
     mode: OperatingMode,
 ) -> PowerBreakdown {
+    let compiled = CompiledCircuit::compile(netlist).expect("activity implies acyclic netlist");
+    estimate_compiled(&compiled, library, activity, config, flh, mode)
+}
+
+/// [`estimate`] over an already-compiled circuit: the capacitance assembly
+/// walks the dense id space and CSR reader lists directly, so repeated
+/// estimates (mode sweeps, style comparisons) share one compile.
+///
+/// # Panics
+///
+/// Panics if the circuit contains unmapped generic gates.
+pub fn estimate_compiled(
+    compiled: &CompiledCircuit,
+    library: &CellLibrary,
+    activity: &flh_sim::Activity,
+    config: &PowerConfig,
+    flh: Option<&FlhPowerAnnotation<'_>>,
+    mode: OperatingMode,
+) -> PowerBreakdown {
     let tech = library.technology();
-    let fanouts = FanoutMap::compute(netlist);
     let vdd2 = tech.vdd * tech.vdd;
     let freq_ghz = match mode {
         OperatingMode::Normal => tech.clock_freq_ghz,
         OperatingMode::ScanShift => tech.scan_freq_ghz,
     };
 
-    let mut gated = vec![false; netlist.cell_count()];
+    let mut gated = vec![false; compiled.cell_count()];
     if let Some(ann) = flh {
         for &c in ann.gated {
             gated[c.index()] = true;
@@ -122,8 +142,8 @@ pub fn estimate(
     let mut clock_uw = 0.0;
     let mut leakage_uw = 0.0;
 
-    for (id, cell) in netlist.iter() {
-        let kind = cell.kind();
+    for id in 0..compiled.cell_count() as u32 {
+        let kind = compiled.kind(id);
         if kind == CellKind::Output {
             continue;
         }
@@ -132,8 +152,8 @@ pub fn estimate(
         // Capacitance switched per output toggle: own diffusion + hidden
         // internal nodes + readers' input caps + wire.
         let mut c_node = phys.output_cap_ff + phys.internal_sw_cap_ff;
-        for &r in fanouts.readers(id) {
-            let rk = netlist.cell(r).kind();
+        for &r in compiled.readers(id) {
+            let rk = compiled.kind(r);
             c_node += if rk == CellKind::Output {
                 config.po_load_ff
             } else {
@@ -143,7 +163,7 @@ pub fn estimate(
         }
 
         let mut leak_na = phys.leakage_na;
-        if gated[id.index()] {
+        if gated[id as usize] {
             let ann = flh.expect("gated implies annotation");
             // Keeper INV1 gate + TG diffusion ride on the node, and the
             // keeper's internal node toggles along with it.
@@ -155,7 +175,7 @@ pub fn estimate(
             leak_na = leak_na * factor + ann.physical.keeper_leakage_na;
         }
 
-        let alpha = activity.activity_factor(id);
+        let alpha = activity.activity_factor(CellId::from_index(id as usize));
         dynamic_uw += 0.5 * alpha * c_node * vdd2 * freq_ghz * config.glitch_factor;
         clock_uw += phys.clock_cap_ff * vdd2 * freq_ghz;
         leakage_uw += leak_na * tech.vdd * 1e-3;
@@ -186,8 +206,9 @@ pub fn random_vector_power(
     vectors: usize,
     seed: u64,
 ) -> flh_netlist::Result<PowerBreakdown> {
+    let compiled = CompiledCircuit::compile(netlist)?;
     let mut rng = Rng::seed_from_u64(seed);
-    let mut sim = LogicSim::new(netlist)?;
+    let mut sim = CompiledSim::new(&compiled);
     if let Some(ann) = flh {
         sim.set_gated_cells(ann.gated);
     }
@@ -206,8 +227,8 @@ pub fn random_vector_power(
             .collect();
         sim.apply_vector(&v);
     }
-    Ok(estimate(
-        netlist,
+    Ok(estimate_compiled(
+        &compiled,
         library,
         sim.activity(),
         config,
@@ -219,6 +240,7 @@ pub fn random_vector_power(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flh_sim::LogicSim;
     use flh_tech::{FlhConfig, Technology};
 
     fn lib() -> CellLibrary {

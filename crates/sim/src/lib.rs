@@ -23,11 +23,15 @@
 //! [`CellKind::HoldLatch`]: flh_netlist::CellKind::HoldLatch
 //! [`CellKind::HoldMux`]: flh_netlist::CellKind::HoldMux
 
+pub mod compiled_sim;
 pub mod scan;
 pub mod simulator;
 pub mod two_pattern;
 pub mod value;
 
+pub use compiled_sim::{
+    lane_to_logic, logic_to_lane, settle_packed, settle_packed_frozen, CompiledSim,
+};
 pub use scan::{MultiScanController, ScanChain, ScanController};
 pub use simulator::{Activity, LogicSim};
 pub use two_pattern::{HoldMechanism, TwoPatternOutcome, TwoPatternRunner};

@@ -17,11 +17,22 @@ pub struct Activity {
 }
 
 impl Activity {
-    fn new(cells: usize) -> Self {
+    pub(crate) fn new(cells: usize) -> Self {
         Activity {
             toggles: vec![0; cells],
             cycles: 0,
         }
+    }
+
+    /// Records one known→known output change (crate-internal: simulators
+    /// feed this).
+    pub(crate) fn record_toggle(&mut self, index: usize) {
+        self.toggles[index] += 1;
+    }
+
+    /// Counts one clock cycle (crate-internal: simulators feed this).
+    pub(crate) fn record_cycle(&mut self) {
+        self.cycles += 1;
     }
 
     /// Toggle count of one cell output.

@@ -15,7 +15,7 @@
 //!   extra level of logic in the timing path"), which is why the overhead
 //!   is a small fraction of a gate delay instead of a full latch arc.
 
-use flh_netlist::{analysis, CellId, CellKind, Netlist};
+use flh_netlist::{CellId, CellKind, CompiledCircuit, Netlist};
 use flh_tech::{CellLibrary, FlhPhysical};
 
 /// Environment knobs for the analysis.
@@ -169,19 +169,35 @@ impl SlackReport {
         config: &TimingConfig,
         clock_period_ps: f64,
     ) -> flh_netlist::Result<Self> {
-        let order = analysis::combinational_order(netlist)?;
-        let n = netlist.cell_count();
+        let compiled = CompiledCircuit::compile(netlist)?;
+        Ok(Self::compute_compiled(
+            &compiled,
+            report,
+            config,
+            clock_period_ps,
+        ))
+    }
+
+    /// [`SlackReport::compute`] over an already-compiled circuit; walking
+    /// the precomputed level order in reverse, it cannot fail.
+    pub fn compute_compiled(
+        compiled: &CompiledCircuit,
+        report: &TimingReport,
+        config: &TimingConfig,
+        clock_period_ps: f64,
+    ) -> Self {
+        let n = compiled.cell_count();
         let mut required = vec![f64::INFINITY; n];
 
         // Endpoint requirements.
-        for (id, cell) in netlist.iter() {
-            match cell.kind() {
-                CellKind::Output => required[id.index()] = clock_period_ps,
+        for id in 0..n as u32 {
+            match compiled.kind(id) {
+                CellKind::Output => required[id as usize] = clock_period_ps,
                 k if k.is_flip_flop() => {
-                    let d = cell.fanin()[0];
+                    let d = compiled.fanin(id)[0];
                     let r = clock_period_ps - config.ff_setup_ps;
-                    if r < required[d.index()] {
-                        required[d.index()] = r;
+                    if r < required[d as usize] {
+                        required[d as usize] = r;
                     }
                 }
                 _ => {}
@@ -189,27 +205,26 @@ impl SlackReport {
         }
         // Backward pass in reverse topological order: each cell constrains
         // its fanins through its own stage delay.
-        for &id in order.iter().rev() {
-            let cell = netlist.cell(id);
-            let r_here = required[id.index()];
+        for &id in compiled.order().iter().rev() {
+            let r_here = required[id as usize];
             if !r_here.is_finite() {
                 continue;
             }
-            let stage = if cell.kind() == CellKind::Output {
+            let stage = if compiled.kind(id) == CellKind::Output {
                 0.0
             } else {
                 // Stage delay as realized in the forward pass.
-                let worst_in = cell
-                    .fanin()
+                let worst_in = compiled
+                    .fanin(id)
                     .iter()
-                    .map(|&f| report.arrival_ps(f))
+                    .map(|&f| report.arrival_ps[f as usize])
                     .fold(0.0, f64::max);
-                report.arrival_ps(id) - worst_in
+                report.arrival_ps[id as usize] - worst_in
             };
-            for &f in cell.fanin() {
+            for &f in compiled.fanin(id) {
                 let r = r_here - stage;
-                if r < required[f.index()] {
-                    required[f.index()] = r;
+                if r < required[f as usize] {
+                    required[f as usize] = r;
                 }
             }
         }
@@ -222,10 +237,10 @@ impl SlackReport {
                 }
             })
             .collect();
-        Ok(SlackReport {
+        SlackReport {
             required_ps: required,
             slack_ps: slack,
-        })
+        }
     }
 
     /// Required time at a cell (ps); `+inf` for unobserved cells.
@@ -274,9 +289,25 @@ pub fn analyze(
     config: &TimingConfig,
     flh: Option<FlhAnnotation<'_>>,
 ) -> flh_netlist::Result<TimingReport> {
-    let order = analysis::combinational_order(netlist)?;
-    let fanouts = analysis::FanoutMap::compute(netlist);
-    let n = netlist.cell_count();
+    let compiled = CompiledCircuit::compile(netlist)?;
+    Ok(analyze_compiled(&compiled, library, config, flh))
+}
+
+/// [`analyze`] over an already-compiled circuit. The forward pass walks the
+/// precomputed level order and CSR fanin/fanout arrays — no per-call
+/// levelization or fanout-map construction — so repeated analyses (sizing
+/// sweeps, per-style comparisons) share one compile.
+///
+/// # Panics
+///
+/// Panics if the netlist contains unmapped generic gates.
+pub fn analyze_compiled(
+    compiled: &CompiledCircuit,
+    library: &CellLibrary,
+    config: &TimingConfig,
+    flh: Option<FlhAnnotation<'_>>,
+) -> TimingReport {
+    let n = compiled.cell_count();
 
     let mut gated = vec![false; n];
     if let Some(ann) = &flh {
@@ -286,10 +317,10 @@ pub fn analyze(
     }
 
     // Output load per driving cell.
-    let load_ff = |id: CellId| -> f64 {
+    let load_ff = |id: u32| -> f64 {
         let mut c = 0.0;
-        for &r in fanouts.readers(id) {
-            let kind = netlist.cell(r).kind();
+        for &r in compiled.readers(id) {
+            let kind = compiled.kind(r);
             c += if kind == CellKind::Output {
                 config.po_load_ff
             } else {
@@ -297,9 +328,11 @@ pub fn analyze(
             };
             c += config.wire_cap_per_fanout_ff;
         }
-        if gated[id.index()] {
+        if gated[id as usize] {
             let ann = flh.as_ref().expect("gated implies annotation");
-            c += ann.physical_for(id).keeper_load_ff;
+            c += ann
+                .physical_for(CellId::from_index(id as usize))
+                .keeper_load_ff;
         }
         c
     };
@@ -308,76 +341,72 @@ pub fn analyze(
     let mut worst_fanin: Vec<Option<CellId>> = vec![None; n];
 
     // Sources: primary inputs arrive at t = their driver delay; flip-flops
-    // at clk→q.
-    for (id, cell) in netlist.iter() {
-        match cell.kind() {
-            CellKind::Input | CellKind::Const0 | CellKind::Const1 => {
-                let phys = library.physical(cell.kind());
-                arrival[id.index()] = phys.drive_res_kohm * load_ff(id);
-            }
-            k if k.is_flip_flop() => {
-                let phys = library.physical(k);
-                arrival[id.index()] = phys.intrinsic_ps + phys.drive_res_kohm * load_ff(id);
-            }
-            _ => {}
-        }
+    // at clk→q. (Constants sit in the level order and are handled below.)
+    for &id in compiled.inputs() {
+        let phys = library.physical(CellKind::Input);
+        arrival[id as usize] = phys.drive_res_kohm * load_ff(id);
+    }
+    for &id in compiled.flip_flops() {
+        let phys = library.physical(compiled.kind(id));
+        arrival[id as usize] = phys.intrinsic_ps + phys.drive_res_kohm * load_ff(id);
     }
 
-    for &id in &order {
-        let cell = netlist.cell(id);
-        let kind = cell.kind();
-        let (base, from) = cell
-            .fanin()
+    for &id in compiled.order() {
+        let kind = compiled.kind(id);
+        let (base, from) = compiled
+            .fanin(id)
             .iter()
-            .map(|&f| (arrival[f.index()], Some(f)))
+            .map(|&f| (arrival[f as usize], Some(CellId::from_index(f as usize))))
             .fold((0.0, None), |acc, x| if x.0 > acc.0 { x } else { acc });
         if kind == CellKind::Output {
-            arrival[id.index()] = base;
-            worst_fanin[id.index()] = from;
+            arrival[id as usize] = base;
+            worst_fanin[id as usize] = from;
             continue;
         }
         let phys = library.physical(kind);
         let mut res = phys.drive_res_kohm;
         let mut intrinsic = phys.intrinsic_ps;
-        if gated[id.index()] {
+        if gated[id as usize] {
             let ann = flh.as_ref().expect("gated implies annotation");
-            let gphys = ann.physical_for(id);
+            let gphys = ann.physical_for(CellId::from_index(id as usize));
             res += gphys.extra_drive_res_kohm;
             // The extra resistance also slows the discharge of the cell's
             // own parasitics.
             intrinsic += gphys.extra_drive_res_kohm * phys.output_cap_ff;
         }
-        arrival[id.index()] = base + intrinsic + res * load_ff(id);
-        worst_fanin[id.index()] = from;
+        arrival[id as usize] = base + intrinsic + res * load_ff(id);
+        worst_fanin[id as usize] = from;
     }
 
-    // Endpoints: primary outputs and flip-flop D pins (+ setup).
+    // Endpoints: primary outputs and flip-flop D pins (+ setup), scanned in
+    // id order (ties resolve exactly as the graph walk did).
     let mut critical = 0.0f64;
     let mut endpoint = None;
-    for (id, cell) in netlist.iter() {
-        let t = match cell.kind() {
-            CellKind::Output => arrival[id.index()],
-            k if k.is_flip_flop() => arrival[cell.fanin()[0].index()] + config.ff_setup_ps,
+    for id in 0..n as u32 {
+        let t = match compiled.kind(id) {
+            CellKind::Output => arrival[id as usize],
+            k if k.is_flip_flop() => arrival[compiled.fanin(id)[0] as usize] + config.ff_setup_ps,
             _ => continue,
         };
         if t > critical {
             critical = t;
-            endpoint = Some(id);
+            endpoint = Some(CellId::from_index(id as usize));
         }
     }
     // Make flip-flop endpoints traceable through their D pin.
     if let Some(ep) = endpoint {
-        if netlist.cell(ep).kind().is_flip_flop() {
-            worst_fanin[ep.index()] = Some(netlist.cell(ep).fanin()[0]);
+        if compiled.kind(ep.index() as u32).is_flip_flop() {
+            let d = compiled.fanin(ep.index() as u32)[0];
+            worst_fanin[ep.index()] = Some(CellId::from_index(d as usize));
         }
     }
 
-    Ok(TimingReport {
+    TimingReport {
         arrival_ps: arrival,
         worst_fanin,
         critical_delay_ps: critical,
         critical_endpoint: endpoint,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -647,6 +676,55 @@ mod tests {
         assert!(slack.slack_at(dead).is_infinite());
         assert!(slack.required_ps(dead).is_infinite());
         assert!(slack.slack_at(g).is_finite());
+    }
+
+    #[test]
+    fn compiled_entry_points_match_graph_entry_points() {
+        let tech = Technology::bptm70();
+        let lib = CellLibrary::new(tech.clone());
+        let cfg = TimingConfig::paper_default();
+        let n = flh_netlist::generate_circuit(&flh_netlist::GeneratorConfig {
+            name: "timing_eq".into(),
+            primary_inputs: 6,
+            primary_outputs: 5,
+            flip_flops: 8,
+            gates: 90,
+            logic_depth: 7,
+            avg_ff_fanout: 2.3,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 2026,
+        })
+        .unwrap();
+        let compiled = CompiledCircuit::compile(&n).unwrap();
+        let fanouts = flh_netlist::FanoutMap::compute(&n);
+        let gated: Vec<CellId> = flh_netlist::analysis::first_level_gates(&n, &fanouts)
+            .into_iter()
+            .take(4)
+            .collect();
+        let phys = FlhPhysical::derive(&tech, &FlhConfig::paper_default());
+        let ann = || Some(FlhAnnotation::new(&gated, &phys));
+        let via_graph = analyze(&n, &lib, &cfg, ann()).unwrap();
+        let via_compiled = analyze_compiled(&compiled, &lib, &cfg, ann());
+        assert_eq!(
+            via_graph.critical_delay_ps(),
+            via_compiled.critical_delay_ps()
+        );
+        assert_eq!(
+            via_graph.critical_endpoint(),
+            via_compiled.critical_endpoint()
+        );
+        assert_eq!(via_graph.critical_path(), via_compiled.critical_path());
+        for id in n.ids() {
+            assert_eq!(via_graph.arrival_ps(id), via_compiled.arrival_ps(id));
+        }
+        let period = via_graph.critical_delay_ps() + 25.0;
+        let s1 = SlackReport::compute(&n, &via_graph, &cfg, period).unwrap();
+        let s2 = SlackReport::compute_compiled(&compiled, &via_compiled, &cfg, period);
+        for id in n.ids() {
+            assert_eq!(s1.slack_at(id), s2.slack_at(id));
+            assert_eq!(s1.required_ps(id), s2.required_ps(id));
+        }
     }
 
     #[test]

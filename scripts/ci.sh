@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, format check, and a perf-report smoke run.
+# No network access is required — the workspace has no external crate
+# dependencies (see flh-rng for the in-tree PRNG).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, all crates) =="
+cargo build --release --workspace --offline
+
+echo "== tests (all crates) =="
+cargo test -q --workspace --offline
+
+echo "== formatting =="
+cargo fmt --all --check
+
+echo "== perf report smoke (s13207, --quick) =="
+cargo run -q --release --offline -p flh-bench --bin perf_report -- --quick
+
+echo "CI OK"
