@@ -15,6 +15,7 @@
 //! [`random_transition_campaign`] quantifies this with seeded random
 //! pattern-pair campaigns under each constraint.
 
+use flh_exec::ThreadPool;
 use flh_netlist::Netlist;
 use flh_rng::Rng;
 
@@ -78,7 +79,94 @@ pub fn random_transition_campaign(
     pairs: usize,
     seed: u64,
 ) -> flh_netlist::Result<CampaignResult> {
-    campaign_impl(netlist, style, pairs, seed, |_, _, _| false)
+    random_transition_campaign_pooled(netlist, style, pairs, seed, &ThreadPool::serial())
+}
+
+/// Pooled [`random_transition_campaign`]: the pair stream is generated up
+/// front (consuming the RNG in exactly the order the streaming serial path
+/// does — the stream never depends on detection), then the fault list is
+/// sharded over the pool and every shard replays the full stream on its
+/// own simulator. Detection counts are summed in fault-id shard order, so
+/// the result is bit-identical at any pool size.
+///
+/// # Errors
+///
+/// Fails on combinationally cyclic netlists.
+pub fn random_transition_campaign_pooled(
+    netlist: &Netlist,
+    style: ApplicationStyle,
+    pairs: usize,
+    seed: u64,
+    pool: &ThreadPool,
+) -> flh_netlist::Result<CampaignResult> {
+    let view = TestView::new(netlist)?;
+    let faults = enumerate_transition_faults(netlist);
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = view.assignable().len();
+
+    let mut batches: Vec<(Vec<u64>, Vec<u64>, u64)> = Vec::with_capacity(pairs.div_ceil(64));
+    let mut remaining = pairs;
+    while remaining > 0 {
+        let lanes = remaining.min(64);
+        let mut v1 = vec![0u64; n];
+        let mut v2 = vec![0u64; n];
+        fill_pair_batch(&view, style, &mut rng, &mut v1, &mut v2);
+        let mask = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+        batches.push((v1, v2, mask));
+        remaining -= lanes;
+    }
+
+    let parts = pool.run_partitioned(faults.len(), |range| {
+        let shard = &faults[range];
+        let mut sim = TransitionSimulator::new(&view);
+        let mut detected = vec![false; shard.len()];
+        let mut count = 0usize;
+        for (v1, v2, mask) in &batches {
+            count += sim.run_batch(v1, v2, *mask, shard, &mut detected);
+        }
+        count
+    });
+    let detected_count = parts.iter().map(|(_, c)| c).sum();
+
+    Ok(CampaignResult {
+        style,
+        total_faults: faults.len(),
+        detected: detected_count,
+        pairs,
+    })
+}
+
+/// Runs the full circuit × style campaign grid over a pool, one cell per
+/// `(netlist, style)` pair, each cell a self-contained serial
+/// [`random_transition_campaign`] with the same `pairs` and `seed`. Rows
+/// follow `netlists` order, columns `styles` order — identical to calling
+/// the serial campaign in two nested loops, at any pool size.
+///
+/// # Errors
+///
+/// Fails on combinationally cyclic netlists.
+pub fn campaign_grid(
+    netlists: &[Netlist],
+    styles: &[ApplicationStyle],
+    pairs: usize,
+    seed: u64,
+    pool: &ThreadPool,
+) -> flh_netlist::Result<Vec<Vec<CampaignResult>>> {
+    let cells = netlists.len() * styles.len();
+    let results = pool.run(cells, |i| {
+        let (ci, si) = (i / styles.len(), i % styles.len());
+        random_transition_campaign(&netlists[ci], styles[si], pairs, seed)
+    });
+    let mut rows = Vec::with_capacity(netlists.len());
+    let mut it = results.into_iter();
+    for _ in netlists {
+        let mut row = Vec::with_capacity(styles.len());
+        for _ in styles {
+            row.push(it.next().expect("one result per cell")?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
 }
 
 /// Runs batches of random pairs until `target_pct` coverage is reached or
@@ -101,6 +189,64 @@ pub fn pairs_to_reach_coverage(
     })
 }
 
+/// Fills one 64-lane batch of random (V1, V2) words under `style`. RNG
+/// consumption order is fixed — all V1 words, V2 primary-input words, then
+/// the style-specific state fill — and is the determinism anchor shared by
+/// the streaming ([`campaign_impl`]) and precomputed
+/// ([`random_transition_campaign_pooled`]) pair generators.
+fn fill_pair_batch(
+    view: &TestView<'_>,
+    style: ApplicationStyle,
+    rng: &mut Rng,
+    v1: &mut [u64],
+    v2: &mut [u64],
+) {
+    let n_pi = view.primary_input_count();
+    let n_ff = v1.len() - n_pi;
+    for w in v1.iter_mut() {
+        *w = rng.gen();
+    }
+    // V2 primary inputs are always free.
+    for w in v2.iter_mut().take(n_pi) {
+        *w = rng.gen();
+    }
+    match style {
+        ApplicationStyle::ArbitraryTwoPattern => {
+            for w in v2.iter_mut().skip(n_pi) {
+                *w = rng.gen();
+            }
+        }
+        ApplicationStyle::Broadside => {
+            // State part of V2 = the flip-flop D values under V1.
+            let good1 = view.eval64(v1, None);
+            let mut ff_idx = 0;
+            for obs in view.observations() {
+                if let Observation::FfD(ff) = obs {
+                    let d = view.netlist().cell(*ff).fanin()[0];
+                    v2[n_pi + ff_idx] = good1[d.index()];
+                    ff_idx += 1;
+                }
+            }
+            debug_assert_eq!(ff_idx, n_ff);
+        }
+        ApplicationStyle::SkewedLoad => {
+            // State part of V2 = V1's state shifted one position down
+            // the chain (position i takes position i-1; position 0
+            // takes a random scan-in bit).
+            for i in (1..n_ff).rev() {
+                v2[n_pi + i] = v1[n_pi + i - 1];
+            }
+            if n_ff > 0 {
+                v2[n_pi] = rng.gen();
+            }
+        }
+    }
+}
+
+/// Streaming campaign core: generates and simulates one batch at a time so
+/// `stop` can end the run on cumulative coverage — the path
+/// [`pairs_to_reach_coverage`] needs, which cannot be fault-partitioned
+/// without changing where the early stop lands.
 fn campaign_impl(
     netlist: &Netlist,
     style: ApplicationStyle,
@@ -115,8 +261,6 @@ fn campaign_impl(
     let mut rng = Rng::seed_from_u64(seed);
 
     let n = view.assignable().len();
-    let n_pi = view.primary_input_count();
-    let n_ff = n - n_pi;
 
     let mut applied = 0usize;
     let mut detected_count = 0usize;
@@ -125,44 +269,7 @@ fn campaign_impl(
         let lanes = remaining.min(64);
         let mut v1 = vec![0u64; n];
         let mut v2 = vec![0u64; n];
-        for w in v1.iter_mut() {
-            *w = rng.gen();
-        }
-        // V2 primary inputs are always free.
-        for w in v2.iter_mut().take(n_pi) {
-            *w = rng.gen();
-        }
-        match style {
-            ApplicationStyle::ArbitraryTwoPattern => {
-                for w in v2.iter_mut().skip(n_pi) {
-                    *w = rng.gen();
-                }
-            }
-            ApplicationStyle::Broadside => {
-                // State part of V2 = the flip-flop D values under V1.
-                let good1 = view.eval64(&v1, None);
-                let mut ff_idx = 0;
-                for obs in view.observations() {
-                    if let Observation::FfD(ff) = obs {
-                        let d = view.netlist().cell(*ff).fanin()[0];
-                        v2[n_pi + ff_idx] = good1[d.index()];
-                        ff_idx += 1;
-                    }
-                }
-                debug_assert_eq!(ff_idx, n_ff);
-            }
-            ApplicationStyle::SkewedLoad => {
-                // State part of V2 = V1's state shifted one position down
-                // the chain (position i takes position i-1; position 0
-                // takes a random scan-in bit).
-                for i in (1..n_ff).rev() {
-                    v2[n_pi + i] = v1[n_pi + i - 1];
-                }
-                if n_ff > 0 {
-                    v2[n_pi] = rng.gen();
-                }
-            }
-        }
+        fill_pair_batch(&view, style, &mut rng, &mut v1, &mut v2);
         let mask = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
         detected_count += sim.run_batch(&v1, &v2, mask, &faults, &mut detected);
         remaining -= lanes;
@@ -261,6 +368,66 @@ mod tests {
             random_transition_campaign(&n, ApplicationStyle::ArbitraryTwoPattern, 1000, 3).unwrap();
         assert!(many.detected >= few.detected);
         assert!(many.coverage_pct() > 50.0);
+    }
+
+    #[test]
+    fn pooled_campaign_matches_serial_at_any_width() {
+        let n = circuit();
+        for style in [
+            ApplicationStyle::ArbitraryTwoPattern,
+            ApplicationStyle::Broadside,
+            ApplicationStyle::SkewedLoad,
+        ] {
+            let serial = random_transition_campaign(&n, style, 300, 13).unwrap();
+            for workers in [2, 4, 8] {
+                let pooled = random_transition_campaign_pooled(
+                    &n,
+                    style,
+                    300,
+                    13,
+                    &ThreadPool::new(workers),
+                )
+                .unwrap();
+                assert_eq!(pooled, serial, "{style}, workers = {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn campaign_grid_matches_nested_loops() {
+        let a = circuit();
+        let b = generate_circuit(&GeneratorConfig {
+            name: "camp2".into(),
+            primary_inputs: 5,
+            primary_outputs: 3,
+            flip_flops: 8,
+            gates: 70,
+            logic_depth: 7,
+            avg_ff_fanout: 2.1,
+            unique_flg_ratio: 1.7,
+            hot_ff_fanout: None,
+            seed: 56,
+        })
+        .unwrap();
+        let netlists = [a, b];
+        let styles = [
+            ApplicationStyle::ArbitraryTwoPattern,
+            ApplicationStyle::SkewedLoad,
+        ];
+        let expected: Vec<Vec<CampaignResult>> = netlists
+            .iter()
+            .map(|n| {
+                styles
+                    .iter()
+                    .map(|&s| random_transition_campaign(n, s, 128, 5).unwrap())
+                    .collect()
+            })
+            .collect();
+        for workers in [1, 3] {
+            let grid =
+                campaign_grid(&netlists, &styles, 128, 5, &ThreadPool::new(workers)).unwrap();
+            assert_eq!(grid, expected, "workers = {workers}");
+        }
     }
 
     #[test]

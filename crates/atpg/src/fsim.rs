@@ -18,6 +18,7 @@
 //! the transition-fault simulator, which needs the whole cone for its
 //! two-time-frame bookkeeping.
 
+use flh_exec::ThreadPool;
 use flh_netlist::{CompiledCircuit, ConeScratch};
 
 use crate::fault::{Fault, FaultSite};
@@ -248,62 +249,117 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
     }
 }
 
-/// Simulates a fully-specified pattern set against a stuck-at fault list,
-/// returning per-fault detection flags. Patterns are bit vectors in
-/// [`TestView::assignable`] order.
-pub fn stuck_coverage(view: &TestView<'_>, faults: &[Fault], patterns: &[Vec<bool>]) -> Vec<bool> {
+/// Per-fault outcome of a partitioned stuck-at campaign: the detection flag
+/// plus the index of the 64-pattern batch that first caught the fault.
+/// Batch indices are global over the pattern set, so they are identical no
+/// matter how the fault list is partitioned.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// The fault was detected by at least one pattern.
+    pub detected: bool,
+    /// Index of the first detecting 64-pattern batch (`None` if undetected).
+    pub first_batch: Option<u32>,
+}
+
+/// Packs up to 64 patterns into one word per assignable input and returns
+/// the lane mask covering the packed patterns.
+fn pack_batch(chunk: &[Vec<bool>], n: usize, words: &mut [u64]) -> u64 {
+    words.fill(0);
+    for (lane, p) in chunk.iter().enumerate() {
+        assert_eq!(p.len(), n, "pattern length mismatch");
+        for (i, &bit) in p.iter().enumerate() {
+            if bit {
+                words[i] |= 1 << lane;
+            }
+        }
+    }
+    if chunk.len() == 64 {
+        !0
+    } else {
+        (1u64 << chunk.len()) - 1
+    }
+}
+
+/// One worker's share of a partitioned campaign: a fresh simulator over the
+/// shared view, the full pattern set, a contiguous fault shard.
+fn stats_shard(view: &TestView<'_>, faults: &[Fault], patterns: &[Vec<bool>]) -> Vec<FaultStats> {
     let mut sim = StuckSimulator::new(view);
     let mut detected = vec![false; faults.len()];
+    let mut stats = vec![FaultStats::default(); faults.len()];
     let n = view.assignable().len();
-    for chunk in patterns.chunks(64) {
-        let mut words = vec![0u64; n];
-        for (lane, p) in chunk.iter().enumerate() {
-            assert_eq!(p.len(), n, "pattern length mismatch");
-            for (i, &bit) in p.iter().enumerate() {
-                if bit {
-                    words[i] |= 1 << lane;
+    let mut words = vec![0u64; n];
+    for (batch, chunk) in patterns.chunks(64).enumerate() {
+        let mask = pack_batch(chunk, n, &mut words);
+        let new_hits = sim.run_batch(&words, mask, faults, &mut detected);
+        if new_hits > 0 {
+            for (s, &d) in stats.iter_mut().zip(&detected) {
+                if d && !s.detected {
+                    s.detected = true;
+                    s.first_batch = Some(batch as u32);
                 }
             }
         }
-        let mask = if chunk.len() == 64 {
-            !0
-        } else {
-            (1u64 << chunk.len()) - 1
-        };
-        sim.run_batch(&words, mask, faults, &mut detected);
     }
-    detected
+    stats
 }
 
-/// Multi-threaded [`stuck_coverage`]: the fault list is split across
-/// `threads` workers, each with its own simulator (the cone caches are
-/// per-fault, so sharding by fault loses nothing). Results are identical
-/// to the serial version.
+impl StuckSimulator<'_, '_> {
+    /// Partitioned stuck-at campaign: splits `faults` into one contiguous
+    /// shard per pool worker, runs each shard on its own simulator, and
+    /// merges per-fault stats **by fault id** (the shards are contiguous
+    /// ascending ranges, so concatenation in partition order is fault-id
+    /// order — completion order never matters). Bit-identical at any pool
+    /// size.
+    pub fn simulate_partitioned(
+        view: &TestView<'_>,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        pool: &ThreadPool,
+    ) -> Vec<FaultStats> {
+        let parts = pool.run_partitioned(faults.len(), |range| {
+            stats_shard(view, &faults[range], patterns)
+        });
+        let mut stats = Vec::with_capacity(faults.len());
+        for (_, shard) in parts {
+            stats.extend(shard);
+        }
+        stats
+    }
+}
+
+/// Simulates a fully-specified pattern set against a stuck-at fault list,
+/// returning per-fault detection flags. Patterns are bit vectors in
+/// [`TestView::assignable`] order. Serial ([`ThreadPool::serial`]) case of
+/// [`stuck_coverage_partitioned`].
+pub fn stuck_coverage(view: &TestView<'_>, faults: &[Fault], patterns: &[Vec<bool>]) -> Vec<bool> {
+    stuck_coverage_partitioned(view, faults, patterns, &ThreadPool::serial())
+}
+
+/// Pooled [`stuck_coverage`]: the fault list is split across the pool's
+/// workers, each with its own simulator (the cone caches are per-fault, so
+/// sharding by fault loses nothing). Detection flags are merged in fault-id
+/// order and are identical at any pool size.
+pub fn stuck_coverage_partitioned(
+    view: &TestView<'_>,
+    faults: &[Fault],
+    patterns: &[Vec<bool>],
+    pool: &ThreadPool,
+) -> Vec<bool> {
+    StuckSimulator::simulate_partitioned(view, faults, patterns, pool)
+        .into_iter()
+        .map(|s| s.detected)
+        .collect()
+}
+
+/// [`stuck_coverage_partitioned`] on a fixed-size pool — kept as the
+/// thread-count-explicit entry point.
 pub fn stuck_coverage_parallel(
     view: &TestView<'_>,
     faults: &[Fault],
     patterns: &[Vec<bool>],
     threads: usize,
 ) -> Vec<bool> {
-    let threads = threads.max(1).min(faults.len().max(1));
-    if threads == 1 {
-        return stuck_coverage(view, faults, patterns);
-    }
-    let chunk = faults.len().div_ceil(threads);
-    let mut detected = vec![false; faults.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for shard in faults.chunks(chunk) {
-            handles.push(scope.spawn(move || stuck_coverage(view, shard, patterns)));
-        }
-        let mut offset = 0;
-        for handle in handles {
-            let part = handle.join().expect("worker panicked");
-            detected[offset..offset + part.len()].copy_from_slice(&part);
-            offset += part.len();
-        }
-    });
-    detected
+    stuck_coverage_partitioned(view, faults, patterns, &ThreadPool::new(threads))
 }
 
 /// Reference stuck-at detection for one fault and one 64-pattern batch:
@@ -466,6 +522,37 @@ mod tests {
         for threads in [1, 2, 3, 8, 1000] {
             let parallel = stuck_coverage_parallel(&view, &faults, &patterns, threads);
             assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn partitioned_stats_merge_by_fault_id() {
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_stuck_faults(&n);
+        let na = view.assignable().len();
+        let mut rng = Rng::seed_from_u64(12);
+        let patterns: Vec<Vec<bool>> = (0..200)
+            .map(|_| (0..na).map(|_| rng.gen()).collect())
+            .collect();
+        let serial =
+            StuckSimulator::simulate_partitioned(&view, &faults, &patterns, &ThreadPool::serial());
+        let flags = stuck_coverage(&view, &faults, &patterns);
+        for (s, &d) in serial.iter().zip(&flags) {
+            assert_eq!(s.detected, d);
+            assert_eq!(s.first_batch.is_some(), d);
+            if let Some(b) = s.first_batch {
+                assert!((b as usize) < patterns.len().div_ceil(64));
+            }
+        }
+        for workers in [2, 3, 8] {
+            let pooled = StuckSimulator::simulate_partitioned(
+                &view,
+                &faults,
+                &patterns,
+                &ThreadPool::new(workers),
+            );
+            assert_eq!(pooled, serial, "workers = {workers}");
         }
     }
 

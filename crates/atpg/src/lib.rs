@@ -36,8 +36,8 @@ pub mod transition;
 pub mod tview;
 
 pub use application::{
-    cycles_per_pattern, pairs_to_reach_coverage, random_transition_campaign, ApplicationStyle,
-    CampaignResult,
+    campaign_grid, cycles_per_pattern, pairs_to_reach_coverage, random_transition_campaign,
+    random_transition_campaign_pooled, ApplicationStyle, CampaignResult,
 };
 pub use broadside::{broadside_transition_atpg, BroadsideAtpgResult, BroadsidePattern};
 pub use diagnose::{diagnose, faulty_responses, golden_responses, DiagnosisCandidate};
@@ -45,7 +45,8 @@ pub use fault::{
     collapse_faults, enumerate_stuck_faults, inject_fault, Fault, FaultSite, StuckValue,
 };
 pub use fsim::{
-    stuck_coverage, stuck_coverage_parallel, stuck_detects_reference, ConeArena, StuckSimulator,
+    stuck_coverage, stuck_coverage_parallel, stuck_coverage_partitioned, stuck_detects_reference,
+    ConeArena, FaultStats, StuckSimulator,
 };
 pub use path::{
     generate_path_test, generate_robust_path_test, longest_paths, longest_sensitizable_path,
@@ -55,8 +56,9 @@ pub use path::{
 pub use patterns_io::{parse_patterns, write_patterns};
 pub use podem::{Podem, PodemConfig, TestCube};
 pub use transition::{
-    compact_transition_patterns, simulate_transition_patterns, transition_atpg,
-    transition_atpg_ndetect, NDetectResult, TransitionAtpgResult, TransitionFault, TransitionKind,
-    TransitionPattern,
+    compact_transition_patterns, simulate_transition_patterns,
+    simulate_transition_patterns_partitioned, transition_atpg, transition_atpg_ndetect,
+    NDetectResult, TransitionAtpgResult, TransitionFault, TransitionKind, TransitionPattern,
+    TransitionSimulator,
 };
 pub use tview::TestView;

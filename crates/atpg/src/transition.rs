@@ -9,11 +9,12 @@
 //! justification for V1 — precisely why the paper's technique, which
 //! enables arbitrary pairs cheaply, preserves full ATPG power.
 
+use flh_exec::ThreadPool;
 use flh_netlist::{analysis, CellId, CellKind, Netlist};
 use flh_rng::Rng;
 
 use crate::fault::{Fault, StuckValue};
-use crate::fsim::ConeArena;
+use crate::fsim::{ConeArena, FaultStats};
 use crate::podem::{Podem, PodemConfig};
 use crate::tview::TestView;
 
@@ -253,37 +254,106 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
     }
 }
 
+/// Packs up to 64 pattern pairs into per-assignable words and returns the
+/// active lane mask.
+fn pack_pair_batch(
+    chunk: &[TransitionPattern],
+    n: usize,
+    v1_words: &mut [u64],
+    v2_words: &mut [u64],
+) -> u64 {
+    v1_words.fill(0);
+    v2_words.fill(0);
+    for (lane, p) in chunk.iter().enumerate() {
+        for i in 0..n {
+            if p.v1[i] {
+                v1_words[i] |= 1 << lane;
+            }
+            if p.v2[i] {
+                v2_words[i] |= 1 << lane;
+            }
+        }
+    }
+    if chunk.len() == 64 {
+        !0
+    } else {
+        (1u64 << chunk.len()) - 1
+    }
+}
+
+/// One worker's share of a partitioned pair campaign: a fresh simulator,
+/// the full pattern-pair set, a contiguous fault shard.
+fn pair_stats_shard(
+    view: &TestView<'_>,
+    faults: &[TransitionFault],
+    patterns: &[TransitionPattern],
+) -> Vec<FaultStats> {
+    let mut sim = TransitionSimulator::new(view);
+    let mut detected = vec![false; faults.len()];
+    let mut stats = vec![FaultStats::default(); faults.len()];
+    let n = view.assignable().len();
+    let mut v1_words = vec![0u64; n];
+    let mut v2_words = vec![0u64; n];
+    for (batch, chunk) in patterns.chunks(64).enumerate() {
+        let mask = pack_pair_batch(chunk, n, &mut v1_words, &mut v2_words);
+        let new_hits = sim.run_batch(&v1_words, &v2_words, mask, faults, &mut detected);
+        if new_hits > 0 {
+            for (s, &d) in stats.iter_mut().zip(&detected) {
+                if d && !s.detected {
+                    s.detected = true;
+                    s.first_batch = Some(batch as u32);
+                }
+            }
+        }
+    }
+    stats
+}
+
+impl TransitionSimulator<'_, '_> {
+    /// Partitioned pattern-pair campaign: one contiguous fault shard per
+    /// pool worker, each on its own simulator, per-fault stats merged **by
+    /// fault id** (contiguous ascending shards, concatenated in partition
+    /// order — never completion order). Bit-identical at any pool size.
+    pub fn simulate_partitioned(
+        view: &TestView<'_>,
+        faults: &[TransitionFault],
+        patterns: &[TransitionPattern],
+        pool: &ThreadPool,
+    ) -> Vec<FaultStats> {
+        let parts = pool.run_partitioned(faults.len(), |range| {
+            pair_stats_shard(view, &faults[range], patterns)
+        });
+        let mut stats = Vec::with_capacity(faults.len());
+        for (_, shard) in parts {
+            stats.extend(shard);
+        }
+        stats
+    }
+}
+
 /// Simulates a pattern-pair set against a fault list, returning per-fault
-/// detection flags.
+/// detection flags. Serial ([`ThreadPool::serial`]) case of
+/// [`simulate_transition_patterns_partitioned`].
 pub fn simulate_transition_patterns(
     view: &TestView<'_>,
     faults: &[TransitionFault],
     patterns: &[TransitionPattern],
 ) -> Vec<bool> {
-    let mut sim = TransitionSimulator::new(view);
-    let mut detected = vec![false; faults.len()];
-    let n = view.assignable().len();
-    for chunk in patterns.chunks(64) {
-        let mut v1_words = vec![0u64; n];
-        let mut v2_words = vec![0u64; n];
-        for (lane, p) in chunk.iter().enumerate() {
-            for i in 0..n {
-                if p.v1[i] {
-                    v1_words[i] |= 1 << lane;
-                }
-                if p.v2[i] {
-                    v2_words[i] |= 1 << lane;
-                }
-            }
-        }
-        let mask = if chunk.len() == 64 {
-            !0
-        } else {
-            (1u64 << chunk.len()) - 1
-        };
-        sim.run_batch(&v1_words, &v2_words, mask, faults, &mut detected);
-    }
-    detected
+    simulate_transition_patterns_partitioned(view, faults, patterns, &ThreadPool::serial())
+}
+
+/// Pooled [`simulate_transition_patterns`]: faults sharded over the pool,
+/// detection flags merged in fault-id order, identical at any pool size.
+pub fn simulate_transition_patterns_partitioned(
+    view: &TestView<'_>,
+    faults: &[TransitionFault],
+    patterns: &[TransitionPattern],
+    pool: &ThreadPool,
+) -> Vec<bool> {
+    TransitionSimulator::simulate_partitioned(view, faults, patterns, pool)
+        .into_iter()
+        .map(|s| s.detected)
+        .collect()
 }
 
 /// Result of a deterministic transition ATPG run.
@@ -605,6 +675,41 @@ mod tests {
             }
         }
         assert_eq!(batch, serial);
+    }
+
+    #[test]
+    fn partitioned_pair_simulation_matches_serial() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let mut rng = Rng::seed_from_u64(19);
+        let na = view.assignable().len();
+        let patterns: Vec<TransitionPattern> = (0..130)
+            .map(|_| TransitionPattern {
+                v1: (0..na).map(|_| rng.gen()).collect(),
+                v2: (0..na).map(|_| rng.gen()).collect(),
+            })
+            .collect();
+        let serial = TransitionSimulator::simulate_partitioned(
+            &view,
+            &faults,
+            &patterns,
+            &ThreadPool::serial(),
+        );
+        let flags = simulate_transition_patterns(&view, &faults, &patterns);
+        for (s, &d) in serial.iter().zip(&flags) {
+            assert_eq!(s.detected, d);
+            assert_eq!(s.first_batch.is_some(), d);
+        }
+        for workers in [2, 4, 8] {
+            let pooled = TransitionSimulator::simulate_partitioned(
+                &view,
+                &faults,
+                &patterns,
+                &ThreadPool::new(workers),
+            );
+            assert_eq!(pooled, serial, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -10,15 +10,21 @@
 
 use flh_atpg::transition::enumerate_transition_faults;
 use flh_atpg::{
-    broadside_transition_atpg, random_transition_campaign, transition_atpg, ApplicationStyle,
-    PodemConfig, TestView,
+    broadside_transition_atpg, campaign_grid, transition_atpg, ApplicationStyle, PodemConfig,
+    TestView,
 };
 use flh_bench::{build_circuit, mean, rule};
+use flh_exec::ThreadPool;
 use flh_netlist::iscas89_profiles;
 
 fn main() {
     const PAIRS: usize = 2048;
     const SEED: u64 = 0xc0ffee;
+    const STYLES: [ApplicationStyle; 3] = [
+        ApplicationStyle::ArbitraryTwoPattern,
+        ApplicationStyle::Broadside,
+        ApplicationStyle::SkewedLoad,
+    ];
 
     println!("COVERAGE BY APPLICATION STYLE ({PAIRS} random pairs + deterministic ATPG ceilings)");
     rule(112);
@@ -34,27 +40,31 @@ fn main() {
     let mut det_arb_all = Vec::new();
     let mut det_brd_all = Vec::new();
 
-    for profile in iscas89_profiles().into_iter().filter(|p| p.gates <= 700) {
-        let circuit = build_circuit(&profile);
-        let arb = random_transition_campaign(
-            &circuit,
-            ApplicationStyle::ArbitraryTwoPattern,
-            PAIRS,
-            SEED,
-        )
-        .expect("campaign");
-        let brd = random_transition_campaign(&circuit, ApplicationStyle::Broadside, PAIRS, SEED)
-            .expect("campaign");
-        let skw = random_transition_campaign(&circuit, ApplicationStyle::SkewedLoad, PAIRS, SEED)
-            .expect("campaign");
+    let pool = ThreadPool::from_env();
+    let profiles: Vec<_> = iscas89_profiles()
+        .into_iter()
+        .filter(|p| p.gates <= 700)
+        .collect();
+    let circuits: Vec<_> = profiles.iter().map(build_circuit).collect();
 
-        // Deterministic ceilings.
-        let faults = enumerate_transition_faults(&circuit);
-        let view = TestView::new(&circuit).expect("view");
+    // Random campaigns: one pooled cell per circuit × style.
+    let grid = campaign_grid(&circuits, &STYLES, PAIRS, SEED, &pool).expect("campaign");
+    // Deterministic ceilings: one pooled cell per circuit, each returning
+    // the arbitrary-pair and broadside ATPG coverage percentages.
+    let ceilings = pool.run(circuits.len(), |i| {
+        let circuit = &circuits[i];
+        let faults = enumerate_transition_faults(circuit);
+        let view = TestView::new(circuit).expect("view");
         let det_arb = transition_atpg(&view, &faults, &PodemConfig::paper_default(), SEED);
         let det_brd =
-            broadside_transition_atpg(&circuit, &faults, &PodemConfig::paper_default(), SEED)
+            broadside_transition_atpg(circuit, &faults, &PodemConfig::paper_default(), SEED)
                 .expect("broadside atpg");
+        (det_arb.coverage_pct(), det_brd.coverage_pct())
+    });
+
+    for ((profile, row), ceiling) in profiles.iter().zip(&grid).zip(&ceilings) {
+        let (arb, brd, skw) = (&row[0], &row[1], &row[2]);
+        let (det_arb, det_brd) = *ceiling;
         println!(
             "{:>8} {:>8} | {:>12.2} {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
             profile.name,
@@ -62,14 +72,14 @@ fn main() {
             arb.coverage_pct(),
             brd.coverage_pct(),
             skw.coverage_pct(),
-            det_arb.coverage_pct(),
-            det_brd.coverage_pct()
+            det_arb,
+            det_brd
         );
         arb_all.push(arb.coverage_pct());
         brd_all.push(brd.coverage_pct());
         skw_all.push(skw.coverage_pct());
-        det_arb_all.push(det_arb.coverage_pct());
-        det_brd_all.push(det_brd.coverage_pct());
+        det_arb_all.push(det_arb);
+        det_brd_all.push(det_brd);
     }
 
     rule(112);

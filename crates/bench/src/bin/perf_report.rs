@@ -17,9 +17,12 @@
 use std::fs;
 use std::time::Instant;
 
-use flh_atpg::{enumerate_stuck_faults, Fault, FaultSite, StuckSimulator, TestView};
+use flh_atpg::{
+    enumerate_stuck_faults, stuck_coverage_partitioned, Fault, FaultSite, StuckSimulator, TestView,
+};
 use flh_bench::build_circuit;
 use flh_bench::seed_baseline::{BaselineStuckSimulator, BaselineView};
+use flh_exec::ThreadPool;
 use flh_netlist::{iscas89_profile, CompiledCircuit, Netlist};
 use flh_rng::Rng;
 use flh_sim::{CompiledSim, Logic, LogicSim};
@@ -30,21 +33,26 @@ const LANES: u64 = 64;
 struct Options {
     quick: bool,
     out: String,
+    out_parallel: String,
 }
 
 fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
         out: "BENCH_compiled_ir.json".to_string(),
+        out_parallel: "BENCH_parallel_fsim.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => opts.quick = true,
             "--out" => opts.out = args.next().expect("--out requires a path"),
+            "--out-parallel" => {
+                opts.out_parallel = args.next().expect("--out-parallel requires a path")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf_report [--quick] [--out PATH]");
+                eprintln!("usage: perf_report [--quick] [--out PATH] [--out-parallel PATH]");
                 std::process::exit(2);
             }
         }
@@ -163,6 +171,54 @@ fn bench_fault_sim(netlist: &Netlist, faults: &[Fault], reps: usize) -> FaultSim
     }
 }
 
+struct ParallelFsimResult {
+    faults: usize,
+    patterns: usize,
+    workers: Vec<usize>,
+    patterns_s: Vec<f64>,
+}
+
+/// Full-campaign stuck-at fault simulation ([`stuck_coverage_partitioned`])
+/// at several pool widths. Detection maps are asserted identical across
+/// widths; throughput is whatever the host actually delivers — on a
+/// single-core container the wider pools gain nothing and the numbers say
+/// so.
+fn bench_parallel_fsim(
+    netlist: &Netlist,
+    faults: &[Fault],
+    patterns: usize,
+    workers: &[usize],
+) -> ParallelFsimResult {
+    let view = TestView::new(netlist).expect("acyclic benchmark circuit");
+    let n = view.assignable().len();
+    let pattern_set: Vec<Vec<bool>> = {
+        let mut rng = Rng::seed_from_u64(0xA11E1);
+        (0..patterns)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect()
+    };
+
+    let mut reference: Option<Vec<bool>> = None;
+    let mut patterns_s = Vec::with_capacity(workers.len());
+    for &w in workers {
+        let pool = ThreadPool::new(w);
+        let t0 = Instant::now();
+        let detected = stuck_coverage_partitioned(&view, faults, &pattern_set, &pool);
+        let elapsed = t0.elapsed().as_secs_f64();
+        match &reference {
+            None => reference = Some(detected),
+            Some(r) => assert_eq!(&detected, r, "pooled fault sim diverged at {w} workers"),
+        }
+        patterns_s.push(patterns as f64 / elapsed);
+    }
+    ParallelFsimResult {
+        faults: faults.len(),
+        patterns,
+        workers: workers.to_vec(),
+        patterns_s,
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let profile = iscas89_profile(CIRCUIT).expect("s13207 profile present");
@@ -216,6 +272,67 @@ fn main() {
             }
         );
     }
+
+    let campaign_patterns = if opts.quick { 64 } else { 512 };
+    let widths = [1usize, 2, 4];
+    let par = bench_parallel_fsim(&netlist, faults, campaign_patterns, &widths);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "parallel fault-sim campaign ({} faults x {} patterns, host parallelism {}):",
+        par.faults, par.patterns, host_threads
+    );
+    for (w, pps) in par.workers.iter().zip(&par.patterns_s) {
+        println!("            {w} worker(s): {pps:>8.1} patterns/s");
+    }
+    let par_speedup_4 = par.patterns_s[2] / par.patterns_s[0];
+    println!(
+        "parallel speedup at 4 workers: {:.2}x (target >= 2x: {})",
+        par_speedup_4,
+        if par_speedup_4 >= 2.0 {
+            "MET"
+        } else {
+            "NOT MET"
+        }
+    );
+    if host_threads < 4 {
+        println!(
+            "            note: host exposes only {host_threads} hardware thread(s); wall-clock scaling is bounded by the hardware, not the pool"
+        );
+    }
+
+    let par_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"parallel_fsim\",\n",
+            "  \"circuit\": \"{circuit}\",\n",
+            "  \"quick\": {quick},\n",
+            "  \"available_parallelism\": {host},\n",
+            "  \"faults\": {faults},\n",
+            "  \"patterns\": {patterns},\n",
+            "  \"workers\": [{w0}, {w1}, {w2}],\n",
+            "  \"patterns_per_s\": [{p0:.2}, {p1:.2}, {p2:.2}],\n",
+            "  \"speedup_4_workers\": {sp:.3},\n",
+            "  \"target_2x_met\": {met}\n",
+            "}}\n",
+        ),
+        circuit = CIRCUIT,
+        quick = opts.quick,
+        host = host_threads,
+        faults = par.faults,
+        patterns = par.patterns,
+        w0 = par.workers[0],
+        w1 = par.workers[1],
+        w2 = par.workers[2],
+        p0 = par.patterns_s[0],
+        p1 = par.patterns_s[1],
+        p2 = par.patterns_s[2],
+        sp = par_speedup_4,
+        met = par_speedup_4 >= 2.0,
+    );
+    fs::write(&opts.out_parallel, par_json).expect("write parallel report");
+    println!("wrote {}", opts.out_parallel);
 
     let json = format!(
         concat!(

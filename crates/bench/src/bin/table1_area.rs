@@ -7,8 +7,9 @@
 //! ≈2.3 total fanouts and ≈1.8 unique first-level gates per flip-flop on
 //! average, with s838 as the high-fanout outlier where FLH can cost more.
 
-use flh_bench::{build_circuit, evaluate_profile, mean, rule, style};
+use flh_bench::{build_circuit, evaluate_profiles_pooled, mean, rule, style};
 use flh_core::{overhead_improvement_pct, DftStyle, EvalConfig};
+use flh_exec::ThreadPool;
 use flh_netlist::{iscas89_profiles, CircuitStats};
 
 fn main() {
@@ -38,10 +39,11 @@ fn main() {
     let mut ratios = Vec::new();
     let mut avg_fo = Vec::new();
 
-    for profile in iscas89_profiles() {
-        let circuit = build_circuit(&profile);
+    let profiles = iscas89_profiles();
+    let rows = evaluate_profiles_pooled(&profiles, &config, &ThreadPool::from_env());
+    for (profile, evals) in profiles.iter().zip(&rows) {
+        let circuit = build_circuit(profile);
         let stats = CircuitStats::compute(&circuit).expect("generated circuit is valid");
-        let evals = evaluate_profile(&profile, &config);
         let enh = style(&evals, DftStyle::EnhancedScan).area_increase_pct();
         let mux = style(&evals, DftStyle::MuxHold).area_increase_pct();
         let flh = style(&evals, DftStyle::Flh).area_increase_pct();

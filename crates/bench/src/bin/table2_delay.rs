@@ -7,8 +7,9 @@
 //! percentage (the paper notes its benchmarks have fairly high logic
 //! depth).
 
-use flh_bench::{build_circuit, evaluate_profile, mean, rule, style};
+use flh_bench::{build_circuit, evaluate_profiles_pooled, mean, rule, style};
 use flh_core::{overhead_improvement_pct, DftStyle, EvalConfig};
+use flh_exec::ThreadPool;
 use flh_netlist::{iscas89_profiles, CircuitStats};
 
 fn main() {
@@ -27,10 +28,11 @@ fn main() {
     let mut impr_mux = Vec::new();
     let mut impr_enh = Vec::new();
 
-    for profile in iscas89_profiles() {
-        let circuit = build_circuit(&profile);
+    let profiles = iscas89_profiles();
+    let rows = evaluate_profiles_pooled(&profiles, &config, &ThreadPool::from_env());
+    for (profile, evals) in profiles.iter().zip(&rows) {
+        let circuit = build_circuit(profile);
         let stats = CircuitStats::compute(&circuit).expect("generated circuit is valid");
-        let evals = evaluate_profile(&profile, &config);
         let base = style(&evals, DftStyle::PlainScan).base_delay_ps;
         let enh = style(&evals, DftStyle::EnhancedScan).delay_increase_pct();
         let mux = style(&evals, DftStyle::MuxHold).delay_increase_pct();

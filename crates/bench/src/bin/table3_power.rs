@@ -8,8 +8,9 @@
 //! *power overhead* over enhanced scan is ≈90%, and ≈44% of the whole
 //! enhanced-scan circuit power is saved.
 
-use flh_bench::{evaluate_profile, mean, rule, style};
+use flh_bench::{evaluate_profiles_pooled, mean, rule, style};
 use flh_core::{overhead_improvement_pct, DftStyle, EvalConfig};
+use flh_exec::ThreadPool;
 use flh_netlist::iscas89_profiles;
 
 fn main() {
@@ -29,8 +30,9 @@ fn main() {
     let mut impr_enh = Vec::new();
     let mut overall = Vec::new();
 
-    for profile in iscas89_profiles() {
-        let evals = evaluate_profile(&profile, &config);
+    let profiles = iscas89_profiles();
+    let rows = evaluate_profiles_pooled(&profiles, &config, &ThreadPool::from_env());
+    for (profile, evals) in profiles.iter().zip(&rows) {
         let base = style(&evals, DftStyle::PlainScan).base_power_uw;
         let enh_eval = style(&evals, DftStyle::EnhancedScan);
         let enh = enh_eval.power_increase_pct();

@@ -15,10 +15,19 @@
 //! | `coverage_styles` | §I — broadside / skewed-load / arbitrary coverage comparison |
 //! | `testmode_power` | §IV — redundant-switching suppression during scan shifting |
 
-use flh_core::{evaluate_all, DftStyle, EvalConfig, StyleEvaluation};
+use flh_core::{evaluate_all, evaluate_style, DftStyle, EvalConfig, StyleEvaluation};
+use flh_exec::ThreadPool;
 use flh_netlist::{generate_circuit, CircuitProfile, Netlist};
 
 pub mod seed_baseline;
+
+/// The four styles in the canonical [`evaluate_all`] order.
+pub const ALL_STYLES: [DftStyle; 4] = [
+    DftStyle::PlainScan,
+    DftStyle::EnhancedScan,
+    DftStyle::MuxHold,
+    DftStyle::Flh,
+];
 
 /// Generates the benchmark circuit for a profile.
 ///
@@ -39,6 +48,37 @@ pub fn build_circuit(profile: &CircuitProfile) -> Netlist {
 pub fn evaluate_profile(profile: &CircuitProfile, config: &EvalConfig) -> Vec<StyleEvaluation> {
     let circuit = build_circuit(profile);
     evaluate_all(&circuit, config).unwrap_or_else(|e| panic!("{}: {e}", profile.name))
+}
+
+/// Evaluates every profile × style cell on the pool, one self-contained
+/// cell per `(circuit, style)` pair (the cell regenerates its circuit and
+/// evaluates one style against a freshly built plain-scan baseline —
+/// [`evaluate_style`] recomputes the same baseline metrics
+/// [`evaluate_all`] shares, so the two agree exactly). Rows follow
+/// `profiles` order, columns [`ALL_STYLES`] order; results are identical
+/// at any pool size.
+///
+/// # Panics
+///
+/// Panics if a generated circuit fails structural validation.
+pub fn evaluate_profiles_pooled(
+    profiles: &[CircuitProfile],
+    config: &EvalConfig,
+    pool: &ThreadPool,
+) -> Vec<Vec<StyleEvaluation>> {
+    let cells = profiles.len() * ALL_STYLES.len();
+    let evals = pool.run(cells, |i| {
+        let profile = &profiles[i / ALL_STYLES.len()];
+        let style = ALL_STYLES[i % ALL_STYLES.len()];
+        let circuit = build_circuit(profile);
+        evaluate_style(&circuit, style, config).unwrap_or_else(|e| panic!("{}: {e}", profile.name))
+    });
+    let mut rows = Vec::with_capacity(profiles.len());
+    let mut it = evals.into_iter();
+    for _ in profiles {
+        rows.push(it.by_ref().take(ALL_STYLES.len()).collect());
+    }
+    rows
 }
 
 /// Pulls one style out of an evaluation set.
@@ -84,5 +124,31 @@ mod tests {
         let flh = style(&evals, DftStyle::Flh);
         assert!(flh.first_level_gates > 0);
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pooled_profile_grid_matches_per_profile_evaluation() {
+        let profiles = vec![
+            iscas89_profile("s298").unwrap(),
+            iscas89_profile("s344").unwrap(),
+        ];
+        let cfg = EvalConfig {
+            vectors: 20,
+            ..EvalConfig::paper_default()
+        };
+        let expected: Vec<Vec<_>> = profiles.iter().map(|p| evaluate_profile(p, &cfg)).collect();
+        for workers in [1, 4] {
+            let rows = evaluate_profiles_pooled(&profiles, &cfg, &ThreadPool::new(workers));
+            assert_eq!(rows.len(), expected.len());
+            for (row, exp) in rows.iter().zip(&expected) {
+                for (r, e) in row.iter().zip(exp) {
+                    assert_eq!(r.style, e.style, "workers = {workers}");
+                    assert_eq!(r.area_um2, e.area_um2);
+                    assert_eq!(r.delay_ps, e.delay_ps);
+                    assert_eq!(r.power_uw, e.power_uw);
+                    assert_eq!(r.base_power_uw, e.base_power_uw);
+                }
+            }
+        }
     }
 }

@@ -46,8 +46,8 @@ pub mod styles;
 pub use fanout_opt::{optimize_fanout, FanoutOptConfig, FanoutOptResult};
 pub use mixed_sizing::{select_critical_gating, MixedSizingResult};
 pub use overhead::{
-    evaluate_against, evaluate_all, evaluate_style, overhead_improvement_pct, EvalConfig,
-    StyleEvaluation,
+    evaluate_against, evaluate_all, evaluate_all_pooled, evaluate_style, overhead_improvement_pct,
+    EvalConfig, StyleEvaluation,
 };
 pub use scan::insert_scan;
 pub use styles::{apply_flh_with_pi_hold, apply_style, DftNetlist, DftStyle};

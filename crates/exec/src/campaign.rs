@@ -1,0 +1,116 @@
+//! Campaign fan-out over shared immutable state.
+//!
+//! A [`Campaign`] pairs an `Arc`-owned immutable payload — typically a
+//! compiled circuit, a profile list, or a whole evaluation context — with
+//! a [`ThreadPool`], and fans independent work units (partitions of a
+//! fault list, vector shards, circuit × style cells) out over the pool.
+//! Owning the payload through an `Arc` lets a campaign outlive the scope
+//! that built it and be handed between layers without re-borrowing.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::pool::ThreadPool;
+
+/// Shared-state fan-out: an `Arc<C>` payload plus the pool that runs the
+/// partitions. All determinism rules of [`ThreadPool`] apply unchanged.
+#[derive(Clone, Debug)]
+pub struct Campaign<C> {
+    shared: Arc<C>,
+    pool: ThreadPool,
+}
+
+impl<C: Send + Sync> Campaign<C> {
+    /// Campaign owning `shared`, running on `pool`.
+    pub fn new(shared: C, pool: ThreadPool) -> Self {
+        Campaign {
+            shared: Arc::new(shared),
+            pool,
+        }
+    }
+
+    /// Campaign over an already-shared payload (no clone of the data).
+    pub fn with_arc(shared: Arc<C>, pool: ThreadPool) -> Self {
+        Campaign { shared, pool }
+    }
+
+    /// Campaign on the environment-selected pool ([`ThreadPool::from_env`]).
+    pub fn from_env(shared: C) -> Self {
+        Campaign::new(shared, ThreadPool::from_env())
+    }
+
+    /// The shared payload.
+    pub fn shared(&self) -> &C {
+        &self.shared
+    }
+
+    /// A new handle on the shared payload.
+    pub fn arc(&self) -> Arc<C> {
+        Arc::clone(&self.shared)
+    }
+
+    /// The pool the campaign runs on.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Runs `cells` independent work units against the shared payload,
+    /// results in cell order (see [`ThreadPool::run`]).
+    pub fn run_cells<T, F>(&self, cells: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&C, usize) -> T + Sync,
+    {
+        let shared = &*self.shared;
+        self.pool.run(cells, move |i| f(shared, i))
+    }
+
+    /// Partitions `0..len` one range per worker and runs `f` on each
+    /// against the shared payload; `(range, result)` pairs in partition
+    /// order (see [`ThreadPool::run_partitioned`]).
+    pub fn run_partitioned<T, F>(&self, len: usize, f: F) -> Vec<(Range<usize>, T)>
+    where
+        T: Send,
+        F: Fn(&C, Range<usize>) -> T + Sync,
+    {
+        let shared = &*self.shared;
+        self.pool.run_partitioned(len, move |r| f(shared, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_share_one_payload() {
+        let campaign = Campaign::new(vec![2u64, 3, 5, 7, 11], ThreadPool::new(4));
+        let doubled = campaign.run_cells(5, |data, i| data[i] * 2);
+        assert_eq!(doubled, vec![4, 6, 10, 14, 22]);
+        assert_eq!(campaign.pool().size(), 4);
+    }
+
+    #[test]
+    fn partitioned_fanout_is_deterministic() {
+        let data: Vec<u64> = (0..513).collect();
+        let serial = Campaign::new(data.clone(), ThreadPool::serial());
+        let reference = serial.run_partitioned(513, |d, r| d[r].iter().sum::<u64>());
+        let total: u64 = reference.iter().map(|(_, s)| s).sum();
+        for workers in [2, 4, 8] {
+            let campaign = Campaign::new(data.clone(), ThreadPool::new(workers));
+            let parts = campaign.run_partitioned(513, |d, r| d[r].iter().sum::<u64>());
+            let sum: u64 = parts.iter().map(|(_, s)| s).sum();
+            assert_eq!(sum, total, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn arc_payloads_are_not_cloned() {
+        let payload = Arc::new(vec![1u8; 1024]);
+        let campaign = Campaign::with_arc(Arc::clone(&payload), ThreadPool::new(2));
+        assert_eq!(Arc::strong_count(&payload), 2);
+        let ones = campaign.run_cells(3, |d, _| d.iter().map(|&b| b as usize).sum::<usize>());
+        assert_eq!(ones, vec![1024; 3]);
+        assert!(Arc::ptr_eq(&payload, &campaign.arc()));
+    }
+}

@@ -1,0 +1,34 @@
+//! Execution layer: a dependency-free, deterministic scoped thread pool
+//! plus the [`Campaign`] fan-out abstraction the batch APIs of the
+//! workspace are built on.
+//!
+//! The paper's evaluation is embarrassingly parallel at two granularities
+//! — across circuit × holding-style cells, and across fault/vector
+//! partitions within one circuit — but parallel execution is only useful
+//! here if it is **reproducible**: every campaign in this workspace is
+//! seeded, and CI diffs complete outputs. The contract of this crate is
+//! therefore:
+//!
+//! > *Anything computed through [`ThreadPool`] returns bit-identical
+//! > results at every worker count, including 1.*
+//!
+//! Three rules make that hold:
+//!
+//! * **Deterministic decomposition** — work is split by *index* (job ids,
+//!   contiguous partitions via [`ThreadPool::partition`]), never by timing,
+//!   queue pressure, wall clock or OS randomness;
+//! * **Deterministic merge** — results are collected in index/partition
+//!   order, never in completion order;
+//! * **Independent units** — a job may only read shared immutable state
+//!   (e.g. an `Arc<CompiledCircuit>` held by a [`Campaign`]); all mutable
+//!   state is job-local and returned by value.
+//!
+//! The worker count defaults to the `FLH_THREADS` environment variable and
+//! falls back to [`std::thread::available_parallelism`]; serial paths are
+//! the same code run with `pool_size = 1`, not separate implementations.
+
+pub mod campaign;
+pub mod pool;
+
+pub use campaign::Campaign;
+pub use pool::{ThreadPool, THREADS_ENV};

@@ -1,0 +1,240 @@
+//! Deterministic scoped thread pool.
+//!
+//! [`ThreadPool`] is a *configuration* of parallelism, not a set of
+//! long-lived threads: each [`ThreadPool::run`] call spawns scoped workers
+//! ([`std::thread::scope`]), so jobs may borrow from the caller's stack —
+//! fault lists, pattern sets, test views — without `Arc`-wrapping or
+//! lifetime erasure. The units of work in this workspace (fault
+//! partitions, vector shards, circuit × style cells) run for milliseconds
+//! to seconds, so the microseconds of spawn cost per call are noise.
+//!
+//! Scheduling is chunk-based and free of timing dependence: workers claim
+//! job indices from an atomic counter, and every job's result is stored in
+//! the slot of its *index*, so the returned `Vec` is ordered by job id
+//! regardless of which worker finished first.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable selecting the default worker count
+/// ([`ThreadPool::from_env`]).
+pub const THREADS_ENV: &str = "FLH_THREADS";
+
+/// A deterministic scoped thread pool with a fixed worker count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// Pool with a fixed worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        ThreadPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The single-worker pool: every `run` degenerates to an in-place
+    /// serial loop in job-id order. Serial APIs across the workspace are
+    /// thin wrappers passing this pool to the partitioned implementation.
+    pub fn serial() -> Self {
+        ThreadPool::new(1)
+    }
+
+    /// Worker count from the `FLH_THREADS` environment variable, falling
+    /// back to [`std::thread::available_parallelism`] (then 1).
+    pub fn from_env() -> Self {
+        let workers = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ThreadPool::new(workers)
+    }
+
+    /// Fixed worker count of this pool.
+    pub fn size(&self) -> usize {
+        self.workers
+    }
+
+    /// True for the single-worker pool.
+    pub fn is_serial(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// Runs `jobs` independent jobs, returning their results **in job-id
+    /// order** (never completion order). With one worker or at most one
+    /// job, this is a plain serial loop on the calling thread; otherwise
+    /// `min(workers, jobs)` scoped threads claim job ids from an atomic
+    /// counter.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panic of any job.
+    pub fn run<T, F>(&self, jobs: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers == 1 || jobs <= 1 {
+            return (0..jobs).map(job).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(jobs) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let value = job(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(value);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("scoped worker completed every claimed job")
+            })
+            .collect()
+    }
+
+    /// Splits `0..len` into `parts` contiguous balanced ranges (the first
+    /// `len % parts` ranges are one longer). Pure arithmetic on the
+    /// arguments — the decomposition never depends on scheduling.
+    /// `parts` is clamped to `1..=len` (one non-empty range per part);
+    /// `len == 0` yields a single empty range.
+    pub fn partition(len: usize, parts: usize) -> Vec<Range<usize>> {
+        let parts = parts.clamp(1, len.max(1));
+        let base = len / parts;
+        let extra = len % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0;
+        for p in 0..parts {
+            let size = base + usize::from(p < extra);
+            ranges.push(start..start + size);
+            start += size;
+        }
+        ranges
+    }
+
+    /// Partitions `0..len` into one contiguous range per worker (see
+    /// [`ThreadPool::partition`]), runs `f` on each range, and returns
+    /// `(range, result)` pairs **in partition order**. The canonical
+    /// building block for fault-list and vector-set sharding.
+    pub fn run_partitioned<T, F>(&self, len: usize, f: F) -> Vec<(Range<usize>, T)>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let ranges = Self::partition(len, self.workers);
+        let results = self.run(ranges.len(), |i| f(ranges[i].clone()));
+        ranges.into_iter().zip(results).collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_job_order_at_every_size() {
+        let expected: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let pool = ThreadPool::new(workers);
+            assert_eq!(pool.size(), workers);
+            let got = pool.run(97, |i| i * i);
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_job_edge_cases() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.run(1, |i| i + 10), vec![10]);
+    }
+
+    #[test]
+    fn workers_are_clamped_to_at_least_one() {
+        assert_eq!(ThreadPool::new(0).size(), 1);
+        assert!(ThreadPool::serial().is_serial());
+        assert!(!ThreadPool::new(2).is_serial());
+    }
+
+    #[test]
+    fn partition_is_balanced_and_exhaustive() {
+        for (len, parts) in [(10, 3), (7, 7), (7, 20), (64, 4), (1, 1), (0, 5)] {
+            let ranges = ThreadPool::partition(len, parts);
+            // Contiguous cover of 0..len.
+            let mut cursor = 0;
+            for r in &ranges {
+                assert_eq!(r.start, cursor);
+                cursor = r.end;
+            }
+            assert_eq!(cursor, len, "len={len} parts={parts}");
+            // Balanced: sizes differ by at most one.
+            let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced {sizes:?}");
+            // Never more parts than items (except the len == 0 singleton).
+            assert!(ranges.len() <= len.max(1));
+        }
+    }
+
+    #[test]
+    fn run_partitioned_merges_in_partition_order() {
+        let data: Vec<u64> = (0..1000).collect();
+        let serial_sum: u64 = data.iter().sum();
+        for workers in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(workers);
+            let parts = pool.run_partitioned(data.len(), |r| data[r].iter().sum::<u64>());
+            // Ranges come back sorted by start, results aligned.
+            let mut cursor = 0;
+            let mut total = 0u64;
+            for (r, s) in &parts {
+                assert_eq!(r.start, cursor);
+                cursor = r.end;
+                total += s;
+            }
+            assert_eq!(total, serial_sum, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn jobs_can_borrow_from_the_caller() {
+        let text = String::from("borrowed");
+        let pool = ThreadPool::new(3);
+        let lens = pool.run(5, |i| text.len() + i);
+        assert_eq!(lens, vec![8, 9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn from_env_parses_and_falls_back() {
+        // NOTE: mutates the process environment; kept as a single test so
+        // there is no concurrent reader of FLH_THREADS in this binary.
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(ThreadPool::from_env().size(), 3);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(ThreadPool::from_env().size() >= 1);
+        std::env::set_var(THREADS_ENV, "not a number");
+        assert!(ThreadPool::from_env().size() >= 1);
+        std::env::remove_var(THREADS_ENV);
+        assert!(ThreadPool::from_env().size() >= 1);
+    }
+}

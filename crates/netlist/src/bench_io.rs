@@ -400,6 +400,76 @@ G17 = OR(G10, G6)
     }
 
     #[test]
+    fn truncated_declaration_is_a_syntax_error() {
+        // File cut off mid-declaration: the '(' never closes.
+        let text = "INPUT(a)\nOUTPUT(y)\nINPUT(";
+        match parse_bench(text, "t") {
+            Err(NetlistError::BenchSyntax { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected BenchSyntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_assignment_is_a_syntax_error() {
+        // File cut off mid-argument-list.
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NAND(a,";
+        match parse_bench(text, "t") {
+            Err(NetlistError::BenchSyntax { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected BenchSyntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_gate_function_is_reported_with_its_name() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        match parse_bench(text, "f") {
+            Err(NetlistError::BenchSyntax { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("FROB"), "message: {message}");
+            }
+            other => panic!("expected BenchSyntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_gate_definition_is_reported() {
+        // Two assignments to the same signal (gate redefining a gate, not
+        // shadowing an input).
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n";
+        match parse_bench(text, "dg") {
+            Err(NetlistError::DuplicateName { name }) => assert_eq!(name, "y"),
+            other => panic!("expected DuplicateName, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gates_wider_than_sixteen_inputs_are_rejected() {
+        let args: Vec<String> = (0..17).map(|i| format!("a{i}")).collect();
+        let mut text = String::new();
+        for a in &args {
+            text.push_str(&format!("INPUT({a})\n"));
+        }
+        text.push_str("OUTPUT(y)\n");
+        text.push_str(&format!("y = AND({})\n", args.join(",")));
+        match parse_bench(&text, "wide17") {
+            Err(NetlistError::BenchSyntax { line, message }) => {
+                assert_eq!(line, 19);
+                assert!(message.contains("17"), "message: {message}");
+            }
+            other => panic!("expected BenchSyntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn output_of_undefined_signal_is_reported() {
+        let text = "INPUT(a)\nOUTPUT(ghost)\n";
+        match parse_bench(text, "o") {
+            Err(NetlistError::UndefinedSignal { name }) => assert_eq!(name, "ghost"),
+            other => panic!("expected UndefinedSignal, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn round_trip_preserves_structure() {
         let n1 = parse_bench(S27ISH, "s27ish").unwrap();
         let text = write_bench(&n1);

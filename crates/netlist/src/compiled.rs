@@ -175,6 +175,17 @@ impl CompiledCircuit {
         })
     }
 
+    /// [`CompiledCircuit::compile`] straight into an [`Arc`], the form the
+    /// execution layer's campaigns hand to worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::NetlistError::CombinationalCycle`] like
+    /// [`CompiledCircuit::compile`].
+    pub fn compile_shared(netlist: &Netlist) -> Result<std::sync::Arc<Self>> {
+        Self::compile(netlist).map(std::sync::Arc::new)
+    }
+
     /// Design name carried over from the source netlist.
     pub fn name(&self) -> &str {
         &self.name
@@ -313,6 +324,18 @@ impl CompiledCircuit {
         out.sort_unstable_by_key(|&c| self.topo_pos[c as usize]);
     }
 }
+
+// Send/Sync audit: the snapshot is plain owned data (Strings and Vecs of
+// Copy types, no interior mutability, no raw pointers), so worker threads
+// may walk one instance concurrently. All *mutable* per-run state lives in
+// the split-out scratch types (`ConeScratch` here, the simulators' value /
+// undo / bucket buffers downstream), which are per-worker by construction.
+// This assertion turns an accidental future `Cell`/`Rc` into a compile
+// error instead of a runtime data race.
+const _: fn() = || {
+    fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<CompiledCircuit>();
+};
 
 /// Reusable visited-set scratch for [`CompiledCircuit::fanout_cone_into`].
 ///

@@ -10,7 +10,7 @@ use crate::value::{eval3, Logic};
 /// simulator is zero-delay, so glitches inside a cycle are not modelled;
 /// the `flh-power` crate applies a uniform glitch factor instead, which
 /// affects all compared DFT styles identically.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Activity {
     toggles: Vec<u64>,
     cycles: u64,
@@ -57,6 +57,27 @@ impl Activity {
     /// Sum of all toggles.
     pub fn total_toggles(&self) -> u64 {
         self.toggles.iter().sum()
+    }
+
+    /// Accumulates another trace of the *same circuit* into this one:
+    /// per-cell toggle counts and cycle counts add. Integer sums commute,
+    /// so merging independently collected shards in any grouping yields
+    /// identical totals — the determinism anchor of the sharded activity
+    /// collection in `flh-power`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traces were collected on different cell counts.
+    pub fn merge(&mut self, other: &Activity) {
+        assert_eq!(
+            self.toggles.len(),
+            other.toggles.len(),
+            "activity traces of different circuits cannot merge"
+        );
+        for (mine, theirs) in self.toggles.iter_mut().zip(&other.toggles) {
+            *mine += theirs;
+        }
+        self.cycles += other.cycles;
     }
 }
 

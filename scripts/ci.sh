@@ -1,15 +1,33 @@
 #!/usr/bin/env bash
-# Offline CI gate: build, test, format check, and a perf-report smoke run.
-# No network access is required — the workspace has no external crate
-# dependencies (see flh-rng for the in-tree PRNG).
+# Offline CI gate: build, test (twice, at two pool widths), format check,
+# and a perf-report smoke run. No network access is required — the
+# workspace has no external crate dependencies (see flh-rng for the
+# in-tree PRNG).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release, all crates) =="
 cargo build --release --workspace --offline
 
-echo "== tests (all crates) =="
-cargo test -q --workspace --offline
+# Strips everything timing- or build-dependent from a `cargo test` log so
+# two runs can be diffed: wall-clock suffixes and cargo's compile chatter.
+normalize() {
+    sed -E -e 's/; finished in [0-9.]+s//' \
+        -e '/^ *(Compiling|Finished|Running|Doc-tests) /d'
+}
+
+echo "== tests (all crates, FLH_THREADS=1) =="
+FLH_THREADS=1 cargo test -q --workspace --offline 2>&1 | tee /tmp/flh_ci_t1.log
+
+echo "== tests (all crates, FLH_THREADS=4) =="
+FLH_THREADS=4 cargo test -q --workspace --offline 2>&1 | tee /tmp/flh_ci_t4.log
+
+echo "== determinism gate (FLH_THREADS=1 vs 4) =="
+if ! diff <(normalize </tmp/flh_ci_t1.log) <(normalize </tmp/flh_ci_t4.log); then
+    echo "DETERMINISM GATE FAILED: test output depends on FLH_THREADS" >&2
+    exit 1
+fi
+echo "identical test output at both pool widths"
 
 echo "== formatting =="
 cargo fmt --all --check

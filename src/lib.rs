@@ -12,6 +12,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`netlist`] | `flh-netlist` | gate-level netlist, `.bench` I/O, generator, mapper |
+//! | [`exec`] | `flh-exec` | deterministic scoped thread pool, campaign fan-out (`FLH_THREADS`) |
 //! | [`tech`] | `flh-tech` | 70 nm device model and transistor-level cell library |
 //! | [`sim`] | `flh-sim` | event-driven logic simulation, scan machinery |
 //! | [`analog`] | `flh-analog` | transient circuit simulation (Fig. 2 / Fig. 4) |
@@ -38,6 +39,7 @@ pub use flh_analog as analog;
 pub use flh_atpg as atpg;
 pub use flh_bist as bist;
 pub use flh_core as core;
+pub use flh_exec as exec;
 pub use flh_netlist as netlist;
 pub use flh_power as power;
 pub use flh_sim as sim;
