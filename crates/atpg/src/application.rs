@@ -15,10 +15,11 @@
 //! [`random_transition_campaign`] quantifies this with seeded random
 //! pattern-pair campaigns under each constraint.
 
-use flh_exec::ThreadPool;
+use flh_exec::{DropMask, ThreadPool};
 use flh_netlist::Netlist;
 use flh_rng::Rng;
 
+use crate::fsim::MIN_FAULTS_PER_SHARD;
 use crate::transition::{enumerate_transition_faults, TransitionSimulator};
 use crate::tview::{Observation, TestView};
 
@@ -116,22 +117,28 @@ pub fn random_transition_campaign_pooled(
         remaining -= lanes;
     }
 
-    let parts = pool.run_partitioned(faults.len(), |range| {
-        let shard = &faults[range];
+    // Shards never go below the minimum granularity (per-shard setup —
+    // simulator, good-machine evaluations per batch — must amortize), and
+    // each shard drops detected faults across its whole batch stream: a
+    // fault is replayed at most until its first detecting batch.
+    let mut drops = DropMask::new(faults.len());
+    let parts = pool.run_partitioned_min(faults.len(), MIN_FAULTS_PER_SHARD, |range| {
+        let shard = &faults[range.clone()];
         let mut sim = TransitionSimulator::new(&view);
-        let mut detected = vec![false; shard.len()];
-        let mut count = 0usize;
+        let mut detected = drops.shard(range);
         for (v1, v2, mask) in &batches {
-            count += sim.run_batch(v1, v2, *mask, shard, &mut detected);
+            sim.run_batch(v1, v2, *mask, shard, &mut detected);
         }
-        count
+        detected
     });
-    let detected_count = parts.iter().map(|(_, c)| c).sum();
+    for (range, flags) in parts {
+        drops.merge_shard(range, &flags);
+    }
 
     Ok(CampaignResult {
         style,
         total_faults: faults.len(),
-        detected: detected_count,
+        detected: drops.dropped(),
         pairs,
     })
 }

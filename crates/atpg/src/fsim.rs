@@ -1,107 +1,44 @@
-//! Parallel-pattern stuck-at fault simulation with cone-limited faulty
-//! resimulation and fault dropping.
+//! Parallel-pattern stuck-at fault simulation on the shared
+//! [`DeviationReplay`] engine, with fault dropping.
 //!
-//! The simulator walks the [`CompiledCircuit`] inside its [`TestView`]: the
-//! good machine is evaluated once per 64-pattern batch over the compiled
-//! level order, and each fault's deviation is then replayed **in place**,
-//! event-driven: readers of every changed cell are queued into per-level
-//! buckets (deduplicated by a per-fault generation stamp) and drained in
-//! level order, so a fault only ever touches the cells its deviation
-//! actually reaches — not its full static fanout cone. Changed cells are
-//! recorded in an undo log and restored afterwards, so there is no
-//! per-fault clone of the value array. Detection never scans the full
-//! observation list: only changed cells flagged as observation drivers
-//! ([`TestView::observed_drivers`]) contribute to the miscompare word, and
-//! the replay stops as soon as the fault is detected on an active lane.
-//!
-//! [`ConeArena`] (static fanout cones as ranges into a shared arena) backs
-//! the transition-fault simulator, which needs the whole cone for its
-//! two-time-frame bookkeeping.
+//! The simulator walks the [`flh_netlist::CompiledCircuit`] inside its
+//! [`TestView`]: the good machine is evaluated once per 64-pattern batch
+//! over the compiled level order, and each fault's deviation is then
+//! replayed **in place** by [`DeviationReplay`] — event-driven through the
+//! readers of changed cells, undone afterwards, with detection limited to
+//! changed observation drivers and an early exit as soon as an active lane
+//! miscompares (see [`crate::replay`] for the engine contract). The same
+//! engine drives [`crate::transition::TransitionSimulator`], so both fault
+//! models share one replay code path.
 
-use flh_exec::ThreadPool;
-use flh_netlist::{CompiledCircuit, ConeScratch};
+use flh_exec::{DropMask, ThreadPool};
 
 use crate::fault::{Fault, FaultSite};
+use crate::replay::DeviationReplay;
 use crate::tview::TestView;
 
-/// Cache of fanout cones stored as index ranges into one shared backing
-/// array — the per-site cones of a fault-simulation run, interned once and
-/// borrowed as `&[u32]` slices thereafter (no per-site `Vec`, no hashing).
-#[derive(Clone, Debug, Default)]
-pub struct ConeArena {
-    /// Per dense cell id: `(start, end)` into `data`, or `None` if the cone
-    /// has not been built yet.
-    ranges: Vec<Option<(u32, u32)>>,
-    data: Vec<u32>,
-    scratch: ConeScratch,
-    tmp: Vec<u32>,
-}
-
-impl ConeArena {
-    /// Empty arena; lazily sized on first use.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Topologically-sorted fanout cone of `seed`, built on first request
-    /// and appended to the shared backing array, then served as a range.
-    pub fn cone<'s>(&'s mut self, compiled: &CompiledCircuit, seed: u32) -> &'s [u32] {
-        if self.ranges.len() < compiled.cell_count() {
-            self.ranges.resize(compiled.cell_count(), None);
-        }
-        let (start, end) = match self.ranges[seed as usize] {
-            Some(r) => r,
-            None => {
-                let start = self.data.len() as u32;
-                compiled.fanout_cone_into(seed, &mut self.scratch, &mut self.tmp);
-                self.data.extend_from_slice(&self.tmp);
-                let r = (start, self.data.len() as u32);
-                self.ranges[seed as usize] = Some(r);
-                r
-            }
-        };
-        &self.data[start as usize..end as usize]
-    }
-
-    /// Total interned cone entries (diagnostic).
-    pub fn len(&self) -> usize {
-        self.data.len()
-    }
-
-    /// True if no cone has been interned yet.
-    pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
-    }
-}
+/// Minimum faults per shard of a partitioned campaign: below this, the
+/// per-shard cost (a fresh simulator, a good-machine evaluation per batch)
+/// outweighs any parallelism. Shard boundaries never affect results — stats
+/// are merged by fault id — so this is purely a throughput knob.
+pub(crate) const MIN_FAULTS_PER_SHARD: usize = 64;
 
 /// 64-way parallel single-pattern stuck-at fault simulator.
 pub struct StuckSimulator<'v, 'a> {
     view: &'v TestView<'a>,
     /// Good-machine values, reused across batches; faulty resimulation
-    /// mutates it in place under `undo`.
+    /// mutates it in place under the replay engine's undo log.
     values: Vec<u64>,
-    /// Undo log of the current fault's replay writes: `(cell, good value)`.
-    undo: Vec<(u32, u64)>,
-    /// Per-cell enqueue stamp: a cell joins the replay queue at most once
-    /// per fault (stamp equals the fault's generation).
-    marks: Vec<u64>,
-    gen: u64,
-    /// Replay queue, one bucket per logic level (index 0 unused — sources
-    /// are never re-evaluated).
-    buckets: Vec<Vec<u32>>,
+    replay: DeviationReplay,
 }
 
 impl<'v, 'a> StuckSimulator<'v, 'a> {
     /// Builds a simulator over a test view.
     pub fn new(view: &'v TestView<'a>) -> Self {
-        let compiled = view.compiled();
         StuckSimulator {
             view,
             values: Vec::new(),
-            undo: Vec::new(),
-            marks: vec![0; compiled.cell_count()],
-            gen: 0,
-            buckets: vec![Vec::new(); compiled.levels() + 1],
+            replay: DeviationReplay::new(view.compiled()),
         }
     }
 
@@ -135,111 +72,21 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
                 continue;
             }
 
-            // Event-driven faulty resimulation, in place. The fault site is
-            // seeded first (stem: force the line; branch: re-evaluate the
-            // gate with the forced pin), then the deviation is propagated
-            // level by level through the readers of changed cells; every
-            // write saves the good value for restore and feeds the
-            // miscompare word if the cell drives an observation.
-            self.undo.clear();
-            self.gen += 1;
-            let gen = self.gen;
-            let mut miscompare = 0u64;
-            let (seed, seed_changed) = match fault.site {
-                FaultSite::Stem(cell) => {
-                    let id = cell.index() as u32;
-                    let old = self.values[id as usize];
-                    let new = fault.stuck.word();
-                    if old != new {
-                        self.undo.push((id, old));
-                        self.values[id as usize] = new;
-                        if observed[id as usize] {
-                            miscompare |= old ^ new;
-                        }
-                    }
-                    (id, old != new)
-                }
+            // Seed of the deviation: a stem forces the line itself; a
+            // branch re-evaluates its gate with the faulted pin forced.
+            let (seed, forced) = match fault.site {
+                FaultSite::Stem(cell) => (cell.index() as u32, fault.stuck.word()),
                 FaultSite::Branch { gate, pin } => {
                     let id = gate.index() as u32;
                     inputs.clear();
                     inputs.extend(compiled.fanin(id).iter().map(|&x| self.values[x as usize]));
                     inputs[pin] = fault.stuck.word();
-                    let old = self.values[id as usize];
-                    let new = compiled.kind(id).eval64(&inputs);
-                    if old != new {
-                        self.undo.push((id, old));
-                        self.values[id as usize] = new;
-                        if observed[id as usize] {
-                            miscompare |= old ^ new;
-                        }
-                    }
-                    (id, old != new)
+                    (id, compiled.kind(id).eval64(&inputs))
                 }
             };
-            if seed_changed && miscompare & lanes == 0 {
-                // Queue the seed's readers, then drain the buckets in level
-                // order. A reader always sits at a strictly higher level
-                // than its driver, so the current bucket never grows while
-                // it is being drained. Level-0 readers are flip-flops
-                // (sequential boundary: D observed, Q untouched).
-                let mut lo = usize::MAX;
-                let mut hi = 0usize;
-                for &r in compiled.readers(seed) {
-                    let lvl = compiled.level_of(r) as usize;
-                    if lvl == 0 || self.marks[r as usize] == gen {
-                        continue;
-                    }
-                    self.marks[r as usize] = gen;
-                    self.buckets[lvl].push(r);
-                    lo = lo.min(lvl);
-                    hi = hi.max(lvl);
-                }
-                let mut lvl = lo;
-                'replay: while lvl <= hi {
-                    let bucket = std::mem::take(&mut self.buckets[lvl]);
-                    for &id in &bucket {
-                        inputs.clear();
-                        inputs.extend(compiled.fanin(id).iter().map(|&x| self.values[x as usize]));
-                        let old = self.values[id as usize];
-                        let new = compiled.kind(id).eval64(&inputs);
-                        if old == new {
-                            continue; // deviation masked at this cell
-                        }
-                        self.undo.push((id, old));
-                        self.values[id as usize] = new;
-                        if observed[id as usize] {
-                            miscompare |= old ^ new;
-                            if miscompare & lanes != 0 {
-                                self.buckets[lvl] = bucket;
-                                break 'replay; // detected: the rest is moot
-                            }
-                        }
-                        for &r in compiled.readers(id) {
-                            let rl = compiled.level_of(r) as usize;
-                            if rl == 0 || self.marks[r as usize] == gen {
-                                continue;
-                            }
-                            self.marks[r as usize] = gen;
-                            self.buckets[rl].push(r);
-                            hi = hi.max(rl);
-                        }
-                    }
-                    self.buckets[lvl] = bucket;
-                    self.buckets[lvl].clear();
-                    lvl += 1;
-                }
-                // An early exit leaves queued entries behind; drop them so
-                // the buckets are empty for the next fault.
-                if lvl <= hi {
-                    for b in &mut self.buckets[lvl..=hi] {
-                        b.clear();
-                    }
-                }
-            }
-            // Restore the good machine.
-            for &(id, old) in &self.undo {
-                self.values[id as usize] = old;
-            }
+            let miscompare =
+                self.replay
+                    .replay(compiled, observed, &mut self.values, seed, forced, lanes);
             if miscompare & lanes != 0 {
                 detected[fi] = true;
                 new_hits += 1;
@@ -281,26 +128,33 @@ fn pack_batch(chunk: &[Vec<bool>], n: usize, words: &mut [u64]) -> u64 {
 }
 
 /// One worker's share of a partitioned campaign: a fresh simulator over the
-/// shared view, the full pattern set, a contiguous fault shard.
-fn stats_shard(view: &TestView<'_>, faults: &[Fault], patterns: &[Vec<bool>]) -> Vec<FaultStats> {
+/// shared view, the full pattern set, a contiguous fault shard. Faults
+/// flagged in `dropped` were detected by an earlier call and are never
+/// replayed again; the shard's updated flags are merged back by the caller.
+fn stats_shard(
+    view: &TestView<'_>,
+    faults: &[Fault],
+    patterns: &[Vec<bool>],
+    mut dropped: Vec<bool>,
+) -> (Vec<FaultStats>, Vec<bool>) {
     let mut sim = StuckSimulator::new(view);
-    let mut detected = vec![false; faults.len()];
     let mut stats = vec![FaultStats::default(); faults.len()];
+    let already: Vec<bool> = dropped.clone();
     let n = view.assignable().len();
     let mut words = vec![0u64; n];
     for (batch, chunk) in patterns.chunks(64).enumerate() {
         let mask = pack_batch(chunk, n, &mut words);
-        let new_hits = sim.run_batch(&words, mask, faults, &mut detected);
+        let new_hits = sim.run_batch(&words, mask, faults, &mut dropped);
         if new_hits > 0 {
-            for (s, &d) in stats.iter_mut().zip(&detected) {
-                if d && !s.detected {
+            for ((s, &d), &pre) in stats.iter_mut().zip(&dropped).zip(&already) {
+                if d && !pre && !s.detected {
                     s.detected = true;
                     s.first_batch = Some(batch as u32);
                 }
             }
         }
     }
-    stats
+    (stats, dropped)
 }
 
 impl StuckSimulator<'_, '_> {
@@ -316,12 +170,31 @@ impl StuckSimulator<'_, '_> {
         patterns: &[Vec<bool>],
         pool: &ThreadPool,
     ) -> Vec<FaultStats> {
-        let parts = pool.run_partitioned(faults.len(), |range| {
-            stats_shard(view, &faults[range], patterns)
+        let mut drops = DropMask::new(faults.len());
+        Self::simulate_partitioned_dropping(view, faults, patterns, pool, &mut drops)
+    }
+
+    /// [`StuckSimulator::simulate_partitioned`] with a persistent
+    /// [`DropMask`]: faults already dropped are skipped by every shard, and
+    /// this call's detections are merged back into `drops`, so a sequence
+    /// of calls (incremental pattern blocks) never re-replays a detected
+    /// fault. Stats describe **this call only** — a fault dropped by an
+    /// earlier call reports `FaultStats::default()`.
+    pub fn simulate_partitioned_dropping(
+        view: &TestView<'_>,
+        faults: &[Fault],
+        patterns: &[Vec<bool>],
+        pool: &ThreadPool,
+        drops: &mut DropMask,
+    ) -> Vec<FaultStats> {
+        assert_eq!(drops.len(), faults.len(), "drop mask length mismatch");
+        let parts = pool.run_partitioned_min(faults.len(), MIN_FAULTS_PER_SHARD, |range| {
+            stats_shard(view, &faults[range.clone()], patterns, drops.shard(range))
         });
         let mut stats = Vec::with_capacity(faults.len());
-        for (_, shard) in parts {
+        for (range, (shard, flags)) in parts {
             stats.extend(shard);
+            drops.merge_shard(range, &flags);
         }
         stats
     }
@@ -336,7 +209,7 @@ pub fn stuck_coverage(view: &TestView<'_>, faults: &[Fault], patterns: &[Vec<boo
 }
 
 /// Pooled [`stuck_coverage`]: the fault list is split across the pool's
-/// workers, each with its own simulator (the cone caches are per-fault, so
+/// workers, each with its own simulator (the replay state is per-fault, so
 /// sharding by fault loses nothing). Detection flags are merged in fault-id
 /// order and are identical at any pool size.
 pub fn stuck_coverage_partitioned(
@@ -365,7 +238,8 @@ pub fn stuck_coverage_parallel(
 /// Reference stuck-at detection for one fault and one 64-pattern batch:
 /// full faulted re-evaluation through [`TestView::eval64`], full
 /// observation scan. Quadratically slower than [`StuckSimulator`] but
-/// independent of the cone/undo machinery — the equivalence oracle for it.
+/// independent of the replay/undo machinery — the equivalence oracle for
+/// it.
 pub fn stuck_detects_reference(
     view: &TestView<'_>,
     fault: &Fault,
@@ -451,8 +325,8 @@ mod tests {
     }
 
     #[test]
-    fn cone_resim_matches_full_reference_resim() {
-        // The in-place cone/undo fast path against the brute-force oracle:
+    fn replay_resim_matches_full_reference_resim() {
+        // The in-place replay fast path against the brute-force oracle:
         // every fault, random batch, identical detection lanes.
         let n = circuit();
         let view = TestView::new(&n).unwrap();
@@ -557,20 +431,41 @@ mod tests {
     }
 
     #[test]
-    fn cone_arena_serves_stable_ranges() {
+    fn dropped_faults_are_skipped_and_merged_across_calls() {
         let n = circuit();
         let view = TestView::new(&n).unwrap();
-        let c = view.compiled();
-        let mut arena = ConeArena::new();
-        let first: Vec<u32> = arena.cone(c, 0).to_vec();
-        let len_after_first = arena.len();
-        // Re-requesting does not grow the arena and returns the same cone.
-        assert_eq!(arena.cone(c, 0), first.as_slice());
-        assert_eq!(arena.len(), len_after_first);
-        // A second seed appends behind the first.
-        let _ = arena.cone(c, 1);
-        assert!(arena.len() >= len_after_first);
-        assert_eq!(arena.cone(c, 0), first.as_slice());
+        let faults = enumerate_stuck_faults(&n);
+        let na = view.assignable().len();
+        let mut rng = Rng::seed_from_u64(14);
+        let patterns: Vec<Vec<bool>> = (0..192)
+            .map(|_| (0..na).map(|_| rng.gen()).collect())
+            .collect();
+        // One shot over the whole set...
+        let whole = stuck_coverage(&view, &faults, &patterns);
+        // ...equals two incremental halves through a shared drop mask.
+        let mut drops = DropMask::new(faults.len());
+        for half in patterns.chunks(96) {
+            StuckSimulator::simulate_partitioned_dropping(
+                &view,
+                &faults,
+                half,
+                &ThreadPool::new(3),
+                &mut drops,
+            );
+        }
+        assert_eq!(drops.flags(), whole.as_slice());
+        // A third call over already-covered patterns reports nothing new.
+        let again = StuckSimulator::simulate_partitioned_dropping(
+            &view,
+            &faults,
+            &patterns,
+            &ThreadPool::serial(),
+            &mut drops,
+        );
+        for (s, &d) in again.iter().zip(&whole) {
+            assert!(!s.detected || !d, "dropped fault was re-detected");
+        }
+        assert_eq!(drops.flags(), whole.as_slice());
     }
 
     #[test]

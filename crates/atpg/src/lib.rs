@@ -15,6 +15,10 @@
 //!   evaluation with single-fault injection;
 //! * [`podem`] — a PODEM implementation (objective / backtrace / imply with
 //!   backtracking) for stuck-at faults, plus justification-only mode;
+//! * [`replay`] — the shared deviation-replay engine: event-driven
+//!   in-place faulty resimulation (per-level bucket queue, undo log,
+//!   observed-driver miscompare, early exit on detection) that both the
+//!   stuck-at and transition simulators run on;
 //! * [`transition`] — two-pattern transition-fault ATPG built on PODEM
 //!   (launch value justified by V1, detection by a stuck-at test as V2) and
 //!   transition-fault simulation of pattern pairs;
@@ -32,6 +36,7 @@ pub mod fsim;
 pub mod path;
 pub mod patterns_io;
 pub mod podem;
+pub mod replay;
 pub mod transition;
 pub mod tview;
 
@@ -46,7 +51,7 @@ pub use fault::{
 };
 pub use fsim::{
     stuck_coverage, stuck_coverage_parallel, stuck_coverage_partitioned, stuck_detects_reference,
-    ConeArena, FaultStats, StuckSimulator,
+    FaultStats, StuckSimulator,
 };
 pub use path::{
     generate_path_test, generate_robust_path_test, longest_paths, longest_sensitizable_path,
@@ -55,10 +60,12 @@ pub use path::{
 };
 pub use patterns_io::{parse_patterns, write_patterns};
 pub use podem::{Podem, PodemConfig, TestCube};
+pub use replay::DeviationReplay;
 pub use transition::{
-    compact_transition_patterns, simulate_transition_patterns,
+    collapse_transition_faults, compact_transition_patterns, enumerate_transition_faults,
+    simulate_transition_patterns, simulate_transition_patterns_dropping,
     simulate_transition_patterns_partitioned, transition_atpg, transition_atpg_ndetect,
-    NDetectResult, TransitionAtpgResult, TransitionFault, TransitionKind, TransitionPattern,
-    TransitionSimulator,
+    transition_collapse_justifier, transition_detects_reference, NDetectResult,
+    TransitionAtpgResult, TransitionFault, TransitionKind, TransitionPattern, TransitionSimulator,
 };
 pub use tview::TestView;

@@ -143,4 +143,49 @@ mod tests {
         assert!(parse_patterns("# nothing\n").unwrap().is_empty());
         assert_eq!(write_patterns(&[], 3), "");
     }
+
+    #[test]
+    fn round_trip_preserves_pairs_at_every_chunk_size() {
+        // Set sizes straddling the 64-lane batch boundary, so partial
+        // final chunks go through the same write → read → simulate path
+        // as full ones.
+        use crate::transition::{enumerate_transition_faults, simulate_transition_patterns};
+        use crate::tview::TestView;
+        use flh_netlist::{generate_circuit, GeneratorConfig};
+        use flh_rng::Rng;
+
+        let n = generate_circuit(&GeneratorConfig {
+            name: "pio".into(),
+            primary_inputs: 5,
+            primary_outputs: 4,
+            flip_flops: 6,
+            gates: 50,
+            logic_depth: 6,
+            avg_ff_fanout: 2.2,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 303,
+        })
+        .unwrap();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let na = view.assignable().len();
+        let n_pi = view.primary_input_count();
+        let mut rng = Rng::seed_from_u64(17);
+        for size in [1usize, 63, 64, 65, 130] {
+            let patterns: Vec<TransitionPattern> = (0..size)
+                .map(|_| TransitionPattern {
+                    v1: (0..na).map(|_| rng.gen()).collect(),
+                    v2: (0..na).map(|_| rng.gen()).collect(),
+                })
+                .collect();
+            let text = write_patterns(&patterns, n_pi);
+            let parsed = parse_patterns(&text).unwrap();
+            assert_eq!(parsed, patterns, "size = {size}");
+            // Round-tripped pairs drive identical coverage.
+            let before = simulate_transition_patterns(&view, &faults, &patterns);
+            let after = simulate_transition_patterns(&view, &faults, &parsed);
+            assert_eq!(before, after, "size = {size}");
+        }
+    }
 }

@@ -9,13 +9,14 @@
 //! justification for V1 — precisely why the paper's technique, which
 //! enables arbitrary pairs cheaply, preserves full ATPG power.
 
-use flh_exec::ThreadPool;
+use flh_exec::{DropMask, ThreadPool};
 use flh_netlist::{analysis, CellId, CellKind, Netlist};
 use flh_rng::Rng;
 
 use crate::fault::{Fault, StuckValue};
-use crate::fsim::{ConeArena, FaultStats};
+use crate::fsim::{FaultStats, MIN_FAULTS_PER_SHARD};
 use crate::podem::{Podem, PodemConfig};
+use crate::replay::DeviationReplay;
 use crate::tview::TestView;
 
 /// Transition polarity.
@@ -58,13 +59,55 @@ impl TransitionFault {
     }
 }
 
+/// Per-cell flags: the cell has a combinational path to an observation
+/// point (a primary output, or the D input of a flip-flop — the same
+/// boundary [`TestView::observations`] measures at).
+///
+/// Computed by a reverse walk from the fanins of every `Output` and
+/// flip-flop cell, stopping at sequential elements: a flip-flop *found* on
+/// the walk is reachable through its Q output, but its own D fanin belongs
+/// to the previous time frame and is seeded separately.
+fn observation_reach(netlist: &Netlist) -> Vec<bool> {
+    let mut reach = vec![false; netlist.cell_count()];
+    let mut stack: Vec<CellId> = Vec::new();
+    for (_, cell) in netlist.iter() {
+        if cell.kind() == CellKind::Output || cell.kind().is_flip_flop() {
+            for &f in cell.fanin() {
+                if !reach[f.index()] {
+                    reach[f.index()] = true;
+                    stack.push(f);
+                }
+            }
+        }
+    }
+    while let Some(id) = stack.pop() {
+        let cell = netlist.cell(id);
+        if cell.kind().is_flip_flop() {
+            continue; // Q reachable; D is another frame's problem
+        }
+        for &f in cell.fanin() {
+            if !reach[f.index()] {
+                reach[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    reach
+}
+
 /// Enumerates both transition faults on every stem with at least one
-/// reader (combinational cells, primary inputs, flip-flop outputs).
+/// reader (combinational cells, primary inputs, flip-flop outputs) **and**
+/// a path to an observation point. A site whose entire fanout cone dies
+/// before any output or flip-flop D pin can never be detected; skipping it
+/// here saves an activation-lane check per fault per batch forever, and
+/// keeps reported coverage honest (the paper's coverage figures exclude
+/// structurally undetectable faults).
 pub fn enumerate_transition_faults(netlist: &Netlist) -> Vec<TransitionFault> {
     let fanouts = analysis::FanoutMap::compute(netlist);
+    let reach = observation_reach(netlist);
     let mut faults = Vec::new();
     for (id, cell) in netlist.iter() {
-        if cell.kind() == CellKind::Output || fanouts.fanout_count(id) == 0 {
+        if cell.kind() == CellKind::Output || fanouts.fanout_count(id) == 0 || !reach[id.index()] {
             continue;
         }
         faults.push(TransitionFault {
@@ -79,6 +122,107 @@ pub fn enumerate_transition_faults(netlist: &Netlist) -> Vec<TransitionFault> {
     faults
 }
 
+/// The representative that justifies *dropping* `fault` during
+/// [`collapse_transition_faults`], or `None` if the fault must be kept.
+///
+/// Two local rules, mirroring [`crate::fault::collapse_faults`] but
+/// restricted so their justification chains can never meet in a cycle:
+///
+/// * **Equivalence** (through `Buf`/`Inv`): a site whose only reader is a
+///   buffer or inverter launches the reader's transition on the same pair
+///   — same V1/V2 site conditions up to the inversion, same stuck-at
+///   detection condition (classic single-fanout equivalence). The fault
+///   folds *forward* into the reader, polarity flipped through `Inv`.
+/// * **Dominance** (into `And*`/`Nand*`/`Or*`/`Nor*`): any pair detecting
+///   a single-fanout fanin's transition through the gate holds every other
+///   fanin non-controlling in V2 and drives the fanin's V1 value through
+///   to the gate output, so it also launches and detects the gate's output
+///   transition of the matching polarity (`And`: slow-to-rise, `Nand`/
+///   `Or`: slow-to-fall, `Nor`: slow-to-rise). The gate fault folds
+///   *backward* into that fanin. Constant fanins are excluded (they never
+///   transition).
+///
+/// Equivalence edges point forward through `Buf`/`Inv` readers only, and
+/// dominance edges point backward from `And`/`Nand`/`Or`/`Nor` gates only;
+/// a justifier of either rule can therefore only be dropped again by the
+/// *same* rule, chains run strictly forward or strictly backward through
+/// the DAG, and every chain ends at a kept fault. By induction, a test set
+/// detecting every kept fault detects every dropped one.
+pub fn transition_collapse_justifier(
+    netlist: &Netlist,
+    fanouts: &analysis::FanoutMap,
+    fault: &TransitionFault,
+) -> Option<TransitionFault> {
+    // Equivalence: single reader, Buf/Inv, reader itself drives something.
+    if fanouts.fanout_count(fault.site) == 1 {
+        let reader = fanouts.readers(fault.site)[0];
+        let kind = netlist.cell(reader).kind();
+        if matches!(kind, CellKind::Buf | CellKind::Inv) && fanouts.fanout_count(reader) > 0 {
+            let rkind = if kind == CellKind::Buf {
+                fault.kind
+            } else {
+                match fault.kind {
+                    TransitionKind::SlowToRise => TransitionKind::SlowToFall,
+                    TransitionKind::SlowToFall => TransitionKind::SlowToRise,
+                }
+            };
+            return Some(TransitionFault {
+                site: reader,
+                kind: rkind,
+            });
+        }
+    }
+    // Dominance: the gate's output transition of the polarity launched by a
+    // rising (And/Nand) or falling (Or/Nor) single-fanout fanin.
+    let cell = netlist.cell(fault.site);
+    let (dropped_kind, fanin_kind) = match cell.kind() {
+        CellKind::And2 | CellKind::And3 | CellKind::And4 => {
+            (TransitionKind::SlowToRise, TransitionKind::SlowToRise)
+        }
+        CellKind::Nand2 | CellKind::Nand3 | CellKind::Nand4 => {
+            (TransitionKind::SlowToFall, TransitionKind::SlowToRise)
+        }
+        CellKind::Or2 | CellKind::Or3 | CellKind::Or4 => {
+            (TransitionKind::SlowToFall, TransitionKind::SlowToFall)
+        }
+        CellKind::Nor2 | CellKind::Nor3 | CellKind::Nor4 => {
+            (TransitionKind::SlowToRise, TransitionKind::SlowToFall)
+        }
+        _ => return None,
+    };
+    if fault.kind != dropped_kind {
+        return None;
+    }
+    cell.fanin()
+        .iter()
+        .find(|&&f| {
+            fanouts.fanout_count(f) == 1
+                && !matches!(netlist.cell(f).kind(), CellKind::Const0 | CellKind::Const1)
+        })
+        .map(|&f| TransitionFault {
+            site: f,
+            kind: fanin_kind,
+        })
+}
+
+/// Equivalence/dominance collapsing of a transition fault list (see
+/// [`transition_collapse_justifier`] for the rules and their soundness).
+/// Only ever removes faults: a test set detecting the collapsed list
+/// detects the full list, so campaign coverage semantics are preserved
+/// while every dropped fault saves its activation check and replay in
+/// every batch.
+pub fn collapse_transition_faults(
+    netlist: &Netlist,
+    faults: &[TransitionFault],
+) -> Vec<TransitionFault> {
+    let fanouts = analysis::FanoutMap::compute(netlist);
+    faults
+        .iter()
+        .filter(|f| transition_collapse_justifier(netlist, &fanouts, f).is_none())
+        .copied()
+        .collect()
+}
+
 /// A fully specified two-pattern test in assignable order.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TransitionPattern {
@@ -88,21 +232,22 @@ pub struct TransitionPattern {
     pub v2: Vec<bool>,
 }
 
-/// Cone-cached transition fault simulator over a test view.
+/// Event-driven transition fault simulator over a test view, built on the
+/// shared [`DeviationReplay`] engine.
 ///
 /// Like [`crate::fsim::StuckSimulator`], it walks the view's compiled
-/// circuit: cones are interned index ranges in a shared [`ConeArena`], and
-/// the faulty V2 machine is replayed in place under an undo log instead of
-/// cloning the good value array per fault.
+/// circuit: the faulty V2 machine is replayed in place from the fault site
+/// through the readers of changed cells only — never the site's full
+/// static fanout cone — detection scans only changed observation drivers,
+/// and replay aborts as soon as an activation lane miscompares.
 pub struct TransitionSimulator<'v, 'a> {
     view: &'v TestView<'a>,
-    cones: ConeArena,
     /// Good V2 values, reused across batches; faulty resimulation mutates
-    /// it in place under `undo`.
+    /// it in place under the replay engine's undo log.
     values2: Vec<u64>,
     /// Good V1 values (never mutated per fault).
     values1: Vec<u64>,
-    undo: Vec<(u32, u64)>,
+    replay: DeviationReplay,
 }
 
 impl<'v, 'a> TransitionSimulator<'v, 'a> {
@@ -110,57 +255,29 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
     pub fn new(view: &'v TestView<'a>) -> Self {
         TransitionSimulator {
             view,
-            cones: ConeArena::new(),
             values2: Vec::new(),
             values1: Vec::new(),
-            undo: Vec::new(),
+            replay: DeviationReplay::new(view.compiled()),
         }
     }
 
-    /// In-place cone replay of the V2 machine under `fault`'s stuck
+    /// Event-driven replay of the V2 machine under `fault`'s stuck
     /// equivalent; returns the observation miscompare word and leaves
-    /// `values2` restored to the good machine.
-    fn faulty_miscompare(&mut self, fault: &TransitionFault) -> u64 {
-        let compiled = self.view.compiled();
-        let observed = self.view.observed_drivers();
+    /// `values2` restored to the good machine. `stop_lanes` is forwarded
+    /// to [`DeviationReplay::replay`]: detection passes the activation
+    /// lanes (abort on first miscompare there), counting passes 0 (full
+    /// propagation for an exact per-lane word).
+    fn faulty_miscompare(&mut self, fault: &TransitionFault, stop_lanes: u64) -> u64 {
         let seed = fault.site.index() as u32;
-        let stuck = fault.stuck_equivalent();
-        self.undo.clear();
-        let mut miscompare = 0u64;
-        let old = self.values2[seed as usize];
-        let new = stuck.stuck.word();
-        if old != new {
-            self.undo.push((seed, old));
-            self.values2[seed as usize] = new;
-            if observed[seed as usize] {
-                miscompare |= old ^ new;
-            }
-        }
-        let mut inputs: Vec<u64> = Vec::with_capacity(8);
-        for &id in self.cones.cone(compiled, seed) {
-            if id == seed {
-                continue; // stem value is forced, not re-evaluated
-            }
-            let kind = compiled.kind(id);
-            if kind.is_flip_flop() {
-                continue; // sequential boundary: D observed, Q untouched
-            }
-            inputs.clear();
-            inputs.extend(compiled.fanin(id).iter().map(|&x| self.values2[x as usize]));
-            let old = self.values2[id as usize];
-            let new = kind.eval64(&inputs);
-            if old != new {
-                self.undo.push((id, old));
-                self.values2[id as usize] = new;
-                if observed[id as usize] {
-                    miscompare |= old ^ new;
-                }
-            }
-        }
-        for &(id, old) in &self.undo {
-            self.values2[id as usize] = old;
-        }
-        miscompare
+        let forced = fault.stuck_equivalent().stuck.word();
+        self.replay.replay(
+            self.view.compiled(),
+            self.view.observed_drivers(),
+            &mut self.values2,
+            seed,
+            forced,
+            stop_lanes,
+        )
     }
 
     /// Simulates up to 64 pattern pairs against a fault set, marking newly
@@ -190,7 +307,7 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
             if lanes == 0 {
                 continue;
             }
-            if self.faulty_miscompare(fault) & lanes != 0 {
+            if self.faulty_miscompare(fault, lanes) & lanes != 0 {
                 detected[fi] = true;
                 new_hits += 1;
             }
@@ -241,7 +358,9 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
             if lanes == 0 {
                 continue;
             }
-            let hits = (self.faulty_miscompare(fault) & lanes).count_ones();
+            // stop_lanes = 0: counting needs the exact per-lane word, so
+            // the replay must run to quiescence — no early exit.
+            let hits = (self.faulty_miscompare(fault, 0) & lanes).count_ones();
             if hits > 0 {
                 let before = counts[fi];
                 counts[fi] = (counts[fi] + hits).min(target);
@@ -282,31 +401,34 @@ fn pack_pair_batch(
 }
 
 /// One worker's share of a partitioned pair campaign: a fresh simulator,
-/// the full pattern-pair set, a contiguous fault shard.
+/// the full pattern-pair set, a contiguous fault shard. Faults flagged in
+/// `dropped` were detected by an earlier call and are never replayed
+/// again; the shard's updated flags are merged back by the caller.
 fn pair_stats_shard(
     view: &TestView<'_>,
     faults: &[TransitionFault],
     patterns: &[TransitionPattern],
-) -> Vec<FaultStats> {
+    mut dropped: Vec<bool>,
+) -> (Vec<FaultStats>, Vec<bool>) {
     let mut sim = TransitionSimulator::new(view);
-    let mut detected = vec![false; faults.len()];
     let mut stats = vec![FaultStats::default(); faults.len()];
+    let already: Vec<bool> = dropped.clone();
     let n = view.assignable().len();
     let mut v1_words = vec![0u64; n];
     let mut v2_words = vec![0u64; n];
     for (batch, chunk) in patterns.chunks(64).enumerate() {
         let mask = pack_pair_batch(chunk, n, &mut v1_words, &mut v2_words);
-        let new_hits = sim.run_batch(&v1_words, &v2_words, mask, faults, &mut detected);
+        let new_hits = sim.run_batch(&v1_words, &v2_words, mask, faults, &mut dropped);
         if new_hits > 0 {
-            for (s, &d) in stats.iter_mut().zip(&detected) {
-                if d && !s.detected {
+            for ((s, &d), &pre) in stats.iter_mut().zip(&dropped).zip(&already) {
+                if d && !pre && !s.detected {
                     s.detected = true;
                     s.first_batch = Some(batch as u32);
                 }
             }
         }
     }
-    stats
+    (stats, dropped)
 }
 
 impl TransitionSimulator<'_, '_> {
@@ -320,15 +442,71 @@ impl TransitionSimulator<'_, '_> {
         patterns: &[TransitionPattern],
         pool: &ThreadPool,
     ) -> Vec<FaultStats> {
-        let parts = pool.run_partitioned(faults.len(), |range| {
-            pair_stats_shard(view, &faults[range], patterns)
+        let mut drops = DropMask::new(faults.len());
+        Self::simulate_partitioned_dropping(view, faults, patterns, pool, &mut drops)
+    }
+
+    /// [`TransitionSimulator::simulate_partitioned`] with a persistent
+    /// [`DropMask`]: faults already dropped are skipped by every shard and
+    /// batch, and this call's detections are merged back into `drops`, so
+    /// a staged campaign (incremental pair blocks) never re-replays a
+    /// detected fault. Stats describe **this call only** — a fault dropped
+    /// by an earlier call reports `FaultStats::default()`.
+    pub fn simulate_partitioned_dropping(
+        view: &TestView<'_>,
+        faults: &[TransitionFault],
+        patterns: &[TransitionPattern],
+        pool: &ThreadPool,
+        drops: &mut DropMask,
+    ) -> Vec<FaultStats> {
+        assert_eq!(drops.len(), faults.len(), "drop mask length mismatch");
+        let parts = pool.run_partitioned_min(faults.len(), MIN_FAULTS_PER_SHARD, |range| {
+            pair_stats_shard(view, &faults[range.clone()], patterns, drops.shard(range))
         });
         let mut stats = Vec::with_capacity(faults.len());
-        for (_, shard) in parts {
+        for (range, (shard, flags)) in parts {
             stats.extend(shard);
+            drops.merge_shard(range, &flags);
         }
         stats
     }
+}
+
+/// Reference transition detection for one fault and one 64-pair batch:
+/// full faulted V2 re-evaluation through [`TestView::eval64`] under the
+/// stuck equivalent, full observation scan, activation computed from the
+/// good V1/V2 machines. Quadratically slower than [`TransitionSimulator`]
+/// but independent of the replay/undo machinery — the equivalence oracle
+/// for it (the legacy full-cone path answered exactly this word).
+pub fn transition_detects_reference(
+    view: &TestView<'_>,
+    fault: &TransitionFault,
+    v1_words: &[u64],
+    v2_words: &[u64],
+    mask: u64,
+) -> u64 {
+    let good1 = view.eval64(v1_words, None);
+    let good2 = view.eval64(v2_words, None);
+    let site = fault.site.index();
+    let init = if fault.initial_value() {
+        good1[site]
+    } else {
+        !good1[site]
+    };
+    let launch = if fault.final_value() {
+        good2[site]
+    } else {
+        !good2[site]
+    };
+    let stuck = fault.stuck_equivalent();
+    let faulty2 = view.eval64(v2_words, Some(&stuck));
+    let obs_good = view.observe64(&good2);
+    let obs_faulty = view.observe64(&faulty2);
+    let miscompare = obs_good
+        .iter()
+        .zip(&obs_faulty)
+        .fold(0u64, |acc, (g, b)| acc | (g ^ b));
+    miscompare & init & launch & mask
 }
 
 /// Simulates a pattern-pair set against a fault list, returning per-fault
@@ -354,6 +532,21 @@ pub fn simulate_transition_patterns_partitioned(
         .into_iter()
         .map(|s| s.detected)
         .collect()
+}
+
+/// Staged [`simulate_transition_patterns_partitioned`]: detections
+/// accumulate in `drops` across calls, already-dropped faults are skipped
+/// by every shard, and the returned flags are the mask's state *after*
+/// this call (cumulative coverage, not per-call novelty).
+pub fn simulate_transition_patterns_dropping(
+    view: &TestView<'_>,
+    faults: &[TransitionFault],
+    patterns: &[TransitionPattern],
+    pool: &ThreadPool,
+    drops: &mut DropMask,
+) -> Vec<bool> {
+    TransitionSimulator::simulate_partitioned_dropping(view, faults, patterns, pool, drops);
+    drops.flags().to_vec()
 }
 
 /// Result of a deterministic transition ATPG run.
@@ -782,6 +975,219 @@ mod tests {
         // Every kept pattern appears in the original set.
         for p in &compacted {
             assert!(patterns.contains(p));
+        }
+    }
+
+    #[test]
+    fn replay_matches_reference_for_every_fault() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let mut rng = Rng::seed_from_u64(23);
+        let na = view.assignable().len();
+        let v1: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+        let v2: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+        let mut sim = TransitionSimulator::new(&view);
+        for fault in &faults {
+            let mut detected = vec![false];
+            sim.run_batch(&v1, &v2, !0, std::slice::from_ref(fault), &mut detected);
+            let reference = transition_detects_reference(&view, fault, &v1, &v2, !0);
+            assert_eq!(detected[0], reference != 0, "{fault:?}");
+            // And exact per-lane agreement through the counting path.
+            let mut counts = vec![0u32];
+            sim.run_batch_counting(&v1, &v2, !0, std::slice::from_ref(fault), &mut counts, 64);
+            assert_eq!(counts[0], reference.count_ones(), "{fault:?}");
+        }
+    }
+
+    #[test]
+    fn dead_cone_sites_are_not_enumerated() {
+        // d1 -> d2 is a dangling chain: d2 drives nothing, so neither cell
+        // can reach an observation point — no transition faults on either.
+        let mut n = Netlist::new("dead");
+        let a = n.add_input("a");
+        let d1 = n.add_cell("d1", CellKind::Inv, vec![a]);
+        n.add_cell("d2", CellKind::Inv, vec![d1]);
+        let g = n.add_cell("g", CellKind::Buf, vec![a]);
+        n.add_output("y", g);
+        let faults = enumerate_transition_faults(&n);
+        assert!(faults.iter().all(|f| f.site != d1), "dead cone enumerated");
+        assert!(faults.iter().any(|f| f.site == a));
+        assert!(faults.iter().any(|f| f.site == g));
+    }
+
+    #[test]
+    fn observation_reach_includes_flip_flop_d_cones() {
+        // h feeds only a flip-flop's D pin: observable at the scan boundary.
+        let mut n = Netlist::new("ffobs");
+        let a = n.add_input("a");
+        let h = n.add_cell("h", CellKind::Inv, vec![a]);
+        let ff = n.add_cell("ff", CellKind::Dff, vec![h]);
+        let g = n.add_cell("g", CellKind::Buf, vec![ff]);
+        n.add_output("y", g);
+        let faults = enumerate_transition_faults(&n);
+        assert!(faults.iter().any(|f| f.site == h));
+        assert!(faults.iter().any(|f| f.site == ff));
+    }
+
+    #[test]
+    fn chain_collapse_folds_forward_through_buf_and_inv() {
+        // a -> inv -> buf -> y: a's faults fold into inv (flipped), inv's
+        // into buf (same), buf's are kept (reader is the output marker).
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let i = n.add_cell("i", CellKind::Inv, vec![a]);
+        let b = n.add_cell("b", CellKind::Buf, vec![i]);
+        n.add_output("y", b);
+        let faults = enumerate_transition_faults(&n);
+        assert_eq!(faults.len(), 6);
+        let collapsed = collapse_transition_faults(&n, &faults);
+        assert_eq!(collapsed.len(), 2);
+        assert!(collapsed.iter().all(|f| f.site == b));
+        // The justifier of a's slow-to-rise is inv's slow-to-fall.
+        let fanouts = analysis::FanoutMap::compute(&n);
+        let j = transition_collapse_justifier(
+            &n,
+            &fanouts,
+            &TransitionFault {
+                site: a,
+                kind: TransitionKind::SlowToRise,
+            },
+        )
+        .unwrap();
+        assert_eq!(j.site, i);
+        assert_eq!(j.kind, TransitionKind::SlowToFall);
+    }
+
+    #[test]
+    fn gate_dominance_drops_the_matching_polarity_only() {
+        // Single-fanout inputs into an AND: the gate's slow-to-rise is
+        // dominated by an input's slow-to-rise; its slow-to-fall is kept.
+        let mut n = Netlist::new("dom");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_cell("g", CellKind::And2, vec![a, b]);
+        n.add_output("y", g);
+        let faults = enumerate_transition_faults(&n);
+        let collapsed = collapse_transition_faults(&n, &faults);
+        assert!(!collapsed.contains(&TransitionFault {
+            site: g,
+            kind: TransitionKind::SlowToRise,
+        }));
+        assert!(collapsed.contains(&TransitionFault {
+            site: g,
+            kind: TransitionKind::SlowToFall,
+        }));
+        // Inputs keep both faults (their reader is a gate, not Buf/Inv).
+        for site in [a, b] {
+            for kind in [TransitionKind::SlowToRise, TransitionKind::SlowToFall] {
+                assert!(collapsed.contains(&TransitionFault { site, kind }));
+            }
+        }
+    }
+
+    #[test]
+    fn every_justifier_detection_implies_the_dropped_fault() {
+        // Simulation check of the collapsing soundness argument: on a real
+        // circuit, any random pair batch detecting a justifier also
+        // detects the fault it justified dropping.
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let fanouts = analysis::FanoutMap::compute(&n);
+        let mut rng = Rng::seed_from_u64(41);
+        let na = view.assignable().len();
+        let mut checked = 0;
+        for _ in 0..4 {
+            let v1: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+            let v2: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+            for fault in &faults {
+                let Some(j) = transition_collapse_justifier(&n, &fanouts, fault) else {
+                    continue;
+                };
+                let jd = transition_detects_reference(&view, &j, &v1, &v2, !0);
+                let fd = transition_detects_reference(&view, fault, &v1, &v2, !0);
+                // Per-lane: a lane detecting the justifier detects the
+                // dropped fault (dominance); equivalence is two-sided but
+                // satisfies the same inclusion.
+                assert_eq!(jd & !fd, 0, "{fault:?} justified by {j:?}");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "collapsing never fired on the test circuit");
+    }
+
+    #[test]
+    fn collapsed_campaign_coverage_implies_full_coverage() {
+        // ATPG on the collapsed list, resimulate the full list: every
+        // fault whose representative chain is covered must be covered.
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let collapsed = collapse_transition_faults(&n, &faults);
+        assert!(collapsed.len() < faults.len());
+        let result = transition_atpg(&view, &collapsed, &PodemConfig::paper_default(), 9);
+        let full = simulate_transition_patterns(&view, &faults, &result.patterns);
+        let by_fault: std::collections::HashMap<TransitionFault, bool> =
+            faults.iter().copied().zip(full.iter().copied()).collect();
+        for (cf, &cd) in collapsed.iter().zip(&result.detected) {
+            if cd {
+                assert!(by_fault[cf], "{cf:?} lost by resimulation");
+            }
+        }
+        // Dropped faults whose justifier (transitively, a kept fault) was
+        // detected are detected too.
+        let fanouts = analysis::FanoutMap::compute(&n);
+        for f in &faults {
+            let mut cur = *f;
+            let mut hops = 0;
+            while let Some(j) = transition_collapse_justifier(&n, &fanouts, &cur) {
+                cur = j;
+                hops += 1;
+                assert!(hops < faults.len(), "justifier chain cycled");
+            }
+            if cur != *f && by_fault[&cur] {
+                assert!(by_fault[f], "{f:?} not covered though {cur:?} is");
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_across_calls_matches_one_shot_simulation() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let mut rng = Rng::seed_from_u64(55);
+        let na = view.assignable().len();
+        let patterns: Vec<TransitionPattern> = (0..192)
+            .map(|_| TransitionPattern {
+                v1: (0..na).map(|_| rng.gen()).collect(),
+                v2: (0..na).map(|_| rng.gen()).collect(),
+            })
+            .collect();
+        let whole = simulate_transition_patterns(&view, &faults, &patterns);
+        let mut drops = flh_exec::DropMask::new(faults.len());
+        let mut staged = Vec::new();
+        for block in patterns.chunks(80) {
+            staged = simulate_transition_patterns_dropping(
+                &view,
+                &faults,
+                block,
+                &ThreadPool::new(3),
+                &mut drops,
+            );
+        }
+        assert_eq!(staged, whole);
+        // Replaying covered patterns reports no new detections.
+        let again = TransitionSimulator::simulate_partitioned_dropping(
+            &view,
+            &faults,
+            &patterns,
+            &ThreadPool::serial(),
+            &mut drops,
+        );
+        for (s, &d) in again.iter().zip(&whole) {
+            assert!(!s.detected || !d, "dropped fault was re-detected");
         }
     }
 

@@ -1,0 +1,35 @@
+//! Schema smoke for `BENCH_*.json` reports: each file argument must parse
+//! as JSON and carry the required `speedup` / `target_*_met` fields (see
+//! [`flh_bench::json::validate_bench_json`]). Exits non-zero naming the
+//! first offending file, so `scripts/ci.sh` can gate on it.
+
+use flh_bench::json::validate_bench_json;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check_bench BENCH_a.json [BENCH_b.json ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("check_bench: {path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_bench_json(&text) {
+            Ok(()) => println!("check_bench: {path}: ok"),
+            Err(e) => {
+                eprintln!("check_bench: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -18,10 +18,12 @@ use std::fs;
 use std::time::Instant;
 
 use flh_atpg::{
-    enumerate_stuck_faults, stuck_coverage_partitioned, Fault, FaultSite, StuckSimulator, TestView,
+    enumerate_stuck_faults, enumerate_transition_faults, stuck_coverage_partitioned, Fault,
+    FaultSite, StuckSimulator, TestView, TransitionSimulator,
 };
 use flh_bench::build_circuit;
 use flh_bench::seed_baseline::{BaselineStuckSimulator, BaselineView};
+use flh_bench::transition_baseline::BaselineTransitionSimulator;
 use flh_exec::ThreadPool;
 use flh_netlist::{iscas89_profile, CompiledCircuit, Netlist};
 use flh_rng::Rng;
@@ -34,6 +36,7 @@ struct Options {
     quick: bool,
     out: String,
     out_parallel: String,
+    out_transition: String,
 }
 
 fn parse_args() -> Options {
@@ -41,6 +44,7 @@ fn parse_args() -> Options {
         quick: false,
         out: "BENCH_compiled_ir.json".to_string(),
         out_parallel: "BENCH_parallel_fsim.json".to_string(),
+        out_transition: "BENCH_transition_fsim.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,9 +54,14 @@ fn parse_args() -> Options {
             "--out-parallel" => {
                 opts.out_parallel = args.next().expect("--out-parallel requires a path")
             }
+            "--out-transition" => {
+                opts.out_transition = args.next().expect("--out-transition requires a path")
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf_report [--quick] [--out PATH] [--out-parallel PATH]");
+                eprintln!(
+                    "usage: perf_report [--quick] [--out PATH] [--out-parallel PATH] [--out-transition PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -219,6 +228,63 @@ fn bench_parallel_fsim(
     }
 }
 
+struct TransitionFsimResult {
+    faults: usize,
+    pairs: usize,
+    detected: usize,
+    legacy_pairs_s: f64,
+    event_pairs_s: f64,
+}
+
+/// Transition-fault pattern-pair simulation: the event-driven
+/// deviation-replay [`TransitionSimulator`] against the frozen full-cone
+/// [`BaselineTransitionSimulator`], same fault list, same pair batches.
+/// Detection maps are asserted identical before any rate is reported.
+fn bench_transition_fsim(netlist: &Netlist, reps: usize) -> TransitionFsimResult {
+    let view = TestView::new(netlist).expect("acyclic benchmark circuit");
+    let faults = enumerate_transition_faults(netlist);
+    let n = view.assignable().len();
+    let (v1_words, v2_words): (Vec<u64>, Vec<u64>) = {
+        let mut rng = Rng::seed_from_u64(0x7245);
+        (
+            (0..n).map(|_| rng.gen()).collect(),
+            (0..n).map(|_| rng.gen()).collect(),
+        )
+    };
+
+    let mut legacy = BaselineTransitionSimulator::new(&view);
+    let mut legacy_detected = vec![false; faults.len()];
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        legacy_detected.fill(false);
+        legacy.run_batch(&v1_words, &v2_words, !0, &faults, &mut legacy_detected);
+    }
+    let legacy_elapsed = t0.elapsed().as_secs_f64();
+
+    let mut event = TransitionSimulator::new(&view);
+    let mut detected = vec![false; faults.len()];
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        detected.fill(false);
+        event.run_batch(&v1_words, &v2_words, !0, &faults, &mut detected);
+    }
+    let event_elapsed = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        legacy_detected, detected,
+        "legacy and event-driven transition sim disagree on detection"
+    );
+
+    let pairs = (LANES as usize * reps) as f64;
+    TransitionFsimResult {
+        faults: faults.len(),
+        pairs: LANES as usize * reps,
+        detected: detected.iter().filter(|&&d| d).count(),
+        legacy_pairs_s: pairs / legacy_elapsed,
+        event_pairs_s: pairs / event_elapsed,
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let profile = iscas89_profile(CIRCUIT).expect("s13207 profile present");
@@ -302,6 +368,64 @@ fn main() {
         );
     }
 
+    // Transition-fault section: quick mode swaps in a small profile so the
+    // legacy full-cone side stays affordable as a smoke test; the 5x
+    // speedup target is judged on the full s13207 run only.
+    let (tr_circuit, tr_reps) = if opts.quick {
+        ("s1196", 1)
+    } else {
+        (CIRCUIT, 3)
+    };
+    let tr_netlist = if tr_circuit == CIRCUIT {
+        netlist.clone()
+    } else {
+        build_circuit(&iscas89_profile(tr_circuit).expect("quick transition profile present"))
+    };
+    let tr = bench_transition_fsim(&tr_netlist, tr_reps);
+    let tr_speedup = tr.event_pairs_s / tr.legacy_pairs_s;
+    println!(
+        "transition fault sim ({tr_circuit}: {} faults x {} pairs, {} detected):",
+        tr.faults, tr.pairs, tr.detected
+    );
+    println!(
+        "            legacy full-cone {:>8.1} pairs/s | event-driven {:>8.1} pairs/s | {:.2}x",
+        tr.legacy_pairs_s, tr.event_pairs_s, tr_speedup
+    );
+    if !opts.quick {
+        println!(
+            "transition-sim speedup target (>= 5x): {}",
+            if tr_speedup >= 5.0 { "MET" } else { "NOT MET" }
+        );
+    }
+
+    let tr_json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"transition_fsim\",\n",
+            "  \"circuit\": \"{circuit}\",\n",
+            "  \"quick\": {quick},\n",
+            "  \"faults\": {faults},\n",
+            "  \"pairs\": {pairs},\n",
+            "  \"detected\": {detected},\n",
+            "  \"legacy_pairs_per_s\": {lpps:.2},\n",
+            "  \"event_pairs_per_s\": {epps:.2},\n",
+            "  \"speedup\": {sp:.3},\n",
+            "  \"target_5x_met\": {met}\n",
+            "}}\n",
+        ),
+        circuit = tr_circuit,
+        quick = opts.quick,
+        faults = tr.faults,
+        pairs = tr.pairs,
+        detected = tr.detected,
+        lpps = tr.legacy_pairs_s,
+        epps = tr.event_pairs_s,
+        sp = tr_speedup,
+        met = tr_speedup >= 5.0,
+    );
+    fs::write(&opts.out_transition, tr_json).expect("write transition report");
+    println!("wrote {}", opts.out_transition);
+
     let par_json = format!(
         concat!(
             "{{\n",
@@ -354,7 +478,8 @@ fn main() {
             "    \"detected\": {detected},\n",
             "    \"seed_patterns_per_s\": {spps:.2},\n",
             "    \"compiled_patterns_per_s\": {cpps:.2},\n",
-            "    \"speedup\": {fsp:.3}\n",
+            "    \"speedup\": {fsp:.3},\n",
+            "    \"target_5x_met\": {fmet}\n",
             "  }}\n",
             "}}\n",
         ),
@@ -372,6 +497,7 @@ fn main() {
         spps = fault.seed_patterns_s,
         cpps = fault.compiled_patterns_s,
         fsp = fault_speedup,
+        fmet = fault_speedup >= 5.0,
     );
     fs::write(&opts.out, json).expect("write report");
     println!("wrote {}", opts.out);

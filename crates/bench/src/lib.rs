@@ -19,7 +19,9 @@ use flh_core::{evaluate_all, evaluate_style, DftStyle, EvalConfig, StyleEvaluati
 use flh_exec::ThreadPool;
 use flh_netlist::{generate_circuit, CircuitProfile, Netlist};
 
+pub mod json;
 pub mod seed_baseline;
+pub mod transition_baseline;
 
 /// The four styles in the canonical [`evaluate_all`] order.
 pub const ALL_STYLES: [DftStyle; 4] = [

@@ -1,0 +1,243 @@
+//! Frozen replica of the pre-replay-engine transition fault simulator,
+//! kept as the reference point for the `BENCH_transition_fsim.json`
+//! speedup measurement and the `transition_equivalence` test suite.
+//!
+//! This is the algorithm the repository shipped before the shared
+//! [`flh_atpg::DeviationReplay`] engine: per fault, a full clone of the
+//! good V2 value array, a `HashMap`-backed static fanout-cone cache whose
+//! entries are cloned per lookup, a re-evaluation of *every* cell in the
+//! cone regardless of whether the deviation actually reaches it, and a
+//! full observation-list scan — with no early exit when an activation
+//! lane already miscompares. Do **not** use it for real work —
+//! [`flh_atpg::TransitionSimulator`] produces identical results and is
+//! what the speedup is measured against.
+
+use std::collections::HashMap;
+
+use flh_atpg::{TestView, TransitionFault};
+use flh_netlist::{analysis, CellId};
+
+/// The pre-PR full-cone transition fault simulator: good-array clone,
+/// interned-cone walk and full observation scan per activated fault.
+pub struct BaselineTransitionSimulator<'v, 'a> {
+    view: &'v TestView<'a>,
+    fanouts: analysis::FanoutMap,
+    cones: HashMap<CellId, Vec<CellId>>,
+}
+
+impl<'v, 'a> BaselineTransitionSimulator<'v, 'a> {
+    /// Builds a simulator over the same [`TestView`] the event-driven
+    /// path uses, so any result difference is the algorithm's alone.
+    pub fn new(view: &'v TestView<'a>) -> Self {
+        BaselineTransitionSimulator {
+            fanouts: analysis::FanoutMap::compute(view.netlist()),
+            view,
+            cones: HashMap::new(),
+        }
+    }
+
+    fn cone(&mut self, site: CellId) -> Vec<CellId> {
+        let view = self.view;
+        let fanouts = &self.fanouts;
+        self.cones
+            .entry(site)
+            .or_insert_with(|| {
+                let mut cone = analysis::fanout_cone(view.netlist(), fanouts, &[site]);
+                let compiled = view.compiled();
+                cone.sort_by_key(|c| compiled.topo_pos(c.index() as u32));
+                cone
+            })
+            .clone()
+    }
+
+    /// Full-cone replay of the V2 machine under `fault`'s stuck
+    /// equivalent; returns the observation miscompare word.
+    fn faulty_miscompare(&mut self, fault: &TransitionFault, good2: &[u64]) -> u64 {
+        let netlist = self.view.netlist();
+        let seed = fault.site;
+        let mut faulty = good2.to_vec();
+        faulty[seed.index()] = fault.stuck_equivalent().stuck.word();
+        let cone = self.cone(seed);
+        let mut inputs: Vec<u64> = Vec::with_capacity(4);
+        for &id in &cone {
+            if id == seed {
+                continue;
+            }
+            let cell = netlist.cell(id);
+            if cell.kind().is_flip_flop() {
+                continue;
+            }
+            inputs.clear();
+            inputs.extend(cell.fanin().iter().map(|&x| faulty[x.index()]));
+            faulty[id.index()] = cell.kind().eval64(&inputs);
+        }
+        let obs_good = self.view.observe64(good2);
+        let obs_faulty = self.view.observe64(&faulty);
+        obs_good
+            .iter()
+            .zip(&obs_faulty)
+            .fold(0u64, |acc, (g, b)| acc | (g ^ b))
+    }
+
+    /// Lanes where V1 sets the initial value and V2 the final value.
+    fn activation_lanes(fault: &TransitionFault, good1: &[u64], good2: &[u64]) -> u64 {
+        let site = fault.site.index();
+        let init = if fault.initial_value() {
+            good1[site]
+        } else {
+            !good1[site]
+        };
+        let launch = if fault.final_value() {
+            good2[site]
+        } else {
+            !good2[site]
+        };
+        init & launch
+    }
+
+    /// Legacy equivalent of [`flh_atpg::TransitionSimulator::run_batch`].
+    pub fn run_batch(
+        &mut self,
+        v1_words: &[u64],
+        v2_words: &[u64],
+        active_mask: u64,
+        faults: &[TransitionFault],
+        detected: &mut [bool],
+    ) -> usize {
+        let good1 = self.view.eval64(v1_words, None);
+        let good2 = self.view.eval64(v2_words, None);
+        let mut new_hits = 0;
+        for (fi, fault) in faults.iter().enumerate() {
+            if detected[fi] {
+                continue;
+            }
+            let lanes = Self::activation_lanes(fault, &good1, &good2) & active_mask;
+            if lanes == 0 {
+                continue;
+            }
+            if self.faulty_miscompare(fault, &good2) & lanes != 0 {
+                detected[fi] = true;
+                new_hits += 1;
+            }
+        }
+        new_hits
+    }
+
+    /// Legacy equivalent of
+    /// [`flh_atpg::TransitionSimulator::run_batch_counting`].
+    pub fn run_batch_counting(
+        &mut self,
+        v1_words: &[u64],
+        v2_words: &[u64],
+        active_mask: u64,
+        faults: &[TransitionFault],
+        counts: &mut [u32],
+        target: u32,
+    ) -> usize {
+        let good1 = self.view.eval64(v1_words, None);
+        let good2 = self.view.eval64(v2_words, None);
+        let mut newly_saturated = 0;
+        for (fi, fault) in faults.iter().enumerate() {
+            if counts[fi] >= target {
+                continue;
+            }
+            let lanes = Self::activation_lanes(fault, &good1, &good2) & active_mask;
+            if lanes == 0 {
+                continue;
+            }
+            let hits = (self.faulty_miscompare(fault, &good2) & lanes).count_ones();
+            if hits > 0 {
+                let before = counts[fi];
+                counts[fi] = (counts[fi] + hits).min(target);
+                if before < target && counts[fi] >= target {
+                    newly_saturated += 1;
+                }
+            }
+        }
+        newly_saturated
+    }
+}
+
+/// Serial whole-campaign detection map via the legacy simulator: packs the
+/// pair set into 64-lane batches exactly like
+/// [`flh_atpg::simulate_transition_patterns`] and marks detected faults.
+pub fn baseline_transition_detects(
+    view: &TestView<'_>,
+    faults: &[TransitionFault],
+    patterns: &[flh_atpg::TransitionPattern],
+) -> Vec<bool> {
+    let mut sim = BaselineTransitionSimulator::new(view);
+    let n = view.assignable().len();
+    let mut detected = vec![false; faults.len()];
+    let mut v1_words = vec![0u64; n];
+    let mut v2_words = vec![0u64; n];
+    for chunk in patterns.chunks(64) {
+        v1_words.fill(0);
+        v2_words.fill(0);
+        for (lane, p) in chunk.iter().enumerate() {
+            for i in 0..n {
+                if p.v1[i] {
+                    v1_words[i] |= 1 << lane;
+                }
+                if p.v2[i] {
+                    v2_words[i] |= 1 << lane;
+                }
+            }
+        }
+        let mask = if chunk.len() == 64 {
+            !0
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        sim.run_batch(&v1_words, &v2_words, mask, faults, &mut detected);
+    }
+    detected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_atpg::{
+        enumerate_transition_faults, transition_detects_reference, TransitionSimulator,
+    };
+    use flh_netlist::{generate_circuit, GeneratorConfig};
+    use flh_rng::Rng;
+
+    #[test]
+    fn baseline_agrees_with_the_event_driven_simulator() {
+        let n = generate_circuit(&GeneratorConfig {
+            name: "tbaseline_eq".into(),
+            primary_inputs: 6,
+            primary_outputs: 5,
+            flip_flops: 8,
+            gates: 120,
+            logic_depth: 8,
+            avg_ff_fanout: 2.3,
+            unique_flg_ratio: 1.8,
+            hot_ff_fanout: None,
+            seed: 56,
+        })
+        .unwrap();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let mut rng = Rng::seed_from_u64(100);
+        let na = view.assignable().len();
+        let v1: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+        let v2: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+
+        let mut fast = TransitionSimulator::new(&view);
+        let mut slow = BaselineTransitionSimulator::new(&view);
+        let mut d_fast = vec![false; faults.len()];
+        let mut d_slow = vec![false; faults.len()];
+        fast.run_batch(&v1, &v2, !0, &faults, &mut d_fast);
+        slow.run_batch(&v1, &v2, !0, &faults, &mut d_slow);
+        assert_eq!(d_fast, d_slow);
+        assert!(d_fast.iter().any(|&d| d), "batch detected nothing");
+
+        // And both agree with the from-scratch per-fault reference.
+        for (fault, &d) in faults.iter().zip(&d_fast) {
+            let word = transition_detects_reference(&view, fault, &v1, &v2, !0);
+            assert_eq!(word != 0, d, "{fault:?}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Bit-for-bit equivalence of the event-driven transition fault simulator
+//! against the frozen legacy full-cone replica
+//! ([`flh_bench::transition_baseline`]), across ISCAS89 profiles, the
+//! paper's three holding styles, and pool widths 1/2/4 vs serial.
+//!
+//! The deviation-replay rebuild of [`TransitionSimulator`] changes *how*
+//! the faulty V2 machine is computed (event-driven from the fault site,
+//! changed-observation-driver detection, abort on the first activation-lane
+//! miscompare) but must never change *what* is detected. This suite holds
+//! that on all three result surfaces:
+//!
+//! * per-batch detected flags (`run_batch`);
+//! * N-detect hit counts (`run_batch_counting`, whose replay runs to
+//!   quiescence — the early-exit path must not leak into the counts);
+//! * whole-campaign coverage (`simulate_transition_patterns_partitioned`
+//!   at pools 1, 2 and 4, and the end-to-end
+//!   [`random_transition_campaign_pooled`] vs its serial twin).
+
+use flh_atpg::{
+    enumerate_transition_faults, random_transition_campaign, random_transition_campaign_pooled,
+    simulate_transition_patterns_partitioned, ApplicationStyle, TestView, TransitionFault,
+    TransitionPattern, TransitionSimulator,
+};
+use flh_bench::build_circuit;
+use flh_bench::transition_baseline::{baseline_transition_detects, BaselineTransitionSimulator};
+use flh_core::{apply_style, DftStyle};
+use flh_exec::ThreadPool;
+use flh_netlist::iscas89_profile;
+use flh_rng::Rng;
+
+const CIRCUITS: [&str; 3] = ["s1423", "s5378", "s9234"];
+const STYLES: [DftStyle; 3] = [DftStyle::EnhancedScan, DftStyle::MuxHold, DftStyle::Flh];
+const POOLS: [usize; 3] = [1, 2, 4];
+const PAIRS: usize = 96;
+const MAX_FAULTS: usize = 900;
+const NDETECT_TARGET: u32 = 4;
+
+/// Every k-th element, keeping the debug-build runtime bounded while still
+/// spanning the whole id range (and thus every partition boundary).
+fn subsample<T: Clone>(items: &[T], max: usize) -> Vec<T> {
+    let step = items.len().div_ceil(max).max(1);
+    items.iter().step_by(step).cloned().collect()
+}
+
+fn random_pairs(rng: &mut Rng, n: usize, count: usize) -> Vec<TransitionPattern> {
+    (0..count)
+        .map(|_| TransitionPattern {
+            v1: (0..n).map(|_| rng.gen()).collect(),
+            v2: (0..n).map(|_| rng.gen()).collect(),
+        })
+        .collect()
+}
+
+fn pack64(pairs: &[TransitionPattern], n: usize) -> (Vec<u64>, Vec<u64>, u64) {
+    let chunk = &pairs[..pairs.len().min(64)];
+    let mut v1_words = vec![0u64; n];
+    let mut v2_words = vec![0u64; n];
+    for (lane, p) in chunk.iter().enumerate() {
+        for i in 0..n {
+            if p.v1[i] {
+                v1_words[i] |= 1 << lane;
+            }
+            if p.v2[i] {
+                v2_words[i] |= 1 << lane;
+            }
+        }
+    }
+    let mask = if chunk.len() == 64 {
+        !0
+    } else {
+        (1u64 << chunk.len()) - 1
+    };
+    (v1_words, v2_words, mask)
+}
+
+#[test]
+fn event_driven_transition_sim_matches_legacy_full_cone() {
+    for circuit_name in CIRCUITS {
+        let profile = iscas89_profile(circuit_name).expect("profile present");
+        let circuit = build_circuit(&profile);
+        for (si, &style) in STYLES.iter().enumerate() {
+            let dft = apply_style(&circuit, style)
+                .unwrap_or_else(|e| panic!("{circuit_name} / {style}: {e}"));
+            let n = &dft.netlist;
+            let view = TestView::new(n).expect("acyclic after scan insertion");
+            let na = view.assignable().len();
+            let faults: Vec<TransitionFault> =
+                subsample(&enumerate_transition_faults(n), MAX_FAULTS);
+            let mut rng = Rng::seed_from_u64(0x7E0 + si as u64);
+            let pairs = random_pairs(&mut rng, na, PAIRS);
+
+            // Whole-set detection: legacy serial full-cone vs the
+            // event-driven path at every pool width.
+            let legacy = baseline_transition_detects(&view, &faults, &pairs);
+            assert!(
+                legacy.iter().any(|&d| d),
+                "{circuit_name} / {style}: campaign detected nothing"
+            );
+            for &workers in &POOLS {
+                let pool = ThreadPool::new(workers);
+                assert_eq!(
+                    simulate_transition_patterns_partitioned(&view, &faults, &pairs, &pool),
+                    legacy,
+                    "{circuit_name} / {style}: coverage diverged from legacy at {workers} workers"
+                );
+            }
+
+            // Single-batch detected flags and N-detect hit counts.
+            let (v1_words, v2_words, mask) = pack64(&pairs, na);
+            let mut legacy_sim = BaselineTransitionSimulator::new(&view);
+            let mut event_sim = TransitionSimulator::new(&view);
+
+            let mut d_legacy = vec![false; faults.len()];
+            let mut d_event = vec![false; faults.len()];
+            let h_legacy = legacy_sim.run_batch(&v1_words, &v2_words, mask, &faults, &mut d_legacy);
+            let h_event = event_sim.run_batch(&v1_words, &v2_words, mask, &faults, &mut d_event);
+            assert_eq!(
+                (h_legacy, d_legacy),
+                (h_event, d_event),
+                "{circuit_name} / {style}: run_batch diverged from legacy"
+            );
+
+            let mut c_legacy = vec![0u32; faults.len()];
+            let mut c_event = vec![0u32; faults.len()];
+            let s_legacy = legacy_sim.run_batch_counting(
+                &v1_words,
+                &v2_words,
+                mask,
+                &faults,
+                &mut c_legacy,
+                NDETECT_TARGET,
+            );
+            let s_event = event_sim.run_batch_counting(
+                &v1_words,
+                &v2_words,
+                mask,
+                &faults,
+                &mut c_event,
+                NDETECT_TARGET,
+            );
+            assert_eq!(
+                (s_legacy, c_legacy),
+                (s_event, c_event),
+                "{circuit_name} / {style}: run_batch_counting diverged from legacy"
+            );
+        }
+    }
+}
+
+#[test]
+fn pooled_campaign_coverage_matches_serial() {
+    let circuit = build_circuit(&iscas89_profile("s1423").expect("profile present"));
+    for (si, &style) in STYLES.iter().enumerate() {
+        let dft = apply_style(&circuit, style).unwrap_or_else(|e| panic!("{style}: {e}"));
+        let n = &dft.netlist;
+        let seed = 0xCA4 + si as u64;
+        let serial = random_transition_campaign(n, ApplicationStyle::ArbitraryTwoPattern, 48, seed)
+            .expect("campaign runs");
+        for &workers in &POOLS {
+            let pooled = random_transition_campaign_pooled(
+                n,
+                ApplicationStyle::ArbitraryTwoPattern,
+                48,
+                seed,
+                &ThreadPool::new(workers),
+            )
+            .expect("campaign runs");
+            assert_eq!(
+                (pooled.detected, pooled.total_faults, pooled.pairs),
+                (serial.detected, serial.total_faults, serial.pairs),
+                "{style}: campaign coverage diverged at {workers} workers"
+            );
+        }
+    }
+}

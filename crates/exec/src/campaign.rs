@@ -18,6 +18,9 @@ use crate::pool::ThreadPool;
 pub struct Campaign<C> {
     shared: Arc<C>,
     pool: ThreadPool,
+    /// Minimum items per partition of [`Campaign::run_partitioned`]; shards
+    /// smaller than this are not worth their setup cost.
+    min_unit: usize,
 }
 
 impl<C: Send + Sync> Campaign<C> {
@@ -26,12 +29,32 @@ impl<C: Send + Sync> Campaign<C> {
         Campaign {
             shared: Arc::new(shared),
             pool,
+            min_unit: 1,
         }
     }
 
     /// Campaign over an already-shared payload (no clone of the data).
     pub fn with_arc(shared: Arc<C>, pool: ThreadPool) -> Self {
-        Campaign { shared, pool }
+        Campaign {
+            shared,
+            pool,
+            min_unit: 1,
+        }
+    }
+
+    /// Sets the minimum work-unit granularity: partitioned runs produce no
+    /// shard smaller than `min_unit` items (unless the whole set is), so
+    /// per-shard setup cost is amortized over real work. Purely a
+    /// throughput knob — the decomposition depends only on the lengths, so
+    /// results are unchanged.
+    pub fn with_min_unit(mut self, min_unit: usize) -> Self {
+        self.min_unit = min_unit.max(1);
+        self
+    }
+
+    /// Minimum items per partitioned shard.
+    pub fn min_unit(&self) -> usize {
+        self.min_unit
     }
 
     /// Campaign on the environment-selected pool ([`ThreadPool::from_env`]).
@@ -65,16 +88,18 @@ impl<C: Send + Sync> Campaign<C> {
         self.pool.run(cells, move |i| f(shared, i))
     }
 
-    /// Partitions `0..len` one range per worker and runs `f` on each
-    /// against the shared payload; `(range, result)` pairs in partition
-    /// order (see [`ThreadPool::run_partitioned`]).
+    /// Partitions `0..len` one range per worker — but never below the
+    /// campaign's [`Campaign::min_unit`] items per range — and runs `f` on
+    /// each against the shared payload; `(range, result)` pairs in
+    /// partition order (see [`ThreadPool::run_partitioned_min`]).
     pub fn run_partitioned<T, F>(&self, len: usize, f: F) -> Vec<(Range<usize>, T)>
     where
         T: Send,
         F: Fn(&C, Range<usize>) -> T + Sync,
     {
         let shared = &*self.shared;
-        self.pool.run_partitioned(len, move |r| f(shared, r))
+        self.pool
+            .run_partitioned_min(len, self.min_unit, move |r| f(shared, r))
     }
 }
 
@@ -102,6 +127,21 @@ mod tests {
             let sum: u64 = parts.iter().map(|(_, s)| s).sum();
             assert_eq!(sum, total, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn min_unit_coarsens_shards_without_changing_results() {
+        let data: Vec<u64> = (0..100).collect();
+        let fine = Campaign::new(data.clone(), ThreadPool::new(4));
+        let coarse = Campaign::new(data.clone(), ThreadPool::new(4)).with_min_unit(64);
+        assert_eq!(coarse.min_unit(), 64);
+        let fine_parts = fine.run_partitioned(100, |d, r| d[r].iter().sum::<u64>());
+        let coarse_parts = coarse.run_partitioned(100, |d, r| d[r].iter().sum::<u64>());
+        assert_eq!(fine_parts.len(), 4);
+        assert_eq!(coarse_parts.len(), 1);
+        let fine_total: u64 = fine_parts.iter().map(|(_, s)| s).sum();
+        let coarse_total: u64 = coarse_parts.iter().map(|(_, s)| s).sum();
+        assert_eq!(fine_total, coarse_total);
     }
 
     #[test]

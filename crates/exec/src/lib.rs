@@ -26,9 +26,17 @@
 //! The worker count defaults to the `FLH_THREADS` environment variable and
 //! falls back to [`std::thread::available_parallelism`]; serial paths are
 //! the same code run with `pool_size = 1`, not separate implementations.
+//! The logical worker count only governs *decomposition* (and therefore
+//! results); the OS threads actually spawned are clamped to the host's
+//! available parallelism ([`ThreadPool::dispatch`]), so an oversubscribed
+//! pool on a small host degrades to fewer threads — or a plain serial loop
+//! — with bit-identical output. Staged campaigns persist detected-fault
+//! flags across calls and shards through [`DropMask`].
 
 pub mod campaign;
+pub mod drops;
 pub mod pool;
 
 pub use campaign::Campaign;
+pub use drops::DropMask;
 pub use pool::{ThreadPool, THREADS_ENV};

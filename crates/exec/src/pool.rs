@@ -22,16 +22,33 @@ use std::sync::Mutex;
 pub const THREADS_ENV: &str = "FLH_THREADS";
 
 /// A deterministic scoped thread pool with a fixed worker count.
+///
+/// The *logical* worker count ([`ThreadPool::size`]) governs work
+/// decomposition and therefore results; the *dispatch* count
+/// ([`ThreadPool::dispatch`]) — the logical count clamped to the host's
+/// [`std::thread::available_parallelism`] — governs how many OS threads are
+/// actually spawned. On a 1-core host a 4-worker pool still partitions work
+/// four ways (bit-identical results) but runs the partitions serially on
+/// the calling thread instead of paying thread spawn and contention for
+/// parallelism that does not exist.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ThreadPool {
     workers: usize,
+    /// Threads actually spawned by [`ThreadPool::run`]:
+    /// `min(workers, available_parallelism)`, resolved at construction.
+    dispatch: usize,
 }
 
 impl ThreadPool {
     /// Pool with a fixed worker count (clamped to at least 1).
     pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         ThreadPool {
-            workers: workers.max(1),
+            workers,
+            dispatch: workers.min(cores),
         }
     }
 
@@ -57,9 +74,16 @@ impl ThreadPool {
         ThreadPool::new(workers)
     }
 
-    /// Fixed worker count of this pool.
+    /// Fixed logical worker count of this pool (the decomposition width).
     pub fn size(&self) -> usize {
         self.workers
+    }
+
+    /// Threads actually spawned per [`ThreadPool::run`] call:
+    /// `min(size, available_parallelism)`. Purely a throughput knob —
+    /// results depend only on [`ThreadPool::size`].
+    pub fn dispatch(&self) -> usize {
+        self.dispatch
     }
 
     /// True for the single-worker pool.
@@ -68,10 +92,11 @@ impl ThreadPool {
     }
 
     /// Runs `jobs` independent jobs, returning their results **in job-id
-    /// order** (never completion order). With one worker or at most one
-    /// job, this is a plain serial loop on the calling thread; otherwise
-    /// `min(workers, jobs)` scoped threads claim job ids from an atomic
-    /// counter.
+    /// order** (never completion order). With a dispatch count of 1 (one
+    /// logical worker, or a 1-core host) or at most one job, this is a
+    /// plain serial loop on the calling thread; otherwise
+    /// `min(dispatch, jobs)` scoped threads claim job ids from an atomic
+    /// counter. Results are identical either way.
     ///
     /// # Panics
     ///
@@ -81,13 +106,13 @@ impl ThreadPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        if self.workers == 1 || jobs <= 1 {
+        if self.dispatch == 1 || jobs <= 1 {
             return (0..jobs).map(job).collect();
         }
         let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..self.workers.min(jobs) {
+            for _ in 0..self.dispatch.min(jobs) {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs {
@@ -140,6 +165,37 @@ impl ThreadPool {
         let results = self.run(ranges.len(), |i| f(ranges[i].clone()));
         ranges.into_iter().zip(results).collect()
     }
+
+    /// [`ThreadPool::partition`] with a minimum range length: the part
+    /// count is first capped at `len / min_len` (at least 1), so no range
+    /// is shorter than `min_len` unless `len` itself is. Still pure
+    /// arithmetic — for a given `(len, parts, min_len)` the decomposition
+    /// is fixed.
+    pub fn partition_min(len: usize, parts: usize, min_len: usize) -> Vec<Range<usize>> {
+        let min_len = min_len.max(1);
+        Self::partition(len, parts.min((len / min_len).max(1)))
+    }
+
+    /// [`ThreadPool::run_partitioned`] with a minimum work-unit size: fewer
+    /// ranges than workers are produced when `len` is small, so per-shard
+    /// setup cost (a fresh simulator, a good-machine evaluation) is not
+    /// paid for shards too small to amortize it. The decomposition depends
+    /// only on `(len, size, min_len)` — results stay bit-identical across
+    /// hosts and dispatch counts.
+    pub fn run_partitioned_min<T, F>(
+        &self,
+        len: usize,
+        min_len: usize,
+        f: F,
+    ) -> Vec<(Range<usize>, T)>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let ranges = Self::partition_min(len, self.workers, min_len);
+        let results = self.run(ranges.len(), |i| f(ranges[i].clone()));
+        ranges.into_iter().zip(results).collect()
+    }
 }
 
 impl Default for ThreadPool {
@@ -175,6 +231,58 @@ mod tests {
         assert_eq!(ThreadPool::new(0).size(), 1);
         assert!(ThreadPool::serial().is_serial());
         assert!(!ThreadPool::new(2).is_serial());
+    }
+
+    #[test]
+    fn dispatch_is_clamped_to_host_parallelism() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for workers in [1, 2, 4, 64] {
+            let pool = ThreadPool::new(workers);
+            assert_eq!(pool.size(), workers);
+            assert_eq!(pool.dispatch(), workers.min(cores));
+            assert!(pool.dispatch() >= 1);
+        }
+    }
+
+    #[test]
+    fn partition_min_respects_the_floor() {
+        // 100 items at a 64 floor: only one 64+ shard fits.
+        assert_eq!(ThreadPool::partition_min(100, 4, 64), vec![0..100]);
+        // 128 items: exactly two.
+        assert_eq!(ThreadPool::partition_min(128, 4, 64), vec![0..64, 64..128]);
+        // A large set still fans out to every worker.
+        assert_eq!(ThreadPool::partition_min(1000, 4, 64).len(), 4);
+        // Floor of 0/1 degenerates to the plain partition.
+        assert_eq!(
+            ThreadPool::partition_min(10, 3, 0),
+            ThreadPool::partition(10, 3)
+        );
+        // Ranges still cover 0..len contiguously and respect the floor.
+        for (len, parts, min) in [(0, 4, 64), (1, 4, 64), (257, 8, 32), (64, 64, 64)] {
+            let ranges = ThreadPool::partition_min(len, parts, min);
+            let mut cursor = 0;
+            for r in &ranges {
+                assert_eq!(r.start, cursor);
+                cursor = r.end;
+                assert!(r.len() >= min.min(len), "len={len} parts={parts} min={min}");
+            }
+            assert_eq!(cursor, len);
+        }
+    }
+
+    #[test]
+    fn run_partitioned_min_matches_plain_sums() {
+        let data: Vec<u64> = (0..300).collect();
+        let expected: u64 = data.iter().sum();
+        for workers in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(workers);
+            let parts = pool.run_partitioned_min(data.len(), 128, |r| data[r].iter().sum::<u64>());
+            assert!(parts.len() <= 2, "workers = {workers}");
+            let total: u64 = parts.iter().map(|(_, s)| s).sum();
+            assert_eq!(total, expected, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -292,93 +292,24 @@ impl CompiledCircuit {
     pub fn cell_id(&self, id: u32) -> CellId {
         CellId::from_index(id as usize)
     }
-
-    /// Topologically-sorted fanout cone of `seed`: every cell reachable
-    /// through fanout edges without passing *through* a flip-flop (the
-    /// flip-flop itself — its D pin — is included, its downstream cone is
-    /// not). Matches [`analysis::fanout_cone`] plus the topological sort the
-    /// fault simulators applied on top, with `scratch` reused across calls.
-    pub fn fanout_cone_into(&self, seed: u32, scratch: &mut ConeScratch, out: &mut Vec<u32>) {
-        out.clear();
-        scratch.begin(self.cell_count());
-        // The seed is deliberately NOT pre-marked: a seed flip-flop whose D
-        // pin closes a sequential loop through its own fanout re-enters the
-        // cone, matching `analysis::fanout_cone`.
-        let mut stack = std::mem::take(&mut scratch.stack);
-        stack.clear();
-        stack.push(seed);
-        while let Some(id) = stack.pop() {
-            for &r in self.readers(id) {
-                if scratch.mark(r) {
-                    out.push(r);
-                    if !self.kinds[r as usize].is_flip_flop() {
-                        stack.push(r);
-                    }
-                }
-            }
-        }
-        scratch.stack = stack;
-        // Level-order positions make the cone replayable front-to-back;
-        // flip-flops (not in the order) sort last and are skipped by
-        // evaluators, exactly like the u32::MAX sentinel intends.
-        out.sort_unstable_by_key(|&c| self.topo_pos[c as usize]);
-    }
 }
 
 // Send/Sync audit: the snapshot is plain owned data (Strings and Vecs of
 // Copy types, no interior mutability, no raw pointers), so worker threads
 // may walk one instance concurrently. All *mutable* per-run state lives in
-// the split-out scratch types (`ConeScratch` here, the simulators' value /
-// undo / bucket buffers downstream), which are per-worker by construction.
-// This assertion turns an accidental future `Cell`/`Rc` into a compile
-// error instead of a runtime data race.
+// the simulators' split-out scratch (value / undo / bucket buffers, the
+// deviation-replay engine downstream), which is per-worker by
+// construction. This assertion turns an accidental future `Cell`/`Rc` into
+// a compile error instead of a runtime data race.
 const _: fn() = || {
     fn assert_shareable<T: Send + Sync>() {}
     assert_shareable::<CompiledCircuit>();
 };
 
-/// Reusable visited-set scratch for [`CompiledCircuit::fanout_cone_into`].
-///
-/// Uses a version-stamped mark array, so clearing between cones is O(1).
-#[derive(Clone, Debug, Default)]
-pub struct ConeScratch {
-    marks: Vec<u32>,
-    stamp: u32,
-    stack: Vec<u32>,
-}
-
-impl ConeScratch {
-    /// Fresh scratch; sized lazily on first use.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn begin(&mut self, n: usize) {
-        if self.marks.len() < n {
-            self.marks.resize(n, 0);
-        }
-        self.stamp = self.stamp.wrapping_add(1);
-        if self.stamp == 0 {
-            self.marks.fill(0);
-            self.stamp = 1;
-        }
-    }
-
-    /// Marks `id`, returning true if it was unmarked.
-    fn mark(&mut self, id: u32) -> bool {
-        if self.marks[id as usize] == self.stamp {
-            false
-        } else {
-            self.marks[id as usize] = self.stamp;
-            true
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::analysis::{fanout_cone, FanoutMap};
+    use crate::analysis::FanoutMap;
     use crate::generate::{generate_circuit, GeneratorConfig};
 
     fn sample() -> Netlist {
@@ -463,32 +394,6 @@ mod tests {
         for &ff in c.flip_flops() {
             assert_eq!(c.level_of(ff), 0);
             assert_eq!(c.topo_pos(ff), u32::MAX);
-        }
-    }
-
-    #[test]
-    fn cones_match_graph_analysis() {
-        let n = sample();
-        let c = CompiledCircuit::compile(&n).unwrap();
-        let fo = FanoutMap::compute(&n);
-        let mut scratch = ConeScratch::new();
-        let mut cone = Vec::new();
-        for (id, _) in n.iter() {
-            c.fanout_cone_into(id.index() as u32, &mut scratch, &mut cone);
-            let mut graph: Vec<u32> = fanout_cone(&n, &fo, &[id])
-                .iter()
-                .map(|x| x.index() as u32)
-                .collect();
-            let mut csr = cone.clone();
-            graph.sort_unstable();
-            csr.sort_unstable();
-            assert_eq!(csr, graph, "cone of {id:?}");
-            // And the unsorted result is topologically ordered.
-            let mut last = 0;
-            for &x in cone.iter().filter(|&&x| c.topo_pos(x) != u32::MAX) {
-                assert!(c.topo_pos(x) >= last);
-                last = c.topo_pos(x);
-            }
         }
     }
 

@@ -53,7 +53,7 @@ pub mod verilog;
 
 pub use analysis::{CircuitStats, FanoutMap, Levelization};
 pub use cell::{CellId, CellKind, Dual64, HoldStyle};
-pub use compiled::{CompiledCircuit, ConeScratch};
+pub use compiled::CompiledCircuit;
 pub use error::NetlistError;
 pub use generate::{generate_circuit, GeneratorConfig};
 pub use graph::{Cell, Netlist};

@@ -32,7 +32,18 @@ echo "identical test output at both pool widths"
 echo "== formatting =="
 cargo fmt --all --check
 
-echo "== perf report smoke (s13207, --quick) =="
-cargo run -q --release --offline -p flh-bench --bin perf_report -- --quick
+echo "== perf report smoke (--quick, temp outputs) =="
+# Quick-mode reports go to a temp dir so the committed full-run
+# BENCH_*.json files are never clobbered by a smoke run.
+bench_tmp="$(mktemp -d)"
+trap 'rm -rf "$bench_tmp"' EXIT
+cargo run -q --release --offline -p flh-bench --bin perf_report -- --quick \
+    --out "$bench_tmp/BENCH_compiled_ir.json" \
+    --out-parallel "$bench_tmp/BENCH_parallel_fsim.json" \
+    --out-transition "$bench_tmp/BENCH_transition_fsim.json"
+
+echo "== bench report schema (committed + quick outputs) =="
+cargo run -q --release --offline -p flh-bench --bin check_bench -- \
+    BENCH_*.json "$bench_tmp"/BENCH_*.json
 
 echo "CI OK"
