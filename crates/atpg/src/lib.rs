@@ -58,7 +58,7 @@ pub use path::{
     path_delay_atpg, verify_non_robust, verify_robust, PathDelayFault, PathDelayReport,
     PathTestOutcome, StructuralPath,
 };
-pub use patterns_io::{parse_patterns, write_patterns};
+pub use patterns_io::{parse_patterns, read_patterns_file, write_patterns};
 pub use podem::{Podem, PodemConfig, TestCube};
 pub use replay::DeviationReplay;
 pub use transition::{

@@ -116,6 +116,7 @@ pub fn longest_paths(netlist: &Netlist, k: usize) -> Vec<StructuralPath> {
         .chain(netlist.flip_flops())
         .map(|&o| netlist.cell(o).fanin()[0])
         .collect();
+    // det-ok: membership test only; endpoint order drives iteration.
     let mut seen = std::collections::HashSet::new();
     for tail in endpoints {
         if !netlist.cell(tail).kind().is_combinational() || !seen.insert(tail) {

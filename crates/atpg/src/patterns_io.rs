@@ -14,6 +14,8 @@
 //! The `_` separator between the PI part and the state part is optional on
 //! input and always written on output.
 
+use flh_netlist::NetlistError;
+
 use crate::transition::TransitionPattern;
 
 /// Serializes a pattern set.
@@ -54,44 +56,69 @@ pub fn write_patterns(patterns: &[TransitionPattern], primary_inputs: usize) -> 
 ///
 /// # Errors
 ///
-/// Returns a line-numbered message for malformed lines or inconsistent
-/// pattern widths.
-pub fn parse_patterns(text: &str) -> Result<Vec<TransitionPattern>, String> {
+/// Returns a line-numbered [`NetlistError::PatternSyntax`] for malformed
+/// lines or inconsistent pattern widths, so front ends report malformed
+/// input files as diagnostics instead of aborting.
+pub fn parse_patterns(text: &str) -> Result<Vec<TransitionPattern>, NetlistError> {
     let mut patterns = Vec::new();
     let mut width: Option<usize> = None;
     for (lineno, raw) in text.lines().enumerate() {
+        let syntax = |message: String| NetlistError::PatternSyntax {
+            line: lineno + 1,
+            message,
+        };
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let (left, right) = line
             .split_once(':')
-            .ok_or_else(|| format!("line {}: missing ':'", lineno + 1))?;
-        let bits = |s: &str| -> Result<Vec<bool>, String> {
+            .ok_or_else(|| syntax("missing ':' between V1 and V2".into()))?;
+        let bits = |s: &str| -> Result<Vec<bool>, NetlistError> {
             s.chars()
                 .filter(|&c| c != '_')
                 .map(|c| match c {
                     '0' => Ok(false),
                     '1' => Ok(true),
-                    other => Err(format!("line {}: bad bit {other:?}", lineno + 1)),
+                    other => Err(syntax(format!("bad bit {other:?}"))),
                 })
                 .collect()
         };
         let v1 = bits(left)?;
         let v2 = bits(right)?;
         if v1.len() != v2.len() {
-            return Err(format!("line {}: V1/V2 width mismatch", lineno + 1));
+            return Err(syntax("V1/V2 width mismatch".into()));
         }
         match width {
             None => width = Some(v1.len()),
             Some(w) if w != v1.len() => {
-                return Err(format!("line {}: inconsistent width", lineno + 1))
+                return Err(syntax(format!(
+                    "inconsistent width: expected {w}, found {}",
+                    v1.len()
+                )))
             }
             _ => {}
         }
         patterns.push(TransitionPattern { v1, v2 });
     }
     Ok(patterns)
+}
+
+/// Reads and parses a pattern file.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] when the file cannot be read and
+/// propagates [`parse_patterns`] errors otherwise.
+pub fn read_patterns_file(
+    path: impl AsRef<std::path::Path>,
+) -> Result<Vec<TransitionPattern>, NetlistError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| NetlistError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    parse_patterns(&text)
 }
 
 #[cfg(test)]
@@ -129,13 +156,25 @@ mod tests {
     }
 
     #[test]
-    fn errors_carry_line_numbers() {
-        assert!(parse_patterns("1011\n").unwrap_err().contains("line 1"));
-        assert!(parse_patterns("10:1\n").unwrap_err().contains("width"));
-        assert!(parse_patterns("1x:10\n").unwrap_err().contains("bad bit"));
-        assert!(parse_patterns("10:10\n1:1\n")
-            .unwrap_err()
-            .contains("inconsistent"));
+    fn errors_are_typed_and_carry_line_numbers() {
+        let err = |text: &str| match parse_patterns(text) {
+            Err(NetlistError::PatternSyntax { line, message }) => (line, message),
+            other => panic!("expected PatternSyntax, got {other:?}"),
+        };
+        assert_eq!(err("1011\n").0, 1);
+        assert!(err("10:1\n").1.contains("width"));
+        assert!(err("1x:10\n").1.contains("bad bit"));
+        let (line, message) = err("10:10\n1:1\n");
+        assert_eq!(line, 2);
+        assert!(message.contains("inconsistent"));
+    }
+
+    #[test]
+    fn missing_pattern_file_is_a_typed_io_error() {
+        match read_patterns_file("/nonexistent/definitely_missing.tp") {
+            Err(NetlistError::Io { path, .. }) => assert!(path.contains("missing")),
+            other => panic!("expected Io, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1128,6 +1128,7 @@ mod tests {
         assert!(collapsed.len() < faults.len());
         let result = transition_atpg(&view, &collapsed, &PodemConfig::paper_default(), 9);
         let full = simulate_transition_patterns(&view, &faults, &result.patterns);
+        // det-ok: test-only lookup table, keyed reads only, never iterated.
         let by_fault: std::collections::HashMap<TransitionFault, bool> =
             faults.iter().copied().zip(full.iter().copied()).collect();
         for (cf, &cd) in collapsed.iter().zip(&result.detected) {

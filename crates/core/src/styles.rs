@@ -32,6 +32,23 @@ impl DftStyle {
             DftStyle::Flh => "FLH",
         }
     }
+
+    /// The holding-cell kind this style splices into the stimulus path, if
+    /// any. `flh-lint` uses this to verify that a transformed netlist only
+    /// carries the holding cells its style calls for.
+    pub fn hold_cell_kind(self) -> Option<CellKind> {
+        match self {
+            DftStyle::EnhancedScan => Some(CellKind::HoldLatch),
+            DftStyle::MuxHold => Some(CellKind::HoldMux),
+            DftStyle::PlainScan | DftStyle::Flh => None,
+        }
+    }
+
+    /// True for the style that holds V1 by supply-gating first-level gates
+    /// (and therefore requires keeper latches on the gated outputs).
+    pub fn uses_supply_gating(self) -> bool {
+        self == DftStyle::Flh
+    }
 }
 
 impl std::fmt::Display for DftStyle {
@@ -49,6 +66,11 @@ pub struct DftNetlist {
     pub style: DftStyle,
     /// FLH only: the supply-gated first-level gates.
     pub gated: Vec<CellId>,
+    /// FLH only: the gates carrying a minimum-sized keeper latch on their
+    /// output (Fig. 3 of the paper). The transform puts a keeper on every
+    /// supply-gated output, so this equals [`DftNetlist::gated`]; `flh-lint`
+    /// checks the two stay in sync (`FLH011`).
+    pub keepers: Vec<CellId>,
     /// Enhanced scan / MUX only: the inserted holding cells.
     pub hold_cells: Vec<CellId>,
 }
@@ -122,10 +144,12 @@ pub fn apply_style(netlist: &Netlist, style: DftStyle) -> flh_netlist::Result<Df
     }
 
     out.validate()?;
+    let keepers = gated.clone();
     Ok(DftNetlist {
         netlist: out,
         style,
         gated,
+        keepers,
         hold_cells,
     })
 }
@@ -145,6 +169,7 @@ pub fn apply_flh_with_pi_hold(netlist: &Netlist) -> flh_netlist::Result<DftNetli
     let mut sources: Vec<CellId> = dft.netlist.flip_flops().to_vec();
     sources.extend_from_slice(dft.netlist.inputs());
     dft.gated = analysis::first_level_gates_of(&dft.netlist, &fanouts, &sources);
+    dft.keepers = dft.gated.clone();
     Ok(dft)
 }
 

@@ -1,0 +1,213 @@
+//! `flh_lint` — static verification of `.bench` netlists and the generated
+//! ISCAS89 profile grid.
+//!
+//! ```text
+//! flh_lint [OPTIONS] [FILE.bench ...]
+//!
+//!   --profiles all | NAME[,NAME...]   lint generated ISCAS89 profiles
+//!   --styles   all | LIST             DFT styles to apply (plain, enhanced,
+//!                                     mux, flh); default for profiles:
+//!                                     enhanced,mux,flh; files lint bare
+//!                                     unless styles are given explicitly
+//!   --json PATH | -                   write the JSON summary (- = stdout)
+//!   --quiet                           per-target summary lines only
+//!   --help                            this text
+//! ```
+//!
+//! Exit codes: 0 clean, 1 at least one error-severity diagnostic, 2 usage
+//! error.
+
+use std::process::ExitCode;
+
+use flh_core::{apply_style, DftStyle};
+use flh_exec::ThreadPool;
+use flh_lint::{
+    lint_dft, lint_netlist, lint_profile_grid, reports_to_json, target_error_report, LintReport,
+};
+use flh_netlist::bench_io::read_bench_file;
+use flh_netlist::{iscas89_profile, iscas89_profiles, CircuitProfile};
+
+const USAGE: &str = "usage: flh_lint [--profiles all|LIST] [--styles all|LIST] \
+[--json PATH|-] [--quiet] [FILE.bench ...]";
+
+struct Options {
+    files: Vec<String>,
+    profiles: Vec<CircuitProfile>,
+    styles: Option<Vec<DftStyle>>,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse_style(name: &str) -> Result<DftStyle, String> {
+    match name {
+        "plain" | "plain-scan" | "scan" => Ok(DftStyle::PlainScan),
+        "enhanced" | "enhanced-scan" | "es" => Ok(DftStyle::EnhancedScan),
+        "mux" | "mux-hold" => Ok(DftStyle::MuxHold),
+        "flh" => Ok(DftStyle::Flh),
+        other => Err(format!(
+            "unknown style {other:?} (expected plain, enhanced, mux or flh)"
+        )),
+    }
+}
+
+fn parse_styles(list: &str) -> Result<Vec<DftStyle>, String> {
+    if list == "all" {
+        return Ok(vec![
+            DftStyle::PlainScan,
+            DftStyle::EnhancedScan,
+            DftStyle::MuxHold,
+            DftStyle::Flh,
+        ]);
+    }
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(parse_style)
+        .collect()
+}
+
+fn parse_profiles(list: &str) -> Result<Vec<CircuitProfile>, String> {
+    if list == "all" {
+        return Ok(iscas89_profiles());
+    }
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            iscas89_profile(name).ok_or_else(|| format!("unknown ISCAS89 profile {name:?}"))
+        })
+        .collect()
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        profiles: Vec::new(),
+        styles: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = |it: &mut std::slice::Iter<'_, String>| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{arg} expects a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--profiles" => opts.profiles.extend(parse_profiles(&value(&mut it)?)?),
+            "--styles" => {
+                let styles = parse_styles(&value(&mut it)?)?;
+                opts.styles.get_or_insert_with(Vec::new).extend(styles);
+            }
+            "--json" => opts.json = Some(value(&mut it)?),
+            "--quiet" | "-q" => opts.quiet = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+            file => opts.files.push(file.to_string()),
+        }
+    }
+    if opts.files.is_empty() && opts.profiles.is_empty() {
+        return Err("no targets: pass .bench files and/or --profiles".to_string());
+    }
+    Ok(Some(opts))
+}
+
+/// Lints one `.bench` file: bare when no styles are requested, once per
+/// style otherwise. Parse failures become `FLH000` reports.
+fn lint_file(path: &str, styles: Option<&[DftStyle]>) -> Vec<LintReport> {
+    let netlist = match read_bench_file(path) {
+        Ok(n) => n,
+        Err(e) => {
+            let style = styles.and_then(|s| s.first().copied());
+            return vec![target_error_report(path, style, e)];
+        }
+    };
+    match styles {
+        None => vec![lint_netlist(netlist).retargeted(path)],
+        Some(styles) => styles
+            .iter()
+            .map(|&style| match apply_style(&netlist, style) {
+                Ok(dft) => lint_dft(dft).retargeted(path),
+                Err(e) => target_error_report(path, Some(style), e),
+            })
+            .collect(),
+    }
+}
+
+trait Retarget {
+    fn retargeted(self, name: &str) -> Self;
+}
+
+impl Retarget for LintReport {
+    fn retargeted(mut self, name: &str) -> Self {
+        self.target = name.to_string();
+        self
+    }
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let mut reports: Vec<LintReport> = Vec::new();
+    for file in &opts.files {
+        reports.extend(lint_file(file, opts.styles.as_deref()));
+    }
+    if !opts.profiles.is_empty() {
+        let styles = opts
+            .styles
+            .clone()
+            .unwrap_or_else(|| vec![DftStyle::EnhancedScan, DftStyle::MuxHold, DftStyle::Flh]);
+        let pool = ThreadPool::from_env();
+        reports.extend(lint_profile_grid(&pool, &opts.profiles, &styles));
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for report in &reports {
+        errors += report.error_count();
+        warnings += report.warning_count();
+        if opts.quiet {
+            println!(
+                "{}: {} error(s), {} warning(s)",
+                report.label(),
+                report.error_count(),
+                report.warning_count()
+            );
+        } else {
+            print!("{}", report.render_text());
+        }
+    }
+    println!(
+        "flh_lint: {} target(s), {errors} error(s), {warnings} warning(s)",
+        reports.len()
+    );
+
+    if let Some(dest) = &opts.json {
+        let json = reports_to_json(&reports);
+        if dest == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(dest, &json).map_err(|e| format!("{dest}: {e}"))?;
+        }
+    }
+    Ok(errors == 0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(None) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(opts)) => match run(&opts) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(message) => {
+                eprintln!("flh_lint: {message}");
+                ExitCode::from(2)
+            }
+        },
+        Err(message) => {
+            eprintln!("flh_lint: {message}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

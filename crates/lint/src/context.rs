@@ -1,0 +1,128 @@
+//! What gets linted: a netlist plus the DFT metadata the FLH-family checks
+//! need.
+
+use flh_core::{DftNetlist, DftStyle};
+use flh_netlist::{CellId, Netlist};
+
+/// One lint target: a netlist, optionally with an applied DFT style and the
+/// transform's bookkeeping (gated gates, keepers, holding cells, scan-chain
+/// order).
+///
+/// Bare netlists (straight from a `.bench` file or the generator) get the
+/// structural checks only; targets built with [`LintTarget::from_dft`] also
+/// get the scan-chain, hold-safety and FLH-family checks.
+#[derive(Clone, Debug)]
+pub struct LintTarget {
+    /// Report label (design name, profile name or file path).
+    pub name: String,
+    /// The circuit under scrutiny.
+    pub netlist: Netlist,
+    /// Applied DFT style, if any.
+    pub style: Option<DftStyle>,
+    /// FLH only: the supply-gated first-level gates.
+    pub gated: Vec<CellId>,
+    /// FLH only: the gates carrying a keeper latch on their output.
+    pub keepers: Vec<CellId>,
+    /// Enhanced scan / MUX only: the inserted holding cells.
+    pub hold_cells: Vec<CellId>,
+    /// Scan-chain order (scan-in side first), when the target is scanned.
+    pub scan_chain: Option<Vec<CellId>>,
+}
+
+impl LintTarget {
+    /// A bare netlist target (structural checks only).
+    pub fn bare(netlist: Netlist) -> Self {
+        LintTarget {
+            name: netlist.name().to_string(),
+            netlist,
+            style: None,
+            gated: Vec::new(),
+            keepers: Vec::new(),
+            hold_cells: Vec::new(),
+            scan_chain: None,
+        }
+    }
+
+    /// A transformed target. The scan chain is the repo-wide convention
+    /// (`flh_sim::ScanChain::from_netlist`): flip-flops in declaration
+    /// order, scan-in side first.
+    pub fn from_dft(dft: DftNetlist) -> Self {
+        let DftNetlist {
+            netlist,
+            style,
+            gated,
+            keepers,
+            hold_cells,
+        } = dft;
+        let scan_chain = Some(netlist.flip_flops().to_vec());
+        LintTarget {
+            name: netlist.name().to_string(),
+            netlist,
+            style: Some(style),
+            gated,
+            keepers,
+            hold_cells,
+            scan_chain,
+        }
+    }
+
+    /// Overrides the report label (e.g. with a file path).
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Name of a cell, tolerating out-of-range ids from corrupted inputs.
+    pub(crate) fn cell_name(&self, id: CellId) -> String {
+        if id.index() < self.netlist.cell_count() {
+            self.netlist.cell(id).name().to_string()
+        } else {
+            format!("<{id}>")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_core::apply_style;
+    use flh_netlist::CellKind;
+
+    fn toy() -> Netlist {
+        let mut n = Netlist::new("toy");
+        let a = n.add_input("a");
+        let ff = n.add_cell("r", CellKind::Dff, vec![a]);
+        let g = n.add_cell("g", CellKind::Inv, vec![ff]);
+        n.add_output("y", g);
+        n
+    }
+
+    #[test]
+    fn bare_target_has_no_dft_metadata() {
+        let t = LintTarget::bare(toy());
+        assert_eq!(t.name, "toy");
+        assert!(t.style.is_none());
+        assert!(t.scan_chain.is_none());
+        assert!(t.gated.is_empty());
+    }
+
+    #[test]
+    fn dft_target_carries_the_transform_bookkeeping() {
+        let dft = apply_style(&toy(), DftStyle::Flh).unwrap();
+        let gated = dft.gated.clone();
+        let t = LintTarget::from_dft(dft);
+        assert_eq!(t.style, Some(DftStyle::Flh));
+        assert_eq!(t.gated, gated);
+        assert_eq!(t.keepers, gated);
+        let chain = t.scan_chain.as_ref().unwrap();
+        assert_eq!(chain, t.netlist.flip_flops());
+    }
+
+    #[test]
+    fn cell_name_tolerates_out_of_range_ids() {
+        let t = LintTarget::bare(toy());
+        assert_eq!(t.cell_name(CellId::from_index(0)), "a");
+        assert_eq!(t.cell_name(CellId::from_index(999)), "<c999>");
+    }
+}

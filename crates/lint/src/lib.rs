@@ -1,0 +1,50 @@
+//! `flh-lint` — diagnostic-driven static verification of netlists and the
+//! FLH transformation.
+//!
+//! A multi-pass analyzer over [`flh_netlist::Netlist`] with a reusable
+//! diagnostics framework: stable `FLH0xx` codes, severities, offending cell
+//! names and fix hints. The pass set covers the generic structural
+//! invariants every tool in the workspace assumes (acyclicity, driver
+//! soundness, registry consistency, scan-chain integrity) and the
+//! FLH-specific invariants from the paper: first-level-gate coverage of the
+//! supply gating, keeper presence on every gated output, legality of the
+//! gated set, per-style holding-cell consistency and X-safety of the V1
+//! hold state during the V2 scan load.
+//!
+//! Diagnoses, never panics: corrupted netlists (built through the
+//! `corrupt_*` hooks or hand-edited `.bench` files) come back as reports,
+//! with graph-walking passes skipped — and recorded — when the graph is
+//! too broken to walk.
+//!
+//! ```
+//! use flh_core::{apply_style, DftStyle};
+//! use flh_lint::{lint_dft, LintCode};
+//! use flh_netlist::{generate_circuit, iscas89_profile};
+//!
+//! let profile = iscas89_profile("s298").unwrap();
+//! let netlist = generate_circuit(&profile.generator_config()).unwrap();
+//! let dft = apply_style(&netlist, DftStyle::Flh).unwrap();
+//! let report = lint_dft(dft);
+//! assert_eq!(report.error_count(), 0);
+//! assert!(!report.fired(LintCode::FlhCoverage));
+//! ```
+//!
+//! The `flh_lint` binary runs the same passes over `.bench` files and the
+//! generated ISCAS89 profile grid, with a machine-readable JSON summary
+//! for CI (`scripts/ci.sh` gates on it).
+
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod context;
+pub mod json;
+pub mod passes;
+pub mod report;
+pub mod runner;
+
+pub use context::LintTarget;
+pub use json::reports_to_json;
+pub use passes::{Pass, PASSES};
+pub use report::{Diagnostic, LintCode, LintReport, Severity};
+pub use runner::{
+    lint_dft, lint_netlist, lint_profile, lint_profile_grid, lint_target, target_error_report,
+};

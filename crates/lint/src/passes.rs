@@ -1,0 +1,689 @@
+//! The check passes and their registry.
+//!
+//! Passes run in [`PASSES`] order. The `structure` pass acts as a gate:
+//! when it reports `FLH002` (dangling fanin) or `FLH003` (arity mismatch)
+//! the graph cannot be walked safely — every pass marked
+//! [`Pass::needs_sound_graph`] is then skipped and recorded in
+//! [`crate::LintReport::skipped_passes`] instead of chasing out-of-range
+//! references.
+
+use std::collections::HashMap;
+
+use flh_core::DftStyle;
+use flh_netlist::analysis::{
+    combinational_order, first_level_gates, first_level_gates_of, unobservable_cells, FanoutMap,
+};
+use flh_netlist::{CellId, CellKind, NetlistError};
+
+use crate::context::LintTarget;
+use crate::report::{Diagnostic, LintCode, LintReport};
+
+/// One registered check pass.
+pub struct Pass {
+    /// Stable pass name (also used in `skipped_passes`).
+    pub name: &'static str,
+    /// One-line description for `--help`-style listings.
+    pub description: &'static str,
+    /// True when the pass indexes fanin references and must not run on a
+    /// graph with dangling references or arity violations.
+    pub needs_sound_graph: bool,
+    /// The check itself.
+    pub run: fn(&LintTarget, &mut LintReport),
+}
+
+/// All passes, in execution order.
+pub const PASSES: &[Pass] = &[
+    Pass {
+        name: "structure",
+        description: "fanin ranges, arities, multi-drivers, output fanout (FLH002/003/004/006)",
+        needs_sound_graph: false,
+        run: pass_structure,
+    },
+    Pass {
+        name: "ports",
+        description: "boundary and flip-flop registry consistency (FLH007)",
+        needs_sound_graph: false,
+        run: pass_ports,
+    },
+    Pass {
+        name: "generic",
+        description: "unmapped generic wide gates (FLH014)",
+        needs_sound_graph: false,
+        run: pass_generic,
+    },
+    Pass {
+        name: "cycles",
+        description: "combinational acyclicity (FLH001)",
+        needs_sound_graph: true,
+        run: pass_cycles,
+    },
+    Pass {
+        name: "dead-cones",
+        description: "gates and inputs reaching no observation point (FLH005)",
+        needs_sound_graph: false,
+        run: pass_dead_cones,
+    },
+    Pass {
+        name: "scan-chain",
+        description: "scan-chain connectivity and order integrity (FLH009)",
+        needs_sound_graph: false,
+        run: pass_scan_chain,
+    },
+    Pass {
+        name: "hold-leak",
+        description: "X-safety of the V1 hold state during the V2 load (FLH008)",
+        needs_sound_graph: true,
+        run: pass_hold_leak,
+    },
+    Pass {
+        name: "flh-coverage",
+        description: "every first-level gate of the scan flip-flops is supply-gated (FLH010)",
+        needs_sound_graph: true,
+        run: pass_flh_coverage,
+    },
+    Pass {
+        name: "flh-gating",
+        description: "gated cells are legal first-level gates and keep their keepers (FLH011/012)",
+        needs_sound_graph: true,
+        run: pass_flh_gating,
+    },
+    Pass {
+        name: "style",
+        description: "holding cells match the declared style (FLH013)",
+        needs_sound_graph: true,
+        run: pass_style,
+    },
+];
+
+/// FLH002/FLH003/FLH004/FLH006: per-cell structural soundness. This pass
+/// gates the graph-walking passes.
+fn pass_structure(t: &LintTarget, r: &mut LintReport) {
+    let n = t.netlist.cell_count();
+    for (_, cell) in t.netlist.iter() {
+        let kind = cell.kind();
+        if cell.fanin().len() != kind.arity() {
+            r.push(
+                Diagnostic::new(
+                    LintCode::ArityMismatch,
+                    format!(
+                        "{} is a {kind} with {} fanin pins; the kind expects {}",
+                        cell.name(),
+                        cell.fanin().len(),
+                        kind.arity()
+                    ),
+                )
+                .with_cell(cell.name())
+                .with_hint("rebuild the cell with the arity its kind requires"),
+            );
+        }
+        for &f in cell.fanin() {
+            if f.index() >= n {
+                r.push(
+                    Diagnostic::new(
+                        LintCode::DanglingFanin,
+                        format!(
+                            "{} reads {f}, which does not exist ({n} cells): a floating net",
+                            cell.name()
+                        ),
+                    )
+                    .with_cell(cell.name())
+                    .with_hint("every fanin pin must reference a driver inside the netlist"),
+                );
+            } else if t.netlist.cell(f).kind() == CellKind::Output {
+                r.push(
+                    Diagnostic::new(
+                        LintCode::OutputHasFanout,
+                        format!(
+                            "{} reads primary-output marker {}",
+                            cell.name(),
+                            t.netlist.cell(f).name()
+                        ),
+                    )
+                    .with_cell(cell.name())
+                    .with_hint("read the output's driver instead; PO markers are pure sinks"),
+                );
+            }
+        }
+    }
+    // Multi-driver: in the single-output-per-cell representation two cells
+    // of the same name are two drivers of one net.
+    let mut seen: HashMap<&str, ()> = HashMap::with_capacity(n);
+    for (_, cell) in t.netlist.iter() {
+        if seen.insert(cell.name(), ()).is_some() {
+            r.push(
+                Diagnostic::new(
+                    LintCode::MultiDriver,
+                    format!("net {:?} has more than one driver", cell.name()),
+                )
+                .with_cell(cell.name())
+                .with_hint("rename one of the drivers or merge them"),
+            );
+        }
+    }
+}
+
+/// FLH007: every boundary / flip-flop cell is registered in the matching
+/// port list, and every registry entry points at a cell of the right kind.
+fn pass_ports(t: &LintTarget, r: &mut LintReport) {
+    let n = t.netlist.cell_count();
+    let mut flag = vec![0u8; n];
+    const IN: u8 = 1;
+    const OUT: u8 = 2;
+    const FF: u8 = 4;
+    let registries: [(&[CellId], u8, &str); 3] = [
+        (t.netlist.inputs(), IN, "primary-input"),
+        (t.netlist.outputs(), OUT, "primary-output"),
+        (t.netlist.flip_flops(), FF, "flip-flop"),
+    ];
+    for (list, bit, label) in registries {
+        for &id in list {
+            if id.index() >= n {
+                r.push(
+                    Diagnostic::new(
+                        LintCode::PortRegistry,
+                        format!("{label} registry references nonexistent cell {id}"),
+                    )
+                    .with_hint("registries must only hold live cell ids"),
+                );
+            } else {
+                flag[id.index()] |= bit;
+            }
+        }
+    }
+    for (id, cell) in t.netlist.iter() {
+        let expected = match cell.kind() {
+            CellKind::Input => IN,
+            CellKind::Output => OUT,
+            k if k.is_flip_flop() => FF,
+            _ => 0,
+        };
+        let got = flag[id.index()];
+        if got == expected {
+            continue;
+        }
+        let describe = |bits: u8| -> &'static str {
+            match bits {
+                IN => "the primary-input registry",
+                OUT => "the primary-output registry",
+                FF => "the flip-flop registry",
+                0 => "no registry",
+                _ => "multiple registries",
+            }
+        };
+        r.push(
+            Diagnostic::new(
+                LintCode::PortRegistry,
+                format!(
+                    "{} is a {} but sits in {} instead of {}",
+                    cell.name(),
+                    cell.kind(),
+                    describe(got),
+                    describe(expected)
+                ),
+            )
+            .with_cell(cell.name())
+            .with_hint("build boundary cells with add_input/add_output so registries stay in sync"),
+        );
+    }
+}
+
+/// FLH014 (warning): generic wide gates that must be technology-mapped
+/// before the physical crates can cost the circuit.
+fn pass_generic(t: &LintTarget, r: &mut LintReport) {
+    let generic: Vec<String> = t
+        .netlist
+        .iter()
+        .filter(|(_, c)| c.kind().is_generic())
+        .map(|(_, c)| c.name().to_string())
+        .collect();
+    if !generic.is_empty() {
+        r.push(
+            Diagnostic::new(
+                LintCode::UnmappedGeneric,
+                format!(
+                    "{} generic wide gate(s) survive; overhead figures would be wrong",
+                    generic.len()
+                ),
+            )
+            .with_cells(generic)
+            .with_hint("run the technology mapper (flh_netlist::mapper) before costing"),
+        );
+    }
+}
+
+/// FLH001: combinational cycles.
+fn pass_cycles(t: &LintTarget, r: &mut LintReport) {
+    match combinational_order(&t.netlist) {
+        Ok(_) => {}
+        Err(NetlistError::CombinationalCycle { cell }) => {
+            r.push(
+                Diagnostic::new(
+                    LintCode::CombinationalCycle,
+                    format!("combinational cycle through {}", t.cell_name(cell)),
+                )
+                .with_cell(t.cell_name(cell))
+                .with_hint("break the loop with a flip-flop or rewire the feedback"),
+            );
+        }
+        Err(other) => {
+            // combinational_order only reports cycles; anything else means
+            // the soundness gate failed us — surface it rather than hide it.
+            r.push(Diagnostic::new(
+                LintCode::CombinationalCycle,
+                format!("topological sort failed: {other}"),
+            ));
+        }
+    }
+}
+
+/// FLH005 (warning): dead cones — cells whose output reaches no primary
+/// output and no flip-flop D pin.
+fn pass_dead_cones(t: &LintTarget, r: &mut LintReport) {
+    let dead = unobservable_cells(&t.netlist);
+    if !dead.is_empty() {
+        let names: Vec<String> = dead.iter().map(|&id| t.cell_name(id)).collect();
+        r.push(
+            Diagnostic::new(
+                LintCode::UnreachableGate,
+                format!(
+                    "{} cell(s) reach no primary output and no flip-flop: dead cones",
+                    names.len()
+                ),
+            )
+            .with_cells(names)
+            .with_hint("remove the dead logic or observe it; fault tools skip these cones"),
+        );
+    }
+}
+
+/// FLH009: scan-chain connectivity and order integrity.
+fn pass_scan_chain(t: &LintTarget, r: &mut LintReport) {
+    let Some(chain) = &t.scan_chain else {
+        return;
+    };
+    let n = t.netlist.cell_count();
+    let mut in_chain = vec![false; n];
+    for (pos, &id) in chain.iter().enumerate() {
+        if id.index() >= n {
+            r.push(
+                Diagnostic::new(
+                    LintCode::ScanChain,
+                    format!("chain position {pos} references nonexistent cell {id}"),
+                )
+                .with_hint("the chain must only list live flip-flops"),
+            );
+            continue;
+        }
+        let cell = t.netlist.cell(id);
+        if !cell.kind().is_flip_flop() {
+            r.push(
+                Diagnostic::new(
+                    LintCode::ScanChain,
+                    format!(
+                        "chain position {pos} is {} ({}), not a flip-flop",
+                        cell.name(),
+                        cell.kind()
+                    ),
+                )
+                .with_cell(cell.name())
+                .with_hint("only Dff/ScanDff cells belong on the chain"),
+            );
+        } else if in_chain[id.index()] {
+            r.push(
+                Diagnostic::new(
+                    LintCode::ScanChain,
+                    format!("{} appears more than once in the chain", cell.name()),
+                )
+                .with_cell(cell.name())
+                .with_hint("each flip-flop is shifted exactly once per cycle"),
+            );
+        }
+        in_chain[id.index()] = true;
+    }
+    for &ff in t.netlist.flip_flops() {
+        if ff.index() < n && !in_chain[ff.index()] {
+            r.push(
+                Diagnostic::new(
+                    LintCode::ScanChain,
+                    format!(
+                        "flip-flop {} is missing from the scan chain",
+                        t.cell_name(ff)
+                    ),
+                )
+                .with_cell(t.cell_name(ff))
+                .with_hint("an unchained flip-flop cannot be loaded with V1/V2 state"),
+            );
+        }
+    }
+    // Under any DFT style every flip-flop must have been scan-converted.
+    if t.style.is_some() {
+        for &ff in t.netlist.flip_flops() {
+            if ff.index() < n && t.netlist.cell(ff).kind() == CellKind::Dff {
+                r.push(
+                    Diagnostic::new(
+                        LintCode::ScanChain,
+                        format!("{} is still a plain DFF under a DFT style", t.cell_name(ff)),
+                    )
+                    .with_cell(t.cell_name(ff))
+                    .with_hint("run scan insertion (insert_scan) before applying a style"),
+                );
+            }
+        }
+    }
+}
+
+/// FLH008: X-safety of the V1 hold state. Forward taint propagation — flip-
+/// flop outputs carry the *shifting* scan state while V2 is loaded; holding
+/// cells and supply-gated gates freeze it out. Any combinational cell the
+/// taint still reaches sees garbage during the load, so the circuit cannot
+/// apply arbitrary two-pattern tests.
+fn pass_hold_leak(t: &LintTarget, r: &mut LintReport) {
+    let Some(style) = t.style else {
+        return; // bare netlists hold nothing by construction
+    };
+    if style == DftStyle::PlainScan {
+        return; // plain scan makes no hold promise
+    }
+    let Ok(order) = combinational_order(&t.netlist) else {
+        return; // cycle already reported by the `cycles` pass
+    };
+    let n = t.netlist.cell_count();
+    let mut frozen = vec![false; n];
+    for &g in &t.gated {
+        if g.index() < n {
+            frozen[g.index()] = true;
+        }
+    }
+    let mut tainted = vec![false; n];
+    for &ff in t.netlist.flip_flops() {
+        if ff.index() < n {
+            tainted[ff.index()] = true;
+        }
+    }
+    let mut leaks: Vec<String> = Vec::new();
+    for &id in &order {
+        let cell = t.netlist.cell(id);
+        let kind = cell.kind();
+        // Holding cells and supply-gated gates present the frozen V1 value
+        // regardless of what their inputs do.
+        if kind.is_hold_element() || frozen[id.index()] {
+            continue;
+        }
+        if cell.fanin().iter().any(|&f| tainted[f.index()]) {
+            tainted[id.index()] = true;
+            if kind.is_combinational() {
+                leaks.push(cell.name().to_string());
+            }
+        }
+    }
+    if !leaks.is_empty() {
+        r.push(
+            Diagnostic::new(
+                LintCode::HoldLeak,
+                format!(
+                    "{} combinational cell(s) see the shifting scan state during the V2 load",
+                    leaks.len()
+                ),
+            )
+            .with_cells(leaks)
+            .with_hint(
+                "every flip-flop reader must be a holding cell or a supply-gated first-level gate",
+            ),
+        );
+    }
+}
+
+/// FLH010: FLH coverage — every unique first-level gate of the scan
+/// flip-flops must be supply-gated, or V1 is not held on that path.
+fn pass_flh_coverage(t: &LintTarget, r: &mut LintReport) {
+    let Some(style) = t.style else {
+        return;
+    };
+    if !style.uses_supply_gating() {
+        return;
+    }
+    let n = t.netlist.cell_count();
+    let mut gated = vec![false; n];
+    for &g in &t.gated {
+        if g.index() < n {
+            gated[g.index()] = true;
+        }
+    }
+    let fanouts = FanoutMap::compute(&t.netlist);
+    for flg in first_level_gates(&t.netlist, &fanouts) {
+        if !gated[flg.index()] {
+            r.push(
+                Diagnostic::new(
+                    LintCode::FlhCoverage,
+                    format!(
+                        "first-level gate {} of the scan flip-flops is not supply-gated",
+                        t.cell_name(flg)
+                    ),
+                )
+                .with_cell(t.cell_name(flg))
+                .with_hint("FLH must gate every unique first-level fanout gate (paper §II-A)"),
+            );
+        }
+    }
+}
+
+/// FLH011/FLH012: legality of the gated set and its keepers. Gating is only
+/// legal on combinational first-level gates (of flip-flops or — for the
+/// Section IV BIST extension — primary inputs), and every gated output
+/// needs a keeper latch to hold V1.
+fn pass_flh_gating(t: &LintTarget, r: &mut LintReport) {
+    let supply_gating = t.style.is_some_and(DftStyle::uses_supply_gating);
+    if !supply_gating && t.gated.is_empty() && t.keepers.is_empty() {
+        return;
+    }
+    let n = t.netlist.cell_count();
+    let fanouts = FanoutMap::compute(&t.netlist);
+    let mut sources: Vec<CellId> = t.netlist.flip_flops().to_vec();
+    sources.extend_from_slice(t.netlist.inputs());
+    let legal_sites = first_level_gates_of(&t.netlist, &fanouts, &sources);
+    let mut legal = vec![false; n];
+    for &g in &legal_sites {
+        legal[g.index()] = true;
+    }
+    let mut kept = vec![false; n];
+    for &k in &t.keepers {
+        if k.index() < n {
+            kept[k.index()] = true;
+        }
+    }
+    let mut gated = vec![false; n];
+    let mut missing_keeper: Vec<String> = Vec::new();
+    for &g in &t.gated {
+        if g.index() >= n {
+            r.push(
+                Diagnostic::new(
+                    LintCode::IllegalGating,
+                    format!("gated set references nonexistent cell {g}"),
+                )
+                .with_hint("gate only live cells"),
+            );
+            continue;
+        }
+        gated[g.index()] = true;
+        let cell = t.netlist.cell(g);
+        if !cell.kind().is_combinational() {
+            r.push(
+                Diagnostic::new(
+                    LintCode::IllegalGating,
+                    format!(
+                        "{} ({}) is supply-gated but is not a combinational gate",
+                        cell.name(),
+                        cell.kind()
+                    ),
+                )
+                .with_cell(cell.name())
+                .with_hint("supply gating applies to logic gates only"),
+            );
+        } else if !legal[g.index()] {
+            r.push(
+                Diagnostic::new(
+                    LintCode::IllegalGating,
+                    format!(
+                        "{} is supply-gated but is not a first-level gate of any flip-flop or primary input",
+                        cell.name()
+                    ),
+                )
+                .with_cell(cell.name())
+                .with_hint("gating deeper cells buys nothing and corrupts their evaluation"),
+            );
+        }
+        if !kept[g.index()] {
+            missing_keeper.push(cell.name().to_string());
+        }
+    }
+    if !missing_keeper.is_empty() {
+        r.push(
+            Diagnostic::new(
+                LintCode::KeeperMissing,
+                format!(
+                    "{} supply-gated output(s) carry no keeper latch; V1 would float away",
+                    missing_keeper.len()
+                ),
+            )
+            .with_cells(missing_keeper)
+            .with_hint("every gated output needs a minimum-sized keeper (paper Fig. 3)"),
+        );
+    }
+    let stray: Vec<String> = t
+        .keepers
+        .iter()
+        .filter(|k| k.index() >= n || !gated[k.index()])
+        .map(|&k| t.cell_name(k))
+        .collect();
+    if !stray.is_empty() {
+        r.push(
+            Diagnostic::new(
+                LintCode::KeeperMissing,
+                format!(
+                    "{} keeper(s) sit on outputs that are not supply-gated",
+                    stray.len()
+                ),
+            )
+            .with_cells(stray)
+            .with_hint("keep DftNetlist::keepers in sync with DftNetlist::gated"),
+        );
+    }
+}
+
+/// FLH013: per-style consistency — the netlist carries exactly the holding
+/// cells its declared style calls for, wired the way the style wires them.
+fn pass_style(t: &LintTarget, r: &mut LintReport) {
+    let Some(style) = t.style else {
+        return;
+    };
+    let n = t.netlist.cell_count();
+    let expected = style.hold_cell_kind();
+    for (_, cell) in t.netlist.iter() {
+        let kind = cell.kind();
+        if !kind.is_hold_element() {
+            continue;
+        }
+        match expected {
+            None => {
+                r.push(
+                    Diagnostic::new(
+                        LintCode::StyleConsistency,
+                        format!(
+                            "{} is a {kind} but style {style} inserts no holding cells",
+                            cell.name()
+                        ),
+                    )
+                    .with_cell(cell.name())
+                    .with_hint("remove the stray holding cell or declare the matching style"),
+                );
+            }
+            Some(k) if kind != k => {
+                r.push(
+                    Diagnostic::new(
+                        LintCode::StyleConsistency,
+                        format!(
+                            "{} is a {kind}; style {style} uses {k} holding cells",
+                            cell.name()
+                        ),
+                    )
+                    .with_cell(cell.name())
+                    .with_hint("one style per netlist: re-run apply_style"),
+                );
+            }
+            Some(_) => {
+                // Right kind — it must sit directly on a flip-flop output.
+                if let Some(&f) = cell.fanin().first() {
+                    if f.index() < n && !t.netlist.cell(f).kind().is_flip_flop() {
+                        r.push(
+                            Diagnostic::new(
+                                LintCode::StyleConsistency,
+                                format!(
+                                    "holding cell {} reads {} instead of a scan flip-flop",
+                                    cell.name(),
+                                    t.cell_name(f)
+                                ),
+                            )
+                            .with_cell(cell.name())
+                            .with_hint("holding cells splice directly onto flip-flop outputs"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The transform's own registry must list real holding cells.
+    for &h in &t.hold_cells {
+        let ok = h.index() < n && t.netlist.cell(h).kind().is_hold_element();
+        if !ok {
+            r.push(
+                Diagnostic::new(
+                    LintCode::StyleConsistency,
+                    format!(
+                        "hold-cell registry entry {} is not a holding cell",
+                        t.cell_name(h)
+                    ),
+                )
+                .with_cell(t.cell_name(h))
+                .with_hint("DftNetlist::hold_cells must list the spliced holding cells"),
+            );
+        }
+    }
+    if let Some(k) = expected {
+        // Fig. 1(a): the holding logic sits in the stimulus path, so *every*
+        // reader of a flip-flop must be its holding cell.
+        let fanouts = FanoutMap::compute(&t.netlist);
+        for &ff in t.netlist.flip_flops() {
+            if ff.index() >= n {
+                continue;
+            }
+            for &reader in fanouts.readers(ff) {
+                if !t.netlist.cell(reader).kind().is_hold_element() {
+                    r.push(
+                        Diagnostic::new(
+                            LintCode::StyleConsistency,
+                            format!(
+                                "{} reads flip-flop {} directly, bypassing the {k} holding cell",
+                                t.cell_name(reader),
+                                t.cell_name(ff)
+                            ),
+                        )
+                        .with_cell(t.cell_name(reader))
+                        .with_hint("redirect all flip-flop readers through the holding cell"),
+                    );
+                }
+            }
+        }
+    }
+    if !style.uses_supply_gating() && !t.gated.is_empty() {
+        r.push(
+            Diagnostic::new(
+                LintCode::StyleConsistency,
+                format!(
+                    "style {style} does not supply-gate, yet {} cell(s) are marked gated",
+                    t.gated.len()
+                ),
+            )
+            .with_hint("only the FLH style populates DftNetlist::gated"),
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Driving the passes: single targets, netlists, DFT netlists, generated
+//! profiles and the pooled profile × style grid.
+
+use flh_core::{apply_style, DftNetlist, DftStyle};
+use flh_exec::ThreadPool;
+use flh_netlist::{generate_circuit, CircuitProfile, Netlist};
+
+use crate::context::LintTarget;
+use crate::passes::PASSES;
+use crate::report::{Diagnostic, LintCode, LintReport};
+
+/// Runs every registered pass over one target.
+///
+/// Graph-walking passes are skipped (and recorded in
+/// [`LintReport::skipped_passes`]) once the `structure` pass has reported
+/// dangling fanin references or arity violations, so a badly corrupted
+/// netlist yields diagnostics instead of a panic.
+pub fn lint_target(target: &LintTarget) -> LintReport {
+    let mut report = LintReport::new(
+        target.name.clone(),
+        target.style.map(|s| s.label().to_string()),
+    );
+    for pass in PASSES {
+        let unsound =
+            report.fired(LintCode::DanglingFanin) || report.fired(LintCode::ArityMismatch);
+        if pass.needs_sound_graph && unsound {
+            report.skipped_passes.push(pass.name);
+            continue;
+        }
+        (pass.run)(target, &mut report);
+    }
+    report
+}
+
+/// Lints a bare netlist (structural checks only).
+pub fn lint_netlist(netlist: Netlist) -> LintReport {
+    lint_target(&LintTarget::bare(netlist))
+}
+
+/// Lints a transformed netlist with the full FLH-family check set.
+pub fn lint_dft(dft: DftNetlist) -> LintReport {
+    lint_target(&LintTarget::from_dft(dft))
+}
+
+/// A report whose only content is a `FLH000` target-construction failure.
+pub fn target_error_report(
+    name: impl Into<String>,
+    style: Option<DftStyle>,
+    error: impl std::fmt::Display,
+) -> LintReport {
+    let mut report = LintReport::new(name, style.map(|s| s.label().to_string()));
+    report.push(
+        Diagnostic::new(
+            LintCode::TargetError,
+            format!("target could not be built: {error}"),
+        )
+        .with_hint("fix the input file / generator configuration and re-run"),
+    );
+    report
+}
+
+/// Generates a synthetic ISCAS89 profile, applies a style and lints it.
+/// Construction failures become `FLH000` diagnostics, never panics.
+pub fn lint_profile(profile: &CircuitProfile, style: DftStyle) -> LintReport {
+    let netlist = match generate_circuit(&profile.generator_config()) {
+        Ok(n) => n,
+        Err(e) => return target_error_report(profile.name, Some(style), e),
+    };
+    match apply_style(&netlist, style) {
+        Ok(dft) => lint_dft(dft),
+        Err(e) => target_error_report(profile.name, Some(style), e),
+    }
+}
+
+/// Lints the full profile × style grid on a [`ThreadPool`].
+///
+/// Reports come back in profile-major order (`profiles[0]` under every
+/// style, then `profiles[1]`, …) regardless of pool width, so CI output is
+/// byte-identical at any `FLH_THREADS` setting.
+pub fn lint_profile_grid(
+    pool: &ThreadPool,
+    profiles: &[CircuitProfile],
+    styles: &[DftStyle],
+) -> Vec<LintReport> {
+    if styles.is_empty() {
+        return Vec::new();
+    }
+    pool.run(profiles.len() * styles.len(), |i| {
+        lint_profile(&profiles[i / styles.len()], styles[i % styles.len()])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flh_netlist::{iscas89_profile, iscas89_profiles, CellKind};
+
+    #[test]
+    fn clean_transformed_circuit_lints_clean() {
+        let profile = iscas89_profile("s298").unwrap();
+        for style in [DftStyle::EnhancedScan, DftStyle::MuxHold, DftStyle::Flh] {
+            let report = lint_profile(&profile, style);
+            assert_eq!(
+                report.error_count(),
+                0,
+                "{}: {}",
+                report.label(),
+                report.render_text()
+            );
+            assert!(report.skipped_passes.is_empty());
+        }
+    }
+
+    #[test]
+    fn bare_netlist_skips_dft_passes_silently() {
+        let mut n = Netlist::new("bare");
+        let a = n.add_input("a");
+        let g = n.add_cell("g", CellKind::Inv, vec![a]);
+        n.add_output("y", g);
+        let report = lint_netlist(n);
+        assert_eq!(report.error_count(), 0);
+        assert_eq!(report.style, None);
+    }
+
+    #[test]
+    fn target_error_reports_flh000() {
+        let report = target_error_report("broken", Some(DftStyle::Flh), "boom");
+        assert!(report.fired(LintCode::TargetError));
+        assert_eq!(report.error_count(), 1);
+        assert!(report.diagnostics[0].message.contains("boom"));
+    }
+
+    #[test]
+    fn grid_order_is_profile_major_and_pool_invariant() {
+        let profiles: Vec<CircuitProfile> = iscas89_profiles().into_iter().take(2).collect();
+        let styles = [DftStyle::EnhancedScan, DftStyle::Flh];
+        let serial = lint_profile_grid(&ThreadPool::new(1), &profiles, &styles);
+        let pooled = lint_profile_grid(&ThreadPool::new(4), &profiles, &styles);
+        assert_eq!(serial.len(), 4);
+        assert_eq!(serial, pooled, "grid must not depend on pool width");
+        assert_eq!(serial[0].target, profiles[0].name);
+        assert_eq!(serial[1].target, profiles[0].name);
+        assert_eq!(serial[2].target, profiles[1].name);
+        assert_eq!(serial[0].style.as_deref(), Some("enhanced scan"));
+        assert_eq!(serial[1].style.as_deref(), Some("FLH"));
+    }
+}

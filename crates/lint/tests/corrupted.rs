@@ -1,0 +1,368 @@
+//! Negative coverage: every `FLH0xx` code must fire on a netlist corrupted
+//! in exactly the way the code describes — and only break the passes it
+//! should. Corruptions go through the `corrupt_*` hooks on `Netlist`, which
+//! bypass the builder invariants on purpose.
+
+#![allow(clippy::unwrap_used)]
+
+use std::collections::BTreeSet;
+
+use flh_core::{apply_style, DftStyle};
+use flh_lint::{lint_profile, lint_target, LintCode, LintReport, LintTarget, Severity};
+use flh_netlist::{CellId, CellKind, CircuitProfile, Netlist};
+
+/// Two flip-flops, three gates, everything observable: lints clean.
+fn fixture() -> Netlist {
+    let mut n = Netlist::new("fixture");
+    let a = n.add_input("a");
+    let b = n.add_input("b");
+    let f1 = n.add_cell("f1", CellKind::Dff, vec![a]);
+    let f2 = n.add_cell("f2", CellKind::Dff, vec![b]);
+    let g1 = n.add_cell("g1", CellKind::Nand2, vec![f1, f2]);
+    let g2 = n.add_cell("g2", CellKind::Inv, vec![f1]);
+    let g3 = n.add_cell("g3", CellKind::Nor2, vec![g1, g2]);
+    n.add_output("y", g3);
+    n
+}
+
+fn lint_bare(netlist: Netlist) -> LintReport {
+    lint_target(&LintTarget::bare(netlist))
+}
+
+#[test]
+fn fixture_is_clean_bare_and_under_every_style() {
+    let report = lint_bare(fixture());
+    assert_eq!(report.error_count(), 0, "{}", report.render_text());
+    assert_eq!(report.warning_count(), 0, "{}", report.render_text());
+    for style in [
+        DftStyle::PlainScan,
+        DftStyle::EnhancedScan,
+        DftStyle::MuxHold,
+        DftStyle::Flh,
+    ] {
+        let dft = apply_style(&fixture(), style).unwrap();
+        let report = lint_target(&LintTarget::from_dft(dft));
+        assert_eq!(report.error_count(), 0, "{}", report.render_text());
+        assert!(report.skipped_passes.is_empty());
+    }
+}
+
+// --- one corruption scenario per code ----------------------------------
+
+fn scenario_target_error() -> LintReport {
+    // Zero primary inputs is an unsatisfiable generator shape.
+    let profile = CircuitProfile {
+        name: "impossible",
+        primary_inputs: 0,
+        primary_outputs: 1,
+        flip_flops: 2,
+        gates: 10,
+        logic_depth: 3,
+        avg_ff_fanout: 2.0,
+        unique_flg_ratio: 1.8,
+        hot_ff_fanout: None,
+    };
+    lint_profile(&profile, DftStyle::Flh)
+}
+
+fn scenario_cycle() -> LintReport {
+    let mut n = fixture();
+    let g1 = n.find("g1").unwrap();
+    let g3 = n.find("g3").unwrap();
+    n.set_fanin_pin(g1, 1, g3); // g1 -> g3 -> g1
+    lint_bare(n)
+}
+
+fn scenario_dangling_fanin() -> LintReport {
+    let mut n = fixture();
+    let g2 = n.find("g2").unwrap();
+    n.corrupt_set_fanin(g2, vec![CellId::from_index(9999)]);
+    lint_bare(n)
+}
+
+fn scenario_arity_mismatch() -> LintReport {
+    let mut n = fixture();
+    let g1 = n.find("g1").unwrap();
+    let f1 = n.find("f1").unwrap();
+    n.corrupt_set_fanin(g1, vec![f1]); // NAND2 with one pin
+    lint_bare(n)
+}
+
+fn scenario_multi_driver() -> LintReport {
+    let mut n = fixture();
+    let a = n.find("a").unwrap();
+    n.corrupt_add_cell("g1", CellKind::Inv, vec![a]); // second driver of "g1"
+    lint_bare(n)
+}
+
+fn scenario_dead_cone() -> LintReport {
+    let mut n = fixture();
+    let a = n.find("a").unwrap();
+    let dead = n.add_cell("dead1", CellKind::Inv, vec![a]);
+    n.add_cell("dead2", CellKind::Inv, vec![dead]);
+    lint_bare(n)
+}
+
+fn scenario_output_fanout() -> LintReport {
+    let mut n = fixture();
+    let y = n.find("y").unwrap();
+    n.add_cell("snoop", CellKind::Inv, vec![y]); // reads the PO marker
+    lint_bare(n)
+}
+
+fn scenario_port_registry() -> LintReport {
+    let mut n = fixture();
+    let y = n.find("y").unwrap();
+    n.corrupt_unregister_output(y); // dangling PO marker
+    n.corrupt_add_cell("rogue_pi", CellKind::Input, Vec::new()); // unregistered PI
+    lint_bare(n)
+}
+
+fn scenario_hold_leak() -> LintReport {
+    // Enhanced scan, then rewire one gate to bypass its hold latch.
+    let mut dft = apply_style(&fixture(), DftStyle::EnhancedScan).unwrap();
+    let f1 = dft.netlist.find("f1").unwrap();
+    let g2 = dft.netlist.find("g2").unwrap();
+    dft.netlist.set_fanin_pin(g2, 0, f1);
+    lint_target(&LintTarget::from_dft(dft))
+}
+
+fn scenario_scan_chain() -> LintReport {
+    let dft = apply_style(&fixture(), DftStyle::Flh).unwrap();
+    let mut target = LintTarget::from_dft(dft);
+    let chain = target.scan_chain.as_mut().unwrap();
+    let first = chain[0];
+    chain[0] = chain[1]; // duplicate f2, drop f1 from the chain
+    let _ = first;
+    target.netlist.corrupt_retype(
+        *target.netlist.flip_flops().last().unwrap(),
+        CellKind::Dff, // unscanned DFF under a DFT style
+    );
+    lint_target(&target)
+}
+
+fn scenario_flh_coverage() -> LintReport {
+    let mut dft = apply_style(&fixture(), DftStyle::Flh).unwrap();
+    // Drop one first-level gate from the gated (and keeper) set.
+    dft.gated.pop().unwrap();
+    dft.keepers = dft.gated.clone();
+    lint_target(&LintTarget::from_dft(dft))
+}
+
+fn scenario_keeper_missing() -> LintReport {
+    let mut dft = apply_style(&fixture(), DftStyle::Flh).unwrap();
+    dft.keepers.clear(); // gated outputs with no keepers
+    lint_target(&LintTarget::from_dft(dft))
+}
+
+fn scenario_illegal_gating() -> LintReport {
+    let mut dft = apply_style(&fixture(), DftStyle::Flh).unwrap();
+    let g3 = dft.netlist.find("g3").unwrap(); // second-level gate
+    let f1 = dft.netlist.find("f1").unwrap(); // not a gate at all
+    dft.gated.push(g3);
+    dft.gated.push(f1);
+    dft.keepers = dft.gated.clone();
+    lint_target(&LintTarget::from_dft(dft))
+}
+
+fn scenario_style_consistency() -> LintReport {
+    let mut dft = apply_style(&fixture(), DftStyle::EnhancedScan).unwrap();
+    // One hold latch retyped to the MUX style: mixed-style netlist.
+    let h = dft.hold_cells[0];
+    dft.netlist.corrupt_retype(h, CellKind::HoldMux);
+    lint_target(&LintTarget::from_dft(dft))
+}
+
+fn scenario_unmapped_generic() -> LintReport {
+    let mut n = fixture();
+    let a = n.find("a").unwrap();
+    let b = n.find("b").unwrap();
+    let g1 = n.find("g1").unwrap();
+    let wide = n.add_cell("wide", CellKind::AndN(3), vec![a, b, g1]);
+    let g3 = n.find("g3").unwrap();
+    let y = n.find("y").unwrap();
+    let _ = (g3, wide);
+    // Keep the wide gate observable so only FLH014 fires.
+    n.set_fanin_pin(y, 0, wide);
+    lint_bare(n)
+}
+
+// --- assertions ---------------------------------------------------------
+
+#[track_caller]
+fn assert_fires(report: &LintReport, code: LintCode) {
+    assert!(
+        report.fired(code),
+        "expected {code} in:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn target_error_fires_flh000() {
+    let r = scenario_target_error();
+    assert_fires(&r, LintCode::TargetError);
+    assert_eq!(r.style.as_deref(), Some("FLH"));
+}
+
+#[test]
+fn combinational_cycle_fires_flh001() {
+    assert_fires(&scenario_cycle(), LintCode::CombinationalCycle);
+}
+
+#[test]
+fn dangling_fanin_fires_flh002_and_gates_graph_passes() {
+    let r = scenario_dangling_fanin();
+    assert_fires(&r, LintCode::DanglingFanin);
+    assert!(
+        r.skipped_passes.contains(&"cycles"),
+        "graph passes must be skipped on an unsound graph: {:?}",
+        r.skipped_passes
+    );
+}
+
+#[test]
+fn arity_mismatch_fires_flh003() {
+    let r = scenario_arity_mismatch();
+    assert_fires(&r, LintCode::ArityMismatch);
+    assert!(!r.skipped_passes.is_empty());
+}
+
+#[test]
+fn multi_driver_fires_flh004() {
+    assert_fires(&scenario_multi_driver(), LintCode::MultiDriver);
+}
+
+#[test]
+fn dead_cone_fires_flh005_as_warning() {
+    let r = scenario_dead_cone();
+    assert_fires(&r, LintCode::UnreachableGate);
+    assert_eq!(r.error_count(), 0, "dead cones are warnings, not errors");
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == LintCode::UnreachableGate)
+        .unwrap();
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.cells.contains(&"dead1".to_string()));
+    assert!(d.cells.contains(&"dead2".to_string()));
+}
+
+#[test]
+fn output_fanout_fires_flh006() {
+    assert_fires(&scenario_output_fanout(), LintCode::OutputHasFanout);
+}
+
+#[test]
+fn port_registry_fires_flh007_for_unregistered_boundary_cells() {
+    let r = scenario_port_registry();
+    assert_fires(&r, LintCode::PortRegistry);
+    let cells: Vec<&str> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == LintCode::PortRegistry)
+        .flat_map(|d| d.cells.iter().map(String::as_str))
+        .collect();
+    assert!(cells.contains(&"y"), "dangling PO must be named: {cells:?}");
+    assert!(cells.contains(&"rogue_pi"));
+}
+
+#[test]
+fn hold_bypass_fires_flh008_and_flh013() {
+    let r = scenario_hold_leak();
+    assert_fires(&r, LintCode::HoldLeak);
+    assert_fires(&r, LintCode::StyleConsistency); // g2 bypasses the latch
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.code == LintCode::HoldLeak)
+        .unwrap();
+    // g2 sees the raw flip-flop; g3 reads g2, so the taint spreads.
+    assert!(d.cells.contains(&"g2".to_string()));
+    assert!(d.cells.contains(&"g3".to_string()));
+}
+
+#[test]
+fn broken_chain_fires_flh009() {
+    let r = scenario_scan_chain();
+    assert_fires(&r, LintCode::ScanChain);
+    let messages: String = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == LintCode::ScanChain)
+        .map(|d| d.message.clone())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(messages.contains("more than once"), "{messages}");
+    assert!(
+        messages.contains("missing from the scan chain"),
+        "{messages}"
+    );
+    assert!(messages.contains("plain DFF"), "{messages}");
+}
+
+#[test]
+fn coverage_hole_fires_flh010_and_leaks() {
+    let r = scenario_flh_coverage();
+    assert_fires(&r, LintCode::FlhCoverage);
+    // The ungated first-level gate also exposes the shifting scan state.
+    assert_fires(&r, LintCode::HoldLeak);
+}
+
+#[test]
+fn missing_keepers_fire_flh011() {
+    assert_fires(&scenario_keeper_missing(), LintCode::KeeperMissing);
+}
+
+#[test]
+fn illegal_gating_fires_flh012() {
+    let r = scenario_illegal_gating();
+    let illegal: Vec<&str> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == LintCode::IllegalGating)
+        .flat_map(|d| d.cells.iter().map(String::as_str))
+        .collect();
+    assert!(illegal.contains(&"g3"), "second-level gate: {illegal:?}");
+    assert!(illegal.contains(&"f1"), "non-gate: {illegal:?}");
+}
+
+#[test]
+fn mixed_hold_styles_fire_flh013() {
+    assert_fires(&scenario_style_consistency(), LintCode::StyleConsistency);
+}
+
+#[test]
+fn generic_gates_fire_flh014_as_warning() {
+    let r = scenario_unmapped_generic();
+    assert_fires(&r, LintCode::UnmappedGeneric);
+    assert_eq!(r.error_count(), 0, "{}", r.render_text());
+}
+
+/// The acceptance bar: the scenario suite exercises every one of the
+/// fifteen codes.
+#[test]
+fn every_code_is_exercised_by_some_scenario() {
+    let scenarios = [
+        scenario_target_error(),
+        scenario_cycle(),
+        scenario_dangling_fanin(),
+        scenario_arity_mismatch(),
+        scenario_multi_driver(),
+        scenario_dead_cone(),
+        scenario_output_fanout(),
+        scenario_port_registry(),
+        scenario_hold_leak(),
+        scenario_scan_chain(),
+        scenario_flh_coverage(),
+        scenario_keeper_missing(),
+        scenario_illegal_gating(),
+        scenario_style_consistency(),
+        scenario_unmapped_generic(),
+    ];
+    let fired: BTreeSet<LintCode> = scenarios.iter().flat_map(|r| r.codes()).collect();
+    for code in LintCode::ALL {
+        assert!(fired.contains(&code), "no scenario fires {code}");
+    }
+    assert!(fired.len() >= 10);
+}

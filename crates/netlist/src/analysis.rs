@@ -267,6 +267,47 @@ pub fn fanin_cone(netlist: &Netlist, seed: CellId) -> Vec<CellId> {
     cone
 }
 
+/// Combinational cells whose output can reach no observation point — no
+/// primary-output marker and no flip-flop D pin — by any forward path. Such
+/// *dead cones* are legal but wasted silicon: the fault simulator skips
+/// them and `flh-lint` reports them as `FLH005` warnings.
+///
+/// Primary inputs that drive nothing observable are included (a floating
+/// input is a dead cone of depth zero). Boundary markers, flip-flops and
+/// holding cells are never reported. The returned list is sorted by id.
+///
+/// Robust against cyclic netlists (plain reverse reachability, no
+/// topological order needed), so the lint can run it even when the cycle
+/// check has already failed.
+pub fn unobservable_cells(netlist: &Netlist) -> Vec<CellId> {
+    let n = netlist.cell_count();
+    // Reverse reachability from the observation roots along fanin edges.
+    let mut live = vec![false; n];
+    let mut stack: Vec<CellId> = Vec::new();
+    for (id, cell) in netlist.iter() {
+        if cell.kind() == CellKind::Output || cell.kind().is_flip_flop() {
+            stack.push(id);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        for &f in netlist.cell(id).fanin() {
+            if f.index() < n && !live[f.index()] {
+                live[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    netlist
+        .iter()
+        .filter(|(id, cell)| {
+            let kind = cell.kind();
+            let reportable = kind.is_combinational() || kind == CellKind::Input;
+            reportable && !live[id.index()]
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
 /// Aggregate structural statistics of a circuit, mirroring the columns the
 /// paper reports per benchmark.
 #[derive(Clone, Debug, PartialEq)]
@@ -449,6 +490,28 @@ mod tests {
         assert!(names.contains(&"f1"));
         // The fanin cone stops at flip-flops; `a` is behind f1/f2.
         assert!(!names.contains(&"a"));
+    }
+
+    #[test]
+    fn dead_cones_are_unobservable() {
+        let mut n = Netlist::new("dead");
+        let a = n.add_input("a");
+        let b = n.add_input("b"); // floating input
+        let g1 = n.add_cell("g1", CellKind::Inv, vec![a]);
+        let d1 = n.add_cell("d1", CellKind::Inv, vec![a]); // dead cone root
+        let d2 = n.add_cell("d2", CellKind::Buf, vec![d1]); // dead cone tail
+        n.add_output("y", g1);
+        let dead = unobservable_cells(&n);
+        assert_eq!(dead, vec![b, d1, d2]);
+
+        // A FF D pin is an observation point: logic feeding only state is
+        // live.
+        let mut n = Netlist::new("state");
+        let a = n.add_input("a");
+        let g = n.add_cell("g", CellKind::Inv, vec![a]);
+        let ff = n.add_cell("ff", CellKind::Dff, vec![g]);
+        n.add_output("y", ff);
+        assert!(unobservable_cells(&n).is_empty());
     }
 
     #[test]

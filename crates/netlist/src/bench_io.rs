@@ -253,18 +253,45 @@ pub fn parse_bench(text: &str, design_name: &str) -> Result<Netlist> {
         }
     }
 
-    // Pass 3: create output markers.
+    // Pass 3: create output markers. The marker name is derived, so both a
+    // repeated `OUTPUT(x)` declaration and a signal literally named
+    // `x__po` would collide with it — report these as typed errors instead
+    // of letting the builder's duplicate-name assertion abort.
     for (_, stmt) in &stmts {
         if let Stmt::Output(name) = stmt {
             let driver = *signals
                 .get(name)
                 .ok_or_else(|| NetlistError::UndefinedSignal { name: name.clone() })?;
-            netlist.add_output(format!("{name}{OUTPUT_SUFFIX}"), driver);
+            let marker = format!("{name}{OUTPUT_SUFFIX}");
+            if netlist.find(&marker).is_some() {
+                return Err(NetlistError::DuplicateName { name: marker });
+            }
+            netlist.add_output(marker, driver);
         }
     }
 
     netlist.validate()?;
     Ok(netlist)
+}
+
+/// Reads and parses a `.bench` file; the design name is the file stem.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] when the file cannot be read and the
+/// [`parse_bench`] errors otherwise, so command-line front ends get
+/// diagnostics instead of aborts on malformed input.
+pub fn read_bench_file(path: impl AsRef<std::path::Path>) -> Result<Netlist> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| NetlistError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design");
+    parse_bench(&text, name)
 }
 
 /// Serializes a netlist to `.bench` text.
@@ -457,6 +484,34 @@ G17 = OR(G10, G6)
                 assert!(message.contains("17"), "message: {message}");
             }
             other => panic!("expected BenchSyntax, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_output_declaration_is_reported() {
+        let text = "INPUT(a)\nOUTPUT(a)\nOUTPUT(a)\n";
+        match parse_bench(text, "oo") {
+            Err(NetlistError::DuplicateName { name }) => assert_eq!(name, "a__po"),
+            other => panic!("expected DuplicateName, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signal_colliding_with_output_marker_is_reported() {
+        // A signal literally named `y__po` collides with the derived
+        // marker name for OUTPUT(y).
+        let text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny__po = BUFF(a)\n";
+        match parse_bench(text, "po") {
+            Err(NetlistError::DuplicateName { name }) => assert_eq!(name, "y__po"),
+            other => panic!("expected DuplicateName, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        match read_bench_file("/nonexistent/definitely_missing.bench") {
+            Err(NetlistError::Io { path, .. }) => assert!(path.contains("missing")),
+            other => panic!("expected Io, got {other:?}"),
         }
     }
 

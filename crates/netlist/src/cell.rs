@@ -94,6 +94,9 @@ impl Dual64 {
     }
 
     /// Kleene NOT: swap the planes.
+    // Named for the Kleene connective alongside `and`/`or`/`xor`, not the
+    // `std::ops::Not` trait (which would collide with these inherent names).
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn not(self) -> Self {
         Dual64 {

@@ -66,6 +66,21 @@ pub enum NetlistError {
         /// Explanation of the inconsistency.
         message: String,
     },
+    /// A two-pattern test-set line could not be parsed
+    /// (`flh_atpg::patterns_io`).
+    PatternSyntax {
+        /// 1-based source line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// Reading an input file from disk failed.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -106,6 +121,12 @@ impl fmt::Display for NetlistError {
             NetlistError::NotFound { what } => write!(f, "{what} not found"),
             NetlistError::InvalidGeneratorConfig { message } => {
                 write!(f, "invalid generator configuration: {message}")
+            }
+            NetlistError::PatternSyntax { line, message } => {
+                write!(f, "pattern syntax error at line {line}: {message}")
+            }
+            NetlistError::Io { path, message } => {
+                write!(f, "{path}: {message}")
             }
         }
     }

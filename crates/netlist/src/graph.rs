@@ -353,6 +353,51 @@ impl Netlist {
         Ok(())
     }
 
+    // --- Corruption hooks -------------------------------------------------
+    //
+    // The `corrupt_*` methods below bypass every construction invariant the
+    // normal builder API enforces. They exist so `flh-lint` (and its tests)
+    // can manufacture netlists that are *wrong in a specific way* — a
+    // dangling fanin, an arity mismatch, a duplicate name, an unregistered
+    // boundary cell — and assert that the corresponding diagnostic fires.
+    // Production transforms must never call them.
+
+    /// Overwrites a cell's entire fanin vector with **no arity or range
+    /// checks** — references may point outside the netlist.
+    pub fn corrupt_set_fanin(&mut self, cell: CellId, fanin: Vec<CellId>) {
+        self.cells[cell.index()].fanin = fanin;
+    }
+
+    /// Appends a cell with **no duplicate-name, arity or registry checks**:
+    /// boundary and flip-flop kinds added this way are *not* recorded in the
+    /// input/output/flip-flop registries, and an existing cell of the same
+    /// name is silently shadowed in the name index.
+    pub fn corrupt_add_cell(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        fanin: Vec<CellId>,
+    ) -> CellId {
+        let name = name.into();
+        let id = CellId::from_index(self.cells.len());
+        self.by_name.insert(name.clone(), id);
+        self.cells.push(Cell { name, kind, fanin });
+        id
+    }
+
+    /// Changes a cell's kind with **no arity, boundary or registry checks**
+    /// (e.g. retyping a registered flip-flop to a combinational gate leaves
+    /// the flip-flop registry stale).
+    pub fn corrupt_retype(&mut self, cell: CellId, kind: CellKind) {
+        self.cells[cell.index()].kind = kind;
+    }
+
+    /// Removes a cell from the primary-output registry without touching the
+    /// cell itself, leaving a dangling `Output` marker.
+    pub fn corrupt_unregister_output(&mut self, cell: CellId) {
+        self.outputs.retain(|&o| o != cell);
+    }
+
     /// Count of combinational logic gates (excludes boundary, sequential and
     /// holding cells, buffers included).
     pub fn gate_count(&self) -> usize {

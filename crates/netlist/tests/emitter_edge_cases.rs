@@ -1,0 +1,107 @@
+//! Degenerate-shape coverage for the dot and Verilog emitters: empty
+//! circuits, constants-only logic and a flip-flop feeding itself. These
+//! shapes come out of aggressive transforms (dead-cone removal, constant
+//! propagation) and must still round-trip through the exporters without
+//! panicking or emitting malformed text.
+
+#![allow(clippy::unwrap_used)]
+
+use flh_netlist::dot::{to_dot, DotOptions};
+use flh_netlist::verilog::write_verilog;
+use flh_netlist::{CellId, CellKind, Netlist};
+
+#[test]
+fn empty_circuit_emits_valid_wrappers() {
+    let n = Netlist::new("empty");
+    let d = to_dot(&n, &DotOptions::default());
+    assert!(d.starts_with("digraph \"empty\" {"));
+    assert!(d.trim_end().ends_with('}'));
+    assert!(!d.contains("->"), "no edges in an empty graph");
+
+    let v = write_verilog(&n);
+    assert!(v.contains("module empty (clk);"));
+    assert!(v.contains("input clk;"));
+    assert!(!v.contains("always"), "no processes without state or holds");
+    assert!(v.trim_end().ends_with("endmodule"));
+}
+
+#[test]
+fn constants_only_circuit_assigns_literals() {
+    let mut n = Netlist::new("consts");
+    let c0 = n.add_cell("tie0", CellKind::Const0, Vec::new());
+    let c1 = n.add_cell("tie1", CellKind::Const1, Vec::new());
+    n.add_output("lo", c0);
+    n.add_output("hi", c1);
+    n.validate().unwrap();
+
+    let v = write_verilog(&n);
+    assert!(v.contains("module consts (clk, lo, hi);"));
+    assert!(v.contains("assign tie0 = 1'b0;"));
+    assert!(v.contains("assign tie1 = 1'b1;"));
+    assert!(v.contains("assign lo = tie0;"));
+    assert!(v.contains("assign hi = tie1;"));
+
+    let d = to_dot(&n, &DotOptions::default());
+    assert!(d.contains("\"tie0\" [label=\"tie0\\nCONST0\", shape=plaintext];"));
+    assert!(d.contains("\"tie0\" -> \"lo\";"));
+    assert!(d.contains("\"tie1\" -> \"hi\";"));
+}
+
+#[test]
+fn single_flip_flop_self_loop_round_trips() {
+    // A one-bit toggle-less loop: the FF holds its own value forever. The
+    // sequential boundary makes the cycle legal; both emitters must render
+    // the self-edge.
+    let mut n = Netlist::new("selfloop");
+    let seed = n.add_cell("seed", CellKind::Const0, Vec::new());
+    let ff = n.add_cell("ff", CellKind::Dff, vec![seed]);
+    n.set_fanin_pin(ff, 0, ff); // d = q
+    n.add_output("q", ff);
+    n.validate().unwrap();
+
+    let v = write_verilog(&n);
+    assert!(v.contains("reg ff;"));
+    assert!(v.contains("ff <= ff;"));
+    assert!(v.contains("assign q = ff;"));
+
+    let d = to_dot(&n, &DotOptions::default());
+    assert!(d.contains("\"ff\" -> \"ff\";"), "self-edge must be drawn");
+    // Highlighting a cell in a degenerate graph still works.
+    let hl = to_dot(
+        &n,
+        &DotOptions {
+            highlight: vec![ff],
+            left_to_right: true,
+        },
+    );
+    assert!(hl.contains("rankdir=LR;"));
+    assert!(hl.contains("fillcolor=\"#ffd27f\""));
+}
+
+#[test]
+fn name_collisions_after_legalization_stay_unique() {
+    // Two names that legalize to the same identifier ("a.b" and "a_b"):
+    // the writer must uniquify, not silently merge nets.
+    let mut n = Netlist::new("collide");
+    let a = n.add_input("a.b");
+    let g = n.add_cell("a_b", CellKind::Inv, vec![a]);
+    n.add_output("y", g);
+    let v = write_verilog(&n);
+    assert!(v.contains("input a_b;"));
+    assert!(v.contains("wire a_b__1;"));
+    assert!(v.contains("assign a_b__1 = ~a_b;"));
+}
+
+#[test]
+fn self_loop_via_first_cell_index_is_handled() {
+    // The most degenerate construction: the very first cell referencing
+    // index 0 — itself — at build time.
+    let mut n = Netlist::new("ouroboros");
+    let ff = n.add_cell("r", CellKind::Dff, vec![CellId::from_index(0)]);
+    n.add_output("q", ff);
+    n.validate().unwrap();
+    let v = write_verilog(&n);
+    assert!(v.contains("r <= r;"));
+    let d = to_dot(&n, &DotOptions::default());
+    assert!(d.contains("\"r\" -> \"r\";"));
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Determinism lint.
+#
+# The campaign engine (flh-exec) and the fault tools (flh-atpg) promise
+# bit-identical results at any FLH_THREADS width, and `scripts/ci.sh`
+# diffs test logs across pool widths to hold them to it. Iterating a std
+# HashMap/HashSet is the classic way to silently break that promise: the
+# iteration order varies per process (RandomState), so any result built by
+# walking one is nondeterministic.
+#
+# This pass greps those crates for hash-collection uses. Every use must
+# carry a `det-ok:` justification — on the same line or the line above —
+# stating why iteration order cannot leak into results (e.g. the set is
+# only probed for membership, or the map is only indexed by key).
+#
+#     // det-ok: membership test only; the set is never iterated.
+#     let mut seen = std::collections::HashSet::new();
+#
+# Order-preserving alternatives (BTreeMap/BTreeSet, dense Vec indexed by
+# CellId) need no annotation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DIRS=(crates/exec/src crates/atpg/src)
+
+fail=0
+for dir in "${DIRS[@]}"; do
+    while IFS= read -r hit; do
+        file="${hit%%:*}"
+        rest="${hit#*:}"
+        line="${rest%%:*}"
+        text="${rest#*:}"
+        prev=""
+        if (( line > 1 )); then
+            prev="$(sed -n "$((line - 1))p" "$file")"
+        fi
+        if [[ "$text" == *"det-ok:"* || "$prev" == *"det-ok:"* ]]; then
+            continue
+        fi
+        echo "determinism lint: $file:$line: unannotated hash collection in a determinism-critical crate" >&2
+        echo "    $text" >&2
+        fail=1
+    done < <(grep -rn --include='*.rs' -E 'Hash(Map|Set)' "$dir" || true)
+done
+
+if (( fail )); then
+    cat >&2 <<'EOF'
+Hash collections have per-process iteration order. Either switch to an
+order-preserving structure (BTreeMap/BTreeSet, dense Vec) or add a
+`det-ok:` comment on the use (or the line above) justifying why iteration
+order cannot reach any result.
+EOF
+    exit 1
+fi
+echo "determinism lint OK"

@@ -148,7 +148,7 @@ fn cmd_atpg(circuit: &Netlist, out: Option<&str>) -> Result<(), String> {
 
 fn cmd_fsim(circuit: &Netlist, pattern_file: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(pattern_file).map_err(|e| format!("{pattern_file}: {e}"))?;
-    let patterns = parse_patterns(&text)?;
+    let patterns = parse_patterns(&text).map_err(|e| e.to_string())?;
     let dft = apply_style(circuit, DftStyle::Flh).map_err(|e| e.to_string())?;
     let view = TestView::new(&dft.netlist).map_err(|e| e.to_string())?;
     if let Some(p) = patterns.first() {

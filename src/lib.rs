@@ -21,6 +21,7 @@
 //! | [`core`] | `flh-core` | scan insertion, DFT styles, FLH transform, fanout optimization |
 //! | [`atpg`] | `flh-atpg` | fault models, PODEM, transition ATPG, fault simulation |
 //! | [`bist`] | `flh-bist` | LFSR/MISR test-per-scan BIST with FLH holding |
+//! | [`lint`] | `flh-lint` | static verification: `FLH0xx` diagnostics over netlists and the FLH transform |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@ pub use flh_atpg as atpg;
 pub use flh_bist as bist;
 pub use flh_core as core;
 pub use flh_exec as exec;
+pub use flh_lint as lint;
 pub use flh_netlist as netlist;
 pub use flh_power as power;
 pub use flh_sim as sim;
