@@ -56,6 +56,7 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
         let observed = self.view.observed_drivers();
         let netlist = self.view.netlist();
         let mut new_hits = 0;
+        let mut activation_skips = 0u64;
         let mut inputs: Vec<u64> = Vec::with_capacity(8);
 
         for (fi, fault) in faults.iter().enumerate() {
@@ -69,6 +70,7 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
             let active_lanes = if fault.stuck.as_bool() { !line } else { line };
             let lanes = active_lanes & active_mask;
             if lanes == 0 {
+                activation_skips += 1;
                 continue;
             }
 
@@ -91,6 +93,14 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
                 detected[fi] = true;
                 new_hits += 1;
             }
+        }
+        if flh_obs::enabled() {
+            // Per-fault quantities only (skips, detections): invariant
+            // under fault-list sharding, so safe as deterministic metrics.
+            // The per-shard good-machine evaluation above is width-
+            // dependent and is deliberately not counted.
+            flh_obs::add(flh_obs::Counter::StuckActivationSkips, activation_skips);
+            flh_obs::add(flh_obs::Counter::StuckDetections, new_hits as u64);
         }
         new_hits
     }

@@ -255,6 +255,9 @@ impl<'v, 'a> Podem<'v, 'a> {
             assignment[input] = Logic::X;
             if !tried_other {
                 *backtracks += 1;
+                // Search shape depends only on the view, fault and goals —
+                // deterministic at any pool width.
+                flh_obs::add(flh_obs::Counter::PodemBacktracks, 1);
                 assignment[input] = Logic::from_bool(!value);
                 stack.push((input, !value, true));
                 return true;

@@ -82,9 +82,20 @@ impl DeviationReplay {
         self.gen += 1;
         let gen = self.gen;
         let mut miscompare = 0u64;
+        // Deterministic work counters, accumulated as plain locals and
+        // flushed once at the end — the disabled cost of instrumentation
+        // stays a branch on a static (`flh_obs::enabled`).
+        let mut ev_events = 0u64;
+        let mut ev_dedup = 0u64;
+        let mut early_exit = false;
 
         let old = values[seed as usize];
         if old == forced {
+            if flh_obs::enabled() {
+                flh_obs::add(flh_obs::Counter::ReplayCalls, 1);
+                flh_obs::record(flh_obs::Hist::ReplayUndoDepth, 0);
+                flh_obs::record(flh_obs::Hist::ReplayEventsPerCall, 0);
+            }
             return 0; // the deviation never exists in this batch
         }
         self.undo.push((seed, old));
@@ -103,7 +114,11 @@ impl DeviationReplay {
             let mut hi = 0usize;
             for &r in compiled.readers(seed) {
                 let lvl = compiled.level_of(r) as usize;
-                if lvl == 0 || self.marks[r as usize] == gen {
+                if lvl == 0 {
+                    continue;
+                }
+                if self.marks[r as usize] == gen {
+                    ev_dedup += 1;
                     continue;
                 }
                 self.marks[r as usize] = gen;
@@ -115,6 +130,7 @@ impl DeviationReplay {
             'replay: while lvl <= hi {
                 let bucket = std::mem::take(&mut self.buckets[lvl]);
                 for &id in &bucket {
+                    ev_events += 1;
                     self.inputs.clear();
                     self.inputs
                         .extend(compiled.fanin(id).iter().map(|&x| values[x as usize]));
@@ -129,12 +145,17 @@ impl DeviationReplay {
                         miscompare |= old ^ new;
                         if miscompare & stop_lanes != 0 {
                             self.buckets[lvl] = bucket;
+                            early_exit = true;
                             break 'replay; // detected: the rest is moot
                         }
                     }
                     for &r in compiled.readers(id) {
                         let rl = compiled.level_of(r) as usize;
-                        if rl == 0 || self.marks[r as usize] == gen {
+                        if rl == 0 {
+                            continue;
+                        }
+                        if self.marks[r as usize] == gen {
+                            ev_dedup += 1;
                             continue;
                         }
                         self.marks[r as usize] = gen;
@@ -158,6 +179,22 @@ impl DeviationReplay {
         // Restore the good machine.
         for &(id, old) in &self.undo {
             values[id as usize] = old;
+        }
+
+        if flh_obs::enabled() {
+            // Replay work is a per-fault quantity: every counter flushed
+            // here is invariant under fault-list sharding (a shard replays
+            // the full batch stream, and a fault's deviation depends only
+            // on the fault and the batch), so these stay deterministic at
+            // any pool width.
+            use flh_obs::{Counter, Hist};
+            flh_obs::add(Counter::ReplayCalls, 1);
+            flh_obs::add(Counter::ReplayEvents, ev_events);
+            flh_obs::add(Counter::ReplayDedupHits, ev_dedup);
+            flh_obs::add(Counter::ReplayEarlyExits, u64::from(early_exit));
+            flh_obs::add(Counter::ReplayUndoWrites, self.undo.len() as u64);
+            flh_obs::record(Hist::ReplayUndoDepth, self.undo.len() as u64);
+            flh_obs::record(Hist::ReplayEventsPerCall, ev_events);
         }
         miscompare
     }

@@ -298,6 +298,7 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
         view.eval64_into(v1_words, None, values1);
         view.eval64_into(v2_words, None, values2);
         let mut new_hits = 0;
+        let mut activation_skips = 0u64;
 
         for (fi, fault) in faults.iter().enumerate() {
             if detected[fi] {
@@ -305,12 +306,23 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
             }
             let lanes = self.activation_lanes(fault) & active_mask;
             if lanes == 0 {
+                activation_skips += 1;
                 continue;
             }
             if self.faulty_miscompare(fault, lanes) & lanes != 0 {
                 detected[fi] = true;
                 new_hits += 1;
             }
+        }
+        if flh_obs::enabled() {
+            // Per-fault quantities only: invariant under fault-list
+            // sharding (the good-machine evaluations above are per-shard
+            // work and deliberately uncounted).
+            flh_obs::add(
+                flh_obs::Counter::TransitionActivationSkips,
+                activation_skips,
+            );
+            flh_obs::add(flh_obs::Counter::TransitionDetections, new_hits as u64);
         }
         new_hits
     }
@@ -349,6 +361,7 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
         view.eval64_into(v1_words, None, values1);
         view.eval64_into(v2_words, None, values2);
         let mut newly_saturated = 0;
+        let mut activation_skips = 0u64;
 
         for (fi, fault) in faults.iter().enumerate() {
             if counts[fi] >= target {
@@ -356,6 +369,7 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
             }
             let lanes = self.activation_lanes(fault) & active_mask;
             if lanes == 0 {
+                activation_skips += 1;
                 continue;
             }
             // stop_lanes = 0: counting needs the exact per-lane word, so
@@ -368,6 +382,12 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
                     newly_saturated += 1;
                 }
             }
+        }
+        if flh_obs::enabled() {
+            flh_obs::add(
+                flh_obs::Counter::TransitionActivationSkips,
+                activation_skips,
+            );
         }
         newly_saturated
     }

@@ -13,6 +13,13 @@
 //! iteration counts so `scripts/ci.sh` can run it as a smoke test; the
 //! speedup target (≥ 5× on fault simulation) is only meaningful in the
 //! full run. The JSON report is hand-written (no serde in this workspace).
+//!
+//! `--metrics-json PATH` turns the flh-obs recorder on and writes the full
+//! metrics report (deterministic counters plus the nondeterministic timing
+//! section); `FLH_TRACE=<path>` additionally writes a Chrome trace-event
+//! file of the per-stage spans. Every `BENCH_*.json` report carries a
+//! `host` block (parallelism, `FLH_THREADS`, OS) and a `metrics` section —
+//! `{"recorded": false}` unless the recorder was on.
 
 use std::fs;
 use std::time::Instant;
@@ -37,6 +44,7 @@ struct Options {
     out: String,
     out_parallel: String,
     out_transition: String,
+    metrics_json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -45,6 +53,7 @@ fn parse_args() -> Options {
         out: "BENCH_compiled_ir.json".to_string(),
         out_parallel: "BENCH_parallel_fsim.json".to_string(),
         out_transition: "BENCH_transition_fsim.json".to_string(),
+        metrics_json: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -57,16 +66,47 @@ fn parse_args() -> Options {
             "--out-transition" => {
                 opts.out_transition = args.next().expect("--out-transition requires a path")
             }
+            "--metrics-json" => {
+                opts.metrics_json = Some(args.next().expect("--metrics-json requires a path"))
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perf_report [--quick] [--out PATH] [--out-parallel PATH] [--out-transition PATH]"
+                    "usage: perf_report [--quick] [--out PATH] [--out-parallel PATH] [--out-transition PATH] [--metrics-json PATH]"
                 );
                 std::process::exit(2);
             }
         }
     }
     opts
+}
+
+/// The `host` block embedded in every `BENCH_*.json` report: what the
+/// numbers were measured on. One line, comma-terminated.
+fn host_json_block(host_threads: usize) -> String {
+    let flh_threads = std::env::var("FLH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or("null".to_string(), |n| n.to_string());
+    format!(
+        "  \"host\": {{\"available_parallelism\": {host_threads}, \"flh_threads\": {flh_threads}, \"os\": \"{}\"}},\n",
+        std::env::consts::OS
+    )
+}
+
+/// The `metrics` section embedded in every `BENCH_*.json` report. Last
+/// member of the document: newline-terminated, no trailing comma.
+fn metrics_json_block() -> String {
+    if flh_obs::enabled() {
+        let snap = flh_obs::snapshot();
+        format!(
+            "  \"metrics\": {{\"recorded\": true, \"deterministic\": {}, \"nondeterministic\": {}}}\n",
+            flh_obs::deterministic_json(&snap),
+            flh_obs::nondeterministic_json(&snap)
+        )
+    } else {
+        "  \"metrics\": {\"recorded\": false}\n".to_string()
+    }
 }
 
 fn random_vector(rng: &mut Rng, width: usize) -> Vec<Logic> {
@@ -287,6 +327,10 @@ fn bench_transition_fsim(netlist: &Netlist, reps: usize) -> TransitionFsimResult
 
 fn main() {
     let opts = parse_args();
+    let trace = flh_obs::trace_path_from_env();
+    if opts.metrics_json.is_some() || trace.is_some() {
+        flh_obs::install(trace.is_some());
+    }
     let profile = iscas89_profile(CIRCUIT).expect("s13207 profile present");
     let netlist = build_circuit(&profile);
     let compiled = CompiledCircuit::compile(&netlist).expect("acyclic benchmark circuit");
@@ -311,14 +355,20 @@ fn main() {
         if opts.quick { " [--quick]" } else { "" }
     );
 
-    let logic = bench_logic_sim(&netlist, &compiled, cycles);
+    let logic = {
+        let _span = flh_obs::span("perf.logic_sim");
+        bench_logic_sim(&netlist, &compiled, cycles)
+    };
     let logic_speedup = logic.compiled_s / logic.event_driven_s;
     println!(
         "logic sim   ({} cycles): event-driven {:>10.0} ev/s | compiled {:>10.0} ev/s | {:.2}x",
         logic.cycles, logic.event_driven_s, logic.compiled_s, logic_speedup
     );
 
-    let fault = bench_fault_sim(&netlist, faults, reps);
+    let fault = {
+        let _span = flh_obs::span("perf.fault_sim");
+        bench_fault_sim(&netlist, faults, reps)
+    };
     let fault_speedup = fault.compiled_patterns_s / fault.seed_patterns_s;
     println!(
         "fault sim   ({} faults x {} lanes x {} reps, {} detected):",
@@ -341,7 +391,10 @@ fn main() {
 
     let campaign_patterns = if opts.quick { 64 } else { 512 };
     let widths = [1usize, 2, 4];
-    let par = bench_parallel_fsim(&netlist, faults, campaign_patterns, &widths);
+    let par = {
+        let _span = flh_obs::span("perf.parallel_fsim");
+        bench_parallel_fsim(&netlist, faults, campaign_patterns, &widths)
+    };
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -381,7 +434,10 @@ fn main() {
     } else {
         build_circuit(&iscas89_profile(tr_circuit).expect("quick transition profile present"))
     };
-    let tr = bench_transition_fsim(&tr_netlist, tr_reps);
+    let tr = {
+        let _span = flh_obs::span("perf.transition_fsim");
+        bench_transition_fsim(&tr_netlist, tr_reps)
+    };
     let tr_speedup = tr.event_pairs_s / tr.legacy_pairs_s;
     println!(
         "transition fault sim ({tr_circuit}: {} faults x {} pairs, {} detected):",
@@ -398,23 +454,31 @@ fn main() {
         );
     }
 
+    // All benches have run: the host and metrics blocks are final and
+    // shared by every report written below.
+    let host_block = host_json_block(host_threads);
+    let metrics_block = metrics_json_block();
+
     let tr_json = format!(
         concat!(
             "{{\n",
             "  \"bench\": \"transition_fsim\",\n",
             "  \"circuit\": \"{circuit}\",\n",
             "  \"quick\": {quick},\n",
+            "{host}",
             "  \"faults\": {faults},\n",
             "  \"pairs\": {pairs},\n",
             "  \"detected\": {detected},\n",
             "  \"legacy_pairs_per_s\": {lpps:.2},\n",
             "  \"event_pairs_per_s\": {epps:.2},\n",
             "  \"speedup\": {sp:.3},\n",
-            "  \"target_5x_met\": {met}\n",
+            "  \"target_5x_met\": {met},\n",
+            "{metrics}",
             "}}\n",
         ),
         circuit = tr_circuit,
         quick = opts.quick,
+        host = host_block,
         faults = tr.faults,
         pairs = tr.pairs,
         detected = tr.detected,
@@ -422,6 +486,7 @@ fn main() {
         epps = tr.event_pairs_s,
         sp = tr_speedup,
         met = tr_speedup >= 5.0,
+        metrics = metrics_block,
     );
     fs::write(&opts.out_transition, tr_json).expect("write transition report");
     println!("wrote {}", opts.out_transition);
@@ -432,17 +497,20 @@ fn main() {
             "  \"bench\": \"parallel_fsim\",\n",
             "  \"circuit\": \"{circuit}\",\n",
             "  \"quick\": {quick},\n",
+            "{host_block}",
             "  \"available_parallelism\": {host},\n",
             "  \"faults\": {faults},\n",
             "  \"patterns\": {patterns},\n",
             "  \"workers\": [{w0}, {w1}, {w2}],\n",
             "  \"patterns_per_s\": [{p0:.2}, {p1:.2}, {p2:.2}],\n",
             "  \"speedup_4_workers\": {sp:.3},\n",
-            "  \"target_2x_met\": {met}\n",
+            "  \"target_2x_met\": {met},\n",
+            "{metrics}",
             "}}\n",
         ),
         circuit = CIRCUIT,
         quick = opts.quick,
+        host_block = host_block,
         host = host_threads,
         faults = par.faults,
         patterns = par.patterns,
@@ -454,6 +522,7 @@ fn main() {
         p2 = par.patterns_s[2],
         sp = par_speedup_4,
         met = par_speedup_4 >= 2.0,
+        metrics = metrics_block,
     );
     fs::write(&opts.out_parallel, par_json).expect("write parallel report");
     println!("wrote {}", opts.out_parallel);
@@ -464,6 +533,7 @@ fn main() {
             "  \"bench\": \"compiled_ir\",\n",
             "  \"circuit\": \"{circuit}\",\n",
             "  \"quick\": {quick},\n",
+            "{host}",
             "  \"logic_sim\": {{\n",
             "    \"cycles\": {cycles},\n",
             "    \"nominal_events\": {events},\n",
@@ -480,11 +550,13 @@ fn main() {
             "    \"compiled_patterns_per_s\": {cpps:.2},\n",
             "    \"speedup\": {fsp:.3},\n",
             "    \"target_5x_met\": {fmet}\n",
-            "  }}\n",
+            "  }},\n",
+            "{metrics}",
             "}}\n",
         ),
         circuit = CIRCUIT,
         quick = opts.quick,
+        host = host_block,
         cycles = logic.cycles,
         events = logic.nominal_events,
         ev = logic.event_driven_s,
@@ -498,7 +570,18 @@ fn main() {
         cpps = fault.compiled_patterns_s,
         fsp = fault_speedup,
         fmet = fault_speedup >= 5.0,
+        metrics = metrics_block,
     );
     fs::write(&opts.out, json).expect("write report");
     println!("wrote {}", opts.out);
+
+    if let Some(path) = &opts.metrics_json {
+        let snap = flh_obs::snapshot();
+        fs::write(path, flh_obs::full_json(&snap)).expect("write metrics report");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &trace {
+        flh_obs::write_trace(path).expect("write trace file");
+        println!("wrote {path}");
+    }
 }

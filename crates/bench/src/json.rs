@@ -3,10 +3,11 @@
 //! this keeps them honest).
 //!
 //! [`validate_bench_json`] enforces the contract `scripts/ci.sh` smokes on
-//! every committed and freshly generated report: the file must parse, and
-//! it must carry at least one numeric key containing `"speedup"` plus at
+//! every committed and freshly generated report: the file must parse, it
+//! must carry at least one numeric key containing `"speedup"` plus at
 //! least one boolean key matching `target_*_met` — the two fields the
-//! roadmap's acceptance gates read.
+//! roadmap's acceptance gates read — and it must carry the `host`
+//! provenance block and the flh-obs `metrics` section.
 
 use std::collections::BTreeMap;
 
@@ -237,16 +238,62 @@ fn walk<'j>(value: &'j Json, path: &str, out: &mut Vec<(String, &'j Json)>) {
     }
 }
 
-/// Validates one `BENCH_*.json` report: must parse as a JSON object and
+/// Validates the top-level `host` provenance block every report carries:
+/// numeric `available_parallelism`, string `os`, and `flh_threads` that is
+/// either a number or `null` (unset `FLH_THREADS`).
+fn validate_host(map: &BTreeMap<String, Json>) -> Result<(), String> {
+    let Some(Json::Object(host)) = map.get("host") else {
+        return Err("missing top-level \"host\" object".into());
+    };
+    if !matches!(host.get("available_parallelism"), Some(Json::Number(_))) {
+        return Err("host.available_parallelism is not a number".into());
+    }
+    if !matches!(host.get("os"), Some(Json::String(_))) {
+        return Err("host.os is not a string".into());
+    }
+    match host.get("flh_threads") {
+        Some(Json::Number(_)) | Some(Json::Null) => Ok(()),
+        _ => Err("host.flh_threads is not a number or null".into()),
+    }
+}
+
+/// Validates the top-level `metrics` section: `{"recorded": false}` when
+/// the flh-obs recorder was off, or `recorded: true` plus a
+/// `deterministic` object with a `counters` map and a `nondeterministic`
+/// object (the wall-clock side) when it was on.
+fn validate_metrics(map: &BTreeMap<String, Json>) -> Result<(), String> {
+    let Some(Json::Object(metrics)) = map.get("metrics") else {
+        return Err("missing top-level \"metrics\" object".into());
+    };
+    match metrics.get("recorded") {
+        Some(Json::Bool(false)) => Ok(()),
+        Some(Json::Bool(true)) => {
+            let Some(Json::Object(det)) = metrics.get("deterministic") else {
+                return Err("metrics.recorded is true without a deterministic object".into());
+            };
+            if !matches!(det.get("counters"), Some(Json::Object(_))) {
+                return Err("metrics.deterministic.counters is not an object".into());
+            }
+            if !matches!(metrics.get("nondeterministic"), Some(Json::Object(_))) {
+                return Err("metrics.recorded is true without a nondeterministic object".into());
+            }
+            Ok(())
+        }
+        _ => Err("metrics.recorded is not a boolean".into()),
+    }
+}
+
+/// Validates one `BENCH_*.json` report: must parse as a JSON object,
 /// carry, anywhere in its tree, at least one numeric key containing
-/// `"speedup"` and at least one boolean key of the form `target_*_met`.
+/// `"speedup"` and at least one boolean key of the form `target_*_met`,
+/// and carry well-formed top-level `host` and `metrics` sections.
 ///
 /// # Errors
 ///
 /// Returns a message naming the first violated rule.
 pub fn validate_bench_json(text: &str) -> Result<(), String> {
     let value = parse_json(text)?;
-    let Json::Object(_) = value else {
+    let Json::Object(ref map) = value else {
         return Err("top level is not a JSON object".into());
     };
     let mut keyed = Vec::new();
@@ -265,6 +312,8 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     if !has_target {
         return Err("no boolean key matching target_*_met".into());
     }
+    validate_host(map)?;
+    validate_metrics(map)?;
     Ok(())
 }
 
@@ -299,25 +348,86 @@ mod tests {
         assert!(parse_json("{\"a\": 01x}").is_err());
     }
 
+    /// Minimal valid host + metrics tail shared by the schema tests.
+    const TAIL: &str = "\"host\": {\"available_parallelism\": 1, \"flh_threads\": null, \
+\"os\": \"linux\"}, \"metrics\": {\"recorded\": false}";
+
     #[test]
     fn validates_required_report_fields() {
-        let ok = "{\"fault_sim\": {\"speedup\": 7.1, \"target_5x_met\": true}}";
-        assert!(validate_bench_json(ok).is_ok());
+        let ok =
+            format!("{{\"fault_sim\": {{\"speedup\": 7.1, \"target_5x_met\": true}}, {TAIL}}}");
+        assert!(validate_bench_json(&ok).is_ok());
         // Required keys may live at different nesting levels.
-        let split = "{\"speedup_4_workers\": 2.2, \"inner\": {\"target_2x_met\": false}}";
-        assert!(validate_bench_json(split).is_ok());
+        let split = format!(
+            "{{\"speedup_4_workers\": 2.2, \"inner\": {{\"target_2x_met\": false}}, {TAIL}}}"
+        );
+        assert!(validate_bench_json(&split).is_ok());
 
-        let no_speedup = "{\"target_5x_met\": true}";
-        assert!(validate_bench_json(no_speedup)
+        let no_speedup = format!("{{\"target_5x_met\": true, {TAIL}}}");
+        assert!(validate_bench_json(&no_speedup)
             .unwrap_err()
             .contains("speedup"));
-        let no_target = "{\"speedup\": 3.0}";
-        assert!(validate_bench_json(no_target)
+        let no_target = format!("{{\"speedup\": 3.0, {TAIL}}}");
+        assert!(validate_bench_json(&no_target)
             .unwrap_err()
             .contains("target_*_met"));
         // Wrong types don't satisfy the rules.
-        let wrong_types = "{\"speedup\": \"7\", \"target_5x_met\": \"yes\"}";
-        assert!(validate_bench_json(wrong_types).is_err());
+        let wrong_types = format!("{{\"speedup\": \"7\", \"target_5x_met\": \"yes\", {TAIL}}}");
+        assert!(validate_bench_json(&wrong_types).is_err());
         assert!(validate_bench_json("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn validates_host_block() {
+        let base = "\"speedup\": 3.0, \"target_5x_met\": true";
+        let no_host = format!("{{{base}, \"metrics\": {{\"recorded\": false}}}}");
+        assert!(validate_bench_json(&no_host).unwrap_err().contains("host"));
+        let bad_parallelism = format!(
+            "{{{base}, \"host\": {{\"available_parallelism\": \"1\", \"flh_threads\": null, \
+\"os\": \"linux\"}}, \"metrics\": {{\"recorded\": false}}}}"
+        );
+        assert!(validate_bench_json(&bad_parallelism)
+            .unwrap_err()
+            .contains("available_parallelism"));
+        let bad_threads = format!(
+            "{{{base}, \"host\": {{\"available_parallelism\": 1, \"flh_threads\": \"4\", \
+\"os\": \"linux\"}}, \"metrics\": {{\"recorded\": false}}}}"
+        );
+        assert!(validate_bench_json(&bad_threads)
+            .unwrap_err()
+            .contains("flh_threads"));
+        // FLH_THREADS set: a number is fine too.
+        let numeric_threads = format!(
+            "{{{base}, \"host\": {{\"available_parallelism\": 1, \"flh_threads\": 4, \
+\"os\": \"linux\"}}, \"metrics\": {{\"recorded\": false}}}}"
+        );
+        assert!(validate_bench_json(&numeric_threads).is_ok());
+    }
+
+    #[test]
+    fn validates_metrics_section() {
+        let base = "\"speedup\": 3.0, \"target_5x_met\": true, \"host\": \
+{\"available_parallelism\": 1, \"flh_threads\": null, \"os\": \"linux\"}";
+        let no_metrics = format!("{{{base}}}");
+        assert!(validate_bench_json(&no_metrics)
+            .unwrap_err()
+            .contains("metrics"));
+        // recorded: true demands both halves of the report.
+        let half = format!("{{{base}, \"metrics\": {{\"recorded\": true}}}}");
+        assert!(validate_bench_json(&half)
+            .unwrap_err()
+            .contains("deterministic"));
+        let no_counters = format!(
+            "{{{base}, \"metrics\": {{\"recorded\": true, \"deterministic\": {{}}, \
+\"nondeterministic\": {{}}}}}}"
+        );
+        assert!(validate_bench_json(&no_counters)
+            .unwrap_err()
+            .contains("counters"));
+        let full = format!(
+            "{{{base}, \"metrics\": {{\"recorded\": true, \"deterministic\": \
+{{\"counters\": {{\"replay.calls\": 3}}}}, \"nondeterministic\": {{\"spans\": []}}}}}}"
+        );
+        assert!(validate_bench_json(&full).is_ok());
     }
 }

@@ -84,6 +84,10 @@ impl<C: Send + Sync> Campaign<C> {
         T: Send,
         F: Fn(&C, usize) -> T + Sync,
     {
+        if flh_obs::enabled() {
+            flh_obs::sched_add("campaign.cell_runs", 1);
+            flh_obs::sched_add("campaign.cells", cells as u64);
+        }
         let shared = &*self.shared;
         self.pool.run(cells, move |i| f(shared, i))
     }
@@ -97,6 +101,11 @@ impl<C: Send + Sync> Campaign<C> {
         T: Send,
         F: Fn(&C, Range<usize>) -> T + Sync,
     {
+        if flh_obs::enabled() {
+            // Partition stats vary with pool width: sched section only.
+            flh_obs::sched_add("campaign.partitioned_runs", 1);
+            flh_obs::sched_add("campaign.partitioned_items", len as u64);
+        }
         let shared = &*self.shared;
         self.pool
             .run_partitioned_min(len, self.min_unit, move |r| f(shared, r))

@@ -74,8 +74,16 @@ impl DropMask {
     /// Panics if `flags` does not match the range length.
     pub fn merge_shard(&mut self, range: Range<usize>, flags: &[bool]) {
         assert_eq!(range.len(), flags.len(), "shard flag length mismatch");
+        let mut newly_dropped = 0u64;
         for (slot, &f) in self.flags[range].iter_mut().zip(flags) {
+            newly_dropped += u64::from(f && !*slot);
             *slot |= f;
+        }
+        if flh_obs::enabled() {
+            // Which faults flip is decided by the patterns alone; the
+            // per-range merges partition the flag set, so the total is
+            // shard-count invariant.
+            flh_obs::add(flh_obs::Counter::FaultsDropped, newly_dropped);
         }
     }
 }

@@ -106,20 +106,42 @@ impl ThreadPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        let obs = flh_obs::enabled();
+        let _span = flh_obs::span("exec.pool.run");
         if self.dispatch == 1 || jobs <= 1 {
+            if obs {
+                let t0 = std::time::Instant::now();
+                let out: Vec<T> = (0..jobs).map(job).collect();
+                flh_obs::worker_busy("exec.pool", 0, t0.elapsed(), jobs as u64);
+                return out;
+            }
             return (0..jobs).map(job).collect();
         }
         let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
-            for _ in 0..self.dispatch.min(jobs) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs {
-                        break;
+            let (slots, next, job) = (&slots, &next, &job);
+            for w in 0..self.dispatch.min(jobs) {
+                scope.spawn(move || {
+                    // Worker stats (busy wall clock, jobs claimed) are
+                    // scheduling shape: nondeterministic section only.
+                    let t0 = obs.then(|| {
+                        flh_obs::bind_worker_shard(w);
+                        std::time::Instant::now()
+                    });
+                    let mut claimed = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        let value = job(i);
+                        *slots[i].lock().expect("result slot poisoned") = Some(value);
+                        claimed += 1;
                     }
-                    let value = job(i);
-                    *slots[i].lock().expect("result slot poisoned") = Some(value);
+                    if let Some(t0) = t0 {
+                        flh_obs::worker_busy("exec.pool", w, t0.elapsed(), claimed);
+                    }
                 });
             }
         });
@@ -162,6 +184,11 @@ impl ThreadPool {
         F: Fn(Range<usize>) -> T + Sync,
     {
         let ranges = Self::partition(len, self.workers);
+        if flh_obs::enabled() {
+            flh_obs::sched_add("pool.partition.calls", 1);
+            flh_obs::sched_add("pool.partition.shards", ranges.len() as u64);
+            flh_obs::sched_add("pool.partition.items", len as u64);
+        }
         let results = self.run(ranges.len(), |i| f(ranges[i].clone()));
         ranges.into_iter().zip(results).collect()
     }
@@ -193,6 +220,13 @@ impl ThreadPool {
         F: Fn(Range<usize>) -> T + Sync,
     {
         let ranges = Self::partition_min(len, self.workers, min_len);
+        if flh_obs::enabled() {
+            // Partition shape follows the pool width — nondeterministic
+            // (sched) section only, never a deterministic counter.
+            flh_obs::sched_add("pool.partition.calls", 1);
+            flh_obs::sched_add("pool.partition.shards", ranges.len() as u64);
+            flh_obs::sched_add("pool.partition.items", len as u64);
+        }
         let results = self.run(ranges.len(), |i| f(ranges[i].clone()));
         ranges.into_iter().zip(results).collect()
     }

@@ -10,9 +10,16 @@
 //!                                     enhanced,mux,flh; files lint bare
 //!                                     unless styles are given explicitly
 //!   --json PATH | -                   write the JSON summary (- = stdout)
+//!   --metrics-json PATH | -           write the flh-obs metrics report
+//!                                     (per-pass finding counters plus a
+//!                                     separate nondeterministic timing
+//!                                     section)
 //!   --quiet                           per-target summary lines only
 //!   --help                            this text
 //! ```
+//!
+//! Setting `FLH_TRACE=<path>` additionally writes a Chrome trace-event
+//! file of the per-pass spans.
 //!
 //! Exit codes: 0 clean, 1 at least one error-severity diagnostic, 2 usage
 //! error.
@@ -28,13 +35,14 @@ use flh_netlist::bench_io::read_bench_file;
 use flh_netlist::{iscas89_profile, iscas89_profiles, CircuitProfile};
 
 const USAGE: &str = "usage: flh_lint [--profiles all|LIST] [--styles all|LIST] \
-[--json PATH|-] [--quiet] [FILE.bench ...]";
+[--json PATH|-] [--metrics-json PATH|-] [--quiet] [FILE.bench ...]";
 
 struct Options {
     files: Vec<String>,
     profiles: Vec<CircuitProfile>,
     styles: Option<Vec<DftStyle>>,
     json: Option<String>,
+    metrics_json: Option<String>,
     quiet: bool,
 }
 
@@ -83,6 +91,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         profiles: Vec::new(),
         styles: None,
         json: None,
+        metrics_json: None,
         quiet: false,
     };
     let mut it = args.iter();
@@ -100,6 +109,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 opts.styles.get_or_insert_with(Vec::new).extend(styles);
             }
             "--json" => opts.json = Some(value(&mut it)?),
+            "--metrics-json" => opts.metrics_json = Some(value(&mut it)?),
             "--quiet" | "-q" => opts.quiet = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
             file => opts.files.push(file.to_string()),
@@ -145,6 +155,10 @@ impl Retarget for LintReport {
 }
 
 fn run(opts: &Options) -> Result<bool, String> {
+    let trace = flh_obs::trace_path_from_env();
+    if opts.metrics_json.is_some() || trace.is_some() {
+        flh_obs::install(trace.is_some());
+    }
     let mut reports: Vec<LintReport> = Vec::new();
     for file in &opts.files {
         reports.extend(lint_file(file, opts.styles.as_deref()));
@@ -186,6 +200,17 @@ fn run(opts: &Options) -> Result<bool, String> {
         } else {
             std::fs::write(dest, &json).map_err(|e| format!("{dest}: {e}"))?;
         }
+    }
+    if let Some(dest) = &opts.metrics_json {
+        let metrics = flh_obs::full_json(&flh_obs::snapshot());
+        if dest == "-" {
+            print!("{metrics}");
+        } else {
+            std::fs::write(dest, &metrics).map_err(|e| format!("{dest}: {e}"))?;
+        }
+    }
+    if let Some(path) = &trace {
+        flh_obs::write_trace(path).map_err(|e| format!("{path}: {e}"))?;
     }
     Ok(errors == 0)
 }

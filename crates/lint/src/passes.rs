@@ -7,6 +7,7 @@
 //! [`crate::LintReport::skipped_passes`] instead of chasing out-of-range
 //! references.
 
+// det-ok: import only; every use site justifies its own ordering story.
 use std::collections::HashMap;
 
 use flh_core::DftStyle;
@@ -147,6 +148,7 @@ fn pass_structure(t: &LintTarget, r: &mut LintReport) {
     }
     // Multi-driver: in the single-output-per-cell representation two cells
     // of the same name are two drivers of one net.
+    // det-ok: insert-probe only; diagnostics follow netlist iteration order.
     let mut seen: HashMap<&str, ()> = HashMap::with_capacity(n);
     for (_, cell) in t.netlist.iter() {
         if seen.insert(cell.name(), ()).is_some() {

@@ -27,7 +27,19 @@ pub fn lint_target(target: &LintTarget) -> LintReport {
             report.skipped_passes.push(pass.name);
             continue;
         }
-        (pass.run)(target, &mut report);
+        let before = report.diagnostics.len();
+        {
+            // Per-pass wall clock: nondeterministic section of the report.
+            let _span = flh_obs::span(pass.name);
+            (pass.run)(target, &mut report);
+        }
+        if flh_obs::enabled() {
+            // Finding counts depend only on the target: deterministic.
+            // Zero counts still register the key so the schema is stable.
+            let found = (report.diagnostics.len() - before) as u64;
+            flh_obs::add(flh_obs::Counter::LintFindings, found);
+            flh_obs::named_add(&format!("lint.pass.{}.findings", pass.name), found);
+        }
     }
     report
 }

@@ -1,0 +1,266 @@
+//! Observability for the FLH workspace: deterministic counters, wall-clock
+//! spans and Chrome trace export — with a hard line between the two kinds
+//! of number.
+//!
+//! # The determinism contract
+//!
+//! Every metric in this crate is classified once, at its declaration:
+//!
+//! * **Deterministic** ([`Counter`], [`Hist`], named counters) — quantities
+//!   that depend only on the inputs of the computation, never on pool
+//!   width, dispatch count, scheduling or wall clock: replay events
+//!   processed, dedup hits, early exits, undo-log depth, faults dropped,
+//!   PODEM backtracks, packed-word ops, lint findings. The campaign
+//!   engine's contract (bit-identical results at any `FLH_THREADS`)
+//!   extends to these: the deterministic JSON section is **byte-identical
+//!   at pool widths 1/2/4/8**, which `crates/bench/tests/
+//!   metrics_determinism.rs` and the `scripts/ci.sh` metrics gate enforce.
+//!   Width-dependent work (per-shard good-machine evaluations, partition
+//!   shapes, jobs per worker) must never feed a deterministic metric.
+//! * **Nondeterministic** ([`span`] timings, per-worker busy stats,
+//!   scheduling counters) — wall clock and scheduling shape. These are
+//!   kept in a separate section of every report and never diffed.
+//!
+//! Counters are relaxed atomics sharded into per-worker banks
+//! ([`bind_worker_shard`]); a snapshot merges the banks in shard-index
+//! order. Merging is a commutative sum, so shard assignment can never
+//! change a total — the fixed order just makes the walk itself
+//! deterministic.
+//!
+//! # Cost when off
+//!
+//! Nothing is recorded until [`install`] flips the global `ENABLED` flag —
+//! the same recorder-style gate the `log` crate uses. Instrumented hot
+//! loops accumulate plain locals and do one `if enabled()` flush at the
+//! end, so the disabled cost is a branch on a static (verified empirically:
+//! `perf_report` numbers are unchanged within noise).
+//!
+//! # Exporters
+//!
+//! * [`render_text`] — human-readable report;
+//! * [`full_json`] / [`det_document`] — hand-rolled JSON (no serde in this
+//!   workspace), fixed key order, byte-stable;
+//! * [`write_trace`] — a Chrome trace-event file (`chrome://tracing` /
+//!   Perfetto loadable), written when `FLH_TRACE=<path>` is set.
+
+mod registry;
+mod report;
+mod span;
+
+pub use registry::{
+    add, bind_worker_shard, named_add, record, sched_add, snapshot, worker_busy, Counter, Hist,
+    HistogramSnapshot, Snapshot, SpanSnapshot, WorkerSnapshot, HIST_BUCKETS,
+};
+pub use report::{det_document, deterministic_json, full_json, nondeterministic_json, render_text};
+pub use span::{span, write_trace, SpanGuard};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Environment variable naming the Chrome trace output file. Setting it
+/// makes the instrumented binaries install the recorder with tracing on.
+pub const TRACE_ENV: &str = "FLH_TRACE";
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// True once a recorder is installed. Instrumented code gates every flush
+/// on this — a single relaxed load, the whole cost of the crate when off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// True when the installed recorder also buffers trace events.
+#[inline]
+pub fn tracing() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Installs the global recorder: counters, histograms and spans start
+/// recording; with `trace` also buffers per-span trace events for
+/// [`write_trace`]. Idempotent (a later call may still upgrade a
+/// non-tracing install to a tracing one).
+pub fn install(trace: bool) {
+    span::init_epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+    if trace {
+        TRACING.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Zeroes every counter, histogram, span aggregate, worker stat and
+/// buffered trace event. The installed/tracing flags are left as they are
+/// — `reset` separates runs, it does not uninstall.
+pub fn reset() {
+    registry::reset_storage();
+    span::reset_storage();
+}
+
+/// The Chrome trace destination from the environment (`FLH_TRACE=<path>`),
+/// if set and non-empty.
+pub fn trace_path_from_env() -> Option<String> {
+    std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The registry is process-global; every test in this binary serializes
+    // on one lock and resets before use.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let _g = locked();
+        // `add`/`record` are themselves gated, so even an ungated caller
+        // leaves no trace before install.
+        ENABLED.store(false, Ordering::Relaxed);
+        reset();
+        add(Counter::ReplayEvents, 5);
+        record(Hist::ReplayUndoDepth, 9);
+        named_add("lint.pass.structure.findings", 2);
+        let snap = snapshot();
+        assert!(snap.counters.iter().all(|&(_, v)| v == 0));
+        assert!(snap.named_counters.is_empty());
+        assert!(snap.histograms.iter().all(|h| h.count == 0));
+    }
+
+    #[test]
+    fn counters_merge_across_shards() {
+        let _g = locked();
+        install(false);
+        reset();
+        add(Counter::ReplayEvents, 3);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                s.spawn(move || {
+                    bind_worker_shard(w);
+                    add(Counter::ReplayEvents, 10);
+                    record(Hist::ReplayUndoDepth, 4);
+                });
+            }
+        });
+        let snap = snapshot();
+        let events = snap
+            .counters
+            .iter()
+            .find(|(n, _)| *n == "replay.events")
+            .map(|&(_, v)| v);
+        assert_eq!(events, Some(43));
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "replay.undo_depth")
+            .expect("histogram present");
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.total, 16);
+        // 4 falls in the 2^2..2^3 bucket (index 3).
+        assert_eq!(hist.buckets, vec![(3, 4)]);
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn spans_aggregate_and_never_enter_the_deterministic_section() {
+        let _g = locked();
+        install(false);
+        reset();
+        {
+            let _outer = span("test.outer");
+            let _inner = span("test.inner");
+        }
+        add(Counter::PodemBacktracks, 2);
+        let snap = snapshot();
+        assert!(snap.spans.iter().any(|s| s.name == "test.outer"));
+        assert!(snap.spans.iter().any(|s| s.name == "test.inner"));
+        let det = deterministic_json(&snap);
+        assert!(!det.contains("test.outer"), "span leaked into {det}");
+        assert!(det.contains("\"podem.backtracks\":2"));
+        let nondet = nondeterministic_json(&snap);
+        assert!(nondet.contains("test.outer"));
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn named_counters_and_sched_are_separated() {
+        let _g = locked();
+        install(false);
+        reset();
+        named_add("lint.pass.cycles.findings", 1);
+        named_add("lint.pass.cycles.findings", 2);
+        sched_add("pool.partition.calls", 1);
+        let snap = snapshot();
+        assert_eq!(
+            snap.named_counters,
+            vec![("lint.pass.cycles.findings".to_string(), 3)]
+        );
+        assert_eq!(snap.sched, vec![("pool.partition.calls".to_string(), 1)]);
+        let det = deterministic_json(&snap);
+        assert!(det.contains("lint.pass.cycles.findings"));
+        assert!(!det.contains("pool.partition.calls"));
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn json_documents_are_well_formed_and_stable() {
+        let _g = locked();
+        install(false);
+        reset();
+        add(Counter::ReplayCalls, 7);
+        record(Hist::ReplayEventsPerCall, 0);
+        let snap = snapshot();
+        let a = full_json(&snap);
+        let b = full_json(&snap);
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+        assert!(a.starts_with("{\"deterministic\":{\"counters\":{"));
+        assert!(a.contains("\"nondeterministic\":{"));
+        // Zero-valued fixed counters stay in the schema.
+        assert!(a.contains("\"drops.faults_dropped\":0"));
+        let det = det_document(&snap);
+        assert!(det.ends_with('\n'));
+        assert!(!det.contains("nondeterministic"));
+        let text = render_text(&snap);
+        assert!(text.contains("replay.calls"));
+        assert!(text.contains("nondeterministic"));
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn trace_events_nest_like_spans() {
+        let _g = locked();
+        install(true);
+        reset();
+        {
+            let _a = span("trace.outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _b = span("trace.inner");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let events = span::trace_events();
+        // Drop order: inner first, outer second.
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "trace.inner");
+        assert_eq!(events[1].name, "trace.outer");
+        assert_eq!(events[0].depth, events[1].depth + 1);
+        assert!(events[1].ts_us <= events[0].ts_us);
+        assert!(events[0].ts_us + events[0].dur_us <= events[1].ts_us + events[1].dur_us);
+
+        let dir = std::env::temp_dir().join("flh_obs_unit_trace.json");
+        write_trace(&dir).expect("trace written");
+        let text = std::fs::read_to_string(&dir).expect("trace readable");
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"name\":\"trace.outer\""));
+        let _ = std::fs::remove_file(&dir);
+        TRACING.store(false, Ordering::Relaxed);
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,390 @@
+//! The metric registry: fixed deterministic counters and histograms in
+//! sharded relaxed-atomic banks, plus cold named/sched counters and
+//! per-worker stats behind mutexes.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use crate::enabled;
+
+/// Fixed deterministic counters. Every entry is a quantity that depends
+/// only on the computation's inputs — per-fault replay work, detections,
+/// drops, search backtracks, packed kernel work, lint findings — never on
+/// pool width or scheduling (see the crate-level determinism contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Deviation replays performed (one per fault × batch actually replayed).
+    ReplayCalls,
+    /// Cells evaluated from the replay's level buckets.
+    ReplayEvents,
+    /// Readers skipped because the generation stamp says they are already
+    /// queued in this replay.
+    ReplayDedupHits,
+    /// Replays aborted on the first active-lane miscompare.
+    ReplayEarlyExits,
+    /// Writes recorded in (and reverted from) the undo log.
+    ReplayUndoWrites,
+    /// Stuck-at faults skipped in a batch because no lane activates them.
+    StuckActivationSkips,
+    /// Stuck-at faults newly detected.
+    StuckDetections,
+    /// Transition faults skipped in a batch because no lane launches them.
+    TransitionActivationSkips,
+    /// Transition faults newly detected.
+    TransitionDetections,
+    /// Fault flags newly flipped `false → true` by `DropMask::merge_shard`.
+    FaultsDropped,
+    /// PODEM decision backtracks.
+    PodemBacktracks,
+    /// Cells evaluated by `CompiledSim::settle` (scalar three-valued).
+    SimCellEvals,
+    /// Dual-rail words written by the packed settle kernels (two per cell
+    /// evaluation: a `one` plane and a `zero` plane).
+    SimPackedWordOps,
+    /// Lint diagnostics produced across all passes.
+    LintFindings,
+}
+
+impl Counter {
+    /// Every counter, in the fixed report order.
+    pub const ALL: [Counter; 14] = [
+        Counter::ReplayCalls,
+        Counter::ReplayEvents,
+        Counter::ReplayDedupHits,
+        Counter::ReplayEarlyExits,
+        Counter::ReplayUndoWrites,
+        Counter::StuckActivationSkips,
+        Counter::StuckDetections,
+        Counter::TransitionActivationSkips,
+        Counter::TransitionDetections,
+        Counter::FaultsDropped,
+        Counter::PodemBacktracks,
+        Counter::SimCellEvals,
+        Counter::SimPackedWordOps,
+        Counter::LintFindings,
+    ];
+
+    /// Stable dotted report key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::ReplayCalls => "replay.calls",
+            Counter::ReplayEvents => "replay.events",
+            Counter::ReplayDedupHits => "replay.dedup_hits",
+            Counter::ReplayEarlyExits => "replay.early_exits",
+            Counter::ReplayUndoWrites => "replay.undo_writes",
+            Counter::StuckActivationSkips => "fsim.stuck.activation_skips",
+            Counter::StuckDetections => "fsim.stuck.detections",
+            Counter::TransitionActivationSkips => "fsim.transition.activation_skips",
+            Counter::TransitionDetections => "fsim.transition.detections",
+            Counter::FaultsDropped => "drops.faults_dropped",
+            Counter::PodemBacktracks => "podem.backtracks",
+            Counter::SimCellEvals => "sim.cell_evals",
+            Counter::SimPackedWordOps => "sim.packed_word_ops",
+            Counter::LintFindings => "lint.findings",
+        }
+    }
+}
+
+/// Fixed deterministic histograms (log2 buckets, see [`HIST_BUCKETS`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Undo-log depth at the end of each replay.
+    ReplayUndoDepth,
+    /// Bucket-cell evaluations per replay call.
+    ReplayEventsPerCall,
+}
+
+impl Hist {
+    /// Every histogram, in the fixed report order.
+    pub const ALL: [Hist; 2] = [Hist::ReplayUndoDepth, Hist::ReplayEventsPerCall];
+
+    /// Stable dotted report key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::ReplayUndoDepth => "replay.undo_depth",
+            Hist::ReplayEventsPerCall => "replay.events_per_call",
+        }
+    }
+}
+
+/// Histogram bucket count: bucket 0 holds exact zeros, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b)`; bucket 64 catches the top of the u64
+/// range.
+pub const HIST_BUCKETS: usize = 65;
+
+const NUM_COUNTERS: usize = Counter::ALL.len();
+const NUM_HISTS: usize = Hist::ALL.len();
+/// Shard-bank count. Workers bind to `1 + index % (NUM_SHARDS - 1)`
+/// ([`bind_worker_shard`]); unbound threads (the main thread, serial
+/// paths) use shard 0. Collisions only cost contention — sums are
+/// commutative, so totals never depend on the binding.
+const NUM_SHARDS: usize = 32;
+
+struct ShardBank {
+    counters: [AtomicU64; NUM_COUNTERS],
+    hist_buckets: [[AtomicU64; HIST_BUCKETS]; NUM_HISTS],
+    hist_totals: [AtomicU64; NUM_HISTS],
+}
+
+impl ShardBank {
+    const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ROW: [AtomicU64; HIST_BUCKETS] = [ZERO; HIST_BUCKETS];
+        ShardBank {
+            counters: [ZERO; NUM_COUNTERS],
+            hist_buckets: [ROW; NUM_HISTS],
+            hist_totals: [ZERO; NUM_HISTS],
+        }
+    }
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_BANK: ShardBank = ShardBank::new();
+static BANKS: [ShardBank; NUM_SHARDS] = [EMPTY_BANK; NUM_SHARDS];
+
+static NAMED: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static SCHED: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+#[allow(clippy::type_complexity)]
+static WORKERS: Mutex<BTreeMap<(&'static str, usize), WorkerAgg>> = Mutex::new(BTreeMap::new());
+
+#[derive(Clone, Copy, Default)]
+struct WorkerAgg {
+    runs: u64,
+    jobs: u64,
+    busy_ns: u64,
+}
+
+thread_local! {
+    static SHARD: Cell<usize> = const { Cell::new(0) };
+}
+
+fn lock<T>(m: &'static Mutex<T>) -> MutexGuard<'static, T> {
+    // A poisoned metrics mutex must never take the workload down with it.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Binds the calling thread to a counter shard. `ThreadPool::run` calls
+/// this with the worker index so concurrent workers do not contend on one
+/// cache line; correctness never depends on it.
+pub fn bind_worker_shard(worker: usize) {
+    SHARD.with(|s| s.set(1 + worker % (NUM_SHARDS - 1)));
+}
+
+#[inline]
+fn shard() -> usize {
+    SHARD.with(|s| s.get())
+}
+
+/// Adds `n` to a deterministic counter. No-op unless a recorder is
+/// installed (instrumented hot loops additionally gate their whole flush
+/// on [`enabled`] so arguments are not even computed).
+#[inline]
+pub fn add(counter: Counter, n: u64) {
+    if n == 0 || !enabled() {
+        return;
+    }
+    BANKS[shard()].counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Bucket index of a value: 0 for 0, otherwise its bit length.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+/// Records one observation into a deterministic histogram.
+#[inline]
+pub fn record(hist: Hist, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let bank = &BANKS[shard()];
+    bank.hist_buckets[hist as usize][bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    bank.hist_totals[hist as usize].fetch_add(value, Ordering::Relaxed);
+}
+
+/// Adds `n` to a dynamically named deterministic counter (cold paths with
+/// an open key set — per-pass lint findings). Zero adds still create the
+/// key, keeping the report schema stable across runs.
+pub fn named_add(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut named = lock(&NAMED);
+    match named.get_mut(name) {
+        Some(slot) => *slot += n,
+        None => {
+            named.insert(name.to_string(), n);
+        }
+    }
+}
+
+/// Adds `n` to a scheduling counter — partition shapes, shard counts,
+/// anything that legitimately varies with pool width. Reported only in the
+/// nondeterministic section.
+pub fn sched_add(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut sched = lock(&SCHED);
+    match sched.get_mut(name) {
+        Some(slot) => *slot += n,
+        None => {
+            sched.insert(name.to_string(), n);
+        }
+    }
+}
+
+/// Records one worker's busy time and claimed-job count for a pool run.
+/// Wall clock: nondeterministic section only.
+pub fn worker_busy(pool: &'static str, worker: usize, busy: Duration, jobs: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut workers = lock(&WORKERS);
+    let agg = workers.entry((pool, worker)).or_default();
+    agg.runs += 1;
+    agg.jobs += jobs;
+    agg.busy_ns += busy.as_nanos() as u64;
+}
+
+pub(crate) fn reset_storage() {
+    for bank in &BANKS {
+        for c in &bank.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+        for row in &bank.hist_buckets {
+            for b in row {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+        for t in &bank.hist_totals {
+            t.store(0, Ordering::Relaxed);
+        }
+    }
+    lock(&NAMED).clear();
+    lock(&SCHED).clear();
+    lock(&WORKERS).clear();
+}
+
+/// One histogram in a [`Snapshot`]: observation count, value sum and the
+/// occupied log2 buckets as `(bucket index, count)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub name: &'static str,
+    pub count: u64,
+    pub total: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// One span aggregate in a [`Snapshot`] (nondeterministic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    pub name: &'static str,
+    pub count: u64,
+    pub total_ns: u64,
+    pub max_ns: u64,
+}
+
+/// One worker's aggregate in a [`Snapshot`] (nondeterministic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    pub pool: &'static str,
+    pub worker: usize,
+    pub runs: u64,
+    pub jobs: u64,
+    pub busy_ns: u64,
+}
+
+/// A point-in-time copy of every metric, deterministic and not.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// Fixed counters in [`Counter::ALL`] order (zeros included — the
+    /// schema never shrinks).
+    pub counters: Vec<(&'static str, u64)>,
+    /// Named counters in key order.
+    pub named_counters: Vec<(String, u64)>,
+    /// Fixed histograms in [`Hist::ALL`] order.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Span aggregates in name order (nondeterministic).
+    pub spans: Vec<SpanSnapshot>,
+    /// Worker stats in (pool, worker) order (nondeterministic).
+    pub workers: Vec<WorkerSnapshot>,
+    /// Scheduling counters in key order (nondeterministic).
+    pub sched: Vec<(String, u64)>,
+}
+
+/// Takes a snapshot, merging the counter banks **in shard-index order**.
+/// The merge is a commutative sum, so the totals are independent of how
+/// threads were bound to shards; deterministic counters are therefore
+/// byte-identical across pool widths once rendered.
+pub fn snapshot() -> Snapshot {
+    let counters = Counter::ALL
+        .iter()
+        .map(|&c| {
+            let total: u64 = BANKS
+                .iter()
+                .map(|b| b.counters[c as usize].load(Ordering::Relaxed))
+                .sum();
+            (c.name(), total)
+        })
+        .collect();
+    let histograms = Hist::ALL
+        .iter()
+        .map(|&h| {
+            let mut buckets = Vec::new();
+            let mut count = 0u64;
+            for bucket in 0..HIST_BUCKETS {
+                let n: u64 = BANKS
+                    .iter()
+                    .map(|b| b.hist_buckets[h as usize][bucket].load(Ordering::Relaxed))
+                    .sum();
+                if n > 0 {
+                    buckets.push((bucket as u32, n));
+                    count += n;
+                }
+            }
+            let total: u64 = BANKS
+                .iter()
+                .map(|b| b.hist_totals[h as usize].load(Ordering::Relaxed))
+                .sum();
+            HistogramSnapshot {
+                name: h.name(),
+                count,
+                total,
+                buckets,
+            }
+        })
+        .collect();
+    let named_counters = lock(&NAMED).iter().map(|(k, &v)| (k.clone(), v)).collect();
+    let sched = lock(&SCHED).iter().map(|(k, &v)| (k.clone(), v)).collect();
+    let workers = lock(&WORKERS)
+        .iter()
+        .map(|(&(pool, worker), agg)| WorkerSnapshot {
+            pool,
+            worker,
+            runs: agg.runs,
+            jobs: agg.jobs,
+            busy_ns: agg.busy_ns,
+        })
+        .collect();
+    Snapshot {
+        counters,
+        named_counters,
+        histograms,
+        spans: crate::span::span_snapshots(),
+        workers,
+        sched,
+    }
+}

@@ -180,6 +180,7 @@ impl<'c> CompiledSim<'c> {
     pub fn settle(&mut self) {
         let compiled = self.compiled;
         let mut scratch = std::mem::take(&mut self.scratch);
+        let mut evals = 0u64;
         for i in 0..compiled.order().len() {
             let id = compiled.order()[i];
             let kind = compiled.kind(id);
@@ -193,8 +194,14 @@ impl<'c> CompiledSim<'c> {
             scratch.extend(compiled.fanin(id).iter().map(|&f| self.values[f as usize]));
             let new = eval3(kind, &scratch);
             self.write(id, new);
+            evals += 1;
         }
         self.scratch = scratch;
+        if flh_obs::enabled() {
+            // Cells evaluated per settle depend only on circuit + hold/
+            // sleep state — deterministic work, one gated flush per settle.
+            flh_obs::add(flh_obs::Counter::SimCellEvals, evals);
+        }
     }
 
     /// Functional clock edge: every flip-flop captures its D input, then
@@ -272,6 +279,14 @@ pub fn settle_packed(compiled: &CompiledCircuit, values: &mut [Dual64]) {
         inputs.extend(compiled.fanin(id).iter().map(|&f| values[f as usize]));
         values[id as usize] = kind.eval_dual(&inputs);
     }
+    if flh_obs::enabled() {
+        // Two 64-lane words (one/zero planes) written per evaluated cell;
+        // the level order is fixed, so this is deterministic work.
+        flh_obs::add(
+            flh_obs::Counter::SimPackedWordOps,
+            2 * compiled.order().len() as u64,
+        );
+    }
 }
 
 /// [`settle_packed`] with a freeze mask: cells with `frozen[id] == true`
@@ -285,6 +300,7 @@ pub fn settle_packed_frozen(compiled: &CompiledCircuit, values: &mut [Dual64], f
     assert_eq!(values.len(), compiled.cell_count());
     assert_eq!(frozen.len(), compiled.cell_count());
     let mut inputs: Vec<Dual64> = Vec::with_capacity(8);
+    let mut evals = 0u64;
     for &id in compiled.order() {
         if frozen[id as usize] {
             continue;
@@ -293,6 +309,10 @@ pub fn settle_packed_frozen(compiled: &CompiledCircuit, values: &mut [Dual64], f
         inputs.clear();
         inputs.extend(compiled.fanin(id).iter().map(|&f| values[f as usize]));
         values[id as usize] = kind.eval_dual(&inputs);
+        evals += 1;
+    }
+    if flh_obs::enabled() {
+        flh_obs::add(flh_obs::Counter::SimPackedWordOps, 2 * evals);
     }
 }
 

@@ -43,7 +43,7 @@ else
     echo "NOTICE: cargo clippy unavailable in this toolchain; skipping the lint step"
 fi
 
-echo "== determinism lint (hash collections in flh-exec / flh-atpg) =="
+echo "== determinism lint (hash collections in determinism-critical crates) =="
 ./scripts/determinism_lint.sh
 
 bench_tmp="$(mktemp -d)"
@@ -59,13 +59,31 @@ if ! grep -q '"total_errors":0' "$bench_tmp/lint_summary.json"; then
     exit 1
 fi
 
-echo "== perf report smoke (--quick, temp outputs) =="
+echo "== metrics gate (deterministic counters, FLH_THREADS=1 vs 4) =="
+# The flh-obs deterministic section must be byte-identical at any pool
+# width: same campaign, two widths, diff the deterministic-metrics JSON.
+FLH_THREADS=1 cargo run -q --release --offline --bin flh -- \
+    campaign s9234 --pairs 192 --seed 7 \
+    --metrics-det-json "$bench_tmp/metrics_w1.json" >/dev/null
+FLH_THREADS=4 cargo run -q --release --offline --bin flh -- \
+    campaign s9234 --pairs 192 --seed 7 \
+    --metrics-det-json "$bench_tmp/metrics_w4.json" >/dev/null
+if ! diff "$bench_tmp/metrics_w1.json" "$bench_tmp/metrics_w4.json"; then
+    echo "METRICS GATE FAILED: deterministic metrics depend on FLH_THREADS" >&2
+    exit 1
+fi
+echo "identical deterministic metrics at both pool widths"
+
+echo "== perf report smoke (--quick, temp outputs, recorder on) =="
 # Quick-mode reports go to a temp dir so the committed full-run
-# BENCH_*.json files are never clobbered by a smoke run.
+# BENCH_*.json files are never clobbered by a smoke run. The recorder is
+# on here so check_bench below sees both schema shapes: the committed
+# reports carry {"recorded": false}, the quick ones a full section.
 cargo run -q --release --offline -p flh-bench --bin perf_report -- --quick \
     --out "$bench_tmp/BENCH_compiled_ir.json" \
     --out-parallel "$bench_tmp/BENCH_parallel_fsim.json" \
-    --out-transition "$bench_tmp/BENCH_transition_fsim.json"
+    --out-transition "$bench_tmp/BENCH_transition_fsim.json" \
+    --metrics-json "$bench_tmp/perf_metrics.json"
 
 echo "== bench report schema (committed + quick outputs) =="
 cargo run -q --release --offline -p flh-bench --bin check_bench -- \

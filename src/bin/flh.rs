@@ -7,12 +7,22 @@
 //!                                            DFT transform + export to stdout
 //! flh atpg    <circuit> [--out FILE]         transition ATPG, pattern file
 //! flh fsim    <circuit> <pattern-file>       coverage of a pattern file
+//! flh campaign <circuit> [--pairs N] [--seed S]
+//!                                            random transition campaign,
+//!                                            one row per application style
 //! flh list                                   known circuit profiles
 //! ```
 //!
 //! `<circuit>` is either a builtin ISCAS89 profile name (`s298` … `s13207`)
 //! or a path to an ISCAS89 `.bench` file. `<style>` is one of `plain`,
 //! `enhanced`, `mux`, `flh`.
+//!
+//! Every subcommand additionally accepts the global flags
+//! `--metrics-json PATH` (full flh-obs report: deterministic counters plus
+//! the nondeterministic timing section) and `--metrics-det-json PATH`
+//! (deterministic section only — byte-identical at any `FLH_THREADS`).
+//! Setting `FLH_TRACE=<path>` writes a Chrome trace-event file of the
+//! recorded spans.
 
 use std::process::ExitCode;
 
@@ -21,15 +31,18 @@ use flh::atpg::{
     parse_patterns, simulate_transition_patterns, transition_atpg, write_patterns, PodemConfig,
     TestView,
 };
+use flh::atpg::{random_transition_campaign_pooled, ApplicationStyle};
 use flh::core::{apply_style, evaluate_all, DftStyle, EvalConfig};
+use flh::exec::ThreadPool;
 use flh::netlist::bench_io::{parse_bench, write_bench};
 use flh::netlist::mapper::map_netlist;
 use flh::netlist::{dot, generate_circuit, iscas89_profile, iscas89_profiles, verilog};
 use flh::netlist::{CircuitStats, Netlist};
+use flh::obs;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh list\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path"
+        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh campaign <circuit> [--pairs N] [--seed S]\n  flh list\n\nglobal flags: --metrics-json PATH, --metrics-det-json PATH\n(FLH_TRACE=<path> writes a Chrome trace-event file)\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path"
     );
     ExitCode::FAILURE
 }
@@ -174,8 +187,75 @@ fn cmd_fsim(circuit: &Netlist, pattern_file: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_campaign(circuit: &Netlist, pairs: usize, seed: u64) -> Result<(), String> {
+    let _span = obs::span("flh.campaign");
+    let pool = ThreadPool::from_env();
+    println!(
+        "{}: random transition campaign, {pairs} pairs, seed {seed}, pool width {}",
+        circuit.name(),
+        pool.size()
+    );
+    println!(
+        "{:>22} | {:>7} | {:>8} | {:>10}",
+        "application style", "faults", "detected", "coverage %"
+    );
+    for style in [
+        ApplicationStyle::ArbitraryTwoPattern,
+        ApplicationStyle::Broadside,
+        ApplicationStyle::SkewedLoad,
+    ] {
+        let r = random_transition_campaign_pooled(circuit, style, pairs, seed, &pool)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{:>22} | {:>7} | {:>8} | {:>10.2}",
+            style.to_string(),
+            r.total_faults,
+            r.detected,
+            r.coverage_pct()
+        );
+    }
+    Ok(())
+}
+
+/// Removes `flag VALUE` from `args` if present and returns the value.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(pos) if pos + 1 < args.len() => {
+            let value = args.remove(pos + 1);
+            args.remove(pos);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{flag} expects a value")),
+    }
+}
+
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global observability flags, valid on every subcommand.
+    let metrics_json = take_flag_value(&mut args, "--metrics-json")?;
+    let metrics_det_json = take_flag_value(&mut args, "--metrics-det-json")?;
+    let trace = obs::trace_path_from_env();
+    if metrics_json.is_some() || metrics_det_json.is_some() || trace.is_some() {
+        obs::install(trace.is_some());
+    }
+    dispatch(&args)?;
+    if metrics_json.is_some() || metrics_det_json.is_some() {
+        let snap = obs::snapshot();
+        if let Some(path) = &metrics_json {
+            std::fs::write(path, obs::full_json(&snap)).map_err(|e| format!("{path}: {e}"))?;
+        }
+        if let Some(path) = &metrics_det_json {
+            std::fs::write(path, obs::det_document(&snap)).map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
+    if let Some(path) = &trace {
+        obs::write_trace(path).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("list") => {
             for p in iscas89_profiles() {
@@ -208,6 +288,21 @@ fn run() -> Result<(), String> {
             cmd_atpg(&load_circuit(&args[1])?, out)
         }
         Some("fsim") if args.len() == 3 => cmd_fsim(&load_circuit(&args[1])?, &args[2]),
+        Some("campaign") if args.len() >= 2 => {
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let pairs = match take_flag_value(&mut rest, "--pairs")? {
+                Some(v) => v.parse().map_err(|e| format!("--pairs: {e}"))?,
+                None => 256,
+            };
+            let seed = match take_flag_value(&mut rest, "--seed")? {
+                Some(v) => v.parse().map_err(|e| format!("--seed: {e}"))?,
+                None => 7,
+            };
+            if let Some(extra) = rest.first() {
+                return Err(format!("campaign: unexpected argument {extra:?}"));
+            }
+            cmd_campaign(&load_circuit(&args[1])?, pairs, seed)
+        }
         _ => Err(String::new()),
     }
 }

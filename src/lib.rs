@@ -22,6 +22,7 @@
 //! | [`atpg`] | `flh-atpg` | fault models, PODEM, transition ATPG, fault simulation |
 //! | [`bist`] | `flh-bist` | LFSR/MISR test-per-scan BIST with FLH holding |
 //! | [`lint`] | `flh-lint` | static verification: `FLH0xx` diagnostics over netlists and the FLH transform |
+//! | [`obs`] | `flh-obs` | deterministic counters, span timing, JSON/Chrome-trace export (`FLH_TRACE`) |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use flh_core as core;
 pub use flh_exec as exec;
 pub use flh_lint as lint;
 pub use flh_netlist as netlist;
+pub use flh_obs as obs;
 pub use flh_power as power;
 pub use flh_sim as sim;
 pub use flh_tech as tech;
