@@ -102,6 +102,24 @@ pub fn random_transition_campaign_pooled(
 ) -> flh_netlist::Result<CampaignResult> {
     let view = TestView::new(netlist)?;
     let faults = enumerate_transition_faults(netlist);
+    Ok(transition_campaign_with_view(
+        &view, &faults, style, pairs, seed, pool,
+    ))
+}
+
+/// Campaign core over a prebuilt [`TestView`] and fault list — the entry
+/// point for callers that cache compiled circuits (the `flh-serve`
+/// `JobEngine`): a repeat campaign pays neither parse, compile nor fault
+/// enumeration. Semantics and results are exactly those of
+/// [`random_transition_campaign_pooled`] on the same netlist.
+pub fn transition_campaign_with_view(
+    view: &TestView<'_>,
+    faults: &[crate::transition::TransitionFault],
+    style: ApplicationStyle,
+    pairs: usize,
+    seed: u64,
+    pool: &ThreadPool,
+) -> CampaignResult {
     let mut rng = Rng::seed_from_u64(seed);
     let n = view.assignable().len();
 
@@ -111,7 +129,7 @@ pub fn random_transition_campaign_pooled(
         let lanes = remaining.min(64);
         let mut v1 = vec![0u64; n];
         let mut v2 = vec![0u64; n];
-        fill_pair_batch(&view, style, &mut rng, &mut v1, &mut v2);
+        fill_pair_batch(view, style, &mut rng, &mut v1, &mut v2);
         let mask = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
         batches.push((v1, v2, mask));
         remaining -= lanes;
@@ -124,7 +142,7 @@ pub fn random_transition_campaign_pooled(
     let mut drops = DropMask::new(faults.len());
     let parts = pool.run_partitioned_min(faults.len(), MIN_FAULTS_PER_SHARD, |range| {
         let shard = &faults[range.clone()];
-        let mut sim = TransitionSimulator::new(&view);
+        let mut sim = TransitionSimulator::new(view);
         let mut detected = drops.shard(range);
         for (v1, v2, mask) in &batches {
             sim.run_batch(v1, v2, *mask, shard, &mut detected);
@@ -135,12 +153,12 @@ pub fn random_transition_campaign_pooled(
         drops.merge_shard(range, &flags);
     }
 
-    Ok(CampaignResult {
+    CampaignResult {
         style,
         total_faults: faults.len(),
         detected: drops.dropped(),
         pairs,
-    })
+    }
 }
 
 /// Runs the full circuit × style campaign grid over a pool, one cell per

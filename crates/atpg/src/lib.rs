@@ -42,7 +42,8 @@ pub mod tview;
 
 pub use application::{
     campaign_grid, cycles_per_pattern, pairs_to_reach_coverage, random_transition_campaign,
-    random_transition_campaign_pooled, ApplicationStyle, CampaignResult,
+    random_transition_campaign_pooled, transition_campaign_with_view, ApplicationStyle,
+    CampaignResult,
 };
 pub use broadside::{broadside_transition_atpg, BroadsideAtpgResult, BroadsidePattern};
 pub use diagnose::{diagnose, faulty_responses, golden_responses, DiagnosisCandidate};

@@ -8,14 +8,15 @@
 //! Equal-effort random campaigns (same pair count, same seed) quantify the
 //! coverage gap per circuit.
 
+use std::sync::Arc;
+
 use flh_atpg::transition::enumerate_transition_faults;
 use flh_atpg::{
-    broadside_transition_atpg, campaign_grid, transition_atpg, ApplicationStyle, PodemConfig,
-    TestView,
+    broadside_transition_atpg, transition_atpg, ApplicationStyle, PodemConfig, TestView,
 };
-use flh_bench::{build_circuit, mean, rule};
-use flh_exec::ThreadPool;
+use flh_bench::{cached_circuit, campaign_profiles_engine, mean, rule};
 use flh_netlist::iscas89_profiles;
+use flh_serve::JobEngine;
 
 fn main() {
     const PAIRS: usize = 2048;
@@ -40,24 +41,31 @@ fn main() {
     let mut det_arb_all = Vec::new();
     let mut det_brd_all = Vec::new();
 
-    let pool = ThreadPool::from_env();
+    let engine = JobEngine::from_env();
     let profiles: Vec<_> = iscas89_profiles()
         .into_iter()
         .filter(|p| p.gates <= 700)
         .collect();
-    let circuits: Vec<_> = profiles.iter().map(build_circuit).collect();
+    // One cached compiled entry per circuit; the campaign jobs below hit
+    // these entries instead of regenerating and recompiling.
+    let entries: Vec<_> = profiles
+        .iter()
+        .map(|p| cached_circuit(&engine, p))
+        .collect();
 
-    // Random campaigns: one pooled cell per circuit × style.
-    let grid = campaign_grid(&circuits, &STYLES, PAIRS, SEED, &pool).expect("campaign");
-    // Deterministic ceilings: one pooled cell per circuit, each returning
-    // the arbitrary-pair and broadside ATPG coverage percentages.
-    let ceilings = pool.run(circuits.len(), |i| {
-        let circuit = &circuits[i];
-        let faults = enumerate_transition_faults(circuit);
-        let view = TestView::new(circuit).expect("view");
+    // Random campaigns: one engine job per circuit, one batch per style.
+    let grid = campaign_profiles_engine(&profiles, &STYLES, PAIRS, SEED, &engine);
+    // Deterministic ceilings: one pooled cell per circuit over the shared
+    // compiled entries, each returning the arbitrary-pair and broadside
+    // ATPG coverage percentages.
+    let ceilings = engine.pool().run(entries.len(), |i| {
+        let entry = &entries[i];
+        let faults = enumerate_transition_faults(&entry.netlist);
+        let view =
+            TestView::with_compiled(&entry.netlist, Arc::clone(&entry.compiled)).expect("view");
         let det_arb = transition_atpg(&view, &faults, &PodemConfig::paper_default(), SEED);
         let det_brd =
-            broadside_transition_atpg(circuit, &faults, &PodemConfig::paper_default(), SEED)
+            broadside_transition_atpg(&entry.netlist, &faults, &PodemConfig::paper_default(), SEED)
                 .expect("broadside atpg");
         (det_arb.coverage_pct(), det_brd.coverage_pct())
     });

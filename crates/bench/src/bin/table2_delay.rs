@@ -7,10 +7,10 @@
 //! percentage (the paper notes its benchmarks have fairly high logic
 //! depth).
 
-use flh_bench::{build_circuit, evaluate_profiles_pooled, mean, rule, style};
+use flh_bench::{cached_circuit, evaluate_profiles_engine, mean, rule, style};
 use flh_core::{overhead_improvement_pct, DftStyle, EvalConfig};
-use flh_exec::ThreadPool;
 use flh_netlist::{iscas89_profiles, CircuitStats};
+use flh_serve::JobEngine;
 
 fn main() {
     let config = EvalConfig::paper_default();
@@ -29,10 +29,11 @@ fn main() {
     let mut impr_enh = Vec::new();
 
     let profiles = iscas89_profiles();
-    let rows = evaluate_profiles_pooled(&profiles, &config, &ThreadPool::from_env());
+    let engine = JobEngine::from_env();
+    let rows = evaluate_profiles_engine(&profiles, &config, &engine);
     for (profile, evals) in profiles.iter().zip(&rows) {
-        let circuit = build_circuit(profile);
-        let stats = CircuitStats::compute(&circuit).expect("generated circuit is valid");
+        let entry = cached_circuit(&engine, profile);
+        let stats = CircuitStats::compute(&entry.netlist).expect("generated circuit is valid");
         let base = style(&evals, DftStyle::PlainScan).base_delay_ps;
         let enh = style(&evals, DftStyle::EnhancedScan).delay_increase_pct();
         let mux = style(&evals, DftStyle::MuxHold).delay_increase_pct();

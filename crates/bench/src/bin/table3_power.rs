@@ -8,10 +8,10 @@
 //! *power overhead* over enhanced scan is ≈90%, and ≈44% of the whole
 //! enhanced-scan circuit power is saved.
 
-use flh_bench::{evaluate_profiles_pooled, mean, rule, style};
+use flh_bench::{evaluate_profiles_engine, mean, rule, style};
 use flh_core::{overhead_improvement_pct, DftStyle, EvalConfig};
-use flh_exec::ThreadPool;
 use flh_netlist::iscas89_profiles;
+use flh_serve::JobEngine;
 
 fn main() {
     let config = EvalConfig::paper_default();
@@ -31,7 +31,8 @@ fn main() {
     let mut overall = Vec::new();
 
     let profiles = iscas89_profiles();
-    let rows = evaluate_profiles_pooled(&profiles, &config, &ThreadPool::from_env());
+    let engine = JobEngine::from_env();
+    let rows = evaluate_profiles_engine(&profiles, &config, &engine);
     for (profile, evals) in profiles.iter().zip(&rows) {
         let base = style(&evals, DftStyle::PlainScan).base_power_uw;
         let enh_eval = style(&evals, DftStyle::EnhancedScan);

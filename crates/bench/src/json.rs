@@ -1,6 +1,7 @@
-//! Minimal JSON parsing and schema validation for the `BENCH_*.json`
-//! reports (the workspace has no serde; the reports are hand-written and
-//! this keeps them honest).
+//! Schema validation for the `BENCH_*.json` reports, over the workspace's
+//! shared JSON value type (the parser lives in [`flh_serve::json`], where
+//! the serve protocol also renders with it; re-exported here so report
+//! tooling keeps its old import path).
 //!
 //! [`validate_bench_json`] enforces the contract `scripts/ci.sh` smokes on
 //! every committed and freshly generated report: the file must parse, it
@@ -11,208 +12,7 @@
 
 use std::collections::BTreeMap;
 
-/// A parsed JSON value (numbers are kept as `f64`; good enough for the
-/// report schema, which never uses integers outside `f64`'s exact range).
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(BTreeMap<String, Json>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "byte {}: expected {:?}, found {:?}",
-                self.pos,
-                b as char,
-                self.peek().map(|c| c as char)
-            ))
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("byte {}: expected {word}", self.pos))
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        other => {
-                            return Err(format!(
-                                "byte {}: unsupported escape \\{}",
-                                self.pos, other as char
-                            ))
-                        }
-                    }
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8 passes through byte by byte; the
-                    // input is valid UTF-8 (it came from `str`).
-                    let start = self.pos;
-                    while let Some(b) = self.peek() {
-                        if b == b'"' || b == b'\\' {
-                            break;
-                        }
-                        self.pos += 1;
-                    }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|e| format!("byte {start}: bad number {text:?}: {e}"))
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            None => Err("unexpected end of input".into()),
-            Some(b'{') => {
-                self.pos += 1;
-                let mut map = BTreeMap::new();
-                self.skip_ws();
-                if self.peek() == Some(b'}') {
-                    self.pos += 1;
-                    return Ok(Json::Object(map));
-                }
-                loop {
-                    self.skip_ws();
-                    let key = self.string()?;
-                    self.skip_ws();
-                    self.expect(b':')?;
-                    let val = self.value()?;
-                    map.insert(key, val);
-                    self.skip_ws();
-                    match self.peek() {
-                        Some(b',') => self.pos += 1,
-                        Some(b'}') => {
-                            self.pos += 1;
-                            return Ok(Json::Object(map));
-                        }
-                        other => {
-                            return Err(format!(
-                                "byte {}: expected ',' or '}}', found {other:?}",
-                                self.pos
-                            ))
-                        }
-                    }
-                }
-            }
-            Some(b'[') => {
-                self.pos += 1;
-                let mut items = Vec::new();
-                self.skip_ws();
-                if self.peek() == Some(b']') {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                loop {
-                    items.push(self.value()?);
-                    self.skip_ws();
-                    match self.peek() {
-                        Some(b',') => self.pos += 1,
-                        Some(b']') => {
-                            self.pos += 1;
-                            return Ok(Json::Array(items));
-                        }
-                        other => {
-                            return Err(format!(
-                                "byte {}: expected ',' or ']', found {other:?}",
-                                self.pos
-                            ))
-                        }
-                    }
-                }
-            }
-            Some(b'"') => Ok(Json::String(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(_) => self.number(),
-        }
-    }
-}
-
-/// Parses a JSON document (object, array or scalar).
-///
-/// # Errors
-///
-/// Returns a byte-offset message on malformed input or trailing garbage.
-pub fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let value = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("byte {}: trailing garbage", p.pos));
-    }
-    Ok(value)
-}
+pub use flh_serve::json::{parse_json, Json};
 
 fn walk<'j>(value: &'j Json, path: &str, out: &mut Vec<(String, &'j Json)>) {
     match value {
@@ -320,33 +120,6 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parses_the_report_shapes() {
-        let v = parse_json(
-            "{\n  \"bench\": \"x\",\n  \"quick\": false,\n  \"nested\": {\"speedup\": 5.25},\n  \"xs\": [1, -2.5, 3e2],\n  \"none\": null\n}\n",
-        )
-        .unwrap();
-        let Json::Object(map) = v else { panic!() };
-        assert_eq!(map["bench"], Json::String("x".into()));
-        assert_eq!(map["quick"], Json::Bool(false));
-        assert_eq!(
-            map["xs"],
-            Json::Array(vec![
-                Json::Number(1.0),
-                Json::Number(-2.5),
-                Json::Number(300.0)
-            ])
-        );
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        assert!(parse_json("{").is_err());
-        assert!(parse_json("{\"a\": }").is_err());
-        assert!(parse_json("{\"a\": 1} trailing").is_err());
-        assert!(parse_json("{\"a\": 01x}").is_err());
-    }
 
     /// Minimal valid host + metrics tail shared by the schema tests.
     const TAIL: &str = "\"host\": {\"available_parallelism\": 1, \"flh_threads\": null, \

@@ -15,9 +15,13 @@
 //! | `coverage_styles` | §I — broadside / skewed-load / arbitrary coverage comparison |
 //! | `testmode_power` | §IV — redundant-switching suppression during scan shifting |
 
-use flh_core::{evaluate_all, evaluate_style, DftStyle, EvalConfig, StyleEvaluation};
+use std::sync::Arc;
+
+use flh_atpg::{ApplicationStyle, CampaignResult};
+use flh_core::{evaluate_all, DftStyle, EvalConfig, StyleEvaluation};
 use flh_exec::ThreadPool;
-use flh_netlist::{generate_circuit, CircuitProfile, Netlist};
+use flh_netlist::{CircuitProfile, Netlist};
+use flh_serve::{BatchPayload, CircuitSource, CompiledEntry, JobEngine, JobId, JobSpec};
 
 pub mod json;
 pub mod seed_baseline;
@@ -31,15 +35,38 @@ pub const ALL_STYLES: [DftStyle; 4] = [
     DftStyle::Flh,
 ];
 
-/// Generates the benchmark circuit for a profile.
+/// The [`CircuitSource`] for a benchmark profile — the single place the
+/// bench binaries turn a profile into a loadable, cache-keyed source, so
+/// every binary computes the same `flh-serve` cache keys.
+pub fn circuit_source(profile: &CircuitProfile) -> CircuitSource {
+    CircuitSource::profile(profile.clone())
+}
+
+/// Generates the benchmark circuit for a profile (through the shared
+/// [`CircuitSource`] loader).
 ///
 /// # Panics
 ///
 /// Panics on generator misconfiguration — the shipped profiles are
 /// validated by tests.
 pub fn build_circuit(profile: &CircuitProfile) -> Netlist {
-    generate_circuit(&profile.generator_config())
-        .unwrap_or_else(|e| panic!("{}: {e}", profile.name))
+    circuit_source(profile)
+        .load()
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fetches (or builds) the cached compiled entry for a profile on the
+/// given engine — the netlist plus its compiled form, shared with every
+/// job that names the same profile.
+///
+/// # Panics
+///
+/// Panics on generator or compile failure.
+pub fn cached_circuit(engine: &JobEngine, profile: &CircuitProfile) -> Arc<CompiledEntry> {
+    engine
+        .compiled(&circuit_source(profile), None)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .0
 }
 
 /// Per-circuit evaluation of all four styles.
@@ -52,13 +79,46 @@ pub fn evaluate_profile(profile: &CircuitProfile, config: &EvalConfig) -> Vec<St
     evaluate_all(&circuit, config).unwrap_or_else(|e| panic!("{}: {e}", profile.name))
 }
 
-/// Evaluates every profile × style cell on the pool, one self-contained
-/// cell per `(circuit, style)` pair (the cell regenerates its circuit and
-/// evaluates one style against a freshly built plain-scan baseline —
-/// [`evaluate_style`] recomputes the same baseline metrics
-/// [`evaluate_all`] shares, so the two agree exactly). Rows follow
-/// `profiles` order, columns [`ALL_STYLES`] order; results are identical
-/// at any pool size.
+/// Evaluates every profile on the engine: one `Evaluate` job per profile
+/// covering [`ALL_STYLES`], the circuit built once per profile through
+/// the engine's compiled-circuit cache. Per-style metrics are
+/// deterministic functions of `(netlist, style, config)`, so rows equal
+/// [`evaluate_profile`] exactly, at any pool width. Rows follow
+/// `profiles` order, columns [`ALL_STYLES`] order.
+///
+/// # Panics
+///
+/// Panics if a generated circuit fails structural validation.
+pub fn evaluate_profiles_engine(
+    profiles: &[CircuitProfile],
+    config: &EvalConfig,
+    engine: &JobEngine,
+) -> Vec<Vec<StyleEvaluation>> {
+    profiles
+        .iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let spec =
+                JobSpec::evaluate(circuit_source(profile), ALL_STYLES.to_vec(), config.clone());
+            let outcome = engine
+                .run(JobId(i as u64 + 1), &spec, &mut |_| {})
+                .unwrap_or_else(|e| panic!("{}: {e}", profile.name));
+            outcome
+                .batches
+                .into_iter()
+                .map(|batch| match batch {
+                    BatchPayload::Evaluation(eval) => eval,
+                    BatchPayload::Campaign(_) => {
+                        panic!("{}: evaluate job produced a campaign batch", profile.name)
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// [`evaluate_profiles_engine`] on a throwaway engine of the given pool's
+/// width — kept for callers that think in pools rather than engines.
 ///
 /// # Panics
 ///
@@ -68,19 +128,49 @@ pub fn evaluate_profiles_pooled(
     config: &EvalConfig,
     pool: &ThreadPool,
 ) -> Vec<Vec<StyleEvaluation>> {
-    let cells = profiles.len() * ALL_STYLES.len();
-    let evals = pool.run(cells, |i| {
-        let profile = &profiles[i / ALL_STYLES.len()];
-        let style = ALL_STYLES[i % ALL_STYLES.len()];
-        let circuit = build_circuit(profile);
-        evaluate_style(&circuit, style, config).unwrap_or_else(|e| panic!("{}: {e}", profile.name))
-    });
-    let mut rows = Vec::with_capacity(profiles.len());
-    let mut it = evals.into_iter();
-    for _ in profiles {
-        rows.push(it.by_ref().take(ALL_STYLES.len()).collect());
-    }
-    rows
+    let engine = JobEngine::new(ThreadPool::new(pool.size()), profiles.len().max(1));
+    evaluate_profiles_engine(profiles, config, &engine)
+}
+
+/// Runs the per-profile random transition campaign grid on the engine:
+/// one `Campaign` job per profile over `styles`, sharing compiled
+/// circuits with everything else the engine ran. Rows follow `profiles`
+/// order, columns `styles` order; results are bit-identical to serial
+/// per-cell campaigns at any pool width.
+///
+/// # Panics
+///
+/// Panics if a circuit fails to build or is combinationally cyclic.
+pub fn campaign_profiles_engine(
+    profiles: &[CircuitProfile],
+    styles: &[ApplicationStyle],
+    pairs: usize,
+    seed: u64,
+    engine: &JobEngine,
+) -> Vec<Vec<CampaignResult>> {
+    profiles
+        .iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let spec = JobSpec::campaign(circuit_source(profile))
+                .with_styles(styles.to_vec())
+                .with_pairs(pairs)
+                .with_seed(seed);
+            let outcome = engine
+                .run(JobId(i as u64 + 1), &spec, &mut |_| {})
+                .unwrap_or_else(|e| panic!("{}: {e}", profile.name));
+            outcome
+                .batches
+                .into_iter()
+                .map(|batch| match batch {
+                    BatchPayload::Campaign(result) => result,
+                    BatchPayload::Evaluation(_) => {
+                        panic!("{}: campaign job produced an evaluate batch", profile.name)
+                    }
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Pulls one style out of an evaluation set.
@@ -126,6 +216,28 @@ mod tests {
         let flh = style(&evals, DftStyle::Flh);
         assert!(flh.first_level_gates > 0);
         assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_grid_reuses_cached_circuits_with_equal_results() {
+        let profiles = vec![iscas89_profile("s298").unwrap()];
+        let cfg = EvalConfig {
+            vectors: 20,
+            ..EvalConfig::paper_default()
+        };
+        let engine = JobEngine::new(ThreadPool::new(1), 4);
+        let first = evaluate_profiles_engine(&profiles, &cfg, &engine);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        let again = evaluate_profiles_engine(&profiles, &cfg, &engine);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.parse_skips), (1, 1, 1));
+        for (a, b) in first[0].iter().zip(&again[0]) {
+            assert_eq!(a.style, b.style);
+            assert_eq!(a.area_um2, b.area_um2);
+            assert_eq!(a.delay_ps, b.delay_ps);
+            assert_eq!(a.power_uw, b.power_uw);
+        }
     }
 
     #[test]

@@ -31,12 +31,16 @@
 //! available parallelism ([`ThreadPool::dispatch`]), so an oversubscribed
 //! pool on a small host degrades to fewer threads — or a plain serial loop
 //! — with bit-identical output. Staged campaigns persist detected-fault
-//! flags across calls and shards through [`DropMask`].
+//! flags across calls and shards through [`DropMask`]. Long-running
+//! front ends (the `flh-serve` session layer) feed work to a single
+//! executor through the bounded, back-pressured [`BoundedQueue`].
 
 pub mod campaign;
 pub mod drops;
 pub mod pool;
+pub mod queue;
 
 pub use campaign::Campaign;
 pub use drops::DropMask;
 pub use pool::{ThreadPool, THREADS_ENV};
+pub use queue::{BoundedQueue, PushError};

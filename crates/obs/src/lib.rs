@@ -232,6 +232,55 @@ mod tests {
     }
 
     #[test]
+    fn det_delta_scopes_metrics_between_snapshots() {
+        let _g = locked();
+        install(false);
+        reset();
+        add(Counter::ReplayEvents, 10);
+        named_add("serve.cache.hits", 2);
+        record(Hist::ReplayUndoDepth, 4);
+        let before = snapshot();
+        {
+            let _span = span("job.run");
+            add(Counter::ReplayEvents, 7);
+            named_add("serve.cache.hits", 1);
+            named_add("serve.cache.misses", 3);
+            record(Hist::ReplayUndoDepth, 4);
+            record(Hist::ReplayUndoDepth, 100);
+        }
+        let after = snapshot();
+        let delta = after.det_delta(&before);
+        let events = delta
+            .counters
+            .iter()
+            .find(|(n, _)| *n == "replay.events")
+            .map(|&(_, v)| v);
+        assert_eq!(events, Some(7));
+        assert!(delta
+            .named_counters
+            .contains(&("serve.cache.hits".to_string(), 1)));
+        assert!(delta
+            .named_counters
+            .contains(&("serve.cache.misses".to_string(), 3)));
+        let hist = delta
+            .histograms
+            .iter()
+            .find(|h| h.name == "replay.undo_depth")
+            .expect("histogram present");
+        assert_eq!(hist.count, 2);
+        assert_eq!(hist.total, 104);
+        // One more 4 (bucket 3) and the new 100 (bucket 7).
+        assert_eq!(hist.buckets, vec![(3, 1), (7, 1)]);
+        // The delta renders as a pure deterministic document: the span
+        // recorded inside the scope never appears.
+        assert!(delta.spans.is_empty() && delta.sched.is_empty());
+        let doc = det_document(&delta);
+        assert!(doc.contains("\"replay.events\":7"));
+        assert!(!doc.contains("job.run"));
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    #[test]
     fn trace_events_nest_like_spans() {
         let _g = locked();
         install(true);

@@ -325,6 +325,78 @@ pub struct Snapshot {
     pub sched: Vec<(String, u64)>,
 }
 
+impl Snapshot {
+    /// Deterministic delta `self − earlier`: the metric growth between two
+    /// snapshots of one process, the scoping primitive behind per-job
+    /// metrics documents (`flh-serve` takes a snapshot around each job and
+    /// renders `det_document` of the delta).
+    ///
+    /// Only the deterministic sections are subtracted — fixed counters,
+    /// named counters and histograms. Spans, worker stats and scheduling
+    /// counters are wall-clock/scheduling shape and come back empty, so a
+    /// delta snapshot renders cleanly through `det_document` and never
+    /// leaks nondeterminism into a diffable document. All deterministic
+    /// metrics are monotonic within a process, so saturating subtraction
+    /// only guards against misuse (swapped arguments).
+    pub fn det_delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|&(name, after)| {
+                let before = earlier
+                    .counters
+                    .iter()
+                    .find(|&&(n, _)| n == name)
+                    .map_or(0, |&(_, v)| v);
+                (name, after.saturating_sub(before))
+            })
+            .collect();
+        let named_counters = self
+            .named_counters
+            .iter()
+            .map(|(name, after)| {
+                let before = earlier
+                    .named_counters
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map_or(0, |&(_, v)| v);
+                (name.clone(), after.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|after| {
+                let before = earlier.histograms.iter().find(|h| h.name == after.name);
+                let mut buckets = Vec::new();
+                for &(bucket, n) in &after.buckets {
+                    let prior = before
+                        .and_then(|h| h.buckets.iter().find(|&&(b, _)| b == bucket))
+                        .map_or(0, |&(_, n)| n);
+                    let delta = n.saturating_sub(prior);
+                    if delta > 0 {
+                        buckets.push((bucket, delta));
+                    }
+                }
+                HistogramSnapshot {
+                    name: after.name,
+                    count: after.count.saturating_sub(before.map_or(0, |h| h.count)),
+                    total: after.total.saturating_sub(before.map_or(0, |h| h.total)),
+                    buckets,
+                }
+            })
+            .collect();
+        Snapshot {
+            counters,
+            named_counters,
+            histograms,
+            spans: Vec::new(),
+            workers: Vec::new(),
+            sched: Vec::new(),
+        }
+    }
+}
+
 /// Takes a snapshot, merging the counter banks **in shard-index order**.
 /// The merge is a commutative sum, so the totals are independent of how
 /// threads were bound to shards; deterministic counters are therefore

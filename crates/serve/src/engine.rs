@@ -1,0 +1,169 @@
+//! The [`JobEngine`]: one compiled-circuit cache, one thread pool, one
+//! `run` path every front end shares.
+//!
+//! An engine is cheap state — a [`ThreadPool`] (logical width; results are
+//! bit-identical at every width) and a mutexed [`CircuitCache`]. Running a
+//! job is synchronous on the caller's thread: the engine resolves the
+//! circuit through the cache, streams [`JobEvent`]s into the caller's
+//! sink in a deterministic order (`Started`, one `Batch` per style in
+//! spec order, `Done`/`Failed`), and returns a [`JobOutcome`]. Queueing,
+//! cancellation and cross-thread delivery live one layer up in
+//! [`JobSession`](crate::session::JobSession).
+//!
+//! When the flh-obs recorder is installed, each run brackets itself with
+//! snapshots and attaches `det_delta` of the two — the job's own
+//! deterministic counters, unpolluted by neighbours — to its `Done` event.
+//! The bracket only reads the registry, so installing the recorder never
+//! changes global totals.
+
+use std::sync::{Arc, Mutex};
+
+use flh_atpg::transition::enumerate_transition_faults;
+use flh_atpg::{transition_campaign_with_view, TestView};
+use flh_core::evaluate_style;
+use flh_exec::ThreadPool;
+
+use crate::cache::{CacheLookup, CacheStats, CircuitCache, CompiledEntry};
+use crate::job::{BatchPayload, JobEvent, JobId, JobKind, JobOutcome, JobSpec};
+use crate::source::CircuitSource;
+
+/// Shared campaign/evaluation executor. See the module docs.
+#[derive(Debug)]
+pub struct JobEngine {
+    pool: ThreadPool,
+    cache: Mutex<CircuitCache>,
+}
+
+impl JobEngine {
+    /// An engine over the given pool, caching up to `cache_capacity`
+    /// compiled entries.
+    pub fn new(pool: ThreadPool, cache_capacity: usize) -> Self {
+        JobEngine {
+            pool,
+            cache: Mutex::new(CircuitCache::new(cache_capacity)),
+        }
+    }
+
+    /// An engine on the environment-configured pool
+    /// (`FLH_THREADS`) with the default cache capacity.
+    pub fn from_env() -> Self {
+        JobEngine::new(ThreadPool::from_env(), crate::cache::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// The engine's pool.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Cache totals since the engine was created.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock_cache().stats()
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, CircuitCache> {
+        // A poisoned cache mutex only means another job panicked mid-
+        // insert; the BTreeMaps are still structurally sound.
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Resolves a compiled circuit through the cache without running a
+    /// job — for callers (bench ceilings, perf harnesses) that drive the
+    /// simulator directly but want the shared keying and reuse.
+    ///
+    /// # Errors
+    ///
+    /// Load/style/compile failures, as a display string.
+    pub fn compiled(
+        &self,
+        source: &CircuitSource,
+        dft: Option<flh_core::DftStyle>,
+    ) -> Result<(Arc<CompiledEntry>, CacheLookup), String> {
+        self.lock_cache().get_or_compile(source, dft)
+    }
+
+    /// Runs one job synchronously, streaming events into `emit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the failure reason (also emitted as a `Failed` event).
+    pub fn run(
+        &self,
+        job: JobId,
+        spec: &JobSpec,
+        emit: &mut dyn FnMut(JobEvent),
+    ) -> Result<JobOutcome, String> {
+        let before = flh_obs::enabled().then(flh_obs::snapshot);
+        let fail = |reason: String, emit: &mut dyn FnMut(JobEvent)| {
+            emit(JobEvent::Failed {
+                job,
+                reason: reason.clone(),
+            });
+            Err(reason)
+        };
+
+        let (entry, cache) = match self.compiled(&spec.source, spec.dft) {
+            Ok(found) => found,
+            Err(reason) => return fail(reason, emit),
+        };
+        emit(JobEvent::Started {
+            job,
+            circuit: spec.source.name().to_string(),
+            cache,
+        });
+
+        let mut batches = Vec::new();
+        match &spec.kind {
+            JobKind::Campaign {
+                styles,
+                pairs,
+                seed,
+            } => {
+                let view =
+                    match TestView::with_compiled(&entry.netlist, Arc::clone(&entry.compiled)) {
+                        Ok(view) => view,
+                        Err(e) => return fail(e.to_string(), emit),
+                    };
+                let faults = enumerate_transition_faults(&entry.netlist);
+                for (index, &style) in styles.iter().enumerate() {
+                    let result = transition_campaign_with_view(
+                        &view, &faults, style, *pairs, *seed, &self.pool,
+                    );
+                    batches.push(BatchPayload::Campaign(result.clone()));
+                    emit(JobEvent::Batch {
+                        job,
+                        index,
+                        payload: BatchPayload::Campaign(result),
+                    });
+                }
+            }
+            JobKind::Evaluate { styles, config } => {
+                for (index, &style) in styles.iter().enumerate() {
+                    let eval = match evaluate_style(&entry.netlist, style, config) {
+                        Ok(eval) => eval,
+                        Err(e) => return fail(e.to_string(), emit),
+                    };
+                    batches.push(BatchPayload::Evaluation(eval.clone()));
+                    emit(JobEvent::Batch {
+                        job,
+                        index,
+                        payload: BatchPayload::Evaluation(eval),
+                    });
+                }
+            }
+        }
+
+        let metrics =
+            before.map(|before| flh_obs::det_document(&flh_obs::snapshot().det_delta(&before)));
+        emit(JobEvent::Done {
+            job,
+            batches: batches.len(),
+            metrics: metrics.clone(),
+        });
+        Ok(JobOutcome {
+            job,
+            batches,
+            cache,
+            metrics,
+        })
+    }
+}

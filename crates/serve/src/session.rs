@@ -1,0 +1,292 @@
+//! The [`JobSession`]: a bounded queue, a single executor thread, and a
+//! deterministic event ledger over a shared [`JobEngine`].
+//!
+//! Determinism is the design driver. Jobs execute on **one** executor
+//! thread in submission (FIFO) order, so the concatenated event stream is
+//! a pure function of the submission sequence — the engine's pool
+//! parallelizes *inside* each job without touching event order. Events
+//! buffer in a channel and are drained only at blocking barriers
+//! ([`JobSession::wait`], [`JobSession::shutdown`]), which is what lets
+//! the serve protocol emit byte-identical transcripts at any
+//! `FLH_THREADS`.
+//!
+//! Back-pressure is the bounded queue's: [`JobSession::submit`] never
+//! blocks — at capacity it returns [`SubmitError::QueueFull`] and the
+//! caller decides (the protocol replies `rejected`; an embedding caller
+//! may `wait` and retry).
+//!
+//! A session may start **gated** (`autostart: false`): the executor still
+//! pops the next job eagerly but parks before running it until a barrier
+//! opens the gate. Gated sessions make cancellation deterministic —
+//! [`JobSession::cancel`] marks a job, and a marked job that has not run
+//! by the next barrier is retired with a `Cancelled` event instead of
+//! executing. In an autostarted session cancellation is safe but racy
+//! (the job may complete first); the serve protocol therefore always runs
+//! gated.
+
+use std::collections::BTreeSet;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+
+use flh_exec::{BoundedQueue, PushError};
+
+use crate::cache::CacheStats;
+use crate::engine::JobEngine;
+use crate::job::{JobEvent, JobId, JobSpec};
+
+/// Session tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionConfig {
+    /// Bounded-queue capacity (back-pressure threshold).
+    pub queue_capacity: usize,
+    /// When false the session starts gated: queued jobs only execute
+    /// while a barrier (`wait`/`shutdown`) is pumping.
+    pub autostart: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            queue_capacity: 64,
+            autostart: true,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// The session is shutting down.
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SubmitError::QueueFull => "queue full",
+            SubmitError::Closed => "session closed",
+        })
+    }
+}
+
+/// End-of-session accounting returned by [`JobSession::shutdown`].
+#[derive(Clone, Copy, Debug)]
+pub struct SessionSummary {
+    /// Jobs accepted over the session's lifetime.
+    pub submitted: u64,
+    /// Jobs that reached a terminal event (done, failed or cancelled).
+    pub completed: u64,
+    /// Compiled-circuit cache totals from the engine.
+    pub cache: CacheStats,
+}
+
+struct Gate {
+    open: Mutex<bool>,
+    changed: Condvar,
+}
+
+impl Gate {
+    fn new(open: bool) -> Self {
+        Gate {
+            open: Mutex::new(open),
+            changed: Condvar::new(),
+        }
+    }
+
+    fn set(&self, open: bool) {
+        let mut flag = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        *flag = open;
+        self.changed.notify_all();
+    }
+
+    fn wait_open(&self) {
+        let mut flag = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        while !*flag {
+            flag = self.changed.wait(flag).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+struct QueuedJob {
+    id: JobId,
+    spec: JobSpec,
+}
+
+/// See the module docs.
+pub struct JobSession {
+    engine: Arc<JobEngine>,
+    queue: Arc<BoundedQueue<QueuedJob>>,
+    gate: Arc<Gate>,
+    cancelled: Arc<Mutex<BTreeSet<u64>>>,
+    events: mpsc::Receiver<JobEvent>,
+    executor: Option<std::thread::JoinHandle<()>>,
+    autostart: bool,
+    next_id: u64,
+    submitted: u64,
+    completed: u64,
+}
+
+impl JobSession {
+    /// Starts a session (and its executor thread) over `engine`.
+    pub fn new(engine: Arc<JobEngine>, config: SessionConfig) -> Self {
+        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        let gate = Arc::new(Gate::new(config.autostart));
+        let cancelled = Arc::new(Mutex::new(BTreeSet::new()));
+        let (tx, rx) = mpsc::channel();
+
+        let executor = {
+            let queue = Arc::clone(&queue);
+            let gate = Arc::clone(&gate);
+            let cancelled = Arc::clone(&cancelled);
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                while let Some(QueuedJob { id, spec }) = queue.pop_wait() {
+                    gate.wait_open();
+                    let was_cancelled = cancelled
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(&id.0);
+                    if was_cancelled {
+                        if tx.send(JobEvent::Cancelled { job: id }).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                    let tx_job = tx.clone();
+                    // The engine already turns failures into a Failed
+                    // event; nothing further to do with the Result here.
+                    let _ = engine.run(id, &spec, &mut move |event| {
+                        let _ = tx_job.send(event);
+                    });
+                }
+            })
+        };
+
+        JobSession {
+            engine,
+            queue,
+            gate,
+            cancelled,
+            events: rx,
+            executor: Some(executor),
+            autostart: config.autostart,
+            next_id: 0,
+            submitted: 0,
+            completed: 0,
+        }
+    }
+
+    /// The engine this session runs on.
+    pub fn engine(&self) -> &Arc<JobEngine> {
+        &self.engine
+    }
+
+    /// Jobs accepted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Jobs whose terminal event has been observed at a barrier so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Enqueues a job. Never blocks; at capacity the job is rejected with
+    /// [`SubmitError::QueueFull`] and the would-be id is not consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the queue is full or the session is closed.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let id = JobId(self.next_id + 1);
+        match self.queue.try_push(QueuedJob { id, spec }) {
+            Ok(()) => {
+                self.next_id += 1;
+                self.submitted += 1;
+                Ok(id)
+            }
+            Err(PushError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(PushError::Closed(_)) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Marks a job for cancellation. Returns true when the id names a job
+    /// this session accepted; whether it is actually retired as
+    /// `Cancelled` (rather than having already run) is decided at the
+    /// next barrier — deterministically so for gated sessions.
+    pub fn cancel(&mut self, job: JobId) -> bool {
+        if job.0 == 0 || job.0 > self.next_id {
+            return false;
+        }
+        self.cancelled
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(job.0);
+        true
+    }
+
+    /// Barrier: opens the gate, streams buffered and in-flight events into
+    /// `sink` until every accepted job has reached its terminal event,
+    /// then restores the gate. Returns the number of jobs retired during
+    /// this call.
+    pub fn wait(&mut self, sink: &mut dyn FnMut(JobEvent)) -> u64 {
+        self.gate.set(true);
+        let retired = self.pump(sink);
+        self.gate.set(self.autostart);
+        retired
+    }
+
+    fn pump(&mut self, sink: &mut dyn FnMut(JobEvent)) -> u64 {
+        let mut retired = 0;
+        while self.completed < self.submitted {
+            let Ok(event) = self.events.recv() else {
+                break; // executor gone (panic); nothing more will arrive
+            };
+            if event.is_terminal() {
+                self.completed += 1;
+                retired += 1;
+            }
+            sink(event);
+        }
+        retired
+    }
+
+    /// Closes the queue, runs every job still pending, streams the
+    /// remaining events into `sink`, joins the executor and returns the
+    /// session totals.
+    pub fn shutdown(mut self, sink: &mut dyn FnMut(JobEvent)) -> SessionSummary {
+        self.queue.close();
+        self.gate.set(true);
+        self.pump(sink);
+        if let Some(handle) = self.executor.take() {
+            let _ = handle.join();
+        }
+        // Anything the executor sent between the ledger converging and the
+        // channel disconnecting (nothing, in practice) still drains.
+        while let Ok(event) = self.events.try_recv() {
+            if event.is_terminal() {
+                self.completed += 1;
+            }
+            sink(event);
+        }
+        SessionSummary {
+            submitted: self.submitted,
+            completed: self.completed,
+            cache: self.engine.cache_stats(),
+        }
+    }
+}
+
+impl Drop for JobSession {
+    fn drop(&mut self) {
+        // A session dropped without `shutdown` must not leave the executor
+        // parked forever.
+        self.queue.close();
+        self.gate.set(true);
+        if let Some(handle) = self.executor.take() {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Where a job's circuit comes from, and the two-level cache key it hashes
+//! to.
+//!
+//! Every front end of the workspace (the `flh` CLI, the bench binaries,
+//! the serve protocol) names circuits in one of two ways: a builtin
+//! ISCAS89 profile, or ISCAS89 `.bench` text. [`CircuitSource`] is the
+//! single place both spellings are resolved and keyed, so a circuit
+//! submitted twice — by name, by path, or inline over the protocol — maps
+//! to the same cache entry no matter which front end asked.
+//!
+//! Two keys, two jobs:
+//!
+//! * [`CircuitSource::raw_key`] hashes the *request* (profile generator
+//!   config, or the verbatim bench text). A raw-key hit lets the cache
+//!   skip even the parse/generate step on repeat submissions.
+//! * [`content_key`] hashes the *normalized netlist* — the canonical
+//!   [`write_bench`] rendering — so two different spellings of the same
+//!   circuit (a file and the equivalent inline text) still share one
+//!   compiled entry.
+
+use flh_netlist::bench_io::{parse_bench, write_bench};
+use flh_netlist::mapper::map_netlist;
+use flh_netlist::{generate_circuit, iscas89_profile, CircuitProfile, Netlist};
+
+/// FNV-1a 64-bit — the same deterministic, platform-stable hash the
+/// circuit generator seeds profiles with.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A circuit a job wants compiled.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CircuitSource {
+    /// A builtin ISCAS89 profile, regenerated deterministically from its
+    /// generator config.
+    Profile(CircuitProfile),
+    /// ISCAS89 `.bench` text carried with the job (inline protocol
+    /// submissions, or a file read at spec-build time so the key always
+    /// reflects the content actually submitted).
+    BenchText {
+        /// Design name (the file stem, or the protocol's `name` field).
+        name: String,
+        /// The verbatim `.bench` source.
+        text: String,
+    },
+}
+
+impl CircuitSource {
+    /// Source for a builtin profile.
+    pub fn profile(profile: CircuitProfile) -> Self {
+        CircuitSource::Profile(profile)
+    }
+
+    /// Source for inline `.bench` text.
+    pub fn bench_text(name: impl Into<String>, text: impl Into<String>) -> Self {
+        CircuitSource::BenchText {
+            name: name.into(),
+            text: text.into(),
+        }
+    }
+
+    /// Resolves a CLI-style circuit spec: a builtin profile name
+    /// (`s298` … `s13207`), else a path to a `.bench` file. Files are read
+    /// here, eagerly, so the returned source is self-contained and its raw
+    /// key reflects the file's content, not its name.
+    ///
+    /// # Errors
+    ///
+    /// When the spec is neither a known profile nor a readable file.
+    pub fn named(spec: &str) -> Result<Self, String> {
+        if let Some(profile) = iscas89_profile(spec) {
+            return Ok(CircuitSource::Profile(profile));
+        }
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| format!("{spec}: {e} (and not a builtin profile)"))?;
+        let name = std::path::Path::new(spec)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("design");
+        Ok(CircuitSource::bench_text(name, text))
+    }
+
+    /// The display name of the circuit this source describes.
+    pub fn name(&self) -> &str {
+        match self {
+            CircuitSource::Profile(p) => p.name,
+            CircuitSource::BenchText { name, .. } => name,
+        }
+    }
+
+    /// Request-level cache key: a deterministic hash of how the circuit
+    /// was asked for, computable without parsing or generating anything.
+    pub fn raw_key(&self) -> u64 {
+        match self {
+            CircuitSource::Profile(p) => {
+                fnv1a(format!("profile\u{0}{:?}", p.generator_config()).as_bytes())
+            }
+            CircuitSource::BenchText { name, text } => {
+                fnv1a(format!("bench\u{0}{name}\u{0}{text}").as_bytes())
+            }
+        }
+    }
+
+    /// Loads (generates or parses + tech-maps) the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Generator/parse/mapping failures, labeled with the source name.
+    pub fn load(&self) -> Result<Netlist, String> {
+        match self {
+            CircuitSource::Profile(p) => generate_circuit(&p.generator_config())
+                .map_err(|e| format!("generating {}: {e}", p.name)),
+            CircuitSource::BenchText { name, text } => {
+                let parsed = parse_bench(text, name).map_err(|e| format!("{name}: {e}"))?;
+                map_netlist(&parsed).map_err(|e| format!("{name}: mapping failed: {e}"))
+            }
+        }
+    }
+}
+
+/// Content-level cache key: FNV-1a over the canonical [`write_bench`]
+/// rendering of the loaded netlist (including its `# name` header, so two
+/// same-structure designs with different names stay distinct entries and
+/// reports keep their labels).
+pub fn content_key(netlist: &Netlist) -> u64 {
+    fnv1a(write_bench(netlist).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_resolves_profiles_and_files() {
+        let p = CircuitSource::named("s298").unwrap();
+        assert_eq!(p.name(), "s298");
+        assert!(matches!(p, CircuitSource::Profile(_)));
+        assert!(CircuitSource::named("no_such_circuit_anywhere")
+            .unwrap_err()
+            .contains("not a builtin profile"));
+    }
+
+    #[test]
+    fn raw_keys_separate_requests_and_content_keys_unify_them() {
+        let a = CircuitSource::named("s298").unwrap();
+        let b = CircuitSource::named("s344").unwrap();
+        assert_ne!(a.raw_key(), b.raw_key());
+        assert_eq!(a.raw_key(), CircuitSource::named("s298").unwrap().raw_key());
+
+        // The same circuit text submitted in two spellings (here: with and
+        // without a comment line the parser ignores) keys differently at
+        // the request level but identically at the content level.
+        let text = write_bench(&a.load().unwrap());
+        let inline = CircuitSource::bench_text("s298", text.clone());
+        let commented = CircuitSource::bench_text("s298", format!("{text}# resubmitted\n"));
+        assert_ne!(inline.raw_key(), commented.raw_key());
+        assert_eq!(
+            content_key(&inline.load().unwrap()),
+            content_key(&commented.load().unwrap())
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Engine and session integration tests: JobEngine campaigns must equal
+//! the direct pooled campaign API bit-for-bit, repeat runs must be served
+//! from the compiled-circuit cache with identical batches, and gated
+//! sessions must expose deterministic back-pressure and cancel behavior.
+
+use std::sync::Arc;
+
+use flh_atpg::{random_transition_campaign_pooled, ApplicationStyle};
+use flh_exec::ThreadPool;
+use flh_netlist::iscas89_profile;
+use flh_serve::{
+    BatchPayload, CircuitSource, JobEngine, JobEvent, JobId, JobSession, JobSpec, SessionConfig,
+    SubmitError,
+};
+
+const PAIRS: usize = 48;
+const SEED: u64 = 0xfeed;
+
+fn s298_spec() -> JobSpec {
+    let profile = iscas89_profile("s298").expect("builtin profile");
+    JobSpec::campaign(CircuitSource::profile(profile))
+        .with_styles(vec![ApplicationStyle::ArbitraryTwoPattern])
+        .with_pairs(PAIRS)
+        .with_seed(SEED)
+}
+
+#[test]
+fn engine_campaign_matches_direct_pooled_campaign() {
+    let engine = JobEngine::new(ThreadPool::new(2), 4);
+    let outcome = engine
+        .run(JobId(1), &s298_spec(), &mut |_| {})
+        .expect("campaign job");
+    let BatchPayload::Campaign(ref via_engine) = outcome.batches[0] else {
+        panic!("campaign job produced a non-campaign batch");
+    };
+
+    let profile = iscas89_profile("s298").expect("builtin profile");
+    let netlist = CircuitSource::profile(profile)
+        .load()
+        .expect("builtin circuit generates");
+    let direct = random_transition_campaign_pooled(
+        &netlist,
+        ApplicationStyle::ArbitraryTwoPattern,
+        PAIRS,
+        SEED,
+        &ThreadPool::new(2),
+    )
+    .expect("direct campaign");
+    assert_eq!(via_engine.total_faults, direct.total_faults);
+    assert_eq!(via_engine.detected, direct.detected);
+    assert_eq!(via_engine.pairs, direct.pairs);
+}
+
+#[test]
+fn repeat_run_hits_the_cache_with_identical_batches() {
+    let engine = JobEngine::new(ThreadPool::new(1), 4);
+    let spec = s298_spec();
+    let mut events = Vec::new();
+    let first = engine
+        .run(JobId(1), &spec, &mut |e| events.push(e))
+        .expect("first run");
+    assert!(!first.cache.hit);
+    let second = engine
+        .run(JobId(2), &spec, &mut |e| events.push(e))
+        .expect("second run");
+    assert!(second.cache.hit && second.cache.parse_skipped);
+    let stats = engine.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.parse_skips), (1, 1, 1));
+
+    assert_eq!(first.batches.len(), second.batches.len());
+    for (a, b) in first.batches.iter().zip(&second.batches) {
+        let (BatchPayload::Campaign(a), BatchPayload::Campaign(b)) = (a, b) else {
+            panic!("campaign jobs produced non-campaign batches");
+        };
+        assert_eq!(a.total_faults, b.total_faults);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.pairs, b.pairs);
+    }
+    // Both runs streamed a Started and a Done event for their job.
+    for id in [1, 2] {
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, JobEvent::Started { job, .. } if job.0 == id)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, JobEvent::Done { job, .. } if job.0 == id)));
+    }
+}
+
+#[test]
+fn gated_session_backpressure_cancel_and_event_order() {
+    let engine = Arc::new(JobEngine::new(ThreadPool::new(1), 4));
+    let mut session = JobSession::new(
+        Arc::clone(&engine),
+        SessionConfig {
+            queue_capacity: 2,
+            autostart: false,
+        },
+    );
+
+    // The gate is closed: both submissions sit in the bounded queue, so
+    // the third is rejected with back-pressure rather than blocking.
+    let first = session.submit(s298_spec()).expect("first submit");
+    let second = session.submit(s298_spec()).expect("second submit");
+    assert_eq!((first.0, second.0), (1, 2));
+    assert!(matches!(
+        session.submit(s298_spec()),
+        Err(SubmitError::QueueFull)
+    ));
+
+    // Cancelling a queued job before any barrier runs is deterministic.
+    assert!(session.cancel(second));
+    assert!(
+        !session.cancel(JobId(99)),
+        "unknown ids are not cancellable"
+    );
+
+    let mut events = Vec::new();
+    let retired = session.wait(&mut |e| events.push(e));
+    assert_eq!(retired, 2);
+    // Job 1 runs to completion before the cancelled job 2 is retired.
+    let order: Vec<(u64, bool)> = events
+        .iter()
+        .map(|e| (e.job().0, e.is_terminal()))
+        .collect();
+    assert_eq!(order.first(), Some(&(1, false)), "job 1 starts first");
+    assert!(
+        matches!(events.last(), Some(JobEvent::Cancelled { job }) if job.0 == 2),
+        "cancelled job retires last: {order:?}"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, JobEvent::Done { job, .. } if job.0 == 1)));
+
+    // After the barrier the queue has drained: submissions flow again.
+    let third = session.submit(s298_spec()).expect("post-wait submit");
+    assert_eq!(third.0, 3);
+    let mut tail = Vec::new();
+    let summary = session.shutdown(&mut |e| tail.push(e));
+    assert_eq!(summary.submitted, 3);
+    assert_eq!(summary.completed, 3);
+    // The resubmitted spec was served from the cache.
+    assert!(summary.cache.hits >= 1);
+    assert!(
+        matches!(tail.last(), Some(JobEvent::Done { job, .. }) if job.0 == 3),
+        "shutdown drains the remaining job"
+    );
+}

@@ -1,0 +1,190 @@
+//! Protocol-level integration tests: canonical request round-trips,
+//! malformed-input error replies (the server must answer in-band, never
+//! panic), the compiled-circuit cache observed through a scripted
+//! session, and byte-identical transcripts across pool widths.
+
+use std::io::BufReader;
+use std::sync::Arc;
+
+use flh_exec::ThreadPool;
+use flh_serve::{
+    parse_json, parse_request, render_request, serve_lines, JobEngine, Json, ServeConfig,
+};
+
+/// Runs one scripted session over in-memory buffers and returns the
+/// response lines.
+fn transcript(script: &str, workers: usize) -> Vec<String> {
+    let engine = Arc::new(JobEngine::new(ThreadPool::new(workers), 8));
+    let mut out = Vec::new();
+    serve_lines(
+        BufReader::new(script.as_bytes()),
+        &mut out,
+        engine,
+        ServeConfig::default(),
+    )
+    .expect("in-memory transport cannot fail");
+    String::from_utf8(out)
+        .expect("responses are UTF-8")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn canonical_request_lines_round_trip() {
+    let canonical = [
+        r#"{"op":"status"}"#,
+        r#"{"op":"wait"}"#,
+        r#"{"op":"shutdown"}"#,
+        r#"{"job":"job-3","op":"cancel"}"#,
+        r#"{"circuit":"s298","kind":"campaign","op":"submit","pairs":96,"seed":7,"styles":["arbitrary","broadside","skewed"]}"#,
+        r#"{"circuit":"s344","dft":"flh","kind":"campaign","op":"submit","pairs":32,"seed":11,"styles":["arbitrary"]}"#,
+        r#"{"circuit":"s420","kind":"eval","op":"submit","styles":["plain","enhanced","mux","flh"],"vectors":64}"#,
+        r#"{"bench":"INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n","kind":"eval","name":"inv","op":"submit","styles":["plain","flh"],"vectors":16}"#,
+    ];
+    for line in canonical {
+        let request = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(render_request(&request), line, "round trip of {line}");
+    }
+}
+
+#[test]
+fn sparse_submits_normalize_to_explicit_canonical_form() {
+    // A minimal submit renders with every campaign knob made explicit.
+    let request = parse_request(r#"{"op":"submit","circuit":"s298"}"#).expect("parse");
+    let rendered = render_request(&request);
+    assert_eq!(
+        rendered,
+        r#"{"circuit":"s298","kind":"campaign","op":"submit","pairs":256,"seed":7,"styles":["arbitrary","broadside","skewed"]}"#
+    );
+    // Rendering is idempotent: canonical text parses back to itself.
+    let again = parse_request(&rendered).expect("canonical text parses");
+    assert_eq!(render_request(&again), rendered);
+    // Styles also accept the comma-list spelling and alias names.
+    let listed =
+        parse_request(r#"{"op":"submit","circuit":"s298","styles":"atp,bs"}"#).expect("parse");
+    let listed = render_request(&listed);
+    assert!(
+        listed.contains(r#""styles":["arbitrary","broadside"]"#),
+        "{listed}"
+    );
+}
+
+#[test]
+fn malformed_requests_get_error_replies_not_panics() {
+    let script = concat!(
+        "this is not json\n",
+        "[1,2,3]\n",
+        "{\"op\":\"frobnicate\"}\n",
+        "{\"op\":\"submit\"}\n",
+        "{\"op\":\"submit\",\"circuit\":\"s298\",\"bench\":\"x\"}\n",
+        "{\"op\":\"submit\",\"circuit\":\"no-such-circuit\"}\n",
+        "{\"op\":\"submit\",\"circuit\":\"s298\",\"kind\":\"nope\"}\n",
+        "{\"op\":\"submit\",\"circuit\":\"s298\",\"styles\":\"warp-speed\"}\n",
+        "{\"op\":\"submit\",\"circuit\":\"s298\",\"pairs\":-4}\n",
+        "{\"op\":\"cancel\"}\n",
+        "{\"op\":\"cancel\",\"job\":\"job-99\"}\n",
+        "{\"op\":\"shutdown\"}\n",
+    );
+    let lines = transcript(script, 1);
+    // Every response line is itself valid JSON.
+    for line in &lines {
+        parse_json(line).unwrap_or_else(|e| panic!("unparsable response {line}: {e}"));
+    }
+    // Ten problems -> ten error lines, in request order.
+    let errors: Vec<_> = lines
+        .iter()
+        .filter(|l| l.starts_with(r#"{"error""#))
+        .collect();
+    assert_eq!(errors.len(), 10, "{lines:#?}");
+    assert!(errors[0].contains("expected"), "{}", errors[0]);
+    assert!(errors[2].contains("unknown op"), "{}", errors[2]);
+    assert!(
+        errors[3].contains("circuit name or bench text"),
+        "{}",
+        errors[3]
+    );
+    assert!(errors[4].contains("not both"), "{}", errors[4]);
+    assert!(errors[5].contains("not a builtin profile"), "{}", errors[5]);
+    assert!(errors[6].contains("unknown kind"), "{}", errors[6]);
+    assert!(
+        errors[7].contains("unknown application style"),
+        "{}",
+        errors[7]
+    );
+    assert!(errors[9].contains("cancel needs"), "{}", errors[9]);
+    // The unknown-but-well-formed cancel is acknowledged, not an error.
+    assert!(
+        lines.iter().any(|l| l.contains(r#""known":false"#)),
+        "{lines:#?}"
+    );
+    // The session still shuts down cleanly with an empty summary.
+    let bye = lines.last().expect("bye line");
+    assert!(
+        bye.contains(r#""bye""#) && bye.contains(r#""submitted":0"#),
+        "{bye}"
+    );
+}
+
+/// The scripted session the cache and width tests share: two distinct
+/// circuits plus an exact duplicate of the first submission.
+const CACHE_SCRIPT: &str = concat!(
+    "{\"op\":\"submit\",\"circuit\":\"s298\",\"pairs\":32,\"seed\":7}\n",
+    "{\"op\":\"submit\",\"circuit\":\"s344\",\"pairs\":32,\"seed\":7}\n",
+    "{\"op\":\"submit\",\"circuit\":\"s298\",\"pairs\":32,\"seed\":7}\n",
+    "{\"op\":\"status\"}\n",
+    "{\"op\":\"wait\"}\n",
+    "{\"op\":\"shutdown\"}\n",
+);
+
+fn field(line: &str, key: &str) -> Option<Json> {
+    let value = parse_json(line).ok()?;
+    let map = value.as_object()?;
+    map.get(key).cloned()
+}
+
+#[test]
+fn duplicate_submission_is_served_from_the_cache() {
+    let lines = transcript(CACHE_SCRIPT, 1);
+    let started: Vec<_> = lines
+        .iter()
+        .filter(|l| l.contains(r#""event":"started""#))
+        .collect();
+    assert_eq!(started.len(), 3, "{lines:#?}");
+    // Jobs 1 and 2 compile fresh; the duplicate job 3 hits the cache and
+    // skips the parse/generate step entirely.
+    assert!(started[0].contains(r#""cache":"miss""#), "{}", started[0]);
+    assert!(started[1].contains(r#""cache":"miss""#), "{}", started[1]);
+    assert!(
+        started[2].contains(r#""cache":"hit""#) && started[2].contains(r#""parse_skipped":true"#),
+        "{}",
+        started[2]
+    );
+    // Identical spec + shared compiled circuit -> identical batch lines,
+    // differing only in the job id.
+    let batches = |job: &str| -> Vec<String> {
+        lines
+            .iter()
+            .filter(|l| l.contains(r#""event":"batch""#))
+            .filter(|l| l.contains(&format!(r#""job":"{job}""#)))
+            .map(|l| l.replace(&format!(r#""job":"{job}""#), r#""job":"X""#))
+            .collect()
+    };
+    let first = batches("job-1");
+    assert!(!first.is_empty());
+    assert_eq!(first, batches("job-3"));
+    // The farewell summary carries the cache counters.
+    let bye = lines.last().expect("bye line");
+    let cache = field(bye, "cache").expect("bye cache object");
+    let cache = cache.as_object().expect("cache is an object");
+    assert_eq!(cache.get("hits"), Some(&Json::Number(1.0)), "{bye}");
+    assert_eq!(cache.get("misses"), Some(&Json::Number(2.0)), "{bye}");
+    assert_eq!(cache.get("parse_skips"), Some(&Json::Number(1.0)), "{bye}");
+}
+
+#[test]
+fn transcripts_are_byte_identical_across_pool_widths() {
+    let narrow = transcript(CACHE_SCRIPT, 1);
+    let wide = transcript(CACHE_SCRIPT, 4);
+    assert_eq!(narrow, wide);
+}

@@ -38,7 +38,7 @@ echo "== clippy (guarded: workspace deny set on opted-in crates) =="
 # true`. Clippy ships with the toolchain here, but minimal toolchains may
 # lack it — skip with a notice rather than fail the whole gate.
 if cargo clippy --version >/dev/null 2>&1; then
-    cargo clippy --offline -p flh-netlist -p flh-lint --all-targets
+    cargo clippy --offline -p flh-netlist -p flh-lint -p flh-serve --all-targets
 else
     echo "NOTICE: cargo clippy unavailable in this toolchain; skipping the lint step"
 fi
@@ -73,6 +73,36 @@ if ! diff "$bench_tmp/metrics_w1.json" "$bench_tmp/metrics_w4.json"; then
     exit 1
 fi
 echo "identical deterministic metrics at both pool widths"
+
+echo "== serve smoke (scripted session, cache hit, FLH_THREADS=1 vs 4) =="
+# Three jobs — the third an exact duplicate of the first — through the
+# line protocol. The duplicate must be served from the compiled-circuit
+# cache, and the whole transcript must be byte-identical at both widths.
+cat > "$bench_tmp/serve_script.jsonl" <<'EOF'
+{"op":"submit","circuit":"s298","pairs":96,"seed":7}
+{"op":"submit","circuit":"s420","pairs":96,"seed":7}
+{"op":"submit","circuit":"s298","pairs":96,"seed":7}
+{"op":"status"}
+{"op":"wait"}
+{"op":"shutdown"}
+EOF
+FLH_THREADS=1 cargo run -q --release --offline --bin flh -- serve \
+    < "$bench_tmp/serve_script.jsonl" > "$bench_tmp/serve_w1.jsonl"
+FLH_THREADS=4 cargo run -q --release --offline --bin flh -- serve \
+    < "$bench_tmp/serve_script.jsonl" > "$bench_tmp/serve_w4.jsonl"
+if ! diff "$bench_tmp/serve_w1.jsonl" "$bench_tmp/serve_w4.jsonl"; then
+    echo "SERVE GATE FAILED: protocol transcript depends on FLH_THREADS" >&2
+    exit 1
+fi
+if ! grep -q '"cache":"hit"' "$bench_tmp/serve_w1.jsonl"; then
+    echo "SERVE GATE FAILED: duplicate submission missed the compiled-circuit cache" >&2
+    exit 1
+fi
+if ! grep -q '"hits":1' "$bench_tmp/serve_w1.jsonl"; then
+    echo "SERVE GATE FAILED: farewell summary does not report one cache hit" >&2
+    exit 1
+fi
+echo "identical serve transcript at both pool widths; duplicate job hit the cache"
 
 echo "== perf report smoke (--quick, temp outputs, recorder on) =="
 # Quick-mode reports go to a temp dir so the committed full-run

@@ -21,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DIRS=(crates/exec/src crates/atpg/src crates/obs/src crates/sim/src crates/lint/src)
+DIRS=(crates/exec/src crates/atpg/src crates/obs/src crates/sim/src crates/lint/src crates/serve/src)
 
 fail=0
 for dir in "${DIRS[@]}"; do

@@ -7,15 +7,25 @@
 //!                                            DFT transform + export to stdout
 //! flh atpg    <circuit> [--out FILE]         transition ATPG, pattern file
 //! flh fsim    <circuit> <pattern-file>       coverage of a pattern file
-//! flh campaign <circuit> [--pairs N] [--seed S]
+//! flh campaign <circuit> [--pairs N] [--seed S] [--styles LIST] [--dft STYLE]
 //!                                            random transition campaign,
 //!                                            one row per application style
+//! flh serve   [--queue N] [--cache N] [--socket PATH]
+//!                                            persistent campaign service
+//!                                            (line-delimited JSON protocol)
 //! flh list                                   known circuit profiles
 //! ```
 //!
 //! `<circuit>` is either a builtin ISCAS89 profile name (`s298` … `s13207`)
 //! or a path to an ISCAS89 `.bench` file. `<style>` is one of `plain`,
 //! `enhanced`, `mux`, `flh`.
+//!
+//! `campaign` and `serve` both run on the shared `flh-serve` `JobEngine`:
+//! circuits are resolved through one `CircuitSource` keyer and compiled
+//! circuits are cached content-addressed, so a serve session re-running a
+//! circuit pays neither parse nor compile. `--styles` takes `all` or a
+//! comma-separated subset of `arbitrary`, `broadside`, `skewed`; `--dft`
+//! applies a DFT transform before the campaign.
 //!
 //! Every subcommand additionally accepts the global flags
 //! `--metrics-json PATH` (full flh-obs report: deterministic counters plus
@@ -31,7 +41,6 @@ use flh::atpg::{
     parse_patterns, simulate_transition_patterns, transition_atpg, write_patterns, PodemConfig,
     TestView,
 };
-use flh::atpg::{random_transition_campaign_pooled, ApplicationStyle};
 use flh::core::{apply_style, evaluate_all, DftStyle, EvalConfig};
 use flh::exec::ThreadPool;
 use flh::netlist::bench_io::{parse_bench, write_bench};
@@ -39,10 +48,17 @@ use flh::netlist::mapper::map_netlist;
 use flh::netlist::{dot, generate_circuit, iscas89_profile, iscas89_profiles, verilog};
 use flh::netlist::{CircuitStats, Netlist};
 use flh::obs;
+use flh::serve::{
+    parse_application_styles, parse_dft_style, serve_lines, serve_unix_socket, BatchPayload,
+    CircuitSource, JobEngine, JobEvent, JobId, JobSpec, ServeConfig, DEFAULT_CACHE_CAPACITY,
+};
+
+use flh::atpg::ApplicationStyle;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh campaign <circuit> [--pairs N] [--seed S]\n  flh list\n\nglobal flags: --metrics-json PATH, --metrics-det-json PATH\n(FLH_TRACE=<path> writes a Chrome trace-event file)\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path"
+        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh campaign <circuit> [--pairs N] [--seed S] [--styles all|LIST] [--dft STYLE]\n  flh serve  [--queue N] [--cache N] [--socket PATH]\n  flh list\n\nglobal flags: --metrics-json PATH, --metrics-det-json PATH\n(FLH_TRACE=<path> writes a Chrome trace-event file)\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path\ncampaign --styles = all or a comma list of arbitrary, broadside, skewed"
     );
     ExitCode::FAILURE
 }
@@ -63,13 +79,7 @@ fn load_circuit(spec: &str) -> Result<Netlist, String> {
 }
 
 fn parse_style(s: &str) -> Option<DftStyle> {
-    match s {
-        "plain" | "scan" => Some(DftStyle::PlainScan),
-        "enhanced" | "es" => Some(DftStyle::EnhancedScan),
-        "mux" => Some(DftStyle::MuxHold),
-        "flh" => Some(DftStyle::Flh),
-        _ => None,
-    }
+    parse_dft_style(s)
 }
 
 fn cmd_stats(circuit: &Netlist) -> Result<(), String> {
@@ -187,34 +197,71 @@ fn cmd_fsim(circuit: &Netlist, pattern_file: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_campaign(circuit: &Netlist, pairs: usize, seed: u64) -> Result<(), String> {
+fn cmd_campaign(
+    spec: &str,
+    styles: Vec<ApplicationStyle>,
+    pairs: usize,
+    seed: u64,
+    dft: Option<DftStyle>,
+) -> Result<(), String> {
     let _span = obs::span("flh.campaign");
-    let pool = ThreadPool::from_env();
-    println!(
-        "{}: random transition campaign, {pairs} pairs, seed {seed}, pool width {}",
-        circuit.name(),
-        pool.size()
-    );
-    println!(
-        "{:>22} | {:>7} | {:>8} | {:>10}",
-        "application style", "faults", "detected", "coverage %"
-    );
-    for style in [
-        ApplicationStyle::ArbitraryTwoPattern,
-        ApplicationStyle::Broadside,
-        ApplicationStyle::SkewedLoad,
-    ] {
-        let r = random_transition_campaign_pooled(circuit, style, pairs, seed, &pool)
-            .map_err(|e| e.to_string())?;
-        println!(
-            "{:>22} | {:>7} | {:>8} | {:>10.2}",
-            style.to_string(),
-            r.total_faults,
-            r.detected,
-            r.coverage_pct()
-        );
+    let engine = JobEngine::from_env();
+    let width = engine.pool().size();
+    let job = JobSpec::campaign(CircuitSource::named(spec)?)
+        .with_styles(styles)
+        .with_pairs(pairs)
+        .with_seed(seed)
+        .with_dft(dft);
+    engine
+        .run(JobId(1), &job, &mut |event| match event {
+            JobEvent::Started { circuit, .. } => {
+                println!(
+                    "{circuit}: random transition campaign, {pairs} pairs, seed {seed}, \
+pool width {width}"
+                );
+                println!(
+                    "{:>22} | {:>7} | {:>8} | {:>10}",
+                    "application style", "faults", "detected", "coverage %"
+                );
+            }
+            JobEvent::Batch {
+                payload: BatchPayload::Campaign(r),
+                ..
+            } => {
+                println!(
+                    "{:>22} | {:>7} | {:>8} | {:>10.2}",
+                    r.style.to_string(),
+                    r.total_faults,
+                    r.detected,
+                    r.coverage_pct()
+                );
+            }
+            _ => {}
+        })
+        .map(|_| ())
+}
+
+fn cmd_serve(
+    queue_capacity: usize,
+    cache_capacity: usize,
+    socket: Option<&str>,
+) -> Result<(), String> {
+    // Always record: every `done` event then carries the job's own
+    // deterministic metrics delta.
+    obs::install(obs::trace_path_from_env().is_some());
+    let engine = Arc::new(JobEngine::new(ThreadPool::from_env(), cache_capacity));
+    let config = ServeConfig { queue_capacity };
+    match socket {
+        Some(path) => serve_unix_socket(std::path::Path::new(path), engine, config)
+            .map_err(|e| format!("{path}: {e}")),
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout().lock();
+            serve_lines(stdin.lock(), &mut stdout, engine, config)
+                .map(|_| ())
+                .map_err(|e| e.to_string())
+        }
     }
-    Ok(())
 }
 
 /// Removes `flag VALUE` from `args` if present and returns the value.
@@ -298,10 +345,36 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 Some(v) => v.parse().map_err(|e| format!("--seed: {e}"))?,
                 None => 7,
             };
+            let styles = match take_flag_value(&mut rest, "--styles")? {
+                Some(v) => parse_application_styles(&v).map_err(|e| format!("--styles: {e}"))?,
+                None => flh::serve::ALL_APPLICATION_STYLES.to_vec(),
+            };
+            let dft = match take_flag_value(&mut rest, "--dft")? {
+                Some(v) => {
+                    Some(parse_style(&v).ok_or_else(|| format!("--dft: unknown style {v:?}"))?)
+                }
+                None => None,
+            };
             if let Some(extra) = rest.first() {
                 return Err(format!("campaign: unexpected argument {extra:?}"));
             }
-            cmd_campaign(&load_circuit(&args[1])?, pairs, seed)
+            cmd_campaign(&args[1], styles, pairs, seed, dft)
+        }
+        Some("serve") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let queue = match take_flag_value(&mut rest, "--queue")? {
+                Some(v) => v.parse().map_err(|e| format!("--queue: {e}"))?,
+                None => ServeConfig::default().queue_capacity,
+            };
+            let cache = match take_flag_value(&mut rest, "--cache")? {
+                Some(v) => v.parse().map_err(|e| format!("--cache: {e}"))?,
+                None => DEFAULT_CACHE_CAPACITY,
+            };
+            let socket = take_flag_value(&mut rest, "--socket")?;
+            if let Some(extra) = rest.first() {
+                return Err(format!("serve: unexpected argument {extra:?}"));
+            }
+            cmd_serve(queue, cache, socket.as_deref())
         }
         _ => Err(String::new()),
     }

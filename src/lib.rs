@@ -23,6 +23,7 @@
 //! | [`bist`] | `flh-bist` | LFSR/MISR test-per-scan BIST with FLH holding |
 //! | [`lint`] | `flh-lint` | static verification: `FLH0xx` diagnostics over netlists and the FLH transform |
 //! | [`obs`] | `flh-obs` | deterministic counters, span timing, JSON/Chrome-trace export (`FLH_TRACE`) |
+//! | [`serve`] | `flh-serve` | session-oriented `JobEngine`, compiled-circuit cache, `flh serve` protocol |
 //!
 //! # Quickstart
 //!
@@ -46,6 +47,7 @@ pub use flh_lint as lint;
 pub use flh_netlist as netlist;
 pub use flh_obs as obs;
 pub use flh_power as power;
+pub use flh_serve as serve;
 pub use flh_sim as sim;
 pub use flh_tech as tech;
 pub use flh_timing as timing;
