@@ -38,7 +38,7 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
         StuckSimulator {
             view,
             values: Vec::new(),
-            replay: DeviationReplay::new(view.compiled()),
+            replay: DeviationReplay::new(view.compiled(), view.program_arc()),
         }
     }
 

@@ -25,16 +25,24 @@
 //! ([`crate::fsim::stuck_detects_reference`],
 //! [`crate::transition::transition_detects_reference`]).
 
-use flh_netlist::CompiledCircuit;
+use std::sync::Arc;
+
+use flh_netlist::{CompiledCircuit, Program};
 
 /// Event-driven in-place deviation replay over a [`CompiledCircuit`].
 ///
-/// The engine is pure scratch state (undo log, generation stamps, level
-/// buckets); it holds no reference to the circuit, which is passed to each
-/// [`DeviationReplay::replay`] call. One instance serves any number of
-/// replays against the same compiled circuit.
+/// The engine is scratch state (undo log, generation stamps, level
+/// buckets) plus a shared handle on the circuit's lowered [`Program`]:
+/// each replayed cell is re-evaluated through the same fused opcode table
+/// the settle kernels execute ([`Program::eval_cell`]), so logic sim,
+/// stuck-at replay and transition replay share one gate-evaluation engine.
+/// The circuit itself is passed to each [`DeviationReplay::replay`] call;
+/// one instance serves any number of replays against the same compiled
+/// circuit.
 #[derive(Clone, Debug)]
 pub struct DeviationReplay {
+    /// The lowered opcode stream shared with the settle kernels.
+    program: Arc<Program>,
     /// Undo log of the current replay's writes: `(cell, good value)`.
     undo: Vec<(u32, u64)>,
     /// Per-cell enqueue stamp: a cell joins the replay queue at most once
@@ -44,19 +52,31 @@ pub struct DeviationReplay {
     /// Replay queue, one bucket per logic level (index 0 unused — sources
     /// are never re-evaluated).
     buckets: Vec<Vec<u32>>,
-    /// Fanin-gather scratch.
-    inputs: Vec<u64>,
+    /// Scratch register file for multi-instruction chains.
+    scratch: Vec<u64>,
 }
 
 impl DeviationReplay {
-    /// Engine sized for `compiled`.
-    pub fn new(compiled: &CompiledCircuit) -> Self {
+    /// Engine sized for `compiled`, evaluating cells through its lowered
+    /// `program`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was not lowered from `compiled`.
+    pub fn new(compiled: &CompiledCircuit, program: Arc<Program>) -> Self {
+        assert_eq!(
+            program.cell_words(),
+            compiled.cell_count(),
+            "program does not match the circuit"
+        );
+        let scratch = vec![0u64; program.scratch_words()];
         DeviationReplay {
+            program,
             undo: Vec::new(),
             marks: vec![0; compiled.cell_count()],
             gen: 0,
             buckets: vec![Vec::new(); compiled.levels() + 1],
-            inputs: Vec::with_capacity(8),
+            scratch,
         }
     }
 
@@ -131,11 +151,8 @@ impl DeviationReplay {
                 let bucket = std::mem::take(&mut self.buckets[lvl]);
                 for &id in &bucket {
                     ev_events += 1;
-                    self.inputs.clear();
-                    self.inputs
-                        .extend(compiled.fanin(id).iter().map(|&x| values[x as usize]));
                     let old = values[id as usize];
-                    let new = compiled.kind(id).eval64(&self.inputs);
+                    let new = self.program.eval_cell(id, values, &mut self.scratch);
                     if old == new {
                         continue; // deviation masked at this cell
                     }
@@ -234,7 +251,7 @@ mod tests {
         let words: Vec<u64> = (0..view.assignable().len()).map(|_| rng.gen()).collect();
         let good = view.eval64(&words, None);
         let mut values = good.clone();
-        let mut engine = DeviationReplay::new(compiled);
+        let mut engine = DeviationReplay::new(compiled, view.program_arc());
         for seed in 0..compiled.cell_count() as u32 {
             if compiled.kind(seed) == flh_netlist::CellKind::Output {
                 continue;
@@ -284,7 +301,7 @@ mod tests {
         let words: Vec<u64> = (0..view.assignable().len()).map(|_| rng.gen()).collect();
         let good = view.eval64(&words, None);
         let mut values = good.clone();
-        let mut engine = DeviationReplay::new(compiled);
+        let mut engine = DeviationReplay::new(compiled, view.program_arc());
         for seed in 0..compiled.cell_count() as u32 {
             if compiled.kind(seed) == flh_netlist::CellKind::Output {
                 continue;

@@ -257,7 +257,7 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
             view,
             values2: Vec::new(),
             values1: Vec::new(),
-            replay: DeviationReplay::new(view.compiled()),
+            replay: DeviationReplay::new(view.compiled(), view.program_arc()),
         }
     }
 

@@ -61,8 +61,12 @@ fn main() {
     let ceilings = engine.pool().run(entries.len(), |i| {
         let entry = &entries[i];
         let faults = enumerate_transition_faults(&entry.netlist);
-        let view =
-            TestView::with_compiled(&entry.netlist, Arc::clone(&entry.compiled)).expect("view");
+        let view = TestView::with_program(
+            &entry.netlist,
+            Arc::clone(&entry.compiled),
+            Arc::clone(&entry.program),
+        )
+        .expect("view");
         let det_arb = transition_atpg(&view, &faults, &PodemConfig::paper_default(), SEED);
         let det_brd =
             broadside_transition_atpg(&entry.netlist, &faults, &PodemConfig::paper_default(), SEED)

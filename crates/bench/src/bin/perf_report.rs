@@ -32,9 +32,9 @@ use flh_bench::build_circuit;
 use flh_bench::seed_baseline::{BaselineStuckSimulator, BaselineView};
 use flh_bench::transition_baseline::BaselineTransitionSimulator;
 use flh_exec::ThreadPool;
-use flh_netlist::{iscas89_profile, CompiledCircuit, Netlist};
+use flh_netlist::{iscas89_profile, CompiledCircuit, Dual256, Dual64, LaneWord, Netlist, Program};
 use flh_rng::Rng;
-use flh_sim::{CompiledSim, Logic, LogicSim};
+use flh_sim::{settle_packed, CompiledSim, Logic, LogicSim};
 
 const CIRCUIT: &str = "s13207";
 const LANES: u64 = 64;
@@ -168,6 +168,70 @@ fn bench_logic_sim(netlist: &Netlist, compiled: &CompiledCircuit, cycles: usize)
         nominal_events,
         event_driven_s: nominal_events as f64 / event_elapsed,
         compiled_s: nominal_events as f64 / compiled_elapsed,
+    }
+}
+
+struct CodegenResult {
+    instructions: usize,
+    micro_ops: u64,
+    fused_micro_ops: u64,
+    scratch_words: usize,
+    batches: usize,
+    dual64_lane_evals_s: f64,
+    dual256_lane_evals_s: f64,
+    superword_speedup: f64,
+}
+
+/// Static program statistics plus packed-settle throughput at both lane
+/// widths: 64 lanes (`Dual64`) against the 256-lane `Dual256` superword.
+/// The metric is per-lane cell evaluations per second, so the superword
+/// speedup is the genuine throughput gain of the wider word.
+fn bench_codegen_v2(compiled: &CompiledCircuit, program: &Program, iters: usize) -> CodegenResult {
+    let n = compiled.cell_count();
+    let mut rng = Rng::seed_from_u64(0xC0DE);
+    let seed: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+
+    let mut v64: Vec<Dual64> = seed
+        .iter()
+        .map(|&b| if b { Dual64::top() } else { Dual64::bot() })
+        .collect();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        settle_packed(program, &mut v64);
+    }
+    let elapsed64 = t0.elapsed().as_secs_f64();
+
+    let mut v256: Vec<Dual256> = seed
+        .iter()
+        .map(|&b| if b { Dual256::top() } else { Dual256::bot() })
+        .collect();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        settle_packed(program, &mut v256);
+    }
+    let elapsed256 = t0.elapsed().as_secs_f64();
+
+    // Both widths settled identical stimulus; lane 0 must agree.
+    for (id, (a, b)) in v64.iter().zip(&v256).enumerate() {
+        assert_eq!(
+            (a.one & 1, a.zero & 1),
+            (b.one[0] & 1, b.zero[0] & 1),
+            "Dual64 and Dual256 settle diverged at cell {id}"
+        );
+    }
+
+    let evals = (iters * compiled.order().len()) as f64;
+    let dual64_lane_evals_s = evals * 64.0 / elapsed64;
+    let dual256_lane_evals_s = evals * 256.0 / elapsed256;
+    CodegenResult {
+        instructions: program.inst_count(),
+        micro_ops: program.micro_ops(),
+        fused_micro_ops: program.fused_micro_ops(),
+        scratch_words: program.scratch_words(),
+        batches: program.batches().len(),
+        dual64_lane_evals_s,
+        dual256_lane_evals_s,
+        superword_speedup: dual256_lane_evals_s / dual64_lane_evals_s,
     }
 }
 
@@ -365,6 +429,24 @@ fn main() {
         logic.cycles, logic.event_driven_s, logic.compiled_s, logic_speedup
     );
 
+    let program = Program::lower(&compiled);
+    let codegen = {
+        let _span = flh_obs::span("perf.codegen_v2");
+        bench_codegen_v2(&compiled, &program, if opts.quick { 10 } else { 100 })
+    };
+    println!(
+        "codegen_v2  ({} insts from {} micro-ops, {} fused away; {} scratch words, {} batches):",
+        codegen.instructions,
+        codegen.micro_ops,
+        codegen.fused_micro_ops,
+        codegen.scratch_words,
+        codegen.batches
+    );
+    println!(
+        "            Dual64 {:>11.0} lane-evals/s | Dual256 {:>11.0} lane-evals/s | {:.2}x",
+        codegen.dual64_lane_evals_s, codegen.dual256_lane_evals_s, codegen.superword_speedup
+    );
+
     let fault = {
         let _span = flh_obs::span("perf.fault_sim");
         bench_fault_sim(&netlist, faults, reps)
@@ -541,6 +623,16 @@ fn main() {
             "    \"compiled_events_per_s\": {cev:.1},\n",
             "    \"speedup\": {lsp:.3}\n",
             "  }},\n",
+            "  \"codegen_v2\": {{\n",
+            "    \"instructions\": {cg_insts},\n",
+            "    \"micro_ops\": {cg_micro},\n",
+            "    \"fused_micro_ops\": {cg_fused},\n",
+            "    \"scratch_words\": {cg_scratch},\n",
+            "    \"batches\": {cg_batches},\n",
+            "    \"dual64_lane_evals_per_s\": {cg_d64:.1},\n",
+            "    \"dual256_lane_evals_per_s\": {cg_d256:.1},\n",
+            "    \"superword_speedup\": {cg_sp:.3}\n",
+            "  }},\n",
             "  \"fault_sim\": {{\n",
             "    \"faults\": {faults},\n",
             "    \"lanes\": {lanes},\n",
@@ -562,6 +654,14 @@ fn main() {
         ev = logic.event_driven_s,
         cev = logic.compiled_s,
         lsp = logic_speedup,
+        cg_insts = codegen.instructions,
+        cg_micro = codegen.micro_ops,
+        cg_fused = codegen.fused_micro_ops,
+        cg_scratch = codegen.scratch_words,
+        cg_batches = codegen.batches,
+        cg_d64 = codegen.dual64_lane_evals_s,
+        cg_d256 = codegen.dual256_lane_evals_s,
+        cg_sp = codegen.superword_speedup,
         faults = fault.faults,
         lanes = LANES,
         reps = fault.reps,

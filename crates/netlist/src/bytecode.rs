@@ -1,0 +1,1414 @@
+//! Flat superword bytecode lowered from the compiled level order.
+//!
+//! [`Program::lower`] compiles a [`CompiledCircuit`]'s precomputed level
+//! order into a flat instruction stream that hot loops *execute* instead of
+//! re-interpreting the CSR IR cell by cell. The pipeline has four stages
+//! (documented in `DESIGN.md` §2g):
+//!
+//! 1. **micro-op expansion** — every library cell is broken into binary
+//!    micro-ops (`And2`/`Or2`/`Xor2`/`Not`/`Copy`/`Mux`/constants) over
+//!    single-use virtual temporaries;
+//! 2. **fusion** — associative chains are widened back to ≤ 4 operands and
+//!    inverting roots are folded into the complex opcodes (`NAND`/`NOR`/
+//!    `XNOR`/`AOI`/`OAI`), so every library cell emits exactly one fused
+//!    instruction and only wide generic gates spill a chain;
+//! 3. **register allocation** — surviving temporaries get scratch words
+//!    from a free list, reused across cells and levels, so the scratch
+//!    file stays a handful of words for an entire circuit;
+//! 4. **emission** — instructions stream out level-major, chunked into
+//!    per-level batches whose destination working set is sized to a few
+//!    cache lines.
+//!
+//! The executor is generic over [`LaneWord`], so one opcode table serves
+//! every engine: plain `u64` two-valued fault simulation, [`Dual64`]
+//! 64-lane dual-rail settles, the 8-lane [`Dual8`] scalar-sim storage and
+//! the 256-lane [`Dual256`] manual `u64x4` superword. Per-gate dual-rail
+//! Kleene evaluation is exactly `eval3` for the whole library (proven by
+//! the flh-sim tests), so the bytecode engines stay bit-identical to the
+//! event-driven reference.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::cell::{CellKind, Dual64};
+use crate::compiled::CompiledCircuit;
+
+/// One word of simulation state: a fixed set of independent lanes with the
+/// bitwise connectives the opcode table is built from.
+///
+/// Implementations are either *two-valued* (`u64`: one pattern per bit) or
+/// *dual-rail three-valued* ([`Dual8`], [`Dual64`], [`Dual256`]): a lane is
+/// definitely-1, definitely-0 or unknown, and the connectives implement
+/// exact Kleene logic. `mux` carries the consensus term in the dual-rail
+/// forms so `MUX(a, a, X) = a`.
+pub trait LaneWord: Copy {
+    /// All lanes 1.
+    fn top() -> Self;
+    /// All lanes 0.
+    fn bot() -> Self;
+    /// Lane-wise AND.
+    fn and(self, rhs: Self) -> Self;
+    /// Lane-wise OR.
+    fn or(self, rhs: Self) -> Self;
+    /// Lane-wise NOT.
+    fn not(self) -> Self;
+    /// Lane-wise XOR.
+    fn xor(self, rhs: Self) -> Self;
+    /// Lane-wise 2:1 mux, `s ? b : a`.
+    fn mux(a: Self, b: Self, s: Self) -> Self;
+}
+
+impl LaneWord for u64 {
+    #[inline(always)]
+    fn top() -> Self {
+        !0
+    }
+    #[inline(always)]
+    fn bot() -> Self {
+        0
+    }
+    #[inline(always)]
+    fn and(self, rhs: Self) -> Self {
+        self & rhs
+    }
+    #[inline(always)]
+    fn or(self, rhs: Self) -> Self {
+        self | rhs
+    }
+    #[inline(always)]
+    fn not(self) -> Self {
+        !self
+    }
+    #[inline(always)]
+    fn xor(self, rhs: Self) -> Self {
+        self ^ rhs
+    }
+    #[inline(always)]
+    fn mux(a: Self, b: Self, s: Self) -> Self {
+        (a & !s) | (b & s)
+    }
+}
+
+impl LaneWord for Dual64 {
+    #[inline(always)]
+    fn top() -> Self {
+        Dual64::all_one()
+    }
+    #[inline(always)]
+    fn bot() -> Self {
+        Dual64::all_zero()
+    }
+    #[inline(always)]
+    fn and(self, rhs: Self) -> Self {
+        Dual64::and(self, rhs)
+    }
+    #[inline(always)]
+    fn or(self, rhs: Self) -> Self {
+        Dual64::or(self, rhs)
+    }
+    #[inline(always)]
+    fn not(self) -> Self {
+        Dual64::not(self)
+    }
+    #[inline(always)]
+    fn xor(self, rhs: Self) -> Self {
+        Dual64::xor(self, rhs)
+    }
+    #[inline(always)]
+    fn mux(a: Self, b: Self, s: Self) -> Self {
+        Dual64 {
+            one: (s.zero & a.one) | (s.one & b.one) | (a.one & b.one),
+            zero: (s.zero & a.zero) | (s.one & b.zero) | (a.zero & b.zero),
+        }
+    }
+}
+
+/// 8 lanes of dual-rail three-valued logic in two bytes — the scalar
+/// simulator's per-cell storage (a whole mid-size circuit's value file fits
+/// in L1). The scalar engine replicates one value across all 8 lanes so
+/// word equality coincides with value equality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Dual8 {
+    /// Definitely-one plane.
+    pub one: u8,
+    /// Definitely-zero plane.
+    pub zero: u8,
+}
+
+impl Dual8 {
+    /// All lanes unknown.
+    #[inline]
+    pub fn all_x() -> Self {
+        Dual8 { one: 0, zero: 0 }
+    }
+
+    /// Mask of lanes carrying a known (non-X) value.
+    #[inline]
+    pub fn known(self) -> u8 {
+        self.one | self.zero
+    }
+}
+
+impl LaneWord for Dual8 {
+    #[inline(always)]
+    fn top() -> Self {
+        Dual8 { one: !0, zero: 0 }
+    }
+    #[inline(always)]
+    fn bot() -> Self {
+        Dual8 { one: 0, zero: !0 }
+    }
+    #[inline(always)]
+    fn and(self, rhs: Self) -> Self {
+        Dual8 {
+            one: self.one & rhs.one,
+            zero: self.zero | rhs.zero,
+        }
+    }
+    #[inline(always)]
+    fn or(self, rhs: Self) -> Self {
+        Dual8 {
+            one: self.one | rhs.one,
+            zero: self.zero & rhs.zero,
+        }
+    }
+    #[inline(always)]
+    fn not(self) -> Self {
+        Dual8 {
+            one: self.zero,
+            zero: self.one,
+        }
+    }
+    #[inline(always)]
+    fn xor(self, rhs: Self) -> Self {
+        Dual8 {
+            one: (self.one & rhs.zero) | (self.zero & rhs.one),
+            zero: (self.one & rhs.one) | (self.zero & rhs.zero),
+        }
+    }
+    #[inline(always)]
+    fn mux(a: Self, b: Self, s: Self) -> Self {
+        Dual8 {
+            one: (s.zero & a.one) | (s.one & b.one) | (a.one & b.one),
+            zero: (s.zero & a.zero) | (s.one & b.zero) | (a.zero & b.zero),
+        }
+    }
+}
+
+/// 256 lanes of dual-rail three-valued logic: a manual `u64x4` superword.
+/// One instruction evaluates 256 independent patterns; the four limbs keep
+/// the planes in straight-line code the compiler vectorizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Dual256 {
+    /// Definitely-one plane, four 64-lane limbs.
+    pub one: [u64; 4],
+    /// Definitely-zero plane, four 64-lane limbs.
+    pub zero: [u64; 4],
+}
+
+impl Dual256 {
+    /// All 256 lanes unknown.
+    #[inline]
+    pub fn all_x() -> Self {
+        Dual256 {
+            one: [0; 4],
+            zero: [0; 4],
+        }
+    }
+}
+
+#[inline(always)]
+fn zip4(a: [u64; 4], b: [u64; 4], f: impl Fn(u64, u64) -> u64) -> [u64; 4] {
+    [f(a[0], b[0]), f(a[1], b[1]), f(a[2], b[2]), f(a[3], b[3])]
+}
+
+impl LaneWord for Dual256 {
+    #[inline(always)]
+    fn top() -> Self {
+        Dual256 {
+            one: [!0; 4],
+            zero: [0; 4],
+        }
+    }
+    #[inline(always)]
+    fn bot() -> Self {
+        Dual256 {
+            one: [0; 4],
+            zero: [!0; 4],
+        }
+    }
+    #[inline(always)]
+    fn and(self, rhs: Self) -> Self {
+        Dual256 {
+            one: zip4(self.one, rhs.one, |a, b| a & b),
+            zero: zip4(self.zero, rhs.zero, |a, b| a | b),
+        }
+    }
+    #[inline(always)]
+    fn or(self, rhs: Self) -> Self {
+        Dual256 {
+            one: zip4(self.one, rhs.one, |a, b| a | b),
+            zero: zip4(self.zero, rhs.zero, |a, b| a & b),
+        }
+    }
+    #[inline(always)]
+    fn not(self) -> Self {
+        Dual256 {
+            one: self.zero,
+            zero: self.one,
+        }
+    }
+    #[inline(always)]
+    fn xor(self, rhs: Self) -> Self {
+        Dual256 {
+            one: zip4(
+                zip4(self.one, rhs.zero, |a, b| a & b),
+                zip4(self.zero, rhs.one, |a, b| a & b),
+                |a, b| a | b,
+            ),
+            zero: zip4(
+                zip4(self.one, rhs.one, |a, b| a & b),
+                zip4(self.zero, rhs.zero, |a, b| a & b),
+                |a, b| a | b,
+            ),
+        }
+    }
+    #[inline(always)]
+    fn mux(a: Self, b: Self, s: Self) -> Self {
+        let pick = |sa: [u64; 4], sb: [u64; 4], va: [u64; 4], vb: [u64; 4]| {
+            zip4(
+                zip4(sa, va, |x, y| x & y),
+                zip4(sb, vb, |x, y| x & y),
+                |x, y| x | y,
+            )
+        };
+        let sel = pick(s.zero, s.one, a.one, b.one);
+        let consensus_one = zip4(a.one, b.one, |x, y| x & y);
+        let selz = pick(s.zero, s.one, a.zero, b.zero);
+        let consensus_zero = zip4(a.zero, b.zero, |x, y| x & y);
+        Dual256 {
+            one: zip4(sel, consensus_one, |x, y| x | y),
+            zero: zip4(selz, consensus_zero, |x, y| x | y),
+        }
+    }
+}
+
+/// Fused bytecode operation. `And`/`Nand`/`Or`/`Nor`/`Xor`/`Xnor` take 2–4
+/// operands (the operand count travels in the instruction header); the
+/// complex gates and `Mux` have fixed shapes matching the library cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Constant 0 (no operands).
+    Const0 = 0,
+    /// Constant 1 (no operands).
+    Const1 = 1,
+    /// Copy the single operand (buffers, output markers, hold elements).
+    Copy = 2,
+    /// Invert the single operand.
+    Not = 3,
+    /// AND of 2–4 operands.
+    And = 4,
+    /// NAND of 2–4 operands.
+    Nand = 5,
+    /// OR of 2–4 operands.
+    Or = 6,
+    /// NOR of 2–4 operands.
+    Nor = 7,
+    /// XOR (odd parity) of 2–4 operands.
+    Xor = 8,
+    /// XNOR (even parity) of 2–4 operands.
+    Xnor = 9,
+    /// `!((a & b) | c)`.
+    Aoi21 = 10,
+    /// `!((a & b) | (c & d))`.
+    Aoi22 = 11,
+    /// `!((a | b) & c)`.
+    Oai21 = 12,
+    /// `!((a | b) & (c | d))`.
+    Oai22 = 13,
+    /// `s ? b : a` with operands `[a, b, s]`.
+    Mux = 14,
+}
+
+impl Opcode {
+    fn from_raw(raw: u8) -> Opcode {
+        match raw {
+            0 => Opcode::Const0,
+            1 => Opcode::Const1,
+            2 => Opcode::Copy,
+            3 => Opcode::Not,
+            4 => Opcode::And,
+            5 => Opcode::Nand,
+            6 => Opcode::Or,
+            7 => Opcode::Nor,
+            8 => Opcode::Xor,
+            9 => Opcode::Xnor,
+            10 => Opcode::Aoi21,
+            11 => Opcode::Aoi22,
+            12 => Opcode::Oai21,
+            13 => Opcode::Oai22,
+            14 => Opcode::Mux,
+            _ => unreachable!("invalid opcode byte {raw}"),
+        }
+    }
+
+    /// Assembly mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Opcode::Const0 => "const0",
+            Opcode::Const1 => "const1",
+            Opcode::Copy => "copy",
+            Opcode::Not => "not",
+            Opcode::And => "and",
+            Opcode::Nand => "nand",
+            Opcode::Or => "or",
+            Opcode::Nor => "nor",
+            Opcode::Xor => "xor",
+            Opcode::Xnor => "xnor",
+            Opcode::Aoi21 => "aoi21",
+            Opcode::Aoi22 => "aoi22",
+            Opcode::Oai21 => "oai21",
+            Opcode::Oai22 => "oai22",
+            Opcode::Mux => "mux",
+        }
+    }
+}
+
+/// Widest fused operand list: the library tops out at 4-input gates, and
+/// wider generics spill a scratch chain instead.
+pub const MAX_FUSED_OPERANDS: usize = 4;
+
+/// Code words per instruction: header, destination slot and
+/// [`MAX_FUSED_OPERANDS`] operand slots (unused ones zero-padded). The
+/// fixed stride lets the executors walk the stream with `chunks_exact`,
+/// so every in-instruction access is a constant index the bounds checker
+/// drops.
+pub const INST_WORDS: usize = 2 + MAX_FUSED_OPERANDS;
+
+/// Instructions per level batch. A batch's destination stripe stays within
+/// a few cache lines for the widest lane word (64 × [`Dual8`] = 2 lines;
+/// 64 × [`Dual256`] = one 4 KiB stride the hardware prefetcher tracks).
+pub const BATCH_INSTS: u32 = 64;
+
+/// One contiguous run of instructions inside a single level.
+#[derive(Clone, Copy, Debug)]
+pub struct Batch {
+    /// First code word of the batch.
+    pub start: u32,
+    /// One past the last code word.
+    pub end: u32,
+    /// Logic level (1-based) the batch's cells live on.
+    pub level: u32,
+}
+
+// Instruction header layout (one u32, followed by the dst slot and the
+// fixed-width operand block; see INST_WORDS):
+const OP_SHIFT: u32 = 0; // bits 0..8: opcode
+const NOPS_SHIFT: u32 = 8; // bits 8..12: operand count
+const HOLD_BIT: u32 = 1 << 12; // dst is a hold element (skippable)
+const FOLD_SHIFT: u32 = 16; // bits 16..24: micro-ops fused into this inst
+
+/// A lowered circuit: the flat instruction stream plus the side tables the
+/// executors and the disassembler need. Immutable after
+/// [`Program::lower`]; share it with [`Arc`] next to the
+/// [`CompiledCircuit`] it was lowered from.
+#[derive(Debug)]
+pub struct Program {
+    n_cells: u32,
+    n_scratch: u32,
+    code: Vec<u32>,
+    batches: Vec<Batch>,
+    /// Per cell id: (first code word, word count) of its instruction chain,
+    /// or `(u32::MAX, 0)` for sources that are never evaluated.
+    cell_chain: Vec<(u32, u32)>,
+    inst_count: u32,
+    micro_ops: u64,
+}
+
+/// Virtual operand during lowering: a cell value or a chain-local temp.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Arg {
+    Cell(u32),
+    Node(u32),
+}
+
+/// One micro/fused op during lowering, before scratch allocation.
+#[derive(Clone, Debug)]
+struct Node {
+    op: Opcode,
+    args: Vec<Arg>,
+    /// Micro-ops folded into this node (1 before fusion).
+    folded: u32,
+    live: bool,
+}
+
+fn push(nodes: &mut Vec<Node>, op: Opcode, args: Vec<Arg>) -> Arg {
+    nodes.push(Node {
+        op,
+        args,
+        folded: 1,
+        live: true,
+    });
+    Arg::Node(nodes.len() as u32 - 1)
+}
+
+/// Left-fold a binary associative op over the fanin list.
+fn fold_chain(nodes: &mut Vec<Node>, op: Opcode, fanin: &[u32]) -> Arg {
+    let mut acc = Arg::Cell(fanin[0]);
+    for &f in &fanin[1..] {
+        acc = push(nodes, op, vec![acc, Arg::Cell(f)]);
+    }
+    acc
+}
+
+/// Stage 1: expand one library cell into binary micro-ops over single-use
+/// virtual temps. The last pushed node is the cell's root value.
+fn expand(kind: CellKind, fanin: &[u32]) -> Vec<Node> {
+    use CellKind::*;
+    let mut nodes = Vec::new();
+    let c = |i: usize| Arg::Cell(fanin[i]);
+    match kind {
+        Input | Dff | ScanDff => unreachable!("sources are not lowered"),
+        Const0 => {
+            push(&mut nodes, Opcode::Const0, Vec::new());
+        }
+        Const1 => {
+            push(&mut nodes, Opcode::Const1, Vec::new());
+        }
+        Output | Buf | HoldLatch | HoldMux => {
+            push(&mut nodes, Opcode::Copy, vec![c(0)]);
+        }
+        Inv => {
+            push(&mut nodes, Opcode::Not, vec![c(0)]);
+        }
+        And2 | And3 | And4 | AndN(_) => {
+            fold_chain(&mut nodes, Opcode::And, fanin);
+        }
+        Nand2 | Nand3 | Nand4 | NandN(_) => {
+            let t = fold_chain(&mut nodes, Opcode::And, fanin);
+            push(&mut nodes, Opcode::Not, vec![t]);
+        }
+        Or2 | Or3 | Or4 | OrN(_) => {
+            fold_chain(&mut nodes, Opcode::Or, fanin);
+        }
+        Nor2 | Nor3 | Nor4 | NorN(_) => {
+            let t = fold_chain(&mut nodes, Opcode::Or, fanin);
+            push(&mut nodes, Opcode::Not, vec![t]);
+        }
+        Xor2 | XorN(_) => {
+            fold_chain(&mut nodes, Opcode::Xor, fanin);
+        }
+        Xnor2 => {
+            let t = fold_chain(&mut nodes, Opcode::Xor, fanin);
+            push(&mut nodes, Opcode::Not, vec![t]);
+        }
+        Aoi21 => {
+            let t = push(&mut nodes, Opcode::And, vec![c(0), c(1)]);
+            let u = push(&mut nodes, Opcode::Or, vec![t, c(2)]);
+            push(&mut nodes, Opcode::Not, vec![u]);
+        }
+        Aoi22 => {
+            let t1 = push(&mut nodes, Opcode::And, vec![c(0), c(1)]);
+            let t2 = push(&mut nodes, Opcode::And, vec![c(2), c(3)]);
+            let u = push(&mut nodes, Opcode::Or, vec![t1, t2]);
+            push(&mut nodes, Opcode::Not, vec![u]);
+        }
+        Oai21 => {
+            let t = push(&mut nodes, Opcode::Or, vec![c(0), c(1)]);
+            let u = push(&mut nodes, Opcode::And, vec![t, c(2)]);
+            push(&mut nodes, Opcode::Not, vec![u]);
+        }
+        Oai22 => {
+            let t1 = push(&mut nodes, Opcode::Or, vec![c(0), c(1)]);
+            let t2 = push(&mut nodes, Opcode::Or, vec![c(2), c(3)]);
+            let u = push(&mut nodes, Opcode::And, vec![t1, t2]);
+            push(&mut nodes, Opcode::Not, vec![u]);
+        }
+        Mux2 => {
+            push(&mut nodes, Opcode::Mux, vec![c(0), c(1), c(2)]);
+        }
+    }
+    nodes
+}
+
+/// If `a` is a live 2-operand node of `op`, return its node index.
+fn binary_child(nodes: &[Node], a: Arg, op: Opcode) -> Option<usize> {
+    if let Arg::Node(j) = a {
+        let j = j as usize;
+        if nodes[j].live && nodes[j].op == op && nodes[j].args.len() == 2 {
+            return Some(j);
+        }
+    }
+    None
+}
+
+/// Stage 2: fusion. Widens associative chains to ≤ [`MAX_FUSED_OPERANDS`]
+/// operands, then folds an inverting root into the complex opcode family.
+/// Temps are single-use by construction, so every rewrite is legal.
+fn fuse(nodes: &mut [Node]) {
+    // Associative widening: absorb a same-op child into its (single) user.
+    loop {
+        let mut changed = false;
+        for i in 0..nodes.len() {
+            if !nodes[i].live || !matches!(nodes[i].op, Opcode::And | Opcode::Or | Opcode::Xor) {
+                continue;
+            }
+            let mut k = 0;
+            while k < nodes[i].args.len() {
+                let absorb = match nodes[i].args[k] {
+                    Arg::Node(j) => {
+                        let j = j as usize;
+                        (nodes[j].op == nodes[i].op
+                            && nodes[i].args.len() - 1 + nodes[j].args.len() <= MAX_FUSED_OPERANDS)
+                            .then_some(j)
+                    }
+                    Arg::Cell(_) => None,
+                };
+                if let Some(j) = absorb {
+                    let inner = nodes[j].args.clone();
+                    nodes[j].live = false;
+                    let folded = nodes[j].folded;
+                    nodes[i].args.splice(k..k + 1, inner);
+                    nodes[i].folded += folded;
+                    changed = true;
+                } else {
+                    k += 1;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Root inversion folding. The root is always the last node.
+    let root = nodes.len() - 1;
+    if nodes[root].op != Opcode::Not {
+        return;
+    }
+    let inner = match nodes[root].args[0] {
+        Arg::Node(j) => j as usize,
+        Arg::Cell(_) => return, // plain inverter of a cell
+    };
+    let (new_op, new_args, absorbed): (Opcode, Vec<Arg>, Vec<usize>) = match nodes[inner].op {
+        Opcode::Or if nodes[inner].args.len() == 2 => {
+            let (a0, a1) = (nodes[inner].args[0], nodes[inner].args[1]);
+            match (
+                binary_child(nodes, a0, Opcode::And),
+                binary_child(nodes, a1, Opcode::And),
+            ) {
+                (Some(x), Some(y)) => (
+                    Opcode::Aoi22,
+                    vec![
+                        nodes[x].args[0],
+                        nodes[x].args[1],
+                        nodes[y].args[0],
+                        nodes[y].args[1],
+                    ],
+                    vec![inner, x, y],
+                ),
+                (Some(x), None) => (
+                    Opcode::Aoi21,
+                    vec![nodes[x].args[0], nodes[x].args[1], a1],
+                    vec![inner, x],
+                ),
+                (None, Some(y)) => (
+                    // OR commutes: !(c | (a & b)) == AOI21(a, b, c).
+                    Opcode::Aoi21,
+                    vec![nodes[y].args[0], nodes[y].args[1], a0],
+                    vec![inner, y],
+                ),
+                (None, None) => (Opcode::Nor, nodes[inner].args.clone(), vec![inner]),
+            }
+        }
+        Opcode::And if nodes[inner].args.len() == 2 => {
+            let (a0, a1) = (nodes[inner].args[0], nodes[inner].args[1]);
+            match (
+                binary_child(nodes, a0, Opcode::Or),
+                binary_child(nodes, a1, Opcode::Or),
+            ) {
+                (Some(x), Some(y)) => (
+                    Opcode::Oai22,
+                    vec![
+                        nodes[x].args[0],
+                        nodes[x].args[1],
+                        nodes[y].args[0],
+                        nodes[y].args[1],
+                    ],
+                    vec![inner, x, y],
+                ),
+                (Some(x), None) => (
+                    Opcode::Oai21,
+                    vec![nodes[x].args[0], nodes[x].args[1], a1],
+                    vec![inner, x],
+                ),
+                (None, Some(y)) => (
+                    Opcode::Oai21,
+                    vec![nodes[y].args[0], nodes[y].args[1], a0],
+                    vec![inner, y],
+                ),
+                (None, None) => (Opcode::Nand, nodes[inner].args.clone(), vec![inner]),
+            }
+        }
+        Opcode::And => (Opcode::Nand, nodes[inner].args.clone(), vec![inner]),
+        Opcode::Or => (Opcode::Nor, nodes[inner].args.clone(), vec![inner]),
+        Opcode::Xor => (Opcode::Xnor, nodes[inner].args.clone(), vec![inner]),
+        _ => return,
+    };
+    let mut folded = nodes[root].folded;
+    for &j in &absorbed {
+        folded += nodes[j].folded;
+        nodes[j].live = false;
+    }
+    nodes[root].op = new_op;
+    nodes[root].args = new_args;
+    nodes[root].folded = folded;
+}
+
+impl Program {
+    /// Lowers a compiled circuit through the full pipeline (expansion →
+    /// fusion → scratch allocation → emission). Deterministic: same
+    /// circuit, same program.
+    pub fn lower(compiled: &CompiledCircuit) -> Program {
+        let n_cells = compiled.cell_count() as u32;
+        let mut code: Vec<u32> = Vec::new();
+        let mut batches: Vec<Batch> = Vec::new();
+        let mut cell_chain = vec![(u32::MAX, 0u32); n_cells as usize];
+        let mut n_scratch = 0u32;
+        let mut inst_count = 0u32;
+        let mut micro_ops = 0u64;
+
+        // Scratch free list; slots are chain-local (a temp never outlives
+        // its cell's chain), so the same low-numbered words serve every
+        // cell on every level.
+        let mut free: Vec<u32> = Vec::new();
+        let mut slot_of: Vec<u32> = Vec::new();
+
+        let mut lowered: Vec<(u8, u32, Vec<Node>)> = Vec::new();
+        for level in 1..=compiled.levels() {
+            // Lower every cell on the level, then schedule the chains in
+            // opcode order (ties by cell id — deterministic). Chains on one
+            // level are independent, so the order is free; grouping same
+            // opcodes gives the executor's dispatch branch long predictable
+            // runs instead of data-dependent hopping.
+            lowered.clear();
+            for &id in compiled.level_cells(level) {
+                let mut nodes = expand(compiled.kind(id), compiled.fanin(id));
+                micro_ops += nodes.len() as u64;
+                fuse(&mut nodes);
+                let root_op = nodes[nodes.len() - 1].op as u8;
+                lowered.push((root_op, id, nodes));
+            }
+            lowered.sort_by_key(|&(op, id, _)| (op, id));
+
+            let mut batch_start = code.len() as u32;
+            let mut batch_insts = 0u32;
+            for (_, id, nodes) in &lowered {
+                let (id, nodes) = (*id, nodes);
+                let kind = compiled.kind(id);
+
+                // Stages 3+4: allocate scratch for surviving temps and emit.
+                let chain_start = code.len() as u32;
+                free.clear();
+                let mut next_local = 0u32;
+                slot_of.clear();
+                slot_of.resize(nodes.len(), u32::MAX);
+                let root = nodes.len() - 1;
+                for i in 0..nodes.len() {
+                    if !nodes[i].live {
+                        continue;
+                    }
+                    debug_assert!(nodes[i].args.len() <= MAX_FUSED_OPERANDS);
+                    let mut header = (nodes[i].op as u32) << OP_SHIFT
+                        | (nodes[i].args.len() as u32) << NOPS_SHIFT
+                        | nodes[i].folded.min(255) << FOLD_SHIFT;
+                    if i == root && kind.is_hold_element() {
+                        header |= HOLD_BIT;
+                    }
+                    // Operand slots, freeing each temp at its single use so
+                    // the dst (written after all reads) can reuse it.
+                    let mut operand_slots = [0u32; MAX_FUSED_OPERANDS];
+                    for (k, &arg) in nodes[i].args.iter().enumerate() {
+                        operand_slots[k] = match arg {
+                            Arg::Cell(cid) => cid,
+                            Arg::Node(j) => {
+                                let s = slot_of[j as usize];
+                                debug_assert_ne!(s, u32::MAX, "temp used before def");
+                                free.push(s);
+                                n_cells + s
+                            }
+                        };
+                    }
+                    let dst = if i == root {
+                        id
+                    } else {
+                        let s = match free.pop() {
+                            Some(s) => s,
+                            None => {
+                                next_local += 1;
+                                next_local - 1
+                            }
+                        };
+                        slot_of[i] = s;
+                        n_cells + s
+                    };
+                    code.push(header);
+                    code.push(dst);
+                    code.extend_from_slice(&operand_slots);
+                    inst_count += 1;
+                    batch_insts += 1;
+                    if batch_insts == BATCH_INSTS {
+                        batches.push(Batch {
+                            start: batch_start,
+                            end: code.len() as u32,
+                            level: level as u32,
+                        });
+                        batch_start = code.len() as u32;
+                        batch_insts = 0;
+                    }
+                }
+                n_scratch = n_scratch.max(next_local);
+                cell_chain[id as usize] = (chain_start, code.len() as u32 - chain_start);
+            }
+            if batch_insts > 0 {
+                batches.push(Batch {
+                    start: batch_start,
+                    end: code.len() as u32,
+                    level: level as u32,
+                });
+            }
+        }
+
+        let program = Program {
+            n_cells,
+            n_scratch,
+            code,
+            batches,
+            cell_chain,
+            inst_count,
+            micro_ops,
+        };
+        if flh_obs::enabled() {
+            // Lowering work is a pure function of the circuit — deterministic
+            // at any pool width. One gated flush per lowering.
+            flh_obs::add(flh_obs::Counter::CodegenFusedOps, program.fused_micro_ops());
+        }
+        program
+    }
+
+    /// [`Program::lower`] behind an [`Arc`] for the shared-cache paths.
+    pub fn lower_shared(compiled: &CompiledCircuit) -> Arc<Program> {
+        Arc::new(Program::lower(compiled))
+    }
+
+    /// Number of cell value slots (the compiled circuit's cell count).
+    pub fn cell_words(&self) -> usize {
+        self.n_cells as usize
+    }
+
+    /// Scratch words an executor must provide (the register file; a
+    /// handful of words regardless of circuit size).
+    pub fn scratch_words(&self) -> usize {
+        self.n_scratch as usize
+    }
+
+    /// Fused instructions in the program.
+    pub fn inst_count(&self) -> usize {
+        self.inst_count as usize
+    }
+
+    /// Total `u32` words in the code stream.
+    pub fn code_words(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Micro-ops before fusion.
+    pub fn micro_ops(&self) -> u64 {
+        self.micro_ops
+    }
+
+    /// Micro-ops eliminated by fusion (`micro_ops - inst_count`).
+    pub fn fused_micro_ops(&self) -> u64 {
+        self.micro_ops - self.inst_count as u64
+    }
+
+    /// Per-level instruction batches, in execution order.
+    pub fn batches(&self) -> &[Batch] {
+        &self.batches
+    }
+
+    /// Decode and evaluate one fixed-width instruction (an
+    /// [`INST_WORDS`]-word slice). Returns `(value, dst slot, header)`.
+    /// The operand indices below are all constants, so the slice bounds
+    /// checks vanish once the caller hands in `chunks_exact` windows.
+    #[inline(always)]
+    fn eval_inst<W: LaneWord>(&self, inst: &[u32], values: &[W], scratch: &[W]) -> (W, usize, u32) {
+        let header = inst[0];
+        let op = Opcode::from_raw((header >> OP_SHIFT) as u8);
+        let nops = ((header >> NOPS_SHIFT) & 0xf) as usize;
+        let dst = inst[1] as usize;
+        let n_cells = self.n_cells as usize;
+        let ld = |k: usize| {
+            let slot = inst[2 + k] as usize;
+            if slot < n_cells {
+                values[slot]
+            } else {
+                scratch[slot - n_cells]
+            }
+        };
+        let v = match op {
+            Opcode::Const0 => W::bot(),
+            Opcode::Const1 => W::top(),
+            Opcode::Copy => ld(0),
+            Opcode::Not => ld(0).not(),
+            Opcode::And | Opcode::Nand => {
+                let mut acc = ld(0).and(ld(1));
+                if nops > 2 {
+                    acc = acc.and(ld(2));
+                }
+                if nops > 3 {
+                    acc = acc.and(ld(3));
+                }
+                if op == Opcode::Nand {
+                    acc.not()
+                } else {
+                    acc
+                }
+            }
+            Opcode::Or | Opcode::Nor => {
+                let mut acc = ld(0).or(ld(1));
+                if nops > 2 {
+                    acc = acc.or(ld(2));
+                }
+                if nops > 3 {
+                    acc = acc.or(ld(3));
+                }
+                if op == Opcode::Nor {
+                    acc.not()
+                } else {
+                    acc
+                }
+            }
+            Opcode::Xor | Opcode::Xnor => {
+                let mut acc = ld(0).xor(ld(1));
+                if nops > 2 {
+                    acc = acc.xor(ld(2));
+                }
+                if nops > 3 {
+                    acc = acc.xor(ld(3));
+                }
+                if op == Opcode::Xnor {
+                    acc.not()
+                } else {
+                    acc
+                }
+            }
+            Opcode::Aoi21 => ld(0).and(ld(1)).or(ld(2)).not(),
+            Opcode::Aoi22 => ld(0).and(ld(1)).or(ld(2).and(ld(3))).not(),
+            Opcode::Oai21 => ld(0).or(ld(1)).and(ld(2)).not(),
+            Opcode::Oai22 => ld(0).or(ld(1)).and(ld(2).or(ld(3))).not(),
+            Opcode::Mux => W::mux(ld(0), ld(1), ld(2)),
+        };
+        (v, dst, header)
+    }
+
+    /// Executes the whole program unconditionally: every evaluable cell is
+    /// recomputed from the current source values. Returns the number of
+    /// instructions executed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.cell_words()` or `scratch` is
+    /// shorter than [`Program::scratch_words`].
+    pub fn execute<W: LaneWord>(&self, values: &mut [W], scratch: &mut [W]) -> u64 {
+        assert_eq!(values.len(), self.n_cells as usize);
+        assert!(scratch.len() >= self.n_scratch as usize);
+        let n_cells = self.n_cells as usize;
+        let mut executed = 0u64;
+        for b in &self.batches {
+            let window = &self.code[b.start as usize..b.end as usize];
+            for inst in window.chunks_exact(INST_WORDS) {
+                let (v, dst, _header) = self.eval_inst(inst, values, scratch);
+                if dst < n_cells {
+                    values[dst] = v;
+                } else {
+                    scratch[dst - n_cells] = v;
+                }
+                executed += 1;
+            }
+        }
+        executed
+    }
+
+    /// [`Program::execute`] with freeze semantics: a cell store is skipped
+    /// (its old value is kept) when `hold` is engaged and the instruction
+    /// targets a hold element, or when `frozen` marks the destination cell.
+    /// Scratch stores always happen. Returns the number of cell values
+    /// actually written.
+    pub fn execute_masked<W: LaneWord>(
+        &self,
+        values: &mut [W],
+        scratch: &mut [W],
+        hold: bool,
+        frozen: Option<&[bool]>,
+    ) -> u64 {
+        assert_eq!(values.len(), self.n_cells as usize);
+        assert!(scratch.len() >= self.n_scratch as usize);
+        if let Some(f) = frozen {
+            assert_eq!(f.len(), self.n_cells as usize);
+        }
+        let n_cells = self.n_cells as usize;
+        let mut written = 0u64;
+        for b in &self.batches {
+            let window = &self.code[b.start as usize..b.end as usize];
+            for inst in window.chunks_exact(INST_WORDS) {
+                let (v, dst, header) = self.eval_inst(inst, values, scratch);
+                if dst < n_cells {
+                    let skip = (hold && header & HOLD_BIT != 0) || frozen.is_some_and(|f| f[dst]);
+                    if !skip {
+                        values[dst] = v;
+                        written += 1;
+                    }
+                } else {
+                    scratch[dst - n_cells] = v;
+                }
+            }
+        }
+        written
+    }
+
+    /// [`Program::execute`] with a commit hook on every cell store: the
+    /// hook sees `(cell, old, new, holdable)` and returns the value to
+    /// store (return `old` to freeze). The scalar simulator uses this for
+    /// hold/sleep skipping and toggle accounting. Returns instructions
+    /// executed.
+    pub fn execute_with<W, F>(&self, values: &mut [W], scratch: &mut [W], mut commit: F) -> u64
+    where
+        W: LaneWord,
+        F: FnMut(u32, W, W, bool) -> W,
+    {
+        assert_eq!(values.len(), self.n_cells as usize);
+        assert!(scratch.len() >= self.n_scratch as usize);
+        let n_cells = self.n_cells as usize;
+        let mut executed = 0u64;
+        for b in &self.batches {
+            let window = &self.code[b.start as usize..b.end as usize];
+            for inst in window.chunks_exact(INST_WORDS) {
+                let (v, dst, header) = self.eval_inst(inst, values, scratch);
+                if dst < n_cells {
+                    let old = values[dst];
+                    values[dst] = commit(dst as u32, old, v, header & HOLD_BIT != 0);
+                } else {
+                    scratch[dst - n_cells] = v;
+                }
+                executed += 1;
+            }
+        }
+        executed
+    }
+
+    /// Evaluates a single cell's instruction chain against the current
+    /// `values`, returning the would-be new value *without* storing it —
+    /// the event-driven replay kernel's inner op. `scratch` must hold at
+    /// least [`Program::scratch_words`] words and is clobbered.
+    ///
+    /// Sources (inputs, flip-flops) have no chain and return their stored
+    /// value unchanged.
+    #[inline]
+    pub fn eval_cell<W: LaneWord>(&self, cell: u32, values: &[W], scratch: &mut [W]) -> W {
+        let (start, len) = self.cell_chain[cell as usize];
+        if start == u32::MAX {
+            return values[cell as usize];
+        }
+        let n_cells = self.n_cells as usize;
+        let chain = &self.code[start as usize..(start + len) as usize];
+        for inst in chain.chunks_exact(INST_WORDS) {
+            let (v, dst, _header) = self.eval_inst(inst, values, scratch);
+            if dst == cell as usize {
+                return v;
+            }
+            scratch[dst - n_cells] = v;
+        }
+        unreachable!("chain must end with the cell store")
+    }
+
+    /// Number of instructions in one cell's chain (0 for sources).
+    pub fn chain_len(&self, cell: u32) -> usize {
+        let (start, len) = self.cell_chain[cell as usize];
+        if start == u32::MAX {
+            return 0;
+        }
+        len as usize / INST_WORDS
+    }
+
+    /// Renders the program as assembly text: one instruction per line with
+    /// opcode, destination, operand slots and fusion provenance, under
+    /// per-level batch headers. `label` names cell slots (scratch slots
+    /// print as `r0`, `r1`, …).
+    pub fn disasm_with<F: Fn(u32) -> String>(&self, label: F) -> String {
+        let mut out = String::new();
+        let slot_name = |slot: u32| -> String {
+            if slot < self.n_cells {
+                label(slot)
+            } else {
+                format!("r{}", slot - self.n_cells)
+            }
+        };
+        let _ = writeln!(
+            out,
+            "; {} insts, {} micro-ops fused away, {} scratch words, {} batches",
+            self.inst_count,
+            self.fused_micro_ops(),
+            self.n_scratch,
+            self.batches.len()
+        );
+        for (bi, b) in self.batches.iter().enumerate() {
+            let _ = writeln!(out, "; batch {bi} (level {})", b.level);
+            for inst in self.code[b.start as usize..b.end as usize].chunks_exact(INST_WORDS) {
+                let header = inst[0];
+                let op = Opcode::from_raw((header >> OP_SHIFT) as u8);
+                let nops = ((header >> NOPS_SHIFT) & 0xf) as usize;
+                let folded = (header >> FOLD_SHIFT) & 0xff;
+                let dst = inst[1];
+                let operands: Vec<String> = (0..nops).map(|k| slot_name(inst[2 + k])).collect();
+                let hold = if header & HOLD_BIT != 0 { " hold" } else { "" };
+                let provenance = if folded > 1 {
+                    format!(" ; fused {folded} micro-ops")
+                } else {
+                    String::new()
+                };
+                let _ = writeln!(
+                    out,
+                    "  {} {} <- {}{}{}",
+                    op.mnemonic(),
+                    slot_name(dst),
+                    operands.join(", "),
+                    hold,
+                    provenance
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Netlist;
+    use crate::CellId;
+
+    /// A netlist exercising every library kind plus wide generics.
+    fn library_netlist() -> Netlist {
+        use CellKind::*;
+        let mut n = Netlist::new("lib");
+        let pins: Vec<CellId> = (0..8).map(|i| n.add_input(format!("i{i}"))).collect();
+        let p = |i: usize| pins[i % pins.len()];
+        let kinds = [
+            Const0,
+            Const1,
+            Buf,
+            Inv,
+            And2,
+            And3,
+            And4,
+            Nand2,
+            Nand3,
+            Nand4,
+            Or2,
+            Or3,
+            Or4,
+            Nor2,
+            Nor3,
+            Nor4,
+            Xor2,
+            Xnor2,
+            Aoi21,
+            Aoi22,
+            Oai21,
+            Oai22,
+            Mux2,
+            AndN(7),
+            NandN(7),
+            OrN(6),
+            NorN(6),
+            XorN(5),
+        ];
+        let mut outs = Vec::new();
+        for (gi, &kind) in kinds.iter().enumerate() {
+            let fanin: Vec<CellId> = (0..kind.arity()).map(|k| p(gi + k)).collect();
+            outs.push(n.add_cell(format!("g{gi}"), kind, fanin));
+        }
+        for (gi, &g) in outs.iter().enumerate() {
+            n.add_output(format!("y{gi}"), g);
+        }
+        n
+    }
+
+    #[test]
+    fn every_library_cell_fuses_to_one_instruction() {
+        use CellKind::*;
+        let n = library_netlist();
+        let c = CompiledCircuit::compile(&n).unwrap();
+        let p = Program::lower(&c);
+        for &id in c.order() {
+            let kind = c.kind(id);
+            let expect = match kind {
+                AndN(7) | NandN(7) => 2, // And4 + And4/Nand4 over scratch
+                OrN(6) | NorN(6) => 2,
+                XorN(5) => 2,
+                _ => 1,
+            };
+            assert_eq!(
+                p.chain_len(id),
+                expect,
+                "{kind:?} should lower to {expect} inst(s)"
+            );
+        }
+        // Fusion provenance adds back up to the micro-op total.
+        assert_eq!(p.micro_ops(), p.inst_count() as u64 + p.fused_micro_ops());
+    }
+
+    #[test]
+    fn fused_opcodes_match_the_library_cells() {
+        let mut n = Netlist::new("ops");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c_in = n.add_input("c");
+        let d = n.add_input("d");
+        let cases = [
+            (CellKind::Nand3, vec![a, b, c_in], Opcode::Nand),
+            (CellKind::Aoi21, vec![a, b, c_in], Opcode::Aoi21),
+            (CellKind::Aoi22, vec![a, b, c_in, d], Opcode::Aoi22),
+            (CellKind::Oai21, vec![a, b, c_in], Opcode::Oai21),
+            (CellKind::Oai22, vec![a, b, c_in, d], Opcode::Oai22),
+            (CellKind::Xnor2, vec![a, b], Opcode::Xnor),
+            (CellKind::Mux2, vec![a, b, c_in], Opcode::Mux),
+            (CellKind::Nor4, vec![a, b, c_in, d], Opcode::Nor),
+        ];
+        let mut gates = Vec::new();
+        for (gi, (kind, fanin, _)) in cases.iter().enumerate() {
+            gates.push(n.add_cell(format!("g{gi}"), *kind, fanin.clone()));
+        }
+        for (gi, &g) in gates.iter().enumerate() {
+            n.add_output(format!("y{gi}"), g);
+        }
+        let c = CompiledCircuit::compile(&n).unwrap();
+        let p = Program::lower(&c);
+        for ((kind, _, want_op), &g) in cases.iter().zip(&gates) {
+            let id = c.id_of(g);
+            let (start, _) = p.cell_chain[id as usize];
+            let got = Opcode::from_raw((p.code[start as usize] >> OP_SHIFT) as u8);
+            assert_eq!(got, *want_op, "{kind:?}");
+            assert_eq!(p.chain_len(id), 1, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_registers_are_reused_across_cells_and_levels() {
+        // Many wide generics, each needing one spill temp: the free list
+        // must hand the same scratch word to every chain instead of
+        // growing the register file.
+        let mut n = Netlist::new("scratch");
+        let pins: Vec<CellId> = (0..8).map(|i| n.add_input(format!("i{i}"))).collect();
+        let mut prev = pins.clone();
+        for lvl in 0..4 {
+            let g = n.add_cell(
+                format!("w{lvl}"),
+                CellKind::AndN(8),
+                prev.iter().copied().take(8).collect(),
+            );
+            prev.rotate_left(1);
+            prev[0] = g;
+            n.add_output(format!("y{lvl}"), g);
+        }
+        let c = CompiledCircuit::compile(&n).unwrap();
+        let p = Program::lower(&c);
+        assert!(
+            p.inst_count() > p.scratch_words(),
+            "multiple chains must share scratch"
+        );
+        assert_eq!(p.scratch_words(), 1, "AndN(8) needs exactly one temp");
+    }
+
+    #[test]
+    fn execute_matches_eval_dual_on_random_circuits() {
+        use crate::generate::{generate_circuit, GeneratorConfig};
+        for seed in [2u64, 19] {
+            let n = generate_circuit(&GeneratorConfig {
+                name: format!("bc{seed}"),
+                primary_inputs: 7,
+                primary_outputs: 6,
+                flip_flops: 8,
+                gates: 120,
+                logic_depth: 9,
+                avg_ff_fanout: 2.2,
+                unique_flg_ratio: 1.6,
+                hot_ff_fanout: None,
+                seed,
+            })
+            .unwrap();
+            let c = CompiledCircuit::compile(&n).unwrap();
+            let p = Program::lower(&c);
+
+            // Pseudo-random dual-rail stimulus with X lanes on all sources.
+            let mut values = vec![Dual64::all_x(); c.cell_count()];
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for &src in c.inputs().iter().chain(c.flip_flops()) {
+                let one = next();
+                let zero = next() & !one;
+                values[src as usize] = Dual64 { one, zero };
+            }
+
+            // Reference: direct per-cell eval_dual over the level order.
+            let mut want = values.clone();
+            let mut fanin_buf = Vec::new();
+            for &id in c.order() {
+                fanin_buf.clear();
+                fanin_buf.extend(c.fanin(id).iter().map(|&f| want[f as usize]));
+                want[id as usize] = c.kind(id).eval_dual(&fanin_buf);
+            }
+
+            let mut scratch = vec![Dual64::all_x(); p.scratch_words()];
+            let executed = p.execute(&mut values, &mut scratch);
+            assert_eq!(executed, p.inst_count() as u64);
+            assert_eq!(values, want, "seed {seed}");
+
+            // eval_cell agrees with the stored chain result for every cell.
+            for &id in c.order() {
+                let v = p.eval_cell(id, &values, &mut scratch);
+                assert_eq!(v, values[id as usize], "cell {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_execute_freezes_cells_and_hold_elements() {
+        let mut n = Netlist::new("mask");
+        let a = n.add_input("a");
+        let h = n.add_cell("h", CellKind::HoldLatch, vec![a]);
+        let g1 = n.add_cell("g1", CellKind::Inv, vec![a]);
+        let g2 = n.add_cell("g2", CellKind::Xor2, vec![h, g1]);
+        n.add_output("y", g2);
+        let c = CompiledCircuit::compile(&n).unwrap();
+        let p = Program::lower(&c);
+        let mut values = vec![Dual64::all_x(); c.cell_count()];
+        let mut scratch = vec![Dual64::all_x(); p.scratch_words().max(1)];
+        values[c.id_of(a) as usize] = Dual64::from_word(0b1100);
+        p.execute(&mut values, &mut scratch);
+        let held = values[c.id_of(h) as usize];
+
+        // Engage hold, flip the input: the latch keeps its word, the
+        // inverter follows, and the xor sees the mix.
+        values[c.id_of(a) as usize] = Dual64::from_word(0b1010);
+        p.execute_masked(&mut values, &mut scratch, true, None);
+        assert_eq!(values[c.id_of(h) as usize], held, "hold latch frozen");
+        assert_eq!(values[c.id_of(g1) as usize].one, !0b1010);
+
+        // A frozen mask pins an ordinary gate the same way.
+        let mut frozen = vec![false; c.cell_count()];
+        frozen[c.id_of(g1) as usize] = true;
+        values[c.id_of(a) as usize] = Dual64::from_word(0b0110);
+        p.execute_masked(&mut values, &mut scratch, false, Some(&frozen));
+        assert_eq!(values[c.id_of(g1) as usize].one, !0b1010, "frozen gate");
+        assert_eq!(values[c.id_of(h) as usize].one, 0b0110, "hold released");
+    }
+
+    #[test]
+    fn lane_words_agree_across_widths() {
+        // The same two-valued stimulus through u64, Dual8, Dual64 and
+        // Dual256 lanes must produce the same per-lane answers.
+        let n = library_netlist();
+        let c = CompiledCircuit::compile(&n).unwrap();
+        let p = Program::lower(&c);
+        let mut state = 0xDEAD_BEEFu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut v64 = vec![0u64; c.cell_count()];
+        let mut vd8 = vec![Dual8::all_x(); c.cell_count()];
+        let mut vd64 = vec![Dual64::all_x(); c.cell_count()];
+        let mut vd256 = vec![Dual256::all_x(); c.cell_count()];
+        for &src in c.inputs().iter().chain(c.flip_flops()) {
+            let w = next();
+            v64[src as usize] = w;
+            let bit0 = w & 1 != 0;
+            vd8[src as usize] = if bit0 { Dual8::top() } else { Dual8::bot() };
+            vd64[src as usize] = Dual64::from_word(w);
+            vd256[src as usize] = Dual256 {
+                one: [w; 4],
+                zero: [!w; 4],
+            };
+        }
+        let mut s64 = vec![0u64; p.scratch_words()];
+        let mut sd8 = vec![Dual8::all_x(); p.scratch_words()];
+        let mut sd64 = vec![Dual64::all_x(); p.scratch_words()];
+        let mut sd256 = vec![Dual256::all_x(); p.scratch_words()];
+        p.execute(&mut v64, &mut s64);
+        p.execute(&mut vd8, &mut sd8);
+        p.execute(&mut vd64, &mut sd64);
+        p.execute(&mut vd256, &mut sd256);
+        for &id in c.order() {
+            let id = id as usize;
+            let w = v64[id];
+            assert_eq!(vd64[id], Dual64::from_word(w), "cell {id} dual64");
+            assert_eq!(
+                vd8[id],
+                if w & 1 != 0 {
+                    Dual8::top()
+                } else {
+                    Dual8::bot()
+                },
+                "cell {id} dual8"
+            );
+            assert_eq!(vd256[id].one, [w; 4], "cell {id} dual256 one");
+            assert_eq!(vd256[id].zero, [!w; 4], "cell {id} dual256 zero");
+        }
+    }
+
+    #[test]
+    fn batches_stay_within_level_boundaries() {
+        let n = library_netlist();
+        let c = CompiledCircuit::compile(&n).unwrap();
+        let p = Program::lower(&c);
+        let mut covered = 0u32;
+        let mut last_level = 0u32;
+        for b in p.batches() {
+            assert!(b.start == covered, "batches must tile the code stream");
+            assert!(b.end > b.start);
+            assert!(b.level >= last_level, "level-major order");
+            let words = (b.end - b.start) as usize;
+            assert_eq!(words % INST_WORDS, 0, "fixed-stride instruction stream");
+            assert!((words / INST_WORDS) as u32 <= BATCH_INSTS);
+            covered = b.end;
+            last_level = b.level;
+        }
+        assert_eq!(covered as usize, p.code_words());
+    }
+
+    #[test]
+    fn disasm_names_cells_and_provenance() {
+        let mut n = Netlist::new("dis");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c_in = n.add_input("c");
+        let g = n.add_cell("g", CellKind::Aoi21, vec![a, b, c_in]);
+        n.add_output("y", g);
+        let c = CompiledCircuit::compile(&n).unwrap();
+        let p = Program::lower(&c);
+        let text = p.disasm_with(|slot| n.cell(c.cell_id(slot)).name().to_string());
+        assert!(text.contains("aoi21"), "{text}");
+        assert!(text.contains("fused 3 micro-ops"), "{text}");
+        assert!(text.contains("a, b, c"), "{text}");
+    }
+}

@@ -44,6 +44,7 @@
 
 pub mod analysis;
 pub mod bench_io;
+pub mod bytecode;
 pub mod cell;
 pub mod compiled;
 pub mod dot;
@@ -56,6 +57,7 @@ pub mod unroll;
 pub mod verilog;
 
 pub use analysis::{CircuitStats, FanoutMap, Levelization};
+pub use bytecode::{Dual256, Dual8, LaneWord, Opcode, Program};
 pub use cell::{CellId, CellKind, Dual64, HoldStyle};
 pub use compiled::CompiledCircuit;
 pub use error::NetlistError;

@@ -42,16 +42,19 @@ pub enum Counter {
     PodemBacktracks,
     /// Cells evaluated by `CompiledSim::settle` (scalar three-valued).
     SimCellEvals,
-    /// Dual-rail words written by the packed settle kernels (two per cell
-    /// evaluation: a `one` plane and a `zero` plane).
-    SimPackedWordOps,
+    /// Bytecode instructions executed by the compiled-program engines
+    /// (scalar, packed and superword settles, fault-free good machines).
+    SimBytecodeInsts,
+    /// Micro-ops eliminated by bytecode fusion, recorded when a circuit is
+    /// lowered (`Program::lower`).
+    CodegenFusedOps,
     /// Lint diagnostics produced across all passes.
     LintFindings,
 }
 
 impl Counter {
     /// Every counter, in the fixed report order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 15] = [
         Counter::ReplayCalls,
         Counter::ReplayEvents,
         Counter::ReplayDedupHits,
@@ -64,7 +67,8 @@ impl Counter {
         Counter::FaultsDropped,
         Counter::PodemBacktracks,
         Counter::SimCellEvals,
-        Counter::SimPackedWordOps,
+        Counter::SimBytecodeInsts,
+        Counter::CodegenFusedOps,
         Counter::LintFindings,
     ];
 
@@ -83,7 +87,8 @@ impl Counter {
             Counter::FaultsDropped => "drops.faults_dropped",
             Counter::PodemBacktracks => "podem.backtracks",
             Counter::SimCellEvals => "sim.cell_evals",
-            Counter::SimPackedWordOps => "sim.packed_word_ops",
+            Counter::SimBytecodeInsts => "sim.bytecode_insts",
+            Counter::CodegenFusedOps => "codegen.fused_ops",
             Counter::LintFindings => "lint.findings",
         }
     }

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use flh_core::{apply_style, DftStyle};
-use flh_netlist::{CompiledCircuit, Netlist};
+use flh_netlist::{CompiledCircuit, Netlist, Program};
 
 use crate::source::{content_key, CircuitSource};
 
@@ -36,6 +36,8 @@ pub struct CompiledEntry {
     pub netlist: Netlist,
     /// Its compiled evaluation structure.
     pub compiled: Arc<CompiledCircuit>,
+    /// The lowered bytecode program every simulation job executes.
+    pub program: Arc<Program>,
     /// Content key of the *base* (pre-styling) netlist.
     pub content_key: u64,
 }
@@ -210,9 +212,11 @@ impl CircuitCache {
         };
         let compiled = CompiledCircuit::compile_shared(&styled)
             .map_err(|e| format!("{}: compile failed: {e}", source.name()))?;
+        let program = Program::lower_shared(&compiled);
         let entry = Arc::new(CompiledEntry {
             netlist: styled,
             compiled,
+            program,
             content_key: content,
         });
         self.entries.insert(key, (Arc::clone(&entry), tick));

@@ -118,11 +118,14 @@ impl JobEngine {
                 pairs,
                 seed,
             } => {
-                let view =
-                    match TestView::with_compiled(&entry.netlist, Arc::clone(&entry.compiled)) {
-                        Ok(view) => view,
-                        Err(e) => return fail(e.to_string(), emit),
-                    };
+                let view = match TestView::with_program(
+                    &entry.netlist,
+                    Arc::clone(&entry.compiled),
+                    Arc::clone(&entry.program),
+                ) {
+                    Ok(view) => view,
+                    Err(e) => return fail(e.to_string(), emit),
+                };
                 let faults = enumerate_transition_faults(&entry.netlist);
                 for (index, &style) in styles.iter().enumerate() {
                     let result = transition_campaign_with_view(

@@ -1,27 +1,31 @@
-//! Levelized simulation over the [`CompiledCircuit`] execution IR.
+//! Bytecode-driven simulation over the lowered [`Program`].
 //!
 //! Two evaluators live here:
 //!
 //! * [`CompiledSim`] — a scalar three-valued sequential simulator with the
 //!   exact semantics of [`LogicSim`](crate::LogicSim) (hold latches, FLH
-//!   supply gating, toggle accounting), but walking the compiled level
-//!   order and CSR fanin arrays instead of the graph. Its two-pass settle
-//!   (evaluate a level, commit, move up) touches memory linearly.
-//! * [`settle_packed`] / [`settle_packed_frozen`] — a 64-lane bit-parallel
-//!   dual-rail kernel: every cell carries a [`Dual64`] (64 patterns at
-//!   once, exact Kleene X semantics via
-//!   [`CellKind::eval_dual`](flh_netlist::CellKind::eval_dual)). This is
-//!   the engine under batched fault simulation and fast X-aware sweeps.
+//!   supply gating, toggle accounting). Since codegen v2 it no longer
+//!   interprets the CSR IR cell by cell: construction lowers the circuit
+//!   to a flat fused-opcode [`Program`] (or accepts a pre-lowered one) and
+//!   `settle` executes it over [`Dual8`] dual-rail words — the whole value
+//!   file of a mid-size circuit stays in L1.
+//! * [`settle_packed`] / [`settle_packed_frozen`] — lane-parallel dual-rail
+//!   settles, generic over [`LaneWord`]: [`Dual64`] for the classic 64-lane
+//!   kernel and [`Dual256`] for the manual `u64x4` superword (256 patterns
+//!   per instruction), both with exact Kleene X semantics.
 //!
-//! Both are cross-checked bit-for-bit against the event-driven simulator
-//! and `eval3` by the crate tests and `tests/compiled_equivalence.rs`.
+//! All engines are cross-checked bit-for-bit against the event-driven
+//! simulator and `eval3` by the crate tests and
+//! `tests/compiled_equivalence.rs`.
 
-use flh_netlist::{CellId, CompiledCircuit, Dual64};
+use std::sync::Arc;
+
+use flh_netlist::{CellId, CompiledCircuit, Dual256, Dual64, Dual8, LaneWord, Program};
 
 use crate::simulator::Activity;
-use crate::value::{eval3, Logic};
+use crate::value::Logic;
 
-/// Three-valued sequential simulator over a [`CompiledCircuit`].
+/// Three-valued sequential simulator executing the lowered bytecode.
 ///
 /// Mirrors the [`LogicSim`](crate::LogicSim) API and semantics exactly —
 /// same values, same captured flip-flop states, same toggle counts — so the
@@ -50,33 +54,80 @@ use crate::value::{eval3, Logic};
 #[derive(Clone, Debug)]
 pub struct CompiledSim<'c> {
     compiled: &'c CompiledCircuit,
-    values: Vec<Logic>,
+    program: Arc<Program>,
+    values: Vec<Dual8>,
     hold: bool,
     sleep: bool,
     gated: Vec<bool>,
     activity: Activity,
-    scratch: Vec<Logic>,
+    scratch: Vec<Dual8>,
+}
+
+/// Converts a [`Logic`] value to the replicated [`Dual8`] storage form.
+#[inline]
+pub fn logic_to_dual8(v: Logic) -> Dual8 {
+    match v {
+        Logic::One => Dual8::top(),
+        Logic::Zero => Dual8::bot(),
+        Logic::X => Dual8::all_x(),
+    }
+}
+
+/// Reads a replicated [`Dual8`] word back as a [`Logic`] value.
+#[inline]
+pub fn dual8_to_logic(v: Dual8) -> Logic {
+    if v.one & 1 != 0 {
+        Logic::One
+    } else if v.zero & 1 != 0 {
+        Logic::Zero
+    } else {
+        Logic::X
+    }
 }
 
 impl<'c> CompiledSim<'c> {
-    /// Builds a simulator over a compiled circuit (already validated acyclic
-    /// at compile time, so construction cannot fail).
+    /// Builds a simulator over a compiled circuit, lowering it to bytecode
+    /// (already validated acyclic at compile time, so construction cannot
+    /// fail).
     pub fn new(compiled: &'c CompiledCircuit) -> Self {
+        Self::with_program(compiled, Program::lower_shared(compiled))
+    }
+
+    /// Builds a simulator over an already-lowered program (the cache path:
+    /// lower once, simulate many times).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `program` was not lowered from a circuit with the same
+    /// cell count.
+    pub fn with_program(compiled: &'c CompiledCircuit, program: Arc<Program>) -> Self {
+        assert_eq!(
+            program.cell_words(),
+            compiled.cell_count(),
+            "program does not match the circuit"
+        );
         let n = compiled.cell_count();
+        let scratch = vec![Dual8::all_x(); program.scratch_words()];
         CompiledSim {
             compiled,
-            values: vec![Logic::X; n],
+            program,
+            values: vec![Dual8::all_x(); n],
             hold: false,
             sleep: false,
             gated: vec![false; n],
             activity: Activity::new(n),
-            scratch: Vec::with_capacity(8),
+            scratch,
         }
     }
 
     /// The compiled circuit this simulator walks.
     pub fn compiled(&self) -> &'c CompiledCircuit {
         self.compiled
+    }
+
+    /// The lowered program this simulator executes.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
     }
 
     /// Marks the supply-gated (FLH) cells; their outputs freeze while
@@ -101,7 +152,7 @@ impl<'c> CompiledSim<'c> {
     /// Sets one primary input by position.
     pub fn set_input(&mut self, index: usize, value: Logic) {
         let id = self.compiled.inputs()[index];
-        self.values[id as usize] = value;
+        self.values[id as usize] = logic_to_dual8(value);
     }
 
     /// Sets all primary inputs.
@@ -132,14 +183,14 @@ impl<'c> CompiledSim<'c> {
             self.compiled.kind(id.index() as u32).is_flip_flop(),
             "{id} is not a flip-flop"
         );
-        self.write(id.index() as u32, value);
+        self.write(id.index() as u32, logic_to_dual8(value));
     }
 
     #[inline]
-    fn write(&mut self, id: u32, value: Logic) {
+    fn write(&mut self, id: u32, value: Dual8) {
         let old = self.values[id as usize];
         if old != value {
-            if old.is_known() && value.is_known() {
+            if old.known() != 0 && value.known() != 0 {
                 self.activity.record_toggle(id as usize);
             }
             self.values[id as usize] = value;
@@ -148,7 +199,7 @@ impl<'c> CompiledSim<'c> {
 
     /// Current stable value of any cell output.
     pub fn value(&self, id: CellId) -> Logic {
-        self.values[id.index()]
+        dual8_to_logic(self.values[id.index()])
     }
 
     /// Current primary-output values.
@@ -156,7 +207,7 @@ impl<'c> CompiledSim<'c> {
         self.compiled
             .outputs()
             .iter()
-            .map(|&o| self.values[o as usize])
+            .map(|&o| dual8_to_logic(self.values[o as usize]))
             .collect()
     }
 
@@ -165,42 +216,45 @@ impl<'c> CompiledSim<'c> {
         self.compiled
             .flip_flops()
             .iter()
-            .map(|&f| self.values[f as usize])
+            .map(|&f| dual8_to_logic(self.values[f as usize]))
             .collect()
     }
 
-    /// Propagates the combinational logic to a stable state, walking the
-    /// precomputed level order (level by level, so every fanin is final
-    /// before its readers evaluate).
+    /// Propagates the combinational logic to a stable state by executing
+    /// the lowered program (level-major fused opcodes, one pass).
     ///
     /// Holding cells keep their stored output while hold is engaged;
     /// supply-gated cells keep theirs while sleep is engaged. Value and
     /// toggle semantics are identical to
     /// [`LogicSim::settle`](crate::LogicSim::settle).
     pub fn settle(&mut self) {
-        let compiled = self.compiled;
-        let mut scratch = std::mem::take(&mut self.scratch);
+        let program = Arc::clone(&self.program);
+        let hold = self.hold;
+        let sleep = self.sleep;
+        let CompiledSim {
+            values,
+            scratch,
+            gated,
+            activity,
+            ..
+        } = self;
         let mut evals = 0u64;
-        for i in 0..compiled.order().len() {
-            let id = compiled.order()[i];
-            let kind = compiled.kind(id);
-            if kind.is_hold_element() && self.hold {
-                continue; // frozen
+        let insts = program.execute_with(values, scratch, |cell, old, new, holdable| {
+            if (hold && holdable) || (sleep && gated[cell as usize]) {
+                return old; // frozen: keeper / hold element keeps its value
             }
-            if self.sleep && self.gated[id as usize] {
-                continue; // supply-gated, keeper holds the old value
-            }
-            scratch.clear();
-            scratch.extend(compiled.fanin(id).iter().map(|&f| self.values[f as usize]));
-            let new = eval3(kind, &scratch);
-            self.write(id, new);
             evals += 1;
-        }
-        self.scratch = scratch;
+            if old != new && old.known() != 0 && new.known() != 0 {
+                activity.record_toggle(cell as usize);
+            }
+            new
+        });
         if flh_obs::enabled() {
-            // Cells evaluated per settle depend only on circuit + hold/
-            // sleep state — deterministic work, one gated flush per settle.
+            // Cells evaluated and instructions executed per settle depend
+            // only on circuit + hold/sleep state — deterministic work, one
+            // gated flush per settle.
             flh_obs::add(flh_obs::Counter::SimCellEvals, evals);
+            flh_obs::add(flh_obs::Counter::SimBytecodeInsts, insts);
         }
     }
 
@@ -259,33 +313,52 @@ pub fn lane_to_logic(v: Dual64, lane: u32) -> Logic {
     }
 }
 
-/// 64-lane bit-parallel dual-rail settle over the compiled level order.
+/// Converts a [`Logic`] value to one lane of a 256-wide superword.
+#[inline]
+pub fn logic_to_superlane(v: Logic, lane: u32) -> Dual256 {
+    let mut w = Dual256::all_x();
+    let limb = (lane / 64) as usize;
+    let bit = 1u64 << (lane % 64);
+    match v {
+        Logic::One => w.one[limb] = bit,
+        Logic::Zero => w.zero[limb] = bit,
+        Logic::X => {}
+    }
+    w
+}
+
+/// Reads one lane of a 256-wide superword back into a [`Logic`] value.
+#[inline]
+pub fn superlane_to_logic(v: Dual256, lane: u32) -> Logic {
+    let limb = (lane / 64) as usize;
+    let bit = 1u64 << (lane % 64);
+    if v.one[limb] & bit != 0 {
+        Logic::One
+    } else if v.zero[limb] & bit != 0 {
+        Logic::Zero
+    } else {
+        Logic::X
+    }
+}
+
+/// Lane-parallel dual-rail settle: one bytecode pass over `values`.
 ///
 /// `values` is indexed by dense cell id; sources (primary inputs, flip-flop
 /// outputs) are treated as fixed stimuli and left untouched, every evaluable
 /// cell is recomputed. Each lane carries an independent pattern with exact
 /// Kleene X semantics — lane `k` of the result equals a scalar `eval3`
-/// sweep of lane `k`'s inputs (proven by the crate tests).
+/// sweep of lane `k`'s inputs (proven by the crate tests). Instantiate with
+/// [`Dual64`] for 64 lanes or [`Dual256`] for the 256-lane superword.
 ///
 /// # Panics
 ///
-/// Panics if `values.len() != compiled.cell_count()`.
-pub fn settle_packed(compiled: &CompiledCircuit, values: &mut [Dual64]) {
-    assert_eq!(values.len(), compiled.cell_count());
-    let mut inputs: Vec<Dual64> = Vec::with_capacity(8);
-    for &id in compiled.order() {
-        let kind = compiled.kind(id);
-        inputs.clear();
-        inputs.extend(compiled.fanin(id).iter().map(|&f| values[f as usize]));
-        values[id as usize] = kind.eval_dual(&inputs);
-    }
+/// Panics if `values.len() != program.cell_words()`.
+pub fn settle_packed<W: LaneWord>(program: &Program, values: &mut [W]) {
+    let mut scratch = vec![W::bot(); program.scratch_words()];
+    let insts = program.execute(values, &mut scratch);
     if flh_obs::enabled() {
-        // Two 64-lane words (one/zero planes) written per evaluated cell;
-        // the level order is fixed, so this is deterministic work.
-        flh_obs::add(
-            flh_obs::Counter::SimPackedWordOps,
-            2 * compiled.order().len() as u64,
-        );
+        // The instruction stream is fixed per circuit — deterministic work.
+        flh_obs::add(flh_obs::Counter::SimBytecodeInsts, insts);
     }
 }
 
@@ -295,30 +368,19 @@ pub fn settle_packed(compiled: &CompiledCircuit, values: &mut [Dual64]) {
 ///
 /// # Panics
 ///
-/// Panics if the slice lengths differ from `compiled.cell_count()`.
-pub fn settle_packed_frozen(compiled: &CompiledCircuit, values: &mut [Dual64], frozen: &[bool]) {
-    assert_eq!(values.len(), compiled.cell_count());
-    assert_eq!(frozen.len(), compiled.cell_count());
-    let mut inputs: Vec<Dual64> = Vec::with_capacity(8);
-    let mut evals = 0u64;
-    for &id in compiled.order() {
-        if frozen[id as usize] {
-            continue;
-        }
-        let kind = compiled.kind(id);
-        inputs.clear();
-        inputs.extend(compiled.fanin(id).iter().map(|&f| values[f as usize]));
-        values[id as usize] = kind.eval_dual(&inputs);
-        evals += 1;
-    }
+/// Panics if the slice lengths differ from `program.cell_words()`.
+pub fn settle_packed_frozen<W: LaneWord>(program: &Program, values: &mut [W], frozen: &[bool]) {
+    let mut scratch = vec![W::bot(); program.scratch_words()];
+    let written = program.execute_masked(values, &mut scratch, false, Some(frozen));
     if flh_obs::enabled() {
-        flh_obs::add(flh_obs::Counter::SimPackedWordOps, 2 * evals);
+        flh_obs::add(flh_obs::Counter::SimBytecodeInsts, written);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::eval3;
     use crate::LogicSim;
     use flh_netlist::{generate_circuit, GeneratorConfig, Netlist};
     use flh_rng::Rng;
@@ -476,10 +538,13 @@ mod tests {
         for seed in [3u64, 11] {
             let n = sample(seed);
             let c = flh_netlist::CompiledCircuit::compile(&n).unwrap();
+            let p = flh_netlist::Program::lower(&c);
             let mut rng = Rng::seed_from_u64(seed ^ 0xBEEF);
 
-            // 64 random stimuli (with X lanes) applied to all sources.
+            // The same stimuli (with X lanes) in 64-lane words, 256-lane
+            // superwords, and 64 scalar shadows.
             let mut packed = vec![Dual64::all_x(); c.cell_count()];
+            let mut superpacked = vec![Dual256::all_x(); c.cell_count()];
             let mut scalars: Vec<Vec<Logic>> = vec![vec![Logic::X; c.cell_count()]; 64];
             for &src in c.inputs().iter().chain(c.flip_flops()) {
                 for (lane, scalar) in scalars.iter_mut().enumerate() {
@@ -489,9 +554,17 @@ mod tests {
                     let cur = &mut packed[src as usize];
                     cur.one |= d.one;
                     cur.zero |= d.zero;
+                    // Superword lane 3*lane keeps a copy of the same pattern.
+                    let s = logic_to_superlane(v, 3 * lane as u32);
+                    let sup = &mut superpacked[src as usize];
+                    for limb in 0..4 {
+                        sup.one[limb] |= s.one[limb];
+                        sup.zero[limb] |= s.zero[limb];
+                    }
                 }
             }
-            settle_packed(&c, &mut packed);
+            settle_packed(&p, &mut packed);
+            settle_packed(&p, &mut superpacked);
 
             for (lane, scalar) in scalars.iter().enumerate() {
                 let mut sim = LogicSim::new(&n).unwrap();
@@ -512,6 +585,12 @@ mod tests {
                         sim.value(id),
                         "lane {lane} {id:?}"
                     );
+                    assert_eq!(
+                        superlane_to_logic(superpacked[id.index()], 3 * lane as u32),
+                        sim.value(id),
+                        "superword lane {} {id:?}",
+                        3 * lane
+                    );
                 }
             }
         }
@@ -526,14 +605,15 @@ mod tests {
         let g2 = n.add_cell("g2", CellKind::Inv, vec![g1]);
         n.add_output("y", g2);
         let c = flh_netlist::CompiledCircuit::compile(&n).unwrap();
+        let p = flh_netlist::Program::lower(&c);
         let mut vals = vec![Dual64::all_x(); c.cell_count()];
         vals[a.index()] = Dual64::from_word(0b1010);
-        settle_packed(&c, &mut vals);
+        settle_packed(&p, &mut vals);
         assert_eq!(vals[g1.index()].one, !0b1010);
         let mut frozen = vec![false; c.cell_count()];
         frozen[g1.index()] = true;
         vals[a.index()] = Dual64::from_word(0b0101); // flip the input
-        settle_packed_frozen(&c, &mut vals, &frozen);
+        settle_packed_frozen(&p, &mut vals, &frozen);
         assert_eq!(vals[g1.index()].one, !0b1010, "frozen g1 must hold");
         assert_eq!(vals[g2.index()].one, 0b1010, "g2 follows frozen g1");
     }

@@ -23,6 +23,10 @@
 //! [`CellKind::HoldLatch`]: flh_netlist::CellKind::HoldLatch
 //! [`CellKind::HoldMux`]: flh_netlist::CellKind::HoldMux
 
+// Library code surfaces failure as Result or a documented panic; unwrap
+// stays legal in tests, where a panic IS the report.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod compiled_sim;
 pub mod scan;
 pub mod simulator;
@@ -30,7 +34,8 @@ pub mod two_pattern;
 pub mod value;
 
 pub use compiled_sim::{
-    lane_to_logic, logic_to_lane, settle_packed, settle_packed_frozen, CompiledSim,
+    dual8_to_logic, lane_to_logic, logic_to_dual8, logic_to_lane, logic_to_superlane,
+    settle_packed, settle_packed_frozen, superlane_to_logic, CompiledSim,
 };
 pub use scan::{MultiScanController, ScanChain, ScanController};
 pub use simulator::{Activity, LogicSim};

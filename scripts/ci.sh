@@ -38,7 +38,7 @@ echo "== clippy (guarded: workspace deny set on opted-in crates) =="
 # true`. Clippy ships with the toolchain here, but minimal toolchains may
 # lack it — skip with a notice rather than fail the whole gate.
 if cargo clippy --version >/dev/null 2>&1; then
-    cargo clippy --offline -p flh-netlist -p flh-lint -p flh-serve --all-targets
+    cargo clippy --offline -p flh-netlist -p flh-sim -p flh-lint -p flh-serve --all-targets
 else
     echo "NOTICE: cargo clippy unavailable in this toolchain; skipping the lint step"
 fi
@@ -104,6 +104,13 @@ if ! grep -q '"hits":1' "$bench_tmp/serve_w1.jsonl"; then
 fi
 echo "identical serve transcript at both pool widths; duplicate job hit the cache"
 
+echo "== codegen equivalence gate (bytecode vs event-driven reference) =="
+# The lowered bytecode must agree with the event-driven simulator on every
+# profile x style cell, for the packed kernels and both replay engines.
+# The suite already ran inside the workspace pass above; this names it as
+# its own gate so a failure is attributed to codegen, not "tests".
+cargo test -q --offline -p flh-bench --test codegen_equivalence
+
 echo "== perf report smoke (--quick, temp outputs, recorder on) =="
 # Quick-mode reports go to a temp dir so the committed full-run
 # BENCH_*.json files are never clobbered by a smoke run. The recorder is
@@ -113,7 +120,16 @@ cargo run -q --release --offline -p flh-bench --bin perf_report -- --quick \
     --out "$bench_tmp/BENCH_compiled_ir.json" \
     --out-parallel "$bench_tmp/BENCH_parallel_fsim.json" \
     --out-transition "$bench_tmp/BENCH_transition_fsim.json" \
-    --metrics-json "$bench_tmp/perf_metrics.json"
+    --metrics-json "$bench_tmp/perf_metrics.json" \
+    | tee "$bench_tmp/perf_report.log"
+if ! grep -q '^codegen_v2' "$bench_tmp/perf_report.log"; then
+    echo "PERF SMOKE FAILED: perf_report printed no codegen_v2 section" >&2
+    exit 1
+fi
+if ! grep -q '"codegen_v2"' "$bench_tmp/BENCH_compiled_ir.json"; then
+    echo "PERF SMOKE FAILED: BENCH_compiled_ir.json lacks the codegen_v2 section" >&2
+    exit 1
+fi
 
 echo "== bench report schema (committed + quick outputs) =="
 cargo run -q --release --offline -p flh-bench --bin check_bench -- \

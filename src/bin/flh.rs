@@ -46,7 +46,7 @@ use flh::exec::ThreadPool;
 use flh::netlist::bench_io::{parse_bench, write_bench};
 use flh::netlist::mapper::map_netlist;
 use flh::netlist::{dot, generate_circuit, iscas89_profile, iscas89_profiles, verilog};
-use flh::netlist::{CircuitStats, Netlist};
+use flh::netlist::{CircuitStats, CompiledCircuit, Netlist, Program};
 use flh::obs;
 use flh::serve::{
     parse_application_styles, parse_dft_style, serve_lines, serve_unix_socket, BatchPayload,
@@ -58,7 +58,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh campaign <circuit> [--pairs N] [--seed S] [--styles all|LIST] [--dft STYLE]\n  flh serve  [--queue N] [--cache N] [--socket PATH]\n  flh list\n\nglobal flags: --metrics-json PATH, --metrics-det-json PATH\n(FLH_TRACE=<path> writes a Chrome trace-event file)\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path\ncampaign --styles = all or a comma list of arbitrary, broadside, skewed"
+        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh disasm <circuit> [--dft STYLE]\n  flh campaign <circuit> [--pairs N] [--seed S] [--styles all|LIST] [--dft STYLE]\n  flh serve  [--queue N] [--cache N] [--socket PATH]\n  flh list\n\nglobal flags: --metrics-json PATH, --metrics-det-json PATH\n(FLH_TRACE=<path> writes a Chrome trace-event file)\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path\ncampaign --styles = all or a comma list of arbitrary, broadside, skewed\ndisasm prints the lowered fused-opcode bytecode the simulators execute"
     );
     ExitCode::FAILURE
 }
@@ -193,6 +193,29 @@ fn cmd_fsim(circuit: &Netlist, pattern_file: &str) -> Result<(), String> {
         hits,
         faults.len(),
         100.0 * hits as f64 / faults.len().max(1) as f64
+    );
+    Ok(())
+}
+
+/// Prints the lowered bytecode of a circuit (optionally after DFT styling):
+/// per-level batches, fused opcodes, named cell slots, scratch registers
+/// and fusion provenance — exactly the program every simulator executes.
+fn cmd_disasm(circuit: &Netlist, dft: Option<DftStyle>) -> Result<(), String> {
+    let styled;
+    let netlist = match dft {
+        None => circuit,
+        Some(style) => {
+            styled = apply_style(circuit, style)
+                .map_err(|e| e.to_string())?
+                .netlist;
+            &styled
+        }
+    };
+    let compiled = CompiledCircuit::compile(netlist).map_err(|e| e.to_string())?;
+    let program = Program::lower(&compiled);
+    print!(
+        "{}",
+        program.disasm_with(|slot| netlist.cell(compiled.cell_id(slot)).name().to_string())
     );
     Ok(())
 }
@@ -335,6 +358,19 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             cmd_atpg(&load_circuit(&args[1])?, out)
         }
         Some("fsim") if args.len() == 3 => cmd_fsim(&load_circuit(&args[1])?, &args[2]),
+        Some("disasm") if args.len() >= 2 => {
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let dft = match take_flag_value(&mut rest, "--dft")? {
+                Some(v) => {
+                    Some(parse_style(&v).ok_or_else(|| format!("--dft: unknown style {v:?}"))?)
+                }
+                None => None,
+            };
+            if let Some(extra) = rest.first() {
+                return Err(format!("disasm: unexpected argument {extra:?}"));
+            }
+            cmd_disasm(&load_circuit(&args[1])?, dft)
+        }
         Some("campaign") if args.len() >= 2 => {
             let mut rest: Vec<String> = args[2..].to_vec();
             let pairs = match take_flag_value(&mut rest, "--pairs")? {
