@@ -16,11 +16,13 @@
 //! pattern-pair campaigns under each constraint.
 
 use flh_exec::{DropMask, ThreadPool};
-use flh_netlist::Netlist;
+use flh_netlist::{LaneWord, Netlist, Packed256, PatternWord};
 use flh_rng::Rng;
 
-use crate::fsim::MIN_FAULTS_PER_SHARD;
-use crate::transition::{enumerate_transition_faults, TransitionSimulator};
+use crate::fsim::{MIN_FAULTS_PER_SHARD, PATTERN_BLOCK};
+use crate::transition::{
+    enumerate_transition_faults, order_transition_faults, TransitionSimulator,
+};
 use crate::tview::{Observation, TestView};
 
 /// How the second pattern's state part is obtained.
@@ -123,25 +125,44 @@ pub fn transition_campaign_with_view(
     let mut rng = Rng::seed_from_u64(seed);
     let n = view.assignable().len();
 
-    let mut batches: Vec<(Vec<u64>, Vec<u64>, u64)> = Vec::with_capacity(pairs.div_ceil(64));
+    // Assemble 256-lane pair blocks from four *sequential* 64-lane fills:
+    // sub-batch `j` lands in limb `j`, so the RNG is consumed in exactly
+    // the order the streaming 64-lane path ([`campaign_impl`]) consumes it
+    // and the generated pair stream is unchanged — only its grouping into
+    // simulation blocks widened. A final partial block keeps only the
+    // lanes that hold real pairs in its mask.
+    let mut batches: Vec<(Vec<Packed256>, Vec<Packed256>, Packed256)> =
+        Vec::with_capacity(pairs.div_ceil(PATTERN_BLOCK));
     let mut remaining = pairs;
     while remaining > 0 {
-        let lanes = remaining.min(64);
-        let mut v1 = vec![0u64; n];
-        let mut v2 = vec![0u64; n];
-        fill_pair_batch(view, style, &mut rng, &mut v1, &mut v2);
-        let mask = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
-        batches.push((v1, v2, mask));
+        let lanes = remaining.min(PATTERN_BLOCK);
+        let mut v1 = vec![Packed256::bot(); n];
+        let mut v2 = vec![Packed256::bot(); n];
+        let mut sub1 = vec![0u64; n];
+        let mut sub2 = vec![0u64; n];
+        for limb in 0..lanes.div_ceil(64) {
+            fill_pair_batch(view, style, &mut rng, &mut sub1, &mut sub2);
+            for i in 0..n {
+                v1[i].0[limb] = sub1[i];
+                v2[i].0[limb] = sub2[i];
+            }
+        }
+        batches.push((v1, v2, Packed256::mask_lanes(lanes)));
         remaining -= lanes;
     }
+
+    // Static fault ordering: replay seeds sorted level-major walk the
+    // compiled program front-to-back. The campaign result is aggregate
+    // counts, so the permutation is invisible to callers.
+    let ordered = order_transition_faults(view.compiled(), faults);
 
     // Shards never go below the minimum granularity (per-shard setup —
     // simulator, good-machine evaluations per batch — must amortize), and
     // each shard drops detected faults across its whole batch stream: a
     // fault is replayed at most until its first detecting batch.
-    let mut drops = DropMask::new(faults.len());
-    let parts = pool.run_partitioned_min(faults.len(), MIN_FAULTS_PER_SHARD, |range| {
-        let shard = &faults[range.clone()];
+    let mut drops = DropMask::new(ordered.len());
+    let parts = pool.run_partitioned_min(ordered.len(), MIN_FAULTS_PER_SHARD, |range| {
+        let shard = &ordered[range.clone()];
         let mut sim = TransitionSimulator::new(view);
         let mut detected = drops.shard(range);
         for (v1, v2, mask) in &batches {
@@ -290,12 +311,18 @@ fn campaign_impl(
     let mut applied = 0usize;
     let mut detected_count = 0usize;
     let mut remaining = pairs;
+    let mut sub1 = vec![0u64; n];
+    let mut sub2 = vec![0u64; n];
     while remaining > 0 {
+        // One 64-lane fill per step, widened into the low limb: the stop
+        // predicate still sees coverage every 64 pairs, so early-stop
+        // points (and the RNG stream) are identical to the historical
+        // 64-lane streaming path.
         let lanes = remaining.min(64);
-        let mut v1 = vec![0u64; n];
-        let mut v2 = vec![0u64; n];
-        fill_pair_batch(&view, style, &mut rng, &mut v1, &mut v2);
-        let mask = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+        fill_pair_batch(&view, style, &mut rng, &mut sub1, &mut sub2);
+        let v1: Vec<Packed256> = sub1.iter().map(|&w| Packed256::from_word(w)).collect();
+        let v2: Vec<Packed256> = sub2.iter().map(|&w| Packed256::from_word(w)).collect();
+        let mask = Packed256::mask_lanes(lanes);
         detected_count += sim.run_batch(&v1, &v2, mask, &faults, &mut detected);
         remaining -= lanes;
         applied += lanes;

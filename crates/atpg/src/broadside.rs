@@ -11,7 +11,7 @@
 //! copy, and the goal-constrained PODEM solves the sequential
 //! justification exactly.
 
-use flh_netlist::{CellId, CellKind, Netlist, TwoFrameUnrolling};
+use flh_netlist::{CellId, CellKind, Netlist, Packed256, PatternWord, TwoFrameUnrolling};
 use flh_rng::Rng;
 
 use crate::fault::{Fault, StuckValue};
@@ -184,9 +184,12 @@ pub fn broadside_transition_atpg(
             pi2: bits[n_pi..2 * n_pi].to_vec(),
             state1: bits[2 * n_pi..].to_vec(),
         };
-        // Verify and drop against all remaining faults sequentially.
+        // Verify and drop against all remaining faults sequentially (the
+        // pair rides in lane 0 of the superword batch).
         let (v1, v2) = seq_pair(&pattern);
-        let hits = seq_sim.run_batch(&v1, &v2, 1, faults, &mut detected);
+        let w1: Vec<Packed256> = v1.iter().map(|&w| Packed256::from_word(w)).collect();
+        let w2: Vec<Packed256> = v2.iter().map(|&w| Packed256::from_word(w)).collect();
+        let hits = seq_sim.run_batch(&w1, &w2, Packed256::lane_bit(0), faults, &mut detected);
         debug_assert!(
             detected[fi],
             "broadside pattern failed sequential verification for {fault:?}"
@@ -244,7 +247,9 @@ mod tests {
                 let d = n.cell(ff).fanin()[0];
                 v2.push(good1[d.index()]);
             }
-            sim.run_batch(&v1, &v2, 1, &faults, &mut redetected);
+            let w1: Vec<Packed256> = v1.iter().map(|&w| Packed256::from_word(w)).collect();
+            let w2: Vec<Packed256> = v2.iter().map(|&w| Packed256::from_word(w)).collect();
+            sim.run_batch(&w1, &w2, Packed256::lane_bit(0), &faults, &mut redetected);
         }
         let re = redetected.iter().filter(|&&d| d).count();
         assert_eq!(re, result.detected_count());

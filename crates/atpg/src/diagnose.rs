@@ -8,8 +8,10 @@
 //! predicted responses match the observation, failing patterns and passing
 //! patterns alike.
 
+use flh_netlist::{LaneWord, Packed256, PatternWord};
+
 use crate::fault::Fault;
-use crate::fsim::StuckSimulator;
+use crate::fsim::{StuckSimulator, PATTERN_BLOCK};
 use crate::tview::TestView;
 
 /// One scored diagnosis candidate.
@@ -97,20 +99,16 @@ pub fn diagnose(
         let mut sim = StuckSimulator::new(view);
         let mut detected = vec![false; faults.len()];
         let n = view.assignable().len();
-        for chunk in failing_patterns.chunks(64) {
-            let mut words = vec![0u64; n];
+        for chunk in failing_patterns.chunks(PATTERN_BLOCK) {
+            let mut words = vec![Packed256::bot(); n];
             for (lane, p) in chunk.iter().enumerate() {
                 for (i, &bit) in p.iter().enumerate() {
                     if bit {
-                        words[i] |= 1 << lane;
+                        words[i].0[lane / 64] |= 1 << (lane % 64);
                     }
                 }
             }
-            let mask = if chunk.len() == 64 {
-                !0
-            } else {
-                (1u64 << chunk.len()) - 1
-            };
+            let mask = Packed256::mask_lanes(chunk.len());
             sim.run_batch(&words, mask, faults, &mut detected);
         }
         faults

@@ -2,16 +2,26 @@
 //! [`DeviationReplay`] engine, with fault dropping.
 //!
 //! The simulator walks the [`flh_netlist::CompiledCircuit`] inside its
-//! [`TestView`]: the good machine is evaluated once per 64-pattern batch
-//! over the compiled level order, and each fault's deviation is then
-//! replayed **in place** by [`DeviationReplay`] — event-driven through the
-//! readers of changed cells, undone afterwards, with detection limited to
-//! changed observation drivers and an early exit as soon as an active lane
-//! miscompares (see [`crate::replay`] for the engine contract). The same
-//! engine drives [`crate::transition::TransitionSimulator`], so both fault
-//! models share one replay code path.
+//! [`TestView`]: the good machine is evaluated once per 256-pattern block
+//! (one [`Packed256`] superword per assignable line) over the compiled
+//! level order, and each fault's deviation is then replayed **in place**
+//! by [`DeviationReplay`] — event-driven through the readers of changed
+//! cells, undone afterwards, with detection limited to changed observation
+//! drivers and an early exit as soon as an active lane miscompares (see
+//! [`crate::replay`] for the engine contract). Replaying 256 lanes per
+//! pass costs far less than four 64-lane replays because the per-event
+//! overhead (instruction decode, reader walks, bucket bookkeeping) is paid
+//! once for all four batches' deviations combined. The same engine drives
+//! [`crate::transition::TransitionSimulator`], so both fault models share
+//! one replay code path.
+//!
+//! A final partial block is handled by **masking**: `pack_batch` returns
+//! an activation mask with only the populated lanes set, and every
+//! miscompare is intersected with it, so padding lanes never touch
+//! detection flags or coverage counts.
 
 use flh_exec::{DropMask, ThreadPool};
+use flh_netlist::{CellKind, CompiledCircuit, LaneWord, Packed256, PatternWord};
 
 use crate::fault::{Fault, FaultSite};
 use crate::replay::DeviationReplay;
@@ -23,13 +33,54 @@ use crate::tview::TestView;
 /// are merged by fault id — so this is purely a throughput knob.
 pub(crate) const MIN_FAULTS_PER_SHARD: usize = 64;
 
-/// 64-way parallel single-pattern stuck-at fault simulator.
+/// Pattern lanes per simulation block — the width of one [`Packed256`]
+/// superword.
+pub const PATTERN_BLOCK: usize = Packed256::LANES;
+
+/// Evaluates one library cell over a [`Packed256`] input row, limb by limb
+/// through [`CellKind::eval64`] — the branch-fault forced-value
+/// computation, where one gate is re-evaluated with a pin pinned.
+pub(crate) fn eval_kind_packed(
+    kind: CellKind,
+    inputs: &[Packed256],
+    limb_buf: &mut Vec<u64>,
+) -> Packed256 {
+    let mut limbs = [0u64; 4];
+    for (l, out) in limbs.iter_mut().enumerate() {
+        limb_buf.clear();
+        limb_buf.extend(inputs.iter().map(|w| w.limb(l)));
+        *out = kind.eval64(limb_buf);
+    }
+    Packed256::from_limbs(limbs)
+}
+
+/// Reorders a fault list **level-major by seed cell** (the logic level of
+/// the cell each fault's deviation is seeded at, ties broken by dense cell
+/// id, then original position): consecutive replays then walk adjacent
+/// CSR/bytecode regions instead of hopping across the circuit. Purely a
+/// locality pass — detection results are per-fault and independent of
+/// processing order, so callers that aggregate (campaign counts, the
+/// perf benches) can apply it freely; callers that return per-fault
+/// vectors must scatter results back through the permutation themselves.
+pub fn order_stuck_faults(compiled: &CompiledCircuit, faults: &[Fault]) -> Vec<Fault> {
+    let mut ordered: Vec<Fault> = faults.to_vec();
+    ordered.sort_by_key(|f| {
+        let seed = match f.site {
+            FaultSite::Stem(cell) => cell.index() as u32,
+            FaultSite::Branch { gate, .. } => gate.index() as u32,
+        };
+        (compiled.level_of(seed), seed)
+    });
+    ordered
+}
+
+/// 256-lane parallel-pattern stuck-at fault simulator.
 pub struct StuckSimulator<'v, 'a> {
     view: &'v TestView<'a>,
     /// Good-machine values, reused across batches; faulty resimulation
     /// mutates it in place under the replay engine's undo log.
-    values: Vec<u64>,
-    replay: DeviationReplay,
+    values: Vec<Packed256>,
+    replay: DeviationReplay<Packed256>,
 }
 
 impl<'v, 'a> StuckSimulator<'v, 'a> {
@@ -42,22 +93,24 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
         }
     }
 
-    /// Simulates up to 64 patterns (one per bit lane of `words`) against
-    /// the fault list, setting `detected` flags. Returns new detections.
+    /// Simulates up to 256 patterns (one per lane of `words`) against the
+    /// fault list, setting `detected` flags. Lanes outside `active_mask`
+    /// are padding and never influence detection. Returns new detections.
     pub fn run_batch(
         &mut self,
-        words: &[u64],
-        active_mask: u64,
+        words: &[Packed256],
+        active_mask: Packed256,
         faults: &[Fault],
         detected: &mut [bool],
     ) -> usize {
-        self.view.eval64_into(words, None, &mut self.values);
+        self.view.eval_lanes_into(words, &mut self.values);
         let compiled = self.view.compiled();
         let observed = self.view.observed_drivers();
         let netlist = self.view.netlist();
         let mut new_hits = 0;
         let mut activation_skips = 0u64;
-        let mut inputs: Vec<u64> = Vec::with_capacity(8);
+        let mut inputs: Vec<Packed256> = Vec::with_capacity(8);
+        let mut limb_buf: Vec<u64> = Vec::with_capacity(8);
 
         for (fi, fault) in faults.iter().enumerate() {
             if detected[fi] {
@@ -67,9 +120,13 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
             // value somewhere in the batch.
             let driver = fault.driver(netlist);
             let line = self.values[driver.index()];
-            let active_lanes = if fault.stuck.as_bool() { !line } else { line };
-            let lanes = active_lanes & active_mask;
-            if lanes == 0 {
+            let active_lanes = if fault.stuck.as_bool() {
+                line.not()
+            } else {
+                line
+            };
+            let lanes = active_lanes.and(active_mask);
+            if !lanes.any() {
                 activation_skips += 1;
                 continue;
             }
@@ -77,19 +134,33 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
             // Seed of the deviation: a stem forces the line itself; a
             // branch re-evaluates its gate with the faulted pin forced.
             let (seed, forced) = match fault.site {
-                FaultSite::Stem(cell) => (cell.index() as u32, fault.stuck.word()),
+                FaultSite::Stem(cell) => {
+                    let forced = if fault.stuck.as_bool() {
+                        Packed256::top()
+                    } else {
+                        Packed256::bot()
+                    };
+                    (cell.index() as u32, forced)
+                }
                 FaultSite::Branch { gate, pin } => {
                     let id = gate.index() as u32;
                     inputs.clear();
                     inputs.extend(compiled.fanin(id).iter().map(|&x| self.values[x as usize]));
-                    inputs[pin] = fault.stuck.word();
-                    (id, compiled.kind(id).eval64(&inputs))
+                    inputs[pin] = if fault.stuck.as_bool() {
+                        Packed256::top()
+                    } else {
+                        Packed256::bot()
+                    };
+                    (
+                        id,
+                        eval_kind_packed(compiled.kind(id), &inputs, &mut limb_buf),
+                    )
                 }
             };
             let miscompare =
                 self.replay
                     .replay(compiled, observed, &mut self.values, seed, forced, lanes);
-            if miscompare & lanes != 0 {
+            if miscompare.and(lanes).any() {
                 detected[fi] = true;
                 new_hits += 1;
             }
@@ -107,34 +178,32 @@ impl<'v, 'a> StuckSimulator<'v, 'a> {
 }
 
 /// Per-fault outcome of a partitioned stuck-at campaign: the detection flag
-/// plus the index of the 64-pattern batch that first caught the fault.
-/// Batch indices are global over the pattern set, so they are identical no
+/// plus the index of the 256-pattern block that first caught the fault.
+/// Block indices are global over the pattern set, so they are identical no
 /// matter how the fault list is partitioned.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// The fault was detected by at least one pattern.
     pub detected: bool,
-    /// Index of the first detecting 64-pattern batch (`None` if undetected).
+    /// Index of the first detecting 256-pattern block (`None` if
+    /// undetected).
     pub first_batch: Option<u32>,
 }
 
-/// Packs up to 64 patterns into one word per assignable input and returns
-/// the lane mask covering the packed patterns.
-fn pack_batch(chunk: &[Vec<bool>], n: usize, words: &mut [u64]) -> u64 {
-    words.fill(0);
+/// Packs up to [`PATTERN_BLOCK`] patterns into one superword per
+/// assignable input and returns the lane mask covering exactly the packed
+/// patterns (padding lanes stay masked out of every miscompare).
+fn pack_batch(chunk: &[Vec<bool>], n: usize, words: &mut [Packed256]) -> Packed256 {
+    words.fill(Packed256::bot());
     for (lane, p) in chunk.iter().enumerate() {
         assert_eq!(p.len(), n, "pattern length mismatch");
         for (i, &bit) in p.iter().enumerate() {
             if bit {
-                words[i] |= 1 << lane;
+                words[i].0[lane / 64] |= 1 << (lane % 64);
             }
         }
     }
-    if chunk.len() == 64 {
-        !0
-    } else {
-        (1u64 << chunk.len()) - 1
-    }
+    Packed256::mask_lanes(chunk.len())
 }
 
 /// One worker's share of a partitioned campaign: a fresh simulator over the
@@ -151,8 +220,8 @@ fn stats_shard(
     let mut stats = vec![FaultStats::default(); faults.len()];
     let already: Vec<bool> = dropped.clone();
     let n = view.assignable().len();
-    let mut words = vec![0u64; n];
-    for (batch, chunk) in patterns.chunks(64).enumerate() {
+    let mut words = vec![Packed256::bot(); n];
+    for (batch, chunk) in patterns.chunks(PATTERN_BLOCK).enumerate() {
         let mask = pack_batch(chunk, n, &mut words);
         let new_hits = sim.run_batch(&words, mask, faults, &mut dropped);
         if new_hits > 0 {
@@ -245,11 +314,11 @@ pub fn stuck_coverage_parallel(
     stuck_coverage_partitioned(view, faults, patterns, &ThreadPool::new(threads))
 }
 
-/// Reference stuck-at detection for one fault and one 64-pattern batch:
+/// Reference stuck-at detection for one fault and one 64-pattern word:
 /// full faulted re-evaluation through [`TestView::eval64`], full
 /// observation scan. Quadratically slower than [`StuckSimulator`] but
 /// independent of the replay/undo machinery — the equivalence oracle for
-/// it.
+/// it (superword runs check each [`Packed256`] limb against it).
 pub fn stuck_detects_reference(
     view: &TestView<'_>,
     fault: &Fault,
@@ -292,6 +361,11 @@ mod tests {
             seed: 404,
         })
         .expect("generates")
+    }
+
+    /// Embeds 64-lane words in the low limb of a superword batch.
+    fn widen(words: &[u64]) -> Vec<Packed256> {
+        words.iter().map(|&w| Packed256::from_word(w)).collect()
     }
 
     #[test]
@@ -344,10 +418,12 @@ mod tests {
         let na = view.assignable().len();
         let mut rng = Rng::seed_from_u64(31);
         let words: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+        let wide = widen(&words);
+        let mask = Packed256::mask_lanes(64);
         let mut sim = StuckSimulator::new(&view);
         for fault in &faults {
             let mut detected = vec![false];
-            sim.run_batch(&words, !0, std::slice::from_ref(fault), &mut detected);
+            sim.run_batch(&wide, mask, std::slice::from_ref(fault), &mut detected);
             let reference = stuck_detects_reference(&view, fault, &words, !0);
             assert_eq!(detected[0], reference != 0, "{fault:?}");
         }
@@ -362,14 +438,26 @@ mod tests {
         let faults = enumerate_stuck_faults(&n);
         let na = view.assignable().len();
         let mut rng = Rng::seed_from_u64(8);
-        let words: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+        let words: Vec<Packed256> = (0..na)
+            .map(|_| Packed256::from_limbs([rng.gen(), rng.gen(), rng.gen(), rng.gen()]))
+            .collect();
         let mut shared = StuckSimulator::new(&view);
         for fault in &faults {
             let mut d_shared = vec![false];
-            shared.run_batch(&words, !0, std::slice::from_ref(fault), &mut d_shared);
+            shared.run_batch(
+                &words,
+                Packed256::top(),
+                std::slice::from_ref(fault),
+                &mut d_shared,
+            );
             let mut fresh = StuckSimulator::new(&view);
             let mut d_fresh = vec![false];
-            fresh.run_batch(&words, !0, std::slice::from_ref(fault), &mut d_fresh);
+            fresh.run_batch(
+                &words,
+                Packed256::top(),
+                std::slice::from_ref(fault),
+                &mut d_fresh,
+            );
             assert_eq!(d_shared, d_fresh, "{fault:?}");
         }
     }
@@ -416,7 +504,7 @@ mod tests {
         let faults = enumerate_stuck_faults(&n);
         let na = view.assignable().len();
         let mut rng = Rng::seed_from_u64(12);
-        let patterns: Vec<Vec<bool>> = (0..200)
+        let patterns: Vec<Vec<bool>> = (0..600)
             .map(|_| (0..na).map(|_| rng.gen()).collect())
             .collect();
         let serial =
@@ -426,7 +514,7 @@ mod tests {
             assert_eq!(s.detected, d);
             assert_eq!(s.first_batch.is_some(), d);
             if let Some(b) = s.first_batch {
-                assert!((b as usize) < patterns.len().div_ceil(64));
+                assert!((b as usize) < patterns.len().div_ceil(PATTERN_BLOCK));
             }
         }
         for workers in [2, 3, 8] {
@@ -447,14 +535,16 @@ mod tests {
         let faults = enumerate_stuck_faults(&n);
         let na = view.assignable().len();
         let mut rng = Rng::seed_from_u64(14);
-        let patterns: Vec<Vec<bool>> = (0..192)
+        let patterns: Vec<Vec<bool>> = (0..768)
             .map(|_| (0..na).map(|_| rng.gen()).collect())
             .collect();
         // One shot over the whole set...
         let whole = stuck_coverage(&view, &faults, &patterns);
-        // ...equals two incremental halves through a shared drop mask.
+        // ...equals two incremental halves through a shared drop mask
+        // (split off a block boundary, so partial-block masking is in
+        // play on both halves).
         let mut drops = DropMask::new(faults.len());
-        for half in patterns.chunks(96) {
+        for half in patterns.chunks(384) {
             StuckSimulator::simulate_partitioned_dropping(
                 &view,
                 &faults,
@@ -476,6 +566,66 @@ mod tests {
             assert!(!s.detected || !d, "dropped fault was re-detected");
         }
         assert_eq!(drops.flags(), whole.as_slice());
+    }
+
+    #[test]
+    fn partial_final_block_is_masked_not_padded() {
+        // Satellite check: for a pattern count that is not a multiple of
+        // the block width, the padding lanes of the final block must not
+        // contribute detections — N patterns give exactly the union of a
+        // floor(N/block) prefix and the masked tail, and dropping the tail
+        // gives exactly the prefix.
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_stuck_faults(&n);
+        let na = view.assignable().len();
+        let mut rng = Rng::seed_from_u64(77);
+        let patterns: Vec<Vec<bool>> = (0..PATTERN_BLOCK + 57)
+            .map(|_| (0..na).map(|_| rng.gen()).collect())
+            .collect();
+        let full = stuck_coverage(&view, &faults, &patterns);
+        let prefix = stuck_coverage(&view, &faults, &patterns[..PATTERN_BLOCK]);
+        let tail = stuck_coverage(&view, &faults, &patterns[PATTERN_BLOCK..]);
+        let union: Vec<bool> = prefix.iter().zip(&tail).map(|(&a, &b)| a || b).collect();
+        assert_eq!(full, union, "padding lanes leaked into detection");
+        // Detection counts for N and N-rounded-down runs differ only by
+        // what the genuine tail patterns detect.
+        let n_full = full.iter().filter(|&&d| d).count();
+        let n_prefix = prefix.iter().filter(|&&d| d).count();
+        assert!(n_full >= n_prefix);
+    }
+
+    #[test]
+    fn fault_ordering_is_level_major_and_result_invariant() {
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_stuck_faults(&n);
+        let ordered = order_stuck_faults(view.compiled(), &faults);
+        assert_eq!(ordered.len(), faults.len());
+        // Seed levels are non-decreasing.
+        let level_of = |f: &Fault| {
+            let seed = match f.site {
+                FaultSite::Stem(cell) => cell.index() as u32,
+                FaultSite::Branch { gate, .. } => gate.index() as u32,
+            };
+            view.compiled().level_of(seed)
+        };
+        assert!(ordered
+            .windows(2)
+            .all(|w| level_of(&w[0]) <= level_of(&w[1])));
+        // Same multiset of faults, and — since detection is per-fault —
+        // the same total coverage count on any pattern set.
+        let na = view.assignable().len();
+        let mut rng = Rng::seed_from_u64(21);
+        let patterns: Vec<Vec<bool>> = (0..100)
+            .map(|_| (0..na).map(|_| rng.gen()).collect())
+            .collect();
+        let base = stuck_coverage(&view, &faults, &patterns);
+        let perm = stuck_coverage(&view, &ordered, &patterns);
+        assert_eq!(
+            base.iter().filter(|&&d| d).count(),
+            perm.iter().filter(|&&d| d).count()
+        );
     }
 
     #[test]

@@ -51,8 +51,8 @@ pub use fault::{
     collapse_faults, enumerate_stuck_faults, inject_fault, Fault, FaultSite, StuckValue,
 };
 pub use fsim::{
-    stuck_coverage, stuck_coverage_parallel, stuck_coverage_partitioned, stuck_detects_reference,
-    FaultStats, StuckSimulator,
+    order_stuck_faults, stuck_coverage, stuck_coverage_parallel, stuck_coverage_partitioned,
+    stuck_detects_reference, FaultStats, StuckSimulator, PATTERN_BLOCK,
 };
 pub use path::{
     generate_path_test, generate_robust_path_test, longest_paths, longest_sensitizable_path,
@@ -64,7 +64,7 @@ pub use podem::{Podem, PodemConfig, TestCube};
 pub use replay::DeviationReplay;
 pub use transition::{
     collapse_transition_faults, compact_transition_patterns, enumerate_transition_faults,
-    simulate_transition_patterns, simulate_transition_patterns_dropping,
+    order_transition_faults, simulate_transition_patterns, simulate_transition_patterns_dropping,
     simulate_transition_patterns_partitioned, transition_atpg, transition_atpg_ndetect,
     transition_collapse_justifier, transition_detects_reference, NDetectResult,
     TransitionAtpgResult, TransitionFault, TransitionKind, TransitionPattern, TransitionSimulator,

@@ -1,10 +1,10 @@
 //! The shared deviation-replay engine.
 //!
 //! Every fault simulator in this crate answers the same question: *given
-//! the good machine's 64-lane values, how does forcing one cell change the
-//! observed outputs?* [`DeviationReplay`] owns the machinery that answers
-//! it without ever cloning the value array or walking a static fanout
-//! cone:
+//! the good machine's packed lane values, how does forcing one cell change
+//! the observed outputs?* [`DeviationReplay`] owns the machinery that
+//! answers it without ever cloning the value array or walking a static
+//! fanout cone:
 //!
 //! * the deviation is propagated **event-driven** — readers of changed
 //!   cells are queued into per-level buckets (deduplicated by a per-replay
@@ -15,8 +15,15 @@
 //! * detection scans **changed observation drivers only** — the caller's
 //!   `observed` flags gate which writes feed the miscompare word — and the
 //!   replay **stops as soon as an active lane miscompares** (pass
-//!   `stop_lanes = 0` to force full propagation when an exact per-lane
-//!   count is needed, as N-detect counting is).
+//!   `stop_lanes = W::bot()` to force full propagation when an exact
+//!   per-lane count is needed, as N-detect counting is).
+//!
+//! The engine is generic over [`PatternWord`], so one undo log / bucket /
+//! miscompare implementation serves both widths: `u64` (64 pattern lanes,
+//! the historical engine, kept as the equivalence reference) and
+//! [`Packed256`] (256 lanes — each fault replays four batches' worth of
+//! patterns per pass, and because the four deviation frontiers overlap
+//! heavily, a superword replay costs far less than four word replays).
 //!
 //! [`crate::fsim::StuckSimulator`] replays the single-frame faulty machine
 //! on it; [`crate::transition::TransitionSimulator`] replays the V2 frame
@@ -27,9 +34,13 @@
 
 use std::sync::Arc;
 
-use flh_netlist::{CompiledCircuit, Program};
+use flh_netlist::{CompiledCircuit, PatternWord, Program};
 
-/// Event-driven in-place deviation replay over a [`CompiledCircuit`].
+#[cfg(doc)]
+use flh_netlist::Packed256;
+
+/// Event-driven in-place deviation replay over a [`CompiledCircuit`], at
+/// the lane width of the pattern word `W`.
 ///
 /// The engine is scratch state (undo log, generation stamps, level
 /// buckets) plus a shared handle on the circuit's lowered [`Program`]:
@@ -40,11 +51,14 @@ use flh_netlist::{CompiledCircuit, Program};
 /// one instance serves any number of replays against the same compiled
 /// circuit.
 #[derive(Clone, Debug)]
-pub struct DeviationReplay {
+pub struct DeviationReplay<W: PatternWord = u64> {
     /// The lowered opcode stream shared with the settle kernels.
     program: Arc<Program>,
-    /// Undo log of the current replay's writes: `(cell, good value)`.
-    undo: Vec<(u32, u64)>,
+    /// Undo log of the current replay's writes, split into parallel
+    /// arrays: ids and good values pack densely instead of padding each
+    /// `(u32, W)` tuple to the lane word's alignment.
+    undo_ids: Vec<u32>,
+    undo_vals: Vec<W>,
     /// Per-cell enqueue stamp: a cell joins the replay queue at most once
     /// per replay (stamp equals the replay's generation).
     marks: Vec<u64>,
@@ -53,10 +67,10 @@ pub struct DeviationReplay {
     /// are never re-evaluated).
     buckets: Vec<Vec<u32>>,
     /// Scratch register file for multi-instruction chains.
-    scratch: Vec<u64>,
+    scratch: Vec<W>,
 }
 
-impl DeviationReplay {
+impl<W: PatternWord> DeviationReplay<W> {
     /// Engine sized for `compiled`, evaluating cells through its lowered
     /// `program`.
     ///
@@ -69,10 +83,11 @@ impl DeviationReplay {
             compiled.cell_count(),
             "program does not match the circuit"
         );
-        let scratch = vec![0u64; program.scratch_words()];
+        let scratch = vec![W::default(); program.scratch_words()];
         DeviationReplay {
             program,
-            undo: Vec::new(),
+            undo_ids: Vec::new(),
+            undo_vals: Vec::new(),
             marks: vec![0; compiled.cell_count()],
             gen: 0,
             buckets: vec![Vec::new(); compiled.levels() + 1],
@@ -85,23 +100,24 @@ impl DeviationReplay {
     /// accumulated over changed cells flagged in `observed`. `values` is
     /// restored to its entry state before returning.
     ///
-    /// Replay aborts early once `miscompare & stop_lanes != 0` — the
+    /// Replay aborts early once `miscompare` intersects `stop_lanes` — the
     /// caller passes its activation-lane word so a detected fault never
-    /// pays for the rest of its deviation. Pass `stop_lanes = 0` to
+    /// pays for the rest of its deviation. Pass `stop_lanes = W::bot()` to
     /// propagate to quiescence and get the exact per-lane miscompare word.
     pub fn replay(
         &mut self,
         compiled: &CompiledCircuit,
         observed: &[bool],
-        values: &mut [u64],
+        values: &mut [W],
         seed: u32,
-        forced: u64,
-        stop_lanes: u64,
-    ) -> u64 {
-        self.undo.clear();
+        forced: W,
+        stop_lanes: W,
+    ) -> W {
+        self.undo_ids.clear();
+        self.undo_vals.clear();
         self.gen += 1;
         let gen = self.gen;
-        let mut miscompare = 0u64;
+        let mut miscompare = W::bot();
         // Deterministic work counters, accumulated as plain locals and
         // flushed once at the end — the disabled cost of instrumentation
         // stays a branch on a static (`flh_obs::enabled`).
@@ -112,19 +128,18 @@ impl DeviationReplay {
         let old = values[seed as usize];
         if old == forced {
             if flh_obs::enabled() {
-                flh_obs::add(flh_obs::Counter::ReplayCalls, 1);
-                flh_obs::record(flh_obs::Hist::ReplayUndoDepth, 0);
-                flh_obs::record(flh_obs::Hist::ReplayEventsPerCall, 0);
+                flush_replay_metrics::<W>(0, 0, 0, false, 0);
             }
-            return 0; // the deviation never exists in this batch
+            return W::bot(); // the deviation never exists in this batch
         }
-        self.undo.push((seed, old));
+        self.undo_ids.push(seed);
+        self.undo_vals.push(old);
         values[seed as usize] = forced;
         if observed[seed as usize] {
-            miscompare |= old ^ forced;
+            miscompare = miscompare.or(old.xor(forced));
         }
 
-        if miscompare & stop_lanes == 0 {
+        if !miscompare.and(stop_lanes).any() {
             // Queue the seed's readers, then drain the buckets in level
             // order. A reader always sits at a strictly higher level than
             // its driver, so the current bucket never grows while it is
@@ -156,11 +171,12 @@ impl DeviationReplay {
                     if old == new {
                         continue; // deviation masked at this cell
                     }
-                    self.undo.push((id, old));
+                    self.undo_ids.push(id);
+                    self.undo_vals.push(old);
                     values[id as usize] = new;
                     if observed[id as usize] {
-                        miscompare |= old ^ new;
-                        if miscompare & stop_lanes != 0 {
+                        miscompare = miscompare.or(old.xor(new));
+                        if miscompare.and(stop_lanes).any() {
                             self.buckets[lvl] = bucket;
                             early_exit = true;
                             break 'replay; // detected: the rest is moot
@@ -194,34 +210,57 @@ impl DeviationReplay {
         }
 
         // Restore the good machine.
-        for &(id, old) in &self.undo {
+        for (&id, &old) in self.undo_ids.iter().zip(&self.undo_vals) {
             values[id as usize] = old;
         }
 
         if flh_obs::enabled() {
-            // Replay work is a per-fault quantity: every counter flushed
-            // here is invariant under fault-list sharding (a shard replays
-            // the full batch stream, and a fault's deviation depends only
-            // on the fault and the batch), so these stay deterministic at
-            // any pool width.
-            use flh_obs::{Counter, Hist};
-            flh_obs::add(Counter::ReplayCalls, 1);
-            flh_obs::add(Counter::ReplayEvents, ev_events);
-            flh_obs::add(Counter::ReplayDedupHits, ev_dedup);
-            flh_obs::add(Counter::ReplayEarlyExits, u64::from(early_exit));
-            flh_obs::add(Counter::ReplayUndoWrites, self.undo.len() as u64);
-            flh_obs::record(Hist::ReplayUndoDepth, self.undo.len() as u64);
-            flh_obs::record(Hist::ReplayEventsPerCall, ev_events);
+            flush_replay_metrics::<W>(
+                ev_events,
+                ev_dedup,
+                self.undo_ids.len() as u64,
+                early_exit,
+                ev_events,
+            );
         }
         miscompare
     }
+}
+
+/// Flushes one replay call's deterministic metrics. Replay work is a
+/// per-fault quantity: every counter flushed here is invariant under
+/// fault-list sharding (a shard replays the full batch stream, and a
+/// fault's deviation depends only on the fault and the batch), so these
+/// stay deterministic at any pool width. `lane_evals` is normalized by the
+/// engine's lane width so 64- and 256-lane campaigns stay comparable.
+#[inline]
+fn flush_replay_metrics<W: PatternWord>(
+    ev_events: u64,
+    ev_dedup: u64,
+    undo_writes: u64,
+    early_exit: bool,
+    hist_events: u64,
+) {
+    use flh_obs::{Counter, Hist};
+    flh_obs::add(Counter::ReplayCalls, 1);
+    flh_obs::add(Counter::ReplayEvents, ev_events);
+    flh_obs::add(Counter::ReplayDedupHits, ev_dedup);
+    flh_obs::add(Counter::ReplayEarlyExits, u64::from(early_exit));
+    flh_obs::add(Counter::ReplayUndoWrites, undo_writes);
+    flh_obs::add(Counter::ReplayLaneEvals, ev_events * W::LANES as u64);
+    if W::LANES > 64 {
+        flh_obs::add(Counter::ReplaySuperwordCalls, 1);
+    }
+    flh_obs::record(Hist::ReplayUndoDepth, undo_writes);
+    flh_obs::record(Hist::ReplayEventsPerCall, hist_events);
+    flh_obs::record(Hist::ReplayLanesPerCall, W::LANES as u64);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::tview::TestView;
-    use flh_netlist::{generate_circuit, GeneratorConfig, Netlist};
+    use flh_netlist::{generate_circuit, GeneratorConfig, LaneWord, Netlist, Packed256};
     use flh_rng::Rng;
 
     fn circuit() -> Netlist {
@@ -251,7 +290,7 @@ mod tests {
         let words: Vec<u64> = (0..view.assignable().len()).map(|_| rng.gen()).collect();
         let good = view.eval64(&words, None);
         let mut values = good.clone();
-        let mut engine = DeviationReplay::new(compiled, view.program_arc());
+        let mut engine: DeviationReplay = DeviationReplay::new(compiled, view.program_arc());
         for seed in 0..compiled.cell_count() as u32 {
             if compiled.kind(seed) == flh_netlist::CellKind::Output {
                 continue;
@@ -301,7 +340,7 @@ mod tests {
         let words: Vec<u64> = (0..view.assignable().len()).map(|_| rng.gen()).collect();
         let good = view.eval64(&words, None);
         let mut values = good.clone();
-        let mut engine = DeviationReplay::new(compiled, view.program_arc());
+        let mut engine: DeviationReplay = DeviationReplay::new(compiled, view.program_arc());
         for seed in 0..compiled.cell_count() as u32 {
             if compiled.kind(seed) == flh_netlist::CellKind::Output {
                 continue;
@@ -314,6 +353,115 @@ mod tests {
             assert_eq!(stopped & !full, 0, "seed {seed}");
             // ...and agrees with the full word on whether anything fires.
             assert_eq!(stopped != 0, full != 0, "seed {seed}");
+        }
+    }
+
+    /// A 256-lane replay is the four 64-lane replays of its limbs, lane for
+    /// lane — the tentpole invariant, checked here per seed cell on top of
+    /// the cross-profile suite in `replay_superword_equivalence.rs`.
+    #[test]
+    fn superword_replay_matches_four_word_replays() {
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let compiled = view.compiled();
+        let mut rng = Rng::seed_from_u64(17);
+        let limbs: Vec<[u64; 4]> = (0..view.assignable().len())
+            .map(|_| [rng.gen(), rng.gen(), rng.gen(), rng.gen()])
+            .collect();
+        let good64: Vec<Vec<u64>> = (0..4)
+            .map(|l| {
+                let words: Vec<u64> = limbs.iter().map(|w| w[l]).collect();
+                view.eval64(&words, None)
+            })
+            .collect();
+        let good256: Vec<Packed256> = (0..compiled.cell_count())
+            .map(|i| {
+                Packed256::from_limbs([good64[0][i], good64[1][i], good64[2][i], good64[3][i]])
+            })
+            .collect();
+
+        let mut word_engine: DeviationReplay = DeviationReplay::new(compiled, view.program_arc());
+        let mut super_engine: DeviationReplay<Packed256> =
+            DeviationReplay::new(compiled, view.program_arc());
+        let mut values256 = good256.clone();
+        let mut values64: Vec<Vec<u64>> = good64.clone();
+        for seed in 0..compiled.cell_count() as u32 {
+            if compiled.kind(seed) == flh_netlist::CellKind::Output {
+                continue;
+            }
+            for forced in [Packed256::bot(), Packed256::top()] {
+                let mis256 = super_engine.replay(
+                    compiled,
+                    view.observed_drivers(),
+                    &mut values256,
+                    seed,
+                    forced,
+                    Packed256::bot(),
+                );
+                assert_eq!(values256, good256, "restore for seed {seed}");
+                for l in 0..4 {
+                    let mis64 = word_engine.replay(
+                        compiled,
+                        view.observed_drivers(),
+                        &mut values64[l],
+                        seed,
+                        forced.limb(l),
+                        0,
+                    );
+                    assert_eq!(mis256.limb(l), mis64, "seed {seed} limb {l}");
+                }
+            }
+        }
+    }
+
+    /// Early exit and restore behave at 256-lane width exactly as they do
+    /// at 64: stop-lane hits are sound and the value file survives.
+    #[test]
+    fn superword_early_exit_is_sound_and_restores() {
+        let n = circuit();
+        let view = TestView::new(&n).unwrap();
+        let compiled = view.compiled();
+        let mut rng = Rng::seed_from_u64(23);
+        let limbs: Vec<[u64; 4]> = (0..view.assignable().len())
+            .map(|_| [rng.gen(), rng.gen(), rng.gen(), rng.gen()])
+            .collect();
+        let good64: Vec<Vec<u64>> = (0..4)
+            .map(|l| {
+                let words: Vec<u64> = limbs.iter().map(|w| w[l]).collect();
+                view.eval64(&words, None)
+            })
+            .collect();
+        let good: Vec<Packed256> = (0..compiled.cell_count())
+            .map(|i| {
+                Packed256::from_limbs([good64[0][i], good64[1][i], good64[2][i], good64[3][i]])
+            })
+            .collect();
+        let mut values = good.clone();
+        let mut engine: DeviationReplay<Packed256> =
+            DeviationReplay::new(compiled, view.program_arc());
+        for seed in 0..compiled.cell_count() as u32 {
+            if compiled.kind(seed) == flh_netlist::CellKind::Output {
+                continue;
+            }
+            let full = engine.replay(
+                compiled,
+                view.observed_drivers(),
+                &mut values,
+                seed,
+                Packed256::bot(),
+                Packed256::bot(),
+            );
+            let stopped = engine.replay(
+                compiled,
+                view.observed_drivers(),
+                &mut values,
+                seed,
+                Packed256::bot(),
+                Packed256::top(),
+            );
+            assert_eq!(values, good, "values not restored for seed {seed}");
+            assert!(!stopped.and(full.not()).any(), "seed {seed}");
+            assert_eq!(stopped.any(), full.any(), "seed {seed}");
         }
     }
 }

@@ -10,11 +10,13 @@
 //! enables arbitrary pairs cheaply, preserves full ATPG power.
 
 use flh_exec::{DropMask, ThreadPool};
-use flh_netlist::{analysis, CellId, CellKind, Netlist};
+use flh_netlist::{
+    analysis, CellId, CellKind, CompiledCircuit, LaneWord, Netlist, Packed256, PatternWord,
+};
 use flh_rng::Rng;
 
 use crate::fault::{Fault, StuckValue};
-use crate::fsim::{FaultStats, MIN_FAULTS_PER_SHARD};
+use crate::fsim::{FaultStats, MIN_FAULTS_PER_SHARD, PATTERN_BLOCK};
 use crate::podem::{Podem, PodemConfig};
 use crate::replay::DeviationReplay;
 use crate::tview::TestView;
@@ -244,10 +246,10 @@ pub struct TransitionSimulator<'v, 'a> {
     view: &'v TestView<'a>,
     /// Good V2 values, reused across batches; faulty resimulation mutates
     /// it in place under the replay engine's undo log.
-    values2: Vec<u64>,
+    values2: Vec<Packed256>,
     /// Good V1 values (never mutated per fault).
-    values1: Vec<u64>,
-    replay: DeviationReplay,
+    values1: Vec<Packed256>,
+    replay: DeviationReplay<Packed256>,
 }
 
 impl<'v, 'a> TransitionSimulator<'v, 'a> {
@@ -265,11 +267,15 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
     /// equivalent; returns the observation miscompare word and leaves
     /// `values2` restored to the good machine. `stop_lanes` is forwarded
     /// to [`DeviationReplay::replay`]: detection passes the activation
-    /// lanes (abort on first miscompare there), counting passes 0 (full
-    /// propagation for an exact per-lane word).
-    fn faulty_miscompare(&mut self, fault: &TransitionFault, stop_lanes: u64) -> u64 {
+    /// lanes (abort on first miscompare there), counting passes
+    /// [`Packed256::bot`] (full propagation for an exact per-lane word).
+    fn faulty_miscompare(&mut self, fault: &TransitionFault, stop_lanes: Packed256) -> Packed256 {
         let seed = fault.site.index() as u32;
-        let forced = fault.stuck_equivalent().stuck.word();
+        let forced = if fault.stuck_equivalent().stuck.as_bool() {
+            Packed256::top()
+        } else {
+            Packed256::bot()
+        };
         self.replay.replay(
             self.view.compiled(),
             self.view.observed_drivers(),
@@ -280,23 +286,24 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
         )
     }
 
-    /// Simulates up to 64 pattern pairs against a fault set, marking newly
-    /// detected faults in `detected` (fault-dropping style). Returns the
-    /// number of new detections.
+    /// Simulates up to 256 pattern pairs against a fault set, marking
+    /// newly detected faults in `detected` (fault-dropping style). Returns
+    /// the number of new detections.
     ///
     /// `v1_words[i]` / `v2_words[i]` carry one bit per pair for assignable
-    /// `i`; `active_mask` limits which bit lanes hold real pairs.
+    /// `i`; `active_mask` limits which bit lanes hold real pairs (padding
+    /// lanes of a partial final block never influence detection).
     pub fn run_batch(
         &mut self,
-        v1_words: &[u64],
-        v2_words: &[u64],
-        active_mask: u64,
+        v1_words: &[Packed256],
+        v2_words: &[Packed256],
+        active_mask: Packed256,
         faults: &[TransitionFault],
         detected: &mut [bool],
     ) -> usize {
         let (view, values1, values2) = (self.view, &mut self.values1, &mut self.values2);
-        view.eval64_into(v1_words, None, values1);
-        view.eval64_into(v2_words, None, values2);
+        view.eval_lanes_into(v1_words, values1);
+        view.eval_lanes_into(v2_words, values2);
         let mut new_hits = 0;
         let mut activation_skips = 0u64;
 
@@ -304,12 +311,12 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
             if detected[fi] {
                 continue;
             }
-            let lanes = self.activation_lanes(fault) & active_mask;
-            if lanes == 0 {
+            let lanes = self.activation_lanes(fault).and(active_mask);
+            if !lanes.any() {
                 activation_skips += 1;
                 continue;
             }
-            if self.faulty_miscompare(fault, lanes) & lanes != 0 {
+            if self.faulty_miscompare(fault, lanes).and(lanes).any() {
                 detected[fi] = true;
                 new_hits += 1;
             }
@@ -329,19 +336,19 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
 
     /// Lanes where V1 sets the initial value and V2 the final value at the
     /// fault site.
-    fn activation_lanes(&self, fault: &TransitionFault) -> u64 {
+    fn activation_lanes(&self, fault: &TransitionFault) -> Packed256 {
         let site = fault.site.index();
         let init_mask = if fault.initial_value() {
             self.values1[site]
         } else {
-            !self.values1[site]
+            self.values1[site].not()
         };
         let launch_mask = if fault.final_value() {
             self.values2[site]
         } else {
-            !self.values2[site]
+            self.values2[site].not()
         };
-        init_mask & launch_mask
+        init_mask.and(launch_mask)
     }
 
     /// Like [`TransitionSimulator::run_batch`], but counts *how many*
@@ -350,16 +357,16 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
     /// reached `target` in this batch.
     pub fn run_batch_counting(
         &mut self,
-        v1_words: &[u64],
-        v2_words: &[u64],
-        active_mask: u64,
+        v1_words: &[Packed256],
+        v2_words: &[Packed256],
+        active_mask: Packed256,
         faults: &[TransitionFault],
         counts: &mut [u32],
         target: u32,
     ) -> usize {
         let (view, values1, values2) = (self.view, &mut self.values1, &mut self.values2);
-        view.eval64_into(v1_words, None, values1);
-        view.eval64_into(v2_words, None, values2);
+        view.eval_lanes_into(v1_words, values1);
+        view.eval_lanes_into(v2_words, values2);
         let mut newly_saturated = 0;
         let mut activation_skips = 0u64;
 
@@ -367,14 +374,17 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
             if counts[fi] >= target {
                 continue;
             }
-            let lanes = self.activation_lanes(fault) & active_mask;
-            if lanes == 0 {
+            let lanes = self.activation_lanes(fault).and(active_mask);
+            if !lanes.any() {
                 activation_skips += 1;
                 continue;
             }
-            // stop_lanes = 0: counting needs the exact per-lane word, so
+            // stop_lanes = bot: counting needs the exact per-lane word, so
             // the replay must run to quiescence — no early exit.
-            let hits = (self.faulty_miscompare(fault, 0) & lanes).count_ones();
+            let hits = self
+                .faulty_miscompare(fault, Packed256::bot())
+                .and(lanes)
+                .count_ones();
             if hits > 0 {
                 let before = counts[fi];
                 counts[fi] = (counts[fi] + hits).min(target);
@@ -393,31 +403,46 @@ impl<'v, 'a> TransitionSimulator<'v, 'a> {
     }
 }
 
-/// Packs up to 64 pattern pairs into per-assignable words and returns the
-/// active lane mask.
+/// Packs up to [`PATTERN_BLOCK`] pattern pairs into per-assignable
+/// superwords and returns the lane mask covering exactly the packed pairs.
 fn pack_pair_batch(
     chunk: &[TransitionPattern],
     n: usize,
-    v1_words: &mut [u64],
-    v2_words: &mut [u64],
-) -> u64 {
-    v1_words.fill(0);
-    v2_words.fill(0);
+    v1_words: &mut [Packed256],
+    v2_words: &mut [Packed256],
+) -> Packed256 {
+    v1_words.fill(Packed256::bot());
+    v2_words.fill(Packed256::bot());
     for (lane, p) in chunk.iter().enumerate() {
+        let (limb, bit) = (lane / 64, 1u64 << (lane % 64));
         for i in 0..n {
             if p.v1[i] {
-                v1_words[i] |= 1 << lane;
+                v1_words[i].0[limb] |= bit;
             }
             if p.v2[i] {
-                v2_words[i] |= 1 << lane;
+                v2_words[i].0[limb] |= bit;
             }
         }
     }
-    if chunk.len() == 64 {
-        !0
-    } else {
-        (1u64 << chunk.len()) - 1
-    }
+    Packed256::mask_lanes(chunk.len())
+}
+
+/// Reorders a transition fault list **level-major by site** (ties broken
+/// by dense cell id, then original position): the replay seeded at each
+/// site then sweeps the compiled program front-to-back, so consecutive
+/// faults touch adjacent bytecode/CSR regions. Locality only — per-fault
+/// detection results never depend on processing order; callers returning
+/// per-fault vectors must scatter results back through the permutation.
+pub fn order_transition_faults(
+    compiled: &CompiledCircuit,
+    faults: &[TransitionFault],
+) -> Vec<TransitionFault> {
+    let mut ordered: Vec<TransitionFault> = faults.to_vec();
+    ordered.sort_by_key(|f| {
+        let seed = f.site.index() as u32;
+        (compiled.level_of(seed), seed)
+    });
+    ordered
 }
 
 /// One worker's share of a partitioned pair campaign: a fresh simulator,
@@ -434,9 +459,9 @@ fn pair_stats_shard(
     let mut stats = vec![FaultStats::default(); faults.len()];
     let already: Vec<bool> = dropped.clone();
     let n = view.assignable().len();
-    let mut v1_words = vec![0u64; n];
-    let mut v2_words = vec![0u64; n];
-    for (batch, chunk) in patterns.chunks(64).enumerate() {
+    let mut v1_words = vec![Packed256::bot(); n];
+    let mut v2_words = vec![Packed256::bot(); n];
+    for (batch, chunk) in patterns.chunks(PATTERN_BLOCK).enumerate() {
         let mask = pack_pair_batch(chunk, n, &mut v1_words, &mut v2_words);
         let new_hits = sim.run_batch(&v1_words, &v2_words, mask, faults, &mut dropped);
         if new_hits > 0 {
@@ -649,14 +674,21 @@ pub fn transition_atpg(
             v1: v1_cube.fill_random(&mut rng),
             v2: v2_cube.fill_random(&mut rng),
         };
-        // Simulate the new pair against every remaining fault.
-        let mut v1_words = vec![0u64; n];
-        let mut v2_words = vec![0u64; n];
+        // Simulate the new pair against every remaining fault (lane 0
+        // carries the pair; the rest of the block is masked off).
+        let mut v1_words = vec![Packed256::bot(); n];
+        let mut v2_words = vec![Packed256::bot(); n];
         for i in 0..n {
-            v1_words[i] = if pattern.v1[i] { !0 } else { 0 };
-            v2_words[i] = if pattern.v2[i] { !0 } else { 0 };
+            v1_words[i] = Packed256::from_word(if pattern.v1[i] { 1 } else { 0 });
+            v2_words[i] = Packed256::from_word(if pattern.v2[i] { 1 } else { 0 });
         }
-        sim.run_batch(&v1_words, &v2_words, 1, faults, &mut detected);
+        sim.run_batch(
+            &v1_words,
+            &v2_words,
+            Packed256::lane_bit(0),
+            faults,
+            &mut detected,
+        );
         debug_assert!(detected[fi], "generated pair must detect its target");
         detected[fi] = true;
         patterns.push(pattern);
@@ -744,13 +776,20 @@ pub fn transition_atpg_ndetect(
                 counts[fi] = counts[fi].max(1);
                 break;
             }
-            let mut v1_words = vec![0u64; na];
-            let mut v2_words = vec![0u64; na];
+            let mut v1_words = vec![Packed256::bot(); na];
+            let mut v2_words = vec![Packed256::bot(); na];
             for i in 0..na {
-                v1_words[i] = if pattern.v1[i] { !0 } else { 0 };
-                v2_words[i] = if pattern.v2[i] { !0 } else { 0 };
+                v1_words[i] = Packed256::from_word(if pattern.v1[i] { 1 } else { 0 });
+                v2_words[i] = Packed256::from_word(if pattern.v2[i] { 1 } else { 0 });
             }
-            sim.run_batch_counting(&v1_words, &v2_words, 1, faults, &mut counts, n);
+            sim.run_batch_counting(
+                &v1_words,
+                &v2_words,
+                Packed256::lane_bit(0),
+                faults,
+                &mut counts,
+                n,
+            );
             last = Some(pattern.clone());
             patterns.push(pattern);
         }
@@ -779,13 +818,13 @@ pub fn compact_transition_patterns(
     let n = view.assignable().len();
     let mut kept: Vec<TransitionPattern> = Vec::new();
     for pattern in patterns.iter().rev() {
-        let mut v1 = vec![0u64; n];
-        let mut v2 = vec![0u64; n];
+        let mut v1 = vec![Packed256::bot(); n];
+        let mut v2 = vec![Packed256::bot(); n];
         for i in 0..n {
-            v1[i] = if pattern.v1[i] { !0 } else { 0 };
-            v2[i] = if pattern.v2[i] { !0 } else { 0 };
+            v1[i] = Packed256::from_word(if pattern.v1[i] { 1 } else { 0 });
+            v2[i] = Packed256::from_word(if pattern.v2[i] { 1 } else { 0 });
         }
-        if sim.run_batch(&v1, &v2, 1, faults, &mut detected) > 0 {
+        if sim.run_batch(&v1, &v2, Packed256::lane_bit(0), faults, &mut detected) > 0 {
             kept.push(pattern.clone());
         }
     }
@@ -1007,17 +1046,49 @@ mod tests {
         let na = view.assignable().len();
         let v1: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
         let v2: Vec<u64> = (0..na).map(|_| rng.gen()).collect();
+        // The 64 reference lanes ride in the low limb of the superword.
+        let w1: Vec<Packed256> = v1.iter().map(|&w| Packed256::from_word(w)).collect();
+        let w2: Vec<Packed256> = v2.iter().map(|&w| Packed256::from_word(w)).collect();
+        let mask = Packed256::mask_lanes(64);
         let mut sim = TransitionSimulator::new(&view);
         for fault in &faults {
             let mut detected = vec![false];
-            sim.run_batch(&v1, &v2, !0, std::slice::from_ref(fault), &mut detected);
+            sim.run_batch(&w1, &w2, mask, std::slice::from_ref(fault), &mut detected);
             let reference = transition_detects_reference(&view, fault, &v1, &v2, !0);
             assert_eq!(detected[0], reference != 0, "{fault:?}");
             // And exact per-lane agreement through the counting path.
             let mut counts = vec![0u32];
-            sim.run_batch_counting(&v1, &v2, !0, std::slice::from_ref(fault), &mut counts, 64);
+            sim.run_batch_counting(&w1, &w2, mask, std::slice::from_ref(fault), &mut counts, 64);
             assert_eq!(counts[0], reference.count_ones(), "{fault:?}");
         }
+    }
+
+    #[test]
+    fn fault_ordering_is_level_major_and_coverage_invariant() {
+        let n = small();
+        let view = TestView::new(&n).unwrap();
+        let faults = enumerate_transition_faults(&n);
+        let ordered = order_transition_faults(view.compiled(), &faults);
+        assert_eq!(ordered.len(), faults.len());
+        assert!(ordered
+            .windows(2)
+            .all(|w| view.compiled().level_of(w[0].site.index() as u32)
+                <= view.compiled().level_of(w[1].site.index() as u32)));
+        let mut rng = Rng::seed_from_u64(61);
+        let na = view.assignable().len();
+        let patterns: Vec<TransitionPattern> = (0..90)
+            .map(|_| TransitionPattern {
+                v1: (0..na).map(|_| rng.gen()).collect(),
+                v2: (0..na).map(|_| rng.gen()).collect(),
+            })
+            .collect();
+        let base = simulate_transition_patterns(&view, &faults, &patterns);
+        let perm = simulate_transition_patterns(&view, &ordered, &patterns);
+        assert_eq!(
+            base.iter().filter(|&&d| d).count(),
+            perm.iter().filter(|&&d| d).count(),
+            "ordering changed total coverage"
+        );
     }
 
     #[test]

@@ -25,19 +25,26 @@ use std::fs;
 use std::time::Instant;
 
 use flh_atpg::{
-    enumerate_stuck_faults, enumerate_transition_faults, stuck_coverage_partitioned, Fault,
-    FaultSite, StuckSimulator, TestView, TransitionSimulator,
+    enumerate_stuck_faults, enumerate_transition_faults, order_stuck_faults,
+    order_transition_faults, stuck_coverage_partitioned, Fault, FaultSite, StuckSimulator,
+    TestView, TransitionSimulator, PATTERN_BLOCK,
 };
 use flh_bench::build_circuit;
+use flh_bench::replay64::{StuckSimulator64, TransitionSimulator64};
 use flh_bench::seed_baseline::{BaselineStuckSimulator, BaselineView};
 use flh_bench::transition_baseline::BaselineTransitionSimulator;
 use flh_exec::ThreadPool;
-use flh_netlist::{iscas89_profile, CompiledCircuit, Dual256, Dual64, LaneWord, Netlist, Program};
+use flh_netlist::{
+    iscas89_profile, CompiledCircuit, Dual256, Dual64, LaneWord, Netlist, Packed256, Program,
+};
 use flh_rng::Rng;
 use flh_sim::{settle_packed, CompiledSim, Logic, LogicSim};
 
 const CIRCUIT: &str = "s13207";
-const LANES: u64 = 64;
+/// Pattern lanes per simulation block on the compiled path (one
+/// [`Packed256`] superword); the seed/legacy baselines run 64-lane words,
+/// so each rep feeds them the same block as four sub-batches.
+const LANES: u64 = PATTERN_BLOCK as u64;
 
 struct Options {
     quick: bool,
@@ -243,20 +250,31 @@ struct FaultSimResult {
     detected: usize,
 }
 
+/// Both sides process the identical 256-pattern block per rep: the seed
+/// baseline as four 64-lane sub-batches (its native width), the compiled
+/// simulator as one superword batch — so patterns/s compares equal work.
 fn bench_fault_sim(netlist: &Netlist, faults: &[Fault], reps: usize) -> FaultSimResult {
     let view = TestView::new(netlist).expect("acyclic benchmark circuit");
     let baseline_view = BaselineView::new(netlist);
-    let words: Vec<u64> = {
+    let n = view.assignable().len();
+    let subs: Vec<Vec<u64>> = {
         let mut rng = Rng::seed_from_u64(0xFA57);
-        (0..view.assignable().len()).map(|_| rng.gen()).collect()
+        (0..4)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect()
     };
+    let wide: Vec<Packed256> = (0..n)
+        .map(|i| Packed256::from_limbs([subs[0][i], subs[1][i], subs[2][i], subs[3][i]]))
+        .collect();
 
     let mut baseline = BaselineStuckSimulator::new(&baseline_view);
     let mut seed_detected = vec![false; faults.len()];
     let t0 = Instant::now();
     for _ in 0..reps {
         seed_detected.fill(false);
-        baseline.run_batch(&words, !0, faults, &mut seed_detected);
+        for sub in &subs {
+            baseline.run_batch(sub, !0, faults, &mut seed_detected);
+        }
     }
     let seed_elapsed = t0.elapsed().as_secs_f64();
 
@@ -265,7 +283,7 @@ fn bench_fault_sim(netlist: &Netlist, faults: &[Fault], reps: usize) -> FaultSim
     let t0 = Instant::now();
     for _ in 0..reps {
         detected.fill(false);
-        sim.run_batch(&words, !0, faults, &mut detected);
+        sim.run_batch(&wide, Packed256::top(), faults, &mut detected);
     }
     let compiled_elapsed = t0.elapsed().as_secs_f64();
 
@@ -344,24 +362,39 @@ struct TransitionFsimResult {
 /// deviation-replay [`TransitionSimulator`] against the frozen full-cone
 /// [`BaselineTransitionSimulator`], same fault list, same pair batches.
 /// Detection maps are asserted identical before any rate is reported.
+/// Both sides process the identical 256-pair block per rep: the legacy
+/// full-cone baseline as four 64-lane sub-batches, the event-driven
+/// simulator as one superword batch.
 fn bench_transition_fsim(netlist: &Netlist, reps: usize) -> TransitionFsimResult {
     let view = TestView::new(netlist).expect("acyclic benchmark circuit");
     let faults = enumerate_transition_faults(netlist);
     let n = view.assignable().len();
-    let (v1_words, v2_words): (Vec<u64>, Vec<u64>) = {
+    let (v1_subs, v2_subs): (Vec<Vec<u64>>, Vec<Vec<u64>>) = {
         let mut rng = Rng::seed_from_u64(0x7245);
-        (
-            (0..n).map(|_| rng.gen()).collect(),
-            (0..n).map(|_| rng.gen()).collect(),
-        )
+        (0..4)
+            .map(|_| {
+                (
+                    (0..n).map(|_| rng.gen()).collect::<Vec<u64>>(),
+                    (0..n).map(|_| rng.gen()).collect::<Vec<u64>>(),
+                )
+            })
+            .unzip()
     };
+    let pack = |subs: &[Vec<u64>]| -> Vec<Packed256> {
+        (0..n)
+            .map(|i| Packed256::from_limbs([subs[0][i], subs[1][i], subs[2][i], subs[3][i]]))
+            .collect()
+    };
+    let (w1, w2) = (pack(&v1_subs), pack(&v2_subs));
 
     let mut legacy = BaselineTransitionSimulator::new(&view);
     let mut legacy_detected = vec![false; faults.len()];
     let t0 = Instant::now();
     for _ in 0..reps {
         legacy_detected.fill(false);
-        legacy.run_batch(&v1_words, &v2_words, !0, &faults, &mut legacy_detected);
+        for (v1, v2) in v1_subs.iter().zip(&v2_subs) {
+            legacy.run_batch(v1, v2, !0, &faults, &mut legacy_detected);
+        }
     }
     let legacy_elapsed = t0.elapsed().as_secs_f64();
 
@@ -370,7 +403,7 @@ fn bench_transition_fsim(netlist: &Netlist, reps: usize) -> TransitionFsimResult
     let t0 = Instant::now();
     for _ in 0..reps {
         detected.fill(false);
-        event.run_batch(&v1_words, &v2_words, !0, &faults, &mut detected);
+        event.run_batch(&w1, &w2, Packed256::top(), &faults, &mut detected);
     }
     let event_elapsed = t0.elapsed().as_secs_f64();
 
@@ -386,6 +419,142 @@ fn bench_transition_fsim(netlist: &Netlist, reps: usize) -> TransitionFsimResult
         detected: detected.iter().filter(|&&d| d).count(),
         legacy_pairs_s: pairs / legacy_elapsed,
         event_pairs_s: pairs / event_elapsed,
+    }
+}
+
+struct ReplaySuperwordResult {
+    stuck_faults: usize,
+    transition_faults: usize,
+    reps: usize,
+    stuck_narrow_patterns_s: f64,
+    stuck_wide_patterns_s: f64,
+    transition_narrow_pairs_s: f64,
+    transition_wide_pairs_s: f64,
+}
+
+impl ReplaySuperwordResult {
+    fn stuck_speedup(&self) -> f64 {
+        self.stuck_wide_patterns_s / self.stuck_narrow_patterns_s
+    }
+    fn transition_speedup(&self) -> f64 {
+        self.transition_wide_pairs_s / self.transition_narrow_pairs_s
+    }
+}
+
+/// The tentpole measurement: per-fault replay throughput of the 256-lane
+/// superword engine against the *same generic engine* at 64-lane width
+/// (`flh_bench::replay64`), over the identical pattern stream and the
+/// identical level-ordered fault list, for both fault models.
+///
+/// The protocol matches how the committed per-fault replay numbers were
+/// produced: every block replays the full fault list with fresh detection
+/// flags — the steady-state cost of a campaign's undetected tail, where
+/// every surviving fault is replayed against every block. (With flags
+/// shared across blocks a narrow engine skips most of its work after the
+/// first block because 64 random patterns already saturate detection —
+/// that measures the pattern set, not the engine.) The narrow side pays
+/// four fresh 64-lane blocks per 256 patterns; the wide side one superword
+/// block; the narrow blocks' union must equal the wide detection word.
+/// Each side's elapsed time is the best of `reps` passes, which strips
+/// scheduler noise the same way `cargo bench` minimums do.
+fn bench_replay_superword(
+    netlist: &Netlist,
+    stuck: &[Fault],
+    reps: usize,
+) -> ReplaySuperwordResult {
+    let view = TestView::new(netlist).expect("acyclic benchmark circuit");
+    let stuck = order_stuck_faults(view.compiled(), stuck);
+    let transition =
+        order_transition_faults(view.compiled(), &enumerate_transition_faults(netlist));
+    let n = view.assignable().len();
+    let mut rng = Rng::seed_from_u64(0x5057);
+    let gen4 = |rng: &mut Rng| -> (Vec<Vec<u64>>, Vec<Packed256>) {
+        let subs: Vec<Vec<u64>> = (0..4)
+            .map(|_| (0..n).map(|_| rng.gen()).collect())
+            .collect();
+        let wide = (0..n)
+            .map(|i| Packed256::from_limbs([subs[0][i], subs[1][i], subs[2][i], subs[3][i]]))
+            .collect();
+        (subs, wide)
+    };
+    let (subs, wide) = gen4(&mut rng);
+    let (v1_subs, w1) = gen4(&mut rng);
+    let (v2_subs, w2) = gen4(&mut rng);
+    let or_into = |acc: &mut [bool], d: &[bool]| {
+        for (a, &b) in acc.iter_mut().zip(d) {
+            *a |= b;
+        }
+    };
+
+    // Stuck-at: four fresh 64-lane blocks vs one fresh 256-lane block.
+    let mut narrow = StuckSimulator64::new(&view);
+    let mut d_narrow = vec![false; stuck.len()];
+    let mut u_narrow = vec![false; stuck.len()];
+    let mut narrow_elapsed = f64::INFINITY;
+    for _ in 0..reps {
+        u_narrow.fill(false);
+        let t0 = Instant::now();
+        for sub in &subs {
+            d_narrow.fill(false);
+            narrow.run_batch(sub, !0, &stuck, &mut d_narrow);
+            or_into(&mut u_narrow, &d_narrow);
+        }
+        narrow_elapsed = narrow_elapsed.min(t0.elapsed().as_secs_f64());
+    }
+
+    let mut wide_sim = StuckSimulator::new(&view);
+    let mut d_wide = vec![false; stuck.len()];
+    let mut wide_elapsed = f64::INFINITY;
+    for _ in 0..reps {
+        d_wide.fill(false);
+        let t0 = Instant::now();
+        wide_sim.run_batch(&wide, Packed256::top(), &stuck, &mut d_wide);
+        wide_elapsed = wide_elapsed.min(t0.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        u_narrow, d_wide,
+        "64-lane and 256-lane stuck replay disagree on detection"
+    );
+
+    // Transition: same comparison on pattern pairs.
+    let mut tnarrow = TransitionSimulator64::new(&view);
+    let mut td_narrow = vec![false; transition.len()];
+    let mut tu_narrow = vec![false; transition.len()];
+    let mut tnarrow_elapsed = f64::INFINITY;
+    for _ in 0..reps {
+        tu_narrow.fill(false);
+        let t0 = Instant::now();
+        for (v1, v2) in v1_subs.iter().zip(&v2_subs) {
+            td_narrow.fill(false);
+            tnarrow.run_batch(v1, v2, !0, &transition, &mut td_narrow);
+            or_into(&mut tu_narrow, &td_narrow);
+        }
+        tnarrow_elapsed = tnarrow_elapsed.min(t0.elapsed().as_secs_f64());
+    }
+
+    let mut twide = TransitionSimulator::new(&view);
+    let mut td_wide = vec![false; transition.len()];
+    let mut twide_elapsed = f64::INFINITY;
+    for _ in 0..reps {
+        td_wide.fill(false);
+        let t0 = Instant::now();
+        twide.run_batch(&w1, &w2, Packed256::top(), &transition, &mut td_wide);
+        twide_elapsed = twide_elapsed.min(t0.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        tu_narrow, td_wide,
+        "64-lane and 256-lane transition replay disagree on detection"
+    );
+
+    let patterns = LANES as f64;
+    ReplaySuperwordResult {
+        stuck_faults: stuck.len(),
+        transition_faults: transition.len(),
+        reps,
+        stuck_narrow_patterns_s: patterns / narrow_elapsed,
+        stuck_wide_patterns_s: patterns / wide_elapsed,
+        transition_narrow_pairs_s: patterns / tnarrow_elapsed,
+        transition_wide_pairs_s: patterns / twide_elapsed,
     }
 }
 
@@ -536,6 +705,67 @@ fn main() {
         );
     }
 
+    // Superword replay: the 256-lane engines against the live 64-lane
+    // instantiation of the same generic engine, both fault models.
+    let rsw = {
+        let _span = flh_obs::span("perf.replay_superword");
+        bench_replay_superword(&netlist, faults, if opts.quick { 1 } else { 5 })
+    };
+    println!(
+        "superword replay ({} stuck + {} transition faults x {} lanes x {} reps):",
+        rsw.stuck_faults, rsw.transition_faults, LANES, rsw.reps
+    );
+    println!(
+        "            stuck      64-lane {:>9.1} patterns/s | 256-lane {:>9.1} patterns/s | {:.2}x",
+        rsw.stuck_narrow_patterns_s,
+        rsw.stuck_wide_patterns_s,
+        rsw.stuck_speedup()
+    );
+    println!(
+        "            transition 64-lane {:>9.1} pairs/s    | 256-lane {:>9.1} pairs/s    | {:.2}x",
+        rsw.transition_narrow_pairs_s,
+        rsw.transition_wide_pairs_s,
+        rsw.transition_speedup()
+    );
+    let rsw_met = rsw.stuck_speedup() >= 2.5 && rsw.transition_speedup() >= 2.5;
+    if !opts.quick {
+        println!(
+            "superword replay speedup target (>= 2.5x both models): {}",
+            if rsw_met { "MET" } else { "NOT MET" }
+        );
+    }
+
+    // The `replay_superword` section embedded in both fault-sim reports.
+    let rsw_block = format!(
+        concat!(
+            "  \"replay_superword\": {{\n",
+            "    \"lanes_wide\": {lw},\n",
+            "    \"lanes_narrow\": 64,\n",
+            "    \"reps\": {reps},\n",
+            "    \"stuck_faults\": {sf},\n",
+            "    \"stuck_narrow_patterns_per_s\": {snp:.2},\n",
+            "    \"stuck_wide_patterns_per_s\": {swp:.2},\n",
+            "    \"stuck_speedup\": {ssp:.3},\n",
+            "    \"transition_faults\": {tf},\n",
+            "    \"transition_narrow_pairs_per_s\": {tnp:.2},\n",
+            "    \"transition_wide_pairs_per_s\": {twp:.2},\n",
+            "    \"transition_speedup\": {tsp:.3},\n",
+            "    \"target_2_5x_met\": {met}\n",
+            "  }},\n",
+        ),
+        lw = LANES,
+        reps = rsw.reps,
+        sf = rsw.stuck_faults,
+        snp = rsw.stuck_narrow_patterns_s,
+        swp = rsw.stuck_wide_patterns_s,
+        ssp = rsw.stuck_speedup(),
+        tf = rsw.transition_faults,
+        tnp = rsw.transition_narrow_pairs_s,
+        twp = rsw.transition_wide_pairs_s,
+        tsp = rsw.transition_speedup(),
+        met = rsw_met,
+    );
+
     // All benches have run: the host and metrics blocks are final and
     // shared by every report written below.
     let host_block = host_json_block(host_threads);
@@ -555,9 +785,11 @@ fn main() {
             "  \"event_pairs_per_s\": {epps:.2},\n",
             "  \"speedup\": {sp:.3},\n",
             "  \"target_5x_met\": {met},\n",
+            "{rsw}",
             "{metrics}",
             "}}\n",
         ),
+        rsw = rsw_block,
         circuit = tr_circuit,
         quick = opts.quick,
         host = host_block,
@@ -587,9 +819,11 @@ fn main() {
             "  \"patterns_per_s\": [{p0:.2}, {p1:.2}, {p2:.2}],\n",
             "  \"speedup_4_workers\": {sp:.3},\n",
             "  \"target_2x_met\": {met},\n",
+            "{rsw}",
             "{metrics}",
             "}}\n",
         ),
+        rsw = rsw_block,
         circuit = CIRCUIT,
         quick = opts.quick,
         host_block = host_block,

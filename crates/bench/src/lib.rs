@@ -24,6 +24,7 @@ use flh_netlist::{CircuitProfile, Netlist};
 use flh_serve::{BatchPayload, CircuitSource, CompiledEntry, JobEngine, JobId, JobSpec};
 
 pub mod json;
+pub mod replay64;
 pub mod seed_baseline;
 pub mod transition_baseline;
 

@@ -1,0 +1,235 @@
+//! Live 64-lane deviation-replay reference simulators.
+//!
+//! The production simulators ([`flh_atpg::StuckSimulator`],
+//! [`flh_atpg::TransitionSimulator`]) run the shared
+//! [`DeviationReplay`] engine at 256-lane [`flh_netlist::Packed256`]
+//! width. This module instantiates the *same* generic engine at plain
+//! `u64` width — the pre-superword configuration — for two jobs:
+//!
+//! * the `replay_superword_equivalence` gate proves one 256-lane replay
+//!   bit-identical to four independent 64-lane replays over the same
+//!   pattern stream;
+//! * the `replay_superword` BENCH section measures the genuine pattern
+//!   throughput gain of the wider word against a *live* (not frozen)
+//!   64-lane build of the identical algorithm, so the ratio isolates the
+//!   word width from unrelated engine changes.
+//!
+//! The batch loop bodies mirror the production `run_batch`s line for
+//! line; only the lane-word type differs.
+
+use flh_atpg::{DeviationReplay, Fault, FaultSite, TestView, TransitionFault};
+use flh_netlist::CellKind;
+
+/// 64-lane stuck-at fault simulator on the generic replay engine.
+pub struct StuckSimulator64<'v, 'a> {
+    view: &'v TestView<'a>,
+    values: Vec<u64>,
+    replay: DeviationReplay<u64>,
+}
+
+impl<'v, 'a> StuckSimulator64<'v, 'a> {
+    /// Builds a simulator over a test view.
+    pub fn new(view: &'v TestView<'a>) -> Self {
+        StuckSimulator64 {
+            view,
+            values: Vec::new(),
+            replay: DeviationReplay::new(view.compiled(), view.program_arc()),
+        }
+    }
+
+    /// Simulates up to 64 patterns (one per bit lane of `words`) against
+    /// the fault list, setting `detected` flags. Returns new detections.
+    pub fn run_batch(
+        &mut self,
+        words: &[u64],
+        active_mask: u64,
+        faults: &[Fault],
+        detected: &mut [bool],
+    ) -> usize {
+        self.view.eval_lanes_into(words, &mut self.values);
+        let compiled = self.view.compiled();
+        let observed = self.view.observed_drivers();
+        let netlist = self.view.netlist();
+        let mut new_hits = 0;
+        let mut inputs: Vec<u64> = Vec::with_capacity(8);
+
+        for (fi, fault) in faults.iter().enumerate() {
+            if detected[fi] {
+                continue;
+            }
+            let driver = fault.driver(netlist);
+            let line = self.values[driver.index()];
+            let active = if fault.stuck.as_bool() { !line } else { line };
+            let lanes = active & active_mask;
+            if lanes == 0 {
+                continue;
+            }
+            let (seed, forced) = match fault.site {
+                FaultSite::Stem(cell) => {
+                    let forced = if fault.stuck.as_bool() { !0 } else { 0 };
+                    (cell.index() as u32, forced)
+                }
+                FaultSite::Branch { gate, pin } => {
+                    let id = gate.index() as u32;
+                    inputs.clear();
+                    inputs.extend(compiled.fanin(id).iter().map(|&x| self.values[x as usize]));
+                    inputs[pin] = if fault.stuck.as_bool() { !0 } else { 0 };
+                    (id, CellKind::eval64(compiled.kind(id), &inputs))
+                }
+            };
+            let miscompare =
+                self.replay
+                    .replay(compiled, observed, &mut self.values, seed, forced, lanes);
+            if miscompare & lanes != 0 {
+                detected[fi] = true;
+                new_hits += 1;
+            }
+        }
+        new_hits
+    }
+}
+
+/// Runs a whole pattern set through [`StuckSimulator64`] in 64-pattern
+/// batches (partial final batch masked), returning per-fault detection
+/// flags — the 64-lane counterpart of [`flh_atpg::stuck_coverage`].
+pub fn stuck_coverage64(
+    view: &TestView<'_>,
+    faults: &[Fault],
+    patterns: &[Vec<bool>],
+) -> Vec<bool> {
+    let mut sim = StuckSimulator64::new(view);
+    let mut detected = vec![false; faults.len()];
+    let n = view.assignable().len();
+    let mut words = vec![0u64; n];
+    for chunk in patterns.chunks(64) {
+        words.fill(0);
+        for (lane, p) in chunk.iter().enumerate() {
+            assert_eq!(p.len(), n, "pattern length mismatch");
+            for (i, &bit) in p.iter().enumerate() {
+                if bit {
+                    words[i] |= 1 << lane;
+                }
+            }
+        }
+        let mask = if chunk.len() == 64 {
+            !0
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        sim.run_batch(&words, mask, faults, &mut detected);
+    }
+    detected
+}
+
+/// 64-lane transition fault simulator on the generic replay engine.
+pub struct TransitionSimulator64<'v, 'a> {
+    view: &'v TestView<'a>,
+    values2: Vec<u64>,
+    values1: Vec<u64>,
+    replay: DeviationReplay<u64>,
+}
+
+impl<'v, 'a> TransitionSimulator64<'v, 'a> {
+    /// Builds a simulator.
+    pub fn new(view: &'v TestView<'a>) -> Self {
+        TransitionSimulator64 {
+            view,
+            values2: Vec::new(),
+            values1: Vec::new(),
+            replay: DeviationReplay::new(view.compiled(), view.program_arc()),
+        }
+    }
+
+    /// Simulates up to 64 pattern pairs against a fault set, marking newly
+    /// detected faults in `detected`. Returns the number of new detections.
+    pub fn run_batch(
+        &mut self,
+        v1_words: &[u64],
+        v2_words: &[u64],
+        active_mask: u64,
+        faults: &[TransitionFault],
+        detected: &mut [bool],
+    ) -> usize {
+        let (view, values1, values2) = (self.view, &mut self.values1, &mut self.values2);
+        view.eval_lanes_into(v1_words, values1);
+        view.eval_lanes_into(v2_words, values2);
+        let mut new_hits = 0;
+
+        for (fi, fault) in faults.iter().enumerate() {
+            if detected[fi] {
+                continue;
+            }
+            let site = fault.site.index();
+            let init = if fault.initial_value() {
+                self.values1[site]
+            } else {
+                !self.values1[site]
+            };
+            let launch = if fault.final_value() {
+                self.values2[site]
+            } else {
+                !self.values2[site]
+            };
+            let lanes = init & launch & active_mask;
+            if lanes == 0 {
+                continue;
+            }
+            let seed = fault.site.index() as u32;
+            let forced = if fault.stuck_equivalent().stuck.as_bool() {
+                !0
+            } else {
+                0
+            };
+            let miscompare = self.replay.replay(
+                self.view.compiled(),
+                self.view.observed_drivers(),
+                &mut self.values2,
+                seed,
+                forced,
+                lanes,
+            );
+            if miscompare & lanes != 0 {
+                detected[fi] = true;
+                new_hits += 1;
+            }
+        }
+        new_hits
+    }
+}
+
+/// Runs a whole pair set through [`TransitionSimulator64`] in 64-pair
+/// batches (partial final batch masked), returning per-fault detection
+/// flags — the 64-lane counterpart of
+/// [`flh_atpg::simulate_transition_patterns`].
+pub fn transition_coverage64(
+    view: &TestView<'_>,
+    faults: &[TransitionFault],
+    pairs: &[(Vec<bool>, Vec<bool>)],
+) -> Vec<bool> {
+    let mut sim = TransitionSimulator64::new(view);
+    let mut detected = vec![false; faults.len()];
+    let n = view.assignable().len();
+    let mut v1_words = vec![0u64; n];
+    let mut v2_words = vec![0u64; n];
+    for chunk in pairs.chunks(64) {
+        v1_words.fill(0);
+        v2_words.fill(0);
+        for (lane, (v1, v2)) in chunk.iter().enumerate() {
+            for i in 0..n {
+                if v1[i] {
+                    v1_words[i] |= 1 << lane;
+                }
+                if v2[i] {
+                    v2_words[i] |= 1 << lane;
+                }
+            }
+        }
+        let mask = if chunk.len() == 64 {
+            !0
+        } else {
+            (1u64 << chunk.len()) - 1
+        };
+        sim.run_batch(&v1_words, &v2_words, mask, faults, &mut detected);
+    }
+    detected
+}

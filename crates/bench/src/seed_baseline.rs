@@ -171,7 +171,7 @@ impl<'v, 'a> BaselineStuckSimulator<'v, 'a> {
 mod tests {
     use super::*;
     use flh_atpg::{enumerate_stuck_faults, FaultSite, StuckSimulator, TestView};
-    use flh_netlist::{generate_circuit, GeneratorConfig};
+    use flh_netlist::{generate_circuit, GeneratorConfig, Packed256, PatternWord};
     use flh_rng::Rng;
 
     #[test]
@@ -202,7 +202,8 @@ mod tests {
         let mut slow = BaselineStuckSimulator::new(&baseline_view);
         let mut d_fast = vec![false; stems.len()];
         let mut d_slow = vec![false; stems.len()];
-        fast.run_batch(&words, !0, &stems, &mut d_fast);
+        let wide: Vec<Packed256> = words.iter().map(|&w| Packed256::from_word(w)).collect();
+        fast.run_batch(&wide, Packed256::mask_lanes(64), &stems, &mut d_fast);
         slow.run_batch(&words, !0, &stems, &mut d_slow);
         assert_eq!(d_fast, d_slow);
         assert!(d_fast.iter().any(|&d| d), "batch detected nothing");

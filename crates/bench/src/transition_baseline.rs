@@ -200,7 +200,7 @@ mod tests {
     use flh_atpg::{
         enumerate_transition_faults, transition_detects_reference, TransitionSimulator,
     };
-    use flh_netlist::{generate_circuit, GeneratorConfig};
+    use flh_netlist::{generate_circuit, GeneratorConfig, Packed256, PatternWord};
     use flh_rng::Rng;
 
     #[test]
@@ -229,7 +229,9 @@ mod tests {
         let mut slow = BaselineTransitionSimulator::new(&view);
         let mut d_fast = vec![false; faults.len()];
         let mut d_slow = vec![false; faults.len()];
-        fast.run_batch(&v1, &v2, !0, &faults, &mut d_fast);
+        let w1: Vec<Packed256> = v1.iter().map(|&w| Packed256::from_word(w)).collect();
+        let w2: Vec<Packed256> = v2.iter().map(|&w| Packed256::from_word(w)).collect();
+        fast.run_batch(&w1, &w2, Packed256::mask_lanes(64), &faults, &mut d_fast);
         slow.run_batch(&v1, &v2, !0, &faults, &mut d_slow);
         assert_eq!(d_fast, d_slow);
         assert!(d_fast.iter().any(|&d| d), "batch detected nothing");

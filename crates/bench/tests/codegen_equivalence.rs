@@ -23,7 +23,9 @@ use flh_atpg::{
 use flh_bench::build_circuit;
 use flh_core::{apply_style, DftStyle};
 use flh_netlist::bytecode::INST_WORDS;
-use flh_netlist::{iscas89_profiles, CompiledCircuit, Dual256, Dual64, Netlist, Program};
+use flh_netlist::{
+    iscas89_profiles, CompiledCircuit, Dual256, Dual64, Netlist, Packed256, PatternWord, Program,
+};
 use flh_rng::Rng;
 use flh_sim::{
     lane_to_logic, logic_to_lane, logic_to_superlane, settle_packed, superlane_to_logic, Logic,
@@ -136,7 +138,8 @@ fn bytecode_stuck_replay_matches_brute_force_on_all_profiles_and_styles() {
 
             let mut sim = StuckSimulator::new(&view);
             let mut detected = vec![false; faults.len()];
-            sim.run_batch(&words, !0, &faults, &mut detected);
+            let wide: Vec<Packed256> = words.iter().map(|&w| Packed256::from_word(w)).collect();
+            sim.run_batch(&wide, Packed256::mask_lanes(64), &faults, &mut detected);
 
             for (f, &got) in faults.iter().zip(&detected) {
                 let want = stuck_detects_reference(&view, f, &words, !0) != 0;
@@ -161,7 +164,9 @@ fn bytecode_transition_replay_matches_brute_force_on_all_profiles_and_styles() {
 
             let mut sim = TransitionSimulator::new(&view);
             let mut detected = vec![false; faults.len()];
-            sim.run_batch(&v1_words, &v2_words, !0, &faults, &mut detected);
+            let w1: Vec<Packed256> = v1_words.iter().map(|&w| Packed256::from_word(w)).collect();
+            let w2: Vec<Packed256> = v2_words.iter().map(|&w| Packed256::from_word(w)).collect();
+            sim.run_batch(&w1, &w2, Packed256::mask_lanes(64), &faults, &mut detected);
 
             for (f, &got) in faults.iter().zip(&detected) {
                 let want = transition_detects_reference(&view, f, &v1_words, &v2_words, !0) != 0;

@@ -25,7 +25,7 @@ use flh_bench::build_circuit;
 use flh_bench::transition_baseline::{baseline_transition_detects, BaselineTransitionSimulator};
 use flh_core::{apply_style, DftStyle};
 use flh_exec::ThreadPool;
-use flh_netlist::iscas89_profile;
+use flh_netlist::{iscas89_profile, Packed256, PatternWord};
 use flh_rng::Rng;
 
 const CIRCUITS: [&str; 3] = ["s1423", "s5378", "s9234"];
@@ -105,15 +105,20 @@ fn event_driven_transition_sim_matches_legacy_full_cone() {
                 );
             }
 
-            // Single-batch detected flags and N-detect hit counts.
+            // Single-batch detected flags and N-detect hit counts. The
+            // legacy replica is 64-lane; the event-driven side takes the
+            // same lanes widened into the low limb of a superword.
             let (v1_words, v2_words, mask) = pack64(&pairs, na);
+            let w1: Vec<Packed256> = v1_words.iter().map(|&w| Packed256::from_word(w)).collect();
+            let w2: Vec<Packed256> = v2_words.iter().map(|&w| Packed256::from_word(w)).collect();
+            let wmask = Packed256::mask_lanes(pairs.len().min(64));
             let mut legacy_sim = BaselineTransitionSimulator::new(&view);
             let mut event_sim = TransitionSimulator::new(&view);
 
             let mut d_legacy = vec![false; faults.len()];
             let mut d_event = vec![false; faults.len()];
             let h_legacy = legacy_sim.run_batch(&v1_words, &v2_words, mask, &faults, &mut d_legacy);
-            let h_event = event_sim.run_batch(&v1_words, &v2_words, mask, &faults, &mut d_event);
+            let h_event = event_sim.run_batch(&w1, &w2, wmask, &faults, &mut d_event);
             assert_eq!(
                 (h_legacy, d_legacy),
                 (h_event, d_event),
@@ -131,9 +136,9 @@ fn event_driven_transition_sim_matches_legacy_full_cone() {
                 NDETECT_TARGET,
             );
             let s_event = event_sim.run_batch_counting(
-                &v1_words,
-                &v2_words,
-                mask,
+                &w1,
+                &w2,
+                wmask,
                 &faults,
                 &mut c_event,
                 NDETECT_TARGET,

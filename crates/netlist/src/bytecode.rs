@@ -293,6 +293,161 @@ impl LaneWord for Dual256 {
     }
 }
 
+/// 256 lanes of two-valued logic: a manual `u64x4` superword, the pattern
+/// word of the fault simulators. One bit per pattern, four limbs of 64
+/// lanes each; the limbs keep the connectives in straight-line code the
+/// compiler vectorizes, exactly like [`Dual256`] on the dual-rail side.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[repr(C, align(32))]
+pub struct Packed256(pub [u64; 4]);
+
+impl Packed256 {
+    /// Builds a superword from four 64-lane limbs (limb `i` carries lanes
+    /// `64*i .. 64*i+63`).
+    #[inline]
+    pub fn from_limbs(limbs: [u64; 4]) -> Self {
+        Packed256(limbs)
+    }
+
+    /// Builds a superword whose low 64 lanes are `word` and whose upper
+    /// lanes are 0 — the embedding the 64-lane call sites use.
+    #[inline]
+    pub fn from_word(word: u64) -> Self {
+        Packed256([word, 0, 0, 0])
+    }
+
+    /// Limb `i` (lanes `64*i .. 64*i+63`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[inline]
+    pub fn limb(self, i: usize) -> u64 {
+        self.0[i]
+    }
+}
+
+impl LaneWord for Packed256 {
+    #[inline(always)]
+    fn top() -> Self {
+        Packed256([!0; 4])
+    }
+    #[inline(always)]
+    fn bot() -> Self {
+        Packed256([0; 4])
+    }
+    #[inline(always)]
+    fn and(self, rhs: Self) -> Self {
+        Packed256(zip4(self.0, rhs.0, |a, b| a & b))
+    }
+    #[inline(always)]
+    fn or(self, rhs: Self) -> Self {
+        Packed256(zip4(self.0, rhs.0, |a, b| a | b))
+    }
+    #[inline(always)]
+    fn not(self) -> Self {
+        Packed256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+    #[inline(always)]
+    fn xor(self, rhs: Self) -> Self {
+        Packed256(zip4(self.0, rhs.0, |a, b| a ^ b))
+    }
+    #[inline(always)]
+    fn mux(a: Self, b: Self, s: Self) -> Self {
+        Packed256([
+            (a.0[0] & !s.0[0]) | (b.0[0] & s.0[0]),
+            (a.0[1] & !s.0[1]) | (b.0[1] & s.0[1]),
+            (a.0[2] & !s.0[2]) | (b.0[2] & s.0[2]),
+            (a.0[3] & !s.0[3]) | (b.0[3] & s.0[3]),
+        ])
+    }
+}
+
+/// A two-valued [`LaneWord`] whose lanes are individually addressable —
+/// the contract the deviation replay and the fault simulators need on top
+/// of the opcode connectives: per-lane masks for partial pattern blocks,
+/// lane population counts for n-detect, and equality for the undo log's
+/// change detection. Implemented by `u64` (64 lanes) and [`Packed256`]
+/// (256 lanes); the dual-rail words are not pattern words.
+pub trait PatternWord: LaneWord + PartialEq + Default {
+    /// Number of pattern lanes in one word.
+    const LANES: usize;
+    /// True if any lane is set.
+    fn any(self) -> bool;
+    /// Number of set lanes.
+    fn count_ones(self) -> u32;
+    /// A word with the low `n` lanes set (`n == LANES` ⇒ all lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > LANES`.
+    fn mask_lanes(n: usize) -> Self;
+    /// A word with only lane `lane` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= LANES`.
+    fn lane_bit(lane: usize) -> Self;
+}
+
+impl PatternWord for u64 {
+    const LANES: usize = 64;
+    #[inline(always)]
+    fn any(self) -> bool {
+        self != 0
+    }
+    #[inline(always)]
+    fn count_ones(self) -> u32 {
+        u64::count_ones(self)
+    }
+    #[inline]
+    fn mask_lanes(n: usize) -> Self {
+        assert!(n <= 64, "mask of {n} lanes exceeds the 64-lane word");
+        if n == 64 {
+            !0
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+    #[inline]
+    fn lane_bit(lane: usize) -> Self {
+        assert!(lane < 64, "lane {lane} out of the 64-lane word");
+        1u64 << lane
+    }
+}
+
+impl PatternWord for Packed256 {
+    const LANES: usize = 256;
+    #[inline(always)]
+    fn any(self) -> bool {
+        (self.0[0] | self.0[1] | self.0[2] | self.0[3]) != 0
+    }
+    #[inline(always)]
+    fn count_ones(self) -> u32 {
+        self.0[0].count_ones()
+            + self.0[1].count_ones()
+            + self.0[2].count_ones()
+            + self.0[3].count_ones()
+    }
+    #[inline]
+    fn mask_lanes(n: usize) -> Self {
+        assert!(n <= 256, "mask of {n} lanes exceeds the 256-lane word");
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let lo = i * 64;
+            *limb = <u64 as PatternWord>::mask_lanes(n.clamp(lo, lo + 64) - lo);
+        }
+        Packed256(limbs)
+    }
+    #[inline]
+    fn lane_bit(lane: usize) -> Self {
+        assert!(lane < 256, "lane {lane} out of the 256-lane word");
+        let mut limbs = [0u64; 4];
+        limbs[lane / 64] = 1u64 << (lane % 64);
+        Packed256(limbs)
+    }
+}
+
 /// Fused bytecode operation. `And`/`Nand`/`Or`/`Nor`/`Xor`/`Xnor` take 2–4
 /// operands (the operand count travels in the instruction header); the
 /// complex gates and `Mux` have fixed shapes matching the library cells.
@@ -1042,6 +1197,44 @@ impl Program {
         len as usize / INST_WORDS
     }
 
+    /// Per-opcode instruction counts over the whole program, in opcode
+    /// order with zero-count opcodes omitted — the fusion fingerprint
+    /// `flh disasm` prints so a lowering regression (e.g. complex gates
+    /// decaying back into `Not` + `And` pairs) is visible without a bench
+    /// run.
+    pub fn opcode_histogram(&self) -> Vec<(Opcode, u64)> {
+        let mut counts = [0u64; 16];
+        for b in &self.batches {
+            for inst in self.code[b.start as usize..b.end as usize].chunks_exact(INST_WORDS) {
+                counts[(inst[0] >> OP_SHIFT) as u8 as usize & 0xf] += 1;
+            }
+        }
+        (0..16u8)
+            .filter(|&raw| counts[raw as usize] > 0)
+            .map(|raw| (Opcode::from_raw(raw), counts[raw as usize]))
+            .collect()
+    }
+
+    /// Per-level batch occupancy: `(level, batches, instructions)` for
+    /// every level that emits instructions, in level order. Full batches
+    /// carry [`BATCH_INSTS`] instructions; the instruction count exposes
+    /// how full each level's final partial batch is (scheduling-order
+    /// regressions show up as many nearly-empty batches).
+    pub fn level_occupancy(&self) -> Vec<(u32, u32, u32)> {
+        let mut rows: Vec<(u32, u32, u32)> = Vec::new();
+        for b in &self.batches {
+            let insts = (b.end - b.start) / INST_WORDS as u32;
+            match rows.last_mut() {
+                Some(row) if row.0 == b.level => {
+                    row.1 += 1;
+                    row.2 += insts;
+                }
+                _ => rows.push((b.level, 1, insts)),
+            }
+        }
+        rows
+    }
+
     /// Renders the program as assembly text: one instruction per line with
     /// opcode, destination, operand slots and fusion provenance, under
     /// per-level batch headers. `label` names cell slots (scratch slots
@@ -1394,6 +1587,103 @@ mod tests {
             last_level = b.level;
         }
         assert_eq!(covered as usize, p.code_words());
+    }
+
+    #[test]
+    fn packed256_pattern_word_semantics() {
+        assert_eq!(<u64 as PatternWord>::LANES, 64);
+        assert_eq!(Packed256::LANES, 256);
+        assert_eq!(<u64 as PatternWord>::mask_lanes(64), !0u64);
+        assert_eq!(<u64 as PatternWord>::mask_lanes(3), 0b111);
+        assert_eq!(Packed256::mask_lanes(256), Packed256::top());
+        assert_eq!(Packed256::mask_lanes(0), Packed256::bot());
+        assert_eq!(Packed256::mask_lanes(64), Packed256::from_word(!0));
+        assert_eq!(
+            Packed256::mask_lanes(130),
+            Packed256::from_limbs([!0, !0, 0b11, 0])
+        );
+        assert_eq!(Packed256::lane_bit(0), Packed256::from_word(1));
+        assert_eq!(
+            Packed256::lane_bit(200),
+            Packed256::from_limbs([0, 0, 0, 1 << 8])
+        );
+        let w = Packed256::from_limbs([0b101, 0, 1 << 63, 7]);
+        assert!(w.any());
+        assert!(!Packed256::bot().any());
+        assert_eq!(PatternWord::count_ones(w), 6);
+        assert_eq!(w.limb(2), 1 << 63);
+        // Default is the zero word, matching u64 (the undo/scratch filler).
+        assert_eq!(Packed256::default(), Packed256::bot());
+    }
+
+    #[test]
+    fn packed256_executes_like_four_u64_words() {
+        // One 256-lane execution must equal four independent 64-lane
+        // executions, limb by limb — the invariant the superword fault
+        // simulators rest on.
+        let n = library_netlist();
+        let c = CompiledCircuit::compile(&n).unwrap();
+        let p = Program::lower(&c);
+        let mut state = 0x5EED_CAFEu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut lanes64: [Vec<u64>; 4] = std::array::from_fn(|_| vec![0u64; c.cell_count()]);
+        let mut v256 = vec![Packed256::bot(); c.cell_count()];
+        for &src in c.inputs().iter().chain(c.flip_flops()) {
+            let limbs = [next(), next(), next(), next()];
+            for (l, v) in lanes64.iter_mut().enumerate() {
+                v[src as usize] = limbs[l];
+            }
+            v256[src as usize] = Packed256::from_limbs(limbs);
+        }
+        let mut s64 = vec![0u64; p.scratch_words()];
+        let mut s256 = vec![Packed256::bot(); p.scratch_words()];
+        for v in &mut lanes64 {
+            p.execute(v, &mut s64);
+        }
+        p.execute(&mut v256, &mut s256);
+        for &id in c.order() {
+            let id = id as usize;
+            for l in 0..4 {
+                assert_eq!(v256[id].limb(l), lanes64[l][id], "cell {id} limb {l}");
+            }
+        }
+        // eval_cell agrees at superword width too.
+        for &id in c.order() {
+            assert_eq!(p.eval_cell(id, &v256, &mut s256), v256[id as usize]);
+        }
+    }
+
+    #[test]
+    fn opcode_histogram_and_occupancy_tile_the_program() {
+        let n = library_netlist();
+        let c = CompiledCircuit::compile(&n).unwrap();
+        let p = Program::lower(&c);
+        let hist = p.opcode_histogram();
+        assert_eq!(
+            hist.iter().map(|&(_, n)| n).sum::<u64>(),
+            p.inst_count() as u64
+        );
+        assert!(hist.iter().any(|&(op, _)| op == Opcode::Aoi21));
+        assert!(hist.windows(2).all(|w| (w[0].0 as u8) < (w[1].0 as u8)));
+        let occ = p.level_occupancy();
+        assert_eq!(
+            occ.iter().map(|&(_, _, i)| i as usize).sum::<usize>(),
+            p.inst_count()
+        );
+        assert_eq!(
+            occ.iter().map(|&(_, b, _)| b as usize).sum::<usize>(),
+            p.batches().len()
+        );
+        assert!(occ.windows(2).all(|w| w[0].0 < w[1].0), "level order");
+        for &(_, batches, insts) in &occ {
+            assert!(insts <= batches * BATCH_INSTS);
+            assert!(insts > (batches - 1) * BATCH_INSTS, "no empty batches");
+        }
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod unroll;
 pub mod verilog;
 
 pub use analysis::{CircuitStats, FanoutMap, Levelization};
-pub use bytecode::{Dual256, Dual8, LaneWord, Opcode, Program};
+pub use bytecode::{Dual256, Dual8, LaneWord, Opcode, Packed256, PatternWord, Program};
 pub use cell::{CellId, CellKind, Dual64, HoldStyle};
 pub use compiled::CompiledCircuit;
 pub use error::NetlistError;

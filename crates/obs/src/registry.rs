@@ -28,6 +28,14 @@ pub enum Counter {
     ReplayEarlyExits,
     /// Writes recorded in (and reverted from) the undo log.
     ReplayUndoWrites,
+    /// Pattern-lane evaluations performed by replay (bucket-cell
+    /// evaluations × the engine's lane width) — the width-normalized work
+    /// measure that stays comparable between the 64-lane and 256-lane
+    /// engines.
+    ReplayLaneEvals,
+    /// Replays executed at superword width (more than 64 pattern lanes
+    /// per word).
+    ReplaySuperwordCalls,
     /// Stuck-at faults skipped in a batch because no lane activates them.
     StuckActivationSkips,
     /// Stuck-at faults newly detected.
@@ -54,12 +62,14 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in the fixed report order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 17] = [
         Counter::ReplayCalls,
         Counter::ReplayEvents,
         Counter::ReplayDedupHits,
         Counter::ReplayEarlyExits,
         Counter::ReplayUndoWrites,
+        Counter::ReplayLaneEvals,
+        Counter::ReplaySuperwordCalls,
         Counter::StuckActivationSkips,
         Counter::StuckDetections,
         Counter::TransitionActivationSkips,
@@ -80,6 +90,8 @@ impl Counter {
             Counter::ReplayDedupHits => "replay.dedup_hits",
             Counter::ReplayEarlyExits => "replay.early_exits",
             Counter::ReplayUndoWrites => "replay.undo_writes",
+            Counter::ReplayLaneEvals => "replay.lane_evals",
+            Counter::ReplaySuperwordCalls => "replay.superword_calls",
             Counter::StuckActivationSkips => "fsim.stuck.activation_skips",
             Counter::StuckDetections => "fsim.stuck.detections",
             Counter::TransitionActivationSkips => "fsim.transition.activation_skips",
@@ -102,17 +114,26 @@ pub enum Hist {
     ReplayUndoDepth,
     /// Bucket-cell evaluations per replay call.
     ReplayEventsPerCall,
+    /// Pattern-lane width of each replay call (64 for the word engine,
+    /// 256 for the superword engine) — the mix shows which engine served
+    /// a campaign without depending on pool width.
+    ReplayLanesPerCall,
 }
 
 impl Hist {
     /// Every histogram, in the fixed report order.
-    pub const ALL: [Hist; 2] = [Hist::ReplayUndoDepth, Hist::ReplayEventsPerCall];
+    pub const ALL: [Hist; 3] = [
+        Hist::ReplayUndoDepth,
+        Hist::ReplayEventsPerCall,
+        Hist::ReplayLanesPerCall,
+    ];
 
     /// Stable dotted report key.
     pub fn name(self) -> &'static str {
         match self {
             Hist::ReplayUndoDepth => "replay.undo_depth",
             Hist::ReplayEventsPerCall => "replay.events_per_call",
+            Hist::ReplayLanesPerCall => "replay.lanes_per_call",
         }
     }
 }

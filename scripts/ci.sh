@@ -111,6 +111,13 @@ echo "== codegen equivalence gate (bytecode vs event-driven reference) =="
 # its own gate so a failure is attributed to codegen, not "tests".
 cargo test -q --offline -p flh-bench --test codegen_equivalence
 
+echo "== replay superword gate (256-lane vs four 64-lane replays) =="
+# The 256-lane production replay must detect exactly what four 64-lane
+# replays of the same generic engine detect, on every profile x style,
+# and its early exit must stay sound. Named so a failure is attributed
+# to the superword rebuild, not "tests".
+cargo test -q --offline -p flh-bench --test replay_superword_equivalence
+
 echo "== perf report smoke (--quick, temp outputs, recorder on) =="
 # Quick-mode reports go to a temp dir so the committed full-run
 # BENCH_*.json files are never clobbered by a smoke run. The recorder is
@@ -128,6 +135,14 @@ if ! grep -q '^codegen_v2' "$bench_tmp/perf_report.log"; then
 fi
 if ! grep -q '"codegen_v2"' "$bench_tmp/BENCH_compiled_ir.json"; then
     echo "PERF SMOKE FAILED: BENCH_compiled_ir.json lacks the codegen_v2 section" >&2
+    exit 1
+fi
+if ! grep -q '"replay_superword"' "$bench_tmp/BENCH_parallel_fsim.json"; then
+    echo "PERF SMOKE FAILED: BENCH_parallel_fsim.json lacks the replay_superword section" >&2
+    exit 1
+fi
+if ! grep -q '"replay_superword"' "$bench_tmp/BENCH_transition_fsim.json"; then
+    echo "PERF SMOKE FAILED: BENCH_transition_fsim.json lacks the replay_superword section" >&2
     exit 1
 fi
 

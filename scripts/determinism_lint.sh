@@ -28,6 +28,7 @@ TARGETS=(
     crates/exec/src crates/atpg/src crates/obs/src crates/sim/src
     crates/lint/src crates/serve/src
     crates/netlist/src/bytecode.rs
+    crates/bench/src/replay64.rs
 )
 
 fail=0

@@ -217,6 +217,23 @@ fn cmd_disasm(circuit: &Netlist, dft: Option<DftStyle>) -> Result<(), String> {
         "{}",
         program.disasm_with(|slot| netlist.cell(compiled.cell_id(slot)).name().to_string())
     );
+    let total = program.inst_count().max(1);
+    println!(
+        "\nopcode histogram ({} instructions):",
+        program.inst_count()
+    );
+    for (op, count) in program.opcode_histogram() {
+        println!(
+            "  {:<10} {:>8}  {:>5.1}%",
+            format!("{op:?}"),
+            count,
+            100.0 * count as f64 / total as f64
+        );
+    }
+    println!("\nlevel occupancy (level: batches / instructions):");
+    for (level, batches, insts) in program.level_occupancy() {
+        println!("  L{level:<4} {batches:>4} batch(es)  {insts:>8} inst");
+    }
     Ok(())
 }
 
