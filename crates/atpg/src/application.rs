@@ -122,6 +122,26 @@ pub fn transition_campaign_with_view(
     seed: u64,
     pool: &ThreadPool,
 ) -> CampaignResult {
+    let filter = crate::prune::StaticFilter::from_view(view);
+    transition_campaign_filtered(view, faults, style, pairs, seed, pool, Some(&filter))
+}
+
+/// [`transition_campaign_with_view`] with an explicit prune filter (`None`
+/// disables pruning). Statically untestable faults are dropped before
+/// sharding — the replay engine never touches them — while `total_faults`
+/// still counts the full universe. On a sound filter the pruned faults are
+/// exactly faults no pattern pair ever detects, so the aggregate counts
+/// are identical in both modes; the bench suite asserts that equality.
+#[allow(clippy::too_many_arguments)]
+pub fn transition_campaign_filtered(
+    view: &TestView<'_>,
+    faults: &[crate::transition::TransitionFault],
+    style: ApplicationStyle,
+    pairs: usize,
+    seed: u64,
+    pool: &ThreadPool,
+    filter: Option<&crate::prune::StaticFilter>,
+) -> CampaignResult {
     let mut rng = Rng::seed_from_u64(seed);
     let n = view.assignable().len();
 
@@ -151,10 +171,14 @@ pub fn transition_campaign_with_view(
         remaining -= lanes;
     }
 
-    // Static fault ordering: replay seeds sorted level-major walk the
-    // compiled program front-to-back. The campaign result is aggregate
-    // counts, so the permutation is invisible to callers.
-    let ordered = order_transition_faults(view.compiled(), faults);
+    // Static prune, then static fault ordering: replay seeds sorted
+    // level-major walk the compiled program front-to-back. The campaign
+    // result is aggregate counts, so neither the permutation nor the
+    // removal of provably undetectable faults is visible to callers.
+    let ordered = match filter {
+        Some(f) => crate::prune::order_transition_faults_pruned(f, view.compiled(), faults).0,
+        None => order_transition_faults(view.compiled(), faults),
+    };
 
     // Shards never go below the minimum granularity (per-shard setup —
     // simulator, good-machine evaluations per batch — must amortize), and

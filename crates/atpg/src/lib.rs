@@ -28,6 +28,8 @@
 //!   used to reproduce the coverage comparison the paper motivates in its
 //!   introduction.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod application;
 pub mod broadside;
 pub mod diagnose;
@@ -36,14 +38,15 @@ pub mod fsim;
 pub mod path;
 pub mod patterns_io;
 pub mod podem;
+pub mod prune;
 pub mod replay;
 pub mod transition;
 pub mod tview;
 
 pub use application::{
     campaign_grid, cycles_per_pattern, pairs_to_reach_coverage, random_transition_campaign,
-    random_transition_campaign_pooled, transition_campaign_with_view, ApplicationStyle,
-    CampaignResult,
+    random_transition_campaign_pooled, transition_campaign_filtered, transition_campaign_with_view,
+    ApplicationStyle, CampaignResult,
 };
 pub use broadside::{broadside_transition_atpg, BroadsideAtpgResult, BroadsidePattern};
 pub use diagnose::{diagnose, faulty_responses, golden_responses, DiagnosisCandidate};
@@ -61,12 +64,17 @@ pub use path::{
 };
 pub use patterns_io::{parse_patterns, read_patterns_file, write_patterns};
 pub use podem::{Podem, PodemConfig, TestCube};
+pub use prune::{
+    order_stuck_faults_pruned, order_transition_faults_pruned, stuck_coverage_pruned, PruneOutcome,
+    StaticFilter,
+};
 pub use replay::DeviationReplay;
 pub use transition::{
     collapse_transition_faults, compact_transition_patterns, enumerate_transition_faults,
     order_transition_faults, simulate_transition_patterns, simulate_transition_patterns_dropping,
     simulate_transition_patterns_partitioned, transition_atpg, transition_atpg_ndetect,
-    transition_collapse_justifier, transition_detects_reference, NDetectResult,
-    TransitionAtpgResult, TransitionFault, TransitionKind, TransitionPattern, TransitionSimulator,
+    transition_atpg_with_filter, transition_collapse_justifier, transition_detects_reference,
+    NDetectResult, TransitionAtpgResult, TransitionFault, TransitionKind, TransitionPattern,
+    TransitionSimulator,
 };
 pub use tview::TestView;

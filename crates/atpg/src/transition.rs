@@ -643,6 +643,24 @@ pub fn transition_atpg(
     config: &PodemConfig,
     seed: u64,
 ) -> TransitionAtpgResult {
+    let filter = crate::prune::StaticFilter::from_view(view);
+    transition_atpg_with_filter(view, faults, config, seed, Some(&filter))
+}
+
+/// [`transition_atpg`] with an explicit prune filter (`None` disables
+/// pruning). The two modes produce byte-identical results on a sound
+/// filter: PODEM consumes no randomness during generation (`fill_random`
+/// runs only after both cubes exist), and a statically untestable fault is
+/// exactly one PODEM would have declared untestable anyway — skipping it
+/// changes neither the RNG stream nor the pattern sequence. The bench
+/// suite asserts this equality on real circuits.
+pub fn transition_atpg_with_filter(
+    view: &TestView<'_>,
+    faults: &[TransitionFault],
+    config: &PodemConfig,
+    seed: u64,
+    filter: Option<&crate::prune::StaticFilter>,
+) -> TransitionAtpgResult {
     let podem = Podem::new(view, config.clone());
     let mut rng = Rng::seed_from_u64(seed);
     let mut detected = vec![false; faults.len()];
@@ -656,6 +674,10 @@ pub fn transition_atpg(
             continue;
         }
         let fault = faults[fi];
+        if filter.is_some_and(|f| f.transition_untestable(&fault)) {
+            untestable += 1;
+            continue;
+        }
         let v2_cube = match podem.generate(&fault.stuck_equivalent()) {
             Some(c) => c,
             None => {

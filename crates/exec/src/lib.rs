@@ -35,6 +35,8 @@
 //! front ends (the `flh-serve` session layer) feed work to a single
 //! executor through the bounded, back-pressured [`BoundedQueue`].
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod campaign;
 pub mod drops;
 pub mod pool;

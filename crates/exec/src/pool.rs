@@ -110,6 +110,7 @@ impl ThreadPool {
         let _span = flh_obs::span("exec.pool.run");
         if self.dispatch == 1 || jobs <= 1 {
             if obs {
+                // time-ok: busy wall clock feeds worker stats (nondet section only).
                 let t0 = std::time::Instant::now();
                 let out: Vec<T> = (0..jobs).map(job).collect();
                 flh_obs::worker_busy("exec.pool", 0, t0.elapsed(), jobs as u64);
@@ -127,7 +128,7 @@ impl ThreadPool {
                     // scheduling shape: nondeterministic section only.
                     let t0 = obs.then(|| {
                         flh_obs::bind_worker_shard(w);
-                        std::time::Instant::now()
+                        std::time::Instant::now() // time-ok: worker stats only
                     });
                     let mut claimed = 0u64;
                     loop {

@@ -1,8 +1,11 @@
 //! What gets linted: a netlist plus the DFT metadata the FLH-family checks
 //! need.
 
+use std::cell::OnceCell;
+use std::sync::Arc;
+
 use flh_core::{DftNetlist, DftStyle};
-use flh_netlist::{CellId, Netlist};
+use flh_netlist::{CellId, CompiledCircuit, Netlist, Program};
 
 /// One lint target: a netlist, optionally with an applied DFT style and the
 /// transform's bookkeeping (gated gates, keepers, holding cells, scan-chain
@@ -27,6 +30,11 @@ pub struct LintTarget {
     pub hold_cells: Vec<CellId>,
     /// Scan-chain order (scan-in side first), when the target is scanned.
     pub scan_chain: Option<Vec<CellId>>,
+    /// Lazily compiled execution snapshot shared by the bytecode passes —
+    /// one compile + lower per target no matter how many passes ask.
+    /// `Some(None)` records a failed compile (e.g. a combinational cycle),
+    /// so broken targets are compiled at most once too.
+    compiled: OnceCell<Option<(Arc<CompiledCircuit>, Arc<Program>)>>,
 }
 
 impl LintTarget {
@@ -40,6 +48,7 @@ impl LintTarget {
             keepers: Vec::new(),
             hold_cells: Vec::new(),
             scan_chain: None,
+            compiled: OnceCell::new(),
         }
     }
 
@@ -63,6 +72,7 @@ impl LintTarget {
             keepers,
             hold_cells,
             scan_chain,
+            compiled: OnceCell::new(),
         }
     }
 
@@ -71,6 +81,32 @@ impl LintTarget {
     pub fn named(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
         self
+    }
+
+    /// Seeds the compile cache with an externally built — and possibly
+    /// deliberately corrupted — program. This is the negative-test entry
+    /// point for the bytecode passes: `lint_target` on a seeded target runs
+    /// the verifier against the injected program instead of recompiling.
+    #[must_use]
+    pub fn with_program(self, compiled: Arc<CompiledCircuit>, program: Arc<Program>) -> Self {
+        let _ = self.compiled.set(Some((compiled, program)));
+        self
+    }
+
+    /// The compiled circuit + lowered program, compiling on first use.
+    /// Returns `None` when the netlist cannot be compiled (the structural
+    /// passes have already reported why).
+    pub(crate) fn compiled(&self) -> Option<&(Arc<CompiledCircuit>, Arc<Program>)> {
+        self.compiled
+            .get_or_init(|| {
+                CompiledCircuit::compile_shared(&self.netlist)
+                    .ok()
+                    .map(|c| {
+                        let p = Program::lower_shared(&c);
+                        (c, p)
+                    })
+            })
+            .as_ref()
     }
 
     /// Name of a cell, tolerating out-of-range ids from corrupted inputs.

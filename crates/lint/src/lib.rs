@@ -43,7 +43,7 @@ pub mod runner;
 
 pub use context::LintTarget;
 pub use json::reports_to_json;
-pub use passes::{Pass, PASSES};
+pub use passes::{bytecode_diagnostics, verify_code, Pass, PASSES};
 pub use report::{Diagnostic, LintCode, LintReport, Severity};
 pub use runner::{
     lint_dft, lint_netlist, lint_profile, lint_profile_grid, lint_target, target_error_report,

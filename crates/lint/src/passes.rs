@@ -10,10 +10,12 @@
 // det-ok: import only; every use site justifies its own ordering story.
 use std::collections::HashMap;
 
+use flh_atpg::{enumerate_stuck_faults, enumerate_transition_faults, StaticFilter, TestView};
 use flh_core::DftStyle;
 use flh_netlist::analysis::{
     combinational_order, first_level_gates, first_level_gates_of, unobservable_cells, FanoutMap,
 };
+use flh_netlist::static_analysis::{self, VerifyKind, VerifyReport};
 use flh_netlist::{CellId, CellKind, NetlistError};
 
 use crate::context::LintTarget;
@@ -93,6 +95,30 @@ pub const PASSES: &[Pass] = &[
         description: "holding cells match the declared style (FLH013)",
         needs_sound_graph: true,
         run: pass_style,
+    },
+    Pass {
+        name: "bytecode-verifier",
+        description: "compiled program satisfies the emission contract (FLH015-023)",
+        needs_sound_graph: true,
+        run: pass_bytecode_verifier,
+    },
+    Pass {
+        name: "bytecode-ternary",
+        description: "ternary constant propagation and dead compiled code (FLH024/025)",
+        needs_sound_graph: true,
+        run: pass_bytecode_ternary,
+    },
+    Pass {
+        name: "bytecode-xtaint",
+        description: "compiled-form X-taint agrees with the netlist hold-leak walk (FLH026)",
+        needs_sound_graph: true,
+        run: pass_bytecode_xtaint,
+    },
+    Pass {
+        name: "testability",
+        description: "statically untestable stuck-at / transition fault census (FLH027/028)",
+        needs_sound_graph: true,
+        run: pass_testability,
     },
 ];
 
@@ -686,6 +712,260 @@ fn pass_style(t: &LintTarget, r: &mut LintReport) {
                 ),
             )
             .with_hint("only the FLH style populates DftNetlist::gated"),
+        );
+    }
+}
+
+/// Stable mapping from a verifier violation kind to its lint code. Public so
+/// external negative tests (corrupted-program fixtures) can assert the exact
+/// code without re-deriving the table.
+pub fn verify_code(kind: VerifyKind) -> LintCode {
+    match kind {
+        VerifyKind::Truncated => LintCode::BytecodeTruncated,
+        VerifyKind::BadOpcode => LintCode::BytecodeBadOpcode,
+        VerifyKind::BadArity => LintCode::BytecodeBadArity,
+        VerifyKind::OperandRange => LintCode::BytecodeOperandRange,
+        VerifyKind::DstRange => LintCode::BytecodeDstRange,
+        VerifyKind::ScratchReadBeforeWrite => LintCode::BytecodeScratchOrder,
+        VerifyKind::OperandLevel => LintCode::BytecodeOperandLevel,
+        VerifyKind::BatchLevel => LintCode::BytecodeBatchLevel,
+        VerifyKind::ChainMismatch => LintCode::BytecodeChainMismatch,
+    }
+}
+
+/// Render a verifier report as lint diagnostics. `namer` resolves a compiled
+/// cell id to a display name; violations without a cell use the instruction
+/// index alone.
+pub fn bytecode_diagnostics(
+    report: &VerifyReport,
+    namer: impl Fn(u32) -> String,
+) -> Vec<Diagnostic> {
+    report
+        .violations
+        .iter()
+        .map(|v| {
+            let mut msg = match v.inst {
+                Some(i) => format!("inst {i}: {}", v.message),
+                None => v.message.clone(),
+            };
+            if let Some(c) = v.cell {
+                msg = format!("{msg} (cell {})", namer(c));
+            }
+            let mut d = Diagnostic::new(verify_code(v.kind), msg)
+                .with_hint("the compiled program violates the emission contract; recompile");
+            if let Some(c) = v.cell {
+                d = d.with_cell(namer(c));
+            }
+            d
+        })
+        .collect()
+}
+
+/// FLH015-023: machine-checked bytecode contract. Decodes every instruction
+/// of the lowered program and proves the register-allocation and batching
+/// invariants the superword executors rely on.
+fn pass_bytecode_verifier(t: &LintTarget, r: &mut LintReport) {
+    let Some((compiled, program)) = t.compiled() else {
+        return; // uncompilable netlists are already reported structurally
+    };
+    let vr = static_analysis::verify_program(compiled, program);
+    if flh_obs::enabled() {
+        flh_obs::add(flh_obs::Counter::LintVerifierChecks, vr.checks);
+    }
+    for d in bytecode_diagnostics(&vr, |c| t.cell_name(compiled.cell_id(c))) {
+        r.push(d);
+    }
+}
+
+/// FLH024/FLH025: ternary abstract interpretation over the compiled form.
+/// Nets proven constant under all-X inputs and instructions whose results
+/// can never reach an observation point are advisory findings — they cost
+/// test coverage and silicon, not correctness.
+fn pass_bytecode_ternary(t: &LintTarget, r: &mut LintReport) {
+    let Some((compiled, program)) = t.compiled() else {
+        return;
+    };
+    if !static_analysis::verify_program(compiled, program).is_clean() {
+        return; // executing a corrupted stream is UB-adjacent; FLH015+ fired
+    }
+    let constants = static_analysis::ternary_constants(program);
+    let mut stuck_nets: Vec<String> = Vec::new();
+    for (c, v) in constants.iter().enumerate() {
+        if v.is_none() {
+            continue;
+        }
+        let kind = compiled.kind(c as u32);
+        // Const cells are constant by design; only derived constants are
+        // findings.
+        if !kind.is_combinational() || matches!(kind, CellKind::Const0 | CellKind::Const1) {
+            continue;
+        }
+        stuck_nets.push(t.cell_name(compiled.cell_id(c as u32)));
+    }
+    if !stuck_nets.is_empty() {
+        r.push(
+            Diagnostic::new(
+                LintCode::ConstantNet,
+                format!(
+                    "{} net(s) are compile-time constants under all-X inputs",
+                    stuck_nets.len()
+                ),
+            )
+            .with_cells(stuck_nets)
+            .with_hint("constant nets carry no fault effects; consider constant folding"),
+        );
+    }
+    let dead = static_analysis::dead_instructions(compiled, program);
+    if !dead.dead.is_empty() {
+        let n_cells = program.cell_words() as u32;
+        let mut cells: Vec<String> = Vec::new();
+        for &i in &dead.dead {
+            let d = program.decode_inst(i);
+            if d.dst < n_cells {
+                let name = t.cell_name(compiled.cell_id(d.dst));
+                if cells.last() != Some(&name) {
+                    cells.push(name);
+                }
+            }
+        }
+        r.push(
+            Diagnostic::new(
+                LintCode::DeadInstruction,
+                format!(
+                    "{} of {} instruction(s) feed no observation point",
+                    dead.dead.len(),
+                    dead.dead.len() + dead.live
+                ),
+            )
+            .with_cells(cells)
+            .with_hint("dead compiled code marks logic invisible to outputs and flip-flops"),
+        );
+    }
+}
+
+/// FLH026: the compiled-form X-taint walk must agree with the netlist-level
+/// hold-leak walk (FLH008) cell for cell. A disagreement means the lowering
+/// changed hold semantics — an Error, because every downstream simulation
+/// trusts the compiled form.
+fn pass_bytecode_xtaint(t: &LintTarget, r: &mut LintReport) {
+    let Some(style) = t.style else {
+        return; // bare netlists hold nothing by construction
+    };
+    if style == DftStyle::PlainScan {
+        return; // plain scan makes no hold promise
+    }
+    let Some((compiled, program)) = t.compiled() else {
+        return;
+    };
+    // Only structurally sound streams are walked; on corruption the decoded
+    // operands may lie, but FLH023 (hold-bit vs. cell-kind disagreement)
+    // must still be cross-checkable, so gate on the *structural* layer only.
+    let vr = static_analysis::verify_program(compiled, program);
+    if vr
+        .violations
+        .iter()
+        .any(|v| !matches!(v.kind, static_analysis::VerifyKind::ChainMismatch))
+    {
+        return;
+    }
+    let Ok(order) = combinational_order(&t.netlist) else {
+        return;
+    };
+    let n = t.netlist.cell_count();
+    let mut frozen = vec![false; n];
+    for &g in &t.gated {
+        if g.index() < n {
+            frozen[g.index()] = true;
+        }
+    }
+    // Netlist-level walk: identical to pass_hold_leak so the two views
+    // compute the same reference taint.
+    let mut netlist_taint = vec![false; n];
+    for &ff in t.netlist.flip_flops() {
+        if ff.index() < n {
+            netlist_taint[ff.index()] = true;
+        }
+    }
+    for &id in &order {
+        let cell = t.netlist.cell(id);
+        if cell.kind().is_hold_element() || frozen[id.index()] {
+            continue;
+        }
+        if cell.fanin().iter().any(|&f| netlist_taint[f.index()]) {
+            netlist_taint[id.index()] = true;
+        }
+    }
+    // Compiled-form walk over the instruction stream.
+    let mut ff_sources = vec![false; compiled.cell_count()];
+    for &ff in compiled.flip_flops() {
+        ff_sources[ff as usize] = true;
+    }
+    let compiled_taint = static_analysis::compiled_hold_taint(program, &ff_sources, &frozen);
+    let mut mismatches: Vec<String> = Vec::new();
+    for id in 0..compiled.cell_count().min(n) {
+        if netlist_taint[id] != compiled_taint[id] {
+            mismatches.push(t.cell_name(compiled.cell_id(id as u32)));
+        }
+    }
+    if !mismatches.is_empty() {
+        r.push(
+            Diagnostic::new(
+                LintCode::XTaintMismatch,
+                format!(
+                    "{} cell(s) disagree between netlist and compiled X-taint",
+                    mismatches.len()
+                ),
+            )
+            .with_cells(mismatches)
+            .with_hint("the lowering changed hold semantics; this is a compiler bug"),
+        );
+    }
+}
+
+/// FLH027/FLH028: static testability census. Classifies stuck-at and
+/// transition faults as statically untestable using the same
+/// constants + observability filter the ATPG prune pre-pass applies, so the
+/// lint report predicts exactly what the fault simulators will skip.
+fn pass_testability(t: &LintTarget, r: &mut LintReport) {
+    let Ok(view) = TestView::new(&t.netlist) else {
+        return; // uncompilable netlists are already reported structurally
+    };
+    let filter = StaticFilter::from_view(&view);
+    let stuck = enumerate_stuck_faults(&t.netlist);
+    let stuck_untestable = stuck.iter().filter(|f| filter.stuck_untestable(f)).count();
+    let transition = enumerate_transition_faults(&t.netlist);
+    let transition_untestable = transition
+        .iter()
+        .filter(|f| filter.transition_untestable(f))
+        .count();
+    if flh_obs::enabled() {
+        flh_obs::add(
+            flh_obs::Counter::LintStaticUntestable,
+            (stuck_untestable + transition_untestable) as u64,
+        );
+    }
+    if stuck_untestable > 0 {
+        r.push(
+            Diagnostic::new(
+                LintCode::StaticUntestableStuck,
+                format!(
+                    "{stuck_untestable} of {} stuck-at fault(s) are statically untestable",
+                    stuck.len()
+                ),
+            )
+            .with_hint("constant activation or blocked observation; ATPG prunes these up front"),
+        );
+    }
+    if transition_untestable > 0 {
+        r.push(
+            Diagnostic::new(
+                LintCode::StaticUntestableTransition,
+                format!(
+                    "{transition_untestable} of {} transition fault(s) are statically untestable",
+                    transition.len()
+                ),
+            )
+            .with_hint("a transition needs both values plus sensitized observation of its site"),
         );
     }
 }

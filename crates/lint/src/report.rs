@@ -76,11 +76,49 @@ pub enum LintCode {
     /// `FLH014` — generic wide gates survive where only library cells are
     /// expected (run the technology mapper).
     UnmappedGeneric,
+    /// `FLH015` — the compiled program's code stream or batch table is
+    /// structurally broken (ragged stream, bad batch tiling, instruction
+    /// count mismatch).
+    BytecodeTruncated,
+    /// `FLH016` — an opcode byte outside the fused opcode table.
+    BytecodeBadOpcode,
+    /// `FLH017` — an operand count outside the opcode's legal arity range.
+    BytecodeBadArity,
+    /// `FLH018` — an operand slot past the end of the register file.
+    BytecodeOperandRange,
+    /// `FLH019` — a destination slot past the end of the register file.
+    BytecodeDstRange,
+    /// `FLH020` — a scratch operand read before any write in its chain.
+    BytecodeScratchOrder,
+    /// `FLH021` — a cell operand not strictly below its batch's level.
+    BytecodeOperandLevel,
+    /// `FLH022` — a batch level out of range or non-monotone, or a root
+    /// destination scheduled at the wrong level.
+    BytecodeBatchLevel,
+    /// `FLH023` — chain-table entry inconsistent with the code stream, or
+    /// the hold bit disagreeing with the destination cell's kind.
+    BytecodeChainMismatch,
+    /// `FLH024` — a net the ternary interpreter proves constant on every
+    /// input vector (advisory: constants shrink the testable fault set).
+    ConstantNet,
+    /// `FLH025` — a compiled instruction whose result can never reach a
+    /// primary output or flip-flop D pin (advisory dead code).
+    DeadInstruction,
+    /// `FLH026` — the compiled-form X-taint disagrees with the
+    /// netlist-level V1-hold taint: the two hold-safety analyses must
+    /// agree cell for cell.
+    XTaintMismatch,
+    /// `FLH027` — count of stuck-at faults proven statically untestable
+    /// (advisory; the `flh-atpg` prune step skips exactly these).
+    StaticUntestableStuck,
+    /// `FLH028` — count of transition faults proven statically untestable
+    /// under the target's application style (advisory).
+    StaticUntestableTransition,
 }
 
 impl LintCode {
     /// Every code, in code order.
-    pub const ALL: [LintCode; 15] = [
+    pub const ALL: [LintCode; 29] = [
         LintCode::TargetError,
         LintCode::CombinationalCycle,
         LintCode::DanglingFanin,
@@ -96,6 +134,20 @@ impl LintCode {
         LintCode::IllegalGating,
         LintCode::StyleConsistency,
         LintCode::UnmappedGeneric,
+        LintCode::BytecodeTruncated,
+        LintCode::BytecodeBadOpcode,
+        LintCode::BytecodeBadArity,
+        LintCode::BytecodeOperandRange,
+        LintCode::BytecodeDstRange,
+        LintCode::BytecodeScratchOrder,
+        LintCode::BytecodeOperandLevel,
+        LintCode::BytecodeBatchLevel,
+        LintCode::BytecodeChainMismatch,
+        LintCode::ConstantNet,
+        LintCode::DeadInstruction,
+        LintCode::XTaintMismatch,
+        LintCode::StaticUntestableStuck,
+        LintCode::StaticUntestableTransition,
     ];
 
     /// The stable `FLH0xx` code string.
@@ -116,6 +168,20 @@ impl LintCode {
             LintCode::IllegalGating => "FLH012",
             LintCode::StyleConsistency => "FLH013",
             LintCode::UnmappedGeneric => "FLH014",
+            LintCode::BytecodeTruncated => "FLH015",
+            LintCode::BytecodeBadOpcode => "FLH016",
+            LintCode::BytecodeBadArity => "FLH017",
+            LintCode::BytecodeOperandRange => "FLH018",
+            LintCode::BytecodeDstRange => "FLH019",
+            LintCode::BytecodeScratchOrder => "FLH020",
+            LintCode::BytecodeOperandLevel => "FLH021",
+            LintCode::BytecodeBatchLevel => "FLH022",
+            LintCode::BytecodeChainMismatch => "FLH023",
+            LintCode::ConstantNet => "FLH024",
+            LintCode::DeadInstruction => "FLH025",
+            LintCode::XTaintMismatch => "FLH026",
+            LintCode::StaticUntestableStuck => "FLH027",
+            LintCode::StaticUntestableTransition => "FLH028",
         }
     }
 
@@ -137,6 +203,20 @@ impl LintCode {
             LintCode::IllegalGating => "illegal-gating",
             LintCode::StyleConsistency => "style-consistency",
             LintCode::UnmappedGeneric => "unmapped-generic",
+            LintCode::BytecodeTruncated => "bytecode-truncated",
+            LintCode::BytecodeBadOpcode => "bytecode-bad-opcode",
+            LintCode::BytecodeBadArity => "bytecode-bad-arity",
+            LintCode::BytecodeOperandRange => "bytecode-operand-range",
+            LintCode::BytecodeDstRange => "bytecode-dst-range",
+            LintCode::BytecodeScratchOrder => "bytecode-scratch-order",
+            LintCode::BytecodeOperandLevel => "bytecode-operand-level",
+            LintCode::BytecodeBatchLevel => "bytecode-batch-level",
+            LintCode::BytecodeChainMismatch => "bytecode-chain-mismatch",
+            LintCode::ConstantNet => "constant-net",
+            LintCode::DeadInstruction => "dead-instruction",
+            LintCode::XTaintMismatch => "x-taint-mismatch",
+            LintCode::StaticUntestableStuck => "static-untestable-stuck",
+            LintCode::StaticUntestableTransition => "static-untestable-transition",
         }
     }
 
@@ -144,6 +224,10 @@ impl LintCode {
     pub fn default_severity(self) -> Severity {
         match self {
             LintCode::UnreachableGate | LintCode::UnmappedGeneric => Severity::Warning,
+            LintCode::ConstantNet
+            | LintCode::DeadInstruction
+            | LintCode::StaticUntestableStuck
+            | LintCode::StaticUntestableTransition => Severity::Info,
             _ => Severity::Error,
         }
     }
@@ -337,6 +421,7 @@ mod tests {
         assert_eq!(codes.len(), LintCode::ALL.len());
         assert!(codes.contains("FLH000"));
         assert!(codes.contains("FLH014"));
+        assert!(codes.contains("FLH028"));
         for c in LintCode::ALL {
             assert!(c.code().starts_with("FLH"), "{c:?}");
             assert_eq!(c.code().len(), 6);

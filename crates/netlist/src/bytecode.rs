@@ -488,7 +488,13 @@ pub enum Opcode {
 
 impl Opcode {
     fn from_raw(raw: u8) -> Opcode {
-        match raw {
+        Opcode::try_from_raw(raw).unwrap_or_else(|| unreachable!("invalid opcode byte {raw}"))
+    }
+
+    /// Fallible decode of a raw opcode byte — the bytecode verifier's entry
+    /// point, which must diagnose an invalid byte instead of panicking.
+    pub fn try_from_raw(raw: u8) -> Option<Opcode> {
+        Some(match raw {
             0 => Opcode::Const0,
             1 => Opcode::Const1,
             2 => Opcode::Copy,
@@ -504,7 +510,22 @@ impl Opcode {
             12 => Opcode::Oai21,
             13 => Opcode::Oai22,
             14 => Opcode::Mux,
-            _ => unreachable!("invalid opcode byte {raw}"),
+            _ => return None,
+        })
+    }
+
+    /// The legal operand-count range for this opcode. The chainable
+    /// families carry their count in the instruction header; everything
+    /// else has a fixed shape matching its library cell.
+    pub fn arity_range(self) -> std::ops::RangeInclusive<usize> {
+        match self {
+            Opcode::Const0 | Opcode::Const1 => 0..=0,
+            Opcode::Copy | Opcode::Not => 1..=1,
+            Opcode::And | Opcode::Nand | Opcode::Or | Opcode::Nor | Opcode::Xor | Opcode::Xnor => {
+                2..=MAX_FUSED_OPERANDS
+            }
+            Opcode::Aoi21 | Opcode::Oai21 | Opcode::Mux => 3..=3,
+            Opcode::Aoi22 | Opcode::Oai22 => 4..=4,
         }
     }
 
@@ -558,11 +579,34 @@ pub struct Batch {
 }
 
 // Instruction header layout (one u32, followed by the dst slot and the
-// fixed-width operand block; see INST_WORDS):
-const OP_SHIFT: u32 = 0; // bits 0..8: opcode
-const NOPS_SHIFT: u32 = 8; // bits 8..12: operand count
-const HOLD_BIT: u32 = 1 << 12; // dst is a hold element (skippable)
-const FOLD_SHIFT: u32 = 16; // bits 16..24: micro-ops fused into this inst
+// fixed-width operand block; see INST_WORDS). Shared with the sibling
+// `static_analysis` module, whose verifier re-decodes the stream.
+pub(crate) const OP_SHIFT: u32 = 0; // bits 0..8: opcode
+pub(crate) const NOPS_SHIFT: u32 = 8; // bits 8..12: operand count
+pub(crate) const HOLD_BIT: u32 = 1 << 12; // dst is a hold element (skippable)
+pub(crate) const FOLD_SHIFT: u32 = 16; // bits 16..24: micro-ops fused into this inst
+
+/// One instruction of the stream in decoded form — the introspection view
+/// the verifier, its negative tests and external tooling consume instead of
+/// re-deriving the header bit layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodedInst {
+    /// Raw opcode byte (may be invalid on corrupted programs).
+    pub opcode_raw: u8,
+    /// Decoded opcode, if the byte is legal.
+    pub opcode: Option<Opcode>,
+    /// Operand count from the header (not validated).
+    pub nops: usize,
+    /// Destination slot: a cell id below `cell_words()`, a scratch slot at
+    /// `cell_words() + r` otherwise.
+    pub dst: u32,
+    /// Operand slots; entries at `nops..` are zero padding.
+    pub operands: [u32; MAX_FUSED_OPERANDS],
+    /// True when the destination is a holding cell (freeze-skippable).
+    pub hold: bool,
+    /// Micro-ops fused into this instruction (saturated at 255).
+    pub folded: u32,
+}
 
 /// A lowered circuit: the flat instruction stream plus the side tables the
 /// executors and the disassembler need. Immutable after
@@ -1283,6 +1327,103 @@ impl Program {
             }
         }
         out
+    }
+
+    /// Decodes instruction `index` (stream order) without validating it —
+    /// corrupted headers come back with `opcode: None` rather than a panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index * INST_WORDS` runs past the code stream (possible
+    /// on programs truncated through [`Program::corrupt_truncate_words`]).
+    pub fn decode_inst(&self, index: usize) -> DecodedInst {
+        let w = index * INST_WORDS;
+        let inst = &self.code[w..w + INST_WORDS];
+        let header = inst[0];
+        let opcode_raw = (header >> OP_SHIFT) as u8;
+        let mut operands = [0u32; MAX_FUSED_OPERANDS];
+        operands.copy_from_slice(&inst[2..2 + MAX_FUSED_OPERANDS]);
+        DecodedInst {
+            opcode_raw,
+            opcode: Opcode::try_from_raw(opcode_raw),
+            nops: ((header >> NOPS_SHIFT) & 0xf) as usize,
+            dst: inst[1],
+            operands,
+            hold: header & HOLD_BIT != 0,
+            folded: (header >> FOLD_SHIFT) & 0xff,
+        }
+    }
+
+    /// The raw code stream (the sibling verifier re-walks it word by word).
+    pub(crate) fn raw_code(&self) -> &[u32] {
+        &self.code
+    }
+
+    /// Raw `(first code word, word count)` chain entry of a cell —
+    /// `(u32::MAX, 0)` for sources.
+    pub(crate) fn chain_raw(&self, cell: u32) -> (u32, u32) {
+        self.cell_chain[cell as usize]
+    }
+
+    // --- Corruption hooks -------------------------------------------------
+    //
+    // Like `Netlist::corrupt_*`, the mutators below bypass every emission
+    // invariant on purpose: the bytecode-verifier tests use them to break
+    // one specific property of a lowered program — an illegal opcode byte,
+    // a read-before-write scratch operand, a mis-levelled batch — and
+    // assert that exactly the matching diagnostic fires. Production code
+    // must never call them.
+
+    /// Overwrites the opcode byte of instruction `index` (stream order).
+    pub fn corrupt_opcode(&mut self, index: usize, raw: u8) {
+        let w = index * INST_WORDS;
+        self.code[w] = (self.code[w] & !0xff) | ((raw as u32) << OP_SHIFT);
+    }
+
+    /// Overwrites the operand count of instruction `index` with **no arity
+    /// check** against its opcode.
+    pub fn corrupt_nops(&mut self, index: usize, nops: u32) {
+        let w = index * INST_WORDS;
+        self.code[w] = (self.code[w] & !(0xf << NOPS_SHIFT)) | ((nops & 0xf) << NOPS_SHIFT);
+    }
+
+    /// Repoints operand `pin` of instruction `index` at an arbitrary slot —
+    /// out-of-range slots, later-level cells and unwritten scratch words
+    /// are all representable.
+    pub fn corrupt_operand(&mut self, index: usize, pin: usize, slot: u32) {
+        debug_assert!(pin < MAX_FUSED_OPERANDS);
+        self.code[index * INST_WORDS + 2 + pin] = slot;
+    }
+
+    /// Repoints the destination of instruction `index` at an arbitrary
+    /// slot with **no range or level check**.
+    pub fn corrupt_dst(&mut self, index: usize, slot: u32) {
+        self.code[index * INST_WORDS + 1] = slot;
+    }
+
+    /// Flips the hold-element bit of instruction `index`, desynchronizing
+    /// it from the destination cell's kind.
+    pub fn corrupt_toggle_hold(&mut self, index: usize) {
+        self.code[index * INST_WORDS] ^= HOLD_BIT;
+    }
+
+    /// Drops the last `words` code words without touching the batch table,
+    /// leaving batches that reference past the end of the stream.
+    pub fn corrupt_truncate_words(&mut self, words: usize) {
+        let keep = self.code.len().saturating_sub(words);
+        self.code.truncate(keep);
+    }
+
+    /// Overwrites the level of batch `index`, breaking the level-major
+    /// schedule contract.
+    pub fn corrupt_batch_level(&mut self, index: usize, level: u32) {
+        self.batches[index].level = level;
+    }
+
+    /// Overwrites a cell's chain table entry with **no consistency check**
+    /// against the code stream.
+    pub fn corrupt_chain(&mut self, cell: u32, start: u32, words: u32) {
+        self.cell_chain[cell as usize] = (start, words);
     }
 }
 

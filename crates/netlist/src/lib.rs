@@ -53,11 +53,14 @@ pub mod generate;
 pub mod graph;
 pub mod mapper;
 pub mod profiles;
+pub mod static_analysis;
 pub mod unroll;
 pub mod verilog;
 
 pub use analysis::{CircuitStats, FanoutMap, Levelization};
-pub use bytecode::{Dual256, Dual8, LaneWord, Opcode, Packed256, PatternWord, Program};
+pub use bytecode::{
+    DecodedInst, Dual256, Dual8, LaneWord, Opcode, Packed256, PatternWord, Program,
+};
 pub use cell::{CellId, CellKind, Dual64, HoldStyle};
 pub use compiled::CompiledCircuit;
 pub use error::NetlistError;

@@ -1,0 +1,979 @@
+//! Static analysis over compiled programs (DESIGN.md §2i).
+//!
+//! Three cooperating analyses run on a lowered [`Program`] without ever
+//! simulating a pattern:
+//!
+//! * [`verify_program`] — a bytecode verifier that decodes every fixed-stride
+//!   instruction and proves the emission invariants `Program::lower` relies
+//!   on: stream/batch structure, opcode legality, fused arity, operand and
+//!   destination ranges, level-monotone scheduling, the per-chain LIFO
+//!   scratch discipline (no read-before-write) and chain-table consistency.
+//!   Violations are data, not panics, so `flh-lint` can surface them as
+//!   stable FLH diagnostics and negative tests can assert exact codes
+//!   against `Program::corrupt_*` mutations.
+//! * [`ternary_constants`] + [`dead_instructions`] — a 0/1/X abstract
+//!   interpretation. Executing the program over [`Dual64`] with every source
+//!   unknown is exact Kleene constant propagation through the fused opcode
+//!   table; backward liveness over the code stream then finds instructions
+//!   whose results can never reach an observation point.
+//! * [`observability`] + [`scoap`] — SCOAP-flavoured testability costing in
+//!   level order. `obs_struct` is plain reverse reachability from the
+//!   observation roots; `obs_sens` additionally rules out propagation paths
+//!   that the constant lattice proves unsensitizable (a definite side pin
+//!   blocks the only path through a gate).
+//!
+//! # Soundness of `obs_sens`
+//!
+//! The ternary fixpoint is computed with every primary input and flip-flop
+//! unknown. Pinning an X-valued net to 0 or 1 — which is what activating a
+//! fault at a non-constant site does — is an information *refinement*: every
+//! net the fixpoint proved definite keeps that exact value in the faulty
+//! machine. Side-pin blocking therefore only ever uses facts that still hold
+//! when the fault is present. The one case refinement does not cover is a
+//! fault that forces a *constant* net to its opposite value; classification
+//! code must fall back to the structural reachability answer there (see
+//! `flh-atpg`'s prune module).
+
+use crate::bytecode::{Program, BATCH_INSTS, INST_WORDS, MAX_FUSED_OPERANDS};
+use crate::cell::{CellKind, Dual64};
+use crate::compiled::CompiledCircuit;
+
+/// Saturation bound for SCOAP costs (advisory display values).
+pub const SCOAP_SAT: u32 = 1 << 24;
+
+// ---------------------------------------------------------------------------
+// Bytecode verifier
+// ---------------------------------------------------------------------------
+
+/// What a verifier violation proves about the program. Each kind maps 1:1 to
+/// a stable `flh-lint` code (FLH015..FLH023); keep the set append-only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VerifyKind {
+    /// The code stream or batch table is structurally broken: ragged stream,
+    /// batch bounds out of range/misaligned, gaps or overlaps in the tiling,
+    /// oversized batch, or an instruction count that disagrees with the
+    /// stream length. Structure violations abort the walk (everything later
+    /// would cascade).
+    Truncated,
+    /// An opcode byte outside the fused opcode table.
+    BadOpcode,
+    /// An operand count outside the opcode's legal arity range.
+    BadArity,
+    /// An operand slot past the end of the register file.
+    OperandRange,
+    /// A destination slot past the end of the register file.
+    DstRange,
+    /// A scratch operand read before any instruction of the same chain wrote
+    /// it — the LIFO regalloc discipline guarantees this never happens in
+    /// emitted code.
+    ScratchReadBeforeWrite,
+    /// A cell operand whose level is not strictly below the batch level, so
+    /// the level-major schedule would read it before it is computed.
+    OperandLevel,
+    /// A batch whose level is out of range or non-monotone, or a root
+    /// destination scheduled in a batch of the wrong level.
+    BatchLevel,
+    /// The chain table disagrees with the code stream (wrong bounds, wrong
+    /// terminating destination, a chain for a source cell) or the hold bit
+    /// disagrees with the destination cell's kind.
+    ChainMismatch,
+}
+
+impl VerifyKind {
+    /// Short stable label used in diagnostics and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            VerifyKind::Truncated => "truncated",
+            VerifyKind::BadOpcode => "bad-opcode",
+            VerifyKind::BadArity => "bad-arity",
+            VerifyKind::OperandRange => "operand-range",
+            VerifyKind::DstRange => "dst-range",
+            VerifyKind::ScratchReadBeforeWrite => "scratch-read-before-write",
+            VerifyKind::OperandLevel => "operand-level",
+            VerifyKind::BatchLevel => "batch-level",
+            VerifyKind::ChainMismatch => "chain-mismatch",
+        }
+    }
+}
+
+/// One proven violation of the bytecode contract.
+#[derive(Clone, Debug)]
+pub struct VerifyViolation {
+    /// Which invariant broke.
+    pub kind: VerifyKind,
+    /// Stream-order instruction index, when the violation is per-instruction.
+    pub inst: Option<usize>,
+    /// Destination cell id, when the offending instruction roots a cell.
+    pub cell: Option<u32>,
+    /// Human-readable detail (slot numbers, levels, expected vs found).
+    pub message: String,
+}
+
+/// Result of [`verify_program`]: the violation list plus the number of
+/// individual checks performed (the `lint.verifier_checks` counter).
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Every proven contract violation, in stream order.
+    pub violations: Vec<VerifyViolation>,
+    /// Individual assertions evaluated while walking the program.
+    pub checks: u64,
+}
+
+impl VerifyReport {
+    /// True when the program satisfies the full bytecode contract.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    fn push(&mut self, kind: VerifyKind, inst: Option<usize>, cell: Option<u32>, message: String) {
+        self.violations.push(VerifyViolation {
+            kind,
+            inst,
+            cell,
+            message,
+        });
+    }
+}
+
+/// Decode every instruction of `program` and prove the emission contract
+/// against `compiled` (the circuit it was lowered from).
+///
+/// Structure violations ([`VerifyKind::Truncated`]) abort the walk early —
+/// a ragged stream would turn every downstream check into noise — so a
+/// corrupted program maps to exactly the code of the first broken layer.
+pub fn verify_program(compiled: &CompiledCircuit, program: &Program) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    let code = program.raw_code();
+    let n_cells = program.cell_words();
+    let n_scratch = program.scratch_words();
+    let n_slots = (n_cells + n_scratch) as u32;
+
+    // --- Layer 1: stream and batch structure -----------------------------
+    report.checks += 1;
+    if code.len() % INST_WORDS != 0 {
+        report.push(
+            VerifyKind::Truncated,
+            None,
+            None,
+            format!(
+                "code stream of {} words is not a multiple of the {INST_WORDS}-word stride",
+                code.len()
+            ),
+        );
+        return report;
+    }
+    report.checks += 1;
+    if program.inst_count() * INST_WORDS != code.len() {
+        report.push(
+            VerifyKind::Truncated,
+            None,
+            None,
+            format!(
+                "instruction count {} disagrees with a {}-word stream",
+                program.inst_count(),
+                code.len()
+            ),
+        );
+        return report;
+    }
+    let mut cursor = 0u32;
+    for (bi, b) in program.batches().iter().enumerate() {
+        report.checks += 4;
+        let aligned = b.start as usize % INST_WORDS == 0 && b.end as usize % INST_WORDS == 0;
+        let sized = b.start < b.end
+            && b.end as usize <= code.len()
+            && (b.end - b.start) / INST_WORDS as u32 <= BATCH_INSTS;
+        if b.start != cursor || !aligned || !sized {
+            report.push(
+                VerifyKind::Truncated,
+                None,
+                None,
+                format!(
+                    "batch {bi} [{}, {}) breaks the contiguous tiling of a {}-word stream",
+                    b.start,
+                    b.end,
+                    code.len()
+                ),
+            );
+            return report;
+        }
+        cursor = b.end;
+    }
+    report.checks += 1;
+    if cursor as usize != code.len() {
+        report.push(
+            VerifyKind::Truncated,
+            None,
+            None,
+            format!("batches cover {cursor} of {} code words", code.len()),
+        );
+        return report;
+    }
+
+    // --- Layer 2: per-instruction walk ------------------------------------
+    let mut scratch_written = vec![false; n_scratch];
+    let mut prev_level = 0u32;
+    let mut inst_index = 0usize;
+    for (bi, b) in program.batches().iter().enumerate() {
+        report.checks += 2;
+        if b.level < 1 || b.level as usize > compiled.levels() {
+            report.push(
+                VerifyKind::BatchLevel,
+                None,
+                None,
+                format!(
+                    "batch {bi} has level {} outside 1..={}",
+                    b.level,
+                    compiled.levels()
+                ),
+            );
+        }
+        if b.level < prev_level {
+            report.push(
+                VerifyKind::BatchLevel,
+                None,
+                None,
+                format!(
+                    "batch {bi} level {} below predecessor {prev_level}",
+                    b.level
+                ),
+            );
+        }
+        prev_level = b.level;
+
+        let window = &code[b.start as usize..b.end as usize];
+        for inst in window.chunks_exact(INST_WORDS) {
+            let d = program.decode_inst(inst_index);
+            debug_assert_eq!(inst[1], d.dst);
+
+            report.checks += 1;
+            let Some(op) = d.opcode else {
+                report.push(
+                    VerifyKind::BadOpcode,
+                    Some(inst_index),
+                    None,
+                    format!(
+                        "opcode byte 0x{:02x} is not in the fused table",
+                        d.opcode_raw
+                    ),
+                );
+                inst_index += 1;
+                continue;
+            };
+            report.checks += 1;
+            if !op.arity_range().contains(&d.nops) {
+                report.push(
+                    VerifyKind::BadArity,
+                    Some(inst_index),
+                    None,
+                    format!(
+                        "{op:?} takes {:?} operands, instruction encodes {}",
+                        op.arity_range(),
+                        d.nops
+                    ),
+                );
+            }
+
+            report.checks += 1;
+            let dst_cell = if d.dst < n_cells as u32 {
+                Some(d.dst)
+            } else {
+                None
+            };
+            if d.dst >= n_slots {
+                report.push(
+                    VerifyKind::DstRange,
+                    Some(inst_index),
+                    None,
+                    format!("destination slot {} past register file of {n_slots}", d.dst),
+                );
+            } else if let Some(cell) = dst_cell {
+                report.checks += 2;
+                if compiled.level_of(cell) != b.level {
+                    report.push(
+                        VerifyKind::BatchLevel,
+                        Some(inst_index),
+                        Some(cell),
+                        format!(
+                            "cell at level {} rooted inside a level-{} batch",
+                            compiled.level_of(cell),
+                            b.level
+                        ),
+                    );
+                }
+                let is_hold = compiled.kind(cell).is_hold_element();
+                if d.hold != is_hold {
+                    report.push(
+                        VerifyKind::ChainMismatch,
+                        Some(inst_index),
+                        Some(cell),
+                        format!(
+                            "hold bit {} but destination kind {:?}",
+                            d.hold,
+                            compiled.kind(cell)
+                        ),
+                    );
+                }
+            }
+
+            for k in 0..d.nops.min(MAX_FUSED_OPERANDS) {
+                let slot = d.operands[k];
+                report.checks += 1;
+                if slot >= n_slots {
+                    report.push(
+                        VerifyKind::OperandRange,
+                        Some(inst_index),
+                        dst_cell,
+                        format!("operand {k} slot {slot} past register file of {n_slots}"),
+                    );
+                } else if slot < n_cells as u32 {
+                    report.checks += 1;
+                    if compiled.level_of(slot) >= b.level {
+                        report.push(
+                            VerifyKind::OperandLevel,
+                            Some(inst_index),
+                            dst_cell,
+                            format!(
+                                "operand {k} reads cell {slot} at level {} from a level-{} batch",
+                                compiled.level_of(slot),
+                                b.level
+                            ),
+                        );
+                    }
+                } else {
+                    report.checks += 1;
+                    if !scratch_written[slot as usize - n_cells] {
+                        report.push(
+                            VerifyKind::ScratchReadBeforeWrite,
+                            Some(inst_index),
+                            dst_cell,
+                            format!(
+                                "operand {k} reads scratch word {} before any write in its chain",
+                                slot - n_cells as u32
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // The scratch free list is chain-local: a root destination ends
+            // the chain and invalidates every temporary.
+            if d.dst < n_slots {
+                if dst_cell.is_some() {
+                    scratch_written.fill(false);
+                } else {
+                    scratch_written[d.dst as usize - n_cells] = true;
+                }
+            }
+            inst_index += 1;
+        }
+    }
+
+    // --- Layer 3: chain table ---------------------------------------------
+    for cell in 0..n_cells as u32 {
+        let (start, len) = program.chain_raw(cell);
+        report.checks += 1;
+        if compiled.level_of(cell) == 0 {
+            if (start, len) != (u32::MAX, 0) {
+                report.push(
+                    VerifyKind::ChainMismatch,
+                    None,
+                    Some(cell),
+                    format!("source cell has chain entry ({start}, {len})"),
+                );
+            }
+            continue;
+        }
+        report.checks += 2;
+        let aligned = start as usize % INST_WORDS == 0 && len as usize % INST_WORDS == 0;
+        if start == u32::MAX
+            || len == 0
+            || !aligned
+            || (start as usize).saturating_add(len as usize) > code.len()
+        {
+            report.push(
+                VerifyKind::ChainMismatch,
+                None,
+                Some(cell),
+                format!(
+                    "chain entry ({start}, {len}) out of a {}-word stream",
+                    code.len()
+                ),
+            );
+            continue;
+        }
+        let last = (start + len) as usize / INST_WORDS - 1;
+        report.checks += 1;
+        if program.decode_inst(last).dst != cell {
+            report.push(
+                VerifyKind::ChainMismatch,
+                Some(last),
+                Some(cell),
+                format!(
+                    "chain ends writing slot {} instead of its cell",
+                    program.decode_inst(last).dst
+                ),
+            );
+        }
+    }
+
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Ternary abstract interpretation
+// ---------------------------------------------------------------------------
+
+/// Exact Kleene constant propagation through the compiled form: execute the
+/// program over [`Dual64`] with every source unknown and read back which
+/// cells settle to a definite value.
+///
+/// `Some(v)` means the cell computes `v` on every input vector; `None` means
+/// the abstract interpreter cannot prove it constant. Sources (primary
+/// inputs, flip-flops) are always `None`.
+pub fn ternary_constants(program: &Program) -> Vec<Option<bool>> {
+    let mut values = vec![Dual64::all_x(); program.cell_words()];
+    let mut scratch = vec![Dual64::all_x(); program.scratch_words()];
+    program.execute(&mut values, &mut scratch);
+    values
+        .iter()
+        .map(|v| {
+            if v.one & 1 != 0 {
+                Some(true)
+            } else if v.zero & 1 != 0 {
+                Some(false)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Backward-liveness result over the code stream.
+#[derive(Clone, Debug, Default)]
+pub struct DeadCodeReport {
+    /// Stream-order indices of instructions whose result can never reach an
+    /// observation point (primary output or flip-flop D pin).
+    pub dead: Vec<usize>,
+    /// Instructions proven live.
+    pub live: usize,
+}
+
+/// Backward liveness over the code stream: an instruction is live iff its
+/// destination is demanded by an observation root (an `Output` marker cell
+/// or a flip-flop's D driver) through later instructions. Scratch
+/// destinations are killed on (re)definition; cell destinations are
+/// single-assignment and never killed.
+pub fn dead_instructions(compiled: &CompiledCircuit, program: &Program) -> DeadCodeReport {
+    let n_cells = program.cell_words();
+    let mut needed_cell = vec![false; n_cells];
+    let mut needed_scratch = vec![false; program.scratch_words()];
+    for &m in compiled.outputs() {
+        needed_cell[m as usize] = true;
+        needed_cell[compiled.fanin(m)[0] as usize] = true;
+    }
+    for &f in compiled.flip_flops() {
+        needed_cell[compiled.fanin(f)[0] as usize] = true;
+    }
+
+    let mut report = DeadCodeReport::default();
+    for i in (0..program.inst_count()).rev() {
+        let d = program.decode_inst(i);
+        let dst = d.dst as usize;
+        let live = if dst < n_cells {
+            needed_cell[dst]
+        } else {
+            let l = needed_scratch[dst - n_cells];
+            needed_scratch[dst - n_cells] = false;
+            l
+        };
+        if live {
+            report.live += 1;
+            for k in 0..d.nops.min(MAX_FUSED_OPERANDS) {
+                let s = d.operands[k] as usize;
+                if s < n_cells {
+                    needed_cell[s] = true;
+                } else {
+                    needed_scratch[s - n_cells] = true;
+                }
+            }
+        } else {
+            report.dead.push(i);
+        }
+    }
+    report.dead.reverse();
+    report
+}
+
+/// Forward X-taint over the compiled form: which cells can see a flip-flop
+/// response value during the V1-hold window. Mirrors the netlist-level
+/// `hold-leak` walk exactly — flip-flop sources start tainted, taint is the
+/// OR of operand taints, and a destination whose instruction carries the
+/// hold bit (or whose cell is in the `frozen` supply-gated set) clips taint
+/// to false. Agreement between the two walks is a lint assertion (FLH026).
+pub fn compiled_hold_taint(program: &Program, ff_sources: &[bool], frozen: &[bool]) -> Vec<bool> {
+    let n_cells = program.cell_words();
+    debug_assert_eq!(ff_sources.len(), n_cells);
+    debug_assert_eq!(frozen.len(), n_cells);
+    let mut cell_taint = ff_sources.to_vec();
+    let mut scratch_taint = vec![false; program.scratch_words()];
+    for i in 0..program.inst_count() {
+        let d = program.decode_inst(i);
+        let mut taint = false;
+        for k in 0..d.nops.min(MAX_FUSED_OPERANDS) {
+            let s = d.operands[k] as usize;
+            taint |= if s < n_cells {
+                cell_taint[s]
+            } else {
+                scratch_taint[s - n_cells]
+            };
+        }
+        let dst = d.dst as usize;
+        if dst < n_cells {
+            cell_taint[dst] = taint && !d.hold && !frozen[dst];
+        } else {
+            scratch_taint[dst - n_cells] = taint;
+        }
+    }
+    cell_taint
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+/// Structural and sensitization-aware observability per cell.
+#[derive(Clone, Debug)]
+pub struct Observability {
+    /// Cell can reach a primary output or flip-flop D pin through fanout
+    /// edges (pure reverse reachability; no value reasoning).
+    pub obs_struct: Vec<bool>,
+    /// Cell can reach an observation point through a path the constant
+    /// lattice does not prove unsensitizable. Always implies `obs_struct`.
+    /// Sound only for faults at non-constant sites (see the module docs).
+    pub obs_sens: Vec<bool>,
+    /// Cell directly drives an `Output` marker or a flip-flop D pin.
+    pub observed_driver: Vec<bool>,
+}
+
+/// Is pin `pin` of a gate of `kind` blocked by the definite side-pin values
+/// in `side` (one entry per fanin pin, `side[pin]` ignored)? "Blocked" means
+/// no value change on that pin can change the gate output while the side
+/// pins hold their proven constants — and since those constants survive any
+/// refinement of the sources, a blocked pin is blocked in every faulty
+/// machine whose fault site was unknown to the lattice.
+pub fn pin_blocked(kind: CellKind, pin: usize, side: &[Option<bool>]) -> bool {
+    use CellKind::*;
+    debug_assert_eq!(side.len(), kind.arity());
+    let is0 = |p: usize| side[p] == Some(false);
+    let is1 = |p: usize| side[p] == Some(true);
+    match kind {
+        And2 | And3 | And4 | Nand2 | Nand3 | Nand4 | AndN(_) | NandN(_) => {
+            (0..side.len()).any(|p| p != pin && is0(p))
+        }
+        Or2 | Or3 | Or4 | Nor2 | Nor3 | Nor4 | OrN(_) | NorN(_) => {
+            (0..side.len()).any(|p| p != pin && is1(p))
+        }
+        // XOR-family pins are always sensitized; single-input cells pass
+        // every change through.
+        Xor2 | Xnor2 | XorN(_) => false,
+        Buf | Inv | Output | Dff | ScanDff | HoldLatch | HoldMux => false,
+        Input | Const0 | Const1 => false,
+        // !((a & b) | c)
+        Aoi21 => match pin {
+            0 => is0(1) || is1(2),
+            1 => is0(0) || is1(2),
+            _ => is1(0) && is1(1),
+        },
+        // !((a & b) | (c & d))
+        Aoi22 => match pin {
+            0 => is0(1) || (is1(2) && is1(3)),
+            1 => is0(0) || (is1(2) && is1(3)),
+            2 => is0(3) || (is1(0) && is1(1)),
+            _ => is0(2) || (is1(0) && is1(1)),
+        },
+        // !((a | b) & c)
+        Oai21 => match pin {
+            0 => is1(1) || is0(2),
+            1 => is1(0) || is0(2),
+            _ => is0(0) && is0(1),
+        },
+        // !((a | b) & (c | d))
+        Oai22 => match pin {
+            0 => is1(1) || (is0(2) && is0(3)),
+            1 => is1(0) || (is0(2) && is0(3)),
+            2 => is1(3) || (is0(0) && is0(1)),
+            _ => is1(2) || (is0(0) && is0(1)),
+        },
+        // s ? b : a — the select pin is dead only when both data pins are
+        // proven equal.
+        Mux2 => match pin {
+            0 => is1(2),
+            1 => is0(2),
+            _ => matches!((side[0], side[1]), (Some(a), Some(b)) if a == b),
+        },
+    }
+}
+
+/// Compute [`Observability`] against the constant lattice from
+/// [`ternary_constants`] (pass all-`None` for a purely structural answer).
+pub fn observability(compiled: &CompiledCircuit, constants: &[Option<bool>]) -> Observability {
+    let n = compiled.cell_count() as usize;
+    debug_assert_eq!(constants.len(), n);
+    let mut observed_driver = vec![false; n];
+    for &m in compiled.outputs() {
+        observed_driver[compiled.fanin(m)[0] as usize] = true;
+    }
+    for &f in compiled.flip_flops() {
+        observed_driver[compiled.fanin(f)[0] as usize] = true;
+    }
+
+    // Reverse topological sweep: evaluable cells by descending level, then
+    // the level-0 sources (whose readers all sit at higher levels).
+    let mut sweep: Vec<u32> = compiled.order().iter().rev().copied().collect();
+    sweep.extend((0..n as u32).filter(|&c| compiled.level_of(c) == 0));
+
+    let mut obs_struct = vec![false; n];
+    let mut obs_sens = vec![false; n];
+    let mut side = Vec::new();
+    for &c in &sweep {
+        let ci = c as usize;
+        let mut st = observed_driver[ci];
+        let mut se = st;
+        for &g in compiled.readers(c) {
+            let gk = compiled.kind(g);
+            // Observation through a marker or flip-flop is exactly the
+            // `observed_driver` root above; nothing propagates past it.
+            if matches!(gk, CellKind::Output | CellKind::Dff | CellKind::ScanDff) {
+                continue;
+            }
+            let gi = g as usize;
+            st |= obs_struct[gi];
+            if obs_sens[gi] && !se {
+                let fanin = compiled.fanin(g);
+                side.clear();
+                side.extend(fanin.iter().map(|&f| constants[f as usize]));
+                se |= fanin
+                    .iter()
+                    .enumerate()
+                    .any(|(p, &f)| f == c && !pin_blocked(gk, p, &side));
+            }
+        }
+        obs_struct[ci] = st;
+        // A cell the lattice proves constant carries no observable
+        // difference under any refinement of the sources.
+        obs_sens[ci] = se && constants[ci].is_none();
+    }
+
+    Observability {
+        obs_struct,
+        obs_sens,
+        observed_driver,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SCOAP costing (advisory)
+// ---------------------------------------------------------------------------
+
+/// SCOAP-style controllability/observability costs per cell. Display-only:
+/// fault classification uses the exact lattice in [`Observability`], never
+/// these heuristics.
+#[derive(Clone, Debug)]
+pub struct Scoap {
+    /// Cost to drive the cell to 0 (sources cost 1, saturates at
+    /// [`SCOAP_SAT`]).
+    pub cc0: Vec<u32>,
+    /// Cost to drive the cell to 1.
+    pub cc1: Vec<u32>,
+    /// Cost to observe the cell at a primary output or flip-flop D pin.
+    pub co: Vec<u32>,
+}
+
+fn sat_add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(SCOAP_SAT)
+}
+
+/// Combinational controllability of an AND of `pins` (no level increment).
+fn cc_and(pins: &[(u32, u32)]) -> (u32, u32) {
+    let c1 = pins.iter().fold(0, |acc, p| sat_add(acc, p.1));
+    let c0 = pins.iter().map(|p| p.0).min().unwrap_or(SCOAP_SAT);
+    (c0, c1)
+}
+
+fn cc_or(pins: &[(u32, u32)]) -> (u32, u32) {
+    let c0 = pins.iter().fold(0, |acc, p| sat_add(acc, p.0));
+    let c1 = pins.iter().map(|p| p.1).min().unwrap_or(SCOAP_SAT);
+    (c0, c1)
+}
+
+fn cc_not(p: (u32, u32)) -> (u32, u32) {
+    (p.1, p.0)
+}
+
+fn cc_xor(a: (u32, u32), b: (u32, u32)) -> (u32, u32) {
+    (
+        sat_add(a.0, b.0).min(sat_add(a.1, b.1)),
+        sat_add(a.0, b.1).min(sat_add(a.1, b.0)),
+    )
+}
+
+/// Compute SCOAP costs in level order (controllability) and reverse level
+/// order (observability). Complex-gate observability uses the cheapest-side
+/// approximation; these numbers rank fault ordering and feed the `flh
+/// analyze` report, nothing else.
+pub fn scoap(compiled: &CompiledCircuit, observed_driver: &[bool]) -> Scoap {
+    use CellKind::*;
+    let n = compiled.cell_count() as usize;
+    let mut cc0 = vec![1u32; n];
+    let mut cc1 = vec![1u32; n];
+    for &id in compiled.order() {
+        let pins: Vec<(u32, u32)> = compiled
+            .fanin(id)
+            .iter()
+            .map(|&f| (cc0[f as usize], cc1[f as usize]))
+            .collect();
+        let (c0, c1) = match compiled.kind(id) {
+            Const0 => (0, SCOAP_SAT),
+            Const1 => (SCOAP_SAT, 0),
+            Output | Buf | Dff | ScanDff | HoldLatch | HoldMux => pins[0],
+            Inv => cc_not(pins[0]),
+            And2 | And3 | And4 | AndN(_) => cc_and(&pins),
+            Nand2 | Nand3 | Nand4 | NandN(_) => cc_not(cc_and(&pins)),
+            Or2 | Or3 | Or4 | OrN(_) => cc_or(&pins),
+            Nor2 | Nor3 | Nor4 | NorN(_) => cc_not(cc_or(&pins)),
+            Xor2 => cc_xor(pins[0], pins[1]),
+            Xnor2 => cc_not(cc_xor(pins[0], pins[1])),
+            XorN(_) => pins[1..].iter().fold(pins[0], |acc, &p| cc_xor(acc, p)),
+            Aoi21 => cc_not(cc_or(&[cc_and(&pins[..2]), pins[2]])),
+            Aoi22 => cc_not(cc_or(&[cc_and(&pins[..2]), cc_and(&pins[2..])])),
+            Oai21 => cc_not(cc_and(&[cc_or(&pins[..2]), pins[2]])),
+            Oai22 => cc_not(cc_and(&[cc_or(&pins[..2]), cc_or(&pins[2..])])),
+            Mux2 => (
+                sat_add(pins[0].0, pins[2].0).min(sat_add(pins[1].0, pins[2].1)),
+                sat_add(pins[0].1, pins[2].0).min(sat_add(pins[1].1, pins[2].1)),
+            ),
+            Input => (1, 1),
+        };
+        let bump = u32::from(compiled.kind(id).is_combinational());
+        cc0[id as usize] = sat_add(c0, bump);
+        cc1[id as usize] = sat_add(c1, bump);
+    }
+
+    let mut co = vec![SCOAP_SAT; n];
+    let mut sweep: Vec<u32> = compiled.order().iter().rev().copied().collect();
+    sweep.extend((0..n as u32).filter(|&c| compiled.level_of(c) == 0));
+    for &c in &sweep {
+        let ci = c as usize;
+        let mut best = if observed_driver[ci] { 0 } else { SCOAP_SAT };
+        for &g in compiled.readers(c) {
+            let gk = compiled.kind(g);
+            if matches!(gk, Output | Dff | ScanDff) {
+                continue;
+            }
+            let fanin = compiled.fanin(g);
+            for (p, &f) in fanin.iter().enumerate() {
+                if f != c {
+                    continue;
+                }
+                let side_cost =
+                    fanin
+                        .iter()
+                        .enumerate()
+                        .filter(|&(q, _)| q != p)
+                        .fold(0u32, |acc, (_, &s)| {
+                            let si = s as usize;
+                            let c = match gk {
+                                And2 | And3 | And4 | Nand2 | Nand3 | Nand4 | AndN(_) | NandN(_) => {
+                                    cc1[si]
+                                }
+                                Or2 | Or3 | Or4 | Nor2 | Nor3 | Nor4 | OrN(_) | NorN(_) => cc0[si],
+                                _ => cc0[si].min(cc1[si]),
+                            };
+                            sat_add(acc, c)
+                        });
+                best = best.min(sat_add(co[g as usize], sat_add(side_cost, 1)));
+            }
+        }
+        co[ci] = best;
+    }
+
+    Scoap { cc0, cc1, co }
+}
+
+// ---------------------------------------------------------------------------
+// Bundle
+// ---------------------------------------------------------------------------
+
+/// All value-independent analyses computed in one call — the input to fault
+/// pruning (`flh-atpg`), the lint passes and the `flh analyze` report.
+#[derive(Clone, Debug)]
+pub struct StaticAnalysis {
+    /// Constant lattice per cell ([`ternary_constants`]).
+    pub constants: Vec<Option<bool>>,
+    /// Backward liveness over the code stream ([`dead_instructions`]).
+    pub dead: DeadCodeReport,
+    /// Structural + sensitization observability ([`observability`]).
+    pub obs: Observability,
+    /// Advisory SCOAP costs ([`scoap`]).
+    pub scoap: Scoap,
+}
+
+/// Run the abstract interpreter, liveness and testability costing against a
+/// lowered program. Does not include [`verify_program`] — callers decide
+/// whether verification failures should gate the rest.
+pub fn analyze(compiled: &CompiledCircuit, program: &Program) -> StaticAnalysis {
+    let constants = ternary_constants(program);
+    let dead = dead_instructions(compiled, program);
+    let obs = observability(compiled, &constants);
+    let scoap = scoap(compiled, &obs.observed_driver);
+    StaticAnalysis {
+        constants,
+        dead,
+        obs,
+        scoap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Netlist;
+
+    /// i0, i1 inputs; g = And2(i0, c0) is constant 0; h = Xor2(i0, i1) is
+    /// live and observable; d = And2(i0, i1) has no fanout.
+    fn fixture() -> Netlist {
+        let mut n = Netlist::new("fix");
+        let i0 = n.add_input("i0");
+        let i1 = n.add_input("i1");
+        let c0 = n.add_cell("c0", CellKind::Const0, vec![]);
+        let g = n.add_cell("g", CellKind::And2, vec![i0, c0]);
+        let h = n.add_cell("h", CellKind::Xor2, vec![i0, i1]);
+        n.add_cell("d", CellKind::And2, vec![i0, i1]);
+        n.add_output("yg", g);
+        n.add_output("yh", h);
+        n
+    }
+
+    fn lower(n: &Netlist) -> (CompiledCircuit, Program) {
+        let c = CompiledCircuit::compile(n).unwrap();
+        let p = Program::lower(&c);
+        (c, p)
+    }
+
+    #[test]
+    fn clean_program_verifies() {
+        let n = fixture();
+        let (c, p) = lower(&n);
+        let report = verify_program(&c, &p);
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn corrupt_opcode_is_rejected() {
+        let n = fixture();
+        let (c, mut p) = lower(&n);
+        p.corrupt_opcode(0, 0xee);
+        let report = verify_program(&c, &p);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == VerifyKind::BadOpcode));
+    }
+
+    #[test]
+    fn constants_fold_through_the_fused_table() {
+        let n = fixture();
+        let (c, p) = lower(&n);
+        let constants = ternary_constants(&p);
+        let id = |name: &str| c.id_of(n.find(name).unwrap()) as usize;
+        assert_eq!(constants[id("c0")], Some(false));
+        assert_eq!(constants[id("g")], Some(false));
+        assert_eq!(constants[id("yg")], Some(false));
+        assert_eq!(constants[id("h")], None);
+        assert_eq!(constants[id("i0")], None);
+    }
+
+    #[test]
+    fn fanout_free_cone_is_dead_and_observed_cone_live() {
+        let n = fixture();
+        let (c, p) = lower(&n);
+        let report = dead_instructions(&c, &p);
+        let dead_cells: Vec<u32> = report.dead.iter().map(|&i| p.decode_inst(i).dst).collect();
+        let d = c.id_of(n.find("d").unwrap());
+        let h = c.id_of(n.find("h").unwrap());
+        assert!(dead_cells.contains(&d));
+        assert!(!dead_cells.contains(&h));
+    }
+
+    #[test]
+    fn blocked_pins_kill_sensitized_observability_only() {
+        let n = fixture();
+        let (c, p) = lower(&n);
+        let a = analyze(&c, &p);
+        let id = |name: &str| c.id_of(n.find(name).unwrap()) as usize;
+        // i0 reaches outputs through h (XOR, never blocked).
+        assert!(a.obs.obs_sens[id("i0")]);
+        // g is constant: structurally observed, never sensitized.
+        assert!(a.obs.obs_struct[id("g")]);
+        assert!(!a.obs.obs_sens[id("g")]);
+        // The constant side pin blocks nothing for i0 (XOR path exists), but
+        // c0 only feeds the AND whose output is constant.
+        assert!(!a.obs.obs_sens[id("c0")]);
+        // d has no fanout at all.
+        assert!(!a.obs.obs_struct[id("d")]);
+        assert!(!a.obs.obs_sens[id("d")]);
+        // SCOAP: observed XOR driver is cheap, dead gate saturates.
+        assert!(a.scoap.co[id("h")] == 0);
+        assert_eq!(a.scoap.co[id("d")], SCOAP_SAT);
+    }
+
+    #[test]
+    fn hold_taint_matches_a_hand_walk() {
+        // ff -> hold -> g(and with i0); taint must stop at the hold cell.
+        let mut n = Netlist::new("taint");
+        let i0 = n.add_input("i0");
+        let ff = n.add_cell("ff", CellKind::Dff, vec![i0]);
+        let hold = n.add_cell("hold", CellKind::HoldLatch, vec![ff]);
+        let g = n.add_cell("g", CellKind::And2, vec![hold, i0]);
+        let leak = n.add_cell("leak", CellKind::And2, vec![ff, i0]);
+        n.add_output("yg", g);
+        n.add_output("yl", leak);
+        let (c, p) = lower(&n);
+        let mut ff_src = vec![false; c.cell_count() as usize];
+        for &f in c.flip_flops() {
+            ff_src[f as usize] = true;
+        }
+        let frozen = vec![false; c.cell_count() as usize];
+        let taint = compiled_hold_taint(&p, &ff_src, &frozen);
+        let id = |cid: crate::CellId| c.id_of(cid) as usize;
+        assert!(taint[id(ff)]);
+        assert!(!taint[id(hold)], "hold bit must clip taint");
+        assert!(!taint[id(g)]);
+        assert!(taint[id(leak)], "ungated path must stay tainted");
+    }
+
+    #[test]
+    fn pin_blocking_truth_table_spot_checks() {
+        use CellKind::*;
+        let s0 = Some(false);
+        let s1 = Some(true);
+        let x: Option<bool> = None;
+        assert!(pin_blocked(And2, 0, &[x, s0]));
+        assert!(!pin_blocked(And2, 0, &[x, s1]));
+        assert!(pin_blocked(Nor3, 1, &[x, x, s1]));
+        assert!(!pin_blocked(Xor2, 0, &[x, s0]));
+        // Aoi21 !((a&b)|c): c=1 masks the AND term.
+        assert!(pin_blocked(Aoi21, 0, &[x, s1, s1]));
+        assert!(!pin_blocked(Aoi21, 0, &[x, s1, s0]));
+        assert!(pin_blocked(Aoi21, 2, &[s1, s1, x]));
+        // Oai21 !((a|b)&c): select-side blocking.
+        assert!(pin_blocked(Oai21, 2, &[s0, s0, x]));
+        assert!(!pin_blocked(Oai21, 2, &[s0, x, x]));
+        // Mux2 [a, b, s]: select pin dead when both data pins agree.
+        assert!(pin_blocked(Mux2, 0, &[x, x, s1]));
+        assert!(pin_blocked(Mux2, 2, &[s1, s1, x]));
+        assert!(!pin_blocked(Mux2, 2, &[s1, s0, x]));
+    }
+}

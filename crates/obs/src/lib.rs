@@ -43,6 +43,8 @@
 //! * [`write_trace`] — a Chrome trace-event file (`chrome://tracing` /
 //!   Perfetto loadable), written when `FLH_TRACE=<path>` is set.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod registry;
 mod report;
 mod span;
@@ -287,9 +289,11 @@ mod tests {
         reset();
         {
             let _a = span("trace.outer");
+            // time-ok: test-only sleep to give the spans nonzero width.
             std::thread::sleep(std::time::Duration::from_millis(2));
             {
                 let _b = span("trace.inner");
+                // time-ok: test-only sleep to give the spans nonzero width.
                 std::thread::sleep(std::time::Duration::from_millis(2));
             }
         }

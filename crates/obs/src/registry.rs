@@ -6,7 +6,7 @@ use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
-use std::time::Duration;
+use std::time::Duration; // time-ok: import only; durations stay in the nondet section
 
 use crate::enabled;
 
@@ -58,11 +58,15 @@ pub enum Counter {
     CodegenFusedOps,
     /// Lint diagnostics produced across all passes.
     LintFindings,
+    /// Individual assertions evaluated by the bytecode verifier pass.
+    LintVerifierChecks,
+    /// Faults classified statically untestable by the testability pass.
+    LintStaticUntestable,
 }
 
 impl Counter {
     /// Every counter, in the fixed report order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 19] = [
         Counter::ReplayCalls,
         Counter::ReplayEvents,
         Counter::ReplayDedupHits,
@@ -80,6 +84,8 @@ impl Counter {
         Counter::SimBytecodeInsts,
         Counter::CodegenFusedOps,
         Counter::LintFindings,
+        Counter::LintVerifierChecks,
+        Counter::LintStaticUntestable,
     ];
 
     /// Stable dotted report key.
@@ -102,6 +108,8 @@ impl Counter {
             Counter::SimBytecodeInsts => "sim.bytecode_insts",
             Counter::CodegenFusedOps => "codegen.fused_ops",
             Counter::LintFindings => "lint.findings",
+            Counter::LintVerifierChecks => "lint.verifier_checks",
+            Counter::LintStaticUntestable => "lint.static_untestable",
         }
     }
 }

@@ -38,7 +38,8 @@ echo "== clippy (guarded: workspace deny set on opted-in crates) =="
 # true`. Clippy ships with the toolchain here, but minimal toolchains may
 # lack it — skip with a notice rather than fail the whole gate.
 if cargo clippy --version >/dev/null 2>&1; then
-    cargo clippy --offline -p flh-netlist -p flh-sim -p flh-lint -p flh-serve --all-targets
+    cargo clippy --offline -p flh-netlist -p flh-sim -p flh-lint -p flh-serve \
+        -p flh-atpg -p flh-exec -p flh-obs --all-targets
 else
     echo "NOTICE: cargo clippy unavailable in this toolchain; skipping the lint step"
 fi
@@ -58,6 +59,31 @@ if ! grep -q '"total_errors":0' "$bench_tmp/lint_summary.json"; then
     echo "LINT GATE FAILED: error diagnostics on the profile grid" >&2
     exit 1
 fi
+# The bytecode verifier (FLH015-023) and the X-taint cross-check (FLH026)
+# run inside the same grid; none of their codes may fire on any profile.
+if grep -qE '"FLH01[5-9]"|"FLH02[0-3]"|"FLH026"' "$bench_tmp/lint_summary.json"; then
+    echo "LINT GATE FAILED: bytecode verifier violations on the profile grid" >&2
+    exit 1
+fi
+
+echo "== static analysis gate (flh analyze, verifier + prune consistency) =="
+# `analyze` exits nonzero on any verifier violation; `--check-sim` cross-
+# checks the static untestability classifier against random stuck-at and
+# transition fault simulation on the largest mid-size profile. The report
+# must also be byte-identical at any pool width.
+FLH_THREADS=1 cargo run -q --release --offline --bin flh -- \
+    analyze s9234 --check-sim | tee "$bench_tmp/analyze_w1.txt"
+if ! grep -q '^prune-consistency: OK$' "$bench_tmp/analyze_w1.txt"; then
+    echo "ANALYZE GATE FAILED: static filter pruned a simulated-detectable fault" >&2
+    exit 1
+fi
+FLH_THREADS=4 cargo run -q --release --offline --bin flh -- \
+    analyze s9234 --check-sim > "$bench_tmp/analyze_w4.txt"
+if ! diff "$bench_tmp/analyze_w1.txt" "$bench_tmp/analyze_w4.txt"; then
+    echo "ANALYZE GATE FAILED: analyze report depends on FLH_THREADS" >&2
+    exit 1
+fi
+echo "verifier clean, prune-consistent, pool-width invariant"
 
 echo "== metrics gate (deterministic counters, FLH_THREADS=1 vs 4) =="
 # The flh-obs deterministic section must be byte-identical at any pool

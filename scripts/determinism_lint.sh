@@ -26,37 +26,71 @@ cd "$(dirname "$0")/.."
 # benchmark baselines in flh-netlist's analysis module).
 TARGETS=(
     crates/exec/src crates/atpg/src crates/obs/src crates/sim/src
-    crates/lint/src crates/serve/src
+    crates/lint/src crates/serve/src crates/bist/src
     crates/netlist/src/bytecode.rs
+    crates/netlist/src/static_analysis.rs
     crates/bench/src/replay64.rs
 )
 
+# The span layer is the *declared* wall-clock side of flh-obs — every
+# number it produces lands in the nondeterministic metrics section by
+# construction, so clock reads there need no per-line justification.
+TIME_EXEMPT=(
+    crates/obs/src/span.rs
+)
+
+is_time_exempt() {
+    local file="$1"
+    for exempt in "${TIME_EXEMPT[@]}"; do
+        [[ "$file" == "$exempt" ]] && return 0
+    done
+    return 1
+}
+
+# Scan one pattern over the targets, requiring a `$tag:` justification on
+# the hit line or the line above.
+scan() {
+    local pattern="$1" tag="$2" what="$3"
+    local found=0
+    for dir in "${TARGETS[@]}"; do
+        while IFS= read -r hit; do
+            file="${hit%%:*}"
+            rest="${hit#*:}"
+            line="${rest%%:*}"
+            text="${rest#*:}"
+            if [[ "$tag" == "time-ok" ]] && is_time_exempt "$file"; then
+                continue
+            fi
+            prev=""
+            if (( line > 1 )); then
+                prev="$(sed -n "$((line - 1))p" "$file")"
+            fi
+            if [[ "$text" == *"$tag:"* || "$prev" == *"$tag:"* ]]; then
+                continue
+            fi
+            echo "determinism lint: $file:$line: unannotated $what in a determinism-critical crate" >&2
+            echo "    $text" >&2
+            found=1
+        done < <(grep -rn --include='*.rs' -E "$pattern" "$dir" || true)
+    done
+    return "$found"
+}
+
 fail=0
-for dir in "${TARGETS[@]}"; do
-    while IFS= read -r hit; do
-        file="${hit%%:*}"
-        rest="${hit#*:}"
-        line="${rest%%:*}"
-        text="${rest#*:}"
-        prev=""
-        if (( line > 1 )); then
-            prev="$(sed -n "$((line - 1))p" "$file")"
-        fi
-        if [[ "$text" == *"det-ok:"* || "$prev" == *"det-ok:"* ]]; then
-            continue
-        fi
-        echo "determinism lint: $file:$line: unannotated hash collection in a determinism-critical crate" >&2
-        echo "    $text" >&2
-        fail=1
-    done < <(grep -rn --include='*.rs' -E 'Hash(Map|Set)' "$dir" || true)
-done
+scan 'Hash(Map|Set)' 'det-ok' 'hash collection' || fail=1
+# Clock reads are the other classic determinism leak: any `Instant` /
+# `SystemTime` outside the span layer must justify — with a `time-ok:`
+# comment — why the measured duration can only reach the nondeterministic
+# metrics section, never a result.
+scan 'std::time|\bInstant\b|\bSystemTime\b' 'time-ok' 'clock read' || fail=1
 
 if (( fail )); then
     cat >&2 <<'EOF'
-Hash collections have per-process iteration order. Either switch to an
-order-preserving structure (BTreeMap/BTreeSet, dense Vec) or add a
-`det-ok:` comment on the use (or the line above) justifying why iteration
-order cannot reach any result.
+Hash collections have per-process iteration order, and clock reads vary
+per run. Either switch to a deterministic alternative (BTreeMap/BTreeSet,
+dense Vec; counters instead of durations) or add a `det-ok:` / `time-ok:`
+comment on the use (or the line above) justifying why it cannot reach any
+deterministic result.
 EOF
     exit 1
 fi

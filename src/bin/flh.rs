@@ -7,6 +7,8 @@
 //!                                            DFT transform + export to stdout
 //! flh atpg    <circuit> [--out FILE]         transition ATPG, pattern file
 //! flh fsim    <circuit> <pattern-file>       coverage of a pattern file
+//! flh analyze <circuit> [--check-sim]        bytecode verifier + static
+//!                                            testability report per style
 //! flh campaign <circuit> [--pairs N] [--seed S] [--styles LIST] [--dft STYLE]
 //!                                            random transition campaign,
 //!                                            one row per application style
@@ -36,10 +38,10 @@
 
 use std::process::ExitCode;
 
-use flh::atpg::transition::enumerate_transition_faults;
+use flh::atpg::transition::{enumerate_transition_faults, TransitionPattern};
 use flh::atpg::{
-    parse_patterns, simulate_transition_patterns, transition_atpg, write_patterns, PodemConfig,
-    TestView,
+    enumerate_stuck_faults, parse_patterns, simulate_transition_patterns, stuck_coverage,
+    transition_atpg, write_patterns, PodemConfig, StaticFilter, TestView,
 };
 use flh::core::{apply_style, evaluate_all, DftStyle, EvalConfig};
 use flh::exec::ThreadPool;
@@ -58,7 +60,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh disasm <circuit> [--dft STYLE]\n  flh campaign <circuit> [--pairs N] [--seed S] [--styles all|LIST] [--dft STYLE]\n  flh serve  [--queue N] [--cache N] [--socket PATH]\n  flh list\n\nglobal flags: --metrics-json PATH, --metrics-det-json PATH\n(FLH_TRACE=<path> writes a Chrome trace-event file)\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path\ncampaign --styles = all or a comma list of arbitrary, broadside, skewed\ndisasm prints the lowered fused-opcode bytecode the simulators execute"
+        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh disasm <circuit> [--dft STYLE]\n  flh analyze <circuit> [--check-sim]\n  flh campaign <circuit> [--pairs N] [--seed S] [--styles all|LIST] [--dft STYLE]\n  flh serve  [--queue N] [--cache N] [--socket PATH]\n  flh list\n\nglobal flags: --metrics-json PATH, --metrics-det-json PATH\n(FLH_TRACE=<path> writes a Chrome trace-event file)\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path\ncampaign --styles = all or a comma list of arbitrary, broadside, skewed\ndisasm prints the lowered fused-opcode bytecode the simulators execute\nanalyze runs the bytecode verifier + static testability analysis per style;\n  --check-sim cross-checks the static classifier against fault simulation"
     );
     ExitCode::FAILURE
 }
@@ -237,6 +239,143 @@ fn cmd_disasm(circuit: &Netlist, dft: Option<DftStyle>) -> Result<(), String> {
     Ok(())
 }
 
+/// Static-analysis report over the compiled bytecode: per DFT style, the
+/// verifier verdict, constant nets, dead instructions and the statically
+/// untestable share of the fault universe. With `--check-sim`, random
+/// stuck-at and transition fault simulation cross-checks the classifier:
+/// a statically untestable fault that simulation detects is a soundness
+/// bug, reported as `prune-consistency: FAIL`.
+fn cmd_analyze(circuit: &Netlist, check_sim: bool) -> Result<(), String> {
+    use flh::netlist::static_analysis::{analyze, verify_program};
+    let _span = obs::span("flh.analyze");
+    println!("{circuit}: bytecode static analysis");
+    println!(
+        "{:>14} | {:>6} | {:>16} | {:>6} | {:>5} | {:>13} | {:>13}",
+        "style", "insts", "verifier", "const", "dead", "untest. stuck", "untest. trans"
+    );
+    let styles = [
+        None,
+        Some(DftStyle::PlainScan),
+        Some(DftStyle::EnhancedScan),
+        Some(DftStyle::MuxHold),
+        Some(DftStyle::Flh),
+    ];
+    let mut verifier_violations = 0usize;
+    for style in styles {
+        let styled;
+        let netlist = match style {
+            None => circuit,
+            Some(s) => {
+                styled = apply_style(circuit, s).map_err(|e| e.to_string())?.netlist;
+                &styled
+            }
+        };
+        let compiled = CompiledCircuit::compile(netlist).map_err(|e| e.to_string())?;
+        let program = Program::lower(&compiled);
+        let verify = verify_program(&compiled, &program);
+        verifier_violations += verify.violations.len();
+        let analysis = analyze(&compiled, &program);
+        let constant_nets = (0..compiled.cell_count() as u32)
+            .filter(|&c| {
+                let kind = netlist.cell(compiled.cell_id(c)).kind();
+                kind.is_combinational()
+                    && !matches!(
+                        kind,
+                        flh::netlist::CellKind::Const0 | flh::netlist::CellKind::Const1
+                    )
+                    && analysis.constants[c as usize].is_some()
+            })
+            .count();
+        let view = TestView::new(netlist).map_err(|e| e.to_string())?;
+        let filter = StaticFilter::from_view(&view);
+        let stuck = enumerate_stuck_faults(netlist);
+        let stuck_untestable = stuck.iter().filter(|f| filter.stuck_untestable(f)).count();
+        let trans = enumerate_transition_faults(netlist);
+        let trans_untestable = trans
+            .iter()
+            .filter(|f| filter.transition_untestable(f))
+            .count();
+        let verdict = if verify.is_clean() {
+            format!("clean ({} chk)", verify.checks)
+        } else {
+            format!("{} VIOLATIONS", verify.violations.len())
+        };
+        println!(
+            "{:>14} | {:>6} | {:>16} | {:>6} | {:>5} | {:>6}/{:<6} | {:>6}/{:<6}",
+            style.map_or("bare", DftStyle::label),
+            program.inst_count(),
+            verdict,
+            constant_nets,
+            analysis.dead.dead.len(),
+            stuck_untestable,
+            stuck.len(),
+            trans_untestable,
+            trans.len()
+        );
+    }
+    if verifier_violations > 0 {
+        return Err(format!(
+            "bytecode verifier found {verifier_violations} violation(s)"
+        ));
+    }
+    if check_sim {
+        check_prune_consistency(circuit)?;
+    }
+    Ok(())
+}
+
+/// The soundness cross-check behind `flh analyze --check-sim`: no fault the
+/// static filter prunes may ever be detected by fault simulation.
+fn check_prune_consistency(circuit: &Netlist) -> Result<(), String> {
+    use flh::rng::Rng;
+    const PATTERNS: usize = 256;
+    let view = TestView::new(circuit).map_err(|e| e.to_string())?;
+    let filter = StaticFilter::from_view(&view);
+    let width = view.assignable().len();
+    let mut rng = Rng::seed_from_u64(0xF1A7);
+    let random_vec =
+        |rng: &mut Rng| -> Vec<bool> { (0..width).map(|_| rng.gen::<bool>()).collect() };
+
+    let stuck = enumerate_stuck_faults(circuit);
+    let patterns: Vec<Vec<bool>> = (0..PATTERNS).map(|_| random_vec(&mut rng)).collect();
+    let detected = stuck_coverage(&view, &stuck, &patterns);
+    let stuck_bad = stuck
+        .iter()
+        .zip(&detected)
+        .filter(|(f, &d)| d && filter.stuck_untestable(f))
+        .count();
+
+    let trans = enumerate_transition_faults(circuit);
+    let pairs: Vec<TransitionPattern> = (0..PATTERNS)
+        .map(|_| TransitionPattern {
+            v1: random_vec(&mut rng),
+            v2: random_vec(&mut rng),
+        })
+        .collect();
+    let tdetected = simulate_transition_patterns(&view, &trans, &pairs);
+    let trans_bad = trans
+        .iter()
+        .zip(&tdetected)
+        .filter(|(f, &d)| d && filter.transition_untestable(f))
+        .count();
+
+    println!(
+        "check-sim: {PATTERNS} random patterns, {} stuck + {} transition faults",
+        stuck.len(),
+        trans.len()
+    );
+    if stuck_bad == 0 && trans_bad == 0 {
+        println!("prune-consistency: OK");
+        Ok(())
+    } else {
+        println!("prune-consistency: FAIL ({stuck_bad} stuck, {trans_bad} transition)");
+        Err(format!(
+            "static filter pruned {} detectable fault(s)",
+            stuck_bad + trans_bad
+        ))
+    }
+}
+
 fn cmd_campaign(
     spec: &str,
     styles: Vec<ApplicationStyle>,
@@ -375,6 +514,20 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             cmd_atpg(&load_circuit(&args[1])?, out)
         }
         Some("fsim") if args.len() == 3 => cmd_fsim(&load_circuit(&args[1])?, &args[2]),
+        Some("analyze") if args.len() >= 2 => {
+            let mut rest: Vec<String> = args[2..].to_vec();
+            let check_sim = match rest.iter().position(|a| a == "--check-sim") {
+                Some(pos) => {
+                    rest.remove(pos);
+                    true
+                }
+                None => false,
+            };
+            if let Some(extra) = rest.first() {
+                return Err(format!("analyze: unexpected argument {extra:?}"));
+            }
+            cmd_analyze(&load_circuit(&args[1])?, check_sim)
+        }
         Some("disasm") if args.len() >= 2 => {
             let mut rest: Vec<String> = args[2..].to_vec();
             let dft = match take_flag_value(&mut rest, "--dft")? {

@@ -47,6 +47,7 @@ pub use flh_lint as lint;
 pub use flh_netlist as netlist;
 pub use flh_obs as obs;
 pub use flh_power as power;
+pub use flh_rng as rng;
 pub use flh_serve as serve;
 pub use flh_sim as sim;
 pub use flh_tech as tech;

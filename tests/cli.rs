@@ -104,3 +104,63 @@ fn bad_usage_fails_cleanly() {
     assert!(!ok);
     assert!(stderr.contains("error"));
 }
+
+/// Golden output: the lowered bytecode of the fixed s298 profile. The
+/// generator, fusion and regalloc are all deterministic, so the header,
+/// opcode histogram and level occupancy are stable byte for byte — any
+/// drift here is an unintended lowering change.
+#[test]
+fn disasm_golden_s298() {
+    let (ok, stdout, stderr) = flh(&["disasm", "s298"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        stdout.starts_with("; 125 insts, 156 micro-ops fused away, 0 scratch words, 10 batches\n"),
+        "header drifted:\n{}",
+        stdout.lines().next().unwrap_or("")
+    );
+    let histogram = "\
+opcode histogram (125 instructions):
+  Copy             12    9.6%
+  Not              10    8.0%
+  And               1    0.8%
+  Nand             40   32.0%
+  Or                5    4.0%
+  Nor              21   16.8%
+  Xor               7    5.6%
+  Xnor              3    2.4%
+  Aoi21            12    9.6%
+  Aoi22             7    5.6%
+  Oai21             4    3.2%
+  Oai22             3    2.4%
+";
+    assert!(stdout.contains(histogram), "histogram drifted:\n{stdout}");
+    let occupancy = "\
+level occupancy (level: batches / instructions):
+  L1       1 batch(es)        29 inst
+  L2       1 batch(es)        24 inst
+  L3       1 batch(es)        17 inst
+  L4       1 batch(es)        14 inst
+  L5       1 batch(es)         7 inst
+  L6       1 batch(es)        11 inst
+  L7       1 batch(es)         6 inst
+  L8       1 batch(es)         6 inst
+  L9       1 batch(es)         6 inst
+  L10      1 batch(es)         5 inst
+";
+    assert!(stdout.contains(occupancy), "occupancy drifted:\n{stdout}");
+}
+
+/// `flh analyze` smoke + invariants: the verifier is clean on every style
+/// row, and `--check-sim` certifies prune consistency on the grep-able line
+/// CI gates on.
+#[test]
+fn analyze_reports_clean_verifier_and_prune_consistency() {
+    let (ok, stdout, stderr) = flh(&["analyze", "s344", "--check-sim"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(
+        stdout.matches("clean (").count(),
+        5,
+        "five style rows, all clean:\n{stdout}"
+    );
+    assert!(stdout.contains("prune-consistency: OK"), "{stdout}");
+}
