@@ -1,18 +1,115 @@
-//! Schema smoke for `BENCH_*.json` reports: each file argument must parse
-//! as JSON and carry the required `speedup` / `target_*_met` fields (see
+//! Gates over `BENCH_*.json` reports, for `scripts/ci.sh`.
+//!
+//! Schema mode (default): each file argument must parse as JSON and carry
+//! the required `speedup` / `target_*_met` fields (see
 //! [`flh_bench::json::validate_bench_json`]). Exits non-zero naming the
-//! first offending file, so `scripts/ci.sh` can gate on it.
+//! first offending file.
+//!
+//! Trend mode: `check_bench --trend OLD NEW [--tol FRAC]` compares the
+//! speedup leaves of two reports (committed baseline vs fresh run) and
+//! fails — exit 1, one line per offender — when any leaf regressed by more
+//! than the tolerance (default 0.15) or disappeared from the new report.
+//! Improvements and new-only leaves pass.
 
-use flh_bench::json::validate_bench_json;
+use flh_bench::json::{compare_trend, validate_bench_json};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: check_bench BENCH_a.json [BENCH_b.json ...]\n       \
+check_bench --trend OLD.json NEW.json [--tol FRAC]"
+    );
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_bench: {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_trend(mut args: Vec<String>) -> ! {
+    let tol = match args.iter().position(|a| a == "--tol") {
+        None => 0.15,
+        Some(pos) => {
+            if pos + 1 >= args.len() {
+                usage();
+            }
+            let value = args.remove(pos + 1);
+            args.remove(pos);
+            match value.parse::<f64>() {
+                Ok(t) if (0.0..1.0).contains(&t) => t,
+                _ => {
+                    eprintln!("check_bench: --tol expects a fraction in [0, 1), got {value:?}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let [old_path, new_path] = args.as_slice() else {
+        usage();
+    };
+    let report = match compare_trend(&read(old_path), &read(new_path), tol) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("check_bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "check_bench --trend: {old_path} -> {new_path} (tol {:.0}%)",
+        tol * 100.0
+    );
+    for row in &report.rows {
+        let verdict = if row.regressed(tol) {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:<40} {:>9.3} -> {:>9.3}  {verdict}",
+            row.path, row.old, row.new
+        );
+    }
+    for path in &report.added {
+        println!("  {path:<40} (new leaf, informational)");
+    }
+    for path in &report.missing {
+        eprintln!("check_bench: speedup leaf {path} disappeared from {new_path}");
+    }
+    for row in report.regressions() {
+        eprintln!(
+            "check_bench: {}: {:.3} -> {:.3} regressed past the {:.0}% tolerance",
+            row.path,
+            row.old,
+            row.new,
+            tol * 100.0
+        );
+    }
+    if report.passed() {
+        println!(
+            "check_bench --trend: ok ({} leaves compared)",
+            report.rows.len()
+        );
+        std::process::exit(0);
+    }
+    std::process::exit(1);
+}
 
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    if files.is_empty() {
-        eprintln!("usage: check_bench BENCH_a.json [BENCH_b.json ...]");
-        std::process::exit(2);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--trend") {
+        args.remove(0);
+        run_trend(args);
+    }
+    if args.is_empty() {
+        usage();
     }
     let mut failed = false;
-    for path in &files {
+    for path in &args {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {

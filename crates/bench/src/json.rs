@@ -9,10 +9,15 @@
 //! least one boolean key matching `target_*_met` — the two fields the
 //! roadmap's acceptance gates read — and it must carry the `host`
 //! provenance block and the flh-obs `metrics` section.
+//!
+//! [`compare_trend`] is the second gate: it diffs the speedup leaves of
+//! two reports (committed baseline vs fresh run) and fails on any leaf
+//! that regressed past a fractional tolerance or disappeared — what
+//! `check_bench --trend old.json new.json` runs.
 
 use std::collections::BTreeMap;
 
-pub use flh_serve::json::{parse_json, Json};
+pub use flh_serve::json::{parse_json, render, Json};
 
 fn walk<'j>(value: &'j Json, path: &str, out: &mut Vec<(String, &'j Json)>) {
     match value {
@@ -117,6 +122,112 @@ pub fn validate_bench_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Extracts every numeric speedup leaf of a report: dotted path → value,
+/// for each number whose final key segment contains `"speedup"`. These are
+/// the headline figures the roadmap's acceptance gates read, and the unit
+/// of comparison for [`compare_trend`].
+///
+/// # Errors
+///
+/// Returns the parse error for malformed JSON.
+pub fn speedup_leaves(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let value = parse_json(text)?;
+    let mut keyed = Vec::new();
+    walk(&value, "", &mut keyed);
+    let mut leaves = BTreeMap::new();
+    for (path, v) in keyed {
+        let leaf = path.rsplit('.').next().unwrap_or(&path);
+        if leaf.contains("speedup") {
+            if let Json::Number(n) = v {
+                leaves.insert(path, *n);
+            }
+        }
+    }
+    Ok(leaves)
+}
+
+/// One speedup leaf present in both reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrendRow {
+    /// Dotted path of the leaf (e.g. `fault_sim.speedup`).
+    pub path: String,
+    /// Value in the old (committed baseline) report.
+    pub old: f64,
+    /// Value in the new (freshly generated) report.
+    pub new: f64,
+}
+
+impl TrendRow {
+    /// Whether this leaf regressed by more than `tol` (fractional): a new
+    /// value below `old * (1 - tol)` fails; improvements never do.
+    pub fn regressed(&self, tol: f64) -> bool {
+        self.new < self.old * (1.0 - tol)
+    }
+}
+
+/// The result of comparing two reports' speedup leaves.
+#[derive(Clone, Debug)]
+pub struct TrendReport {
+    /// Leaves present in both reports, in path order.
+    pub rows: Vec<TrendRow>,
+    /// Leaves the old report had but the new one lost — a gate failure
+    /// (a renamed or dropped section silently escapes the trend check
+    /// otherwise).
+    pub missing: Vec<String>,
+    /// New-only leaves — fine, reported for visibility.
+    pub added: Vec<String>,
+    /// Fractional regression tolerance the gate was run with.
+    pub tol: f64,
+}
+
+impl TrendReport {
+    /// The rows that regressed past the tolerance.
+    pub fn regressions(&self) -> Vec<&TrendRow> {
+        self.rows.iter().filter(|r| r.regressed(self.tol)).collect()
+    }
+
+    /// Gate verdict: no regressions and no lost leaves.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.regressions().is_empty()
+    }
+}
+
+/// Compares the speedup leaves of two reports: every leaf of `old_text`
+/// must still exist in `new_text` and sit within `tol` (fractional) of its
+/// old value. This is the `check_bench --trend` gate `scripts/ci.sh` runs
+/// between the committed `BENCH_*.json` baselines and a fresh quick run.
+///
+/// # Errors
+///
+/// Returns the parse error of whichever report is malformed.
+pub fn compare_trend(old_text: &str, new_text: &str, tol: f64) -> Result<TrendReport, String> {
+    let old = speedup_leaves(old_text).map_err(|e| format!("old report: {e}"))?;
+    let new = speedup_leaves(new_text).map_err(|e| format!("new report: {e}"))?;
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for (path, &old_value) in &old {
+        match new.get(path) {
+            Some(&new_value) => rows.push(TrendRow {
+                path: path.clone(),
+                old: old_value,
+                new: new_value,
+            }),
+            None => missing.push(path.clone()),
+        }
+    }
+    let added = new
+        .keys()
+        .filter(|p| !old.contains_key(*p))
+        .cloned()
+        .collect();
+    Ok(TrendReport {
+        rows,
+        missing,
+        added,
+        tol,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +286,44 @@ mod tests {
 \"os\": \"linux\"}}, \"metrics\": {{\"recorded\": false}}}}"
         );
         assert!(validate_bench_json(&numeric_threads).is_ok());
+    }
+
+    #[test]
+    fn trend_gate_extracts_compares_and_flags_regressions() {
+        let old = "{\"fault_sim\": {\"speedup\": 10.0, \"runs\": 3}, \
+\"replay\": {\"superword_speedup\": 4.0}, \"gone_speedup\": 2.0}";
+        let new = "{\"fault_sim\": {\"speedup\": 9.0, \"runs\": 9}, \
+\"replay\": {\"superword_speedup\": 3.0}, \"extra_speedup\": 1.0}";
+
+        // Extraction: dotted paths, numeric speedup leaves only.
+        let leaves = speedup_leaves(old).unwrap();
+        assert_eq!(leaves["fault_sim.speedup"], 10.0);
+        assert_eq!(leaves["replay.superword_speedup"], 4.0);
+        assert!(!leaves.contains_key("fault_sim.runs"));
+
+        // 15% tolerance: 10 -> 9 holds, 4 -> 3 regresses; the lost leaf
+        // fails the gate and the new-only leaf is merely reported.
+        let report = compare_trend(old, new, 0.15).unwrap();
+        assert_eq!(report.missing, vec!["gone_speedup".to_string()]);
+        assert_eq!(report.added, vec!["extra_speedup".to_string()]);
+        let regressed: Vec<&str> = report
+            .regressions()
+            .iter()
+            .map(|r| r.path.as_str())
+            .collect();
+        assert_eq!(regressed, vec!["replay.superword_speedup"]);
+        assert!(!report.passed());
+
+        // Identity comparison passes even with zero tolerance, and
+        // improvements are never regressions.
+        assert!(compare_trend(old, old, 0.0).unwrap().passed());
+        let improved = "{\"fault_sim\": {\"speedup\": 20.0}, \
+\"replay\": {\"superword_speedup\": 8.0}, \"gone_speedup\": 2.0}";
+        assert!(compare_trend(old, improved, 0.0).unwrap().passed());
+
+        assert!(compare_trend("nope", new, 0.15)
+            .unwrap_err()
+            .contains("old report"));
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! that the events are well-formed complete events (`ph: "X"`, numeric
 //! `ts`/`dur`) whose interval nesting reproduces the span nesting that
 //! produced them — truncating start and end to microseconds independently
-//! must never push a child outside its parent.
+//! must never push a child outside its parent. A second part runs a gated
+//! `flh serve` session and checks the executor thread's `serve.job.exec`
+//! spans: sequential, one per job, and nested correctly per thread.
 //!
 //! One `#[test]` only: the flh-obs registry is process-global and this
 //! file is its own test process.
@@ -102,4 +104,75 @@ fn trace_events_roundtrip_and_nest_like_spans() {
         !contains(middle, sibling) && !contains(sibling, middle),
         "siblings must not nest"
     );
+
+    // Part two — the same exporter under an `flh serve` session: the
+    // gated executor thread runs jobs inside `serve.job.exec` spans, and
+    // the exported intervals must nest correctly *per thread* (one
+    // executor thread plus whatever the pool workers record).
+    flh_obs::reset();
+    {
+        use std::sync::Arc;
+        let engine = Arc::new(flh_serve::JobEngine::new(flh_exec::ThreadPool::new(2), 4));
+        let mut session = flh_serve::JobSession::new(
+            engine,
+            flh_serve::SessionConfig {
+                queue_capacity: 8,
+                autostart: false,
+            },
+        );
+        let profile = flh_netlist::iscas89_profile("s298").expect("builtin profile");
+        let spec = flh_serve::JobSpec::campaign(flh_serve::CircuitSource::profile(profile))
+            .with_pairs(8)
+            .with_seed(3);
+        session.submit(spec.clone()).expect("submit 1");
+        session.submit(spec).expect("submit 2");
+        let summary = session.shutdown(&mut |_| {});
+        assert_eq!(summary.completed, 2);
+    }
+    let serve_path = std::env::temp_dir().join("flh_trace_serve_roundtrip.json");
+    flh_obs::write_trace(&serve_path).expect("write serve trace file");
+    let text = std::fs::read_to_string(&serve_path).expect("read serve trace back");
+    let doc = parse_json(&text).expect("serve trace parses");
+    let Json::Array(events) = member(&doc, "traceEvents") else {
+        panic!("traceEvents is not an array")
+    };
+
+    // Two jobs -> two executor spans, both on the same (executor) thread,
+    // run strictly one after the other.
+    let exec: Vec<&Json> = events
+        .iter()
+        .filter(|e| string(e, "name") == "serve.job.exec")
+        .collect();
+    assert_eq!(exec.len(), 2, "one serve.job.exec span per job");
+    assert_eq!(number(exec[0], "tid"), number(exec[1], "tid"));
+    let (a, b) = (exec[0], exec[1]);
+    let (a_end, b_end) = (
+        number(a, "ts") + number(a, "dur"),
+        number(b, "ts") + number(b, "dur"),
+    );
+    assert!(
+        a_end <= number(b, "ts") || b_end <= number(a, "ts"),
+        "gated jobs execute sequentially, never overlapping"
+    );
+
+    // Per-thread nesting: every depth-d event (d > 0) sits inside some
+    // same-thread event one level shallower.
+    assert!(!events.is_empty());
+    for event in events {
+        let depth = number(member(event, "args"), "depth");
+        if depth == 0.0 {
+            continue;
+        }
+        let parent = events.iter().any(|p| {
+            number(p, "tid") == number(event, "tid")
+                && number(member(p, "args"), "depth") == depth - 1.0
+                && contains(p, event)
+        });
+        assert!(
+            parent,
+            "depth-{depth} span {:?} on tid {} has no enclosing parent",
+            string(event, "name"),
+            number(event, "tid")
+        );
+    }
 }

@@ -1,0 +1,68 @@
+//! The trend gate against the *committed* `BENCH_*.json` baselines: each
+//! report compared to itself passes at zero tolerance, and a synthetically
+//! degraded copy — every speedup leaf scaled down past the tolerance —
+//! fails. This is the committed negative test for `check_bench --trend`:
+//! the gate in `scripts/ci.sh` is only trustworthy if a regression is
+//! proven to trip it.
+
+use flh_bench::json::{compare_trend, speedup_leaves, Json};
+
+const REPORTS: [&str; 3] = [
+    "BENCH_compiled_ir.json",
+    "BENCH_parallel_fsim.json",
+    "BENCH_transition_fsim.json",
+];
+
+fn committed(name: &str) -> String {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Scales every numeric leaf whose key contains `speedup` by `factor` —
+/// the programmatic stand-in for a perf regression.
+fn degrade(value: &Json, key: &str, factor: f64) -> Json {
+    match value {
+        Json::Object(map) => Json::Object(
+            map.iter()
+                .map(|(k, v)| (k.clone(), degrade(v, k, factor)))
+                .collect(),
+        ),
+        Json::Array(items) => Json::Array(items.iter().map(|v| degrade(v, key, factor)).collect()),
+        Json::Number(n) if key.contains("speedup") => Json::Number(n * factor),
+        other => other.clone(),
+    }
+}
+
+#[test]
+fn committed_baselines_pass_self_trend_and_fail_degraded() {
+    for name in REPORTS {
+        let text = committed(name);
+        let leaves = speedup_leaves(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(
+            !leaves.is_empty(),
+            "{name}: no speedup leaves — the trend gate would be vacuous"
+        );
+
+        // Self comparison: identical values hold at zero tolerance.
+        let same = compare_trend(&text, &text, 0.0).unwrap();
+        assert!(same.passed(), "{name}: self-trend failed: {same:?}");
+        assert_eq!(same.rows.len(), leaves.len());
+        assert!(same.missing.is_empty() && same.added.is_empty());
+
+        // A 50% across-the-board slowdown must trip a 15% tolerance, and
+        // every leaf must be implicated.
+        let parsed = flh_bench::json::parse_json(&text).unwrap();
+        let degraded = flh_bench::json::render(&degrade(&parsed, "", 0.5));
+        let report = compare_trend(&text, &degraded, 0.15).unwrap();
+        assert!(!report.passed(), "{name}: degraded copy passed the gate");
+        assert_eq!(
+            report.regressions().len(),
+            leaves.len(),
+            "{name}: every speedup leaf should regress in the degraded copy"
+        );
+
+        // The same degraded copy *passes* at a generous-enough tolerance:
+        // the knob is real, not decorative.
+        assert!(compare_trend(&text, &degraded, 0.6).unwrap().passed());
+    }
+}

@@ -50,6 +50,11 @@ pub struct BoundedQueue<T> {
     capacity: usize,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Metric prefix for [`named`](BoundedQueue::named) queues; depth is
+    /// published to the **nondeterministic** gauge bank on every push/pop
+    /// (the level observed by a racing producer or consumer is scheduling
+    /// shape, never a result).
+    stat: Option<&'static str>,
 }
 
 impl<T> BoundedQueue<T> {
@@ -64,6 +69,26 @@ impl<T> BoundedQueue<T> {
             capacity,
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            stat: None,
+        }
+    }
+
+    /// Like [`new`](BoundedQueue::new), but every push/pop publishes the
+    /// observed depth as nondeterministic gauges `<prefix>.depth` and
+    /// `<prefix>.depth_peak` (no-ops while no recorder is installed).
+    pub fn named(capacity: usize, prefix: &'static str) -> Self {
+        let mut q = Self::new(capacity);
+        q.stat = Some(prefix);
+        q
+    }
+
+    /// Publishes a depth observation taken while the lock was held.
+    fn publish_depth(&self, len: usize) {
+        if let Some(prefix) = self.stat {
+            if flh_obs::enabled() {
+                flh_obs::nondet_gauge_set(&format!("{prefix}.depth"), len as i64);
+                flh_obs::nondet_gauge_max(&format!("{prefix}.depth_peak"), len as i64);
+            }
         }
     }
 
@@ -107,8 +132,10 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full(item));
         }
         inner.items.push_back(item);
+        let depth = inner.items.len();
         drop(inner);
         self.not_empty.notify_one();
+        self.publish_depth(depth);
         Ok(())
     }
 
@@ -126,8 +153,10 @@ impl<T> BoundedQueue<T> {
             }
             if inner.items.len() < self.capacity {
                 inner.items.push_back(item);
+                let depth = inner.items.len();
                 drop(inner);
                 self.not_empty.notify_one();
+                self.publish_depth(depth);
                 return Ok(());
             }
             inner = self.not_full.wait(inner).unwrap_or_else(|e| e.into_inner());
@@ -140,8 +169,10 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
+                let depth = inner.items.len();
                 drop(inner);
                 self.not_full.notify_one();
+                self.publish_depth(depth);
                 return Some(item);
             }
             if inner.closed {
@@ -156,9 +187,13 @@ impl<T> BoundedQueue<T> {
 
     /// Dequeues without blocking; `None` when empty (closed or not).
     pub fn try_pop(&self) -> Option<T> {
-        let item = self.lock().items.pop_front();
+        let mut inner = self.lock();
+        let item = inner.items.pop_front();
+        let depth = inner.items.len();
+        drop(inner);
         if item.is_some() {
             self.not_full.notify_one();
+            self.publish_depth(depth);
         }
         item
     }

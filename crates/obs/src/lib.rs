@@ -6,7 +6,8 @@
 //!
 //! Every metric in this crate is classified once, at its declaration:
 //!
-//! * **Deterministic** ([`Counter`], [`Hist`], named counters) — quantities
+//! * **Deterministic** ([`Counter`], [`Hist`], named counters, the
+//!   [`gauge_set`] bank and [`series_record`] time series) — quantities
 //!   that depend only on the inputs of the computation, never on pool
 //!   width, dispatch count, scheduling or wall clock: replay events
 //!   processed, dedup hits, early exits, undo-log depth, faults dropped,
@@ -18,8 +19,17 @@
 //!   Width-dependent work (per-shard good-machine evaluations, partition
 //!   shapes, jobs per worker) must never feed a deterministic metric.
 //! * **Nondeterministic** ([`span`] timings, per-worker busy stats,
-//!   scheduling counters) — wall clock and scheduling shape. These are
-//!   kept in a separate section of every report and never diffed.
+//!   scheduling counters, the [`nondet_gauge_set`] bank) — wall clock and
+//!   scheduling shape. These are kept in a separate section of every
+//!   report and never diffed.
+//!
+//! Gauges are *levels* with set/add/max semantics; a gauge belongs in the
+//! deterministic bank only when its level at every read point is a pure
+//! function of the inputs (the service's logical job ledger), and in the
+//! nondeterministic bank when it samples live execution state (a queue
+//! observed from a producer mid-flight). Time series are fixed-capacity
+//! ring buffers indexed by caller-supplied **logical ticks** (batch index,
+//! protocol step) — never a clock — so replays are byte-identical.
 //!
 //! Counters are relaxed atomics sharded into per-worker banks
 //! ([`bind_worker_shard`]); a snapshot merges the banks in shard-index
@@ -50,8 +60,10 @@ mod report;
 mod span;
 
 pub use registry::{
-    add, bind_worker_shard, named_add, record, sched_add, snapshot, worker_busy, Counter, Hist,
-    HistogramSnapshot, Snapshot, SpanSnapshot, WorkerSnapshot, HIST_BUCKETS,
+    add, bind_worker_shard, gauge_add, gauge_max, gauge_set, named_add, nondet_gauge_add,
+    nondet_gauge_max, nondet_gauge_set, record, sched_add, series_record, snapshot, worker_busy,
+    Counter, Hist, HistogramSnapshot, SeriesSnapshot, Snapshot, SpanSnapshot, WorkerSnapshot,
+    HIST_BUCKETS, SERIES_CAPACITY,
 };
 pub use report::{det_document, deterministic_json, full_json, nondeterministic_json, render_text};
 pub use span::{span, write_trace, SpanGuard};
@@ -279,6 +291,81 @@ mod tests {
         let doc = det_document(&delta);
         assert!(doc.contains("\"replay.events\":7"));
         assert!(!doc.contains("job.run"));
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn gauges_have_set_add_max_semantics_and_stay_in_their_bank() {
+        let _g = locked();
+        install(false);
+        reset();
+        gauge_set("serve.queue.depth", 3);
+        gauge_set("serve.queue.depth", 2);
+        gauge_add("serve.jobs.in_flight", 1);
+        gauge_add("serve.jobs.in_flight", 2);
+        gauge_max("serve.queue.depth_peak", 5);
+        gauge_max("serve.queue.depth_peak", 4);
+        nondet_gauge_set("exec.queue.depth", 7);
+        nondet_gauge_max("exec.queue.depth_peak", 7);
+        let snap = snapshot();
+        assert_eq!(
+            snap.gauges,
+            vec![
+                ("serve.jobs.in_flight".to_string(), 3),
+                ("serve.queue.depth".to_string(), 2),
+                ("serve.queue.depth_peak".to_string(), 5),
+            ]
+        );
+        assert_eq!(
+            snap.nondet_gauges,
+            vec![
+                ("exec.queue.depth".to_string(), 7),
+                ("exec.queue.depth_peak".to_string(), 7),
+            ]
+        );
+        let det = deterministic_json(&snap);
+        assert!(det.contains("\"serve.queue.depth\":2"));
+        assert!(!det.contains("exec.queue.depth"), "nondet gauge leaked");
+        let nondet = nondeterministic_json(&snap);
+        assert!(nondet.contains("\"exec.queue.depth\":7"));
+        // det_delta drops both gauge banks: levels are not interval
+        // growth, and a concurrent publisher would race a scoped delta.
+        let delta = snap.det_delta(&snapshot());
+        assert!(delta.gauges.is_empty());
+        assert!(delta.nondet_gauges.is_empty());
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn series_ring_keeps_the_newest_window_in_tick_order() {
+        let _g = locked();
+        install(false);
+        reset();
+        for tick in 0..(SERIES_CAPACITY as u64 + 8) {
+            series_record("serve.coverage.arbitrary", tick, tick as i64 * 10);
+        }
+        series_record("serve.queue.depth", 1, 2);
+        let snap = snapshot();
+        assert_eq!(snap.series.len(), 2);
+        let cov = &snap.series[0];
+        assert_eq!(cov.name, "serve.coverage.arbitrary");
+        assert_eq!(cov.capacity, SERIES_CAPACITY);
+        // The window holds exactly the newest SERIES_CAPACITY points.
+        assert_eq!(cov.points.len(), SERIES_CAPACITY);
+        assert_eq!(cov.points.first(), Some(&(8, 80)));
+        assert_eq!(
+            cov.points.last(),
+            Some(&(
+                SERIES_CAPACITY as u64 + 7,
+                (SERIES_CAPACITY as i64 + 7) * 10
+            ))
+        );
+        let det = deterministic_json(&snap);
+        assert!(det.contains("\"series\":[{\"name\":\"serve.coverage.arbitrary\""));
+        assert!(det.contains("[8,80]"));
+        // Series are windows, not monotonic sums: deltas drop them.
+        let delta = snap.det_delta(&snap);
+        assert!(delta.series.is_empty());
         ENABLED.store(false, Ordering::Relaxed);
     }
 

@@ -3,7 +3,7 @@
 //! per-worker stats behind mutexes.
 
 use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Duration; // time-ok: import only; durations stay in the nondet section
@@ -126,14 +126,23 @@ pub enum Hist {
     /// 256 for the superword engine) — the mix shows which engine served
     /// a campaign without depending on pool width.
     ReplayLanesPerCall,
+    /// Bytecode instructions executed per service job — the deterministic
+    /// "latency" of a job in units of simulator work, recorded by the
+    /// job engine from each job's metrics delta.
+    ServeJobBytecodeInsts,
+    /// Replay bucket-cell events per service job (the fault-simulation
+    /// side of the per-job cost ledger).
+    ServeJobReplayEvents,
 }
 
 impl Hist {
     /// Every histogram, in the fixed report order.
-    pub const ALL: [Hist; 3] = [
+    pub const ALL: [Hist; 5] = [
         Hist::ReplayUndoDepth,
         Hist::ReplayEventsPerCall,
         Hist::ReplayLanesPerCall,
+        Hist::ServeJobBytecodeInsts,
+        Hist::ServeJobReplayEvents,
     ];
 
     /// Stable dotted report key.
@@ -142,6 +151,8 @@ impl Hist {
             Hist::ReplayUndoDepth => "replay.undo_depth",
             Hist::ReplayEventsPerCall => "replay.events_per_call",
             Hist::ReplayLanesPerCall => "replay.lanes_per_call",
+            Hist::ServeJobBytecodeInsts => "serve.job.bytecode_insts",
+            Hist::ServeJobReplayEvents => "serve.job.replay_events",
         }
     }
 }
@@ -185,6 +196,9 @@ static BANKS: [ShardBank; NUM_SHARDS] = [EMPTY_BANK; NUM_SHARDS];
 
 static NAMED: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
 static SCHED: Mutex<BTreeMap<String, u64>> = Mutex::new(BTreeMap::new());
+static GAUGES: Mutex<BTreeMap<String, i64>> = Mutex::new(BTreeMap::new());
+static NONDET_GAUGES: Mutex<BTreeMap<String, i64>> = Mutex::new(BTreeMap::new());
+static SERIES: Mutex<BTreeMap<String, VecDeque<(u64, i64)>>> = Mutex::new(BTreeMap::new());
 #[allow(clippy::type_complexity)]
 static WORKERS: Mutex<BTreeMap<(&'static str, usize), WorkerAgg>> = Mutex::new(BTreeMap::new());
 
@@ -280,6 +294,87 @@ pub fn sched_add(name: &str, n: u64) {
     }
 }
 
+/// A gauge update: the three level semantics a gauge supports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum GaugeOp {
+    Set,
+    Add,
+    Max,
+}
+
+fn gauge_apply(bank: &'static Mutex<BTreeMap<String, i64>>, name: &str, op: GaugeOp, value: i64) {
+    if !enabled() {
+        return;
+    }
+    let mut gauges = lock(bank);
+    match gauges.get_mut(name) {
+        Some(slot) => match op {
+            GaugeOp::Set => *slot = value,
+            GaugeOp::Add => *slot += value,
+            GaugeOp::Max => *slot = (*slot).max(value),
+        },
+        None => {
+            gauges.insert(name.to_string(), value);
+        }
+    }
+}
+
+/// Sets a **deterministic** gauge to a level. Only quantities that are a
+/// pure function of the computation's inputs may use this bank — the
+/// service publishes its logical ledger here (queue depth at a protocol
+/// step, cache hit ratio), never anything sampled off a running thread.
+pub fn gauge_set(name: &str, value: i64) {
+    gauge_apply(&GAUGES, name, GaugeOp::Set, value);
+}
+
+/// Adds a delta to a deterministic gauge (creates it at `value`).
+pub fn gauge_add(name: &str, value: i64) {
+    gauge_apply(&GAUGES, name, GaugeOp::Add, value);
+}
+
+/// Raises a deterministic gauge to at least `value` (high-watermark).
+pub fn gauge_max(name: &str, value: i64) {
+    gauge_apply(&GAUGES, name, GaugeOp::Max, value);
+}
+
+/// Sets a **nondeterministic** gauge — levels sampled from live execution
+/// state (a queue observed mid-flight, a thread's instantaneous depth).
+/// Reported only in the nondeterministic section, never diffed.
+pub fn nondet_gauge_set(name: &str, value: i64) {
+    gauge_apply(&NONDET_GAUGES, name, GaugeOp::Set, value);
+}
+
+/// Adds a delta to a nondeterministic gauge.
+pub fn nondet_gauge_add(name: &str, value: i64) {
+    gauge_apply(&NONDET_GAUGES, name, GaugeOp::Add, value);
+}
+
+/// Raises a nondeterministic gauge to at least `value`.
+pub fn nondet_gauge_max(name: &str, value: i64) {
+    gauge_apply(&NONDET_GAUGES, name, GaugeOp::Max, value);
+}
+
+/// Points kept per time series — a fixed window so a long campaign's
+/// telemetry stays bounded and a snapshot is O(1) per series.
+pub const SERIES_CAPACITY: usize = 64;
+
+/// Appends one `(tick, value)` point to a windowed time series, evicting
+/// the oldest point once the window is full. Ticks are **logical** —
+/// supplied by the caller from its own monotonic sequence (batch index,
+/// protocol step), never a clock — so a deterministic replay produces a
+/// byte-identical series at any pool width.
+pub fn series_record(name: &str, tick: u64, value: i64) {
+    if !enabled() {
+        return;
+    }
+    let mut series = lock(&SERIES);
+    let ring = series.entry(name.to_string()).or_default();
+    if ring.len() == SERIES_CAPACITY {
+        ring.pop_front();
+    }
+    ring.push_back((tick, value));
+}
+
 /// Records one worker's busy time and claimed-job count for a pool run.
 /// Wall clock: nondeterministic section only.
 pub fn worker_busy(pool: &'static str, worker: usize, busy: Duration, jobs: u64) {
@@ -310,6 +405,9 @@ pub(crate) fn reset_storage() {
     lock(&NAMED).clear();
     lock(&SCHED).clear();
     lock(&WORKERS).clear();
+    lock(&GAUGES).clear();
+    lock(&NONDET_GAUGES).clear();
+    lock(&SERIES).clear();
 }
 
 /// One histogram in a [`Snapshot`]: observation count, value sum and the
@@ -320,6 +418,17 @@ pub struct HistogramSnapshot {
     pub count: u64,
     pub total: u64,
     pub buckets: Vec<(u32, u64)>,
+}
+
+/// One windowed time series in a [`Snapshot`]: the retained `(tick,
+/// value)` points, oldest first. `capacity` is the window size
+/// ([`SERIES_CAPACITY`]), so a reader can tell a short series from a
+/// saturated window.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeriesSnapshot {
+    pub name: String,
+    pub capacity: usize,
+    pub points: Vec<(u64, i64)>,
 }
 
 /// One span aggregate in a [`Snapshot`] (nondeterministic).
@@ -351,6 +460,14 @@ pub struct Snapshot {
     pub named_counters: Vec<(String, u64)>,
     /// Fixed histograms in [`Hist::ALL`] order.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Deterministic gauges in key order (logical levels — queue depth at
+    /// a protocol step, cache hit ratio in basis points).
+    pub gauges: Vec<(String, i64)>,
+    /// Windowed time series in key order (deterministic: logical ticks).
+    pub series: Vec<SeriesSnapshot>,
+    /// Nondeterministic gauges in key order (levels sampled from live
+    /// execution state).
+    pub nondet_gauges: Vec<(String, i64)>,
     /// Span aggregates in name order (nondeterministic).
     pub spans: Vec<SpanSnapshot>,
     /// Worker stats in (pool, worker) order (nondeterministic).
@@ -365,13 +482,20 @@ impl Snapshot {
     /// metrics documents (`flh-serve` takes a snapshot around each job and
     /// renders `det_document` of the delta).
     ///
-    /// Only the deterministic sections are subtracted — fixed counters,
-    /// named counters and histograms. Spans, worker stats and scheduling
-    /// counters are wall-clock/scheduling shape and come back empty, so a
-    /// delta snapshot renders cleanly through `det_document` and never
-    /// leaks nondeterminism into a diffable document. All deterministic
-    /// metrics are monotonic within a process, so saturating subtraction
-    /// only guards against misuse (swapped arguments).
+    /// Only the deterministic monotonic sections are subtracted — fixed
+    /// counters, named counters and histograms. Gauges are *levels*, not
+    /// interval growth, and another thread may republish a level while
+    /// this scope runs (the serve protocol thread updates the queue-depth
+    /// gauge at each retire while the executor snapshots around a job),
+    /// so deltas drop them — levels belong to full snapshots, where the
+    /// publisher and the reader are the same thread. Series are windows,
+    /// not monotonic accumulators, and come back empty. Spans, worker
+    /// stats, scheduling counters and nondeterministic gauges are
+    /// wall-clock/scheduling shape and come back empty, so a delta
+    /// snapshot renders cleanly through `det_document` and never leaks
+    /// nondeterminism into a diffable document. All deterministic
+    /// counters/histograms are monotonic within a process, so saturating
+    /// subtraction only guards against misuse (swapped arguments).
     pub fn det_delta(&self, earlier: &Snapshot) -> Snapshot {
         let counters = self
             .counters
@@ -424,6 +548,9 @@ impl Snapshot {
             counters,
             named_counters,
             histograms,
+            gauges: Vec::new(),
+            series: Vec::new(),
+            nondet_gauges: Vec::new(),
             spans: Vec::new(),
             workers: Vec::new(),
             sched: Vec::new(),
@@ -475,6 +602,19 @@ pub fn snapshot() -> Snapshot {
         .collect();
     let named_counters = lock(&NAMED).iter().map(|(k, &v)| (k.clone(), v)).collect();
     let sched = lock(&SCHED).iter().map(|(k, &v)| (k.clone(), v)).collect();
+    let gauges = lock(&GAUGES).iter().map(|(k, &v)| (k.clone(), v)).collect();
+    let nondet_gauges = lock(&NONDET_GAUGES)
+        .iter()
+        .map(|(k, &v)| (k.clone(), v))
+        .collect();
+    let series = lock(&SERIES)
+        .iter()
+        .map(|(k, ring)| SeriesSnapshot {
+            name: k.clone(),
+            capacity: SERIES_CAPACITY,
+            points: ring.iter().copied().collect(),
+        })
+        .collect();
     let workers = lock(&WORKERS)
         .iter()
         .map(|(&(pool, worker), agg)| WorkerSnapshot {
@@ -489,6 +629,9 @@ pub fn snapshot() -> Snapshot {
         counters,
         named_counters,
         histograms,
+        gauges,
+        series,
+        nondet_gauges,
         spans: crate::span::span_snapshots(),
         workers,
         sched,

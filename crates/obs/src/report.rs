@@ -34,10 +34,18 @@ fn ms(ns: u64) -> String {
     format!("{:.3}", ns as f64 / 1e6)
 }
 
+fn gauge_entries(gauges: &[(String, i64)]) -> String {
+    let entries: Vec<String> = gauges
+        .iter()
+        .map(|(name, v)| format!("\"{}\":{v}", escape(name)))
+        .collect();
+    entries.join(",")
+}
+
 /// The deterministic section as one compact JSON object (no trailing
-/// newline): fixed counters, named counters, histograms. **Byte-identical
-/// across pool widths** for a deterministic workload — this is the object
-/// the CI metrics gate diffs.
+/// newline): fixed counters, named counters, histograms, gauges and
+/// windowed time series. **Byte-identical across pool widths** for a
+/// deterministic workload — this is the object the CI metrics gate diffs.
 pub fn deterministic_json(snap: &Snapshot) -> String {
     let counters: Vec<String> = snap
         .counters
@@ -67,11 +75,30 @@ pub fn deterministic_json(snap: &Snapshot) -> String {
             )
         })
         .collect();
+    let series: Vec<String> = snap
+        .series
+        .iter()
+        .map(|s| {
+            let points: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(tick, v)| format!("[{tick},{v}]"))
+                .collect();
+            format!(
+                "{{\"name\":\"{}\",\"capacity\":{},\"points\":[{}]}}",
+                escape(&s.name),
+                s.capacity,
+                points.join(",")
+            )
+        })
+        .collect();
     format!(
-        "{{\"counters\":{{{}}},\"named_counters\":{{{}}},\"histograms\":[{}]}}",
+        "{{\"counters\":{{{}}},\"named_counters\":{{{}}},\"histograms\":[{}],\"gauges\":{{{}}},\"series\":[{}]}}",
         counters.join(","),
         named.join(","),
-        hists.join(",")
+        hists.join(","),
+        gauge_entries(&snap.gauges),
+        series.join(",")
     )
 }
 
@@ -113,10 +140,11 @@ pub fn nondeterministic_json(snap: &Snapshot) -> String {
         .map(|(name, v)| format!("\"{}\":{v}", escape(name)))
         .collect();
     format!(
-        "{{\"spans\":[{}],\"workers\":[{}],\"sched\":{{{}}}}}",
+        "{{\"spans\":[{}],\"workers\":[{}],\"sched\":{{{}}},\"gauges\":{{{}}}}}",
         spans.join(","),
         workers.join(","),
-        sched.join(",")
+        sched.join(","),
+        gauge_entries(&snap.nondet_gauges)
     )
 }
 
@@ -161,6 +189,19 @@ pub fn render_text(snap: &Snapshot) -> String {
             let _ = writeln!(out, "    [{range:>24}] {n}");
         }
     }
+    for (name, v) in &snap.gauges {
+        let _ = writeln!(out, "  {name:<36} {v} (gauge)");
+    }
+    for s in &snap.series {
+        let last = s.points.last().map_or(0, |&(_, v)| v);
+        let _ = writeln!(
+            out,
+            "  {:<36} {} point(s), last {}",
+            s.name,
+            s.points.len(),
+            last
+        );
+    }
     out.push_str("timing (nondeterministic: wall clock, varies per run)\n");
     for s in &snap.spans {
         let _ = writeln!(
@@ -185,6 +226,9 @@ pub fn render_text(snap: &Snapshot) -> String {
     }
     for (name, v) in &snap.sched {
         let _ = writeln!(out, "  {name:<36} {v}");
+    }
+    for (name, v) in &snap.nondet_gauges {
+        let _ = writeln!(out, "  {name:<36} {v} (gauge)");
     }
     out
 }

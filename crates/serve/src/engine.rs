@@ -12,10 +12,15 @@
 //!
 //! When the flh-obs recorder is installed, each run brackets itself with
 //! snapshots and attaches `det_delta` of the two — the job's own
-//! deterministic counters, unpolluted by neighbours — to its `Done` event.
-//! The bracket only reads the registry, so installing the recorder never
-//! changes global totals.
+//! deterministic counters, unpolluted by neighbours — to its `Done` event,
+//! and feeds the per-job cost histograms (`serve.job.*`) and the
+//! per-style coverage time series (`serve.coverage.<style>`, logical
+//! batch ticks) from the same delta. Campaign batches additionally stream
+//! a `Progress` event; its wall-clock throughput/ETA fields exist only
+//! when the engine opts in via [`JobEngine::with_timings`], keeping
+//! default transcripts clock-free.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use flh_atpg::transition::enumerate_transition_faults;
@@ -24,7 +29,7 @@ use flh_core::evaluate_style;
 use flh_exec::ThreadPool;
 
 use crate::cache::{CacheLookup, CacheStats, CircuitCache, CompiledEntry};
-use crate::job::{BatchPayload, JobEvent, JobId, JobKind, JobOutcome, JobSpec};
+use crate::job::{BatchPayload, JobEvent, JobId, JobKind, JobOutcome, JobSpec, ProgressTiming};
 use crate::source::CircuitSource;
 
 /// Shared campaign/evaluation executor. See the module docs.
@@ -32,6 +37,13 @@ use crate::source::CircuitSource;
 pub struct JobEngine {
     pool: ThreadPool,
     cache: Mutex<CircuitCache>,
+    /// Logical tick for coverage time series: one per campaign batch, in
+    /// execution order — deterministic on a session's single executor.
+    tick: AtomicU64,
+    /// When true, campaign `Progress` events carry wall-clock throughput
+    /// and ETA. Off by default — wall clock on the wire would break the
+    /// byte-identical transcript contract.
+    timings: bool,
 }
 
 impl JobEngine {
@@ -41,6 +53,8 @@ impl JobEngine {
         JobEngine {
             pool,
             cache: Mutex::new(CircuitCache::new(cache_capacity)),
+            tick: AtomicU64::new(0),
+            timings: false,
         }
     }
 
@@ -48,6 +62,19 @@ impl JobEngine {
     /// (`FLH_THREADS`) with the default cache capacity.
     pub fn from_env() -> Self {
         JobEngine::new(ThreadPool::from_env(), crate::cache::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Opts campaign `Progress` events into wall-clock throughput/ETA
+    /// fields (`flh serve --timings`).
+    #[must_use]
+    pub fn with_timings(mut self, on: bool) -> Self {
+        self.timings = on;
+        self
+    }
+
+    /// Whether progress events carry wall-clock throughput.
+    pub fn timings(&self) -> bool {
+        self.timings
     }
 
     /// The engine's pool.
@@ -92,6 +119,7 @@ impl JobEngine {
         spec: &JobSpec,
         emit: &mut dyn FnMut(JobEvent),
     ) -> Result<JobOutcome, String> {
+        let _span = flh_obs::span("serve.job.exec");
         let before = flh_obs::enabled().then(flh_obs::snapshot);
         let fail = |reason: String, emit: &mut dyn FnMut(JobEvent)| {
             emit(JobEvent::Failed {
@@ -127,15 +155,55 @@ impl JobEngine {
                     Err(e) => return fail(e.to_string(), emit),
                 };
                 let faults = enumerate_transition_faults(&entry.netlist);
+                let pairs_total = styles.len() * *pairs;
+                let mut pairs_done = 0usize;
                 for (index, &style) in styles.iter().enumerate() {
+                    // Lands in Progress fields that are absent by default;
+                    // time-ok: sampled only when --timings opted in.
+                    let batch_start = self.timings.then(std::time::Instant::now);
                     let result = transition_campaign_with_view(
                         &view, &faults, style, *pairs, *seed, &self.pool,
                     );
+                    pairs_done += *pairs;
+                    if flh_obs::enabled() {
+                        flh_obs::named_add("serve.campaign.pairs", *pairs as u64);
+                        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+                        flh_obs::series_record(
+                            &format!(
+                                "serve.coverage.{}",
+                                crate::proto::application_wire_name(style)
+                            ),
+                            tick,
+                            (result.coverage_pct() * 100.0).round() as i64,
+                        );
+                    }
+                    let timing = batch_start.map(|start| {
+                        // time-ok: --timings only; see above.
+                        let secs = start.elapsed().as_secs_f64().max(1e-9);
+                        let pairs_per_s = *pairs as f64 / secs;
+                        let remaining = (pairs_total - pairs_done) as f64;
+                        ProgressTiming {
+                            pairs_per_s,
+                            eta_ms: (remaining / pairs_per_s * 1e3).round() as u64,
+                        }
+                    });
                     batches.push(BatchPayload::Campaign(result.clone()));
                     emit(JobEvent::Batch {
                         job,
                         index,
-                        payload: BatchPayload::Campaign(result),
+                        payload: BatchPayload::Campaign(result.clone()),
+                    });
+                    emit(JobEvent::Progress {
+                        job,
+                        done: index + 1,
+                        batches: styles.len(),
+                        style: result.style.to_string(),
+                        detected: result.detected,
+                        faults: result.total_faults,
+                        coverage_pct: result.coverage_pct(),
+                        pairs_done,
+                        pairs_total,
+                        timing,
                     });
                 }
             }
@@ -155,8 +223,31 @@ impl JobEngine {
             }
         }
 
-        let metrics =
-            before.map(|before| flh_obs::det_document(&flh_obs::snapshot().det_delta(&before)));
+        let metrics = before.map(|before| {
+            let delta = flh_obs::snapshot().det_delta(&before);
+            let counter = |name: &str| {
+                delta
+                    .counters
+                    .iter()
+                    .find(|&&(n, _)| n == name)
+                    .map_or(0, |&(_, v)| v)
+            };
+            // The per-job latency ledger in deterministic units: the
+            // job's own simulator/replay work, from its counter delta.
+            // Recorded after the delta is taken, so it lands between this
+            // job's `after` and the next job's `before` snapshot and
+            // cancels out of every per-job document while still reaching
+            // the global `stats` histograms.
+            flh_obs::record(
+                flh_obs::Hist::ServeJobBytecodeInsts,
+                counter("sim.bytecode_insts"),
+            );
+            flh_obs::record(
+                flh_obs::Hist::ServeJobReplayEvents,
+                counter("replay.events"),
+            );
+            flh_obs::det_document(&delta)
+        });
         emit(JobEvent::Done {
             job,
             batches: batches.len(),

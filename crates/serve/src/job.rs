@@ -186,9 +186,22 @@ pub enum BatchPayload {
     Evaluation(StyleEvaluation),
 }
 
+/// Wall-clock throughput attached to a [`JobEvent::Progress`] event when
+/// the engine opts into timings (`JobEngine::with_timings`). Off by
+/// default: wall clock on the wire would break the byte-identical
+/// transcript contract.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgressTiming {
+    /// Pattern pairs simulated per second in the batch just finished.
+    pub pairs_per_s: f64,
+    /// Estimated milliseconds to finish the job's remaining batches at
+    /// that rate.
+    pub eta_ms: u64,
+}
+
 /// Lifecycle events a job emits, in deterministic order: one `Started`,
-/// one `Batch` per style in spec order, then exactly one of `Done`,
-/// `Failed` or `Cancelled`.
+/// one `Batch` per style in spec order (campaign batches each followed by
+/// one `Progress`), then exactly one of `Done`, `Failed` or `Cancelled`.
 #[derive(Clone, Debug)]
 pub enum JobEvent {
     /// The circuit is compiled (or was already cached) and batches are
@@ -209,6 +222,32 @@ pub enum JobEvent {
         index: usize,
         /// The result.
         payload: BatchPayload,
+    },
+    /// Coverage progress through a campaign job, emitted after each
+    /// `Batch` (campaign jobs only — evaluation batches carry no
+    /// fault-coverage ledger). Deterministic fields only, unless the
+    /// engine opts into timings.
+    Progress {
+        /// The job.
+        job: JobId,
+        /// Batches finished so far (1-based: the batch just streamed).
+        done: usize,
+        /// Total batches the job will run.
+        batches: usize,
+        /// Application style of the batch just finished.
+        style: String,
+        /// Faults detected in that batch.
+        detected: usize,
+        /// Total faults simulated in that batch.
+        faults: usize,
+        /// Coverage of that batch, percent.
+        coverage_pct: f64,
+        /// Pattern pairs applied so far across the job.
+        pairs_done: usize,
+        /// Pattern pairs planned across the whole job.
+        pairs_total: usize,
+        /// Wall-clock throughput/ETA, only with `with_timings(true)`.
+        timing: Option<ProgressTiming>,
     },
     /// All batches delivered.
     Done {
@@ -240,6 +279,7 @@ impl JobEvent {
         match self {
             JobEvent::Started { job, .. }
             | JobEvent::Batch { job, .. }
+            | JobEvent::Progress { job, .. }
             | JobEvent::Done { job, .. }
             | JobEvent::Failed { job, .. }
             | JobEvent::Cancelled { job } => *job,

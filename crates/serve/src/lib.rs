@@ -44,12 +44,14 @@ pub use cache::{CacheLookup, CacheStats, CircuitCache, CompiledEntry, DEFAULT_CA
 pub use engine::JobEngine;
 pub use job::{
     parse_application_styles, parse_dft_style, BatchPayload, JobEvent, JobId, JobKind, JobOutcome,
-    JobSpec, ALL_APPLICATION_STYLES,
+    JobSpec, ProgressTiming, ALL_APPLICATION_STYLES,
 };
 pub use json::{parse_json, render, Json};
 pub use proto::{parse_request, render_request, Request};
 #[cfg(unix)]
 pub use server::serve_unix_socket;
 pub use server::{serve_lines, ServeConfig};
-pub use session::{JobSession, SessionConfig, SessionSummary, SubmitError};
+pub use session::{
+    JobLatency, JobSession, SessionConfig, SessionStats, SessionSummary, SubmitError,
+};
 pub use source::{content_key, fnv1a, CircuitSource};

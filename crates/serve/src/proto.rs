@@ -19,16 +19,34 @@
 //!  "vectors":100}                             // power-vector count
 //! {"op":"status"}
 //! {"op":"cancel","job":"job-2"}
+//! {"op":"stats"}                              // or {"op":"stats","full":true}
 //! {"op":"wait"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Responses: `accepted`, `rejected` (queue back-pressure), `cancel`,
-//! `status`, the streamed job events (`started` — carrying the
-//! compiled-circuit cache verdict — `batch`, `done`, `failed`,
-//! `cancelled`), `idle` (a `wait` barrier drained), `bye` (shutdown
-//! summary with cache totals), and `{"error":...}` for malformed input —
-//! never a panic.
+//! `status` (the full session ledger: submitted/completed/rejected/
+//! cancelled/in_flight), the streamed job events (`started` — carrying
+//! the compiled-circuit cache verdict — `batch`, `progress`, `done`,
+//! `failed`, `cancelled`), `idle` (a `wait` barrier drained), `stats`,
+//! `bye` (shutdown summary with cache totals), and `{"error":...}` for
+//! malformed input — never a panic.
+//!
+//! The `progress` event streams campaign coverage after every batch:
+//! `{"event":"progress","job":...,"done":d,"batches":b,"style":...,
+//! "detected":...,"faults":...,"coverage_pct":...,"pairs_done":...,
+//! "pairs_total":...}`, plus `pairs_per_s`/`eta_ms` only when the server
+//! opted into wall-clock timings (`flh serve --timings`) — default
+//! transcripts stay clock-free and byte-diffable.
+//!
+//! The `stats` reply carries the session ledger, cache totals and — when
+//! the flh-obs recorder is installed — the full deterministic metrics
+//! document (counters, histograms, gauges, time series) under
+//! `"metrics"`; it is byte-identical at any `FLH_THREADS` width at the
+//! same protocol step. `{"op":"stats","full":true}` additionally attaches
+//! the **nondeterministic** section (span timings, worker stats,
+//! scheduling counters, sampled queue depths) and the per-job wall/exec
+//! latency ledger — never diffed, never deterministic.
 
 use flh_core::{DftStyle, EvalConfig};
 
@@ -37,7 +55,7 @@ use crate::job::{
     parse_application_styles, parse_dft_style, BatchPayload, JobEvent, JobId, JobKind, JobSpec,
 };
 use crate::json::{parse_json, render, Json};
-use crate::session::SessionSummary;
+use crate::session::{JobLatency, SessionStats, SessionSummary};
 use crate::source::CircuitSource;
 
 /// A parsed request line.
@@ -47,6 +65,13 @@ pub enum Request {
     Submit(JobSpec),
     /// Report the session ledger.
     Status,
+    /// Report live telemetry: the ledger, cache totals and the
+    /// deterministic metrics document; `full` adds the nondeterministic
+    /// section and the wall-clock latency ledger.
+    Stats {
+        /// Include the nondeterministic section.
+        full: bool,
+    },
     /// Mark a job for cancellation.
     Cancel(JobId),
     /// Barrier: run and stream everything accepted so far.
@@ -71,7 +96,7 @@ fn dft_wire_name(style: DftStyle) -> &'static str {
     }
 }
 
-fn application_wire_name(style: flh_atpg::ApplicationStyle) -> &'static str {
+pub(crate) fn application_wire_name(style: flh_atpg::ApplicationStyle) -> &'static str {
     match style {
         flh_atpg::ApplicationStyle::ArbitraryTwoPattern => "arbitrary",
         flh_atpg::ApplicationStyle::Broadside => "broadside",
@@ -216,6 +241,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match op {
         "submit" => parse_submit(map),
         "status" => Ok(Request::Status),
+        "stats" => {
+            let full = match map.get("full") {
+                None | Some(Json::Null) => false,
+                Some(Json::Bool(b)) => *b,
+                Some(other) => return Err(format!("full must be a boolean, got {other:?}")),
+            };
+            Ok(Request::Stats { full })
+        }
         "cancel" => {
             let text = map
                 .get("job")
@@ -236,6 +269,13 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
 pub fn render_request(request: &Request) -> String {
     let value = match request {
         Request::Status => Json::object([("op", Json::String("status".into()))]),
+        Request::Stats { full } => {
+            let mut kv = vec![("op", Json::String("stats".into()))];
+            if *full {
+                kv.push(("full", Json::Bool(true)));
+            }
+            Json::object(kv)
+        }
         Request::Wait => Json::object([("op", Json::String("wait".into()))]),
         Request::Shutdown => Json::object([("op", Json::String("shutdown".into()))]),
         Request::Cancel(job) => Json::object([
@@ -351,6 +391,36 @@ pub fn render_event(event: &JobEvent) -> String {
             }
             Json::object(kv)
         }
+        JobEvent::Progress {
+            job,
+            done,
+            batches,
+            style,
+            detected,
+            faults,
+            coverage_pct,
+            pairs_done,
+            pairs_total,
+            timing,
+        } => {
+            let mut kv: Vec<(&'static str, Json)> = vec![
+                ("batches", Json::Number(*batches as f64)),
+                ("coverage_pct", Json::Number(round4(*coverage_pct))),
+                ("detected", Json::Number(*detected as f64)),
+                ("done", Json::Number(*done as f64)),
+                ("event", Json::String("progress".into())),
+                ("faults", Json::Number(*faults as f64)),
+                job_kv(*job),
+                ("pairs_done", Json::Number(*pairs_done as f64)),
+                ("pairs_total", Json::Number(*pairs_total as f64)),
+                ("style", Json::String(style.clone())),
+            ];
+            if let Some(t) = timing {
+                kv.push(("eta_ms", Json::Number(t.eta_ms as f64)));
+                kv.push(("pairs_per_s", Json::Number(round4(t.pairs_per_s))));
+            }
+            Json::object(kv)
+        }
         JobEvent::Done {
             job,
             batches,
@@ -415,12 +485,74 @@ pub fn render_cancel_ack(job: JobId, known: bool) -> String {
 }
 
 /// `status` reply: the deterministic session ledger.
-pub fn render_status(submitted: u64, completed: u64) -> String {
+pub fn render_status(stats: &SessionStats) -> String {
     render(&Json::object([
-        ("completed", Json::Number(completed as f64)),
+        ("cancelled", Json::Number(stats.cancelled as f64)),
+        ("completed", Json::Number(stats.completed as f64)),
         ("event", Json::String("status".into())),
-        ("submitted", Json::Number(submitted as f64)),
+        ("in_flight", Json::Number(stats.in_flight as f64)),
+        ("rejected", Json::Number(stats.rejected as f64)),
+        ("submitted", Json::Number(stats.submitted as f64)),
     ]))
+}
+
+/// The nondeterministic payload attached to a `stats --full` reply.
+pub struct StatsFull<'a> {
+    /// The flh-obs nondeterministic section
+    /// (`flh_obs::nondeterministic_json`).
+    pub nondet: &'a str,
+    /// The session's per-job wall/exec latency ledger.
+    pub latency: &'a [JobLatency],
+}
+
+/// `stats` reply: the session ledger, cache totals and the deterministic
+/// metrics document (`None` → `"metrics":null` when no recorder is
+/// installed). With `full`, also the nondeterministic section and the
+/// wall-clock latency ledger.
+pub fn render_stats(
+    stats: &SessionStats,
+    cache: CacheStats,
+    metrics: Option<&str>,
+    full: Option<StatsFull<'_>>,
+) -> String {
+    let mut kv: Vec<(&'static str, Json)> = vec![
+        ("cache", cache_json(cache)),
+        ("cancelled", Json::Number(stats.cancelled as f64)),
+        ("completed", Json::Number(stats.completed as f64)),
+        ("event", Json::String("stats".into())),
+        ("in_flight", Json::Number(stats.in_flight as f64)),
+        (
+            "metrics",
+            match metrics {
+                // The det document is this workspace's own JSON; ship it
+                // as a string rather than dropping it if it ever fails to
+                // reparse (same policy as the done event).
+                Some(doc) => parse_json(doc.trim()).unwrap_or_else(|_| Json::String(doc.into())),
+                None => Json::Null,
+            },
+        ),
+        ("rejected", Json::Number(stats.rejected as f64)),
+        ("submitted", Json::Number(stats.submitted as f64)),
+    ];
+    if let Some(full) = full {
+        let latency: Vec<Json> = full
+            .latency
+            .iter()
+            .map(|l| {
+                Json::object([
+                    ("exec_ms", Json::Number(round4(l.exec_ms))),
+                    ("job", Json::String(format!("job-{}", l.job))),
+                    ("wall_ms", Json::Number(round4(l.wall_ms))),
+                ])
+            })
+            .collect();
+        kv.push(("latency", Json::Array(latency)));
+        kv.push((
+            "nondeterministic",
+            parse_json(full.nondet).unwrap_or_else(|_| Json::String(full.nondet.into())),
+        ));
+    }
+    render(&Json::object(kv))
 }
 
 /// `idle` reply ending a `wait` barrier.

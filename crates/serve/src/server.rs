@@ -16,7 +16,7 @@ use std::sync::Arc;
 use crate::engine::JobEngine;
 use crate::proto::{
     parse_request, render_accepted, render_bye, render_cancel_ack, render_error, render_event,
-    render_idle, render_rejected, render_status, Request,
+    render_idle, render_rejected, render_stats, render_status, Request, StatsFull,
 };
 use crate::session::{JobSession, SessionConfig, SessionSummary};
 
@@ -74,10 +74,36 @@ pub fn serve_lines(
                 Ok(job) => emit(output, &render_accepted(job))?,
                 Err(err) => emit(output, &render_rejected(&err.to_string()))?,
             },
-            Ok(Request::Status) => emit(
-                output,
-                &render_status(session.submitted(), session.completed()),
-            )?,
+            Ok(Request::Status) => emit(output, &render_status(&session.stats()))?,
+            Ok(Request::Stats { full }) => {
+                // Publish the ledger gauges first so the metrics document
+                // answered here carries the levels as of this protocol
+                // step — deterministically for a scripted session.
+                session.publish_gauges();
+                let metrics =
+                    flh_obs::enabled().then(|| flh_obs::det_document(&flh_obs::snapshot()));
+                let line = if full {
+                    let nondet = flh_obs::nondeterministic_json(&flh_obs::snapshot());
+                    let latency = session.latency();
+                    render_stats(
+                        &session.stats(),
+                        session.engine().cache_stats(),
+                        metrics.as_deref(),
+                        Some(StatsFull {
+                            nondet: &nondet,
+                            latency: &latency,
+                        }),
+                    )
+                } else {
+                    render_stats(
+                        &session.stats(),
+                        session.engine().cache_stats(),
+                        metrics.as_deref(),
+                        None,
+                    )
+                };
+                emit(output, &line)?;
+            }
             Ok(Request::Cancel(job)) => {
                 let known = session.cancel(job);
                 emit(output, &render_cancel_ack(job, known))?;
@@ -118,10 +144,17 @@ fn finish(session: JobSession, output: &mut dyn Write) -> std::io::Result<Sessio
     Ok(summary)
 }
 
-/// Binds a Unix socket at `path` and serves clients one at a time on a
-/// shared engine (so the compiled-circuit cache persists across
-/// connections). Removes a stale socket file first; runs until the
-/// process is killed.
+/// Binds a Unix socket at `path` and serves each client on its own
+/// thread over a shared engine — the compiled-circuit cache persists
+/// across connections, and a monitoring client (`flh top`) can poll
+/// `stats` while another connection streams a campaign. Removes a stale
+/// socket file first; runs until the process is killed.
+///
+/// Each connection gets its own [`JobSession`] (own job ids, own
+/// ledger), so a single connection's transcript is still a pure function
+/// of its script; only the *global* metrics observed by `stats` reflect
+/// whatever every connection has run so far — that is the point of a
+/// live dashboard.
 ///
 /// # Errors
 ///
@@ -139,9 +172,14 @@ pub fn serve_unix_socket(
     let listener = std::os::unix::net::UnixListener::bind(path)?;
     loop {
         let (stream, _) = listener.accept()?;
-        let reader = std::io::BufReader::new(stream.try_clone()?);
-        let mut writer = stream;
-        // One client at a time: deterministic, and the cache survives.
-        let _ = serve_lines(reader, &mut writer, Arc::clone(&engine), config);
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let Ok(cloned) = stream.try_clone() else {
+                return;
+            };
+            let reader = std::io::BufReader::new(cloned);
+            let mut writer = stream;
+            let _ = serve_lines(reader, &mut writer, engine, config);
+        });
     }
 }

@@ -24,9 +24,10 @@
 //! (the job may complete first); the serve protocol therefore always runs
 //! gated.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant; // time-ok: session latency ledger; read only in the nondet `stats --full` section
 
 use flh_exec::{BoundedQueue, PushError};
 
@@ -82,6 +83,38 @@ pub struct SessionSummary {
     pub cache: CacheStats,
 }
 
+/// The live session ledger behind the `status` and `stats` protocol
+/// verbs. Every count is logical — derived from the submission/retire
+/// sequence, never sampled from a running thread — so the ledger observed
+/// at a protocol step is deterministic for a gated session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Jobs retired (done, failed or cancelled).
+    pub completed: u64,
+    /// Submissions refused by queue back-pressure.
+    pub rejected: u64,
+    /// Jobs retired as `Cancelled`.
+    pub cancelled: u64,
+    /// Jobs accepted but not yet retired.
+    pub in_flight: u64,
+}
+
+/// One retired job's wall/exec latency, from the session's wall-clock
+/// ledger (`stats --full` only: wall clock never enters a deterministic
+/// document).
+#[derive(Clone, Copy, Debug)]
+pub struct JobLatency {
+    /// The job's numeric id (`job-N`).
+    pub job: u64,
+    /// Submit-to-retire milliseconds (queueing included).
+    pub wall_ms: f64,
+    /// Milliseconds inside `JobEngine::run` on the executor (0 for jobs
+    /// retired as cancelled).
+    pub exec_ms: f64,
+}
+
 struct Gate {
     open: Mutex<bool>,
     changed: Condvar,
@@ -126,21 +159,43 @@ pub struct JobSession {
     next_id: u64,
     submitted: u64,
     completed: u64,
+    rejected: u64,
+    cancelled_jobs: u64,
+    /// Logical protocol step, the tick source for the queue-depth series:
+    /// one per submit and one per retire.
+    step: u64,
+    /// Submit instants of not-yet-retired jobs, keyed by job id.
+    // time-ok: latency ledger; read only via `latency()` into `stats --full`.
+    submit_clock: BTreeMap<u64, Instant>,
+    /// Retired jobs' (id, submit-to-retire ns), in retire order.
+    wall_ns: Vec<(u64, u64)>,
+    /// Executed jobs' (id, ns inside `JobEngine::run`), shared with the
+    /// executor thread.
+    exec_ns: Arc<Mutex<Vec<(u64, u64)>>>,
 }
 
 impl JobSession {
     /// Starts a session (and its executor thread) over `engine`.
     pub fn new(engine: Arc<JobEngine>, config: SessionConfig) -> Self {
-        let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
+        // `named`: the raw queue publishes its observed depth as
+        // nondeterministic gauges (`serve.queue.raw.*`) — the executor
+        // races producers for it, so the deterministic ledger gauge is
+        // derived from submitted/completed instead.
+        let queue = Arc::new(BoundedQueue::named(
+            config.queue_capacity,
+            "serve.queue.raw",
+        ));
         let gate = Arc::new(Gate::new(config.autostart));
         let cancelled = Arc::new(Mutex::new(BTreeSet::new()));
         let (tx, rx) = mpsc::channel();
+        let exec_ns = Arc::new(Mutex::new(Vec::new()));
 
         let executor = {
             let queue = Arc::clone(&queue);
             let gate = Arc::clone(&gate);
             let cancelled = Arc::clone(&cancelled);
             let engine = Arc::clone(&engine);
+            let exec_ns = Arc::clone(&exec_ns);
             std::thread::spawn(move || {
                 while let Some(QueuedJob { id, spec }) = queue.pop_wait() {
                     gate.wait_open();
@@ -155,9 +210,21 @@ impl JobSession {
                         continue;
                     }
                     let tx_job = tx.clone();
+                    let exec_clock = Arc::clone(&exec_ns);
+                    // time-ok: exec-latency ledger, read only by `latency()`.
+                    let started = Instant::now();
                     // The engine already turns failures into a Failed
                     // event; nothing further to do with the Result here.
                     let _ = engine.run(id, &spec, &mut move |event| {
+                        if event.is_terminal() {
+                            // Ledger first, then forward: a barrier that
+                            // observes the terminal event must already
+                            // find this job's exec time in the ledger.
+                            exec_clock
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push((id.0, started.elapsed().as_nanos() as u64));
+                        }
                         let _ = tx_job.send(event);
                     });
                 }
@@ -175,6 +242,12 @@ impl JobSession {
             next_id: 0,
             submitted: 0,
             completed: 0,
+            rejected: 0,
+            cancelled_jobs: 0,
+            step: 0,
+            submit_clock: BTreeMap::new(),
+            wall_ns: Vec::new(),
+            exec_ns,
         }
     }
 
@@ -193,6 +266,91 @@ impl JobSession {
         self.completed
     }
 
+    /// Submissions refused by queue back-pressure so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Jobs retired as `Cancelled` so far.
+    pub fn cancelled_jobs(&self) -> u64 {
+        self.cancelled_jobs
+    }
+
+    /// Jobs accepted but not yet retired. In a gated session this is the
+    /// logical queue depth: the executor may have eagerly popped the next
+    /// job off the raw queue, but it still counts until its terminal
+    /// event is observed at a barrier.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - self.completed
+    }
+
+    /// The live session ledger (see [`SessionStats`]).
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            submitted: self.submitted,
+            completed: self.completed,
+            rejected: self.rejected,
+            cancelled: self.cancelled_jobs,
+            in_flight: self.in_flight(),
+        }
+    }
+
+    /// The wall/exec latency ledger of every retired job, in job order.
+    /// Wall clock — belongs only in the nondeterministic `stats --full`
+    /// section.
+    pub fn latency(&self) -> Vec<JobLatency> {
+        let exec = self.exec_ns.lock().unwrap_or_else(|e| e.into_inner());
+        self.wall_ns
+            .iter()
+            .map(|&(job, wall)| {
+                let exec_ns = exec
+                    .iter()
+                    .find(|&&(id, _)| id == job)
+                    .map_or(0, |&(_, ns)| ns);
+                JobLatency {
+                    job,
+                    wall_ms: wall as f64 / 1e6,
+                    exec_ms: exec_ns as f64 / 1e6,
+                }
+            })
+            .collect()
+    }
+
+    /// Publishes the deterministic ledger gauges — queue depth (logical),
+    /// its high-watermark, in-flight count and the cache hit ratio in
+    /// basis points — so the next metrics snapshot carries them. Called
+    /// by the protocol layer before answering `stats`; a no-op without a
+    /// recorder.
+    pub fn publish_gauges(&self) {
+        if !flh_obs::enabled() {
+            return;
+        }
+        let depth = self.in_flight() as i64;
+        flh_obs::gauge_set("serve.queue.depth", depth);
+        flh_obs::gauge_max("serve.queue.depth_peak", depth);
+        flh_obs::gauge_set("serve.jobs.in_flight", depth);
+        let cache = self.engine.cache_stats();
+        let lookups = cache.hits + cache.misses;
+        let ratio_bp = if lookups == 0 {
+            0
+        } else {
+            (cache.hits * 10_000 / lookups) as i64
+        };
+        flh_obs::gauge_set("serve.cache.hit_ratio_bp", ratio_bp);
+    }
+
+    /// Advances the logical step and records the queue-depth series point
+    /// and gauges for it.
+    fn note_queue_step(&mut self) {
+        self.step += 1;
+        if flh_obs::enabled() {
+            let depth = self.in_flight() as i64;
+            flh_obs::gauge_set("serve.queue.depth", depth);
+            flh_obs::gauge_max("serve.queue.depth_peak", depth);
+            flh_obs::series_record("serve.queue.depth", self.step, depth);
+        }
+    }
+
     /// Enqueues a job. Never blocks; at capacity the job is rejected with
     /// [`SubmitError::QueueFull`] and the would-be id is not consumed.
     ///
@@ -205,9 +363,15 @@ impl JobSession {
             Ok(()) => {
                 self.next_id += 1;
                 self.submitted += 1;
+                // time-ok: latency ledger only (nondet section).
+                self.submit_clock.insert(id.0, Instant::now());
+                self.note_queue_step();
                 Ok(id)
             }
-            Err(PushError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(PushError::Full(_)) => {
+                self.rejected += 1;
+                Err(SubmitError::QueueFull)
+            }
             Err(PushError::Closed(_)) => Err(SubmitError::Closed),
         }
     }
@@ -245,12 +409,25 @@ impl JobSession {
                 break; // executor gone (panic); nothing more will arrive
             };
             if event.is_terminal() {
-                self.completed += 1;
+                self.retire(&event);
                 retired += 1;
             }
             sink(event);
         }
         retired
+    }
+
+    /// Ledger bookkeeping for one terminal event.
+    fn retire(&mut self, event: &JobEvent) {
+        self.completed += 1;
+        if matches!(event, JobEvent::Cancelled { .. }) {
+            self.cancelled_jobs += 1;
+        }
+        if let Some(submitted_at) = self.submit_clock.remove(&event.job().0) {
+            self.wall_ns
+                .push((event.job().0, submitted_at.elapsed().as_nanos() as u64));
+        }
+        self.note_queue_step();
     }
 
     /// Closes the queue, runs every job still pending, streams the
@@ -267,7 +444,7 @@ impl JobSession {
         // channel disconnecting (nothing, in practice) still drains.
         while let Ok(event) = self.events.try_recv() {
             if event.is_terminal() {
-                self.completed += 1;
+                self.retire(&event);
             }
             sink(event);
         }

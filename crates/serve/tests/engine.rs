@@ -88,6 +88,96 @@ fn repeat_run_hits_the_cache_with_identical_batches() {
 }
 
 #[test]
+fn campaign_progress_tracks_batches_and_matches_the_final_outcome() {
+    let engine = JobEngine::new(ThreadPool::new(2), 4);
+    let profile = iscas89_profile("s298").expect("builtin profile");
+    let spec = JobSpec::campaign(CircuitSource::profile(profile))
+        .with_styles(vec![
+            ApplicationStyle::ArbitraryTwoPattern,
+            ApplicationStyle::Broadside,
+        ])
+        .with_pairs(PAIRS)
+        .with_seed(SEED);
+
+    let mut events = Vec::new();
+    let outcome = engine
+        .run(JobId(1), &spec, &mut |e| events.push(e))
+        .expect("campaign job");
+
+    let progress: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            JobEvent::Progress {
+                done,
+                batches,
+                style,
+                detected,
+                coverage_pct,
+                pairs_done,
+                pairs_total,
+                timing,
+                ..
+            } => Some((
+                *done,
+                *batches,
+                style.clone(),
+                *detected,
+                *coverage_pct,
+                *pairs_done,
+                *pairs_total,
+                timing.is_some(),
+            )),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        progress.len(),
+        outcome.batches.len(),
+        "one progress event per batch"
+    );
+
+    for (i, (done, batches, style, detected, coverage, pairs_done, pairs_total, timed)) in
+        progress.iter().enumerate()
+    {
+        assert_eq!(*done, i + 1);
+        assert_eq!(*batches, outcome.batches.len());
+        assert_eq!(*pairs_total, 2 * PAIRS);
+        assert_eq!(*pairs_done, (i + 1) * PAIRS);
+        assert!(!timed, "timings are off by default");
+        // Each progress event restates its batch's result exactly.
+        let BatchPayload::Campaign(ref result) = outcome.batches[i] else {
+            panic!("campaign job produced a non-campaign batch");
+        };
+        assert_eq!(style, &result.style.to_string());
+        assert_eq!(*detected, result.detected);
+        assert!((coverage - result.coverage_pct()).abs() < 1e-9);
+    }
+    // The final event's coverage IS the job's final per-style outcome.
+    let last = progress.last().expect("progress streamed");
+    assert_eq!(last.5, last.6, "final progress covers all pairs");
+
+    // Opting into timings fills the wall-clock fields — and only then.
+    let timed_engine = JobEngine::new(ThreadPool::new(2), 4).with_timings(true);
+    assert!(timed_engine.timings());
+    let mut timed_events = Vec::new();
+    timed_engine
+        .run(JobId(2), &spec, &mut |e| timed_events.push(e))
+        .expect("timed campaign job");
+    let timings: Vec<_> = timed_events
+        .iter()
+        .filter_map(|e| match e {
+            JobEvent::Progress { timing, .. } => Some(*timing),
+            _ => None,
+        })
+        .collect();
+    assert!(!timings.is_empty());
+    for t in timings {
+        let t = t.expect("--timings populates every progress event");
+        assert!(t.pairs_per_s > 0.0);
+    }
+}
+
+#[test]
 fn gated_session_backpressure_cancel_and_event_order() {
     let engine = Arc::new(JobEngine::new(ThreadPool::new(1), 4));
     let mut session = JobSession::new(

@@ -34,6 +34,8 @@ fn transcript(script: &str, workers: usize) -> Vec<String> {
 fn canonical_request_lines_round_trip() {
     let canonical = [
         r#"{"op":"status"}"#,
+        r#"{"op":"stats"}"#,
+        r#"{"full":true,"op":"stats"}"#,
         r#"{"op":"wait"}"#,
         r#"{"op":"shutdown"}"#,
         r#"{"job":"job-3","op":"cancel"}"#,
@@ -187,4 +189,142 @@ fn transcripts_are_byte_identical_across_pool_widths() {
     let narrow = transcript(CACHE_SCRIPT, 1);
     let wide = transcript(CACHE_SCRIPT, 4);
     assert_eq!(narrow, wide);
+}
+
+/// CACHE_SCRIPT with `stats` probes before and after the barrier, plus a
+/// full variant at the end.
+const STATS_SCRIPT: &str = concat!(
+    "{\"op\":\"submit\",\"circuit\":\"s298\",\"pairs\":32,\"seed\":7}\n",
+    "{\"op\":\"submit\",\"circuit\":\"s298\",\"pairs\":32,\"seed\":7}\n",
+    "{\"op\":\"status\"}\n",
+    "{\"op\":\"stats\"}\n",
+    "{\"op\":\"wait\"}\n",
+    "{\"op\":\"stats\"}\n",
+    "{\"op\":\"stats\",\"full\":true}\n",
+    "{\"op\":\"shutdown\"}\n",
+);
+
+fn number(line: &str, key: &str) -> f64 {
+    match field(line, key) {
+        Some(Json::Number(n)) => n,
+        other => panic!("{key} is {other:?} in {line}"),
+    }
+}
+
+#[test]
+fn stats_and_status_carry_the_session_ledger() {
+    // NOTE: no flh-obs recorder installed here (tests share a process, so
+    // protocol tests never install one) — the deterministic metrics slot
+    // of a stats reply must then be an explicit null, not absent.
+    let lines = transcript(STATS_SCRIPT, 1);
+
+    let status = lines
+        .iter()
+        .find(|l| l.contains(r#""event":"status""#))
+        .expect("status line");
+    for key in [
+        "submitted",
+        "completed",
+        "rejected",
+        "cancelled",
+        "in_flight",
+    ] {
+        assert!(
+            matches!(field(status, key), Some(Json::Number(_))),
+            "status lacks {key}: {status}"
+        );
+    }
+    assert_eq!(number(status, "submitted"), 2.0, "{status}");
+    assert_eq!(number(status, "in_flight"), 2.0, "gate is closed: {status}");
+
+    let stats: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains(r#""event":"stats""#))
+        .collect();
+    assert_eq!(stats.len(), 3, "{lines:#?}");
+
+    // Before the barrier: both jobs pending, nothing run, cache untouched.
+    assert_eq!(number(stats[0], "in_flight"), 2.0, "{}", stats[0]);
+    assert_eq!(number(stats[0], "completed"), 0.0, "{}", stats[0]);
+    assert_eq!(field(stats[0], "metrics"), Some(Json::Null), "{}", stats[0]);
+
+    // After the barrier: both retired, the duplicate hit the cache.
+    assert_eq!(number(stats[1], "completed"), 2.0, "{}", stats[1]);
+    assert_eq!(number(stats[1], "in_flight"), 0.0, "{}", stats[1]);
+    let cache = field(stats[1], "cache").expect("cache object");
+    let cache = cache.as_object().expect("cache is an object");
+    assert_eq!(cache.get("hits"), Some(&Json::Number(1.0)), "{}", stats[1]);
+    assert!(
+        field(stats[1], "latency").is_none(),
+        "plain stats must not carry the wall-clock ledger: {}",
+        stats[1]
+    );
+
+    // The full variant adds the nondeterministic section and one latency
+    // entry per retired job (wall >= exec for an executed job).
+    let full = stats[2];
+    assert!(field(full, "nondeterministic").is_some(), "{full}");
+    let Some(Json::Array(latency)) = field(full, "latency") else {
+        panic!("full stats lacks latency array: {full}");
+    };
+    assert_eq!(latency.len(), 2, "{full}");
+    for entry in &latency {
+        let entry = entry.as_object().expect("latency entry");
+        let wall = entry["wall_ms"].as_f64().expect("wall_ms");
+        let exec = entry["exec_ms"].as_f64().expect("exec_ms");
+        assert!(wall >= exec && exec > 0.0, "{full}");
+    }
+}
+
+#[test]
+fn campaign_batches_stream_matching_progress_events() {
+    let lines = transcript(CACHE_SCRIPT, 1);
+    let batches: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains(r#""event":"batch""#))
+        .collect();
+    let progress: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains(r#""event":"progress""#))
+        .collect();
+    assert_eq!(
+        batches.len(),
+        progress.len(),
+        "one progress event per campaign batch: {lines:#?}"
+    );
+    assert!(!progress.is_empty());
+
+    for (batch, prog) in batches.iter().zip(&progress) {
+        // Each progress event mirrors the batch it follows.
+        for key in ["job", "style"] {
+            assert_eq!(field(batch, key), field(prog, key), "{batch} vs {prog}");
+        }
+        for key in ["coverage_pct", "detected", "faults"] {
+            assert_eq!(number(batch, key), number(prog, key), "{batch} vs {prog}");
+        }
+        // Default transcripts are clock-free: the wall-clock fields only
+        // appear when the server opted into --timings.
+        assert!(field(prog, "pairs_per_s").is_none(), "{prog}");
+        assert!(field(prog, "eta_ms").is_none(), "{prog}");
+    }
+
+    // Per job, `done` counts 1..=batches and the last event covers every
+    // pair the spec asked for.
+    for job in ["job-1", "job-2", "job-3"] {
+        let mine: Vec<&&String> = progress
+            .iter()
+            .filter(|l| l.contains(&format!(r#""job":"{job}""#)))
+            .collect();
+        assert!(!mine.is_empty(), "{job} streamed no progress");
+        for (i, line) in mine.iter().enumerate() {
+            assert_eq!(number(line, "done"), (i + 1) as f64, "{line}");
+            assert_eq!(number(line, "batches"), mine.len() as f64, "{line}");
+        }
+        let last = mine.last().expect("at least one");
+        assert_eq!(
+            number(last, "pairs_done"),
+            number(last, "pairs_total"),
+            "final progress covers the full spec: {last}"
+        );
+    }
 }

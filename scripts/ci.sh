@@ -109,7 +109,9 @@ cat > "$bench_tmp/serve_script.jsonl" <<'EOF'
 {"op":"submit","circuit":"s420","pairs":96,"seed":7}
 {"op":"submit","circuit":"s298","pairs":96,"seed":7}
 {"op":"status"}
+{"op":"stats"}
 {"op":"wait"}
+{"op":"stats"}
 {"op":"shutdown"}
 EOF
 FLH_THREADS=1 cargo run -q --release --offline --bin flh -- serve \
@@ -128,7 +130,36 @@ if ! grep -q '"hits":1' "$bench_tmp/serve_w1.jsonl"; then
     echo "SERVE GATE FAILED: farewell summary does not report one cache hit" >&2
     exit 1
 fi
-echo "identical serve transcript at both pool widths; duplicate job hit the cache"
+# The campaign jobs must stream per-batch progress events, clock-free by
+# default (pairs_per_s/eta_ms appear only under `serve --timings`).
+if ! grep -q '"event":"progress"' "$bench_tmp/serve_w1.jsonl"; then
+    echo "SERVE GATE FAILED: campaign jobs streamed no progress events" >&2
+    exit 1
+fi
+if grep -q '"pairs_per_s"' "$bench_tmp/serve_w1.jsonl"; then
+    echo "SERVE GATE FAILED: default transcript carries wall-clock progress fields" >&2
+    exit 1
+fi
+# The stats verb answered mid-script; its deterministic metrics document
+# (ledger, gauges, per-job latency histograms, coverage series) must be
+# byte-identical at both widths. The full-transcript diff above covers
+# this too — the explicit diff attributes a failure to the stats verb.
+if ! grep '"event":"stats"' "$bench_tmp/serve_w1.jsonl" > "$bench_tmp/stats_w1.jsonl"; then
+    echo "SERVE GATE FAILED: no stats responses in the transcript" >&2
+    exit 1
+fi
+grep '"event":"stats"' "$bench_tmp/serve_w4.jsonl" > "$bench_tmp/stats_w4.jsonl" || true
+if ! diff "$bench_tmp/stats_w1.jsonl" "$bench_tmp/stats_w4.jsonl"; then
+    echo "SERVE GATE FAILED: stats document depends on FLH_THREADS" >&2
+    exit 1
+fi
+if ! grep -q 'serve.queue.depth' "$bench_tmp/stats_w1.jsonl" \
+    || ! grep -q 'serve.cache.hit_ratio_bp' "$bench_tmp/stats_w1.jsonl" \
+    || ! grep -q 'serve.job.bytecode_insts' "$bench_tmp/stats_w1.jsonl"; then
+    echo "SERVE GATE FAILED: stats document lacks the queue/cache gauges or latency histograms" >&2
+    exit 1
+fi
+echo "identical serve transcript (incl. stats documents) at both pool widths; duplicate job hit the cache"
 
 echo "== codegen equivalence gate (bytecode vs event-driven reference) =="
 # The lowered bytecode must agree with the event-driven simulator on every
@@ -175,5 +206,27 @@ fi
 echo "== bench report schema (committed + quick outputs) =="
 cargo run -q --release --offline -p flh-bench --bin check_bench -- \
     BENCH_*.json "$bench_tmp"/BENCH_*.json
+
+echo "== bench trend gate (committed baselines vs quick run) =="
+# Quick mode runs a scaled-down workload on a possibly loaded CI host, so
+# the tolerances are generous: this gate catches collapses (superword path
+# off, parallel replay gone), not noise. The transition report's headline
+# speedup shrinks legitimately under quick's small workload — the naive
+# baseline amortizes better — hence its wider tolerance.
+cargo run -q --release --offline -p flh-bench --bin check_bench -- \
+    --trend BENCH_compiled_ir.json "$bench_tmp/BENCH_compiled_ir.json" --tol 0.5
+cargo run -q --release --offline -p flh-bench --bin check_bench -- \
+    --trend BENCH_parallel_fsim.json "$bench_tmp/BENCH_parallel_fsim.json" --tol 0.5
+cargo run -q --release --offline -p flh-bench --bin check_bench -- \
+    --trend BENCH_transition_fsim.json "$bench_tmp/BENCH_transition_fsim.json" --tol 0.8
+# Negative check: a synthetically degraded copy must trip the gate, or the
+# trend comparison is decorative.
+sed -E 's/"([a-z_0-9]*speedup[a-z_0-9]*)": *[0-9.]+/"\1": 0.001/' \
+    BENCH_compiled_ir.json > "$bench_tmp/BENCH_degraded.json"
+if cargo run -q --release --offline -p flh-bench --bin check_bench -- \
+    --trend BENCH_compiled_ir.json "$bench_tmp/BENCH_degraded.json" >/dev/null 2>&1; then
+    echo "TREND GATE FAILED: synthetically degraded report passed the trend check" >&2
+    exit 1
+fi
 
 echo "CI OK"

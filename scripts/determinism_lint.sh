@@ -30,6 +30,7 @@ TARGETS=(
     crates/netlist/src/bytecode.rs
     crates/netlist/src/static_analysis.rs
     crates/bench/src/replay64.rs
+    src/bin
 )
 
 # The span layer is the *declared* wall-clock side of flh-obs — every

@@ -12,9 +12,12 @@
 //! flh campaign <circuit> [--pairs N] [--seed S] [--styles LIST] [--dft STYLE]
 //!                                            random transition campaign,
 //!                                            one row per application style
-//! flh serve   [--queue N] [--cache N] [--socket PATH]
+//! flh serve   [--queue N] [--cache N] [--socket PATH] [--timings]
 //!                                            persistent campaign service
 //!                                            (line-delimited JSON protocol)
+//! flh top     <socket> [--interval-ms N] [--polls N]
+//! flh top     --script FILE                  live telemetry dashboard over
+//!                                            the serve `stats` verb
 //! flh list                                   known circuit profiles
 //! ```
 //!
@@ -51,8 +54,9 @@ use flh::netlist::{dot, generate_circuit, iscas89_profile, iscas89_profiles, ver
 use flh::netlist::{CircuitStats, CompiledCircuit, Netlist, Program};
 use flh::obs;
 use flh::serve::{
-    parse_application_styles, parse_dft_style, serve_lines, serve_unix_socket, BatchPayload,
-    CircuitSource, JobEngine, JobEvent, JobId, JobSpec, ServeConfig, DEFAULT_CACHE_CAPACITY,
+    parse_application_styles, parse_dft_style, parse_json, serve_lines, serve_unix_socket,
+    BatchPayload, CircuitSource, JobEngine, JobEvent, JobId, JobSpec, Json, ServeConfig,
+    DEFAULT_CACHE_CAPACITY,
 };
 
 use flh::atpg::ApplicationStyle;
@@ -60,7 +64,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh disasm <circuit> [--dft STYLE]\n  flh analyze <circuit> [--check-sim]\n  flh campaign <circuit> [--pairs N] [--seed S] [--styles all|LIST] [--dft STYLE]\n  flh serve  [--queue N] [--cache N] [--socket PATH]\n  flh list\n\nglobal flags: --metrics-json PATH, --metrics-det-json PATH\n(FLH_TRACE=<path> writes a Chrome trace-event file)\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path\ncampaign --styles = all or a comma list of arbitrary, broadside, skewed\ndisasm prints the lowered fused-opcode bytecode the simulators execute\nanalyze runs the bytecode verifier + static testability analysis per style;\n  --check-sim cross-checks the static classifier against fault simulation"
+        "usage:\n  flh stats  <circuit>\n  flh eval   <circuit>\n  flh apply  <circuit> <plain|enhanced|mux|flh> [--verilog|--dot|--bench]\n  flh atpg   <circuit> [--out FILE]\n  flh fsim   <circuit> <pattern-file>\n  flh disasm <circuit> [--dft STYLE]\n  flh analyze <circuit> [--check-sim]\n  flh campaign <circuit> [--pairs N] [--seed S] [--styles all|LIST] [--dft STYLE]\n  flh serve  [--queue N] [--cache N] [--socket PATH] [--timings]\n  flh top    <socket> [--interval-ms N] [--polls N]\n  flh top    --script FILE\n  flh list\n\nglobal flags: --metrics-json PATH, --metrics-det-json PATH\n(FLH_TRACE=<path> writes a Chrome trace-event file)\n\n<circuit> = builtin profile name (see `flh list`) or a .bench file path\ncampaign --styles = all or a comma list of arbitrary, broadside, skewed\ndisasm prints the lowered fused-opcode bytecode the simulators execute\nanalyze runs the bytecode verifier + static testability analysis per style;\n  --check-sim cross-checks the static classifier against fault simulation\nserve --timings adds wall-clock pairs/s + ETA to progress events\ntop polls a serve socket's stats verb (or replays a script) and renders a\n  plain-stdout dashboard: ledger, queue, cache, throughput, coverage"
     );
     ExitCode::FAILURE
 }
@@ -424,11 +428,13 @@ fn cmd_serve(
     queue_capacity: usize,
     cache_capacity: usize,
     socket: Option<&str>,
+    timings: bool,
 ) -> Result<(), String> {
     // Always record: every `done` event then carries the job's own
     // deterministic metrics delta.
     obs::install(obs::trace_path_from_env().is_some());
-    let engine = Arc::new(JobEngine::new(ThreadPool::from_env(), cache_capacity));
+    let engine =
+        Arc::new(JobEngine::new(ThreadPool::from_env(), cache_capacity).with_timings(timings));
     let config = ServeConfig { queue_capacity };
     match socket {
         Some(path) => serve_unix_socket(std::path::Path::new(path), engine, config)
@@ -440,6 +446,240 @@ fn cmd_serve(
                 .map(|_| ())
                 .map_err(|e| e.to_string())
         }
+    }
+}
+
+/// One `stats` response reduced to what the dashboard renders.
+struct TopSample {
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+    cancelled: u64,
+    in_flight: u64,
+    hits: u64,
+    misses: u64,
+    /// `serve.campaign.pairs` named counter (0 when no recorder).
+    pairs: u64,
+    /// `fsim.transition.detections` counter (0 when no recorder).
+    detections: u64,
+    /// Deterministic gauges, as published.
+    gauges: Vec<(String, i64)>,
+    /// Latest coverage per style from the `serve.coverage.*` series, in
+    /// basis points.
+    coverage: Vec<(String, i64)>,
+}
+
+fn top_num(map: &std::collections::BTreeMap<String, Json>, key: &str) -> u64 {
+    match map.get(key) {
+        Some(Json::Number(n)) if *n >= 0.0 => *n as u64,
+        _ => 0,
+    }
+}
+
+/// Parses a transcript line into a sample if it is a `stats` response.
+fn parse_stats_sample(line: &str) -> Option<TopSample> {
+    let value = parse_json(line.trim()).ok()?;
+    let map = value.as_object()?;
+    if map.get("event").and_then(Json::as_str) != Some("stats") {
+        return None;
+    }
+    let cache = map.get("cache").and_then(Json::as_object);
+    let mut sample = TopSample {
+        submitted: top_num(map, "submitted"),
+        completed: top_num(map, "completed"),
+        rejected: top_num(map, "rejected"),
+        cancelled: top_num(map, "cancelled"),
+        in_flight: top_num(map, "in_flight"),
+        hits: cache.map_or(0, |c| top_num(c, "hits")),
+        misses: cache.map_or(0, |c| top_num(c, "misses")),
+        pairs: 0,
+        detections: 0,
+        gauges: Vec::new(),
+        coverage: Vec::new(),
+    };
+    if let Some(metrics) = map.get("metrics").and_then(Json::as_object) {
+        if let Some(counters) = metrics.get("counters").and_then(Json::as_object) {
+            sample.detections = top_num(counters, "fsim.transition.detections");
+        }
+        if let Some(named) = metrics.get("named_counters").and_then(Json::as_object) {
+            sample.pairs = top_num(named, "serve.campaign.pairs");
+        }
+        if let Some(gauges) = metrics.get("gauges").and_then(Json::as_object) {
+            for (name, v) in gauges {
+                if let Json::Number(n) = v {
+                    sample.gauges.push((name.clone(), *n as i64));
+                }
+            }
+        }
+        if let Some(Json::Array(series)) = metrics.get("series") {
+            for s in series {
+                let Some(s) = s.as_object() else { continue };
+                let Some(name) = s.get("name").and_then(Json::as_str) else {
+                    continue;
+                };
+                let Some(style) = name.strip_prefix("serve.coverage.") else {
+                    continue;
+                };
+                if let Some(Json::Array(points)) = s.get("points") {
+                    if let Some(Json::Array(last)) = points.last() {
+                        if let Some(Json::Number(v)) = last.get(1) {
+                            sample.coverage.push((style.to_string(), *v as i64));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(sample)
+}
+
+/// Renders one dashboard frame. `dt_s` (socket mode: wall seconds since
+/// the previous poll) enables the client-side throughput/ETA line — rates
+/// are always computed here, never taken from the wire, so the default
+/// serve transcript stays deterministic.
+fn render_top_frame(
+    poll: usize,
+    sample: &TopSample,
+    prev: Option<&TopSample>,
+    dt_s: Option<f64>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "── flh top · poll {poll} ──");
+    let _ = writeln!(
+        out,
+        "jobs      submitted {}  completed {}  in-flight {}  rejected {}  cancelled {}",
+        sample.submitted, sample.completed, sample.in_flight, sample.rejected, sample.cancelled
+    );
+    let lookups = sample.hits + sample.misses;
+    let ratio = if lookups == 0 {
+        0.0
+    } else {
+        100.0 * sample.hits as f64 / lookups as f64
+    };
+    let _ = writeln!(
+        out,
+        "cache     hits {}  misses {}  hit-ratio {ratio:.1}%",
+        sample.hits, sample.misses
+    );
+    let gauge = |name: &str| {
+        sample
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    };
+    let depth = gauge("serve.queue.depth").unwrap_or(sample.in_flight as i64);
+    let peak = gauge("serve.queue.depth_peak").unwrap_or(depth);
+    let _ = writeln!(out, "queue     depth {depth}  peak {peak}");
+    let mut work = format!(
+        "work      pairs {}  detections {}",
+        sample.pairs, sample.detections
+    );
+    if let Some(prev) = prev {
+        let dp = sample.pairs.saturating_sub(prev.pairs);
+        let _ = write!(work, "  (+{dp} pairs");
+        if let Some(dt) = dt_s {
+            if dt > 0.0 {
+                let _ = write!(work, ", {:.1} pairs/s", dp as f64 / dt);
+                let dj = sample.completed.saturating_sub(prev.completed);
+                let jobs_per_s = dj as f64 / dt;
+                if sample.in_flight > 0 && jobs_per_s > 0.0 {
+                    let _ = write!(work, ", eta {:.1}s", sample.in_flight as f64 / jobs_per_s);
+                }
+            }
+        }
+        work.push(')');
+    }
+    let _ = writeln!(out, "{work}");
+    if !sample.coverage.is_empty() {
+        let mut line = String::from("coverage ");
+        for (style, bp) in &sample.coverage {
+            let _ = write!(line, " {style} {:.2}%", *bp as f64 / 100.0);
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// `flh top --script FILE`: replays a protocol script through an
+/// in-process engine and renders one frame per `stats` response — the
+/// deterministic, socket-free way to exercise the dashboard (and what the
+/// CLI test drives).
+fn cmd_top_script(path: &str) -> Result<(), String> {
+    obs::install(false);
+    let script = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let engine = Arc::new(JobEngine::from_env());
+    let mut transcript = Vec::new();
+    serve_lines(
+        script.as_bytes(),
+        &mut transcript,
+        engine,
+        ServeConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let transcript = String::from_utf8_lossy(&transcript);
+    let mut prev: Option<TopSample> = None;
+    let mut polls = 0usize;
+    for line in transcript.lines() {
+        if let Some(sample) = parse_stats_sample(line) {
+            polls += 1;
+            print!("{}", render_top_frame(polls, &sample, prev.as_ref(), None));
+            prev = Some(sample);
+        }
+    }
+    if polls == 0 {
+        return Err(format!(
+            "{path}: script produced no stats responses (add {:?} lines)",
+            "{\"op\":\"stats\"}"
+        ));
+    }
+    Ok(())
+}
+
+/// `flh top <socket>`: polls a running `flh serve --socket` instance with
+/// the `stats` verb and renders a frame per poll. `polls == 0` polls
+/// until the server goes away.
+fn cmd_top_socket(path: &str, interval_ms: u64, polls: usize) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    let stream =
+        std::os::unix::net::UnixStream::connect(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    // Nothing here feeds any deterministic document — the wire carries no
+    // time-ok: clock either way; dashboard-side rate computation only.
+    let mut prev: Option<(TopSample, std::time::Instant)> = None;
+    let mut poll = 0usize;
+    loop {
+        poll += 1;
+        writer
+            .write_all(b"{\"op\":\"stats\"}\n")
+            .map_err(|e| format!("{path}: {e}"))?;
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("{path}: {e}"))?;
+        if n == 0 {
+            return Err(format!("{path}: server closed the connection"));
+        }
+        // time-ok: see above — poll pacing and client-side rates only.
+        let now = std::time::Instant::now();
+        match parse_stats_sample(&line) {
+            Some(sample) => {
+                let (prev_sample, dt) = match &prev {
+                    Some((p, at)) => (Some(p), Some(now.duration_since(*at).as_secs_f64())),
+                    None => (None, None),
+                };
+                print!("{}", render_top_frame(poll, &sample, prev_sample, dt));
+                prev = Some((sample, now));
+            }
+            None => print!("{line}"),
+        }
+        if polls != 0 && poll >= polls {
+            return Ok(());
+        }
+        // time-ok: poll cadence.
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
     }
 }
 
@@ -577,10 +817,43 @@ fn dispatch(args: &[String]) -> Result<(), String> {
                 None => DEFAULT_CACHE_CAPACITY,
             };
             let socket = take_flag_value(&mut rest, "--socket")?;
+            let timings = match rest.iter().position(|a| a == "--timings") {
+                Some(pos) => {
+                    rest.remove(pos);
+                    true
+                }
+                None => false,
+            };
             if let Some(extra) = rest.first() {
                 return Err(format!("serve: unexpected argument {extra:?}"));
             }
-            cmd_serve(queue, cache, socket.as_deref())
+            cmd_serve(queue, cache, socket.as_deref(), timings)
+        }
+        Some("top") => {
+            let mut rest: Vec<String> = args[1..].to_vec();
+            let script = take_flag_value(&mut rest, "--script")?;
+            let interval = match take_flag_value(&mut rest, "--interval-ms")? {
+                Some(v) => v.parse().map_err(|e| format!("--interval-ms: {e}"))?,
+                None => 1000,
+            };
+            let polls = match take_flag_value(&mut rest, "--polls")? {
+                Some(v) => v.parse().map_err(|e| format!("--polls: {e}"))?,
+                None => 0,
+            };
+            match script {
+                Some(path) => {
+                    if let Some(extra) = rest.first() {
+                        return Err(format!("top: unexpected argument {extra:?}"));
+                    }
+                    cmd_top_script(&path)
+                }
+                None => {
+                    let [socket] = rest.as_slice() else {
+                        return Err("top expects a socket path or --script FILE".into());
+                    };
+                    cmd_top_socket(socket, interval, polls)
+                }
+            }
         }
         _ => Err(String::new()),
     }

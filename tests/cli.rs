@@ -150,6 +150,55 @@ level occupancy (level: batches / instructions):
     assert!(stdout.contains(occupancy), "occupancy drifted:\n{stdout}");
 }
 
+/// `flh top --script` replays a protocol script in-process and renders one
+/// dashboard frame per `stats` response — deterministic (no clock in the
+/// script path), so the frames can be asserted exactly.
+#[test]
+fn top_script_renders_deterministic_dashboard_frames() {
+    let dir = std::env::temp_dir().join(format!("flh_cli_top_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let script = dir.join("session.jsonl");
+    std::fs::write(
+        &script,
+        concat!(
+            "{\"op\":\"submit\",\"circuit\":\"s298\",\"pairs\":16,\"seed\":3,\
+\"styles\":\"arbitrary,broadside\"}\n",
+            "{\"op\":\"stats\"}\n",
+            "{\"op\":\"wait\"}\n",
+            "{\"op\":\"stats\"}\n",
+            "{\"op\":\"shutdown\"}\n",
+        ),
+    )
+    .expect("write script");
+
+    let (ok, stdout, stderr) = flh(&["top", "--script", script.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    // Two stats probes -> two frames.
+    assert!(stdout.contains("── flh top · poll 1 ──"), "{stdout}");
+    assert!(stdout.contains("── flh top · poll 2 ──"), "{stdout}");
+    // Frame one: the job is queued behind the closed gate.
+    assert!(
+        stdout.contains("jobs      submitted 1  completed 0  in-flight 1"),
+        "{stdout}"
+    );
+    // Frame two: retired, with the campaign's work and coverage visible.
+    assert!(
+        stdout.contains("jobs      submitted 1  completed 1  in-flight 0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("work      pairs 32"), "{stdout}");
+    assert!(stdout.contains("coverage  arbitrary "), "{stdout}");
+    assert!(stdout.contains("broadside "), "{stdout}");
+
+    // A script with no stats probes is an error, not an empty dashboard.
+    let empty = dir.join("no_stats.jsonl");
+    std::fs::write(&empty, "{\"op\":\"status\"}\n").expect("write script");
+    let (ok, _, stderr) = flh(&["top", "--script", empty.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("no stats responses"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `flh analyze` smoke + invariants: the verifier is clean on every style
 /// row, and `--check-sim` certifies prune consistency on the grep-able line
 /// CI gates on.
